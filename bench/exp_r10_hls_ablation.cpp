@@ -1,0 +1,59 @@
+// R10 — ablation of the behavioral-synthesis overhead the paper flags:
+// "in synthesis steps during behavioral synthesis of SystemC code, the
+// tools have some restrictions and produce some unnecessary overhead.
+// Thus ... the influence on area and speed are partly tool specific
+// issues." (§12) and the future-work promise to investigate it (§14).
+//
+// Sweeps the behavioral components through the synthesizer with and
+// without multiplier sharing, against the hand-RTL baselines, isolating
+// where the "unnecessary overhead" lives (FSM + datapath selection) and
+// what resource binding buys.
+
+#include <cstdio>
+
+#include "expocu/flows.hpp"
+#include "gate/lower.hpp"
+
+using namespace osss;
+using namespace osss::expocu;
+
+namespace {
+
+void row(const char* name, const hls::Behavior& beh,
+         const rtl::Module* baseline, const gate::Library& lib) {
+  for (const bool share : {false, true}) {
+    hls::Report rep;
+    const rtl::Module m =
+        hls::synthesize(beh, {.share_multipliers = share}, &rep);
+    const auto t = gate::analyze_timing(gate::lower_to_gates(m), lib);
+    std::printf("%-16s %-9s %6u %6u %5u/%-5u %9.0f %7.1f\n", name,
+                share ? "shared" : "flat", rep.states, rep.transitions,
+                rep.mul_units, rep.mul_ops, t.area_ge, t.fmax_mhz);
+  }
+  if (baseline != nullptr) {
+    const auto t = gate::analyze_timing(gate::lower_to_gates(*baseline), lib);
+    std::printf("%-16s %-9s %6s %6s %11s %9.0f %7.1f\n", name, "handRTL", "-",
+                "-", "-", t.area_ge, t.fmax_mhz);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const auto lib = gate::Library::generic();
+  std::printf("R10: behavioral synthesis ablation (binding / overhead)\n");
+  std::printf("%-16s %-9s %6s %6s %11s %9s %7s\n", "component", "binding",
+              "states", "trans", "units/ops", "area[GE]", "fmax");
+  const rtl::Module thr_base = build_threshold_vhdl();
+  const rtl::Module par_base = build_param_calc_vhdl();
+  const rtl::Module i2c_base = build_i2c_master_vhdl();
+  row("threshold_calc", build_threshold_osss(), &thr_base, lib);
+  row("param_calc", build_param_calc_osss(), &par_base, lib);
+  row("i2c_master", build_i2c_master_osss(), &i2c_base, lib);
+  std::printf(
+      "shape: behavioral versions carry FSM/selection overhead vs handRTL; "
+      "multiplier sharing\ntrades multiplier area for operand muxes — "
+      "valuable once several multiplications are\nmutually exclusive.\n");
+  return 0;
+}

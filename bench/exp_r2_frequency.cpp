@@ -1,0 +1,35 @@
+// R2 — "The frequency of the achieved in OSSS design is below the
+// frequency in the VHDL flow." (§12) with the 66 MHz system target (§2).
+//
+// Static timing analysis on both flows' netlists: critical path, logic
+// depth and fmax per component; the flow fmax is the worst component.
+
+#include <cstdio>
+
+#include "expocu/flows.hpp"
+
+int main() {
+  using namespace osss::expocu;
+  const auto lib = osss::gate::Library::generic();
+  const FlowReport osss = synthesize_flow(build_osss_flow(), lib);
+  const FlowReport vhdl = synthesize_flow(build_vhdl_flow(), lib);
+
+  std::printf("R2: achievable clock frequency (target %.0f MHz)\n", kClockMhz);
+  std::printf("%-16s | %9s %7s %6s | %9s %7s %6s\n", "component",
+              "OSSS[ps]", "fmax", "levels", "VHDL[ps]", "fmax", "levels");
+  for (const auto& o : osss.components) {
+    const auto* v = vhdl.find(o.name);
+    std::printf("%-16s | %9.0f %7.1f %6zu | %9.0f %7.1f %6zu\n",
+                o.name.c_str(), o.timing.critical_path_ps, o.timing.fmax_mhz,
+                o.timing.levels, v->timing.critical_path_ps,
+                v->timing.fmax_mhz, v->timing.levels);
+  }
+  std::printf("\nflow fmax: OSSS %.1f MHz, VHDL %.1f MHz", osss.min_fmax_mhz,
+              vhdl.min_fmax_mhz);
+  std::printf("  (OSSS below VHDL: %s; both meet 66 MHz: %s)\n",
+              osss.min_fmax_mhz < vhdl.min_fmax_mhz ? "yes" : "NO",
+              (osss.min_fmax_mhz >= kClockMhz && vhdl.min_fmax_mhz >= kClockMhz)
+                  ? "yes"
+                  : "NO");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// R4 — "The resolution of object-oriented design features like classes and
+// templates do not create an additional overhead ... no additional logic
+// has been added when using classes and templates." (§8)
+//
+// Synthesizes the paper's SyncRegister-based sync module (Figs. 4/5/8)
+// once through class resolution and once hand-written with explicit
+// slices, over a sweep of template parameters, and compares the mapped
+// netlists gate for gate.
+
+#include <cstdio>
+
+#include "expocu/sync_register.hpp"
+#include "gate/equiv.hpp"
+#include "gate/lower.hpp"
+#include "gate/timing.hpp"
+#include "synth/method_synth.hpp"
+
+using namespace osss;
+
+namespace {
+
+rtl::Module from_class(const meta::ClassDesc& cls) {
+  rtl::Builder b("sync");
+  meta::RtlEmitter em(b);
+  const rtl::Wire data = b.input("data", 1);
+  const rtl::Wire obj =
+      b.reg("data_sync_reg", cls.data_width(), cls.initial_value());
+  const auto wr = synth::synthesize_method(em, cls, "Write", obj, {data});
+  b.connect(obj, wr.this_out);
+  const auto edge =
+      synth::synthesize_method(em, cls, "RisingEdge", wr.this_out, {});
+  b.output("edge", edge.ret);
+  b.output("reg", obj);
+  return b.take();
+}
+
+rtl::Module by_hand(unsigned regsize, std::uint64_t resetvalue) {
+  rtl::Builder b("sync");
+  const rtl::Wire data = b.input("data", 1);
+  const rtl::Wire reg =
+      b.reg("data_sync_reg", regsize, rtl::Bits(regsize, resetvalue));
+  const rtl::Wire shifted = b.concat({b.slice(reg, regsize - 2, 0), data});
+  b.connect(reg, shifted);
+  b.output("edge", b.and_(b.slice(shifted, 0, 0),
+                          b.not_(b.slice(shifted, 1, 1))));
+  b.output("reg", reg);
+  return b.take();
+}
+
+}  // namespace
+
+int main() {
+  const auto lib = gate::Library::generic();
+  std::printf(
+      "R4: class/template resolution overhead (SyncRegister<W,RST>)\n");
+  std::printf("%-22s %10s %10s %8s %8s %10s %8s\n", "instantiation",
+              "class[GE]", "hand[GE]", "gates=", "dffs=", "timing=", "equiv=");
+  bool all_equal = true;
+  for (const auto& [w, rst] : {std::pair<unsigned, std::uint64_t>{2, 0},
+                               {4, 0},
+                               {4, 0x5},
+                               {8, 0},
+                               {16, 0xabcd},
+                               {32, 0}}) {
+    const auto cls = expocu::sync_register_template().instantiate({w, rst});
+    const gate::Netlist a = gate::lower_to_gates(from_class(*cls));
+    const gate::Netlist b = gate::lower_to_gates(by_hand(w, rst));
+    const auto ta = gate::analyze_timing(a, lib);
+    const auto tb = gate::analyze_timing(b, lib);
+    const bool gates_eq = a.gate_count() == b.gate_count();
+    const bool dffs_eq = a.dff_count() == b.dff_count();
+    const bool time_eq = ta.critical_path_ps == tb.critical_path_ps;
+    const bool func_eq = static_cast<bool>(gate::check_equivalence(a, b, 4, 128));
+    all_equal = all_equal && gates_eq && dffs_eq && time_eq && func_eq;
+    std::printf("SyncRegister<%2u,%#6llx> %9.1f %10.1f %8s %8s %10s %8s\n", w,
+                static_cast<unsigned long long>(rst), ta.area_ge, tb.area_ge,
+                gates_eq ? "yes" : "NO", dffs_eq ? "yes" : "NO",
+                time_eq ? "yes" : "NO", func_eq ? "yes" : "NO");
+  }
+  std::printf("\npaper: zero overhead -> reproduced: %s\n",
+              all_equal ? "netlists identical in gates, DFFs and timing"
+                        : "MISMATCH");
+  return all_equal ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+// R6 — "When global objects are being instantiated and accessed, some
+// scheduling logic of course has to be added." (§8)
+//
+// Generates shared-object modules over a sweep of client counts and
+// scheduler policies and reports the scheduler logic cost: the difference
+// between the full shared module and the bare (1-client, no arbitration
+// contention) object datapath.
+
+#include <cstdio>
+
+#include "gate/lower.hpp"
+#include "gate/timing.hpp"
+#include "synth/shared_synth.hpp"
+
+using namespace osss;
+
+namespace {
+
+meta::ClassPtr counter_class() {
+  using namespace meta;
+  auto c = std::make_shared<ClassDesc>("Counter");
+  c->add_member("value", 16);
+  MethodDesc add;
+  add.name = "Add";
+  add.params = {{"d", 16}};
+  add.body = {assign_member("value",
+                            meta::add(member("value", 16), param("d", 16)))};
+  c->add_method(std::move(add));
+  MethodDesc get;
+  get.name = "Get";
+  get.return_width = 16;
+  get.is_const = true;
+  get.body = {return_stmt(member("value", 16))};
+  c->add_method(std::move(get));
+  return c;
+}
+
+double shared_area(unsigned clients, synth::SharedSpec::Policy policy,
+                   const gate::Library& lib, double* fmax) {
+  synth::SharedSpec spec;
+  spec.name = "shared_counter";
+  spec.cls = counter_class();
+  spec.methods = {"Add", "Get"};
+  spec.clients = clients;
+  spec.policy = policy;
+  const auto report =
+      gate::analyze_timing(gate::lower_to_gates(synth::synthesize_shared(spec)),
+                           lib);
+  if (fmax != nullptr) *fmax = report.fmax_mhz;
+  return report.area_ge;
+}
+
+}  // namespace
+
+int main() {
+  const auto lib = gate::Library::generic();
+  std::printf("R6: generated scheduling logic for shared (global) objects\n");
+  double base_fmax = 0.0;
+  const double base = shared_area(1, synth::SharedSpec::Policy::kStaticPriority,
+                                  lib, &base_fmax);
+  std::printf("bare object datapath (1 client): %.1f GE, %.1f MHz\n\n", base,
+              base_fmax);
+  std::printf("%8s | %14s %10s | %14s %10s\n", "clients", "roundrobin[GE]",
+              "sched[GE]", "priority[GE]", "sched[GE]");
+  for (const unsigned n : {2u, 4u, 8u}) {
+    double f1 = 0.0;
+    double f2 = 0.0;
+    const double rr =
+        shared_area(n, synth::SharedSpec::Policy::kRoundRobin, lib, &f1);
+    const double pr =
+        shared_area(n, synth::SharedSpec::Policy::kStaticPriority, lib, &f2);
+    std::printf("%8u | %14.1f %10.1f | %14.1f %10.1f\n", n, rr, rr - base, pr,
+                pr - base);
+  }
+  std::printf(
+      "\npaper: scheduler logic is added and grows with contention — as a "
+      "manual arbiter would;\nround-robin (rotation register) costs more "
+      "than static priority, as expected.\n");
+  return 0;
+}

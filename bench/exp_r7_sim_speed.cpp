@@ -1,0 +1,94 @@
+// R7 — "Much higher simulation speed than conventional RTL simulators."
+// (§10)
+//
+// The same workload — camera frames streaming through histogram
+// acquisition and threshold calculation — is simulated at three levels:
+//
+//   * OO model:   the compiled C++ ExpoCU on the simulation kernel
+//                 (the paper's "binary executable for simulation");
+//   * RTL level:  the synthesized modules on the cycle-level RTL simulator;
+//   * gate level: the mapped netlists on the event-driven gate simulator
+//                 (the "conventional RTL/netlist simulator" stand-in).
+//
+// Reported as items_per_second = simulated clock cycles per wall second.
+
+#include <benchmark/benchmark.h>
+
+#include "expocu/expocu_sim.hpp"
+#include "expocu/flows.hpp"
+#include "gate/lower.hpp"
+#include "gate/sim.hpp"
+#include "hls/synth.hpp"
+#include "rtl/sim.hpp"
+
+using namespace osss;
+using namespace osss::expocu;
+
+namespace {
+
+constexpr unsigned kCyclesPerFrame = kPixelsPerFrame + 8;
+
+void BM_OoKernelSim(benchmark::State& state) {
+  sysc::Context ctx;
+  ExpoCuSystem sys(ctx);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    ctx.run_for(static_cast<sysc::Time>(kCyclesPerFrame) * kClockPeriodPs);
+    cycles += kCyclesPerFrame;
+    benchmark::DoNotOptimize(sys.expocu.exposure());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+  state.counters["level"] = 0;  // OO
+}
+
+template <class Sim>
+void drive_frame(Sim& hist, Sim& thresh, std::uint64_t frame) {
+  // Deterministic pixel pattern (no camera model cost in the loop).
+  for (unsigned i = 0; i < kCyclesPerFrame; ++i) {
+    const bool valid = i < kPixelsPerFrame;
+    hist.set_input("pixel", (i * 7 + frame * 13) & 0xff);
+    hist.set_input("pixel_valid", valid ? 1 : 0);
+    hist.set_input("vsync", (valid && i == 0) ? 1 : 0);
+    hist.step();
+    thresh.set_input("bin_valid", hist.output("bin_valid"));
+    thresh.set_input("bin_index", hist.output("bin_index"));
+    thresh.set_input("bin_count", hist.output("bin_count"));
+    thresh.set_input("frame_done", hist.output("frame_done"));
+    thresh.step();
+  }
+}
+
+void BM_RtlCycleSim(benchmark::State& state) {
+  rtl::Simulator hist(build_histogram_rtl());
+  rtl::Simulator thresh(hls::synthesize(build_threshold_osss()));
+  std::uint64_t frame = 0;
+  for (auto _ : state) {
+    drive_frame(hist, thresh, frame++);
+    benchmark::DoNotOptimize(thresh.output("mean"));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(frame) * kCyclesPerFrame);
+  state.counters["level"] = 1;  // RTL
+}
+
+void BM_GateEventSim(benchmark::State& state) {
+  gate::Simulator hist(gate::lower_to_gates(build_histogram_rtl()));
+  gate::Simulator thresh(
+      gate::lower_to_gates(hls::synthesize(build_threshold_osss())));
+  std::uint64_t frame = 0;
+  for (auto _ : state) {
+    drive_frame(hist, thresh, frame++);
+    benchmark::DoNotOptimize(thresh.output("mean"));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(frame) * kCyclesPerFrame);
+  state.counters["level"] = 2;  // gate
+}
+
+}  // namespace
+
+BENCHMARK(BM_OoKernelSim)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RtlCycleSim)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GateEventSim)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

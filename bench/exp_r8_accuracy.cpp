@@ -1,0 +1,93 @@
+// R8 — "What we found out is that the behavior on every stage is bit and
+// cycle accurate and fully complies with its original description." (§12)
+//
+// Randomized lockstep co-simulation of every behavioural ExpoCU component
+// across all three representations (behavioural interpreter, synthesized
+// RTL, mapped gate netlist), counting output mismatches per cycle.  The
+// paper's claim reproduces as zero mismatches everywhere.
+
+#include <cstdio>
+#include <random>
+
+#include "expocu/hw.hpp"
+#include "gate/lower.hpp"
+#include "gate/sim.hpp"
+#include "hls/interp.hpp"
+#include "hls/synth.hpp"
+#include "rtl/sim.hpp"
+
+using namespace osss;
+using namespace osss::expocu;
+
+namespace {
+
+struct Result {
+  std::uint64_t cycles = 0;
+  std::uint64_t checks = 0;
+  std::uint64_t rtl_mismatches = 0;
+  std::uint64_t gate_mismatches = 0;
+};
+
+Result cosimulate(const hls::Behavior& beh, unsigned cycles, unsigned seed) {
+  hls::Interpreter interp(beh);
+  const rtl::Module m = hls::synthesize(beh);
+  rtl::Simulator rsim(m);
+  gate::Simulator gsim(gate::lower_to_gates(m));
+  std::vector<std::string> outputs;
+  for (const hls::VarDecl& v : beh.vars)
+    if (v.is_output) outputs.push_back(v.name);
+
+  Result r;
+  std::mt19937_64 rng(seed);
+  for (unsigned c = 0; c < cycles; ++c) {
+    for (const hls::InputDecl& in : beh.inputs) {
+      meta::Bits v(in.width);
+      for (unsigned i = 0; i < in.width; ++i)
+        v.set_bit(i, (rng() & 1) != 0);
+      interp.set_input(in.name, v);
+      rsim.set_input(in.name, v);
+      gsim.set_input(in.name, v);
+    }
+    for (const std::string& out : outputs) {
+      ++r.checks;
+      if (!(interp.var(out) == rsim.output(out))) ++r.rtl_mismatches;
+      if (!(interp.var(out) == gsim.output(out))) ++r.gate_mismatches;
+    }
+    interp.step();
+    rsim.step();
+    gsim.step();
+    ++r.cycles;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("R8: bit/cycle accuracy across representation levels\n");
+  std::printf("%-16s %8s %8s %14s %14s\n", "component", "cycles", "checks",
+              "rtl mismatch", "gate mismatch");
+  std::uint64_t total_bad = 0;
+  const std::pair<const char*, hls::Behavior> designs[] = {
+      {"camera_sync", build_camera_sync_osss()},
+      {"threshold_calc", build_threshold_osss()},
+      {"param_calc", build_param_calc_osss()},
+      {"i2c_master", build_i2c_master_osss()},
+      {"i2c_master_sc", build_i2c_master_systemc()},
+      {"reset_ctrl", build_reset_ctrl_osss()},
+  };
+  unsigned seed = 1000;
+  for (const auto& [name, beh] : designs) {
+    const Result r = cosimulate(beh, 2000, seed++);
+    std::printf("%-16s %8llu %8llu %14llu %14llu\n", name,
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.checks),
+                static_cast<unsigned long long>(r.rtl_mismatches),
+                static_cast<unsigned long long>(r.gate_mismatches));
+    total_bad += r.rtl_mismatches + r.gate_mismatches;
+  }
+  std::printf("\npaper: bit- and cycle-accurate at every stage -> %s\n",
+              total_bad == 0 ? "reproduced (0 mismatches)"
+                             : "VIOLATED");
+  return total_bad == 0 ? 0 : 1;
+}

@@ -1,0 +1,41 @@
+// exposure_control_loop.cpp — the paper's full design example, closed loop.
+//
+// The synthetic camera sweeps through a day/night ambient cycle while the
+// ExpoCU (OO simulation model) measures each frame's histogram, runs the
+// auto-exposure law and writes new exposure/gain over bit-level I2C into
+// the camera's register file.  Prints a per-frame trace of the loop.
+
+#include <cstdio>
+
+#include "expocu/expocu_sim.hpp"
+
+using namespace osss;
+using namespace osss::expocu;
+
+int main(int argc, char** argv) {
+  const unsigned frames = argc > 1 ? std::atoi(argv[1]) : 48;
+  sysc::Context ctx;
+  ExpoCuSystem sys(ctx);
+
+  std::printf("ExpoCU closed loop: %ux%u frames, target mean %u\n",
+              kFrameWidth, kFrameHeight, kTargetMean);
+  std::printf("%5s %8s %6s %6s %6s %10s %6s %8s\n", "frame", "ambient",
+              "mean", "dark", "brght", "exposure", "gain", "i2c_txn");
+  for (unsigned f = 0; f < frames; ++f) {
+    sys.run_frames(ctx, 1);
+    if (sys.expocu.frame_log().empty()) continue;
+    const FrameStats& s = sys.expocu.frame_log().back();
+    std::printf("%5u %8.2f %6u %6u %6u %#10x %6u %8llu\n", f,
+                CameraModel::ambient(sys.camera.frame_count()), s.mean,
+                s.dark, s.bright, sys.expocu.exposure(), sys.expocu.gain(),
+                static_cast<unsigned long long>(
+                    sys.slave.transaction_count()));
+  }
+  std::printf(
+      "\nloop closed over I2C: %llu transactions, %llu bytes, camera now at "
+      "exposure=%#x gain=%u\n",
+      static_cast<unsigned long long>(sys.slave.transaction_count()),
+      static_cast<unsigned long long>(sys.slave.byte_count()),
+      sys.regs.exposure, sys.regs.gain);
+  return 0;
+}

@@ -1,0 +1,126 @@
+// polymorphic_alu.cpp — the paper's §6 polymorphism example, both views.
+//
+// Runtime view: a Polymorphic<AluOp, ...> dispatches execute() through the
+// common interface.  Synthesis view: the same hierarchy becomes a tagged
+// object; the virtual call synthesizes to per-variant datapaths selected
+// by the §8 dispatch muxes.  The program cross-checks the two views and
+// prints the generated hardware statistics.
+
+#include <cstdio>
+#include <memory>
+
+#include "gate/lower.hpp"
+#include "gate/timing.hpp"
+#include "osss/polymorphic.hpp"
+#include "rtl/sim.hpp"
+#include "synth/polymorphic_synth.hpp"
+
+using namespace osss;
+
+namespace {
+
+constexpr unsigned W = 8;
+
+// --- runtime hierarchy -----------------------------------------------------
+struct AluOp {
+  virtual ~AluOp() = default;
+  virtual unsigned execute(unsigned a, unsigned b) const = 0;
+};
+struct AluAdd final : AluOp {
+  unsigned execute(unsigned a, unsigned b) const override {
+    return (a + b) & 0xff;
+  }
+};
+struct AluSub final : AluOp {
+  unsigned execute(unsigned a, unsigned b) const override {
+    return (a - b) & 0xff;
+  }
+};
+struct AluMul final : AluOp {
+  unsigned execute(unsigned a, unsigned b) const override {
+    return (a * b) & 0xff;
+  }
+};
+
+// --- analyzer hierarchy (what the synthesizer sees) -----------------------
+meta::ClassPtr make_variant(const meta::ClassPtr& base, const char* name,
+                            meta::BinOp op) {
+  auto cls = std::make_shared<meta::ClassDesc>(name, base);
+  meta::MethodDesc exec;
+  exec.name = "Execute";
+  exec.params = {{"a", W}, {"b", W}};
+  exec.return_width = W;
+  exec.is_virtual = true;
+  exec.body = {meta::assign_member(
+                   "result", meta::binary(op, meta::param("a", W),
+                                          meta::param("b", W))),
+               meta::return_stmt(meta::member("result", W))};
+  cls->add_method(std::move(exec));
+  return cls;
+}
+
+}  // namespace
+
+int main() {
+  // Runtime dispatch.
+  Polymorphic<AluOp, AluAdd, AluSub, AluMul> alu;
+  std::printf("runtime dispatch:  add(20,22)=%u", alu->execute(20, 22));
+  alu.emplace<AluSub>();
+  std::printf("  sub(20,22)=%u", alu->execute(20, 22));
+  alu.emplace<AluMul>();
+  std::printf("  mul(20,22)=%u  (tag=%zu)\n", alu->execute(20, 22),
+              alu.tag());
+
+  // Synthesis of the same hierarchy.
+  auto base = std::make_shared<meta::ClassDesc>("AluOp");
+  base->add_member("result", W);
+  meta::MethodDesc exec;
+  exec.name = "Execute";
+  exec.params = {{"a", W}, {"b", W}};
+  exec.return_width = W;
+  exec.is_virtual = true;
+  exec.body = {meta::return_stmt(meta::constant(W, 0))};
+  base->add_method(std::move(exec));
+
+  synth::Hierarchy h;
+  h.base = base;
+  h.variants = {make_variant(base, "AluAdd", meta::BinOp::kAdd),
+                make_variant(base, "AluSub", meta::BinOp::kSub),
+                make_variant(base, "AluMul", meta::BinOp::kMul)};
+
+  rtl::Builder b("poly_alu");
+  meta::RtlEmitter em(b);
+  const rtl::Wire obj = b.input("obj", h.total_width());
+  const rtl::Wire a = b.input("a", W);
+  const rtl::Wire x = b.input("b", W);
+  const auto call = synth::synthesize_virtual_call(em, h, "Execute", obj,
+                                                   {a, x});
+  b.output("r", call.ret);
+  b.output("obj_out", call.obj_out);
+  const rtl::Module m = b.take();
+
+  // Cross-check: hardware dispatch equals runtime dispatch.
+  rtl::Simulator sim(m);
+  const char* names[] = {"add", "sub", "mul"};
+  const AluAdd add_impl;
+  const AluSub sub_impl;
+  const AluMul mul_impl;
+  const AluOp* impls[] = {&add_impl, &sub_impl, &mul_impl};
+  bool all_match = true;
+  for (unsigned tag = 0; tag < 3; ++tag) {
+    sim.set_input("obj", h.encode(tag, meta::Bits(W, 0)));
+    sim.set_input("a", 20);
+    sim.set_input("b", 22);
+    const unsigned hw = static_cast<unsigned>(sim.output("r").to_u64());
+    const unsigned sw = impls[tag]->execute(20, 22);
+    std::printf("hardware dispatch: tag=%u (%s) -> %u %s\n", tag, names[tag],
+                hw, hw == sw ? "(matches runtime)" : "(MISMATCH)");
+    all_match = all_match && hw == sw;
+  }
+
+  const auto report = gate::analyze_timing(gate::lower_to_gates(m),
+                                           gate::Library::generic());
+  std::printf("\n%s\n", gate::format_report("poly_alu", report).c_str());
+  std::printf("the dispatch muxes of paper §8, and nothing else.\n");
+  return all_match ? 0 : 1;
+}

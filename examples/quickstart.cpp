@@ -1,0 +1,81 @@
+// quickstart.cpp — the OSSS round trip in sixty lines.
+//
+// 1. Write an OSSS class (here: the paper's SyncRegister, shipped with the
+//    library) and simulate it on the kernel with waveform tracing.
+// 2. Resolve it with the synthesizer (classes -> `_this_` bit vector),
+//    print the generated "standard SystemC" and synthesize to gates.
+// 3. Report area and timing from the generic cell library.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build &&
+//               ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "expocu/params.hpp"
+#include "expocu/sync_register.hpp"
+#include <fstream>
+
+#include "gate/lower.hpp"
+#include "gate/verilog.hpp"
+#include "gate/timing.hpp"
+#include "synth/method_synth.hpp"
+#include "synth/systemc_emit.hpp"
+#include "sysc/trace.hpp"
+
+using namespace osss;
+
+int main() {
+  // --- 1. simulate the OO design ----------------------------------------
+  sysc::Context ctx;
+  sysc::Clock clk(ctx, "clk", expocu::kClockPeriodPs);
+  sysc::Signal<bool> data(ctx, "data", false);
+  expocu::SyncRegister<4, 0> sync_reg;
+  unsigned edges = 0;
+
+  sysc::TraceFile vcd(ctx, "quickstart.vcd");
+  vcd.trace(data, "data");
+  vcd.trace_fn("sync_reg", 4, [&] { return sync_reg.to_bits(); });
+
+  ctx.create_cthread("sync_input", clk.signal(), [&]() -> sysc::Behavior {
+    sync_reg.Reset();
+    co_await sysc::wait();
+    for (;;) {
+      sync_reg.Write(data.read());
+      if (sync_reg.RisingEdge()) ++edges;
+      co_await sysc::wait();
+    }
+  });
+  ctx.create_cthread("stimulus", clk.signal(), [&]() -> sysc::Behavior {
+    for (int i = 0;; ++i) {
+      data.write(i % 5 < 2);  // bursts with rising edges
+      co_await sysc::wait();
+    }
+  });
+  ctx.run_for(100 * expocu::kClockPeriodPs);
+  std::printf("simulation: %u rising edges detected, waveform in "
+              "quickstart.vcd\n\n", edges);
+
+  // --- 2. resolve and synthesize ------------------------------------------
+  const auto cls = expocu::sync_register_template().instantiate({4, 0});
+  std::printf("%s\n", synth::emit_resolved_class(*cls).c_str());
+
+  rtl::Builder b("sync");
+  meta::RtlEmitter em(b);
+  const rtl::Wire d = b.input("data", 1);
+  const rtl::Wire obj = b.reg("data_sync_reg", 4, cls->initial_value());
+  const auto wr = synth::synthesize_method(em, *cls, "Write", obj, {d});
+  b.connect(obj, wr.this_out);
+  const auto edge = synth::synthesize_method(em, *cls, "RisingEdge",
+                                             wr.this_out, {});
+  b.output("edge", edge.ret);
+  b.output("reg", obj);
+
+  // --- 3. map to gates and report -------------------------------------------
+  const gate::Netlist netlist = gate::lower_to_gates(b.take());
+  const auto report =
+      gate::analyze_timing(netlist, gate::Library::generic());
+  std::printf("%s\n", gate::format_report("sync", report).c_str());
+  std::ofstream("sync_netlist.v") << gate::write_verilog(netlist);
+  std::printf("structural netlist written to sync_netlist.v\n");
+  return 0;
+}

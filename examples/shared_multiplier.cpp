@@ -1,0 +1,89 @@
+// shared_multiplier.cpp — global/shared objects with generated scheduling.
+//
+// A shared accumulator serves three clocked clients.  Runtime view: the
+// Shared<T> guard arbitrates one access per clock (round-robin).
+// Synthesis view: synthesize_shared() generates the request/grant arbiter,
+// method-dispatch muxes and the object register — "the access and
+// scheduling of a global object gets automatically included for
+// synthesis" (§6).
+
+#include <cstdio>
+
+#include "expocu/params.hpp"
+#include "gate/lower.hpp"
+#include "gate/timing.hpp"
+#include "osss/shared.hpp"
+#include "synth/shared_synth.hpp"
+
+using namespace osss;
+
+namespace {
+
+struct Accumulator {
+  unsigned value = 0;
+  void add(unsigned d) { value += d; }
+};
+
+meta::ClassPtr accumulator_class() {
+  using namespace meta;
+  auto c = std::make_shared<ClassDesc>("Accumulator");
+  c->add_member("value", 16);
+  MethodDesc add;
+  add.name = "Add";
+  add.params = {{"d", 16}};
+  add.body = {assign_member("value",
+                            meta::add(member("value", 16), param("d", 16)))};
+  c->add_method(std::move(add));
+  MethodDesc get;
+  get.name = "Get";
+  get.return_width = 16;
+  get.is_const = true;
+  get.body = {return_stmt(member("value", 16))};
+  c->add_method(std::move(get));
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  // --- runtime: three clients contend for the shared object --------------
+  sysc::Context ctx;
+  sysc::Clock clk(ctx, "clk", expocu::kClockPeriodPs);
+  Shared<Accumulator> shared(ctx, "acc", clk.signal(), 3, Accumulator{},
+                             std::make_unique<RoundRobinScheduler>());
+  for (std::size_t id = 0; id < 3; ++id) {
+    ctx.create_cthread(
+        "client" + std::to_string(id), clk.signal(),
+        [&shared, id]() -> sysc::Behavior {
+          for (unsigned k = 0; k < 4; ++k) {
+            auto ticket = shared.request(
+                id, [id](Accumulator& a) { a.add(static_cast<unsigned>(id) + 1); });
+            while (!ticket->done()) co_await sysc::wait();
+          }
+        });
+  }
+  ctx.run_for(60 * expocu::kClockPeriodPs);
+  std::printf("runtime: value=%u after 4 accesses/client; grants:",
+              shared.peek().value);
+  for (std::size_t id = 0; id < 3; ++id)
+    std::printf(" c%zu=%llu", id,
+                static_cast<unsigned long long>(shared.grant_count(id)));
+  std::printf(" (scheduler: %s)\n\n", shared.policy().name().c_str());
+
+  // --- synthesis: the generated arbiter -----------------------------------
+  synth::SharedSpec spec;
+  spec.name = "shared_accumulator";
+  spec.cls = accumulator_class();
+  spec.methods = {"Add", "Get"};
+  spec.policy = synth::SharedSpec::Policy::kRoundRobin;
+  const auto lib = gate::Library::generic();
+  std::printf("generated shared-object modules (round-robin scheduler):\n");
+  for (const unsigned clients : {2u, 4u, 8u}) {
+    spec.clients = clients;
+    const auto report = gate::analyze_timing(
+        gate::lower_to_gates(synth::synthesize_shared(spec)), lib);
+    std::printf("  %u clients: %s\n", clients,
+                gate::format_report("shared_accumulator", report).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// ae_law.hpp — the auto-exposure control law as pure functions.
+//
+// Single source of truth for the algorithm: the OO simulation model uses
+// these functions directly, and the hardware (both flows) is tested
+// against them, tying every implementation level to one executable
+// specification.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <utility>
+
+#include "expocu/params.hpp"
+
+namespace osss::expocu {
+
+struct AeState {
+  std::uint16_t exposure = 0x0800;
+  std::uint8_t gain = 64;
+};
+
+/// Frame statistics derived from the luminance histogram.
+struct FrameStats {
+  std::uint8_t mean = 0;
+  std::uint16_t dark = 0;    ///< pixels in bins 0..3
+  std::uint16_t bright = 0;  ///< pixels in bins 12..15
+};
+
+/// Statistics exactly as threshold_calc computes them in hardware.
+inline FrameStats stats_from_histogram(
+    const std::array<std::uint16_t, kHistBins>& hist) {
+  FrameStats s;
+  std::uint32_t wsum = 0;
+  for (unsigned bin = 0; bin < kHistBins; ++bin) {
+    const std::uint32_t center = bin * 16 + 8;
+    wsum += static_cast<std::uint32_t>(hist[bin]) * center;
+    if (bin < 4) s.dark = static_cast<std::uint16_t>(s.dark + hist[bin]);
+    if (bin >= 12)
+      s.bright = static_cast<std::uint16_t>(s.bright + hist[bin]);
+  }
+  s.mean = static_cast<std::uint8_t>((wsum & 0xffffff) >> 11);
+  return s;
+}
+
+/// One auto-exposure step, exactly as param_calc computes it in hardware:
+/// multiplicative servo with saturation, gain extension when the exposure
+/// rail is hit.
+inline AeState ae_step(const AeState& in, std::uint8_t mean) {
+  constexpr std::uint16_t kExpMin = 0x0040;
+  constexpr std::uint16_t kExpMax = 0xF000;
+  constexpr std::uint8_t kGainMin = 64;
+  constexpr std::uint8_t kGainMax = 240;
+  constexpr std::uint8_t kGainStep = 4;
+
+  AeState out = in;
+  const bool err_neg = mean > kTargetMean;
+  const std::uint8_t err_abs = static_cast<std::uint8_t>(
+      err_neg ? mean - kTargetMean : kTargetMean - mean);
+  // 24-bit product, as in hardware (16+8 bits, cannot wrap).
+  const std::uint32_t product =
+      static_cast<std::uint32_t>(in.exposure) * err_abs;
+  const std::uint16_t delta =
+      static_cast<std::uint16_t>((product >> kAeStepShift) & 0xffff);
+
+  if (err_neg) {
+    out.exposure = (in.exposure < static_cast<std::uint32_t>(delta) + kExpMin)
+                       ? kExpMin
+                       : static_cast<std::uint16_t>(in.exposure - delta);
+  } else {
+    const std::uint32_t grown =
+        static_cast<std::uint32_t>(in.exposure) + delta;
+    out.exposure =
+        grown > kExpMax ? kExpMax : static_cast<std::uint16_t>(grown);
+  }
+
+  const bool saturated = out.exposure == kExpMax && !err_neg;
+  if (saturated) {
+    if (out.gain < kGainMax)
+      out.gain = static_cast<std::uint8_t>(out.gain + kGainStep);
+  } else if (out.gain > kGainMin) {
+    out.gain = static_cast<std::uint8_t>(out.gain - kGainStep);
+  }
+  return out;
+}
+
+}  // namespace osss::expocu

@@ -1,0 +1,76 @@
+#include "expocu/camera_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace osss::expocu {
+
+CameraModel::CameraModel(sysc::Context& ctx, std::string name,
+                         sysc::Signal<bool>& clk,
+                         const CameraRegisters& regs)
+    : Module(ctx, std::move(name)),
+      pixel(ctx, full_name() + ".pixel"),
+      pixel_valid(ctx, full_name() + ".pixel_valid", false),
+      hsync(ctx, full_name() + ".hsync", false),
+      vsync(ctx, full_name() + ".vsync", false),
+      regs_(regs) {
+  cthread("stream", clk, [this]() -> sysc::Behavior { return stream(); });
+}
+
+double CameraModel::radiance(unsigned x, unsigned y) {
+  // A smooth gradient plus a bright blob — enough structure to give the
+  // histogram a realistic spread.
+  const double gradient =
+      0.25 + 0.5 * (static_cast<double>(x + y) / (kFrameWidth + kFrameHeight));
+  const double dx = (static_cast<double>(x) - kFrameWidth / 2.0) / kFrameWidth;
+  const double dy =
+      (static_cast<double>(y) - kFrameHeight / 2.0) / kFrameHeight;
+  const double blob = 0.35 * std::exp(-8.0 * (dx * dx + dy * dy));
+  return std::min(1.0, gradient + blob);
+}
+
+double CameraModel::ambient(std::uint64_t frame) {
+  // Slow day/night sweep over ~96 frames (a tunnel transit at 30 fps).
+  return 0.55 + 0.45 * std::sin(2.0 * 3.14159265358979 *
+                                static_cast<double>(frame) / 96.0);
+}
+
+std::uint8_t CameraModel::sensor_value(unsigned x, unsigned y,
+                                       std::uint64_t frame,
+                                       const CameraRegisters& regs) {
+  const double lum = radiance(x, y) * ambient(frame);
+  const double exposure_factor = static_cast<double>(regs.exposure) / 4096.0;
+  const double gain_factor = static_cast<double>(regs.gain) / 64.0;
+  const double out = 255.0 * lum * exposure_factor * gain_factor;
+  return static_cast<std::uint8_t>(std::clamp(out, 0.0, 255.0));
+}
+
+sysc::Behavior CameraModel::stream() {
+  pixel_valid.write(false);
+  vsync.write(false);
+  hsync.write(false);
+  co_await sysc::wait();
+  for (;;) {
+    double sum = 0.0;
+    for (unsigned y = 0; y < kFrameHeight; ++y) {
+      for (unsigned x = 0; x < kFrameWidth; ++x) {
+        const std::uint8_t value = sensor_value(x, y, frame_, regs_);
+        sum += value;
+        pixel.write(sysc::BitVector<kPixelBits>(value));
+        pixel_valid.write(true);
+        vsync.write(x == 0 && y == 0);
+        hsync.write(x == 0);
+        co_await sysc::wait();
+      }
+    }
+    last_mean_ = sum / kPixelsPerFrame;
+    ++frame_;
+    // Short inter-frame blanking.
+    pixel_valid.write(false);
+    vsync.write(false);
+    hsync.write(false);
+    co_await sysc::wait(4);
+  }
+}
+
+}  // namespace osss::expocu

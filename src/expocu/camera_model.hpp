@@ -1,0 +1,61 @@
+// camera_model.hpp — synthetic camera (substitution for real optics).
+//
+// The ExpoCU only observes pixel statistics, so the camera is modelled as
+// a deterministic scene radiance field with a global ambient level that
+// drifts over frames (day/night sweep), exposed through the same transfer
+// function a sensor applies: pixel = clamp(radiance * ambient * exposure *
+// gain).  Exposure and gain come from the camera's I2C-written register
+// file, which closes the control loop the paper's Fig. 1 draws.
+
+#pragma once
+
+#include <cstdint>
+
+#include "expocu/params.hpp"
+#include "sysc/bitvector.hpp"
+#include "sysc/module.hpp"
+
+namespace osss::expocu {
+
+/// The camera-side configuration registers (written via I2C).
+struct CameraRegisters {
+  std::uint16_t exposure = 0x0800;
+  std::uint8_t gain = 64;  ///< 64 = 1.0x
+};
+
+/// Streams kFrameWidth x kFrameHeight luminance pixels, one per clock,
+/// with vsync pulsing on the first pixel of a frame and hsync on the first
+/// pixel of a line.
+class CameraModel : public sysc::Module {
+public:
+  CameraModel(sysc::Context& ctx, std::string name, sysc::Signal<bool>& clk,
+              const CameraRegisters& regs);
+
+  sysc::Signal<sysc::BitVector<kPixelBits>> pixel;
+  sysc::Signal<bool> pixel_valid;
+  sysc::Signal<bool> hsync;
+  sysc::Signal<bool> vsync;
+
+  std::uint64_t frame_count() const noexcept { return frame_; }
+  /// Mean luminance of the most recently completed frame.
+  double last_frame_mean() const noexcept { return last_mean_; }
+
+  /// Scene radiance in [0,1] (pure function; used by tests).
+  static double radiance(unsigned x, unsigned y);
+  /// Ambient light level in [0,1] for a frame number.
+  static double ambient(std::uint64_t frame);
+  /// The full sensor transfer function (pure; used by tests and the OO
+  /// reference model).
+  static std::uint8_t sensor_value(unsigned x, unsigned y,
+                                   std::uint64_t frame,
+                                   const CameraRegisters& regs);
+
+private:
+  const CameraRegisters& regs_;
+  std::uint64_t frame_ = 0;
+  double last_mean_ = 0.0;
+
+  sysc::Behavior stream();
+};
+
+}  // namespace osss::expocu

@@ -1,0 +1,90 @@
+// camera_sync_hw.cpp — camera data synchronization, both flows.
+//
+// The asynchronous camera strobes (hsync/vsync/valid) pass through
+// SyncRegister objects (the paper's Figs. 2-5 pattern); the pixel bus is
+// pipelined by one stage so data and decoded strobes line up.  Single-cycle
+// budget: everything happens every clock.
+
+#include "expocu/hw.hpp"
+#include "expocu/sync_register.hpp"
+
+namespace osss::expocu {
+
+hls::Behavior build_camera_sync_osss() {
+  using namespace meta;
+  hls::BehaviorBuilder bb("camera_sync");
+  const ExprPtr data = bb.input("data", kPixelBits);
+  const ExprPtr hsync = bb.input("hsync", 1);
+  const ExprPtr vsync = bb.input("vsync", 1);
+  const ExprPtr valid = bb.input("valid", 1);
+
+  const ExprPtr pixel = bb.var("pixel", kPixelBits, 0, /*output=*/true);
+  const ExprPtr sol = bb.var("sol", 1, 0, true);   // start of line
+  const ExprPtr sof = bb.var("sof", 1, 0, true);   // start of frame
+  const ExprPtr pvalid = bb.var("pvalid", 1, 0, true);
+
+  // Two-deep synchronizers, exactly the paper's SyncRegister<2, 0>.
+  const auto cls = sync_register_template().instantiate({2, 0});
+  const ExprPtr hsync_reg = bb.object("hsync_sync_reg", cls);
+  const ExprPtr vsync_reg = bb.object("vsync_sync_reg", cls);
+  const ExprPtr valid_reg = bb.object("valid_sync_reg", cls);
+
+  bb.call(hsync_reg, "Reset");
+  bb.call(vsync_reg, "Reset");
+  bb.call(valid_reg, "Reset");
+  bb.wait();
+  bb.loop([&] {
+    bb.call(hsync_reg, "Write", {hsync});
+    bb.call(vsync_reg, "Write", {vsync});
+    bb.call(valid_reg, "Write", {valid});
+    bb.assign(pixel, data);
+    bb.assign(sol, bb.call_r(hsync_reg, "RisingEdge"));
+    bb.assign(sof, bb.call_r(vsync_reg, "RisingEdge"));
+    bb.assign(pvalid, bb.call_r(valid_reg, "StableHigh"));
+    bb.wait();
+  });
+  return bb.take();
+}
+
+rtl::Module build_camera_sync_vhdl() {
+  using rtl::Wire;
+  rtl::Builder b("camera_sync");
+  const Wire data = b.input("data", kPixelBits);
+  const Wire hsync = b.input("hsync", 1);
+  const Wire vsync = b.input("vsync", 1);
+  const Wire valid = b.input("valid", 1);
+
+  // Explicit 2-bit shift registers per strobe — the hand-resolved form.
+  auto sync_pair = [&](const std::string& name, Wire in) {
+    const Wire reg = b.reg(name, 2);
+    b.connect(reg, b.concat({b.slice(reg, 0, 0), in}));
+    return reg;
+  };
+  const Wire h = sync_pair("hsync_sync_reg", hsync);
+  const Wire v = sync_pair("vsync_sync_reg", vsync);
+  const Wire d = sync_pair("valid_sync_reg", valid);
+
+  const Wire pixel = b.reg("pixel", kPixelBits);
+  b.connect(pixel, data);
+
+  auto rising = [&](Wire reg) {
+    // After this cycle's shift: new bit0 = input, old bit0 becomes bit1.
+    return b.and_(b.slice(reg, 0, 0), b.not_(b.slice(reg, 1, 1)));
+  };
+  const Wire sol = b.reg("sol", 1);
+  b.connect(sol, rising(b.concat({b.slice(h, 0, 0), hsync})));
+  const Wire sof = b.reg("sof", 1);
+  b.connect(sof, rising(b.concat({b.slice(v, 0, 0), vsync})));
+  const Wire pvalid = b.reg("pvalid", 1);
+  const Wire shifted_valid = b.concat({b.slice(d, 0, 0), valid});
+  b.connect(pvalid, b.and_(b.slice(shifted_valid, 0, 0),
+                           b.slice(shifted_valid, 1, 1)));
+
+  b.output("pixel", pixel);
+  b.output("sol", sol);
+  b.output("sof", sof);
+  b.output("pvalid", pvalid);
+  return b.take();
+}
+
+}  // namespace osss::expocu

@@ -1,0 +1,51 @@
+#include "expocu/expocu_sim.hpp"
+
+#include "expocu/hw.hpp"
+
+namespace osss::expocu {
+
+ExpoCuSim::ExpoCuSim(sysc::Context& ctx, std::string name,
+                     sysc::Signal<bool>& clk, CameraModel& camera,
+                     I2cBus& bus)
+    : Module(ctx, std::move(name)),
+      camera_(camera),
+      master_(ctx, full_name() + ".i2c_master", clk, bus, kI2cPhase) {
+  cthread("pixel_pipe", clk,
+          [this]() -> sysc::Behavior { return pixel_pipe(); });
+}
+
+sysc::Behavior ExpoCuSim::pixel_pipe() {
+  vsync_sync_reg_.Reset();
+  valid_sync_reg_.Reset();
+  hist_.fill(0);
+  co_await sysc::wait();
+  for (;;) {
+    // Camera data synchronization (the SyncRegister objects of Fig. 5).
+    vsync_sync_reg_.Write(camera_.vsync.read());
+    valid_sync_reg_.Write(camera_.pixel_valid.read());
+
+    if (vsync_sync_reg_.RisingEdge() && frames_ > 0) {
+      // Frame boundary: threshold + parameter calculation on the frame
+      // that just completed, then push the new settings over I2C.
+      const FrameStats stats = stats_from_histogram(hist_);
+      log_.push_back(stats);
+      state_ = ae_step(state_, stats.mean);
+      master_.start(kI2cAddress, kRegExposureHi,
+                    {static_cast<std::uint8_t>(state_.exposure >> 8),
+                     static_cast<std::uint8_t>(state_.exposure & 0xff),
+                     state_.gain});
+      hist_.fill(0);
+    }
+    if (vsync_sync_reg_.RisingEdge()) ++frames_;
+
+    // Histogram acquisition.
+    if (valid_sync_reg_.StableHigh()) {
+      const unsigned bin = static_cast<unsigned>(
+          camera_.pixel.read().to_u64() >> (kPixelBits - kHistBinBits));
+      ++hist_[bin];
+    }
+    co_await sysc::wait();
+  }
+}
+
+}  // namespace osss::expocu

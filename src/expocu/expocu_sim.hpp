@@ -1,0 +1,74 @@
+// expocu_sim.hpp — the complete ExpoCU as an executable OO model.
+//
+// This is the paper's "binary executable program file for simulation": the
+// whole exposure control unit running on the simulation kernel with OSSS
+// classes (SyncRegister synchronizers, the shared AE law), bit-banging the
+// camera's I2C slave and closing the loop against the synthetic camera.
+// The quickstart example and the simulation-speed experiment (R7) run this
+// model.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "expocu/ae_law.hpp"
+#include "expocu/camera_model.hpp"
+#include "expocu/i2c_bus.hpp"
+#include "expocu/sync_register.hpp"
+
+namespace osss::expocu {
+
+/// Camera control module: synchronization, histogram acquisition,
+/// threshold + parameter calculation and I2C kick-off, as clocked threads.
+class ExpoCuSim : public sysc::Module {
+public:
+  ExpoCuSim(sysc::Context& ctx, std::string name, sysc::Signal<bool>& clk,
+            CameraModel& camera, I2cBus& bus);
+
+  std::uint16_t exposure() const noexcept { return state_.exposure; }
+  std::uint8_t gain() const noexcept { return state_.gain; }
+  std::uint64_t frames_processed() const noexcept { return frames_; }
+  const std::vector<FrameStats>& frame_log() const noexcept { return log_; }
+  const I2cMasterSim& master() const noexcept { return master_; }
+
+private:
+  CameraModel& camera_;
+  I2cMasterSim master_;
+
+  SyncRegister<2, 0> vsync_sync_reg_;
+  SyncRegister<2, 0> valid_sync_reg_;
+  std::array<std::uint16_t, kHistBins> hist_{};
+  AeState state_;
+  std::uint64_t frames_ = 0;
+  std::vector<FrameStats> log_;
+
+  sysc::Behavior pixel_pipe();
+};
+
+/// Everything wired together: camera, bus, slave, control unit.
+struct ExpoCuSystem {
+  explicit ExpoCuSystem(sysc::Context& ctx)
+      : clk(ctx, "clk", kClockPeriodPs),
+        bus(ctx),
+        camera(ctx, "camera", clk.signal(), regs),
+        slave(ctx, "cam_slave", bus, regs),
+        expocu(ctx, "expocu", clk.signal(), camera, bus) {}
+
+  CameraRegisters regs;
+  sysc::Clock clk;
+  I2cBus bus;
+  CameraModel camera;
+  I2cSlaveModel slave;
+  ExpoCuSim expocu;
+
+  /// Run for `frames` camera frames.
+  void run_frames(sysc::Context& ctx, unsigned frames) {
+    const std::uint64_t frame_cycles = kPixelsPerFrame + 8;
+    ctx.run_for(static_cast<sysc::Time>(frames) * frame_cycles *
+                kClockPeriodPs);
+  }
+};
+
+}  // namespace osss::expocu

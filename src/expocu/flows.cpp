@@ -1,0 +1,150 @@
+#include "expocu/flows.hpp"
+
+#include "gate/lower.hpp"
+
+namespace osss::expocu {
+
+std::vector<FlowComponent> build_osss_flow(const hls::Options& opt) {
+  std::vector<FlowComponent> out;
+  auto behavioral = [&](hls::Behavior beh) {
+    hls::Report report;
+    rtl::Module module = hls::synthesize(beh, opt, &report);
+    out.push_back(FlowComponent{beh.name, std::move(module), report, true});
+  };
+  behavioral(build_camera_sync_osss());
+  out.push_back({"histogram", build_histogram_rtl(), {}, false});
+  behavioral(build_threshold_osss());
+  behavioral(build_param_calc_osss());
+  behavioral(build_i2c_master_osss());
+  behavioral(build_reset_ctrl_osss());
+  return out;
+}
+
+std::vector<FlowComponent> build_vhdl_flow() {
+  std::vector<FlowComponent> out;
+  out.push_back({"camera_sync", build_camera_sync_vhdl(), {}, false});
+  out.push_back({"histogram", build_histogram_rtl(), {}, false});
+  out.push_back({"threshold_calc", build_threshold_vhdl(), {}, false});
+  out.push_back({"param_calc", build_param_calc_vhdl(), {}, false});
+  out.push_back({"i2c_master", build_i2c_master_vhdl(), {}, false});
+  out.push_back({"reset_ctrl", build_reset_ctrl_vhdl(), {}, false});
+  return out;
+}
+
+const FlowReport::Entry* FlowReport::find(const std::string& name) const {
+  for (const Entry& e : components) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+FlowReport synthesize_flow(const std::vector<FlowComponent>& components,
+                           const gate::Library& lib) {
+  FlowReport report;
+  report.min_fmax_mhz = 1e9;
+  for (const FlowComponent& c : components) {
+    FlowReport::Entry entry;
+    entry.name = c.module.name();
+    entry.timing = gate::analyze_timing(gate::lower_to_gates(c.module), lib);
+    entry.hls_report = c.hls_report;
+    entry.behavioral = c.behavioral;
+    report.total_area_ge += entry.timing.area_ge;
+    report.min_fmax_mhz = std::min(report.min_fmax_mhz, entry.timing.fmax_mhz);
+    report.components.push_back(std::move(entry));
+  }
+  return report;
+}
+
+gate::Netlist multiplier_ip_netlist() {
+  // Pre-synthesized 24x24 -> 24 multiplier macro (the widths param_calc
+  // uses), standing in for the paper's "existing VHDL IP" multiplier.
+  rtl::Builder b("mult24_ip");
+  const rtl::Wire a = b.input("a", 24);
+  const rtl::Wire x = b.input("b", 24);
+  b.output("p", b.mul(a, x));
+  return gate::lower_to_gates(b.take());
+}
+
+namespace {
+
+/// param_calc without its own multiplier: operands exported, product
+/// imported — the wrapper a VHDL designer writes around an IP macro.
+rtl::Module param_calc_vhdl_mulless() {
+  using rtl::Wire;
+  rtl::Builder b("param_calc_ipwrap");
+  const Wire mean = b.input("mean", kPixelBits);
+  const Wire ready = b.input("ready", 1);
+  const Wire mul_p = b.input("mul_p", 24);  // from the IP
+
+  const Wire exposure =
+      b.reg("exposure", kExposureBits, rtl::Bits(kExposureBits, 0x0800));
+  const Wire gain = b.reg("gain", kGainBits, rtl::Bits(kGainBits, 64));
+  const Wire update = b.reg("update", 1);
+
+  // Same three-stage schedule as the monolithic version; the multiply
+  // itself is outside, in the IP macro.
+  const Wire target = b.constant(kPixelBits, kTargetMean);
+  const Wire v1 = b.reg("v1", 1);
+  const Wire r_err_neg = b.reg("r_err_neg", 1);
+  const Wire r_err_abs = b.reg("r_err_abs", 8);
+  b.connect(v1, ready);
+  const Wire err_neg_c = b.ult(target, mean);
+  b.connect(r_err_neg, b.mux(ready, err_neg_c, r_err_neg));
+  b.connect(r_err_abs,
+            b.mux(ready,
+                  b.mux(err_neg_c, b.sub(mean, target), b.sub(target, mean)),
+                  r_err_abs));
+  b.output("mul_a", b.zext(exposure, 24));
+  b.output("mul_b", b.zext(r_err_abs, 24));
+  const Wire v2 = b.reg("v2", 1);
+  const Wire r_prod = b.reg("r_prod", 24);
+  b.connect(v2, v1);
+  b.connect(r_prod, b.mux(v1, mul_p, r_prod));
+  const Wire err_neg = r_err_neg;
+  const Wire delta = b.slice(b.lshri(r_prod, kAeStepShift), kExposureBits - 1, 0);
+
+  const Wire exp_min = b.constant(kExposureBits, 0x0040);
+  const Wire exp_max = b.constant(kExposureBits, 0xF000);
+  const Wire shrunk = b.mux(b.ult(exposure, b.add(delta, exp_min)), exp_min,
+                            b.sub(exposure, delta));
+  const Wire grown_raw = b.add(exposure, delta);
+  const Wire grown =
+      b.mux(b.or_(b.ult(grown_raw, exposure), b.ult(exp_max, grown_raw)),
+            exp_max, grown_raw);
+  const Wire exposure_next = b.mux(err_neg, shrunk, grown);
+  b.connect(exposure, b.mux(v2, exposure_next, exposure));
+
+  const Wire saturated = b.and_(b.eq(exposure_next, exp_max), b.not_(err_neg));
+  const Wire gain_up = b.mux(b.ult(gain, b.constant(kGainBits, 240)),
+                             b.add(gain, b.constant(kGainBits, 4)), gain);
+  const Wire gain_down = b.mux(b.ult(b.constant(kGainBits, 64), gain),
+                               b.sub(gain, b.constant(kGainBits, 4)), gain);
+  b.connect(gain, b.mux(v2, b.mux(saturated, gain_up, gain_down), gain));
+  b.connect(update, v2);
+
+  b.output("exposure", exposure);
+  b.output("gain", gain);
+  b.output("update", update);
+  return b.take();
+}
+
+}  // namespace
+
+gate::Netlist param_calc_vhdl_with_ip() {
+  gate::Netlist top = gate::lower_to_gates(param_calc_vhdl_mulless());
+  const gate::Netlist ip = multiplier_ip_netlist();
+  // Bind the IP's operand inputs to the wrapper's exported operand nets,
+  // then replace the placeholder product input with the IP's output.
+  std::map<std::string, std::vector<gate::NetId>> bindings;
+  for (const gate::Bus& out : top.outputs()) {
+    if (out.name == "mul_a") bindings["a"] = out.nets;
+    if (out.name == "mul_b") bindings["b"] = out.nets;
+  }
+  auto outs = top.instantiate(ip, "u_mult", bindings);
+  top.rebind_input("mul_p", outs.at("p"));
+  top.sweep();
+  top.validate();
+  return top;
+}
+
+}  // namespace osss::expocu

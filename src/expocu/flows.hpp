@@ -1,0 +1,62 @@
+// flows.hpp — the two complete design flows of the evaluation.
+//
+// build_osss_flow() runs every ExpoCU component through the OSSS path
+// (class resolution -> behavioral synthesis -> RTL); build_vhdl_flow()
+// collects the hand-written RTL baseline.  Both return the same component
+// list so the experiments can compare area/fmax per component and in
+// total (the paper's §12 comparison and Fig. 12 module view).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "expocu/hw.hpp"
+#include "gate/library.hpp"
+#include "gate/timing.hpp"
+#include "hls/synth.hpp"
+
+namespace osss::expocu {
+
+struct FlowComponent {
+  std::string name;
+  rtl::Module module;
+  hls::Report hls_report;  ///< zero-initialized for RTL-entry components
+  bool behavioral = false;
+};
+
+/// OSSS flow: every control component from its behavioural description;
+/// the dataflow histogram stays RTL (per the paper's §12 note).
+std::vector<FlowComponent> build_osss_flow(const hls::Options& opt = {});
+
+/// Conventional flow: hand-written RTL throughout.
+std::vector<FlowComponent> build_vhdl_flow();
+
+/// Per-component synthesis results plus flow totals (sum of areas, worst
+/// fmax) — the numbers behind experiments R1/R2/R9.
+struct FlowReport {
+  struct Entry {
+    std::string name;
+    gate::TimingReport timing;
+    hls::Report hls_report;
+    bool behavioral = false;
+  };
+  std::vector<Entry> components;
+  double total_area_ge = 0.0;
+  double min_fmax_mhz = 0.0;
+
+  const Entry* find(const std::string& name) const;
+};
+
+FlowReport synthesize_flow(const std::vector<FlowComponent>& components,
+                           const gate::Library& lib);
+
+/// The 16x8 multiplier pre-synthesized as a standalone netlist — the
+/// "existing VHDL IP" of the paper's Fig. 6, integrated at netlist level.
+gate::Netlist multiplier_ip_netlist();
+
+/// The VHDL-flow parameter calculation with its multiplier replaced by the
+/// IP netlist (instantiated post-synthesis, not re-synthesized).
+gate::Netlist param_calc_vhdl_with_ip();
+
+}  // namespace osss::expocu

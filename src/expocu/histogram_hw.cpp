@@ -1,0 +1,66 @@
+// histogram_hw.cpp — histogram acquisition (dataflow module, RTL style).
+//
+// Ping-pong banked: pixels of the current frame accumulate into one bank
+// while the completed frame's bank is streamed out bin-by-bin and cleared.
+// Bank swap happens on the vsync pixel, so acquisition never stalls — the
+// paper's "cycle time of some modules is just one clock cycle" constraint.
+
+#include "expocu/hw.hpp"
+
+namespace osss::expocu {
+
+rtl::Module build_histogram_rtl() {
+  using rtl::Wire;
+  rtl::Builder b("histogram");
+
+  const Wire pixel = b.input("pixel", kPixelBits);
+  const Wire valid = b.input("pixel_valid", 1);
+  const Wire vsync = b.input("vsync", 1);
+
+  const Wire one1 = b.constant(1, 1);
+  const Wire zero16 = b.constant(kHistCountBits, 0);
+
+  // Bank select: toggles on the first pixel of each frame.
+  const Wire bank = b.reg("bank", 1);
+  const Wire frame_start = b.and_(valid, vsync);
+  const Wire next_bank = b.mux(frame_start, b.not_(bank), bank);
+  b.connect(bank, next_bank);
+
+  // 2 banks x 16 bins of 16-bit counters.
+  rtl::MemHandle mem =
+      b.memory("bins", 2 * kHistBins, kHistCountBits);  // addr = {bank, bin}
+
+  // Accumulate the incoming pixel into the *new* bank (the bank value the
+  // current pixel belongs to).
+  const Wire bin = b.slice(pixel, kPixelBits - 1, kPixelBits - kHistBinBits);
+  const Wire acc_addr = b.concat({next_bank, bin});
+  const Wire acc_count = b.mem_read(mem, acc_addr);
+  b.mem_write(mem, acc_addr,
+              b.add(acc_count, b.constant(kHistCountBits, 1)), valid);
+
+  // Stream-and-clear engine for the completed bank.
+  const unsigned cw = 5;  // counts 0..16; 16 = idle
+  const Wire cnt = b.reg("stream_cnt", cw, rtl::Bits(cw, kHistBins));
+  const Wire stream_bank = b.reg("stream_bank", 1);
+  const Wire streaming = b.ult(cnt, b.constant(cw, kHistBins));
+  const Wire cnt_next = b.mux(
+      frame_start, b.constant(cw, 0),
+      b.mux(streaming, b.add(cnt, b.constant(cw, 1)), cnt));
+  b.connect(cnt, cnt_next);
+  b.connect(stream_bank, b.mux(frame_start, bank, stream_bank));
+
+  const Wire stream_addr =
+      b.concat({stream_bank, b.slice(cnt, kHistBinBits - 1, 0)});
+  const Wire stream_count = b.mem_read(mem, stream_addr);
+  b.mem_write(mem, stream_addr, zero16, streaming);  // clear after read
+
+  b.output("bin_valid", streaming);
+  b.output("bin_index", b.slice(cnt, kHistBinBits - 1, 0));
+  b.output("bin_count", stream_count);
+  b.output("frame_done",
+           b.and_(streaming, b.eq(cnt, b.constant(cw, kHistBins - 1))));
+  (void)one1;
+  return b.take();
+}
+
+}  // namespace osss::expocu

@@ -1,0 +1,68 @@
+// hw.hpp — the ExpoCU hardware components, in both design flows.
+//
+// Every control component exists twice, mirroring the paper's parallel
+// development (§12):
+//
+//   * OSSS flow   — behavioural description with OSSS classes; resolved by
+//                   the synthesizer, scheduled by behavioral synthesis
+//                   (build_*_osss(), returning an hls::Behavior);
+//   * VHDL flow   — hand-written RTL in classic coding style
+//                   (build_*_vhdl(), returning an rtl::Module directly).
+//
+// The histogram acquisition is a dataflow module; following the paper's
+// remark that "in data flow oriented modules ... RTL coding might be
+// preferred", both flows share its RTL description.
+//
+// The I2C master additionally exists in a third, "pure SystemC" style
+// (manually resolved, no classes) used by the development-effort
+// experiment R3; the three sources live in separate .cpp files so their
+// description sizes can be measured.
+
+#pragma once
+
+#include "expocu/params.hpp"
+#include "hls/behavior.hpp"
+#include "rtl/builder.hpp"
+
+namespace osss::expocu {
+
+// --- camera data synchronization (1-cycle pipeline) ------------------------
+// in:  data(8), hsync, vsync, valid   out: pixel(8), sol, sof, pvalid
+hls::Behavior build_camera_sync_osss();
+rtl::Module build_camera_sync_vhdl();
+
+// --- histogram acquisition (dataflow; shared RTL) ------------------------
+// in:  pixel(8), pixel_valid, vsync
+// out: bin_valid, bin_index(4), bin_count(16), frame_done
+rtl::Module build_histogram_rtl();
+
+// --- threshold calculation --------------------------------------------------
+// in:  bin_valid, bin_index(4), bin_count(16), frame_done
+// out: mean(8), dark(16), bright(16), ready
+hls::Behavior build_threshold_osss();
+rtl::Module build_threshold_vhdl();
+
+// --- parameter calculation (auto-exposure law) ----------------------------
+// in:  mean(8), ready
+// out: exposure(16), gain(8), update
+hls::Behavior build_param_calc_osss();
+rtl::Module build_param_calc_vhdl();
+
+// --- I2C bus control ---------------------------------------------------------
+// in:  start, exposure(16), gain(8), sda_in
+// out: scl, sda, busy, ack_ok
+hls::Behavior build_i2c_master_osss();     // OSSS style (classes)
+hls::Behavior build_i2c_master_systemc();  // manually resolved SystemC style
+rtl::Module build_i2c_master_vhdl();       // hand RTL FSM
+
+/// SCL half-phase length in system clocks (shared by all three masters and
+/// the simulation master so their waveforms line up).
+constexpr unsigned kI2cPhase = 4;
+
+// --- reset control -------------------------------------------------------
+// in:  por_n (raw asynchronous reset, active low)
+// out: reset (synchronized, stretched, active high)
+hls::Behavior build_reset_ctrl_osss();
+rtl::Module build_reset_ctrl_vhdl();
+
+}  // namespace osss::expocu

@@ -1,0 +1,185 @@
+#include "expocu/i2c_bus.hpp"
+
+namespace osss::expocu {
+
+I2cSlaveModel::I2cSlaveModel(sysc::Context& ctx, std::string name,
+                             I2cBus& bus, CameraRegisters& regs)
+    : Module(ctx, std::move(name)), bus_(bus), regs_(regs) {
+  method(
+      "decode", [this] { on_bus_change(); },
+      {&bus_.scl, &bus_.sda_master, &bus_.sda_slave});
+}
+
+void I2cSlaveModel::write_register(std::uint8_t value) {
+  switch (reg_pointer_) {
+    case kRegExposureHi:
+      regs_.exposure = static_cast<std::uint16_t>((regs_.exposure & 0x00ff) |
+                                                  (value << 8));
+      break;
+    case kRegExposureLo:
+      regs_.exposure =
+          static_cast<std::uint16_t>((regs_.exposure & 0xff00) | value);
+      break;
+    case kRegGain:
+      regs_.gain = value;
+      break;
+    default:
+      break;  // unknown registers are write-ignored, like real devices
+  }
+}
+
+void I2cSlaveModel::on_bus_change() {
+  const bool scl = bus_.scl.read();
+  const bool sda = bus_.sda();
+
+  if (scl && last_scl_) {
+    if (last_sda_ && !sda) {
+      // START (or repeated START): begin address phase.
+      state_ = State::kAddress;
+      bit_count_ = 0;
+      shift_ = 0;
+      addressed_ = false;
+    } else if (!last_sda_ && sda) {
+      // STOP.
+      if (addressed_) ++transactions_;
+      state_ = State::kIdle;
+      addressed_ = false;
+      bus_.sda_slave.write(true);
+    }
+  } else if (scl && !last_scl_) {
+    // Rising SCL: sample a bit (the 9th clock is the slave's ACK slot and
+    // carries no master data).
+    if (state_ != State::kIdle) {
+      if (bit_count_ < 8) {
+        shift_ = static_cast<std::uint8_t>((shift_ << 1) | (sda ? 1 : 0));
+        ++bit_count_;
+        if (bit_count_ == 8) {
+          // Byte complete: decide the acknowledge.
+          bool ack = false;
+          switch (state_) {
+            case State::kAddress: {
+              const unsigned addr7 = shift_ >> 1;
+              const bool is_write = (shift_ & 1) == 0;
+              if (addr7 == kI2cAddress && is_write) {
+                addressed_ = true;
+                ack = true;
+                state_ = State::kRegister;
+              } else {
+                ++nacks_;
+                state_ = State::kIdle;
+              }
+              break;
+            }
+            case State::kRegister:
+              reg_pointer_ = shift_;
+              ack = true;
+              state_ = State::kData;
+              break;
+            case State::kData:
+              write_register(shift_);
+              ++reg_pointer_;  // auto-increment, like real imagers
+              ++bytes_;
+              ack = true;
+              break;
+            case State::kIdle:
+              break;
+          }
+          pending_ack_ = ack;
+        }
+      } else {
+        // The ACK clock itself: nothing to sample; byte framing restarts.
+        bit_count_ = 0;
+        shift_ = 0;
+      }
+    }
+  } else if (!scl && last_scl_) {
+    // Falling SCL: drive or release the ACK.
+    if (pending_ack_) {
+      bus_.sda_slave.write(false);
+      pending_ack_ = false;
+      ack_active_ = true;
+    } else if (ack_active_) {
+      bus_.sda_slave.write(true);
+      ack_active_ = false;
+    }
+  }
+  last_scl_ = scl;
+  last_sda_ = sda;
+}
+
+I2cMasterSim::I2cMasterSim(sysc::Context& ctx, std::string name,
+                           sysc::Signal<bool>& clk, I2cBus& bus,
+                           unsigned clocks_per_phase)
+    : Module(ctx, std::move(name)), bus_(bus), phase_(clocks_per_phase) {
+  cthread("run", clk, [this]() -> sysc::Behavior { return run(); });
+}
+
+void I2cMasterSim::start(std::uint8_t address, std::uint8_t reg,
+                         std::vector<std::uint8_t> payload) {
+  if (busy_) return;
+  address_ = address;
+  reg_ = reg;
+  payload_ = std::move(payload);
+  pending_ = true;
+}
+
+sysc::Behavior I2cMasterSim::run() {
+  bus_.scl.write(true);
+  bus_.sda_master.write(true);
+  co_await sysc::wait();
+  for (;;) {
+    if (!pending_) {
+      co_await sysc::wait();
+      continue;
+    }
+    pending_ = false;
+    busy_ = true;
+    ++transactions_;
+    bool acked = true;
+
+    // START: SDA falls while SCL is high.
+    bus_.sda_master.write(false);
+    co_await sysc::wait(phase_);
+
+    // Address + register pointer + data bytes.
+    std::vector<std::uint8_t> frame;
+    frame.push_back(static_cast<std::uint8_t>(address_ << 1));  // write
+    frame.push_back(reg_);
+    for (const std::uint8_t b : payload_) frame.push_back(b);
+
+    for (const std::uint8_t byte : frame) {
+      for (int bit = 7; bit >= 0; --bit) {
+        bus_.scl.write(false);
+        co_await sysc::wait(phase_);
+        bus_.sda_master.write(((byte >> bit) & 1) != 0);
+        co_await sysc::wait(phase_);
+        bus_.scl.write(true);
+        co_await sysc::wait(2 * phase_);
+      }
+      // ACK clock: release SDA, sample while SCL high.
+      bus_.scl.write(false);
+      co_await sysc::wait(phase_);
+      bus_.sda_master.write(true);
+      co_await sysc::wait(phase_);
+      bus_.scl.write(true);
+      co_await sysc::wait(phase_);
+      acked = acked && !bus_.sda();
+      co_await sysc::wait(phase_);
+    }
+
+    // STOP: SDA rises while SCL is high.
+    bus_.scl.write(false);
+    co_await sysc::wait(phase_);
+    bus_.sda_master.write(false);
+    co_await sysc::wait(phase_);
+    bus_.scl.write(true);
+    co_await sysc::wait(phase_);
+    bus_.sda_master.write(true);
+    co_await sysc::wait(phase_);
+
+    last_acked_ = acked;
+    busy_ = false;
+  }
+}
+
+}  // namespace osss::expocu

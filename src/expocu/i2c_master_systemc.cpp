@@ -1,0 +1,108 @@
+// i2c_master_systemc.cpp — I2C bus control, plain (non-OO) SystemC style.
+//
+// The same protocol engine as i2c_master_osss.cpp, written the way the
+// paper's "pure SystemC implementation by keeping same hierarchical module
+// structure" would look: no classes, every shift register and byte mux
+// managed by hand as raw bit vectors.  Everything the ByteShifter object
+// and the structured helpers did implicitly is spelled out explicitly —
+// which is precisely where the estimated extra development day goes (§12).
+// Functionally (and, state for state, cycle for cycle) it must be
+// identical to the OSSS version; a test pins that equivalence.
+
+#include "expocu/hw.hpp"
+
+namespace osss::expocu {
+
+hls::Behavior build_i2c_master_systemc() {
+  using namespace meta;
+  hls::BehaviorBuilder bb("i2c_master_sc");
+
+  // ---- ports, declared one by one -----------------------------------
+  const ExprPtr start = bb.input("start", 1);
+  const ExprPtr exposure = bb.input("exposure", kExposureBits);
+  const ExprPtr gain = bb.input("gain", kGainBits);
+  const ExprPtr sda_in = bb.input("sda_in", 1);
+
+  const ExprPtr scl = bb.var("scl", 1, 1, /*output=*/true);
+  const ExprPtr sda = bb.var("sda", 1, 1, true);
+  const ExprPtr busy = bb.var("busy", 1, 0, true);
+  const ExprPtr ack_ok = bb.var("ack_ok", 1, 0, true);
+
+  // ---- manually managed state (was: the ByteShifter object) ----------
+  const ExprPtr shift_reg = bb.var("shift_reg", 8);
+  const ExprPtr byte_idx = bb.var("byte_idx", 3);
+  const ExprPtr bit_idx = bb.var("bit_idx", 4);
+  const ExprPtr ack = bb.var("ack", 1);
+  const ExprPtr cur_byte = bb.var("cur_byte", 8);
+
+  bb.wait();
+  bb.loop([&] {
+    bb.assign(busy, constant(1, 0));
+    bb.wait_until(start);
+    bb.assign(busy, constant(1, 1));
+    bb.assign(ack, constant(1, 1));
+
+    // START condition: drive SDA low while SCL stays high.
+    bb.assign(sda, constant(1, 0));
+    bb.wait(kI2cPhase);
+
+    // Iterate over the five frame bytes.
+    bb.assign(byte_idx, constant(3, 0));
+    bb.while_(ult(byte_idx, constant(3, 5)), [&] {
+      // Manual byte selection mux (was: object Load call).
+      bb.if_(eq(byte_idx, constant(3, 0)),
+             [&] { bb.assign(cur_byte, constant(8, kI2cAddress << 1)); });
+      bb.if_(eq(byte_idx, constant(3, 1)),
+             [&] { bb.assign(cur_byte, constant(8, kRegExposureHi)); });
+      bb.if_(eq(byte_idx, constant(3, 2)),
+             [&] { bb.assign(cur_byte, slice(exposure, 15, 8)); });
+      bb.if_(eq(byte_idx, constant(3, 3)),
+             [&] { bb.assign(cur_byte, slice(exposure, 7, 0)); });
+      bb.if_(eq(byte_idx, constant(3, 4)),
+             [&] { bb.assign(cur_byte, gain); });
+      // Manual load of the shift register.
+      bb.assign(shift_reg, cur_byte);
+
+      // Shift eight data bits out, MSB first.
+      bb.assign(bit_idx, constant(4, 0));
+      bb.while_(ult(bit_idx, constant(4, 8)), [&] {
+        bb.assign(scl, constant(1, 0));
+        bb.wait(kI2cPhase);
+        // Manual shift-out: take bit 7, shift the register left by hand.
+        bb.assign(sda, slice(shift_reg, 7, 7));
+        bb.assign(shift_reg,
+                  concat({slice(shift_reg, 6, 0), constant(1, 0)}));
+        bb.wait(kI2cPhase);
+        bb.assign(scl, constant(1, 1));
+        bb.wait(2 * kI2cPhase);
+        bb.assign(bit_idx, add(bit_idx, constant(4, 1)));
+      });
+
+      // Acknowledge slot: release SDA and sample the slave.
+      bb.assign(scl, constant(1, 0));
+      bb.wait(kI2cPhase);
+      bb.assign(sda, constant(1, 1));
+      bb.wait(kI2cPhase);
+      bb.assign(scl, constant(1, 1));
+      bb.wait(kI2cPhase);
+      bb.assign(ack, band(ack, bnot(sda_in)));
+      bb.wait(kI2cPhase);
+      bb.assign(byte_idx, add(byte_idx, constant(3, 1)));
+    });
+
+    // STOP condition: SDA rises while SCL is high.
+    bb.assign(scl, constant(1, 0));
+    bb.wait(kI2cPhase);
+    bb.assign(sda, constant(1, 0));
+    bb.wait(kI2cPhase);
+    bb.assign(scl, constant(1, 1));
+    bb.wait(kI2cPhase);
+    bb.assign(sda, constant(1, 1));
+    bb.wait(kI2cPhase);
+    bb.assign(ack_ok, ack);
+    bb.wait();
+  });
+  return bb.take();
+}
+
+}  // namespace osss::expocu

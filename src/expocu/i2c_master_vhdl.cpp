@@ -1,0 +1,209 @@
+// i2c_master_vhdl.cpp — I2C bus control, conventional RTL (VHDL) style.
+//
+// The baseline flow's version: an explicit state machine with hand-encoded
+// states, a phase prescaler, bit and byte counters, and next-state muxes
+// written out one by one — the RTL coding style the paper's VHDL
+// implementation used (and which "took slightly longer", §12).  Protocol-
+// compatible with the two behavioural versions.
+
+#include "expocu/hw.hpp"
+
+namespace osss::expocu {
+
+namespace {
+
+// State encoding (classic VHDL enumeration, hand-assigned).
+enum : unsigned {
+  kIdle = 0,
+  kStart = 1,
+  kBitLow = 2,    // SCL low, first half: keep previous SDA
+  kBitSetup = 3,  // SCL low, second half: drive data bit
+  kBitHigh = 4,   // SCL high, data valid
+  kAckLow = 5,    // SCL low, release SDA
+  kAckHigh = 6,   // SCL high, sample slave ACK
+  kStopLow = 7,   // SCL low, SDA low
+  kStopRise = 8,  // SCL high, SDA still low
+  kStopDone = 9,  // SDA rises: STOP
+  kFinish = 10,
+};
+constexpr unsigned kStateBits = 4;
+constexpr unsigned kPhaseBits = 4;
+
+}  // namespace
+
+rtl::Module build_i2c_master_vhdl() {
+  using rtl::Wire;
+  rtl::Builder b("i2c_master");
+
+  const Wire start = b.input("start", 1);
+  const Wire exposure = b.input("exposure", kExposureBits);
+  const Wire gain = b.input("gain", kGainBits);
+  const Wire sda_in = b.input("sda_in", 1);
+
+  const Wire state = b.reg("state", kStateBits, rtl::Bits(kStateBits, kIdle));
+  const Wire phase = b.reg("phase", kPhaseBits);
+  const Wire bit_cnt = b.reg("bit_cnt", 4);
+  const Wire byte_cnt = b.reg("byte_cnt", 3);
+  const Wire shift_reg = b.reg("shift_reg", 8);
+  const Wire scl = b.reg("scl", 1, rtl::Bits(1, 1));
+  const Wire sda = b.reg("sda", 1, rtl::Bits(1, 1));
+  const Wire busy = b.reg("busy", 1);
+  const Wire ack = b.reg("ack", 1);
+  const Wire ack_ok = b.reg("ack_ok", 1);
+
+  auto st = [&](unsigned s) { return b.constant(kStateBits, s); };
+  auto in_state = [&](unsigned s) { return b.eq(state, st(s)); };
+
+  // Phase prescaler: counts system clocks within each protocol phase.
+  const Wire phase_last =
+      b.eq(phase, b.constant(kPhaseBits, kI2cPhase - 1));
+  const Wire phase_last2 =
+      b.eq(phase, b.constant(kPhaseBits, 2 * kI2cPhase - 1));
+  const Wire phase_inc = b.add(phase, b.constant(kPhaseBits, 1));
+
+  // Byte selection mux (address, register pointer, exp hi, exp lo, gain).
+  const Wire byte_mux = b.mux(
+      b.eq(byte_cnt, b.constant(3, 0)), b.constant(8, kI2cAddress << 1),
+      b.mux(b.eq(byte_cnt, b.constant(3, 1)), b.constant(8, kRegExposureHi),
+            b.mux(b.eq(byte_cnt, b.constant(3, 2)), b.slice(exposure, 15, 8),
+                  b.mux(b.eq(byte_cnt, b.constant(3, 3)),
+                        b.slice(exposure, 7, 0), gain))));
+
+  // Next-state / output equations, state by state.
+  Wire next_state = state;
+  Wire next_phase = b.mux(b.or_(phase_last, in_state(kBitHigh)),
+                          phase, phase);  // refined per state below
+  next_phase = phase_inc;  // default: count
+  Wire next_bit = bit_cnt;
+  Wire next_byte = byte_cnt;
+  Wire next_shift = shift_reg;
+  Wire next_scl = scl;
+  Wire next_sda = sda;
+  Wire next_busy = busy;
+  Wire next_ack = ack;
+  Wire next_ack_ok = ack_ok;
+
+  const Wire zero_phase = b.constant(kPhaseBits, 0);
+  auto on = [&](Wire cond, Wire& target, Wire value) {
+    target = b.mux(cond, value, target);
+  };
+
+  // IDLE: wait for start.
+  {
+    const Wire go = b.and_(in_state(kIdle), start);
+    on(go, next_state, st(kStart));
+    on(go, next_sda, b.constant(1, 0));  // START: SDA falls, SCL high
+    on(go, next_phase, zero_phase);
+    on(go, next_busy, b.constant(1, 1));
+    on(go, next_ack, b.constant(1, 1));
+    on(go, next_byte, b.constant(3, 0));
+  }
+  // START hold, then first byte.
+  {
+    const Wire done = b.and_(in_state(kStart), phase_last);
+    on(done, next_state, st(kBitLow));
+    on(done, next_phase, zero_phase);
+    on(done, next_scl, b.constant(1, 0));
+    on(done, next_shift, byte_mux);
+    on(done, next_bit, b.constant(4, 0));
+  }
+  // BIT_LOW: SCL low first half.
+  {
+    const Wire done = b.and_(in_state(kBitLow), phase_last);
+    on(done, next_state, st(kBitSetup));
+    on(done, next_phase, zero_phase);
+    on(done, next_sda, b.slice(shift_reg, 7, 7));
+    on(done, next_shift, b.concat({b.slice(shift_reg, 6, 0),
+                                   b.constant(1, 0)}));
+  }
+  // BIT_SETUP: SCL still low, SDA stable.
+  {
+    const Wire done = b.and_(in_state(kBitSetup), phase_last);
+    on(done, next_state, st(kBitHigh));
+    on(done, next_phase, zero_phase);
+    on(done, next_scl, b.constant(1, 1));
+  }
+  // BIT_HIGH: SCL high for two phases.
+  {
+    const Wire done = b.and_(in_state(kBitHigh), phase_last2);
+    const Wire last_bit = b.eq(bit_cnt, b.constant(4, 7));
+    on(done, next_phase, zero_phase);
+    on(done, next_scl, b.constant(1, 0));
+    on(b.and_(done, b.not_(last_bit)), next_state, st(kBitLow));
+    on(b.and_(done, b.not_(last_bit)), next_bit,
+       b.add(bit_cnt, b.constant(4, 1)));
+    on(b.and_(done, last_bit), next_state, st(kAckLow));
+  }
+  // ACK_LOW: release SDA while SCL low (two phases).
+  {
+    const Wire done = b.and_(in_state(kAckLow), phase_last2);
+    on(b.and_(in_state(kAckLow), phase_last), next_sda, b.constant(1, 1));
+    on(done, next_state, st(kAckHigh));
+    on(done, next_phase, zero_phase);
+    on(done, next_scl, b.constant(1, 1));
+  }
+  // ACK_HIGH: sample the slave at the end of the first phase, hold a
+  // second phase, then continue with the next byte or stop.
+  {
+    const Wire sample = b.and_(in_state(kAckHigh), phase_last);
+    on(sample, next_ack, b.and_(ack, b.not_(sda_in)));
+    const Wire done = b.and_(in_state(kAckHigh), phase_last2);
+    const Wire last_byte = b.eq(byte_cnt, b.constant(3, 4));
+    on(done, next_phase, zero_phase);
+    on(done, next_scl, b.constant(1, 0));
+    on(b.and_(done, b.not_(last_byte)), next_state, st(kBitLow));
+    on(b.and_(done, b.not_(last_byte)), next_byte,
+       b.add(byte_cnt, b.constant(3, 1)));
+    on(b.and_(done, b.not_(last_byte)), next_shift,
+       b.mux(b.eq(byte_cnt, b.constant(3, 0)),
+             b.constant(8, kRegExposureHi),
+             b.mux(b.eq(byte_cnt, b.constant(3, 1)), b.slice(exposure, 15, 8),
+                   b.mux(b.eq(byte_cnt, b.constant(3, 2)),
+                         b.slice(exposure, 7, 0), gain))));
+    on(b.and_(done, b.not_(last_byte)), next_bit, b.constant(4, 0));
+    on(b.and_(done, last_byte), next_state, st(kStopLow));
+  }
+  // STOP sequence: SCL low/SDA low -> SCL high -> SDA high.
+  {
+    const Wire d1 = b.and_(in_state(kStopLow), phase_last);
+    on(b.and_(in_state(kStopLow), b.eq(phase, zero_phase)), next_sda,
+       b.constant(1, 0));
+    on(d1, next_state, st(kStopRise));
+    on(d1, next_phase, zero_phase);
+    on(d1, next_sda, b.constant(1, 0));
+    const Wire d2 = b.and_(in_state(kStopRise), phase_last);
+    on(d2, next_state, st(kStopDone));
+    on(d2, next_phase, zero_phase);
+    on(d2, next_scl, b.constant(1, 1));
+    const Wire d3 = b.and_(in_state(kStopDone), phase_last);
+    on(d3, next_state, st(kFinish));
+    on(d3, next_phase, zero_phase);
+    on(d3, next_sda, b.constant(1, 1));
+  }
+  // FINISH: publish the ACK result and return to idle.
+  {
+    const Wire done = b.and_(in_state(kFinish), phase_last);
+    on(done, next_state, st(kIdle));
+    on(done, next_ack_ok, ack);
+    on(done, next_busy, b.constant(1, 0));
+  }
+
+  b.connect(state, next_state);
+  b.connect(phase, next_phase);
+  b.connect(bit_cnt, next_bit);
+  b.connect(byte_cnt, next_byte);
+  b.connect(shift_reg, next_shift);
+  b.connect(scl, next_scl);
+  b.connect(sda, next_sda);
+  b.connect(busy, next_busy);
+  b.connect(ack, next_ack);
+  b.connect(ack_ok, next_ack_ok);
+
+  b.output("scl", scl);
+  b.output("sda", sda);
+  b.output("busy", busy);
+  b.output("ack_ok", ack_ok);
+  return b.take();
+}
+
+}  // namespace osss::expocu

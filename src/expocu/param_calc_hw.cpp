@@ -1,0 +1,169 @@
+// param_calc_hw.cpp — parameter (auto-exposure) calculation, both flows.
+//
+// Control law: multiplicative exposure servo.  error = target - mean; the
+// exposure step is (exposure * |error|) >> 10, so the loop converges in a
+// handful of frames regardless of the operating point; gain extends the
+// range when exposure saturates.  Uses the multiplier — the resource the
+// OSSS flow may share (HLS binding) or integrate as VHDL IP (§2, §7).
+//
+// The computation has a multi-thousand-cycle budget (once per frame), so
+// the OSSS version deliberately spreads it over several states.
+
+#include "expocu/hw.hpp"
+
+namespace osss::expocu {
+
+namespace {
+constexpr unsigned kErrBits = 8;
+constexpr unsigned kExpMin = 0x0040;
+constexpr unsigned kExpMax = 0xF000;
+constexpr unsigned kGainMin = 64;
+constexpr unsigned kGainMax = 240;
+constexpr unsigned kGainStep = 4;
+}  // namespace
+
+hls::Behavior build_param_calc_osss() {
+  using namespace meta;
+  hls::BehaviorBuilder bb("param_calc");
+  const ExprPtr mean = bb.input("mean", kPixelBits);
+  const ExprPtr ready = bb.input("ready", 1);
+
+  const ExprPtr exposure =
+      bb.var("exposure", kExposureBits, 0x0800, /*output=*/true);
+  const ExprPtr gain = bb.var("gain", kGainBits, kGainMin, true);
+  const ExprPtr update = bb.var("update", 1, 0, true);
+  const ExprPtr err_abs = bb.var("err_abs", kErrBits);
+  const ExprPtr err_neg = bb.var("err_neg", 1);  // 1: image too bright
+  const ExprPtr delta = bb.var("delta", kExposureBits);
+
+  const ExprPtr target = constant(kPixelBits, kTargetMean);
+
+  bb.wait();
+  bb.loop([&] {
+    bb.assign(update, constant(1, 0));
+    bb.wait_until(ready);
+    // State 1: signed error split into sign + magnitude.
+    bb.if_(ult(mean, target),
+           [&] {
+             bb.assign(err_neg, constant(1, 0));
+             bb.assign(err_abs, sub(target, mean));
+           },
+           [&] {
+             bb.assign(err_neg, constant(1, 1));
+             bb.assign(err_abs, sub(mean, target));
+           });
+    bb.wait();
+    // State 2: multiplicative step (the module's multiplier use).
+    bb.assign(delta,
+              slice(binary(BinOp::kLshr,
+                           mul(zext(exposure, kExposureBits + kErrBits),
+                               zext(err_abs, kExposureBits + kErrBits)),
+                           constant(5, kAeStepShift)),
+                    kExposureBits - 1, 0));
+    bb.wait();
+    // State 3: apply with saturation.
+    bb.if_(err_neg,
+           [&] {
+             bb.if_(ult(exposure,
+                        add(delta, constant(kExposureBits, kExpMin))),
+                    [&] { bb.assign(exposure, constant(kExposureBits, kExpMin)); },
+                    [&] { bb.assign(exposure, sub(exposure, delta)); });
+           },
+           [&] {
+             const ExprPtr grown = add(exposure, delta);
+             bb.if_(bor(ult(grown, exposure),
+                        ult(constant(kExposureBits, kExpMax), grown)),
+                    [&] { bb.assign(exposure, constant(kExposureBits, kExpMax)); },
+                    [&] { bb.assign(exposure, grown); });
+           });
+    bb.wait();
+    // State 4: gain servo — extend range when exposure saturates.
+    bb.if_(band(eq(exposure, constant(kExposureBits, kExpMax)),
+                bnot(err_neg)),
+           [&] {
+             bb.if_(ult(gain, constant(kGainBits, kGainMax)),
+                    [&] { bb.assign(gain, add(gain, constant(kGainBits,
+                                                             kGainStep))); });
+           },
+           [&] {
+             bb.if_(ult(constant(kGainBits, kGainMin), gain),
+                    [&] { bb.assign(gain, sub(gain, constant(kGainBits,
+                                                             kGainStep))); });
+           });
+    bb.assign(update, constant(1, 1));
+    bb.wait();
+  });
+  return bb.take();
+}
+
+rtl::Module build_param_calc_vhdl() {
+  // Hand-tuned RTL: a three-stage valid-bit pipeline (error split, the
+  // multiply registered on its own, apply+saturate) — the schedule an RTL
+  // designer picks to keep the multiplier path clean at 66 MHz.
+  using rtl::Wire;
+  rtl::Builder b("param_calc");
+  const Wire mean = b.input("mean", kPixelBits);
+  const Wire ready = b.input("ready", 1);
+
+  const Wire exposure =
+      b.reg("exposure", kExposureBits, rtl::Bits(kExposureBits, 0x0800));
+  const Wire gain = b.reg("gain", kGainBits, rtl::Bits(kGainBits, kGainMin));
+  const Wire update = b.reg("update", 1);
+
+  // Stage 1: error sign/magnitude.
+  const Wire target = b.constant(kPixelBits, kTargetMean);
+  const Wire v1 = b.reg("v1", 1);
+  const Wire r_err_neg = b.reg("r_err_neg", 1);
+  const Wire r_err_abs = b.reg("r_err_abs", kErrBits);
+  b.connect(v1, ready);
+  const Wire err_neg_c = b.ult(target, mean);
+  b.connect(r_err_neg, b.mux(ready, err_neg_c, r_err_neg));
+  b.connect(r_err_abs,
+            b.mux(ready,
+                  b.mux(err_neg_c, b.sub(mean, target), b.sub(target, mean)),
+                  r_err_abs));
+
+  // Stage 2: registered multiply.
+  const unsigned mw = kExposureBits + kErrBits;
+  const Wire v2 = b.reg("v2", 1);
+  const Wire r_prod = b.reg("r_prod", mw);
+  b.connect(v2, v1);
+  b.connect(r_prod,
+            b.mux(v1, b.mul(b.zext(exposure, mw), b.zext(r_err_abs, mw)),
+                  r_prod));
+
+  // Stage 3: apply with saturation.
+  const Wire err_neg = r_err_neg;
+  const Wire delta =
+      b.slice(b.lshri(r_prod, kAeStepShift), kExposureBits - 1, 0);
+
+  const Wire exp_min = b.constant(kExposureBits, kExpMin);
+  const Wire exp_max = b.constant(kExposureBits, kExpMax);
+  const Wire shrunk =
+      b.mux(b.ult(exposure, b.add(delta, exp_min)), exp_min,
+            b.sub(exposure, delta));
+  const Wire grown_raw = b.add(exposure, delta);
+  const Wire grown =
+      b.mux(b.or_(b.ult(grown_raw, exposure), b.ult(exp_max, grown_raw)),
+            exp_max, grown_raw);
+  const Wire exposure_next = b.mux(err_neg, shrunk, grown);
+  b.connect(exposure, b.mux(v2, exposure_next, exposure));
+
+  const Wire saturated =
+      b.and_(b.eq(exposure_next, exp_max), b.not_(err_neg));
+  const Wire gain_up =
+      b.mux(b.ult(gain, b.constant(kGainBits, kGainMax)),
+            b.add(gain, b.constant(kGainBits, kGainStep)), gain);
+  const Wire gain_down =
+      b.mux(b.ult(b.constant(kGainBits, kGainMin), gain),
+            b.sub(gain, b.constant(kGainBits, kGainStep)), gain);
+  b.connect(gain, b.mux(v2, b.mux(saturated, gain_up, gain_down), gain));
+  b.connect(update, v2);
+
+  b.output("exposure", exposure);
+  b.output("gain", gain);
+  b.output("update", update);
+  return b.take();
+}
+
+}  // namespace osss::expocu

@@ -1,0 +1,45 @@
+// params.hpp — ExpoCU design parameters.
+//
+// The paper's ExpoCU runs at 66 MHz; frame geometry and histogram depth are
+// scaled down from a production imager so the gate-level experiments run in
+// seconds, without changing any datapath structure.
+
+#pragma once
+
+#include <cstdint>
+
+namespace osss::expocu {
+
+/// System clock: 66 MHz -> 15151 ps period (paper §2).
+constexpr std::uint64_t kClockPeriodPs = 15151;
+constexpr double kClockMhz = 66.0;
+
+/// Frame geometry (scaled; a real imager would be 640x480+).
+constexpr unsigned kFrameWidth = 64;
+constexpr unsigned kFrameHeight = 32;
+constexpr unsigned kPixelsPerFrame = kFrameWidth * kFrameHeight;
+
+/// Luminance samples are 8 bit.
+constexpr unsigned kPixelBits = 8;
+
+/// Histogram: 16 bins over the top 4 luminance bits; counters sized to
+/// hold a full frame (2048 < 2^16).
+constexpr unsigned kHistBins = 16;
+constexpr unsigned kHistBinBits = 4;
+constexpr unsigned kHistCountBits = 16;
+
+/// Exposure control registers.
+constexpr unsigned kExposureBits = 16;
+constexpr unsigned kGainBits = 8;
+constexpr unsigned kTargetMean = 128;  ///< mid-grey auto-exposure target
+
+/// AE servo step: delta_exposure = (exposure * |error|) >> kAeStepShift.
+constexpr unsigned kAeStepShift = 9;
+
+/// Camera I2C slave address (7 bit) and register map.
+constexpr unsigned kI2cAddress = 0x48;
+constexpr unsigned kRegExposureHi = 0x10;
+constexpr unsigned kRegExposureLo = 0x11;
+constexpr unsigned kRegGain = 0x12;
+
+}  // namespace osss::expocu

@@ -1,0 +1,80 @@
+// reset_ctrl_hw.cpp — reset control, both flows.
+//
+// Synchronizes the external active-low power-on reset and stretches it to
+// a fixed number of clean cycles so every downstream module sees one
+// well-formed synchronous reset.
+
+#include "expocu/hw.hpp"
+#include "expocu/sync_register.hpp"
+
+namespace osss::expocu {
+
+namespace {
+constexpr unsigned kStretch = 8;  // cycles of asserted reset after release
+constexpr unsigned kCntBits = 4;
+}  // namespace
+
+hls::Behavior build_reset_ctrl_osss() {
+  using namespace meta;
+  hls::BehaviorBuilder bb("reset_ctrl");
+  const ExprPtr por_n = bb.input("por_n", 1);
+  const ExprPtr reset = bb.var("reset", 1, 1, /*output=*/true);
+  const ExprPtr count = bb.var("count", kCntBits);
+
+  // Two-stage synchronizer on the asynchronous input — SyncRegister again.
+  const auto cls = sync_register_template().instantiate({2, 0});
+  const ExprPtr sync = bb.object("por_sync_reg", cls);
+
+  bb.call(sync, "Reset");
+  bb.wait();
+  bb.loop([&] {
+    bb.call(sync, "Write", {por_n});
+    bb.if_(bnot(bb.call_r(sync, "StableHigh")),
+           [&] {
+             // Reset (re)asserted: hold and restart the stretch counter.
+             bb.assign(reset, constant(1, 1));
+             bb.assign(count, constant(kCntBits, 0));
+           },
+           [&] {
+             bb.if_(ult(count, constant(kCntBits, kStretch)),
+                    [&] {
+                      bb.assign(count,
+                                add(count, constant(kCntBits, 1)));
+                      bb.assign(reset, constant(1, 1));
+                    },
+                    [&] { bb.assign(reset, constant(1, 0)); });
+           });
+    bb.wait();
+  });
+  return bb.take();
+}
+
+rtl::Module build_reset_ctrl_vhdl() {
+  using rtl::Wire;
+  rtl::Builder b("reset_ctrl");
+  const Wire por_n = b.input("por_n", 1);
+
+  const Wire sync = b.reg("por_sync_reg", 2);
+  b.connect(sync, b.concat({b.slice(sync, 0, 0), por_n}));
+  const Wire shifted = b.concat({b.slice(sync, 0, 0), por_n});
+  const Wire stable_high =
+      b.and_(b.slice(shifted, 0, 0), b.slice(shifted, 1, 1));
+
+  const Wire count = b.reg("count", kCntBits);
+  const Wire reset = b.reg("reset", 1, rtl::Bits(1, 1));
+  const Wire stretching = b.ult(count, b.constant(kCntBits, kStretch));
+  b.connect(count,
+            b.mux(stable_high,
+                  b.mux(stretching, b.add(count, b.constant(kCntBits, 1)),
+                        count),
+                  b.constant(kCntBits, 0)));
+  b.connect(reset, b.mux(stable_high,
+                         b.mux(stretching, b.constant(1, 1),
+                               b.constant(1, 0)),
+                         b.constant(1, 1)));
+
+  b.output("reset", reset);
+  return b.take();
+}
+
+}  // namespace osss::expocu

@@ -1,0 +1,130 @@
+// sync_register.hpp — the paper's running example class, in both views.
+//
+// Executable C++ view (this file): `SyncRegister<REGSIZE, RESETVALUE>` is a
+// templated shift register used to synchronize asynchronous camera inputs
+// and detect edges, exactly the class of the paper's Figs. 2-5, including
+// `operator==`, `operator<<` and tracing support (Figs. 9-11).
+//
+// Analyzer view: sync_register_template() produces the meta::ClassTemplate
+// the OSSS synthesizer resolves (member -> `_this_` slice, template
+// parameters forwarded).  The two views are equivalence-tested in
+// tests/expocu/sync_register_test.cpp.
+
+#pragma once
+
+#include <ostream>
+
+#include "meta/class_desc.hpp"
+#include "sysc/bitvector.hpp"
+
+namespace osss::expocu {
+
+/// Shift register with reset value and edge detection (paper Fig. 2/3).
+template <unsigned REGSIZE, std::uint64_t RESETVALUE>
+class SyncRegister {
+  static_assert(REGSIZE >= 2, "edge detection needs two samples");
+
+public:
+  SyncRegister() { Reset(); }
+
+  /// Load the reset value.
+  void Reset() { reg_value_ = sysc::BitVector<REGSIZE>(RESETVALUE); }
+
+  /// Shift in a new sample at the LSB.
+  void Write(bool new_value) {
+    sysc::BitVector<REGSIZE> shifted = reg_value_.shl(1);
+    shifted.set_bit(0, new_value);
+    reg_value_ = shifted;
+  }
+
+  /// Newest sample at `index` high while the previous one was low.
+  bool RisingEdge(unsigned index = 0) const {
+    return reg_value_.bit(index) && !reg_value_.bit(index + 1);
+  }
+  bool FallingEdge(unsigned index = 0) const {
+    return !reg_value_.bit(index) && reg_value_.bit(index + 1);
+  }
+
+  /// Debounced level: the last two samples agree.
+  bool StableHigh() const { return reg_value_.bit(0) && reg_value_.bit(1); }
+  bool StableLow() const { return !reg_value_.bit(0) && !reg_value_.bit(1); }
+
+  bool Bit(unsigned index) const { return reg_value_.bit(index); }
+
+  bool operator==(const SyncRegister& other) const = default;
+
+  /// Object contents for sc_trace-style waveform dumping (paper Fig. 9).
+  sysc::Bits to_bits() const { return reg_value_.to_bits(); }
+
+  friend std::ostream& operator<<(std::ostream& os, const SyncRegister& r) {
+    return os << r.reg_value_.to_string();
+  }
+
+private:
+  sysc::BitVector<REGSIZE> reg_value_;
+};
+
+/// The analyzer's model of the class template above: instantiations are
+/// cached, parameters forwarded into member widths and reset constants.
+inline const meta::ClassTemplate& sync_register_template() {
+  static const meta::ClassTemplate tmpl(
+      "SyncRegister", [](const std::vector<std::uint64_t>& p) {
+        using namespace meta;
+        const unsigned regsize = static_cast<unsigned>(p.at(0));
+        const std::uint64_t resetvalue = p.at(1);
+        ClassDesc c("SyncRegister_" + std::to_string(regsize) + "_" +
+                    std::to_string(resetvalue));
+        c.add_member("RegValue", regsize);
+
+        MethodDesc ctor;
+        ctor.name = "__ctor__";
+        ctor.body = {assign_member("RegValue", constant(regsize, resetvalue))};
+        c.add_method(std::move(ctor));
+
+        MethodDesc reset;
+        reset.name = "Reset";
+        reset.body = {assign_member("RegValue",
+                                    constant(regsize, resetvalue))};
+        c.add_method(std::move(reset));
+
+        MethodDesc write;
+        write.name = "Write";
+        write.params = {{"NewValue", 1}};
+        write.body = {assign_member(
+            "RegValue",
+            concat({slice(member("RegValue", regsize), regsize - 2, 0),
+                    param("NewValue", 1)}))};
+        c.add_method(std::move(write));
+
+        MethodDesc rising;
+        rising.name = "RisingEdge";
+        rising.return_width = 1;
+        rising.is_const = true;
+        rising.body = {
+            return_stmt(band(slice(member("RegValue", regsize), 0, 0),
+                             bnot(slice(member("RegValue", regsize), 1, 1))))};
+        c.add_method(std::move(rising));
+
+        MethodDesc falling;
+        falling.name = "FallingEdge";
+        falling.return_width = 1;
+        falling.is_const = true;
+        falling.body = {
+            return_stmt(band(bnot(slice(member("RegValue", regsize), 0, 0)),
+                             slice(member("RegValue", regsize), 1, 1)))};
+        c.add_method(std::move(falling));
+
+        MethodDesc stable_high;
+        stable_high.name = "StableHigh";
+        stable_high.return_width = 1;
+        stable_high.is_const = true;
+        stable_high.body = {
+            return_stmt(band(slice(member("RegValue", regsize), 0, 0),
+                             slice(member("RegValue", regsize), 1, 1)))};
+        c.add_method(std::move(stable_high));
+        return c;
+      });
+  return tmpl;
+}
+
+}  // namespace osss::expocu

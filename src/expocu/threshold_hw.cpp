@@ -1,0 +1,123 @@
+// threshold_hw.cpp — threshold calculation, both flows.
+//
+// Consumes the streamed histogram and derives per-frame statistics: the
+// frame's mean luminance (weighted bin sum / pixel count) and the dark /
+// bright pixel totals used as exposure thresholds.  Control-flow module
+// with a multi-cycle budget — behavioural description territory (§12).
+
+#include "expocu/hw.hpp"
+
+namespace osss::expocu {
+
+namespace {
+constexpr unsigned kWsumBits = 24;
+// Bin center = bin*16 + 8; dividing the weighted sum by the pixel count
+// (2048) is a shift because the frame size is a power of two.
+constexpr unsigned kMeanShift = 11;
+constexpr unsigned kDarkBins = 4;    // bins 0..3 count as dark
+constexpr unsigned kBrightBins = 12; // bins 12..15 count as bright
+}  // namespace
+
+hls::Behavior build_threshold_osss() {
+  using namespace meta;
+  hls::BehaviorBuilder bb("threshold_calc");
+  const ExprPtr bin_valid = bb.input("bin_valid", 1);
+  const ExprPtr bin_index = bb.input("bin_index", kHistBinBits);
+  const ExprPtr bin_count = bb.input("bin_count", kHistCountBits);
+  const ExprPtr frame_done = bb.input("frame_done", 1);
+
+  const ExprPtr wsum = bb.var("wsum", kWsumBits);
+  const ExprPtr dark = bb.var("dark", kHistCountBits);
+  const ExprPtr bright = bb.var("bright", kHistCountBits);
+  const ExprPtr mean = bb.var("mean", kPixelBits, 0, /*output=*/true);
+  const ExprPtr dark_o = bb.var("dark_o", kHistCountBits, 0, true);
+  const ExprPtr bright_o = bb.var("bright_o", kHistCountBits, 0, true);
+  const ExprPtr ready = bb.var("ready", 1, 0, true);
+
+  bb.wait();
+  bb.loop([&] {
+    bb.assign(ready, constant(1, 0));
+    bb.if_(bin_valid, [&] {
+      // center = index*16 + 8, widened before the multiply so nothing
+      // wraps (automated width resolution in action).
+      const ExprPtr center = add(
+          binary(BinOp::kShl, zext(bin_index, kWsumBits), constant(5, 4)),
+          constant(kWsumBits, 8));
+      bb.assign(wsum, add(wsum, mul(zext(bin_count, kWsumBits), center)));
+      bb.if_(ult(bin_index, constant(kHistBinBits, kDarkBins)),
+             [&] { bb.assign(dark, add(dark, bin_count)); });
+      bb.if_(ule(constant(kHistBinBits, kBrightBins), bin_index),
+             [&] { bb.assign(bright, add(bright, bin_count)); });
+      bb.if_(frame_done, [&] {
+        bb.assign(mean,
+                  slice(binary(BinOp::kLshr, wsum, constant(5, kMeanShift)),
+                        kPixelBits - 1, 0));
+        bb.assign(dark_o, dark);
+        bb.assign(bright_o, bright);
+        bb.assign(ready, constant(1, 1));
+        bb.assign(wsum, constant(kWsumBits, 0));
+        bb.assign(dark, constant(kHistCountBits, 0));
+        bb.assign(bright, constant(kHistCountBits, 0));
+      });
+    });
+    bb.wait();
+  });
+  return bb.take();
+}
+
+rtl::Module build_threshold_vhdl() {
+  using rtl::Wire;
+  rtl::Builder b("threshold_calc");
+  const Wire bin_valid = b.input("bin_valid", 1);
+  const Wire bin_index = b.input("bin_index", kHistBinBits);
+  const Wire bin_count = b.input("bin_count", kHistCountBits);
+  const Wire frame_done = b.input("frame_done", 1);
+
+  const Wire wsum = b.reg("wsum", kWsumBits);
+  const Wire dark = b.reg("dark", kHistCountBits);
+  const Wire bright = b.reg("bright", kHistCountBits);
+  const Wire mean = b.reg("mean", kPixelBits);
+  const Wire dark_o = b.reg("dark_o", kHistCountBits);
+  const Wire bright_o = b.reg("bright_o", kHistCountBits);
+  const Wire ready = b.reg("ready", 1);
+
+  const Wire center =
+      b.add(b.shli(b.zext(bin_index, kWsumBits), 4), b.constant(kWsumBits, 8));
+  const Wire wsum_acc =
+      b.add(wsum, b.mul(b.zext(bin_count, kWsumBits), center));
+  const Wire is_last = b.and_(bin_valid, frame_done);
+  const Wire zero_w = b.constant(kWsumBits, 0);
+
+  // wsum: accumulate while streaming; clear on the last bin (its value is
+  // published into `mean` the same cycle).
+  b.connect(wsum, b.mux(bin_valid, b.mux(is_last, zero_w, wsum_acc), wsum));
+
+  const Wire dark_hit =
+      b.and_(bin_valid, b.ult(bin_index, b.constant(kHistBinBits, kDarkBins)));
+  const Wire dark_acc = b.mux(dark_hit, b.add(dark, bin_count), dark);
+  b.connect(dark, b.mux(is_last, b.constant(kHistCountBits, 0), dark_acc));
+
+  const Wire bright_hit = b.and_(
+      bin_valid,
+      b.ule(b.constant(kHistBinBits, kBrightBins), bin_index));
+  const Wire bright_acc =
+      b.mux(bright_hit, b.add(bright, bin_count), bright);
+  b.connect(bright,
+            b.mux(is_last, b.constant(kHistCountBits, 0), bright_acc));
+
+  b.connect(mean, b.mux(is_last,
+                        b.slice(b.lshri(wsum_acc, kMeanShift),
+                                kPixelBits - 1, 0),
+                        mean));
+  b.connect(dark_o, b.mux(is_last, dark_acc, dark_o));
+  b.connect(bright_o, b.mux(is_last, bright_acc, bright_o));
+  b.connect(ready, is_last);
+
+  b.output("mean", mean);
+  b.output("dark_o", dark_o);
+  b.output("bright_o", bright_o);
+  b.output("ready", ready);
+  return b.take();
+}
+
+}  // namespace osss::expocu

@@ -1,0 +1,33 @@
+// equiv.hpp — randomized sequential equivalence checking between netlists.
+//
+// A miter-style checker: both netlists are reset and driven with the same
+// random input sequences; any cycle where an output pair differs is a
+// counterexample.  Used by the zero-overhead experiment (R4) and the IP
+// integration tests to demonstrate the §12 "fully complies with its
+// original description" property at netlist level.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gate/netlist.hpp"
+
+namespace osss::gate {
+
+struct EquivResult {
+  bool equivalent = false;
+  std::uint64_t cycles_checked = 0;
+  std::string counterexample;  ///< empty when equivalent
+
+  explicit operator bool() const noexcept { return equivalent; }
+};
+
+/// Randomized sequential equivalence over `sequences` runs of `cycles`
+/// cycles each (each run starts from reset).  Both netlists must expose
+/// identical input and output bus interfaces (name and width).
+EquivResult check_equivalence(const Netlist& a, const Netlist& b,
+                              unsigned sequences = 8, unsigned cycles = 256,
+                              std::uint64_t seed = 1);
+
+}  // namespace osss::gate

@@ -1,0 +1,42 @@
+#include "gate/library.hpp"
+
+namespace osss::gate {
+
+Library Library::generic() {
+  Library lib;
+  lib.specs_ = {
+      {CellKind::kConst0, {0.0, 0.0}},
+      {CellKind::kConst1, {0.0, 0.0}},
+      {CellKind::kInput, {0.0, 0.0}},
+      {CellKind::kBuf, {0.7, 60.0}},
+      {CellKind::kInv, {0.5, 40.0}},
+      {CellKind::kAnd2, {1.5, 100.0}},
+      {CellKind::kOr2, {1.5, 100.0}},
+      {CellKind::kNand2, {1.0, 70.0}},
+      {CellKind::kNor2, {1.0, 80.0}},
+      {CellKind::kXor2, {2.5, 140.0}},
+      {CellKind::kXnor2, {2.5, 140.0}},
+      {CellKind::kMux2, {2.5, 120.0}},
+      {CellKind::kDff, {6.0, 150.0}},
+      {CellKind::kMemQ, {0.0, 900.0}},  // covered by the macro model
+  };
+  return lib;
+}
+
+double Library::area_of(const Netlist& n) const {
+  double area = 0.0;
+  for (const Cell& c : n.cells()) {
+    if (c.kind == CellKind::kDff) {
+      area += dff_area_ge;
+    } else {
+      area += spec(c.kind).area_ge;
+    }
+  }
+  for (const MemMacro& m : n.memories()) {
+    area += mem_area_overhead_ge +
+            mem_area_per_bit_ge * static_cast<double>(m.depth) * m.width;
+  }
+  return area;
+}
+
+}  // namespace osss::gate

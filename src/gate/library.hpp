@@ -1,0 +1,47 @@
+// library.hpp — generic standard-cell library: area and delay per cell.
+//
+// The paper's netlists were mapped to a commercial ASIC library we do not
+// have; this generic library provides plausible mid-2000s (130 nm-class)
+// numbers so area is reported in gate equivalents (GE, 1 GE = one NAND2)
+// and timing in picoseconds.  Absolute values are not the point — the
+// area/frequency *comparison* between the OSSS and VHDL flows is.
+
+#pragma once
+
+#include <map>
+
+#include "gate/netlist.hpp"
+
+namespace osss::gate {
+
+struct CellSpec {
+  double area_ge = 0.0;   ///< area in gate equivalents
+  double delay_ps = 0.0;  ///< pin-to-pin propagation delay
+};
+
+class Library {
+public:
+  /// The default generic library used by every experiment.
+  static Library generic();
+
+  const CellSpec& spec(CellKind kind) const { return specs_.at(kind); }
+
+  double dff_area_ge = 6.0;
+  double dff_setup_ps = 100.0;
+  double dff_clk_to_q_ps = 150.0;
+
+  /// Macro memory model: area per bit plus fixed overhead; asynchronous
+  /// read access time; address/data setup before the write edge.
+  double mem_area_per_bit_ge = 0.25;
+  double mem_area_overhead_ge = 200.0;
+  double mem_read_delay_ps = 900.0;
+  double mem_setup_ps = 250.0;
+
+  /// Total mapped area of a netlist in gate equivalents.
+  double area_of(const Netlist& n) const;
+
+private:
+  std::map<CellKind, CellSpec> specs_;
+};
+
+}  // namespace osss::gate

@@ -1,0 +1,319 @@
+#include "gate/lower.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace osss::gate {
+
+namespace {
+
+using rtl::Node;
+using rtl::NodeId;
+using rtl::Op;
+
+/// Bit vector of nets, LSB first.
+using NetVec = std::vector<NetId>;
+
+struct Lowering {
+  const rtl::Module& m;
+  Netlist nl;
+  std::vector<NetVec> bits;  // per RTL node
+
+  explicit Lowering(const rtl::Module& mod) : m(mod), nl(mod.name()) {
+    bits.resize(m.node_count());
+  }
+
+  // --- word-level building blocks -----------------------------------------
+
+  /// sum = a + b + cin (ripple carry); returns sum bits, sets cout.
+  NetVec ripple_add(const NetVec& a, const NetVec& b, NetId cin,
+                    NetId* cout = nullptr) {
+    NetVec sum(a.size());
+    NetId carry = cin;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const NetId axb = nl.xor2(a[i], b[i]);
+      sum[i] = nl.xor2(axb, carry);
+      carry = nl.or2(nl.and2(a[i], b[i]), nl.and2(carry, axb));
+    }
+    if (cout != nullptr) *cout = carry;
+    return sum;
+  }
+
+  NetVec invert(const NetVec& a) {
+    NetVec out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) out[i] = nl.inv(a[i]);
+    return out;
+  }
+
+  NetVec zeros(std::size_t n) { return NetVec(n, nl.const0()); }
+
+  /// a * b truncated to width(a): sum of ANDed, shifted partial products.
+  NetVec multiply(const NetVec& a, const NetVec& b) {
+    const std::size_t w = a.size();
+    NetVec acc = zeros(w);
+    for (std::size_t i = 0; i < w; ++i) {
+      // Row i: (a & b[i]) << i, truncated to w bits.
+      NetVec row = zeros(w);
+      for (std::size_t j = 0; i + j < w; ++j)
+        row[i + j] = nl.and2(a[j], b[i]);
+      acc = ripple_add(acc, row, nl.const0());
+    }
+    return acc;
+  }
+
+  /// Unsigned a < b: borrow out of a - b.
+  NetId unsigned_lt(const NetVec& a, const NetVec& b) {
+    NetId carry = nl.const1();
+    const NetVec nb = invert(b);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const NetId axb = nl.xor2(a[i], nb[i]);
+      carry = nl.or2(nl.and2(a[i], nb[i]), nl.and2(carry, axb));
+    }
+    return nl.inv(carry);  // no carry out => a < b
+  }
+
+  NetId equal(const NetVec& a, const NetVec& b) {
+    NetId acc = nl.const1();
+    for (std::size_t i = 0; i < a.size(); ++i)
+      acc = nl.and2(acc, nl.xnor2(a[i], b[i]));
+    return acc;
+  }
+
+  NetId signed_lt(const NetVec& a, const NetVec& b) {
+    const NetId sa = a.back();
+    const NetId sb = b.back();
+    const NetId mag = unsigned_lt(a, b);
+    // Different signs: a<b iff a negative.  Same signs: unsigned compare.
+    return nl.mux2(nl.xor2(sa, sb), sa, mag);
+  }
+
+  NetVec mux_word(NetId sel, const NetVec& t, const NetVec& e) {
+    NetVec out(t.size());
+    for (std::size_t i = 0; i < t.size(); ++i)
+      out[i] = nl.mux2(sel, t[i], e[i]);
+    return out;
+  }
+
+  /// Logical barrel shifter.  dir_left selects shift direction.
+  NetVec barrel_shift(const NetVec& a, const NetVec& amount, bool dir_left) {
+    const std::size_t w = a.size();
+    unsigned stages = 0;
+    while ((1ull << stages) < w) ++stages;
+    NetVec cur = a;
+    for (unsigned s = 0; s < stages && s < amount.size(); ++s) {
+      const std::size_t k = 1ull << s;
+      NetVec shifted = zeros(w);
+      for (std::size_t i = 0; i < w; ++i) {
+        if (dir_left) {
+          if (i >= k) shifted[i] = cur[i - k];
+        } else {
+          if (i + k < w) shifted[i] = cur[i + k];
+        }
+      }
+      cur = mux_word(amount[s], shifted, cur);
+    }
+    // Any amount bit beyond the stage count shifts everything out.
+    NetId overflow = nl.const0();
+    for (std::size_t s = stages; s < amount.size(); ++s)
+      overflow = nl.or2(overflow, amount[s]);
+    if (overflow != nl.const0()) cur = mux_word(overflow, zeros(w), cur);
+    return cur;
+  }
+
+  NetId reduce_or(const NetVec& a) {
+    NetId acc = nl.const0();
+    for (const NetId n : a) acc = nl.or2(acc, n);
+    return acc;
+  }
+  NetId reduce_and(const NetVec& a) {
+    NetId acc = nl.const1();
+    for (const NetId n : a) acc = nl.and2(acc, n);
+    return acc;
+  }
+  NetId reduce_xor(const NetVec& a) {
+    NetId acc = nl.const0();
+    for (const NetId n : a) acc = nl.xor2(acc, n);
+    return acc;
+  }
+
+  // --- per-node lowering -----------------------------------------------------
+
+  void lower_node(NodeId id) {
+    const Node& n = m.node(id);
+    auto in = [&](std::size_t i) -> const NetVec& { return bits[n.ins[i]]; };
+    NetVec out;
+    switch (n.op) {
+      case Op::kConst: {
+        out.resize(n.width);
+        for (unsigned i = 0; i < n.width; ++i)
+          out[i] = n.value.bit(i) ? nl.const1() : nl.const0();
+        break;
+      }
+      case Op::kInput:
+        return;  // handled up front
+      case Op::kAdd:
+        out = ripple_add(in(0), in(1), nl.const0());
+        break;
+      case Op::kSub:
+        out = ripple_add(in(0), invert(in(1)), nl.const1());
+        break;
+      case Op::kMul:
+        out = multiply(in(0), in(1));
+        break;
+      case Op::kAnd: {
+        out.resize(n.width);
+        for (unsigned i = 0; i < n.width; ++i)
+          out[i] = nl.and2(in(0)[i], in(1)[i]);
+        break;
+      }
+      case Op::kOr: {
+        out.resize(n.width);
+        for (unsigned i = 0; i < n.width; ++i)
+          out[i] = nl.or2(in(0)[i], in(1)[i]);
+        break;
+      }
+      case Op::kXor: {
+        out.resize(n.width);
+        for (unsigned i = 0; i < n.width; ++i)
+          out[i] = nl.xor2(in(0)[i], in(1)[i]);
+        break;
+      }
+      case Op::kNot:
+        out = invert(in(0));
+        break;
+      case Op::kShlI: {
+        out = zeros(n.width);
+        for (unsigned i = n.param; i < n.width; ++i)
+          out[i] = in(0)[i - n.param];
+        break;
+      }
+      case Op::kLshrI: {
+        out = zeros(n.width);
+        for (unsigned i = 0; i + n.param < n.width; ++i)
+          out[i] = in(0)[i + n.param];
+        break;
+      }
+      case Op::kAshrI: {
+        const NetId sign = in(0).back();
+        out.assign(n.width, sign);
+        for (unsigned i = 0; i + n.param < n.width; ++i)
+          out[i] = in(0)[i + n.param];
+        break;
+      }
+      case Op::kShlV:
+        out = barrel_shift(in(0), in(1), /*dir_left=*/true);
+        break;
+      case Op::kLshrV:
+        out = barrel_shift(in(0), in(1), /*dir_left=*/false);
+        break;
+      case Op::kEq:
+        out = {equal(in(0), in(1))};
+        break;
+      case Op::kNe:
+        out = {nl.inv(equal(in(0), in(1)))};
+        break;
+      case Op::kUlt:
+        out = {unsigned_lt(in(0), in(1))};
+        break;
+      case Op::kUle:
+        out = {nl.inv(unsigned_lt(in(1), in(0)))};
+        break;
+      case Op::kSlt:
+        out = {signed_lt(in(0), in(1))};
+        break;
+      case Op::kSle:
+        out = {nl.inv(signed_lt(in(1), in(0)))};
+        break;
+      case Op::kMux:
+        out = mux_word(in(0)[0], in(1), in(2));
+        break;
+      case Op::kSlice: {
+        out.resize(n.width);
+        for (unsigned i = 0; i < n.width; ++i) out[i] = in(0)[n.param + i];
+        break;
+      }
+      case Op::kConcat: {
+        // ins[0] is the MOST significant chunk.
+        for (std::size_t i = n.ins.size(); i-- > 0;) {
+          const NetVec& part = bits[n.ins[i]];
+          out.insert(out.end(), part.begin(), part.end());
+        }
+        break;
+      }
+      case Op::kZExt: {
+        out = in(0);
+        out.resize(n.width, nl.const0());
+        break;
+      }
+      case Op::kSExt: {
+        out = in(0);
+        out.resize(n.width, in(0).back());
+        break;
+      }
+      case Op::kRedOr:
+        out = {reduce_or(in(0))};
+        break;
+      case Op::kRedAnd:
+        out = {reduce_and(in(0))};
+        break;
+      case Op::kRedXor:
+        out = {reduce_xor(in(0))};
+        break;
+      case Op::kReg:
+        return;  // allocated up front
+      case Op::kMemRead: {
+        out = nl.mem_read(mem_index_map[n.param], in(0));
+        break;
+      }
+    }
+    bits[id] = std::move(out);
+  }
+
+  std::vector<unsigned> mem_index_map;
+
+  Netlist run() {
+    m.validate();
+    // Ports and state first: they are topo sources.
+    for (const auto& p : m.inputs())
+      bits[p.node] = nl.add_input(p.name, m.node(p.node).width);
+    for (const rtl::Memory& mem : m.memories())
+      mem_index_map.push_back(nl.add_memory(mem.name, mem.depth,
+                                            mem.data_width));
+    for (const rtl::Register& r : m.registers()) {
+      NetVec q(m.node(r.q).width);
+      for (unsigned b = 0; b < q.size(); ++b)
+        q[b] = nl.dff(r.name + "[" + std::to_string(b) + "]", r.init.bit(b));
+      bits[r.q] = std::move(q);
+    }
+    // Combinational body in dependency order.
+    for (const NodeId id : m.topo_order()) lower_node(id);
+    // Register D inputs (clock enable becomes a feedback mux).
+    for (const rtl::Register& r : m.registers()) {
+      const NetVec& q = bits[r.q];
+      const NetVec& d = bits[r.d];
+      for (unsigned b = 0; b < q.size(); ++b) {
+        NetId din = d[b];
+        if (r.enable != rtl::kInvalidNode)
+          din = nl.mux2(bits[r.enable][0], d[b], q[b]);
+        nl.connect_dff(q[b], din);
+      }
+    }
+    // Memory write ports.
+    for (std::size_t mi = 0; mi < m.memories().size(); ++mi) {
+      for (const auto& w : m.memories()[mi].writes) {
+        nl.mem_write(mem_index_map[mi], bits[w.addr], bits[w.data],
+                     bits[w.enable][0]);
+      }
+    }
+    for (const auto& p : m.outputs()) nl.add_output(p.name, bits[p.node]);
+    nl.sweep();
+    nl.validate();
+    return std::move(nl);
+  }
+};
+
+}  // namespace
+
+Netlist lower_to_gates(const rtl::Module& m) { return Lowering(m).run(); }
+
+}  // namespace osss::gate

@@ -1,0 +1,21 @@
+// lower.hpp — technology mapping: RTL IR -> gate netlist.
+//
+// Word-level RTL operators are decomposed into 2-input gates the way a
+// 2004-era synthesis tool's generic mapping would: ripple-carry adders,
+// array multipliers, barrel shifters, mux trees and reduction trees.  The
+// optimizing netlist factories (constant folding + structural hashing) then
+// shrink the result.  Registers become DFFs (enables become feedback muxes);
+// RTL memories become macro blocks.
+
+#pragma once
+
+#include "gate/netlist.hpp"
+#include "rtl/ir.hpp"
+
+namespace osss::gate {
+
+/// Lower an RTL module to a mapped gate netlist.  The result is swept
+/// (dead logic removed) and validated.
+Netlist lower_to_gates(const rtl::Module& m);
+
+}  // namespace osss::gate

@@ -1,0 +1,209 @@
+#include "gate/sim.hpp"
+
+#include <stdexcept>
+
+namespace osss::gate {
+
+Simulator::Simulator(Netlist nl) : nl_(std::move(nl)) {
+  nl_.validate();
+  values_.assign(nl_.cells().size(), 0);
+  values_[nl_.const1()] = 1;
+  fanout_.resize(nl_.cells().size());
+  queued_.assign(nl_.cells().size(), 0);
+  memq_cells_.resize(nl_.memories().size());
+  for (NetId id = 0; id < nl_.cells().size(); ++id) {
+    const Cell& c = nl_.cells()[id];
+    if (c.kind == CellKind::kDff) continue;  // sequential boundary
+    for (const NetId in : c.ins) fanout_[in].push_back(id);
+    if (c.kind == CellKind::kMemQ) memq_cells_[c.param].push_back(id);
+  }
+  for (const MemMacro& m : nl_.memories())
+    mem_state_.emplace_back(m.depth, Bits(m.width));
+  reset();
+}
+
+std::uint64_t Simulator::addr_of(const std::vector<NetId>& addr_nets) const {
+  std::uint64_t a = 0;
+  for (std::size_t i = addr_nets.size(); i-- > 0;) {
+    a = (a << 1) | (values_[addr_nets[i]] ? 1u : 0u);
+  }
+  return a;
+}
+
+bool Simulator::eval_cell(NetId id) const {
+  const Cell& c = nl_.cells()[id];
+  auto v = [&](std::size_t i) { return values_[c.ins[i]] != 0; };
+  switch (c.kind) {
+    case CellKind::kConst0: return false;
+    case CellKind::kConst1: return true;
+    case CellKind::kInput: return values_[id] != 0;
+    case CellKind::kBuf: return v(0);
+    case CellKind::kInv: return !v(0);
+    case CellKind::kAnd2: return v(0) && v(1);
+    case CellKind::kOr2: return v(0) || v(1);
+    case CellKind::kNand2: return !(v(0) && v(1));
+    case CellKind::kNor2: return !(v(0) || v(1));
+    case CellKind::kXor2: return v(0) != v(1);
+    case CellKind::kXnor2: return v(0) == v(1);
+    case CellKind::kMux2: return v(0) ? v(1) : v(2);
+    case CellKind::kDff: return values_[id] != 0;  // held state
+    case CellKind::kMemQ: {
+      const MemMacro& m = nl_.memories()[c.param];
+      const std::uint64_t a = addr_of(c.ins);
+      if (a >= m.depth) return false;
+      return mem_state_[c.param][a].bit(c.param2);
+    }
+  }
+  return false;
+}
+
+void Simulator::enqueue_fanout(NetId id) {
+  for (const NetId u : fanout_[id]) {
+    if (!queued_[u]) {
+      queued_[u] = 1;
+      queue_.push_back(u);
+    }
+  }
+}
+
+void Simulator::propagate() {
+  while (!queue_.empty()) {
+    const NetId id = queue_.front();
+    queue_.pop_front();
+    queued_[id] = 0;
+    ++events_;
+    const bool nv = eval_cell(id);
+    if (nv != (values_[id] != 0)) {
+      values_[id] = nv ? 1 : 0;
+      enqueue_fanout(id);
+    }
+  }
+}
+
+void Simulator::full_eval() {
+  for (const NetId id : nl_.topo_order()) {
+    ++events_;
+    values_[id] = eval_cell(id) ? 1 : 0;
+  }
+}
+
+void Simulator::reset() {
+  for (NetId id = 0; id < nl_.cells().size(); ++id) {
+    const Cell& c = nl_.cells()[id];
+    if (c.kind == CellKind::kDff) values_[id] = c.init ? 1 : 0;
+  }
+  for (auto& mem : mem_state_)
+    for (auto& word : mem) word = Bits(word.width());
+  queue_.clear();
+  std::fill(queued_.begin(), queued_.end(), 0);
+  full_eval();
+}
+
+void Simulator::set_input(const std::string& bus, const Bits& value) {
+  for (const Bus& b : nl_.inputs()) {
+    if (b.name != bus) continue;
+    if (value.width() != b.nets.size())
+      throw std::logic_error("gate::Simulator: input width mismatch on " +
+                             bus);
+    for (std::size_t i = 0; i < b.nets.size(); ++i) {
+      const char nv = value.bit(i) ? 1 : 0;
+      if (values_[b.nets[i]] != nv) {
+        values_[b.nets[i]] = nv;
+        enqueue_fanout(b.nets[i]);
+      }
+    }
+    propagate();
+    return;
+  }
+  throw std::logic_error("gate::Simulator: no input bus " + bus);
+}
+
+void Simulator::set_input(const std::string& bus, std::uint64_t value) {
+  for (const Bus& b : nl_.inputs()) {
+    if (b.name == bus) {
+      set_input(bus, Bits(static_cast<unsigned>(b.nets.size()), value));
+      return;
+    }
+  }
+  throw std::logic_error("gate::Simulator: no input bus " + bus);
+}
+
+Bits Simulator::output(const std::string& bus) const {
+  for (const Bus& b : nl_.outputs()) {
+    if (b.name != bus) continue;
+    Bits out(static_cast<unsigned>(b.nets.size()));
+    for (std::size_t i = 0; i < b.nets.size(); ++i)
+      out.set_bit(i, values_[b.nets[i]] != 0);
+    return out;
+  }
+  throw std::logic_error("gate::Simulator: no output bus " + bus);
+}
+
+void Simulator::step() {
+  // Sample all DFF D pins and memory write ports with pre-edge values.
+  std::vector<std::pair<NetId, char>> dff_next;
+  for (NetId id = 0; id < nl_.cells().size(); ++id) {
+    const Cell& c = nl_.cells()[id];
+    if (c.kind == CellKind::kDff)
+      dff_next.emplace_back(id, values_[c.ins[0]]);
+  }
+  struct Write {
+    unsigned mem;
+    std::uint64_t addr;
+    Bits data;
+  };
+  std::vector<Write> writes;
+  for (unsigned mi = 0; mi < nl_.memories().size(); ++mi) {
+    const MemMacro& m = nl_.memories()[mi];
+    for (const auto& w : m.writes) {
+      if (!values_[w.enable]) continue;
+      const std::uint64_t a = addr_of(w.addr);
+      if (a >= m.depth) continue;
+      Bits data(m.width);
+      for (unsigned b = 0; b < m.width; ++b)
+        data.set_bit(b, values_[w.data[b]] != 0);
+      writes.push_back({mi, a, std::move(data)});
+    }
+  }
+  // Commit.
+  for (const auto& [id, nv] : dff_next) {
+    if (values_[id] != nv) {
+      values_[id] = nv;
+      enqueue_fanout(id);
+    }
+  }
+  for (auto& w : writes) {
+    if (mem_state_[w.mem][w.addr] != w.data) {
+      mem_state_[w.mem][w.addr] = std::move(w.data);
+      // All read ports of this memory may change.
+      for (const NetId q : memq_cells_[w.mem]) {
+        if (!queued_[q]) {
+          queued_[q] = 1;
+          queue_.push_back(q);
+        }
+      }
+    }
+  }
+  propagate();
+  ++cycles_;
+}
+
+Bits Simulator::mem_word(unsigned mem, unsigned word) const {
+  return mem_state_.at(mem).at(word);
+}
+
+void Simulator::poke_mem(unsigned mem, unsigned word, const Bits& value) {
+  Bits& slot = mem_state_.at(mem).at(word);
+  if (slot.width() != value.width())
+    throw std::logic_error("gate::Simulator: poke_mem width mismatch");
+  slot = value;
+  for (const NetId q : memq_cells_.at(mem)) {
+    if (!queued_[q]) {
+      queued_[q] = 1;
+      queue_.push_back(q);
+    }
+  }
+  propagate();
+}
+
+}  // namespace osss::gate

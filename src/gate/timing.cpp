@@ -1,0 +1,104 @@
+#include "gate/timing.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace osss::gate {
+
+TimingReport analyze_timing(const Netlist& nl, const Library& lib) {
+  const auto& cells = nl.cells();
+  std::vector<double> arrival(cells.size(), 0.0);
+  std::vector<NetId> pred(cells.size(), kInvalidNet);
+  std::vector<std::size_t> depth(cells.size(), 0);
+
+  // Sources.
+  for (NetId id = 0; id < cells.size(); ++id) {
+    switch (cells[id].kind) {
+      case CellKind::kDff:
+        arrival[id] = lib.dff_clk_to_q_ps;
+        break;
+      case CellKind::kInput:
+      case CellKind::kConst0:
+      case CellKind::kConst1:
+        arrival[id] = 0.0;
+        break;
+      default:
+        break;
+    }
+  }
+
+  for (const NetId id : nl.topo_order()) {
+    const Cell& c = cells[id];
+    double worst = 0.0;
+    NetId worst_in = kInvalidNet;
+    for (const NetId in : c.ins) {
+      if (arrival[in] > worst) {
+        worst = arrival[in];
+        worst_in = in;
+      }
+    }
+    if (worst_in == kInvalidNet && !c.ins.empty()) worst_in = c.ins.front();
+    const double delay = c.kind == CellKind::kMemQ ? lib.mem_read_delay_ps
+                                                   : lib.spec(c.kind).delay_ps;
+    arrival[id] = worst + delay;
+    pred[id] = worst_in;
+    depth[id] = (worst_in == kInvalidNet ? 0 : depth[worst_in]) + 1;
+  }
+
+  TimingReport report;
+  report.area_ge = lib.area_of(nl);
+  report.gates = nl.gate_count();
+  report.dffs = nl.dff_count();
+
+  NetId worst_net = kInvalidNet;
+  auto consider = [&](NetId net, double slack_add, const std::string& what) {
+    if (net == kInvalidNet) return;
+    const double total = arrival[net] + slack_add;
+    if (total > report.critical_path_ps) {
+      report.critical_path_ps = total;
+      report.endpoint = what;
+      worst_net = net;
+    }
+  };
+
+  for (NetId id = 0; id < cells.size(); ++id) {
+    const Cell& c = cells[id];
+    if (c.kind == CellKind::kDff && !c.ins.empty())
+      consider(c.ins[0], lib.dff_setup_ps, "dff " + c.name);
+  }
+  for (const MemMacro& m : nl.memories()) {
+    for (const auto& w : m.writes) {
+      for (const NetId n : w.addr) consider(n, lib.mem_setup_ps, "mem " + m.name);
+      for (const NetId n : w.data) consider(n, lib.mem_setup_ps, "mem " + m.name);
+      consider(w.enable, lib.mem_setup_ps, "mem " + m.name);
+    }
+  }
+  for (const Bus& bus : nl.outputs()) {
+    for (const NetId n : bus.nets) consider(n, 0.0, "output " + bus.name);
+  }
+
+  if (report.critical_path_ps > 0.0) {
+    report.fmax_mhz = 1.0e6 / report.critical_path_ps;
+  } else {
+    report.fmax_mhz = 1.0e6;  // purely wire-level design
+  }
+  for (NetId n = worst_net; n != kInvalidNet; n = pred[n]) {
+    report.critical_path.push_back(n);
+    if (report.critical_path.size() > cells.size()) break;  // defensive
+  }
+  std::reverse(report.critical_path.begin(), report.critical_path.end());
+  if (worst_net != kInvalidNet) report.levels = depth[worst_net];
+  return report;
+}
+
+std::string format_report(const std::string& design, const TimingReport& r) {
+  std::ostringstream os;
+  os << design << ": area=" << static_cast<long>(r.area_ge + 0.5)
+     << " GE, gates=" << r.gates << ", dffs=" << r.dffs
+     << ", critical=" << static_cast<long>(r.critical_path_ps + 0.5)
+     << " ps (" << r.levels << " levels), fmax=" << static_cast<long>(r.fmax_mhz)
+     << " MHz, endpoint=" << r.endpoint;
+  return os.str();
+}
+
+}  // namespace osss::gate

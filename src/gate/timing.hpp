@@ -1,0 +1,40 @@
+// timing.hpp — static timing analysis over a mapped netlist.
+//
+// Computes per-net arrival times from clocked sources (DFF Q, primary
+// inputs, memory read data) through the combinational network, and the
+// worst register-to-register / register-to-memory / register-to-output
+// path.  From that the maximum clock frequency is derived — the number the
+// paper compares between the OSSS and VHDL flows ("the frequency of the
+// achieved in OSSS design is below the frequency in the VHDL flow").
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gate/library.hpp"
+#include "gate/netlist.hpp"
+
+namespace osss::gate {
+
+struct TimingReport {
+  double critical_path_ps = 0.0;  ///< including launch clk->q and setup
+  double fmax_mhz = 0.0;
+  double area_ge = 0.0;
+  std::size_t gates = 0;
+  std::size_t dffs = 0;
+  std::size_t levels = 0;             ///< logic depth of the worst path
+  std::vector<NetId> critical_path;   ///< nets on the worst path, launch->capture
+  std::string endpoint;               ///< description of the capture point
+
+  /// True when the design closes timing at `clock_mhz`.
+  bool meets(double clock_mhz) const { return fmax_mhz >= clock_mhz; }
+};
+
+/// Run STA.  The netlist must be validated (acyclic).
+TimingReport analyze_timing(const Netlist& nl, const Library& lib);
+
+/// One-line formatted summary used by the experiment reports.
+std::string format_report(const std::string& design, const TimingReport& r);
+
+}  // namespace osss::gate

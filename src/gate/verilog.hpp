@@ -1,0 +1,22 @@
+// verilog.hpp — structural Verilog netlist writer.
+//
+// The paper's flow ends in "Verilog/VHDL netlist *.v, *.vhd" handed to
+// map and place&route (Fig. 6).  This writer emits the mapped netlist as
+// structural Verilog-2001 over a small behavioural cell library (also
+// emitted, so the file is self-contained and simulates under any Verilog
+// simulator).  Memories become behavioural register arrays, as a macro
+// wrapper would.
+
+#pragma once
+
+#include <string>
+
+#include "gate/netlist.hpp"
+
+namespace osss::gate {
+
+/// Emit `nl` as a self-contained structural Verilog module (plus the cell
+/// library definitions it instantiates).
+std::string write_verilog(const Netlist& nl);
+
+}  // namespace osss::gate

@@ -1,0 +1,19 @@
+// vhdl.hpp — structural VHDL netlist writer.
+//
+// The second output format of the paper's Fig. 6 ("Verilog/VHDL netlist
+// *.v, *.vhd").  Emits the mapped netlist as a self-contained VHDL-93
+// entity/architecture pair using boolean-operator concurrent assignments
+// per cell and one clocked process per register/memory.
+
+#pragma once
+
+#include <string>
+
+#include "gate/netlist.hpp"
+
+namespace osss::gate {
+
+/// Emit `nl` as a self-contained structural VHDL design file.
+std::string write_vhdl(const Netlist& nl);
+
+}  // namespace osss::gate

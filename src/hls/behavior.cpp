@@ -1,0 +1,242 @@
+#include "hls/behavior.hpp"
+
+#include <stdexcept>
+
+namespace osss::hls {
+
+namespace {
+[[noreturn]] void bad(const std::string& name, const std::string& msg) {
+  throw std::logic_error("hls::Behavior " + name + ": " + msg);
+}
+}  // namespace
+
+const VarDecl* Behavior::find_var(const std::string& name) const {
+  for (const VarDecl& v : vars)
+    if (v.name == name) return &v;
+  return nullptr;
+}
+
+const InputDecl* Behavior::find_input(const std::string& name) const {
+  for (const InputDecl& i : inputs)
+    if (i.name == name) return &i;
+  return nullptr;
+}
+
+BehaviorBuilder::BehaviorBuilder(std::string name) { b_.name = std::move(name); }
+
+void BehaviorBuilder::check_not_taken() const {
+  if (taken_) bad(b_.name, "builder already finalized");
+}
+
+ExprPtr BehaviorBuilder::input(const std::string& name, unsigned width) {
+  check_not_taken();
+  if (b_.find_input(name) != nullptr || b_.find_var(name) != nullptr)
+    bad(b_.name, "duplicate name " + name);
+  b_.inputs.push_back({name, width});
+  return meta::param(name, width);
+}
+
+ExprPtr BehaviorBuilder::var(const std::string& name, unsigned width,
+                             std::uint64_t init, bool output) {
+  return var(name, Bits(width, init), output);
+}
+
+ExprPtr BehaviorBuilder::var(const std::string& name, Bits init, bool output) {
+  check_not_taken();
+  if (b_.find_input(name) != nullptr || b_.find_var(name) != nullptr)
+    bad(b_.name, "duplicate name " + name);
+  VarDecl v;
+  v.name = name;
+  v.width = init.width();
+  v.init = std::move(init);
+  v.is_output = output;
+  b_.vars.push_back(std::move(v));
+  return meta::local(name, b_.vars.back().width);
+}
+
+ExprPtr BehaviorBuilder::object(const std::string& name, ClassPtr cls) {
+  check_not_taken();
+  if (!cls) bad(b_.name, "null class for object " + name);
+  if (b_.find_input(name) != nullptr || b_.find_var(name) != nullptr)
+    bad(b_.name, "duplicate name " + name);
+  VarDecl v;
+  v.name = name;
+  v.width = cls->data_width();
+  v.init = cls->initial_value();
+  v.cls = std::move(cls);
+  b_.vars.push_back(std::move(v));
+  return meta::local(name, b_.vars.back().width);
+}
+
+const VarDecl& BehaviorBuilder::require_var(const ExprPtr& ref,
+                                            const char* what) const {
+  if (!ref || ref->kind != meta::ExprKind::kLocalRef)
+    bad(b_.name, std::string(what) + ": not a variable reference");
+  const VarDecl* v = b_.find_var(ref->name);
+  if (v == nullptr) bad(b_.name, std::string(what) + ": unknown variable " +
+                                     ref->name);
+  if (v->width != ref->width)
+    bad(b_.name, std::string(what) + ": stale reference to " + ref->name);
+  return *v;
+}
+
+void BehaviorBuilder::assign(const ExprPtr& var_ref, ExprPtr value) {
+  check_not_taken();
+  const VarDecl& v = require_var(var_ref, "assign");
+  if (!value) bad(b_.name, "assign: null value");
+  if (value->width != v.width)
+    bad(b_.name, "assign: width mismatch on " + v.name);
+  Instr i;
+  i.kind = Instr::Kind::kAssign;
+  i.target = v.name;
+  i.expr = std::move(value);
+  b_.code.push_back(std::move(i));
+}
+
+void BehaviorBuilder::wait(unsigned cycles) {
+  check_not_taken();
+  if (cycles == 0) bad(b_.name, "wait(0)");
+  for (unsigned c = 0; c < cycles; ++c) {
+    Instr i;
+    i.kind = Instr::Kind::kWait;
+    b_.code.push_back(std::move(i));
+  }
+}
+
+void BehaviorBuilder::if_(ExprPtr cond, const std::function<void()>& then_fn,
+                          const std::function<void()>& else_fn) {
+  check_not_taken();
+  if (!cond || cond->width != 1) bad(b_.name, "if: condition must be 1 bit");
+  Instr br;
+  br.kind = Instr::Kind::kBranch;
+  br.cond = std::move(cond);
+  const std::size_t br_pc = b_.code.size();
+  b_.code.push_back(std::move(br));
+  then_fn();
+  if (else_fn) {
+    Instr jmp;
+    jmp.kind = Instr::Kind::kJump;
+    const std::size_t jmp_pc = b_.code.size();
+    b_.code.push_back(std::move(jmp));
+    b_.code[br_pc].target_pc = b_.code.size();  // else entry
+    else_fn();
+    b_.code[jmp_pc].target_pc = b_.code.size();  // end
+  } else {
+    b_.code[br_pc].target_pc = b_.code.size();
+  }
+}
+
+void BehaviorBuilder::while_(ExprPtr cond, const std::function<void()>& body) {
+  check_not_taken();
+  if (!cond || cond->width != 1)
+    bad(b_.name, "while: condition must be 1 bit");
+  const std::size_t head = b_.code.size();
+  Instr br;
+  br.kind = Instr::Kind::kBranch;
+  br.cond = std::move(cond);
+  const std::size_t br_pc = b_.code.size();
+  b_.code.push_back(std::move(br));
+  body();
+  Instr jmp;
+  jmp.kind = Instr::Kind::kJump;
+  jmp.target_pc = head;
+  b_.code.push_back(std::move(jmp));
+  b_.code[br_pc].target_pc = b_.code.size();
+}
+
+void BehaviorBuilder::loop(const std::function<void()>& body) {
+  check_not_taken();
+  const std::size_t head = b_.code.size();
+  body();
+  Instr jmp;
+  jmp.kind = Instr::Kind::kJump;
+  jmp.target_pc = head;
+  b_.code.push_back(std::move(jmp));
+}
+
+void BehaviorBuilder::wait_until(ExprPtr cond) {
+  while_(meta::bnot(std::move(cond)), [&] { wait(); });
+}
+
+void BehaviorBuilder::call(const ExprPtr& obj_ref, const std::string& method,
+                           std::vector<ExprPtr> args) {
+  check_not_taken();
+  const VarDecl& v = require_var(obj_ref, "call");
+  if (!v.cls) bad(b_.name, "call: " + v.name + " is not an object");
+  const meta::MethodDesc* m = v.cls->find_method(method);
+  if (m == nullptr)
+    bad(b_.name, "call: no method " + method + " on " + v.cls->name());
+  if (m->params.size() != args.size())
+    bad(b_.name, "call: argument count mismatch on " + method);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (!args[i] || args[i]->width != m->params[i].width)
+      bad(b_.name, "call: argument width mismatch on " + method + "/" +
+                       m->params[i].name);
+  }
+  Instr ins;
+  ins.kind = Instr::Kind::kCall;
+  ins.object = v.name;
+  ins.method = method;
+  ins.args = std::move(args);
+  b_.code.push_back(std::move(ins));
+}
+
+ExprPtr BehaviorBuilder::call_r(const ExprPtr& obj_ref,
+                                const std::string& method,
+                                std::vector<ExprPtr> args) {
+  check_not_taken();
+  // Copy what we need out of the VarDecl before any push_back can move the
+  // vars vector under us.
+  const std::string obj_name = require_var(obj_ref, "call_r").name;
+  const ClassPtr cls = require_var(obj_ref, "call_r").cls;
+  if (!cls) bad(b_.name, "call_r: " + obj_name + " is not an object");
+  const meta::MethodDesc* m = cls->find_method(method);
+  if (m == nullptr)
+    bad(b_.name, "call_r: no method " + method + " on " + cls->name());
+  if (m->return_width == 0)
+    bad(b_.name, "call_r: method " + method + " is void");
+  if (m->params.size() != args.size())
+    bad(b_.name, "call_r: argument count mismatch on " + method);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (!args[i] || args[i]->width != m->params[i].width)
+      bad(b_.name, "call_r: argument width mismatch on " + method);
+  }
+
+  const std::string temp =
+      "__t" + std::to_string(temp_counter_++) + "_" + method;
+  VarDecl t;
+  t.name = temp;
+  t.width = m->return_width;
+  t.init = Bits(m->return_width);
+  t.is_temp = true;
+  b_.vars.push_back(std::move(t));
+
+  Instr ins;
+  ins.kind = Instr::Kind::kCall;
+  ins.object = obj_name;
+  ins.method = method;
+  ins.args = std::move(args);
+  ins.result = temp;
+  b_.code.push_back(std::move(ins));
+  return meta::local(temp, m->return_width);
+}
+
+Behavior BehaviorBuilder::take() {
+  check_not_taken();
+  taken_ = true;
+  if (b_.code.empty() || b_.code.back().kind != Instr::Kind::kJump)
+    bad(b_.name,
+        "behavior must end in an infinite loop (use loop(...) as the tail)");
+  unsigned state = 0;
+  for (Instr& i : b_.code) {
+    if (i.kind == Instr::Kind::kWait) i.state_id = state++;
+    if ((i.kind == Instr::Kind::kJump || i.kind == Instr::Kind::kBranch) &&
+        i.target_pc > b_.code.size())
+      bad(b_.name, "branch target out of range");
+  }
+  if (state == 0) bad(b_.name, "behavior has no wait(): nothing to clock");
+  b_.state_count = state;
+  return std::move(b_);
+}
+
+}  // namespace osss::hls

@@ -1,0 +1,139 @@
+// behavior.hpp — behavioral (clocked-thread) design descriptions for
+// synthesis.
+//
+// In the paper's OSSS flow, control-dominated modules (the I2C master,
+// threshold and parameter calculation) are written as SC_CTHREADs: an
+// infinite loop with wait() statements, classes accessed through member
+// functions.  This module captures that style for synthesis: a structured
+// behaviour with assignments, if/while control flow, multi-cycle waits and
+// OSSS object method calls, lowered to a small linear instruction form that
+// the FSM synthesizer (synth.hpp) consumes.
+//
+// The executable C++ coroutine (sysc::Behavior) and this description are
+// the two views of the same design: the cycle-accuracy experiments check
+// them against each other.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "meta/class_desc.hpp"
+
+namespace osss::hls {
+
+using meta::Bits;
+using meta::ClassPtr;
+using meta::ExprPtr;
+
+struct InputDecl {
+  std::string name;
+  unsigned width = 0;
+};
+
+struct VarDecl {
+  std::string name;
+  unsigned width = 0;
+  Bits init;
+  bool is_output = false;
+  bool is_temp = false;  ///< wire-like: must not live across a wait
+  ClassPtr cls;          ///< non-null: an OSSS object variable
+};
+
+struct Instr {
+  enum class Kind : std::uint8_t { kAssign, kCall, kBranch, kJump, kWait };
+  Kind kind = Kind::kWait;
+  // kAssign
+  std::string target;
+  ExprPtr expr;
+  // kCall: object method invocation; `result` names a var for the return
+  // value (empty for void calls).
+  std::string object;
+  std::string method;
+  std::vector<ExprPtr> args;
+  std::string result;
+  // kBranch: if `cond` evaluates FALSE, jump to `target_pc`; kJump:
+  // unconditional.
+  ExprPtr cond;
+  std::size_t target_pc = 0;
+  // kWait
+  unsigned state_id = 0;  ///< assigned at finalization
+};
+
+/// A finished behavioural description.
+struct Behavior {
+  std::string name;
+  std::vector<InputDecl> inputs;
+  std::vector<VarDecl> vars;
+  std::vector<Instr> code;
+  unsigned state_count = 0;
+
+  const VarDecl* find_var(const std::string& name) const;
+  const InputDecl* find_input(const std::string& name) const;
+};
+
+/// Structured-control builder producing a Behavior.
+///
+///   BehaviorBuilder bb("i2c");
+///   auto start = bb.input("start", 1);
+///   auto busy  = bb.var("busy", 1, 0, /*output=*/true);
+///   bb.loop([&] {
+///     bb.if_(start, [&] {
+///       bb.assign(busy, meta::constant(1, 1));
+///       bb.wait(4);
+///       bb.assign(busy, meta::constant(1, 0));
+///     });
+///     bb.wait();
+///   });
+///   Behavior beh = bb.take();
+class BehaviorBuilder {
+public:
+  explicit BehaviorBuilder(std::string name);
+
+  /// Declare an input signal; returns the expression referencing it.
+  ExprPtr input(const std::string& name, unsigned width);
+
+  /// Declare a state variable (a register after synthesis).  Returns the
+  /// expression referencing it.
+  ExprPtr var(const std::string& name, unsigned width, std::uint64_t init = 0,
+              bool output = false);
+  ExprPtr var(const std::string& name, Bits init, bool output = false);
+
+  /// Declare an OSSS object variable of class `cls` (initialized by the
+  /// class constructor).  Returns the raw-bits reference.
+  ExprPtr object(const std::string& name, ClassPtr cls);
+
+  void assign(const ExprPtr& var_ref, ExprPtr value);
+  void wait(unsigned cycles = 1);
+
+  void if_(ExprPtr cond, const std::function<void()>& then_fn,
+           const std::function<void()>& else_fn = {});
+  void while_(ExprPtr cond, const std::function<void()>& body);
+  /// `while (true)` — the standard tail of an SC_CTHREAD.
+  void loop(const std::function<void()>& body);
+  /// Busy-wait: `while (!cond) wait();`
+  void wait_until(ExprPtr cond);
+
+  /// Invoke a void method on an object variable.
+  void call(const ExprPtr& obj_ref, const std::string& method,
+            std::vector<ExprPtr> args = {});
+  /// Invoke a returning method; the result is available through the
+  /// returned temporary expression *within the current state only*.
+  ExprPtr call_r(const ExprPtr& obj_ref, const std::string& method,
+                 std::vector<ExprPtr> args = {});
+
+  /// Finalize: assigns wait/state ids and validates structure.
+  Behavior take();
+
+private:
+  Behavior b_;
+  bool taken_ = false;
+  unsigned temp_counter_ = 0;
+
+  const VarDecl& require_var(const ExprPtr& ref, const char* what) const;
+  void check_not_taken() const;
+};
+
+}  // namespace osss::hls

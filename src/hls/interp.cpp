@@ -1,0 +1,111 @@
+#include "hls/interp.hpp"
+
+#include <stdexcept>
+
+#include "meta/expr.hpp"
+
+namespace osss::hls {
+
+namespace {
+[[noreturn]] void bad(const std::string& name, const std::string& msg) {
+  throw std::logic_error("hls::Interpreter " + name + ": " + msg);
+}
+}  // namespace
+
+Interpreter::Interpreter(Behavior beh) : beh_(std::move(beh)) { reset(); }
+
+void Interpreter::reset() {
+  vars_.clear();
+  for (const VarDecl& v : beh_.vars) {
+    if (!v.is_temp) vars_[v.name] = v.init;
+  }
+  run_to_wait(0);
+}
+
+void Interpreter::set_input(const std::string& name, const Bits& value) {
+  const InputDecl* in = beh_.find_input(name);
+  if (in == nullptr) bad(beh_.name, "no input " + name);
+  if (in->width != value.width())
+    bad(beh_.name, "input width mismatch on " + name);
+  inputs_[name] = value;
+}
+
+void Interpreter::set_input(const std::string& name, std::uint64_t value) {
+  const InputDecl* in = beh_.find_input(name);
+  if (in == nullptr) bad(beh_.name, "no input " + name);
+  set_input(name, Bits(in->width, value));
+}
+
+const Bits& Interpreter::var(const std::string& name) const {
+  const auto it = vars_.find(name);
+  if (it == vars_.end()) bad(beh_.name, "no variable " + name);
+  return it->second;
+}
+
+void Interpreter::step() { run_to_wait(pc_ + 1); }
+
+void Interpreter::run_to_wait(std::size_t pc) {
+  // Build the concrete environment: all state variables plus inputs
+  // (inputs default to zero until driven, like undriven ports).
+  meta::Env env;
+  for (const auto& [name, value] : vars_)
+    env.locals[name] = meta::constant(value);
+  for (const InputDecl& in : beh_.inputs) {
+    const auto it = inputs_.find(in.name);
+    env.params[in.name] =
+        meta::constant(it != inputs_.end() ? it->second : Bits(in.width));
+  }
+
+  std::size_t steps = 0;
+  const std::size_t limit = (beh_.code.size() + 4) * 4096;
+  for (;;) {
+    if (++steps > limit)
+      bad(beh_.name, "runaway execution — loop without wait()?");
+    if (pc >= beh_.code.size()) bad(beh_.name, "fell off the end");
+    const Instr& ins = beh_.code[pc];
+    switch (ins.kind) {
+      case Instr::Kind::kAssign:
+        env.locals[ins.target] = meta::substitute(ins.expr, env);
+        ++pc;
+        break;
+      case Instr::Kind::kCall: {
+        const VarDecl* obj = beh_.find_var(ins.object);
+        if (obj == nullptr || !obj->cls)
+          bad(beh_.name, "bad call object " + ins.object);
+        std::vector<Bits> args;
+        args.reserve(ins.args.size());
+        for (const auto& a : ins.args)
+          args.push_back(meta::eval_const(meta::substitute(a, env)));
+        const Bits state =
+            meta::eval_const(env.locals.at(ins.object));
+        const auto result = obj->cls->call(ins.method, state, args);
+        env.locals[ins.object] = meta::constant(result.state);
+        if (!ins.result.empty()) {
+          if (!result.ret)
+            bad(beh_.name, "method " + ins.method + " returned nothing");
+          env.locals[ins.result] = meta::constant(*result.ret);
+        }
+        ++pc;
+        break;
+      }
+      case Instr::Kind::kBranch: {
+        const Bits c = meta::eval_const(meta::substitute(ins.cond, env));
+        pc = c.bit(0) ? pc + 1 : ins.target_pc;
+        break;
+      }
+      case Instr::Kind::kJump:
+        pc = ins.target_pc;
+        break;
+      case Instr::Kind::kWait: {
+        // Commit: persistent variables only; temps die here.
+        for (auto& [name, value] : vars_)
+          value = meta::eval_const(env.locals.at(name));
+        pc_ = pc;
+        state_ = ins.state_id;
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace osss::hls

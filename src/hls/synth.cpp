@@ -1,0 +1,620 @@
+#include "hls/synth.hpp"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "meta/emit.hpp"
+#include "rtl/builder.hpp"
+
+namespace osss::hls {
+
+namespace {
+
+using meta::Env;
+using meta::Expr;
+using meta::ExprKind;
+using meta::ExprPtr;
+using rtl::Wire;
+
+[[noreturn]] void bad(const std::string& name, const std::string& msg) {
+  throw std::logic_error("hls::synthesize " + name + ": " + msg);
+}
+
+constexpr unsigned kEntryState = static_cast<unsigned>(-1);
+
+struct Transition {
+  unsigned from = 0;
+  unsigned to = 0;
+  ExprPtr guard;  ///< nullptr = unconditional
+  std::map<std::string, ExprPtr> regs;  ///< next value per register var
+};
+
+unsigned bits_for(unsigned count) {
+  unsigned w = 1;
+  while ((1u << w) < count) ++w;
+  return w;
+}
+
+/// Collect kBinary/kMul nodes in deterministic post-order (operands before
+/// users), deduplicated.
+void collect_muls(const ExprPtr& e, std::unordered_set<const Expr*>& seen,
+                  std::vector<ExprPtr>& out) {
+  if (!e || seen.count(e.get())) return;
+  seen.insert(e.get());
+  for (const auto& a : e->args) collect_muls(a, seen, out);
+  if (e->kind == ExprKind::kBinary && e->bop == meta::BinOp::kMul)
+    out.push_back(e);
+}
+
+/// Branch context of an operation: the cond nodes (and polarities) on the
+/// path from the expression root.  Two operations whose contexts contain
+/// the same cond node with opposite polarity can never be live together —
+/// the binder's mutual-exclusion test.
+using BranchContext = std::vector<std::pair<ExprPtr, bool>>;
+
+struct MulSite {
+  ExprPtr node;
+  BranchContext context;  ///< intersection over all occurrences
+};
+
+struct MulCollector {
+  std::vector<MulSite> sites;
+  std::unordered_set<const Expr*> tainted;  ///< excluded from binding
+  std::unordered_map<const Expr*, unsigned> visits;
+  static constexpr unsigned kVisitCap = 64;
+
+  void taint_subtree(const ExprPtr& e) {
+    std::unordered_set<const Expr*> seen;
+    std::vector<ExprPtr> muls;
+    collect_muls(e, seen, muls);
+    for (const auto& m : muls) tainted.insert(m.get());
+  }
+
+  void walk(const ExprPtr& e, BranchContext& ctx) {
+    if (!e) return;
+    if (++visits[e.get()] > kVisitCap) {
+      // Heavily shared subtree: visiting every occurrence would be too
+      // expensive, and partial context information would be unsound —
+      // exclude its multiplications from binding instead.
+      taint_subtree(e);
+      return;
+    }
+    if (e->kind == ExprKind::kCond) {
+      // Multiplications inside a select condition would feed the operand
+      // muxes' own selects; keep them out of binding.
+      taint_subtree(e->args[0]);
+      ctx.emplace_back(e->args[0], true);
+      walk(e->args[1], ctx);
+      ctx.back().second = false;
+      walk(e->args[2], ctx);
+      ctx.pop_back();
+    } else {
+      for (const auto& a : e->args) walk(a, ctx);
+    }
+    if (e->kind == ExprKind::kBinary && e->bop == meta::BinOp::kMul) {
+      for (MulSite& site : sites) {
+        if (site.node.get() == e.get()) {
+          // Seen before: keep only context entries common to both paths.
+          BranchContext common;
+          for (const auto& entry : site.context) {
+            for (const auto& now : ctx) {
+              if (entry == now) {
+                common.push_back(entry);
+                break;
+              }
+            }
+          }
+          site.context = std::move(common);
+          return;
+        }
+      }
+      sites.push_back(MulSite{e, ctx});
+    }
+  }
+};
+
+bool contexts_exclusive(const BranchContext& a, const BranchContext& b) {
+  for (const auto& [node, pol_a] : a) {
+    for (const auto& [node_b, pol_b] : b) {
+      if (node.get() == node_b.get() && pol_a != pol_b) return true;
+    }
+  }
+  return false;
+}
+
+class FsmSynth {
+public:
+  FsmSynth(const Behavior& beh, const Options& options)
+      : beh_(beh), opt_(options) {}
+
+  rtl::Module run(Report* report);
+
+private:
+  /// A transition under construction (no `from` yet — exploration is per
+  /// start state).
+  struct Partial {
+    unsigned to = 0;
+    ExprPtr guard;  ///< nullptr = unconditional
+    std::map<std::string, ExprPtr> regs;
+  };
+
+  const Behavior& beh_;
+  const Options& opt_;
+  std::vector<Transition> transitions_;
+  std::size_t steps_ = 0;
+  std::size_t step_limit_ = 0;
+  std::size_t depth_ = 0;
+  static constexpr std::size_t kMaxBranchDepth = 256;
+
+  Env fresh_env(bool constant_init) const;
+
+  /// Join-aware symbolic execution from `pc`: branches explore both arms
+  /// and *merge* results reaching the same wait into one transition whose
+  /// register updates are nested conditional expressions — preserving the
+  /// source's if-structure instead of enumerating exponentially many
+  /// control paths.
+  std::vector<Partial> explore(std::size_t pc, Env env);
+
+  /// Fold all entries (mutually exclusive guards) targeting one state into
+  /// a single Partial.
+  static Partial fold_group(std::vector<Partial> group);
+};
+
+Env FsmSynth::fresh_env(bool constant_init) const {
+  Env env;
+  for (const VarDecl& v : beh_.vars) {
+    if (v.is_temp) continue;  // temps are dead at state boundaries
+    env.locals[v.name] =
+        constant_init ? meta::constant(v.init) : meta::local(v.name, v.width);
+  }
+  for (const InputDecl& i : beh_.inputs)
+    env.params[i.name] = meta::param(i.name, i.width);
+  return env;
+}
+
+FsmSynth::Partial FsmSynth::fold_group(std::vector<Partial> group) {
+  // Guards within a group are mutually exclusive; an unconditional entry
+  // can only ever be alone.
+  Partial acc = std::move(group.front());
+  for (std::size_t i = 1; i < group.size(); ++i) {
+    Partial& t = group[i];
+    if (!acc.guard || !t.guard)
+      throw std::logic_error("hls: unconditional transition has siblings");
+    for (auto& [name, tree] : acc.regs)
+      tree = meta::cond(t.guard, t.regs.at(name), tree);
+    acc.guard = meta::bor(t.guard, acc.guard);
+  }
+  return acc;
+}
+
+std::vector<FsmSynth::Partial> FsmSynth::explore(std::size_t pc, Env env) {
+  for (;;) {
+    if (++steps_ > step_limit_)
+      bad(beh_.name,
+          "state exploration did not terminate — a loop without wait()?");
+    if (pc >= beh_.code.size())
+      bad(beh_.name, "fell off the end of the code");
+    const Instr& ins = beh_.code[pc];
+    switch (ins.kind) {
+      case Instr::Kind::kAssign: {
+        ExprPtr v = meta::substitute(ins.expr, env);
+        env.locals[ins.target] = std::move(v);
+        ++pc;
+        break;
+      }
+      case Instr::Kind::kCall: {
+        const VarDecl* obj = beh_.find_var(ins.object);
+        const auto it = env.locals.find(ins.object);
+        if (obj == nullptr || !obj->cls || it == env.locals.end())
+          bad(beh_.name, "call on unknown object " + ins.object);
+        const meta::MethodDesc* m = obj->cls->find_method(ins.method);
+        if (m == nullptr)
+          bad(beh_.name, "no method " + ins.method + " on " + ins.object);
+        Env call_env = obj->cls->member_env(it->second);
+        for (std::size_t i = 0; i < ins.args.size(); ++i) {
+          call_env.params[m->params[i].name] =
+              meta::substitute(ins.args[i], env);
+        }
+        const ExprPtr ret = meta::exec_stmts(m->body, call_env);
+        env.locals[ins.object] = obj->cls->pack_members(call_env);
+        if (!ins.result.empty()) {
+          if (!ret)
+            bad(beh_.name, "method " + ins.method + " returned nothing");
+          env.locals[ins.result] = ret;
+        }
+        ++pc;
+        break;
+      }
+      case Instr::Kind::kBranch: {
+        const ExprPtr c = meta::substitute(ins.cond, env);
+        if (meta::is_const(c)) {
+          pc = c->value.bit(0) ? pc + 1 : ins.target_pc;
+          break;
+        }
+        // Explore both arms and *join*: results reaching the same wait
+        // merge into one transition with cond-merged register updates.
+        if (++depth_ > kMaxBranchDepth)
+          bad(beh_.name,
+              "branch nesting exceeds limit — a data-dependent loop "
+              "without wait()?");
+        std::vector<Partial> taken = explore(pc + 1, env);
+        std::vector<Partial> skipped = explore(ins.target_pc, std::move(env));
+        --depth_;
+        std::vector<Partial> merged;
+        for (Partial& t : taken) {
+          // Find and fold all not-taken entries with the same target.
+          std::vector<Partial> group_e;
+          for (auto it2 = skipped.begin(); it2 != skipped.end();) {
+            if (it2->to == t.to) {
+              group_e.push_back(std::move(*it2));
+              it2 = skipped.erase(it2);
+            } else {
+              ++it2;
+            }
+          }
+          if (group_e.empty()) {
+            t.guard = t.guard ? meta::band(c, t.guard) : c;
+            merged.push_back(std::move(t));
+            continue;
+          }
+          Partial e = fold_group(std::move(group_e));
+          Partial m;
+          m.to = t.to;
+          for (auto& [name, tree] : t.regs)
+            m.regs[name] = meta::cond(c, tree, e.regs.at(name));
+          if (!t.guard && !e.guard) {
+            m.guard = nullptr;  // both sides unconditional: join is total
+          } else {
+            const ExprPtr gt = t.guard ? meta::band(c, t.guard) : c;
+            const ExprPtr ge =
+                e.guard ? meta::band(meta::bnot(c), e.guard) : meta::bnot(c);
+            m.guard = meta::bor(gt, ge);
+          }
+          merged.push_back(std::move(m));
+        }
+        for (Partial& e : skipped) {
+          e.guard = e.guard ? meta::band(meta::bnot(c), e.guard)
+                            : meta::bnot(c);
+          merged.push_back(std::move(e));
+        }
+        return merged;
+      }
+      case Instr::Kind::kJump:
+        pc = ins.target_pc;
+        break;
+      case Instr::Kind::kWait: {
+        Partial p;
+        p.to = ins.state_id;
+        for (const VarDecl& v : beh_.vars) {
+          if (v.is_temp) continue;
+          const auto it = env.locals.find(v.name);
+          if (it == env.locals.end())
+            bad(beh_.name, "lost variable " + v.name);
+          p.regs[v.name] = it->second;
+        }
+        return {std::move(p)};
+      }
+    }
+  }
+}
+
+rtl::Module FsmSynth::run(Report* report) {
+  step_limit_ = (beh_.code.size() + 4) * 4096;
+
+  // Entry/preamble: must be input-independent and constant.
+  steps_ = 0;
+  std::vector<Partial> entry = explore(0, fresh_env(/*constant_init=*/true));
+  if (entry.size() != 1 || entry[0].guard != nullptr)
+    bad(beh_.name,
+        "reset preamble must reach exactly one wait() unconditionally");
+  for (const auto& [name, tree] : entry[0].regs) {
+    if (!meta::is_const(tree))
+      bad(beh_.name, "reset preamble value of '" + name +
+                         "' depends on inputs — not synthesizable as a "
+                         "register reset value");
+  }
+  const unsigned initial_state = entry[0].to;
+
+  // Per-state exploration.
+  for (const Instr& ins : beh_.code) {
+    if (ins.kind != Instr::Kind::kWait) continue;
+    steps_ = 0;
+    std::vector<Partial> parts =
+        explore(static_cast<std::size_t>(&ins - beh_.code.data()) + 1,
+                fresh_env(/*constant_init=*/false));
+    for (Partial& p : parts) {
+      Transition t;
+      t.from = ins.state_id;
+      t.to = p.to;
+      t.guard = std::move(p.guard);
+      t.regs = std::move(p.regs);
+      transitions_.push_back(std::move(t));
+    }
+  }
+
+  // Merge transitions sharing (from, to): distinct control paths that end
+  // in the same state become one guarded transition whose register updates
+  // are conditional expressions.  Without this, every if/else between two
+  // waits would multiply the transition count (and the datapath muxing)
+  // exponentially — real behavioral synthesis keeps the if-structure.
+  {
+    std::vector<Transition> merged;
+    for (const Transition& t : transitions_) {
+      Transition* slot = nullptr;
+      for (Transition& m : merged) {
+        if (m.from == t.from && m.to == t.to) {
+          slot = &m;
+          break;
+        }
+      }
+      if (slot == nullptr) {
+        merged.push_back(t);
+        continue;
+      }
+      // Guards are mutually exclusive by construction, so the merge is
+      // cond-select on the incoming guard; an unconditional transition
+      // absorbs everything.
+      if (slot->guard == nullptr) continue;  // already always-taken
+      if (t.guard == nullptr) {
+        for (auto& [name, tree] : slot->regs)
+          tree = meta::cond(slot->guard, tree, t.regs.at(name));
+        slot->guard = nullptr;
+      } else {
+        for (auto& [name, tree] : slot->regs)
+          tree = meta::cond(t.guard, t.regs.at(name), tree);
+        slot->guard = meta::bor(slot->guard, t.guard);
+      }
+    }
+    transitions_ = std::move(merged);
+  }
+
+  // ---- emission --------------------------------------------------------
+  rtl::Builder b(beh_.name);
+  meta::RtlEmitter shared_em(b);
+
+  std::map<std::string, Wire> input_wires;
+  for (const InputDecl& in : beh_.inputs) {
+    const Wire w = b.input(in.name, in.width);
+    input_wires[in.name] = w;
+    shared_em.bind_param(in.name, w);
+  }
+
+  const unsigned sw = bits_for(beh_.state_count);
+  const Wire state = b.reg("__state", sw, Bits(sw, initial_state));
+
+  std::map<std::string, Wire> reg_wires;
+  unsigned reg_bits = 0;
+  for (const VarDecl& v : beh_.vars) {
+    if (v.is_temp) continue;
+    const Bits init = entry[0].regs.at(v.name)->value;
+    const Wire q = b.reg(v.name, v.width, init);
+    reg_wires[v.name] = q;
+    shared_em.bind_local(v.name, q);
+    reg_bits += v.width;
+  }
+
+  // Guard wires, always through the shared emitter.
+  std::map<unsigned, Wire> state_sel;
+  for (const Transition& t : transitions_) {
+    if (!state_sel.count(t.from))
+      state_sel[t.from] = b.eq(state, b.constant(sw, t.from));
+  }
+  std::vector<Wire> guards(transitions_.size());
+  for (std::size_t i = 0; i < transitions_.size(); ++i) {
+    const Transition& t = transitions_[i];
+    guards[i] = t.guard ? b.and_(state_sel[t.from], shared_em.emit(t.guard))
+                        : state_sel[t.from];
+  }
+
+  unsigned mul_ops = 0;
+  unsigned mul_units = 0;
+  std::vector<std::unique_ptr<meta::RtlEmitter>> per_tr_em;
+
+  if (opt_.share_multipliers) {
+    // Muls reachable from guards are excluded from binding (their operand
+    // muxes would be selected by the guards themselves — a combinational
+    // cycle); they emit privately through the shared emitter instead.
+    std::unordered_set<const Expr*> excluded;
+    {
+      std::unordered_set<const Expr*> seen;
+      std::vector<ExprPtr> tmp;
+      for (const Transition& t : transitions_)
+        if (t.guard) collect_muls(t.guard, seen, tmp);
+      for (const auto& e : tmp) excluded.insert(e.get());
+    }
+    // Collect bindable sites per transition with their branch contexts.
+    struct Site {
+      std::size_t tr;
+      ExprPtr node;
+      BranchContext context;
+      unsigned unit = 0;
+    };
+    std::vector<Site> sites;
+    for (std::size_t i = 0; i < transitions_.size(); ++i) {
+      MulCollector mc;
+      BranchContext ctx;
+      for (const auto& [name, tree] : transitions_[i].regs)
+        mc.walk(tree, ctx);
+      for (const MulSite& s : mc.sites) {
+        if (excluded.count(s.node.get()) || mc.tainted.count(s.node.get()))
+          continue;
+        sites.push_back(Site{i, s.node, s.context, 0});
+      }
+    }
+    {
+      std::unordered_set<const Expr*> distinct;
+      for (const Site& s : sites) distinct.insert(s.node.get());
+      mul_ops = static_cast<unsigned>(distinct.size());
+    }
+    // Greedy unit assignment.  Compatibility: different transitions are
+    // exclusive in time (state guards); same-transition sites need
+    // contradictory branch contexts.  A site whose operands contain bound
+    // sites must land on a strictly higher unit so operand muxes never
+    // form a combinational loop.
+    std::vector<std::vector<std::size_t>> units;  // unit -> site indices
+    std::map<std::pair<std::size_t, const Expr*>, unsigned> unit_of;
+    for (std::size_t si = 0; si < sites.size(); ++si) {
+      Site& s = sites[si];
+      unsigned min_unit = 0;
+      {
+        std::unordered_set<const Expr*> seen;
+        std::vector<ExprPtr> inner;
+        collect_muls(s.node->args[0], seen, inner);
+        collect_muls(s.node->args[1], seen, inner);
+        for (const auto& m : inner) {
+          const auto it = unit_of.find({s.tr, m.get()});
+          if (it != unit_of.end()) min_unit = std::max(min_unit,
+                                                       it->second + 1);
+        }
+      }
+      unsigned chosen = static_cast<unsigned>(units.size());
+      for (unsigned u = min_unit; u < units.size(); ++u) {
+        bool ok = true;
+        for (const std::size_t other : units[u]) {
+          if (sites[other].tr != s.tr) continue;  // time-exclusive
+          if (sites[other].node.get() == s.node.get() ||
+              !contexts_exclusive(sites[other].context, s.context)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) {
+          chosen = u;
+          break;
+        }
+      }
+      if (chosen == units.size()) units.emplace_back();
+      units[chosen].push_back(si);
+      s.unit = chosen;
+      unit_of[{s.tr, s.node.get()}] = chosen;
+    }
+    mul_units = static_cast<unsigned>(units.size());
+
+    per_tr_em.reserve(transitions_.size());
+    for (std::size_t i = 0; i < transitions_.size(); ++i) {
+      auto em = std::make_unique<meta::RtlEmitter>(b);
+      for (const auto& [name, w] : input_wires) em->bind_param(name, w);
+      for (const auto& [name, w] : reg_wires) em->bind_local(name, w);
+      per_tr_em.push_back(std::move(em));
+    }
+    // Build the units in index order; operand selects combine the
+    // transition guard with the site's branch context.
+    for (unsigned u = 0; u < units.size(); ++u) {
+      unsigned unit_width = 1;
+      for (const std::size_t si : units[u])
+        unit_width = std::max(unit_width, sites[si].node->width);
+      Wire op_a = b.constant(unit_width, 0);
+      Wire op_b = b.constant(unit_width, 0);
+      for (const std::size_t si : units[u]) {
+        const Site& s = sites[si];
+        meta::RtlEmitter& em = *per_tr_em[s.tr];
+        Wire sel = guards[s.tr];
+        for (const auto& [cnode, polarity] : s.context) {
+          const Wire cw = em.emit(cnode);
+          sel = b.and_(sel, polarity ? cw : b.not_(cw));
+        }
+        const Wire lhs = b.zext(em.emit(s.node->args[0]), unit_width);
+        const Wire rhs = b.zext(em.emit(s.node->args[1]), unit_width);
+        op_a = b.mux(sel, lhs, op_a);
+        op_b = b.mux(sel, rhs, op_b);
+      }
+      const Wire out = b.mul(op_a, op_b);
+      b.name(out, beh_.name + "__mul_unit" + std::to_string(u));
+      for (const std::size_t si : units[u]) {
+        const Site& s = sites[si];
+        const Wire sized = s.node->width == unit_width
+                               ? out
+                               : b.slice(out, s.node->width - 1, 0);
+        per_tr_em[s.tr]->seed(s.node, sized);
+      }
+    }
+  } else {
+    // One multiplier per distinct multiplication site.
+    std::unordered_set<const Expr*> seen;
+    std::vector<ExprPtr> muls;
+    for (const Transition& t : transitions_)
+      for (const auto& [name, tree] : t.regs) collect_muls(tree, seen, muls);
+    mul_ops = mul_units = static_cast<unsigned>(muls.size());
+  }
+
+  auto emit_tree = [&](std::size_t tr, const ExprPtr& tree) -> Wire {
+    return opt_.share_multipliers ? per_tr_em[tr]->emit(tree)
+                                  : shared_em.emit(tree);
+  };
+
+  // Emission groups: transitions from different states whose update trees
+  // are identical (pointer-equal — trees are interned) and whose target
+  // matches share one guarded datapath; their guards are ORed.  This is
+  // why a loop state and the preamble state, which execute the same loop
+  // body, cost one datapath, not two.  (Sharing mode keeps per-transition
+  // emitters, so grouping is disabled there.)
+  struct EmitGroup {
+    Wire guard;
+    std::size_t proto;  ///< representative transition
+  };
+  std::vector<EmitGroup> groups;
+  if (!opt_.share_multipliers) {
+    std::map<std::pair<unsigned, std::vector<const Expr*>>, std::size_t> seen;
+    for (std::size_t i = 0; i < transitions_.size(); ++i) {
+      std::vector<const Expr*> sig;
+      for (const auto& [name, tree] : transitions_[i].regs)
+        sig.push_back(tree.get());
+      const auto key = std::make_pair(transitions_[i].to, std::move(sig));
+      const auto it = seen.find(key);
+      if (it != seen.end()) {
+        groups[it->second].guard = b.or_(groups[it->second].guard, guards[i]);
+      } else {
+        seen.emplace(key, groups.size());
+        groups.push_back(EmitGroup{guards[i], i});
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < transitions_.size(); ++i)
+      groups.push_back(EmitGroup{guards[i], i});
+  }
+
+  // Next-state logic: priority mux over (mutually exclusive) groups.
+  Wire next_state = state;  // defensive hold
+  for (const EmitGroup& g : groups) {
+    next_state =
+        b.mux(g.guard, b.constant(sw, transitions_[g.proto].to), next_state);
+  }
+  b.connect(state, next_state);
+
+  // Register updates.
+  for (const VarDecl& v : beh_.vars) {
+    if (v.is_temp) continue;
+    Wire acc = reg_wires[v.name];
+    for (const EmitGroup& g : groups) {
+      const ExprPtr& tree = transitions_[g.proto].regs.at(v.name);
+      // Identity updates (variable unchanged on this transition) need no
+      // mux at all.
+      if (tree->kind == ExprKind::kLocalRef && tree->name == v.name) continue;
+      acc = b.mux(g.guard, emit_tree(g.proto, tree), acc);
+    }
+    b.connect(reg_wires[v.name], acc);
+    if (v.is_output) b.output(v.name, reg_wires[v.name]);
+  }
+
+  if (report != nullptr) {
+    report->states = beh_.state_count;
+    report->transitions = static_cast<unsigned>(transitions_.size());
+    report->state_bits = sw;
+    report->register_bits = reg_bits;
+    report->mul_ops = mul_ops;
+    report->mul_units = mul_units;
+  }
+  return b.take();
+}
+
+}  // namespace
+
+rtl::Module synthesize(const Behavior& beh, const Options& options,
+                       Report* report) {
+  return FsmSynth(beh, options).run(report);
+}
+
+}  // namespace osss::hls

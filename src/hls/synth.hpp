@@ -1,0 +1,47 @@
+// synth.hpp — behavioral synthesis: Behavior -> FSM + datapath RTL.
+//
+// This plays the role of the SystemC behavioral-synthesis tool in the
+// paper's flow (its Fig. 6 "SystemC Compiler" box):
+//
+//   * every wait() becomes an FSM state;
+//   * the code between waits is symbolically executed — branches fork into
+//     guarded paths, OSSS method calls are inlined through the resolved
+//     class model — yielding, per state, a set of exclusive transitions
+//     with next-state and register-update expressions;
+//   * binding: multiplications can optionally be *shared* on a single
+//     (or few) multiplier unit(s) with operand multiplexers, the classic
+//     behavioral-synthesis resource binding.  The muxes are the paper's
+//     "some unnecessary overhead ... influence on area and speed" — made
+//     measurable by the R10 ablation;
+//   * the reset preamble (code before the first wait) must be input-
+//     independent; its effect becomes the registers' reset values, matching
+//     the SC_CTHREAD watching() semantics.
+
+#pragma once
+
+#include "hls/behavior.hpp"
+#include "rtl/ir.hpp"
+
+namespace osss::hls {
+
+struct Options {
+  /// Bind all (non-guard) multiplications onto shared multiplier units
+  /// with operand muxes instead of instantiating one multiplier per use.
+  bool share_multipliers = false;
+};
+
+struct Report {
+  unsigned states = 0;
+  unsigned transitions = 0;
+  unsigned state_bits = 0;
+  unsigned register_bits = 0;
+  unsigned mul_ops = 0;    ///< multiplication sites in the behaviour
+  unsigned mul_units = 0;  ///< multiplier instances after binding
+};
+
+/// Synthesize a behaviour into an RTL module.  Inputs become input ports;
+/// vars declared with output=true become (registered) output ports.
+rtl::Module synthesize(const Behavior& beh, const Options& options = {},
+                       Report* report = nullptr);
+
+}  // namespace osss::hls

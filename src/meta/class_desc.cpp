@@ -1,0 +1,145 @@
+#include "meta/class_desc.hpp"
+
+#include <stdexcept>
+
+namespace osss::meta {
+
+namespace {
+[[noreturn]] void bad(const std::string& cls, const std::string& msg) {
+  throw std::logic_error("meta::ClassDesc " + cls + ": " + msg);
+}
+}  // namespace
+
+void ClassDesc::add_member(std::string name, unsigned width) {
+  if (width == 0) bad(name_, "zero-width member " + name);
+  for (const Member& m : all_members()) {
+    if (m.name == name) bad(name_, "duplicate member " + name);
+  }
+  members_.push_back(Member{std::move(name), width});
+}
+
+void ClassDesc::add_method(MethodDesc m) {
+  for (const MethodDesc& existing : methods_) {
+    if (existing.name == m.name) bad(name_, "duplicate method " + m.name);
+  }
+  methods_.push_back(std::move(m));
+}
+
+std::vector<Member> ClassDesc::all_members() const {
+  std::vector<Member> out;
+  if (base_) out = base_->all_members();
+  out.insert(out.end(), members_.begin(), members_.end());
+  return out;
+}
+
+unsigned ClassDesc::data_width() const {
+  unsigned w = base_ ? base_->data_width() : 0;
+  for (const Member& m : members_) w += m.width;
+  return w;
+}
+
+unsigned ClassDesc::member_offset(const std::string& member) const {
+  unsigned offset = 0;
+  for (const Member& m : all_members()) {
+    if (m.name == member) return offset;
+    offset += m.width;
+  }
+  bad(name_, "unknown member " + member);
+}
+
+unsigned ClassDesc::member_width(const std::string& member) const {
+  for (const Member& m : all_members()) {
+    if (m.name == member) return m.width;
+  }
+  bad(name_, "unknown member " + member);
+}
+
+const MethodDesc* ClassDesc::find_method(const std::string& name) const {
+  for (const MethodDesc& m : methods_) {
+    if (m.name == name) return &m;
+  }
+  return base_ ? base_->find_method(name) : nullptr;
+}
+
+bool ClassDesc::derives_from(const ClassDesc& ancestor) const {
+  for (const ClassDesc* c = this; c != nullptr; c = c->base()) {
+    if (c == &ancestor) return true;
+    // Name-based identity is also accepted: template instantiation caching
+    // can produce distinct but identical descriptor objects.
+    if (c->name() == ancestor.name() &&
+        c->data_width() == ancestor.data_width())
+      return true;
+  }
+  return false;
+}
+
+Env ClassDesc::member_env(const ExprPtr& this_expr) const {
+  if (this_expr->width != data_width())
+    bad(name_, "member_env width mismatch");
+  Env env;
+  unsigned offset = 0;
+  for (const Member& m : all_members()) {
+    env.members[m.name] = slice(this_expr, offset + m.width - 1, offset);
+    offset += m.width;
+  }
+  return env;
+}
+
+ExprPtr ClassDesc::pack_members(const Env& env) const {
+  std::vector<ExprPtr> parts;  // most significant first
+  const auto members = all_members();
+  for (auto it = members.rbegin(); it != members.rend(); ++it) {
+    const auto found = env.members.find(it->name);
+    if (found == env.members.end())
+      bad(name_, "pack_members: missing member " + it->name);
+    if (found->second->width != it->width)
+      bad(name_, "pack_members: width mismatch on " + it->name);
+    parts.push_back(found->second);
+  }
+  return concat(std::move(parts));
+}
+
+Bits ClassDesc::initial_value() const {
+  const MethodDesc* ctor = find_method("__ctor__");
+  if (ctor == nullptr) return Bits(data_width());
+  const CallResult r = call("__ctor__", Bits(data_width()), {});
+  return r.state;
+}
+
+ClassDesc::CallResult ClassDesc::call(const std::string& method,
+                                      const Bits& state,
+                                      const std::vector<Bits>& args) const {
+  const MethodDesc* m = find_method(method);
+  if (m == nullptr) bad(name_, "no method " + method);
+  if (state.width() != data_width()) bad(name_, "state width mismatch");
+  if (args.size() != m->params.size())
+    bad(name_, "argument count mismatch on " + method);
+  Env env = member_env(constant(state));
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i].width() != m->params[i].width)
+      bad(name_, "argument width mismatch on " + method + "/" +
+                     m->params[i].name);
+    env.params[m->params[i].name] = constant(args[i]);
+  }
+  const ExprPtr ret = exec_stmts(m->body, env);
+  CallResult out;
+  out.state = eval_const(pack_members(env));
+  if (m->return_width != 0) {
+    if (!ret) bad(name_, "method " + method + " fell off without return");
+    if (ret->width != m->return_width)
+      bad(name_, "return width mismatch on " + method);
+    out.ret = eval_const(ret);
+  }
+  return out;
+}
+
+ClassPtr ClassTemplate::instantiate(
+    const std::vector<std::uint64_t>& params) const {
+  const auto it = cache_.find(params);
+  if (it != cache_.end()) return it->second;
+  ClassPtr desc = std::make_shared<const ClassDesc>(gen_(params));
+  cache_.emplace(params, desc);
+  return desc;
+}
+
+}  // namespace osss::meta

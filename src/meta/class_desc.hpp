@@ -1,0 +1,138 @@
+// class_desc.hpp — the analyzer's model of an OSSS class.
+//
+// A ClassDesc carries exactly what the OSSS synthesizer needs from a class:
+// the ordered data members (which §8 of the paper maps to a single bit
+// vector), the methods as statement trees, inheritance (base members are
+// laid out first, so a derived object *is* a base object prefix plus its
+// own members), virtual-ness for polymorphic dispatch, and template
+// parameters handled by instantiation (parameter forwarding, §8).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "meta/expr.hpp"
+
+namespace osss::meta {
+
+struct Member {
+  std::string name;
+  unsigned width = 0;
+};
+
+struct Param {
+  std::string name;
+  unsigned width = 0;
+};
+
+struct MethodDesc {
+  std::string name;
+  std::vector<Param> params;
+  unsigned return_width = 0;  ///< 0 = void
+  bool is_const = false;      ///< does not modify the object
+  bool is_virtual = false;    ///< participates in polymorphic dispatch
+  std::vector<StmtPtr> body;
+};
+
+class ClassDesc {
+public:
+  explicit ClassDesc(std::string name) : name_(std::move(name)) {}
+
+  /// Derived class: base members are laid out first (prefix layout).
+  ClassDesc(std::string name, std::shared_ptr<const ClassDesc> base)
+      : name_(std::move(name)), base_(std::move(base)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  const ClassDesc* base() const noexcept { return base_.get(); }
+
+  void add_member(std::string name, unsigned width);
+  void add_method(MethodDesc m);
+
+  /// Members declared by this class only.
+  const std::vector<Member>& own_members() const noexcept { return members_; }
+  /// All members, base-first (the object layout order).
+  std::vector<Member> all_members() const;
+
+  /// Total object width in bits — the width of the `_this_` vector the
+  /// synthesizer resolves member accesses into.
+  unsigned data_width() const;
+
+  /// Bit offset of a member in the object vector (walks the base chain).
+  /// Throws std::logic_error for unknown members.
+  unsigned member_offset(const std::string& member) const;
+  unsigned member_width(const std::string& member) const;
+
+  /// Method lookup with inheritance (derived overrides base).
+  const MethodDesc* find_method(const std::string& name) const;
+  const std::vector<MethodDesc>& own_methods() const noexcept {
+    return methods_;
+  }
+
+  /// True if `other` is this class or an ancestor of it.
+  bool derives_from(const ClassDesc& ancestor) const;
+
+  /// Construct the initial (reset) object value by running a constructor
+  /// method named "__ctor__" if present, else all-zero.
+  Bits initial_value() const;
+
+  /// Execute a method concretely: given the object's current bits and
+  /// constant arguments, return the new object bits and the return value
+  /// (empty optional for void).  This is the reference interpreter used to
+  /// check the meta description against the executable C++ class and
+  /// against the synthesized hardware.
+  struct CallResult {
+    Bits state;
+    std::optional<Bits> ret;
+  };
+  CallResult call(const std::string& method, const Bits& state,
+                  const std::vector<Bits>& args) const;
+
+  /// Build the symbolic environment mapping each member to a slice of a
+  /// `_this_`-typed expression (the §8 resolution step).
+  Env member_env(const ExprPtr& this_expr) const;
+
+  /// Pack a member environment back into a `_this_` expression.
+  ExprPtr pack_members(const Env& env) const;
+
+private:
+  std::string name_;
+  std::shared_ptr<const ClassDesc> base_;
+  std::vector<Member> members_;
+  std::vector<MethodDesc> methods_;
+};
+
+using ClassPtr = std::shared_ptr<const ClassDesc>;
+
+/// A class template: a named generator of ClassDesc instances from integer
+/// parameters, with an instantiation cache — the analyzer-level model of
+/// `template<unsigned REGSIZE, unsigned RESETVALUE> class SyncRegister`.
+class ClassTemplate {
+public:
+  using Generator =
+      std::function<ClassDesc(const std::vector<std::uint64_t>&)>;
+
+  ClassTemplate(std::string name, Generator gen)
+      : name_(std::move(name)), gen_(std::move(gen)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Instantiate (memoized).  Repeated instantiation with the same
+  /// parameters returns the identical ClassDesc — templates are resolved
+  /// once, like real template instantiation.
+  ClassPtr instantiate(const std::vector<std::uint64_t>& params) const;
+
+  std::size_t instantiation_count() const noexcept { return cache_.size(); }
+
+private:
+  std::string name_;
+  Generator gen_;
+  mutable std::map<std::vector<std::uint64_t>, ClassPtr> cache_;
+};
+
+}  // namespace osss::meta

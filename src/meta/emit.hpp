@@ -1,0 +1,50 @@
+// emit.hpp — expression-tree to RTL emission.
+//
+// The final step of every OSSS resolution path: a (symbolically executed)
+// expression tree becomes RTL nodes in an rtl::Builder.  References must be
+// bound to wires first; emission is memoized per tree node so shared
+// subtrees emit shared logic.
+
+#pragma once
+
+#include <unordered_map>
+
+#include "meta/expr.hpp"
+#include "rtl/builder.hpp"
+
+namespace osss::meta {
+
+class RtlEmitter {
+public:
+  explicit RtlEmitter(rtl::Builder& b) : b_(b) {}
+
+  void bind_param(const std::string& name, rtl::Wire w) { params_[name] = w; }
+  void bind_local(const std::string& name, rtl::Wire w) { locals_[name] = w; }
+  void bind_member(const std::string& name, rtl::Wire w) {
+    members_[name] = w;
+  }
+
+  /// Emit (or reuse) the wire computing `e`.
+  rtl::Wire emit(const ExprPtr& e);
+
+  /// Pre-bind a subtree to an existing wire (resource binding: a shared
+  /// functional unit's output replaces the operation node).
+  void seed(const ExprPtr& e, rtl::Wire w) {
+    if (!e || e->width != w.width)
+      throw std::logic_error("RtlEmitter: bad seed");
+    cache_[e.get()] = w;
+  }
+
+  rtl::Builder& builder() noexcept { return b_; }
+
+private:
+  rtl::Builder& b_;
+  std::unordered_map<const Expr*, rtl::Wire> cache_;
+  std::unordered_map<std::string, rtl::Wire> params_;
+  std::unordered_map<std::string, rtl::Wire> locals_;
+  std::unordered_map<std::string, rtl::Wire> members_;
+
+  rtl::Wire compute(const ExprPtr& e);
+};
+
+}  // namespace osss::meta

@@ -1,0 +1,165 @@
+// expr.hpp — the OSSS analyzer's expression/statement model.
+//
+// The ODETTE flow parses OSSS source with an *analyzer* and hands a
+// structured model of every class to the *synthesizer* (paper §7).  We
+// cannot ship a C++ front-end, so this model is produced by construction:
+// each OSSS design class carries, next to its executable C++ methods, a
+// `MethodDesc` whose body is an expression/statement tree over its data
+// members.  Everything downstream of the analyzer — resolution to free
+// functions over `_this_` bit vectors, template forwarding, polymorphism
+// muxes, scheduler generation — operates on this model exactly as the
+// paper describes.
+//
+// Expressions are immutable shared trees; widths are explicit and checked
+// at construction (hardware never infers widths silently).
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sysc/bits.hpp"
+
+namespace osss::meta {
+
+using sysc::Bits;
+
+enum class ExprKind : std::uint8_t {
+  kConst,
+  kMemberRef,  ///< data member of the enclosing object
+  kParamRef,   ///< method parameter / behavior input signal
+  kLocalRef,   ///< method local / behavior state variable
+  kBinary,
+  kUnary,
+  kSlice,
+  kConcat,  ///< args.front() is the MOST significant chunk
+  kCond,    ///< args = {cond(1), then, else}
+  kZExt,
+  kSExt,
+};
+
+enum class BinOp : std::uint8_t {
+  kAdd,
+  kSub,
+  kMul,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,   ///< by variable amount (rhs may be any width)
+  kLshr,
+  kEq,
+  kNe,
+  kUlt,
+  kUle,
+  kSlt,
+  kSle,
+};
+
+enum class UnOp : std::uint8_t { kNot, kNeg, kRedOr, kRedAnd, kRedXor };
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Expr {
+  ExprKind kind;
+  unsigned width;
+  Bits value;                 ///< kConst
+  std::string name;           ///< refs
+  BinOp bop = BinOp::kAdd;    ///< kBinary
+  UnOp uop = UnOp::kNot;      ///< kUnary
+  unsigned lo = 0;            ///< kSlice offset
+  std::vector<ExprPtr> args;
+};
+
+const char* bin_op_name(BinOp op);
+const char* un_op_name(UnOp op);
+
+// --- constructors (width-checked; throw std::invalid_argument) -------------
+ExprPtr constant(unsigned width, std::uint64_t v);
+ExprPtr constant(Bits v);
+ExprPtr member(std::string name, unsigned width);
+ExprPtr param(std::string name, unsigned width);
+ExprPtr local(std::string name, unsigned width);
+ExprPtr binary(BinOp op, ExprPtr a, ExprPtr b);
+ExprPtr unary(UnOp op, ExprPtr a);
+ExprPtr slice(ExprPtr a, unsigned hi, unsigned lo);
+ExprPtr concat(std::vector<ExprPtr> parts);  ///< front = most significant
+ExprPtr cond(ExprPtr c, ExprPtr t, ExprPtr e);
+ExprPtr zext(ExprPtr a, unsigned width);
+ExprPtr sext(ExprPtr a, unsigned width);
+
+// Convenience wrappers.
+inline ExprPtr add(ExprPtr a, ExprPtr b) { return binary(BinOp::kAdd, a, b); }
+inline ExprPtr sub(ExprPtr a, ExprPtr b) { return binary(BinOp::kSub, a, b); }
+inline ExprPtr mul(ExprPtr a, ExprPtr b) { return binary(BinOp::kMul, a, b); }
+inline ExprPtr band(ExprPtr a, ExprPtr b) { return binary(BinOp::kAnd, a, b); }
+inline ExprPtr bor(ExprPtr a, ExprPtr b) { return binary(BinOp::kOr, a, b); }
+inline ExprPtr bxor(ExprPtr a, ExprPtr b) { return binary(BinOp::kXor, a, b); }
+inline ExprPtr eq(ExprPtr a, ExprPtr b) { return binary(BinOp::kEq, a, b); }
+inline ExprPtr ne(ExprPtr a, ExprPtr b) { return binary(BinOp::kNe, a, b); }
+inline ExprPtr ult(ExprPtr a, ExprPtr b) { return binary(BinOp::kUlt, a, b); }
+inline ExprPtr ule(ExprPtr a, ExprPtr b) { return binary(BinOp::kUle, a, b); }
+inline ExprPtr bnot(ExprPtr a) { return unary(UnOp::kNot, a); }
+
+// --- statements -------------------------------------------------------------
+
+enum class StmtKind : std::uint8_t { kAssign, kIf, kReturn };
+
+struct Stmt;
+using StmtPtr = std::shared_ptr<const Stmt>;
+
+struct Stmt {
+  StmtKind kind;
+  // kAssign
+  bool target_is_member = false;
+  std::string target;
+  ExprPtr expr;
+  // kIf
+  ExprPtr if_cond;
+  std::vector<StmtPtr> then_body;
+  std::vector<StmtPtr> else_body;
+  // kReturn
+  ExprPtr ret;
+};
+
+StmtPtr assign_member(std::string name, ExprPtr value);
+StmtPtr assign_local(std::string name, ExprPtr value);
+StmtPtr if_stmt(ExprPtr cond, std::vector<StmtPtr> then_body,
+                std::vector<StmtPtr> else_body = {});
+StmtPtr return_stmt(ExprPtr value);
+
+// --- symbolic environment ------------------------------------------------
+//
+// Maps names to expression trees.  Used both for concrete interpretation
+// (every tree is a kConst) and for symbolic execution during synthesis.
+
+struct Env {
+  std::map<std::string, ExprPtr> members;
+  std::map<std::string, ExprPtr> params;
+  std::map<std::string, ExprPtr> locals;
+};
+
+/// Rewrite `e`, replacing every reference with its binding in `env`.
+/// References without a binding throw std::logic_error (the analyzer would
+/// have rejected the program).  Constant-folds as it goes: an expression
+/// whose inputs are all constants becomes a kConst node.
+ExprPtr substitute(const ExprPtr& e, const Env& env);
+
+/// Execute a statement list symbolically, updating `env` in place.
+/// Returns the return-value tree if a kReturn was executed (must be the
+/// final statement on every path it appears on), nullptr otherwise.
+ExprPtr exec_stmts(const std::vector<StmtPtr>& body, Env& env);
+
+/// Fully evaluate an expression with no free references to a value.
+/// Throws if the tree is not closed.
+Bits eval_const(const ExprPtr& e);
+
+/// True when the tree is a kConst node.
+bool is_const(const ExprPtr& e);
+
+/// Render an expression as text (diagnostics and the SystemC emitter).
+std::string to_string(const ExprPtr& e);
+
+}  // namespace osss::meta

@@ -1,0 +1,142 @@
+// fixed.hpp — automated fixed-point number resolution.
+//
+// The paper notes "prototypic support of automated fixed point number
+// resolution has been implemented" (§6).  Fixed<I, F> is a signed
+// fixed-point value with I integer bits (including sign) and F fraction
+// bits.  Arithmetic *automatically resolves* result formats so no
+// precision is lost:
+//
+//   Fixed<I1,F1> + Fixed<I2,F2> -> Fixed<max(I1,I2)+1, max(F1,F2)>
+//   Fixed<I1,F1> * Fixed<I2,F2> -> Fixed<I1+I2,       F1+F2>
+//
+// — the width bookkeeping a designer would otherwise do by hand.  Explicit
+// resize<>() converts back to a storage format (with truncation toward
+// negative infinity, the hardware-cheap choice).
+
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <stdexcept>
+
+#include "sysc/bits.hpp"
+
+namespace osss {
+
+template <unsigned I, unsigned F>
+class Fixed {
+  static_assert(I >= 1, "need at least the sign bit");
+  static_assert(I + F <= 62, "total width limited to 62 bits");
+
+public:
+  static constexpr unsigned kIntBits = I;
+  static constexpr unsigned kFracBits = F;
+  static constexpr unsigned kWidth = I + F;
+
+  constexpr Fixed() = default;
+
+  /// Quantize a real value (round to nearest).  Throws on overflow.
+  static Fixed from_double(double v) {
+    const double scaled = v * static_cast<double>(1ll << F);
+    const double rounded = std::nearbyint(scaled);
+    if (rounded >= static_cast<double>(1ll << (kWidth - 1)) ||
+        rounded < -static_cast<double>(1ll << (kWidth - 1)))
+      throw std::overflow_error("Fixed: value out of range");
+    return from_raw(static_cast<std::int64_t>(rounded));
+  }
+
+  static constexpr Fixed from_raw(std::int64_t raw) {
+    Fixed f;
+    f.raw_ = raw;
+    return f;
+  }
+
+  static constexpr Fixed from_int(std::int64_t v) {
+    return from_raw(v << F);
+  }
+
+  constexpr std::int64_t raw() const noexcept { return raw_; }
+
+  double to_double() const noexcept {
+    return static_cast<double>(raw_) / static_cast<double>(1ll << F);
+  }
+
+  /// Integer part (floor).
+  constexpr std::int64_t to_int() const noexcept { return raw_ >> F; }
+
+  /// Two's-complement bit pattern (for signals / synthesis checks).
+  sysc::Bits to_bits() const {
+    return sysc::Bits(kWidth, static_cast<std::uint64_t>(raw_));
+  }
+  static Fixed from_bits(const sysc::Bits& b) {
+    if (b.width() != kWidth)
+      throw std::invalid_argument("Fixed: width mismatch");
+    return from_raw(b.to_i64());
+  }
+
+  // --- automatically resolved arithmetic -------------------------------
+  template <unsigned I2, unsigned F2>
+  friend constexpr auto operator+(const Fixed& a, const Fixed<I2, F2>& b) {
+    constexpr unsigned RI = (I > I2 ? I : I2) + 1;
+    constexpr unsigned RF = (F > F2 ? F : F2);
+    return Fixed<RI, RF>::from_raw(align<RF>(a.raw_, F) +
+                                   align<RF>(b.raw(), F2));
+  }
+
+  template <unsigned I2, unsigned F2>
+  friend constexpr auto operator-(const Fixed& a, const Fixed<I2, F2>& b) {
+    constexpr unsigned RI = (I > I2 ? I : I2) + 1;
+    constexpr unsigned RF = (F > F2 ? F : F2);
+    return Fixed<RI, RF>::from_raw(align<RF>(a.raw_, F) -
+                                   align<RF>(b.raw(), F2));
+  }
+
+  template <unsigned I2, unsigned F2>
+  friend constexpr auto operator*(const Fixed& a, const Fixed<I2, F2>& b) {
+    return Fixed<I + I2, F + F2>::from_raw(a.raw_ * b.raw());
+  }
+
+  /// Explicit format conversion; truncates extra fraction bits toward
+  /// negative infinity and throws on integer overflow.
+  template <unsigned NI, unsigned NF>
+  Fixed<NI, NF> resize() const {
+    std::int64_t r = raw_;
+    if constexpr (NF >= F) {
+      r <<= (NF - F);
+    } else {
+      r >>= (F - NF);  // arithmetic shift: floor
+    }
+    const std::int64_t limit = 1ll << (NI + NF - 1);
+    if (r >= limit || r < -limit)
+      throw std::overflow_error("Fixed: resize overflow");
+    return Fixed<NI, NF>::from_raw(r);
+  }
+
+  // --- comparison (format-aware) ------------------------------------------
+  template <unsigned I2, unsigned F2>
+  constexpr std::strong_ordering compare(const Fixed<I2, F2>& b) const {
+    constexpr unsigned RF = (F > F2 ? F : F2);
+    return align<RF>(raw_, F) <=> align<RF>(b.raw(), F2);
+  }
+
+  friend constexpr bool operator==(const Fixed& a, const Fixed& b) {
+    return a.raw_ == b.raw_;
+  }
+  friend constexpr auto operator<=>(const Fixed& a, const Fixed& b) {
+    return a.raw_ <=> b.raw_;
+  }
+
+private:
+  std::int64_t raw_ = 0;
+
+  template <unsigned RF>
+  static constexpr std::int64_t align(std::int64_t raw, unsigned from_f) {
+    return raw << (RF - from_f);
+  }
+
+  template <unsigned, unsigned>
+  friend class Fixed;
+};
+
+}  // namespace osss

@@ -1,0 +1,90 @@
+// polymorphic.hpp — synthesizable-style polymorphic objects (simulation view).
+//
+// OSSS supports synthesis of polymorphic objects: "this feature can be used
+// to call different operations through the same interface on different
+// objects", e.g. selecting between ALU implementations behind one
+// read()/write()/execute() interface (paper §6).  Hardware cannot allocate:
+// a synthesizable polymorphic object is a *tagged union* with a fixed
+// footprint — the tag selects which implementation's logic drives the
+// outputs (the muxes of §8).
+//
+// This template is the executable C++ view: a closed set of alternatives
+// stored in place, dispatched through the common base interface.  The
+// synthesis view (tag + payload layout, mux generation) lives in
+// synth/polymorphic.hpp; the two are checked against each other by the R5
+// experiment.
+
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <variant>
+
+namespace osss {
+
+template <class Base, class... Alts>
+class Polymorphic {
+  static_assert(sizeof...(Alts) >= 1, "need at least one alternative");
+  static_assert((std::is_base_of_v<Base, Alts> && ...),
+                "every alternative must derive from Base");
+
+public:
+  /// Default: holds the first alternative, default-constructed.
+  Polymorphic() = default;
+
+  template <class T>
+    requires(std::same_as<std::decay_t<T>, Alts> || ...)
+  Polymorphic(T&& value) : storage_(std::forward<T>(value)) {}  // NOLINT
+
+  /// Replace the held object (re-"instantiation"; in hardware, loading the
+  /// tag and payload registers).
+  template <class T, class... Args>
+    requires(std::same_as<T, Alts> || ...)
+  T& emplace(Args&&... args) {
+    return storage_.template emplace<T>(std::forward<Args>(args)...);
+  }
+
+  /// Which alternative is live (the hardware tag value).
+  std::size_t tag() const noexcept { return storage_.index(); }
+
+  /// Number of representable alternatives (determines the tag width).
+  static constexpr std::size_t alternative_count() { return sizeof...(Alts); }
+
+  template <class T>
+  bool holds() const noexcept {
+    return std::holds_alternative<T>(storage_);
+  }
+
+  template <class T>
+  T& as() {
+    T* p = std::get_if<T>(&storage_);
+    if (p == nullptr) throw std::bad_variant_access();
+    return *p;
+  }
+
+  /// Access through the common interface — the OO call the synthesizer
+  /// turns into a mux over implementations.
+  Base& operator*() { return *base_ptr(); }
+  const Base& operator*() const { return *base_ptr(); }
+  Base* operator->() { return base_ptr(); }
+  const Base* operator->() const { return base_ptr(); }
+
+  bool operator==(const Polymorphic& other) const
+    requires(std::equality_comparable<Alts> && ...)
+  {
+    return storage_ == other.storage_;
+  }
+
+private:
+  std::variant<Alts...> storage_;
+
+  Base* base_ptr() {
+    return std::visit([](auto& alt) -> Base* { return &alt; }, storage_);
+  }
+  const Base* base_ptr() const {
+    return std::visit([](const auto& alt) -> const Base* { return &alt; },
+                      storage_);
+  }
+};
+
+}  // namespace osss

@@ -1,0 +1,157 @@
+// shared.hpp — global (shared) objects with generated scheduling
+// (simulation view).
+//
+// "Often, components of a system have to be accessed by different modules
+// or processes ... such parts of a system can be implemented as global
+// objects.  The access and scheduling of a global object gets automatically
+// included for synthesis.  A designer can use a standard scheduler or
+// implement an own according to the required needs." (paper §6)
+//
+// Here a Shared<T> owns the object and an arbiter thread clocked like any
+// other module.  Clients enqueue requests (closures over the object) and
+// busy-wait on a ticket; the arbiter grants one request per clock according
+// to its scheduler policy.  Blocking access thus costs wait() cycles while
+// every other module keeps executing — exactly the paper's §12 discussion.
+// The synthesis view (request/grant wires, method mux, arbiter logic) is in
+// synth/shared_synth.hpp.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sysc/module.hpp"
+
+namespace osss {
+
+/// Arbitration policy: picks one requesting client per cycle.
+class SchedulerPolicy {
+public:
+  virtual ~SchedulerPolicy() = default;
+  /// `pending[i]` — client i has a request; at least one entry is true.
+  /// `last` — client granted most recently (initialized to clients-1, so a
+  /// round-robin scan starts at client 0).
+  virtual std::size_t pick(const std::vector<bool>& pending,
+                           std::size_t last) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Rotating fairness: first requesting client after the last grant.
+class RoundRobinScheduler final : public SchedulerPolicy {
+public:
+  std::size_t pick(const std::vector<bool>& pending,
+                   std::size_t last) const override {
+    const std::size_t n = pending.size();
+    for (std::size_t k = 1; k <= n; ++k) {
+      const std::size_t c = (last + k) % n;
+      if (pending[c]) return c;
+    }
+    throw std::logic_error("RoundRobinScheduler: no pending request");
+  }
+  std::string name() const override { return "round_robin"; }
+};
+
+/// Fixed priority: lowest client index wins.
+class StaticPriorityScheduler final : public SchedulerPolicy {
+public:
+  std::size_t pick(const std::vector<bool>& pending,
+                   std::size_t /*last*/) const override {
+    for (std::size_t c = 0; c < pending.size(); ++c)
+      if (pending[c]) return c;
+    throw std::logic_error("StaticPriorityScheduler: no pending request");
+  }
+  std::string name() const override { return "static_priority"; }
+};
+
+/// A shared (global) object of type T serving `clients` requesters.
+template <class T>
+class Shared : public sysc::Module {
+public:
+  /// A pending access.  Clients poll done() from their clocked thread:
+  ///   auto t = shared.request(my_id, [&](T& o) { r = o.method(); });
+  ///   while (!t->done()) co_await sysc::wait();
+  class Ticket {
+  public:
+    bool done() const noexcept { return done_; }
+
+  private:
+    friend class Shared;
+    bool done_ = false;
+  };
+  using TicketPtr = std::shared_ptr<Ticket>;
+
+  Shared(sysc::Context& ctx, std::string name, sysc::Signal<bool>& clk,
+         std::size_t clients, T initial,
+         std::unique_ptr<SchedulerPolicy> policy)
+      : Module(ctx, std::move(name)),
+        object_(std::move(initial)),
+        policy_(std::move(policy)),
+        queues_(clients),
+        grants_(clients, 0) {
+    if (clients == 0) throw std::invalid_argument("Shared: zero clients");
+    if (!policy_) throw std::invalid_argument("Shared: null policy");
+    last_ = clients - 1;  // round-robin scan starts at client 0
+    cthread("arbiter", clk, [this]() -> sysc::Behavior { return arbiter(); });
+  }
+
+  /// Enqueue an access for `client`.  The closure runs when the arbiter
+  /// grants this client — one grant per clock cycle across all clients.
+  TicketPtr request(std::size_t client, std::function<void(T&)> access) {
+    if (client >= queues_.size())
+      throw std::out_of_range("Shared: bad client id");
+    auto ticket = std::make_shared<Ticket>();
+    queues_[client].push_back(PendingAccess{ticket, std::move(access)});
+    return ticket;
+  }
+
+  /// Direct read-only view (testbench inspection — not arbitrated).
+  const T& peek() const noexcept { return object_; }
+
+  std::uint64_t grant_count(std::size_t client) const {
+    return grants_.at(client);
+  }
+  std::size_t client_count() const noexcept { return queues_.size(); }
+  const SchedulerPolicy& policy() const noexcept { return *policy_; }
+
+private:
+  struct PendingAccess {
+    TicketPtr ticket;
+    std::function<void(T&)> fn;
+  };
+
+  T object_;
+  std::unique_ptr<SchedulerPolicy> policy_;
+  std::vector<std::deque<PendingAccess>> queues_;
+  std::vector<std::uint64_t> grants_;
+  std::size_t last_;
+
+  sysc::Behavior arbiter() {
+    for (;;) {
+      std::vector<bool> pending(queues_.size());
+      bool any = false;
+      for (std::size_t c = 0; c < queues_.size(); ++c) {
+        pending[c] = !queues_[c].empty();
+        any |= pending[c];
+      }
+      if (any) {
+        const std::size_t c = policy_->pick(pending, last_);
+        if (c >= queues_.size() || queues_[c].empty())
+          throw std::logic_error("Shared: scheduler picked an idle client");
+        PendingAccess access = std::move(queues_[c].front());
+        queues_[c].pop_front();
+        access.fn(object_);
+        access.ticket->done_ = true;
+        ++grants_[c];
+        last_ = c;
+      }
+      co_await sysc::wait();
+    }
+  }
+};
+
+}  // namespace osss

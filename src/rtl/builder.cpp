@@ -1,0 +1,256 @@
+#include "rtl/builder.hpp"
+
+#include <stdexcept>
+
+namespace osss::rtl {
+
+unsigned addr_width_for(unsigned depth) {
+  if (depth <= 1) return 1;
+  unsigned w = 0;
+  unsigned d = depth - 1;
+  while (d != 0) {
+    ++w;
+    d >>= 1;
+  }
+  return w;
+}
+
+void Builder::check_valid(Wire w, const char* what) const {
+  if (!w.valid() || w.id >= m_.nodes_.size())
+    throw std::logic_error(std::string("Builder: invalid wire for ") + what);
+  if (m_.nodes_[w.id].width != w.width)
+    throw std::logic_error(std::string("Builder: stale wire handle in ") +
+                           what);
+}
+
+void Builder::check_same(Wire a, Wire b, const char* what) const {
+  check_valid(a, what);
+  check_valid(b, what);
+  if (a.width != b.width)
+    throw std::logic_error(std::string("Builder: width mismatch in ") + what +
+                           ": " + std::to_string(a.width) + " vs " +
+                           std::to_string(b.width));
+}
+
+Wire Builder::make(Op op, unsigned width, std::vector<NodeId> ins,
+                   unsigned param) {
+  Node n;
+  n.op = op;
+  n.width = width;
+  n.ins = std::move(ins);
+  n.param = param;
+  m_.nodes_.push_back(std::move(n));
+  return Wire{static_cast<NodeId>(m_.nodes_.size() - 1), width};
+}
+
+Wire Builder::input(const std::string& name, unsigned width) {
+  Wire w = make(Op::kInput, width, {});
+  m_.nodes_[w.id].name = name;
+  m_.inputs_.push_back({name, w.id});
+  return w;
+}
+
+void Builder::output(const std::string& name, Wire w) {
+  check_valid(w, "output");
+  m_.outputs_.push_back({name, w.id});
+}
+
+Wire Builder::constant(unsigned width, std::uint64_t value) {
+  return constant(Bits(width, value));
+}
+
+Wire Builder::constant(const Bits& value) {
+  Wire w = make(Op::kConst, value.width(), {});
+  m_.nodes_[w.id].value = value;
+  return w;
+}
+
+#define OSSS_BINOP(fn, op)                       \
+  Wire Builder::fn(Wire a, Wire b) {             \
+    check_same(a, b, #fn);                       \
+    return make(op, a.width, {a.id, b.id});      \
+  }
+
+OSSS_BINOP(add, Op::kAdd)
+OSSS_BINOP(sub, Op::kSub)
+OSSS_BINOP(mul, Op::kMul)
+OSSS_BINOP(and_, Op::kAnd)
+OSSS_BINOP(or_, Op::kOr)
+OSSS_BINOP(xor_, Op::kXor)
+#undef OSSS_BINOP
+
+#define OSSS_CMP(fn, op)                         \
+  Wire Builder::fn(Wire a, Wire b) {             \
+    check_same(a, b, #fn);                       \
+    return make(op, 1, {a.id, b.id});            \
+  }
+
+OSSS_CMP(eq, Op::kEq)
+OSSS_CMP(ne, Op::kNe)
+OSSS_CMP(ult, Op::kUlt)
+OSSS_CMP(ule, Op::kUle)
+OSSS_CMP(slt, Op::kSlt)
+OSSS_CMP(sle, Op::kSle)
+#undef OSSS_CMP
+
+Wire Builder::not_(Wire a) {
+  check_valid(a, "not");
+  return make(Op::kNot, a.width, {a.id});
+}
+
+Wire Builder::shli(Wire a, unsigned amount) {
+  check_valid(a, "shli");
+  return make(Op::kShlI, a.width, {a.id}, amount);
+}
+
+Wire Builder::lshri(Wire a, unsigned amount) {
+  check_valid(a, "lshri");
+  return make(Op::kLshrI, a.width, {a.id}, amount);
+}
+
+Wire Builder::ashri(Wire a, unsigned amount) {
+  check_valid(a, "ashri");
+  return make(Op::kAshrI, a.width, {a.id}, amount);
+}
+
+Wire Builder::shlv(Wire a, Wire amount) {
+  check_valid(a, "shlv");
+  check_valid(amount, "shlv amount");
+  return make(Op::kShlV, a.width, {a.id, amount.id});
+}
+
+Wire Builder::lshrv(Wire a, Wire amount) {
+  check_valid(a, "lshrv");
+  check_valid(amount, "lshrv amount");
+  return make(Op::kLshrV, a.width, {a.id, amount.id});
+}
+
+Wire Builder::mux(Wire sel, Wire then_w, Wire else_w) {
+  check_valid(sel, "mux select");
+  if (sel.width != 1) throw std::logic_error("Builder: mux select not 1 bit");
+  check_same(then_w, else_w, "mux");
+  return make(Op::kMux, then_w.width, {sel.id, then_w.id, else_w.id});
+}
+
+Wire Builder::slice(Wire a, unsigned hi, unsigned lo) {
+  check_valid(a, "slice");
+  if (hi >= a.width || lo > hi)
+    throw std::logic_error("Builder: slice [" + std::to_string(hi) + ":" +
+                           std::to_string(lo) + "] out of range for width " +
+                           std::to_string(a.width));
+  return make(Op::kSlice, hi - lo + 1, {a.id}, lo);
+}
+
+Wire Builder::concat(const std::vector<Wire>& parts) {
+  if (parts.empty()) throw std::logic_error("Builder: empty concat");
+  unsigned total = 0;
+  std::vector<NodeId> ins;
+  ins.reserve(parts.size());
+  for (const Wire& p : parts) {
+    check_valid(p, "concat");
+    total += p.width;
+    ins.push_back(p.id);
+  }
+  return make(Op::kConcat, total, std::move(ins));
+}
+
+Wire Builder::zext(Wire a, unsigned width) {
+  check_valid(a, "zext");
+  if (width == a.width) return a;
+  if (width < a.width) throw std::logic_error("Builder: zext narrows");
+  return make(Op::kZExt, width, {a.id});
+}
+
+Wire Builder::sext(Wire a, unsigned width) {
+  check_valid(a, "sext");
+  if (width == a.width) return a;
+  if (width < a.width) throw std::logic_error("Builder: sext narrows");
+  return make(Op::kSExt, width, {a.id});
+}
+
+Wire Builder::red_or(Wire a) {
+  check_valid(a, "red_or");
+  return make(Op::kRedOr, 1, {a.id});
+}
+
+Wire Builder::red_and(Wire a) {
+  check_valid(a, "red_and");
+  return make(Op::kRedAnd, 1, {a.id});
+}
+
+Wire Builder::red_xor(Wire a) {
+  check_valid(a, "red_xor");
+  return make(Op::kRedXor, 1, {a.id});
+}
+
+Wire Builder::reg(const std::string& name, unsigned width, Bits init) {
+  if (init.width() != width)
+    throw std::logic_error("Builder: register init width mismatch");
+  Wire q = make(Op::kReg, width, {}, static_cast<unsigned>(m_.regs_.size()));
+  m_.nodes_[q.id].name = name;
+  Register r;
+  r.q = q.id;
+  r.init = std::move(init);
+  r.name = name;
+  m_.regs_.push_back(std::move(r));
+  return q;
+}
+
+void Builder::connect(Wire q, Wire d) {
+  check_valid(q, "connect");
+  check_valid(d, "connect D");
+  const Node& n = m_.nodes_[q.id];
+  if (n.op != Op::kReg) throw std::logic_error("Builder: connect on non-reg");
+  Register& r = m_.regs_[n.param];
+  if (r.d != kInvalidNode)
+    throw std::logic_error("Builder: register '" + r.name +
+                           "' connected twice");
+  if (d.width != q.width)
+    throw std::logic_error("Builder: register D width mismatch");
+  r.d = d.id;
+}
+
+void Builder::enable(Wire q, Wire en) {
+  check_valid(q, "enable");
+  check_valid(en, "enable signal");
+  const Node& n = m_.nodes_[q.id];
+  if (n.op != Op::kReg) throw std::logic_error("Builder: enable on non-reg");
+  if (en.width != 1) throw std::logic_error("Builder: enable must be 1 bit");
+  m_.regs_[n.param].enable = en.id;
+}
+
+MemHandle Builder::memory(const std::string& name, unsigned depth,
+                          unsigned data_width) {
+  Memory m;
+  m.name = name;
+  m.depth = depth;
+  m.data_width = data_width;
+  m.addr_width = addr_width_for(depth);
+  m_.mems_.push_back(std::move(m));
+  return MemHandle{static_cast<unsigned>(m_.mems_.size() - 1)};
+}
+
+Wire Builder::mem_read(MemHandle m, Wire addr) {
+  check_valid(addr, "mem_read addr");
+  const Memory& mem = m_.mems_.at(m.index);
+  if (addr.width != mem.addr_width)
+    throw std::logic_error("Builder: mem_read address width mismatch");
+  return make(Op::kMemRead, mem.data_width, {addr.id}, m.index);
+}
+
+void Builder::mem_write(MemHandle m, Wire addr, Wire data, Wire en) {
+  check_valid(addr, "mem_write addr");
+  check_valid(data, "mem_write data");
+  check_valid(en, "mem_write enable");
+  Memory& mem = m_.mems_.at(m.index);
+  mem.writes.push_back({addr.id, data.id, en.id});
+}
+
+Module Builder::take() {
+  if (taken_) throw std::logic_error("Builder: take() called twice");
+  taken_ = true;
+  m_.validate();
+  return std::move(m_);
+}
+
+}  // namespace osss::rtl

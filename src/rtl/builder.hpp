@@ -1,0 +1,116 @@
+// builder.hpp — ergonomic construction API for RTL modules.
+//
+// This is the design entry of the paper's *conventional* flow: writing RTL
+// the way a VHDL designer would (explicit registers, muxes and next-state
+// equations), and also the emission target of the OSSS synthesizer and the
+// behavioral-synthesis backend.  Wires are width-carrying handles; every
+// operation width-checks its operands at construction time, the way a VHDL
+// analyzer would.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/ir.hpp"
+
+namespace osss::rtl {
+
+/// A value handle inside a module under construction.
+struct Wire {
+  NodeId id = kInvalidNode;
+  unsigned width = 0;
+  bool valid() const noexcept { return id != kInvalidNode; }
+};
+
+/// Handle to a memory under construction.
+struct MemHandle {
+  unsigned index = 0;
+};
+
+class Builder {
+public:
+  explicit Builder(std::string module_name) : m_(std::move(module_name)) {}
+
+  // --- ports ---------------------------------------------------------------
+  Wire input(const std::string& name, unsigned width);
+  void output(const std::string& name, Wire w);
+
+  // --- constants -----------------------------------------------------------
+  Wire constant(unsigned width, std::uint64_t value);
+  Wire constant(const Bits& value);
+
+  // --- combinational operators ----------------------------------------------
+  Wire add(Wire a, Wire b);
+  Wire sub(Wire a, Wire b);
+  Wire mul(Wire a, Wire b);
+  Wire and_(Wire a, Wire b);
+  Wire or_(Wire a, Wire b);
+  Wire xor_(Wire a, Wire b);
+  Wire not_(Wire a);
+  Wire shli(Wire a, unsigned amount);
+  Wire lshri(Wire a, unsigned amount);
+  Wire ashri(Wire a, unsigned amount);
+  Wire shlv(Wire a, Wire amount);
+  Wire lshrv(Wire a, Wire amount);
+  Wire eq(Wire a, Wire b);
+  Wire ne(Wire a, Wire b);
+  Wire ult(Wire a, Wire b);
+  Wire ule(Wire a, Wire b);
+  Wire slt(Wire a, Wire b);
+  Wire sle(Wire a, Wire b);
+  Wire mux(Wire sel, Wire then_w, Wire else_w);
+  Wire slice(Wire a, unsigned hi, unsigned lo);
+  Wire bit(Wire a, unsigned index) { return slice(a, index, index); }
+  /// Concatenation; `parts.front()` becomes the MOST significant chunk.
+  Wire concat(const std::vector<Wire>& parts);
+  Wire zext(Wire a, unsigned width);
+  Wire sext(Wire a, unsigned width);
+  Wire trunc(Wire a, unsigned width) { return slice(a, width - 1, 0); }
+  Wire red_or(Wire a);
+  Wire red_and(Wire a);
+  Wire red_xor(Wire a);
+
+  // --- state ----------------------------------------------------------------
+  /// Declare a register; returns its Q output.  The D input must be
+  /// connected before take() via connect().
+  Wire reg(const std::string& name, unsigned width, Bits init);
+  Wire reg(const std::string& name, unsigned width, std::uint64_t init = 0) {
+    return reg(name, width, Bits(width, init));
+  }
+  /// Connect a register's next-value input.
+  void connect(Wire q, Wire d);
+  /// Attach a clock-enable to a register.
+  void enable(Wire q, Wire en);
+
+  // --- memories ----------------------------------------------------------
+  MemHandle memory(const std::string& name, unsigned depth,
+                   unsigned data_width);
+  Wire mem_read(MemHandle m, Wire addr);
+  void mem_write(MemHandle m, Wire addr, Wire data, Wire en);
+  unsigned mem_addr_width(MemHandle m) const {
+    return m_.mems_[m.index].addr_width;
+  }
+
+  /// Attach a debug name to a net.
+  void name(Wire w, const std::string& n) { m_.nodes_[w.id].name = n; }
+
+  /// Finalize: validates and returns the module.  The builder is spent.
+  Module take();
+
+  const Module& peek() const noexcept { return m_; }
+
+private:
+  Module m_;
+  bool taken_ = false;
+
+  Wire make(Op op, unsigned width, std::vector<NodeId> ins, unsigned param = 0);
+  void check_same(Wire a, Wire b, const char* what) const;
+  void check_valid(Wire w, const char* what) const;
+};
+
+/// Address width needed to index `depth` entries.
+unsigned addr_width_for(unsigned depth);
+
+}  // namespace osss::rtl

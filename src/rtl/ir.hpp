@@ -1,0 +1,158 @@
+// ir.hpp — register-transfer-level netlist intermediate representation.
+//
+// This IR is the meeting point of the two design flows the paper compares:
+//
+//   * the "VHDL flow": designs written directly against rtl::Builder in RTL
+//     coding style (explicit registers, muxes, next-state logic);
+//   * the "OSSS flow": the OSSS synthesizer + behavioral synthesis emit
+//     into the same IR.
+//
+// A module is a DAG of combinational nodes plus registers (single implicit
+// clock domain, synchronous) and synchronous-write/asynchronous-read
+// memories.  From here the gate-level backend lowers to a technology
+// netlist; the cycle simulator executes the IR directly.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sysc/bits.hpp"
+
+namespace osss::rtl {
+
+using sysc::Bits;
+
+using NodeId = std::uint32_t;
+constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+enum class Op : std::uint8_t {
+  kConst,    ///< literal; `value` holds the payload
+  kInput,    ///< module input port
+  kAdd,      ///< a + b (wraps)
+  kSub,      ///< a - b (wraps)
+  kMul,      ///< a * b truncated to operand width
+  kAnd,
+  kOr,
+  kXor,
+  kNot,
+  kShlI,     ///< logical shift left by constant `param`
+  kLshrI,    ///< logical shift right by constant `param`
+  kAshrI,    ///< arithmetic shift right by constant `param`
+  kShlV,     ///< logical shift left by variable amount (ins[1])
+  kLshrV,    ///< logical shift right by variable amount (ins[1])
+  kEq,       ///< 1-bit result
+  kNe,
+  kUlt,
+  kUle,
+  kSlt,
+  kSle,
+  kMux,      ///< ins = {sel(1), then, else}
+  kSlice,    ///< bits [param + width - 1 .. param] of ins[0]
+  kConcat,   ///< ins[0] is the MOST significant chunk
+  kZExt,
+  kSExt,
+  kRedOr,    ///< reductions, 1-bit result
+  kRedAnd,
+  kRedXor,
+  kReg,      ///< register output; `param` indexes Module::registers()
+  kMemRead,  ///< asynchronous read; `param` indexes Module::memories()
+};
+
+const char* op_name(Op op);
+bool op_is_commutative(Op op);
+
+struct Node {
+  Op op;
+  unsigned width = 0;
+  std::vector<NodeId> ins;
+  Bits value;          ///< kConst payload
+  unsigned param = 0;  ///< slice offset / shift amount / reg / mem index
+  std::string name;    ///< debug name for inputs, registers, named nets
+};
+
+/// A synchronous register.  `enable == kInvalidNode` means always-enabled.
+/// Reset is modelled by re-loading `init` (the simulator's reset() and the
+/// gate backend's DFF reset pin both use it).
+struct Register {
+  NodeId q = kInvalidNode;       ///< the kReg node presenting the output
+  NodeId d = kInvalidNode;       ///< next-value input (must be connected)
+  NodeId enable = kInvalidNode;  ///< optional 1-bit clock enable
+  Bits init;
+  std::string name;
+};
+
+/// A memory with asynchronous read ports (kMemRead nodes) and synchronous,
+/// enabled write ports.
+struct Memory {
+  std::string name;
+  unsigned addr_width = 0;
+  unsigned data_width = 0;
+  unsigned depth = 0;  ///< number of words (<= 2^addr_width)
+  struct WritePort {
+    NodeId addr = kInvalidNode;
+    NodeId data = kInvalidNode;
+    NodeId enable = kInvalidNode;  ///< required for writes
+  };
+  std::vector<WritePort> writes;
+};
+
+struct PortRef {
+  std::string name;
+  NodeId node = kInvalidNode;
+};
+
+/// Area/complexity statistics used by the experiments' reports.
+struct ModuleStats {
+  std::size_t comb_nodes = 0;
+  std::size_t register_bits = 0;
+  std::size_t memory_bits = 0;
+  std::size_t mux_nodes = 0;
+  std::size_t arith_nodes = 0;
+  std::map<std::string, std::size_t> op_histogram;
+};
+
+class Module {
+public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  const std::vector<Node>& nodes() const noexcept { return nodes_; }
+  const Node& node(NodeId id) const { return nodes_.at(id); }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  const std::vector<Register>& registers() const noexcept { return regs_; }
+  const std::vector<Memory>& memories() const noexcept { return mems_; }
+  const std::vector<PortRef>& inputs() const noexcept { return inputs_; }
+  const std::vector<PortRef>& outputs() const noexcept { return outputs_; }
+
+  NodeId find_input(const std::string& name) const;
+  NodeId find_output(const std::string& name) const;
+
+  /// Structural checks: widths, connected registers, port sanity,
+  /// combinational acyclicity.  Throws std::logic_error on violation.
+  void validate() const;
+
+  /// Topological order of all nodes (sources first).  Throws on
+  /// combinational cycles.
+  std::vector<NodeId> topo_order() const;
+
+  ModuleStats stats() const;
+
+  /// Human-readable dump (one line per node) for debugging and tests.
+  std::string dump() const;
+
+private:
+  friend class Builder;
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<Register> regs_;
+  std::vector<Memory> mems_;
+  std::vector<PortRef> inputs_;
+  std::vector<PortRef> outputs_;
+};
+
+}  // namespace osss::rtl

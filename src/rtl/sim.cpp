@@ -1,0 +1,186 @@
+#include "rtl/sim.hpp"
+
+#include <stdexcept>
+
+namespace osss::rtl {
+
+Simulator::Simulator(Module module) : m_(std::move(module)) {
+  m_.validate();
+  order_ = m_.topo_order();
+  values_.resize(m_.node_count());
+  for (NodeId id = 0; id < m_.node_count(); ++id)
+    values_[id] = Bits(m_.node(id).width);
+  reg_state_.reserve(m_.registers().size());
+  for (const Register& r : m_.registers()) reg_state_.push_back(r.init);
+  for (const Memory& mem : m_.memories())
+    mem_state_.emplace_back(mem.depth, Bits(mem.data_width));
+  input_values_.reserve(m_.inputs().size());
+  for (const auto& p : m_.inputs())
+    input_values_.push_back(Bits(m_.node(p.node).width));
+}
+
+void Simulator::set_input(const std::string& name, const Bits& value) {
+  for (std::size_t i = 0; i < m_.inputs().size(); ++i) {
+    if (m_.inputs()[i].name == name) {
+      if (value.width() != input_values_[i].width())
+        throw std::logic_error("Simulator: input width mismatch on " + name);
+      input_values_[i] = value;
+      dirty_ = true;
+      return;
+    }
+  }
+  throw std::logic_error("Simulator: no input named " + name);
+}
+
+void Simulator::set_input(const std::string& name, std::uint64_t value) {
+  const NodeId id = m_.find_input(name);
+  if (id == kInvalidNode)
+    throw std::logic_error("Simulator: no input named " + name);
+  set_input(name, Bits(m_.node(id).width, value));
+}
+
+Bits Simulator::compute(const Node& n) const {
+  auto in = [&](std::size_t i) -> const Bits& { return values_[n.ins[i]]; };
+  switch (n.op) {
+    case Op::kConst: return n.value;
+    case Op::kInput: return Bits(n.width);  // overwritten in eval()
+    case Op::kAdd: return in(0) + in(1);
+    case Op::kSub: return in(0) - in(1);
+    case Op::kMul: return in(0) * in(1);
+    case Op::kAnd: return in(0) & in(1);
+    case Op::kOr: return in(0) | in(1);
+    case Op::kXor: return in(0) ^ in(1);
+    case Op::kNot: return ~in(0);
+    case Op::kShlI: return in(0).shl(n.param);
+    case Op::kLshrI: return in(0).lshr(n.param);
+    case Op::kAshrI: return in(0).ashr(n.param);
+    case Op::kShlV:
+      return in(0).shl(static_cast<unsigned>(in(1).to_u64() &
+                                             0xffffffffu));
+    case Op::kLshrV:
+      return in(0).lshr(static_cast<unsigned>(in(1).to_u64() &
+                                              0xffffffffu));
+    case Op::kEq: return Bits(1, in(0) == in(1) ? 1u : 0u);
+    case Op::kNe: return Bits(1, in(0) != in(1) ? 1u : 0u);
+    case Op::kUlt: return Bits(1, Bits::ult(in(0), in(1)) ? 1u : 0u);
+    case Op::kUle: return Bits(1, Bits::ule(in(0), in(1)) ? 1u : 0u);
+    case Op::kSlt: return Bits(1, Bits::slt(in(0), in(1)) ? 1u : 0u);
+    case Op::kSle: return Bits(1, Bits::sle(in(0), in(1)) ? 1u : 0u);
+    case Op::kMux: return in(0).bit(0) ? in(1) : in(2);
+    case Op::kSlice: return in(0).slice(n.param + n.width - 1, n.param);
+    case Op::kConcat: {
+      Bits acc = in(0);
+      for (std::size_t i = 1; i < n.ins.size(); ++i)
+        acc = Bits::concat(acc, in(i));
+      return acc;
+    }
+    case Op::kZExt: return in(0).zext(n.width);
+    case Op::kSExt: return in(0).sext(n.width);
+    case Op::kRedOr: return Bits(1, in(0).is_zero() ? 0u : 1u);
+    case Op::kRedAnd: return Bits(1, in(0).is_ones() ? 1u : 0u);
+    case Op::kRedXor: return Bits(1, in(0).popcount() & 1u);
+    case Op::kReg: return reg_state_[n.param];
+    case Op::kMemRead: {
+      const Memory& mem = m_.memories()[n.param];
+      const std::uint64_t addr = in(0).to_u64();
+      if (addr >= mem.depth) return Bits(mem.data_width);  // out of depth: 0
+      return mem_state_[n.param][addr];
+    }
+  }
+  throw std::logic_error("Simulator: unknown op");
+}
+
+void Simulator::eval() {
+  if (!dirty_) return;
+  // Input ports first (they are sources in the topo order anyway, but their
+  // values come from the testbench).
+  for (std::size_t i = 0; i < m_.inputs().size(); ++i)
+    values_[m_.inputs()[i].node] = input_values_[i];
+  for (const NodeId id : order_) {
+    const Node& n = m_.node(id);
+    if (n.op == Op::kInput) continue;
+    values_[id] = compute(n);
+  }
+  dirty_ = false;
+}
+
+const Bits& Simulator::get(NodeId id) {
+  eval();
+  return values_.at(id);
+}
+
+const Bits& Simulator::output(const std::string& name) {
+  const NodeId id = m_.find_output(name);
+  if (id == kInvalidNode)
+    throw std::logic_error("Simulator: no output named " + name);
+  return get(id);
+}
+
+void Simulator::step() {
+  eval();
+  // Capture next state before committing anything (all registers and memory
+  // writes observe the same pre-edge values).
+  std::vector<Bits> next = reg_state_;
+  for (std::size_t i = 0; i < m_.registers().size(); ++i) {
+    const Register& r = m_.registers()[i];
+    const bool en =
+        r.enable == kInvalidNode || values_[r.enable].bit(0);
+    if (en) next[i] = values_[r.d];
+  }
+  struct PendingWrite {
+    unsigned mem;
+    std::uint64_t addr;
+    Bits data;
+  };
+  std::vector<PendingWrite> writes;
+  for (unsigned mi = 0; mi < m_.memories().size(); ++mi) {
+    for (const auto& w : m_.memories()[mi].writes) {
+      if (values_[w.enable].bit(0)) {
+        const std::uint64_t addr = values_[w.addr].to_u64();
+        if (addr < m_.memories()[mi].depth)
+          writes.push_back({mi, addr, values_[w.data]});
+      }
+    }
+  }
+  reg_state_ = std::move(next);
+  for (auto& w : writes) mem_state_[w.mem][w.addr] = std::move(w.data);
+  dirty_ = true;
+  ++cycles_;
+}
+
+void Simulator::reset() {
+  for (std::size_t i = 0; i < m_.registers().size(); ++i)
+    reg_state_[i] = m_.registers()[i].init;
+  for (unsigned mi = 0; mi < m_.memories().size(); ++mi) {
+    for (auto& word : mem_state_[mi]) word = Bits(word.width());
+  }
+  dirty_ = true;
+}
+
+const Bits& Simulator::mem_word(unsigned mem_index, unsigned word) {
+  return mem_state_.at(mem_index).at(word);
+}
+
+void Simulator::poke_mem(unsigned mem_index, unsigned word,
+                         const Bits& value) {
+  Bits& slot = mem_state_.at(mem_index).at(word);
+  if (slot.width() != value.width())
+    throw std::logic_error("Simulator: poke_mem width mismatch");
+  slot = value;
+  dirty_ = true;
+}
+
+void Simulator::poke_reg(const std::string& name, const Bits& value) {
+  for (std::size_t i = 0; i < m_.registers().size(); ++i) {
+    if (m_.registers()[i].name == name) {
+      if (reg_state_[i].width() != value.width())
+        throw std::logic_error("Simulator: poke_reg width mismatch");
+      reg_state_[i] = value;
+      dirty_ = true;
+      return;
+    }
+  }
+  throw std::logic_error("Simulator: no register named " + name);
+}
+
+}  // namespace osss::rtl

@@ -1,0 +1,56 @@
+#include "synth/method_synth.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+namespace osss::synth {
+
+namespace {
+[[noreturn]] void bad(const std::string& msg) {
+  throw std::logic_error("synth::synthesize_method: " + msg);
+}
+}  // namespace
+
+MethodLogic synthesize_method(meta::RtlEmitter& em,
+                              const meta::ClassDesc& cls,
+                              const std::string& method, rtl::Wire this_in,
+                              const std::vector<rtl::Wire>& args) {
+  const meta::MethodDesc* m = cls.find_method(method);
+  if (m == nullptr) bad("no method " + method + " on " + cls.name());
+  if (this_in.width != cls.data_width())
+    bad("`_this_` width mismatch for " + cls.name());
+  if (args.size() != m->params.size())
+    bad("argument count mismatch on " + method);
+
+  // Unique anchor names so several resolutions can share one emitter.
+  static std::atomic<unsigned> counter{0};
+  const unsigned n = counter++;
+  const std::string this_name = "__this_" + std::to_string(n) + "_";
+
+  const meta::ExprPtr this_ref = meta::local(this_name, this_in.width);
+  em.bind_local(this_name, this_in);
+
+  meta::Env env = cls.member_env(this_ref);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i].width != m->params[i].width)
+      bad("argument width mismatch on " + method + "/" + m->params[i].name);
+    const std::string arg_name =
+        "__arg_" + std::to_string(n) + "_" + std::to_string(i) + "_";
+    env.params[m->params[i].name] = meta::local(arg_name, args[i].width);
+    em.bind_local(arg_name, args[i]);
+  }
+
+  const meta::ExprPtr ret_tree = meta::exec_stmts(m->body, env);
+
+  MethodLogic out;
+  out.this_out = em.emit(cls.pack_members(env));
+  if (m->return_width != 0) {
+    if (!ret_tree) bad("method " + method + " has no return on some path");
+    if (ret_tree->width != m->return_width)
+      bad("return width mismatch on " + method);
+    out.ret = em.emit(ret_tree);
+  }
+  return out;
+}
+
+}  // namespace osss::synth

@@ -1,0 +1,39 @@
+// method_synth.hpp — resolution of class member functions into hardware.
+//
+// The core §8 transformation of the paper: "Resolution of class member
+// functions is done by the generation of non-member functions ... the data
+// members of a class instance are mapped to a single bit vector ... the
+// access to object data is therefore being translated to a read/write to
+// parts (slices) of the generated vector."
+//
+// synthesize_method() is exactly that non-member function, generated as
+// combinational RTL: it takes the `_this_` vector (and the arguments) as
+// wires and produces the updated `_this_` vector plus the return value.
+// Because the optimizing gate backend structurally hashes, a design written
+// with classes and one hand-written with explicit slices map to the same
+// gates — the paper's "no additional overhead" claim, tested by R4.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "meta/class_desc.hpp"
+#include "meta/emit.hpp"
+
+namespace osss::synth {
+
+struct MethodLogic {
+  rtl::Wire this_out;  ///< updated object vector (== input for const methods)
+  rtl::Wire ret;       ///< return value; invalid for void methods
+};
+
+/// Generate the resolved non-member function for `cls::method` as
+/// combinational logic.  `this_in` must be cls->data_width() wide and the
+/// argument wires must match the method's parameter list.
+MethodLogic synthesize_method(meta::RtlEmitter& em,
+                              const meta::ClassDesc& cls,
+                              const std::string& method, rtl::Wire this_in,
+                              const std::vector<rtl::Wire>& args);
+
+}  // namespace osss::synth

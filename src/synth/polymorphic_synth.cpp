@@ -1,0 +1,118 @@
+#include "synth/polymorphic_synth.hpp"
+
+#include <stdexcept>
+
+namespace osss::synth {
+
+namespace {
+[[noreturn]] void bad(const std::string& msg) {
+  throw std::logic_error("synth::polymorphic: " + msg);
+}
+}  // namespace
+
+unsigned Hierarchy::tag_width() const {
+  if (variants.empty()) bad("empty hierarchy");
+  unsigned w = 1;
+  while ((1u << w) < variants.size()) ++w;
+  return w;
+}
+
+unsigned Hierarchy::payload_width() const {
+  unsigned w = 0;
+  for (const auto& v : variants) w = std::max(w, v->data_width());
+  if (w == 0) bad("hierarchy has zero-width variants");
+  return w;
+}
+
+meta::Bits Hierarchy::encode(unsigned tag, const meta::Bits& state) const {
+  if (tag >= variants.size()) bad("tag out of range");
+  if (state.width() != variants[tag]->data_width())
+    bad("state width mismatch for variant " + variants[tag]->name());
+  return meta::Bits::concat(meta::Bits(tag_width(), tag),
+                            state.zext(payload_width()));
+}
+
+unsigned Hierarchy::tag_of(const meta::Bits& obj) const {
+  if (obj.width() != total_width()) bad("object width mismatch");
+  return static_cast<unsigned>(
+      obj.slice(total_width() - 1, payload_width()).to_u64());
+}
+
+meta::Bits Hierarchy::state_of(const meta::Bits& obj) const {
+  const unsigned tag = tag_of(obj);
+  return obj.slice(variants[tag]->data_width() - 1, 0);
+}
+
+void Hierarchy::validate() const {
+  if (!base) bad("null base class");
+  if (variants.empty()) bad("no variants");
+  for (const auto& v : variants) {
+    if (!v) bad("null variant");
+    if (!v->derives_from(*base))
+      bad("variant " + v->name() + " does not derive from " + base->name());
+  }
+  for (const meta::MethodDesc& m : base->own_methods()) {
+    if (!m.is_virtual) continue;
+    for (const auto& v : variants) {
+      const meta::MethodDesc* impl = v->find_method(m.name);
+      if (impl == nullptr)
+        bad("variant " + v->name() + " missing virtual " + m.name);
+      if (impl->return_width != m.return_width ||
+          impl->params.size() != m.params.size())
+        bad("variant " + v->name() + " signature mismatch on " + m.name);
+      for (std::size_t i = 0; i < m.params.size(); ++i) {
+        if (impl->params[i].width != m.params[i].width)
+          bad("variant " + v->name() + " parameter width mismatch on " +
+              m.name);
+      }
+    }
+  }
+}
+
+VirtualCallLogic synthesize_virtual_call(meta::RtlEmitter& em,
+                                         const Hierarchy& hierarchy,
+                                         const std::string& method,
+                                         rtl::Wire obj_in,
+                                         const std::vector<rtl::Wire>& args) {
+  hierarchy.validate();
+  rtl::Builder& b = em.builder();
+  const unsigned pw = hierarchy.payload_width();
+  const unsigned tw = hierarchy.tag_width();
+  if (obj_in.width != pw + tw) bad("object wire width mismatch");
+
+  const meta::MethodDesc* base_m = hierarchy.base->find_method(method);
+  if (base_m == nullptr)
+    bad("no method " + method + " on base " + hierarchy.base->name());
+  const rtl::Wire tag = b.slice(obj_in, pw + tw - 1, pw);
+  const rtl::Wire payload = b.slice(obj_in, pw - 1, 0);
+
+  // Default: object unchanged, return zero (tag values beyond the variant
+  // list are unreachable by construction).
+  rtl::Wire new_payload = payload;
+  rtl::Wire ret;
+  if (base_m->return_width != 0)
+    ret = b.constant(base_m->return_width, 0);
+
+  for (unsigned k = 0; k < hierarchy.variants.size(); ++k) {
+    const meta::ClassDesc& cls = *hierarchy.variants[k];
+    const unsigned dw = cls.data_width();
+    const rtl::Wire this_in = b.slice(payload, dw - 1, 0);
+    const MethodLogic logic =
+        synthesize_method(em, cls, method, this_in, args);
+    // Updated payload: variant's new state in the low bits, padding kept.
+    rtl::Wire updated = logic.this_out;
+    if (dw < pw)
+      updated = b.concat({b.slice(payload, pw - 1, dw), updated});
+    const rtl::Wire sel = b.eq(tag, b.constant(tw, k));
+    new_payload = b.mux(sel, updated, new_payload);  // the §8 object mux
+    if (base_m->return_width != 0)
+      ret = b.mux(sel, logic.ret, ret);  // the §8 function-result mux
+  }
+
+  VirtualCallLogic out;
+  out.obj_out = b.concat({tag, new_payload});
+  out.ret = ret;
+  return out;
+}
+
+}  // namespace osss::synth

@@ -1,0 +1,52 @@
+// polymorphic_synth.hpp — polymorphic objects in hardware.
+//
+// §8: "In case of polymorphism, multiplexers are being inserted to select
+// the function and object."  A synthesizable polymorphic object is laid out
+// as [tag | payload]: the tag selects the live class, the payload holds its
+// members (padded to the widest variant).  A virtual call synthesizes every
+// variant's resolved method and muxes the results by tag — which is exactly
+// what a hand-written "manual dispatch" design would instantiate, so the
+// overhead is the muxes and nothing else (experiment R5).
+
+#pragma once
+
+#include <vector>
+
+#include "synth/method_synth.hpp"
+
+namespace osss::synth {
+
+/// A closed class hierarchy for dispatch: tag value k selects variants[k].
+struct Hierarchy {
+  meta::ClassPtr base;                    ///< interface declaring the methods
+  std::vector<meta::ClassPtr> variants;   ///< concrete classes, tag order
+
+  unsigned tag_width() const;
+  unsigned payload_width() const;  ///< widest variant's data width
+  unsigned total_width() const { return tag_width() + payload_width(); }
+
+  /// Pack a concrete variant's state into the polymorphic layout.
+  meta::Bits encode(unsigned tag, const meta::Bits& state) const;
+  /// Extract (tag, variant state) back out.
+  unsigned tag_of(const meta::Bits& obj) const;
+  meta::Bits state_of(const meta::Bits& obj) const;
+
+  /// Structural checks: every variant derives from base and implements the
+  /// virtual methods with identical signatures.  Throws on violation.
+  void validate() const;
+};
+
+struct VirtualCallLogic {
+  rtl::Wire obj_out;  ///< updated polymorphic object (tag unchanged)
+  rtl::Wire ret;      ///< muxed return value; invalid for void methods
+};
+
+/// Synthesize a virtual method call on a polymorphic object wire: every
+/// variant's resolved method plus the §8 dispatch muxes.
+VirtualCallLogic synthesize_virtual_call(meta::RtlEmitter& em,
+                                         const Hierarchy& hierarchy,
+                                         const std::string& method,
+                                         rtl::Wire obj_in,
+                                         const std::vector<rtl::Wire>& args);
+
+}  // namespace osss::synth

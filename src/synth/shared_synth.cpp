@@ -1,0 +1,153 @@
+#include "synth/shared_synth.hpp"
+
+#include <stdexcept>
+
+#include "meta/emit.hpp"
+#include "synth/method_synth.hpp"
+
+namespace osss::synth {
+
+namespace {
+
+using rtl::Builder;
+using rtl::Wire;
+
+[[noreturn]] void bad(const std::string& msg) {
+  throw std::logic_error("synth::synthesize_shared: " + msg);
+}
+
+unsigned bits_for(unsigned count) {
+  unsigned w = 1;
+  while ((1u << w) < count) ++w;
+  return w;
+}
+
+}  // namespace
+
+SharedLayout shared_layout(const SharedSpec& spec) {
+  if (!spec.cls) bad("null class");
+  if (spec.methods.empty()) bad("no methods");
+  if (spec.clients == 0) bad("zero clients");
+  SharedLayout lay;
+  lay.sel_width = bits_for(static_cast<unsigned>(spec.methods.size()));
+  lay.index_width = bits_for(spec.clients);
+  for (const std::string& name : spec.methods) {
+    const meta::MethodDesc* m = spec.cls->find_method(name);
+    if (m == nullptr) bad("no method " + name + " on " + spec.cls->name());
+    unsigned packed = 0;
+    for (const auto& p : m->params) packed += p.width;
+    lay.arg_width = std::max(lay.arg_width, packed);
+    lay.ret_width = std::max(lay.ret_width, m->return_width);
+  }
+  return lay;
+}
+
+rtl::Module synthesize_shared(const SharedSpec& spec) {
+  const SharedLayout lay = shared_layout(spec);
+  Builder b(spec.name);
+  meta::RtlEmitter em(b);
+  const unsigned n = spec.clients;
+  const unsigned iw = lay.index_width;
+
+  std::vector<Wire> req(n);
+  std::vector<Wire> sel(n);
+  std::vector<Wire> args(n);
+  for (unsigned i = 0; i < n; ++i) {
+    const std::string suffix = std::to_string(i);
+    req[i] = b.input("req" + suffix, 1);
+    sel[i] = b.input("sel" + suffix, lay.sel_width);
+    if (lay.arg_width > 0)
+      args[i] = b.input("args" + suffix, lay.arg_width);
+  }
+
+  const Wire obj =
+      b.reg("object", spec.cls->data_width(), spec.cls->initial_value());
+
+  // --- arbitration -----------------------------------------------------
+  Wire any = req[0];
+  for (unsigned i = 1; i < n; ++i) any = b.or_(any, req[i]);
+
+  const Wire last = b.reg("last_grant", iw, rtl::Bits(iw, n - 1));
+  Wire winner;
+  switch (spec.policy) {
+    case SharedSpec::Policy::kStaticPriority: {
+      // Lowest index wins: priority chain.
+      winner = b.constant(iw, 0);
+      for (unsigned i = n; i-- > 0;)
+        winner = b.mux(req[i], b.constant(iw, i), winner);
+      break;
+    }
+    case SharedSpec::Policy::kRoundRobin: {
+      // For each possible last value, a rotated priority chain; mux by the
+      // rotation register — the generated "standard scheduler".
+      winner = b.constant(iw, 0);
+      for (unsigned l = 0; l < n; ++l) {
+        Wire w_l = b.constant(iw, 0);
+        for (unsigned d = n; d >= 1; --d) {
+          const unsigned c = (l + d) % n;
+          w_l = b.mux(req[c], b.constant(iw, c), w_l);
+        }
+        winner = b.mux(b.eq(last, b.constant(iw, l)), w_l, winner);
+      }
+      break;
+    }
+    case SharedSpec::Policy::kCustom: {
+      if (!spec.custom_picker) bad("kCustom policy without custom_picker");
+      winner = spec.custom_picker(b, req, last, iw);
+      if (winner.width != iw) bad("custom_picker returned wrong width");
+      break;
+    }
+  }
+  b.connect(last, b.mux(any, winner, last));
+
+  // --- winner's request muxed onto the object --------------------------
+  std::vector<Wire> is_winner(n);
+  for (unsigned i = 0; i < n; ++i)
+    is_winner[i] = b.and_(any, b.eq(winner, b.constant(iw, i)));
+
+  Wire win_sel = sel[0];
+  Wire win_args = lay.arg_width > 0 ? args[0] : Wire{};
+  for (unsigned i = 1; i < n; ++i) {
+    const Wire pick = b.eq(winner, b.constant(iw, i));
+    win_sel = b.mux(pick, sel[i], win_sel);
+    if (lay.arg_width > 0) win_args = b.mux(pick, args[i], win_args);
+  }
+
+  // --- method dispatch ---------------------------------------------------
+  Wire new_obj = obj;
+  Wire ret = lay.ret_width > 0 ? b.constant(lay.ret_width, 0) : Wire{};
+  for (unsigned mi = 0; mi < spec.methods.size(); ++mi) {
+    const meta::MethodDesc* m = spec.cls->find_method(spec.methods[mi]);
+    std::vector<Wire> params;
+    unsigned offset = 0;
+    for (const auto& p : m->params) {
+      params.push_back(b.slice(win_args, offset + p.width - 1, offset));
+      offset += p.width;
+    }
+    const MethodLogic logic =
+        synthesize_method(em, *spec.cls, spec.methods[mi], obj, params);
+    const Wire m_sel = b.eq(win_sel, b.constant(lay.sel_width, mi));
+    new_obj = b.mux(m_sel, logic.this_out, new_obj);
+    if (lay.ret_width > 0 && m->return_width > 0) {
+      ret = b.mux(m_sel, b.zext(logic.ret, lay.ret_width), ret);
+    }
+  }
+  b.connect(obj, b.mux(any, new_obj, obj));
+
+  // --- registered grant/return ports -----------------------------------
+  for (unsigned i = 0; i < n; ++i) {
+    const std::string suffix = std::to_string(i);
+    const Wire g = b.reg("grant_r" + suffix, 1);
+    b.connect(g, is_winner[i]);
+    b.output("grant" + suffix, g);
+    if (lay.ret_width > 0) {
+      const Wire r = b.reg("ret_r" + suffix, lay.ret_width);
+      b.connect(r, b.mux(is_winner[i], ret, r));
+      b.output("ret" + suffix, r);
+    }
+  }
+  b.output("state", obj);
+  return b.take();
+}
+
+}  // namespace osss::synth

@@ -1,0 +1,65 @@
+// shared_synth.hpp — synthesis of global (shared) objects.
+//
+// §8: "When global objects are being instantiated and accessed, some
+// scheduling logic of course has to be added.  But in any case: if
+// described in conventional approach, logic would have to be added anyway."
+//
+// synthesize_shared() generates the complete shared-object module: the
+// object state register, per-client request/method-select/argument ports,
+// the arbiter implementing the chosen scheduler (round-robin rotation
+// register, static priority chain, or a user-supplied generator — "a
+// designer can use a standard scheduler or implement an own"), the method
+// dispatch muxes and the registered grant/return ports.
+//
+// Port map (client i, method selector m):
+//   in  req<i>   : 1                out out grant<i> : 1 (registered)
+//   in  sel<i>   : sel_width        out ret<i>   : ret_width (registered)
+//   in  args<i>  : arg_width
+//   out state    : object bits (observability)
+//
+// Protocol: a client holds req high with sel/args stable; the cycle after
+// the arbiter grants, grant<i> pulses for one cycle with ret<i> valid.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "meta/class_desc.hpp"
+#include "rtl/builder.hpp"
+
+namespace osss::synth {
+
+struct SharedSpec {
+  std::string name = "shared";
+  meta::ClassPtr cls;
+  /// Methods callable through the shared interface; the per-client `sel`
+  /// port selects by index into this list.
+  std::vector<std::string> methods;
+  unsigned clients = 2;
+
+  enum class Policy { kRoundRobin, kStaticPriority, kCustom };
+  Policy policy = Policy::kRoundRobin;
+
+  /// kCustom: generate the winner-index logic from the request wires and
+  /// the last-grant register; must return a wire of width index_width.
+  std::function<rtl::Wire(rtl::Builder&, const std::vector<rtl::Wire>& reqs,
+                          rtl::Wire last, unsigned index_width)>
+      custom_picker;
+};
+
+struct SharedLayout {
+  unsigned sel_width = 0;
+  unsigned arg_width = 0;  ///< widest packed parameter list (LSB-first)
+  unsigned ret_width = 0;  ///< widest return value
+  unsigned index_width = 0;
+};
+
+/// Compute the port layout for a spec (useful for driving the module).
+SharedLayout shared_layout(const SharedSpec& spec);
+
+/// Generate the shared-object module.
+rtl::Module synthesize_shared(const SharedSpec& spec);
+
+}  // namespace osss::synth

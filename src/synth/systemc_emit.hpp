@@ -1,0 +1,32 @@
+// systemc_emit.hpp — the synthesizer's readable intermediate output.
+//
+// The OSSS synthesizer's intermediate format is "(readable and simulatable)
+// standard SystemC" (paper §10, Figs. 7/8): every class method becomes a
+// non-member function over the object's `_this_` bit vector.  This emitter
+// produces that text from the resolved model — useful for inspection,
+// documentation and the snapshot tests that pin the §8 resolution rules.
+
+#pragma once
+
+#include <string>
+
+#include "hls/behavior.hpp"
+#include "meta/class_desc.hpp"
+
+namespace osss::synth {
+
+/// Emit the resolved non-member functions for every method of `cls`
+/// (including inherited ones), in the style of the paper's Figure 7.
+std::string emit_resolved_class(const meta::ClassDesc& cls);
+
+/// Emit a single method's resolved function.
+std::string emit_resolved_method(const meta::ClassDesc& cls,
+                                 const std::string& method);
+
+/// Emit a behaviour as a resolved SC_MODULE in the style of the paper's
+/// Figure 8: object variables become `sc_biguint<W>` members, method
+/// calls become invocations of the generated non-member functions, and
+/// control flow keeps the wait() structure.
+std::string emit_resolved_module(const hls::Behavior& beh);
+
+}  // namespace osss::synth

@@ -1,0 +1,378 @@
+#include "sysc/bits.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace osss::sysc {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::invalid_argument("Bits: " + msg);
+}
+
+}  // namespace
+
+Bits::Bits(unsigned width) : width_(width), words_(word_count(width), 0) {}
+
+Bits::Bits(unsigned width, std::uint64_t value) : Bits(width) {
+  if (width == 0) fail("zero-width value");
+  words_[0] = value;
+  mask_top();
+}
+
+Bits Bits::parse(unsigned width, std::string_view text) {
+  if (text.empty()) fail("empty literal");
+  Bits out(width);
+  if (text.size() > 2 && text[0] == '0' && (text[1] == 'b' || text[1] == 'B')) {
+    unsigned pos = 0;
+    for (auto it = text.rbegin(); it != text.rend() - 2; ++it) {
+      if (*it == '_') continue;
+      if (*it != '0' && *it != '1') fail("bad binary digit");
+      if (pos < width) out.set_bit(pos, *it == '1');
+      ++pos;
+    }
+    return out;
+  }
+  if (text.size() > 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) {
+    unsigned pos = 0;
+    for (auto it = text.rbegin(); it != text.rend() - 2; ++it) {
+      if (*it == '_') continue;
+      const char c = *it;
+      unsigned digit = 0;
+      if (c >= '0' && c <= '9') digit = static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') digit = static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') digit = static_cast<unsigned>(c - 'A' + 10);
+      else fail("bad hex digit");
+      for (unsigned b = 0; b < 4; ++b) {
+        if (pos + b < width) out.set_bit(pos + b, ((digit >> b) & 1u) != 0);
+      }
+      pos += 4;
+    }
+    return out;
+  }
+  // Decimal: repeated multiply-by-ten-and-add over the word array.
+  for (const char c : text) {
+    if (c == '_') continue;
+    if (c < '0' || c > '9') fail("bad decimal digit");
+    // out = out * 10 + digit
+    std::uint64_t carry = static_cast<std::uint64_t>(c - '0');
+    for (auto& w : out.words_) {
+      const unsigned __int128 acc =
+          static_cast<unsigned __int128>(w) * 10u + carry;
+      w = static_cast<std::uint64_t>(acc);
+      carry = static_cast<std::uint64_t>(acc >> 64);
+    }
+  }
+  out.mask_top();
+  return out;
+}
+
+Bits Bits::ones(unsigned width) {
+  Bits out(width);
+  std::fill(out.words_.begin(), out.words_.end(), ~0ull);
+  out.mask_top();
+  return out;
+}
+
+bool Bits::bit(unsigned i) const {
+  if (i >= width_) fail("bit index out of range");
+  return ((words_[i / kWordBits] >> (i % kWordBits)) & 1u) != 0;
+}
+
+void Bits::set_bit(unsigned i, bool v) {
+  if (i >= width_) fail("bit index out of range");
+  const std::uint64_t mask = 1ull << (i % kWordBits);
+  if (v)
+    words_[i / kWordBits] |= mask;
+  else
+    words_[i / kWordBits] &= ~mask;
+}
+
+std::uint64_t Bits::to_u64() const noexcept {
+  return words_.empty() ? 0 : words_[0];
+}
+
+std::int64_t Bits::to_i64() const {
+  if (width_ > 64) fail("to_i64 on width > 64");
+  std::uint64_t v = to_u64();
+  if (width_ < 64 && msb()) v |= ~((1ull << width_) - 1);  // sign extend
+  return static_cast<std::int64_t>(v);
+}
+
+bool Bits::is_zero() const noexcept {
+  return std::all_of(words_.begin(), words_.end(),
+                     [](std::uint64_t w) { return w == 0; });
+}
+
+bool Bits::is_ones() const noexcept {
+  if (width_ == 0) return false;
+  return *this == ones(width_);
+}
+
+unsigned Bits::popcount() const noexcept {
+  unsigned n = 0;
+  for (const auto w : words_) n += static_cast<unsigned>(std::popcount(w));
+  return n;
+}
+
+void Bits::mask_top() noexcept {
+  if (width_ == 0) return;
+  const unsigned rem = width_ % kWordBits;
+  if (rem != 0) words_.back() &= (1ull << rem) - 1;
+}
+
+void Bits::require_same_width(const Bits& a, const Bits& b, const char* op) {
+  if (a.width_ != b.width_)
+    fail(std::string(op) + ": width mismatch " + std::to_string(a.width_) +
+         " vs " + std::to_string(b.width_));
+  if (a.width_ == 0) fail(std::string(op) + ": zero-width operands");
+}
+
+Bits operator&(const Bits& a, const Bits& b) {
+  Bits::require_same_width(a, b, "and");
+  Bits out(a.width_);
+  for (std::size_t i = 0; i < out.words_.size(); ++i)
+    out.words_[i] = a.words_[i] & b.words_[i];
+  return out;
+}
+
+Bits operator|(const Bits& a, const Bits& b) {
+  Bits::require_same_width(a, b, "or");
+  Bits out(a.width_);
+  for (std::size_t i = 0; i < out.words_.size(); ++i)
+    out.words_[i] = a.words_[i] | b.words_[i];
+  return out;
+}
+
+Bits operator^(const Bits& a, const Bits& b) {
+  Bits::require_same_width(a, b, "xor");
+  Bits out(a.width_);
+  for (std::size_t i = 0; i < out.words_.size(); ++i)
+    out.words_[i] = a.words_[i] ^ b.words_[i];
+  return out;
+}
+
+Bits Bits::operator~() const {
+  if (width_ == 0) fail("not on zero width");
+  Bits out(width_);
+  for (std::size_t i = 0; i < words_.size(); ++i) out.words_[i] = ~words_[i];
+  out.mask_top();
+  return out;
+}
+
+Bits operator+(const Bits& a, const Bits& b) {
+  Bits::require_same_width(a, b, "add");
+  Bits out(a.width_);
+  unsigned __int128 carry = 0;
+  for (std::size_t i = 0; i < out.words_.size(); ++i) {
+    const unsigned __int128 acc = static_cast<unsigned __int128>(a.words_[i]) +
+                                  b.words_[i] + carry;
+    out.words_[i] = static_cast<std::uint64_t>(acc);
+    carry = acc >> 64;
+  }
+  out.mask_top();
+  return out;
+}
+
+Bits operator-(const Bits& a, const Bits& b) {
+  Bits::require_same_width(a, b, "sub");
+  return a + b.negate();
+}
+
+Bits Bits::negate() const {
+  if (width_ == 0) fail("negate on zero width");
+  return ~(*this) + Bits(width_, 1);
+}
+
+Bits operator*(const Bits& a, const Bits& b) {
+  Bits::require_same_width(a, b, "mul");
+  Bits out(a.width_);
+  // Schoolbook over 64-bit words with 128-bit partials; result truncated
+  // to operand width, so partials beyond the top word are dropped.
+  const std::size_t n = out.words_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    unsigned __int128 carry = 0;
+    for (std::size_t j = 0; i + j < n; ++j) {
+      const unsigned __int128 acc =
+          static_cast<unsigned __int128>(a.words_[i]) * b.words_[j] +
+          out.words_[i + j] + carry;
+      out.words_[i + j] = static_cast<std::uint64_t>(acc);
+      carry = acc >> 64;
+    }
+  }
+  out.mask_top();
+  return out;
+}
+
+Bits udiv(const Bits& a, const Bits& b) {
+  Bits::require_same_width(a, b, "udiv");
+  if (b.is_zero()) return Bits::ones(a.width());  // HDL convention
+  // Restoring division, bit-serial.
+  Bits quotient(a.width());
+  Bits remainder(a.width());
+  for (int i = static_cast<int>(a.width()) - 1; i >= 0; --i) {
+    remainder = remainder.shl(1);
+    remainder.set_bit(0, a.bit(static_cast<unsigned>(i)));
+    if (!Bits::ult(remainder, b)) {
+      remainder = remainder - b;
+      quotient.set_bit(static_cast<unsigned>(i), true);
+    }
+  }
+  return quotient;
+}
+
+Bits urem(const Bits& a, const Bits& b) {
+  Bits::require_same_width(a, b, "urem");
+  if (b.is_zero()) return a;  // HDL convention
+  Bits remainder(a.width());
+  for (int i = static_cast<int>(a.width()) - 1; i >= 0; --i) {
+    remainder = remainder.shl(1);
+    remainder.set_bit(0, a.bit(static_cast<unsigned>(i)));
+    if (!Bits::ult(remainder, b)) remainder = remainder - b;
+  }
+  return remainder;
+}
+
+Bits Bits::shl(unsigned amount) const {
+  if (width_ == 0) fail("shl on zero width");
+  Bits out(width_);
+  if (amount >= width_) return out;
+  const unsigned word_shift = amount / kWordBits;
+  const unsigned bit_shift = amount % kWordBits;
+  for (std::size_t i = words_.size(); i-- > word_shift;) {
+    std::uint64_t v = words_[i - word_shift] << bit_shift;
+    if (bit_shift != 0 && i > word_shift)
+      v |= words_[i - word_shift - 1] >> (kWordBits - bit_shift);
+    out.words_[i] = v;
+  }
+  out.mask_top();
+  return out;
+}
+
+Bits Bits::lshr(unsigned amount) const {
+  if (width_ == 0) fail("lshr on zero width");
+  Bits out(width_);
+  if (amount >= width_) return out;
+  const unsigned word_shift = amount / kWordBits;
+  const unsigned bit_shift = amount % kWordBits;
+  for (std::size_t i = 0; i + word_shift < words_.size(); ++i) {
+    std::uint64_t v = words_[i + word_shift] >> bit_shift;
+    if (bit_shift != 0 && i + word_shift + 1 < words_.size())
+      v |= words_[i + word_shift + 1] << (kWordBits - bit_shift);
+    out.words_[i] = v;
+  }
+  return out;
+}
+
+Bits Bits::ashr(unsigned amount) const {
+  if (width_ == 0) fail("ashr on zero width");
+  const bool sign = msb();
+  Bits out = lshr(amount);
+  if (sign) {
+    const unsigned fill = std::min(amount, width_);
+    for (unsigned i = 0; i < fill; ++i) out.set_bit(width_ - 1 - i, true);
+  }
+  return out;
+}
+
+bool Bits::operator==(const Bits& other) const {
+  return width_ == other.width_ && words_ == other.words_;
+}
+
+bool Bits::ult(const Bits& a, const Bits& b) {
+  require_same_width(a, b, "ult");
+  for (std::size_t i = a.words_.size(); i-- > 0;) {
+    if (a.words_[i] != b.words_[i]) return a.words_[i] < b.words_[i];
+  }
+  return false;
+}
+
+bool Bits::ule(const Bits& a, const Bits& b) { return !ult(b, a); }
+
+bool Bits::slt(const Bits& a, const Bits& b) {
+  require_same_width(a, b, "slt");
+  const bool sa = a.msb();
+  const bool sb = b.msb();
+  if (sa != sb) return sa;  // negative < non-negative
+  return ult(a, b);
+}
+
+bool Bits::sle(const Bits& a, const Bits& b) { return !slt(b, a); }
+
+Bits Bits::slice(unsigned hi, unsigned lo) const {
+  if (hi >= width_ || lo > hi) fail("slice out of range");
+  const unsigned w = hi - lo + 1;
+  Bits out = lshr(lo);
+  return out.trunc(w);
+}
+
+Bits Bits::concat(const Bits& hi, const Bits& lo) {
+  if (hi.width_ == 0) return lo;
+  if (lo.width_ == 0) return hi;
+  Bits out = hi.zext(hi.width_ + lo.width_).shl(lo.width_);
+  Bits lo_ext = lo.zext(hi.width_ + lo.width_);
+  return out | lo_ext;
+}
+
+Bits Bits::zext(unsigned new_width) const {
+  if (new_width < width_) fail("zext to smaller width");
+  Bits out(new_width);
+  std::copy(words_.begin(), words_.end(), out.words_.begin());
+  return out;
+}
+
+Bits Bits::sext(unsigned new_width) const {
+  if (new_width < width_) fail("sext to smaller width");
+  if (width_ == 0) fail("sext of zero width");
+  Bits out = zext(new_width);
+  if (msb()) {
+    for (unsigned i = width_; i < new_width; ++i) out.set_bit(i, true);
+  }
+  return out;
+}
+
+Bits Bits::trunc(unsigned new_width) const {
+  if (new_width > width_) fail("trunc to larger width");
+  Bits out(new_width);
+  std::copy(words_.begin(), words_.begin() + word_count(new_width),
+            out.words_.begin());
+  out.mask_top();
+  return out;
+}
+
+Bits Bits::resize(unsigned new_width) const {
+  return new_width >= width_ ? zext(new_width) : trunc(new_width);
+}
+
+std::string Bits::to_bin_string() const {
+  std::string s = "0b";
+  for (unsigned i = width_; i-- > 0;) s += bit(i) ? '1' : '0';
+  return s;
+}
+
+std::string Bits::to_hex_string() const {
+  static constexpr char digits[] = "0123456789abcdef";
+  std::string s;
+  const unsigned nibbles = (width_ + 3) / 4;
+  for (unsigned n = nibbles; n-- > 0;) {
+    unsigned d = 0;
+    for (unsigned b = 0; b < 4; ++b) {
+      const unsigned i = n * 4 + b;
+      if (i < width_ && bit(i)) d |= 1u << b;
+    }
+    s += digits[d];
+  }
+  return "0x" + s;
+}
+
+std::size_t Bits::hash() const noexcept {
+  std::size_t h = width_ * 0x9e3779b97f4a7c15ull;
+  for (const auto w : words_) {
+    h ^= w + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace osss::sysc

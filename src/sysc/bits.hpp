@@ -1,0 +1,137 @@
+// bits.hpp — arbitrary-width, width-checked bit vector (dynamic width).
+//
+// `Bits` is the workhorse value type of the synthesis stack (RTL and gate
+// simulation, constant folding, equivalence checking).  It models the value
+// of a hardware bus: a width fixed at construction plus that many bits of
+// two's-complement payload.  All binary operations require equal operand
+// widths and wrap to the operand width, mirroring hardware semantics; any
+// widening or narrowing must be spelled out with zext/sext/trunc, exactly as
+// a synthesizable description would.
+//
+// For the fast, fixed-width simulation datapath see bitvector.hpp.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace osss::sysc {
+
+/// Dynamic-width bit vector with hardware (wrapping, width-checked) semantics.
+///
+/// Invariant: bits above `width()` in the top storage word are always zero.
+class Bits {
+public:
+  /// Zero-width vector (the "no value" state; most operations reject it).
+  Bits() = default;
+
+  /// All-zero vector of `width` bits.
+  explicit Bits(unsigned width);
+
+  /// Vector of `width` bits holding `value` truncated to that width.
+  Bits(unsigned width, std::uint64_t value);
+
+  /// Parse "0b1010", "0x1f" or a plain decimal string into `width` bits.
+  /// Throws std::invalid_argument on malformed input.
+  static Bits parse(unsigned width, std::string_view text);
+
+  /// Vector of `width` bits with every bit set.
+  static Bits ones(unsigned width);
+
+  unsigned width() const noexcept { return width_; }
+  bool empty() const noexcept { return width_ == 0; }
+
+  /// Value of bit `i` (0 = LSB).  Precondition: i < width().
+  bool bit(unsigned i) const;
+
+  /// Set bit `i` (0 = LSB) to `v`.  Precondition: i < width().
+  void set_bit(unsigned i, bool v);
+
+  /// Low 64 bits of the payload (well-defined for any width).
+  std::uint64_t to_u64() const noexcept;
+
+  /// Payload as signed value; requires width() <= 64.
+  std::int64_t to_i64() const;
+
+  bool is_zero() const noexcept;
+  bool is_ones() const noexcept;
+
+  /// Most significant bit (the sign bit under two's complement).
+  bool msb() const { return bit(width_ - 1); }
+
+  /// Number of set bits.
+  unsigned popcount() const noexcept;
+
+  // --- bitwise (equal widths required) ---------------------------------
+  friend Bits operator&(const Bits& a, const Bits& b);
+  friend Bits operator|(const Bits& a, const Bits& b);
+  friend Bits operator^(const Bits& a, const Bits& b);
+  Bits operator~() const;
+
+  // --- arithmetic (equal widths; result wraps to operand width) --------
+  friend Bits operator+(const Bits& a, const Bits& b);
+  friend Bits operator-(const Bits& a, const Bits& b);
+  friend Bits operator*(const Bits& a, const Bits& b);
+  Bits negate() const;
+
+  /// Unsigned division / remainder (testbench math; not synthesized).
+  /// Division by zero yields all-ones / the dividend, matching common HDL
+  /// simulator conventions.
+  friend Bits udiv(const Bits& a, const Bits& b);
+  friend Bits urem(const Bits& a, const Bits& b);
+
+  // --- shifts (shift amount is a plain integer; result keeps width) ----
+  Bits shl(unsigned amount) const;
+  Bits lshr(unsigned amount) const;
+  Bits ashr(unsigned amount) const;
+
+  // --- comparisons ------------------------------------------------------
+  bool operator==(const Bits& other) const;
+  bool operator!=(const Bits& other) const { return !(*this == other); }
+  static bool ult(const Bits& a, const Bits& b);
+  static bool ule(const Bits& a, const Bits& b);
+  static bool slt(const Bits& a, const Bits& b);
+  static bool sle(const Bits& a, const Bits& b);
+
+  // --- structure --------------------------------------------------------
+  /// Bits [hi..lo] inclusive as a new (hi-lo+1)-wide vector.
+  Bits slice(unsigned hi, unsigned lo) const;
+
+  /// {hi, lo} concatenation: `hi` occupies the upper bits.
+  static Bits concat(const Bits& hi, const Bits& lo);
+
+  Bits zext(unsigned new_width) const;
+  Bits sext(unsigned new_width) const;
+  Bits trunc(unsigned new_width) const;
+
+  /// Zero- or sign-free resize: zext when growing, trunc when shrinking.
+  Bits resize(unsigned new_width) const;
+
+  // --- text -------------------------------------------------------------
+  std::string to_bin_string() const;  ///< e.g. "0b0101"
+  std::string to_hex_string() const;  ///< e.g. "0x5"
+
+  std::size_t hash() const noexcept;
+
+private:
+  static constexpr unsigned kWordBits = 64;
+  unsigned width_ = 0;
+  std::vector<std::uint64_t> words_;
+
+  static unsigned word_count(unsigned width) {
+    return (width + kWordBits - 1) / kWordBits;
+  }
+  void mask_top() noexcept;
+  static void require_same_width(const Bits& a, const Bits& b,
+                                 const char* op);
+};
+
+/// Hash functor so Bits can key unordered containers (constant pools,
+/// structural hashing in the gate optimizer).
+struct BitsHash {
+  std::size_t operator()(const Bits& b) const noexcept { return b.hash(); }
+};
+
+}  // namespace osss::sysc

@@ -1,0 +1,207 @@
+// bitvector.hpp — fixed-width bit vector for the simulation datapath.
+//
+// `BitVector<W>` plays the role of SystemC's `sc_bv<W>` / `sc_biguint<W>`
+// in OSSS design code: a statically-sized, wrap-on-overflow unsigned value.
+// It is the type that OSSS classes store their data members in and the type
+// carried over signals.  Widths are part of the type, so mismatched
+// assignments fail to compile rather than silently resize — the same safety
+// the paper gets from the SystemC datatypes.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "sysc/bits.hpp"
+
+namespace osss::sysc {
+
+template <unsigned W>
+class BitVector {
+  static_assert(W >= 1 && W <= 4096, "BitVector width out of range");
+
+public:
+  static constexpr unsigned kWidth = W;
+
+  constexpr BitVector() : words_{} {}
+
+  /// Construct from an integer, truncated to W bits.
+  constexpr BitVector(std::uint64_t value) : words_{} {  // NOLINT(runtime/explicit)
+    words_[0] = value;
+    mask_top();
+  }
+
+  /// Conversion from the dynamic representation; widths must agree.
+  static BitVector from_bits(const Bits& b) {
+    if (b.width() != W) throw std::invalid_argument("BitVector width mismatch");
+    BitVector out;
+    for (unsigned i = 0; i < W; ++i) out.set_bit(i, b.bit(i));
+    return out;
+  }
+
+  /// Conversion to the dynamic representation used by the synthesis stack.
+  Bits to_bits() const {
+    Bits out(W);
+    for (unsigned i = 0; i < W; ++i) out.set_bit(i, bit(i));
+    return out;
+  }
+
+  static constexpr unsigned width() { return W; }
+
+  constexpr bool bit(unsigned i) const {
+    return ((words_[i / 64] >> (i % 64)) & 1u) != 0;
+  }
+  constexpr void set_bit(unsigned i, bool v) {
+    const std::uint64_t mask = 1ull << (i % 64);
+    if (v)
+      words_[i / 64] |= mask;
+    else
+      words_[i / 64] &= ~mask;
+  }
+
+  /// Low 64 bits of the payload.
+  constexpr std::uint64_t to_u64() const { return words_[0]; }
+
+  constexpr bool is_zero() const {
+    for (const auto w : words_)
+      if (w != 0) return false;
+    return true;
+  }
+
+  constexpr bool msb() const { return bit(W - 1); }
+
+  // --- bitwise ----------------------------------------------------------
+  friend constexpr BitVector operator&(BitVector a, const BitVector& b) {
+    for (unsigned i = 0; i < kWords; ++i) a.words_[i] &= b.words_[i];
+    return a;
+  }
+  friend constexpr BitVector operator|(BitVector a, const BitVector& b) {
+    for (unsigned i = 0; i < kWords; ++i) a.words_[i] |= b.words_[i];
+    return a;
+  }
+  friend constexpr BitVector operator^(BitVector a, const BitVector& b) {
+    for (unsigned i = 0; i < kWords; ++i) a.words_[i] ^= b.words_[i];
+    return a;
+  }
+  constexpr BitVector operator~() const {
+    BitVector out;
+    for (unsigned i = 0; i < kWords; ++i) out.words_[i] = ~words_[i];
+    out.mask_top();
+    return out;
+  }
+
+  // --- arithmetic (wraps to W bits) --------------------------------------
+  friend constexpr BitVector operator+(const BitVector& a, const BitVector& b) {
+    BitVector out;
+    unsigned __int128 carry = 0;
+    for (unsigned i = 0; i < kWords; ++i) {
+      const unsigned __int128 acc =
+          static_cast<unsigned __int128>(a.words_[i]) + b.words_[i] + carry;
+      out.words_[i] = static_cast<std::uint64_t>(acc);
+      carry = acc >> 64;
+    }
+    out.mask_top();
+    return out;
+  }
+  friend constexpr BitVector operator-(const BitVector& a, const BitVector& b) {
+    return a + (~b + BitVector(1));
+  }
+  friend constexpr BitVector operator*(const BitVector& a, const BitVector& b) {
+    BitVector out;
+    for (unsigned i = 0; i < kWords; ++i) {
+      unsigned __int128 carry = 0;
+      for (unsigned j = 0; i + j < kWords; ++j) {
+        const unsigned __int128 acc =
+            static_cast<unsigned __int128>(a.words_[i]) * b.words_[j] +
+            out.words_[i + j] + carry;
+        out.words_[i + j] = static_cast<std::uint64_t>(acc);
+        carry = acc >> 64;
+      }
+    }
+    out.mask_top();
+    return out;
+  }
+
+  // --- shifts -------------------------------------------------------------
+  constexpr BitVector shl(unsigned amount) const {
+    BitVector out;
+    if (amount >= W) return out;
+    for (unsigned i = W; i-- > amount;) out.set_bit(i, bit(i - amount));
+    return out;
+  }
+  constexpr BitVector lshr(unsigned amount) const {
+    BitVector out;
+    if (amount >= W) return out;
+    for (unsigned i = 0; i + amount < W; ++i) out.set_bit(i, bit(i + amount));
+    return out;
+  }
+
+  // --- comparisons ----------------------------------------------------------
+  friend constexpr bool operator==(const BitVector& a, const BitVector& b) {
+    return a.words_ == b.words_;
+  }
+  friend constexpr bool operator!=(const BitVector& a, const BitVector& b) {
+    return !(a == b);
+  }
+  friend constexpr bool operator<(const BitVector& a, const BitVector& b) {
+    for (unsigned i = kWords; i-- > 0;) {
+      if (a.words_[i] != b.words_[i]) return a.words_[i] < b.words_[i];
+    }
+    return false;
+  }
+  friend constexpr bool operator<=(const BitVector& a, const BitVector& b) {
+    return !(b < a);
+  }
+  friend constexpr bool operator>(const BitVector& a, const BitVector& b) {
+    return b < a;
+  }
+  friend constexpr bool operator>=(const BitVector& a, const BitVector& b) {
+    return !(a < b);
+  }
+
+  /// Bits [Hi..Lo] inclusive as a narrower vector (compile-time checked).
+  template <unsigned Hi, unsigned Lo>
+  constexpr BitVector<Hi - Lo + 1> slice() const {
+    static_assert(Hi < W && Lo <= Hi, "slice out of range");
+    BitVector<Hi - Lo + 1> out;
+    for (unsigned i = Lo; i <= Hi; ++i) out.set_bit(i - Lo, bit(i));
+    return out;
+  }
+
+  /// Zero-extend or truncate to a new width.
+  template <unsigned NW>
+  constexpr BitVector<NW> resize() const {
+    BitVector<NW> out;
+    for (unsigned i = 0; i < (NW < W ? NW : W); ++i) out.set_bit(i, bit(i));
+    return out;
+  }
+
+  std::string to_string() const { return to_bits().to_bin_string(); }
+
+private:
+  static constexpr unsigned kWords = (W + 63) / 64;
+  std::array<std::uint64_t, kWords> words_;
+
+  constexpr void mask_top() {
+    if constexpr (W % 64 != 0) {
+      words_[kWords - 1] &= (1ull << (W % 64)) - 1;
+    }
+  }
+
+  template <unsigned>
+  friend class BitVector;
+};
+
+/// {hi, lo} concatenation, hi in the upper bits.
+template <unsigned WH, unsigned WL>
+constexpr BitVector<WH + WL> concat(const BitVector<WH>& hi,
+                                    const BitVector<WL>& lo) {
+  BitVector<WH + WL> out;
+  for (unsigned i = 0; i < WL; ++i) out.set_bit(i, lo.bit(i));
+  for (unsigned i = 0; i < WH; ++i) out.set_bit(WL + i, hi.bit(i));
+  return out;
+}
+
+}  // namespace osss::sysc

@@ -1,0 +1,98 @@
+#include "sysc/kernel.hpp"
+
+namespace osss::sysc {
+
+SignalBase::SignalBase(Kernel& kernel, std::string name)
+    : kernel_(kernel), name_(std::move(name)) {}
+
+void SignalBase::notify_change() {
+  for (Process* p : change_list_) kernel_.make_runnable(*p);
+}
+
+void SignalBase::notify_posedge() {
+  for (Process* p : pos_list_) kernel_.make_runnable(*p);
+}
+
+void Kernel::schedule(Time at, std::function<void()> fn) {
+  timed_.emplace(std::make_pair(at, sequence_++), std::move(fn));
+}
+
+void Kernel::request_update(SignalBase& s) {
+  if (!s.update_pending_) {
+    s.update_pending_ = true;
+    update_queue_.push_back(&s);
+  }
+}
+
+void Kernel::make_runnable(Process& p) {
+  if (!p.queued_) {
+    p.queued_ = true;
+    runnable_.push_back(&p);
+  }
+}
+
+void Kernel::initialize() {
+  initialized_ = true;
+  // SystemC runs every process once at elaboration end; clocked threads
+  // execute their reset preamble up to the first wait().
+  for (Process* p : initial_) make_runnable(*p);
+  delta_loop();
+  fire_hooks();
+}
+
+void Kernel::delta_loop() {
+  for (;;) {
+    // Update phase: commit pending signal values, collecting newly
+    // sensitive processes into the runnable queue.
+    std::vector<SignalBase*> updates;
+    updates.swap(update_queue_);
+    for (SignalBase* s : updates) {
+      s->update_pending_ = false;
+      s->apply_update();
+    }
+    if (runnable_.empty()) {
+      if (update_queue_.empty()) return;  // converged
+      continue;  // updates produced no runnables but cascaded writes
+    }
+    ++delta_count_;
+    // Evaluate phase: run everything made runnable by the update phase.
+    std::deque<Process*> batch;
+    batch.swap(runnable_);
+    for (Process* p : batch) {
+      p->queued_ = false;
+      p->execute();
+    }
+  }
+}
+
+void Kernel::fire_hooks() {
+  for (const auto& hook : hooks_) hook(now_);
+}
+
+void Kernel::run_until(Time end) {
+  if (!initialized_) initialize();
+  // Settle any writes made from outside process context (testbench code
+  // between run calls).
+  if (!update_queue_.empty() || !runnable_.empty()) {
+    delta_loop();
+    fire_hooks();
+  }
+  while (!timed_.empty()) {
+    const auto it = timed_.begin();
+    const Time t = it->first.first;
+    if (t > end) break;
+    now_ = t;
+    // Run all events scheduled for this instant before entering the delta
+    // loop, so simultaneous clock edges are seen together.
+    while (!timed_.empty() && timed_.begin()->first.first == t) {
+      auto fn = std::move(timed_.begin()->second);
+      timed_.erase(timed_.begin());
+      fn();
+    }
+    delta_loop();
+    fire_hooks();
+  }
+  now_ = end;
+}
+
+}  // namespace osss::sysc

@@ -1,0 +1,142 @@
+// kernel.hpp — discrete-event simulation kernel with delta cycles.
+//
+// This is the reproduction's stand-in for the OSCI SystemC 2.0 kernel the
+// paper builds on.  It implements the same two-phase evaluate/update model:
+//
+//   * processes run in the *evaluate* phase and write signals;
+//   * writes become visible in the following *update* phase;
+//   * value changes make sensitive processes runnable, starting another
+//     delta cycle at the same simulation time;
+//   * when no more updates are pending, simulated time advances to the next
+//     scheduled event (typically a clock toggle).
+//
+// Everything is owned by a `Context` (see module.hpp) — there is no global
+// simulator state, so tests can run many independent simulations in one
+// process.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace osss::sysc {
+
+/// Simulation time in picoseconds.
+using Time = std::uint64_t;
+
+class Kernel;
+
+/// Base class of every signal: names the channel and provides the pending ->
+/// current update step plus sensitivity bookkeeping shared by all payload
+/// types.
+class SignalBase {
+public:
+  SignalBase(Kernel& kernel, std::string name);
+  virtual ~SignalBase() = default;
+
+  SignalBase(const SignalBase&) = delete;
+  SignalBase& operator=(const SignalBase&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Register a process to run whenever the signal's value changes.
+  void on_change(class Process& p) { change_list_.push_back(&p); }
+
+protected:
+  Kernel& kernel_;
+  std::vector<class Process*> change_list_;
+  std::vector<class Process*> pos_list_;  ///< used by Signal<bool> only
+
+  void notify_change();
+  void notify_posedge();
+
+private:
+  friend class Kernel;
+  std::string name_;
+  bool update_pending_ = false;
+
+  /// Move the pending value into the current value; fire notifications.
+  virtual void apply_update() = 0;
+};
+
+/// A schedulable unit of behaviour (method process or clocked thread).
+class Process {
+public:
+  explicit Process(std::string name) : name_(std::move(name)) {}
+  virtual ~Process() = default;
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Run one evaluation step.  Called by the kernel in the evaluate phase.
+  virtual void execute() = 0;
+
+private:
+  friend class Kernel;
+  std::string name_;
+  bool queued_ = false;
+};
+
+/// The event-driven simulator core.
+class Kernel {
+public:
+  Kernel() = default;
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  Time now() const noexcept { return now_; }
+
+  /// Number of delta cycles executed so far (diagnostic / performance
+  /// counter, compared in the simulation-speed experiment R7).
+  std::uint64_t delta_count() const noexcept { return delta_count_; }
+
+  /// Schedule `fn` to run at absolute simulation time `at`.
+  void schedule(Time at, std::function<void()> fn);
+
+  /// Mark a signal as having a pending new value (called by Signal::write).
+  void request_update(SignalBase& s);
+
+  /// Queue a process for the current evaluate phase.
+  void make_runnable(Process& p);
+
+  /// Processes to run once at elaboration end (before the first event).
+  void register_initial(Process& p) { initial_.push_back(&p); }
+
+  /// Advance simulation by `duration` picoseconds.
+  void run_for(Time duration) { run_until(now_ + duration); }
+
+  /// Advance simulation up to and including events at time `end`.
+  void run_until(Time end);
+
+  /// Hook invoked after every converged timestep (used by VCD tracing).
+  void add_timestep_hook(std::function<void(Time)> hook) {
+    hooks_.push_back(std::move(hook));
+  }
+
+private:
+  Time now_ = 0;
+  std::uint64_t delta_count_ = 0;
+  std::uint64_t sequence_ = 0;
+  bool initialized_ = false;
+
+  // Ordered (time, insertion-sequence) -> callback.  The sequence keeps
+  // same-time events in schedule order, which keeps clock edges
+  // deterministic.
+  std::map<std::pair<Time, std::uint64_t>, std::function<void()>> timed_;
+  std::vector<SignalBase*> update_queue_;
+  std::deque<Process*> runnable_;
+  std::vector<Process*> initial_;
+  std::vector<std::function<void(Time)>> hooks_;
+
+  void initialize();
+  void delta_loop();
+  void fire_hooks();
+};
+
+}  // namespace osss::sysc

@@ -1,0 +1,129 @@
+// module.hpp — simulation context, module hierarchy, clock generator.
+//
+// `Context` owns the kernel and every process; modules register themselves
+// into a named hierarchy.  This replaces SystemC's global simulation
+// context so that independent simulations coexist in one test binary.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sysc/kernel.hpp"
+#include "sysc/process.hpp"
+#include "sysc/signal.hpp"
+
+namespace osss::sysc {
+
+/// Owns the kernel, the process list, and the module name registry for one
+/// simulation.
+class Context {
+public:
+  Context() = default;
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  Kernel& kernel() noexcept { return kernel_; }
+  Time now() const noexcept { return kernel_.now(); }
+
+  void run_for(Time duration) { kernel_.run_for(duration); }
+
+  /// Create a clocked thread resumed on `clk` rising edges.
+  CThreadProcess& create_cthread(std::string name, Signal<bool>& clk,
+                                 std::function<Behavior()> factory) {
+    auto proc =
+        std::make_unique<CThreadProcess>(std::move(name), std::move(factory));
+    CThreadProcess& ref = *proc;
+    clk.on_posedge(ref);
+    kernel_.register_initial(ref);
+    processes_.push_back(std::move(proc));
+    return ref;
+  }
+
+  /// Create a method process with an explicit sensitivity list.
+  MethodProcess& create_method(std::string name, std::function<void()> fn,
+                               std::initializer_list<SignalBase*> sensitivity) {
+    auto proc = std::make_unique<MethodProcess>(std::move(name), std::move(fn));
+    MethodProcess& ref = *proc;
+    for (SignalBase* s : sensitivity) s->on_change(ref);
+    kernel_.register_initial(ref);
+    processes_.push_back(std::move(proc));
+    return ref;
+  }
+
+private:
+  Kernel kernel_;
+  std::vector<std::unique_ptr<Process>> processes_;
+};
+
+inline Kernel& kernel_of(Context& ctx) { return ctx.kernel(); }
+
+/// Base class for hardware modules (SC_MODULE analogue).  Modules form a
+/// dot-separated name hierarchy used by tracing and diagnostics.
+class Module {
+public:
+  Module(Context& ctx, std::string name)
+      : ctx_(ctx), full_name_(std::move(name)) {}
+  Module(Module& parent, std::string name)
+      : ctx_(parent.ctx_), full_name_(parent.full_name_ + "." + name) {}
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  Context& context() noexcept { return ctx_; }
+  const std::string& full_name() const noexcept { return full_name_; }
+
+protected:
+  /// SC_CTHREAD analogue: register `body` clocked on `clk` with synchronous
+  /// reset `reset` (active high), i.e. `watching(reset.delayed() == true)`.
+  void cthread(const std::string& name, Signal<bool>& clk,
+               const Signal<bool>& reset, std::function<Behavior()> body) {
+    auto& p = ctx_.create_cthread(full_name_ + "." + name, clk,
+                                  std::move(body));
+    p.set_reset(reset);
+  }
+
+  /// SC_CTHREAD without reset.
+  void cthread(const std::string& name, Signal<bool>& clk,
+               std::function<Behavior()> body) {
+    ctx_.create_cthread(full_name_ + "." + name, clk, std::move(body));
+  }
+
+  /// SC_METHOD analogue with explicit sensitivity.
+  void method(const std::string& name, std::function<void()> fn,
+              std::initializer_list<SignalBase*> sensitivity) {
+    ctx_.create_method(full_name_ + "." + name, std::move(fn), sensitivity);
+  }
+
+private:
+  Context& ctx_;
+  std::string full_name_;
+};
+
+/// Free-running clock.  First rising edge at period/2, 50% duty cycle.
+class Clock {
+public:
+  Clock(Context& ctx, std::string name, Time period_ps)
+      : signal_(ctx, name, false), period_(period_ps) {
+    schedule_toggle(ctx.kernel(), period_ps / 2, true);
+  }
+
+  Signal<bool>& signal() noexcept { return signal_; }
+  operator Signal<bool>&() noexcept { return signal_; }  // NOLINT
+  Time period() const noexcept { return period_; }
+
+private:
+  Signal<bool> signal_;
+  Time period_;
+
+  void schedule_toggle(Kernel& k, Time at, bool value) {
+    k.schedule(at, [this, &k, at, value] {
+      signal_.write(value);
+      schedule_toggle(k, at + period_ / 2, !value);
+    });
+  }
+};
+
+}  // namespace osss::sysc

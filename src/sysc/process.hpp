@@ -1,0 +1,165 @@
+// process.hpp — clocked threads (SC_CTHREAD analogue) and method processes.
+//
+// OSSS behaviour is written as clocked threads: a coroutine resumed on every
+// rising clock edge, suspending at `co_await wait()` statements.  Synchronous
+// reset follows the paper's `watching(reset.delayed() == true)` semantics —
+// while reset is sampled active at a clock edge the thread restarts from the
+// top, re-executing its reset preamble.
+//
+// A `Behavior` member coroutine of a module is the analogue of the function
+// registered with SC_CTHREAD:
+//
+//   Behavior sync_input() {
+//     data_sync_reg.reset();
+//     co_await wait();
+//     while (true) {
+//       data_sync_reg.write(data.read());
+//       if (data_sync_reg.rising_edge(0)) { ... }
+//       co_await wait();
+//     }
+//   }
+
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <utility>
+
+#include "sysc/kernel.hpp"
+#include "sysc/signal.hpp"
+
+namespace osss::sysc {
+
+class CThreadProcess;
+
+/// Coroutine return type for clocked-thread bodies.
+class Behavior {
+public:
+  struct promise_type {
+    CThreadProcess* process = nullptr;
+
+    Behavior get_return_object() {
+      return Behavior(Handle::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Behavior() = default;
+  explicit Behavior(Handle h) : handle_(h) {}
+  Behavior(Behavior&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  Behavior& operator=(Behavior&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~Behavior() { destroy(); }
+
+  Behavior(const Behavior&) = delete;
+  Behavior& operator=(const Behavior&) = delete;
+
+  bool valid() const noexcept { return handle_ != nullptr; }
+  bool done() const { return !handle_ || handle_.done(); }
+  void resume() { handle_.resume(); }
+  Handle handle() const noexcept { return handle_; }
+
+private:
+  Handle handle_;
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+};
+
+/// `co_await wait(n)` — suspend the clocked thread for n rising clock edges.
+struct WaitCycles {
+  unsigned cycles;
+  bool await_ready() const noexcept { return cycles == 0; }
+  void await_suspend(std::coroutine_handle<Behavior::promise_type> h) noexcept;
+  void await_resume() const noexcept {}
+};
+
+inline WaitCycles wait(unsigned cycles = 1) { return WaitCycles{cycles}; }
+
+/// A clocked thread: coroutine restarted on synchronous reset, resumed on
+/// each rising edge of its clock, skipping edges while a multi-cycle wait is
+/// pending.
+class CThreadProcess final : public Process {
+public:
+  CThreadProcess(std::string name, std::function<Behavior()> factory)
+      : Process(std::move(name)), factory_(std::move(factory)) {}
+
+  /// Attach a synchronous reset (sampled at the clock edge).
+  void set_reset(const Signal<bool>& sig, bool active_high = true) {
+    reset_ = &sig;
+    reset_level_ = active_high;
+  }
+
+  void execute() override {
+    if (reset_ != nullptr && reset_->read() == reset_level_) {
+      restart();
+      return;
+    }
+    if (!body_.valid()) {
+      restart();  // first activation without reset attached
+      return;
+    }
+    if (body_.done()) return;
+    if (skip_ > 0) {
+      --skip_;
+      return;
+    }
+    body_.resume();
+  }
+
+  bool finished() const { return body_.valid() && body_.done(); }
+
+private:
+  friend struct WaitCycles;
+
+  std::function<Behavior()> factory_;
+  Behavior body_;
+  unsigned skip_ = 0;
+  const Signal<bool>* reset_ = nullptr;
+  bool reset_level_ = true;
+
+  void restart() {
+    body_ = factory_();
+    body_.handle().promise().process = this;
+    skip_ = 0;
+    body_.resume();  // run reset preamble until the first wait()
+  }
+};
+
+inline void WaitCycles::await_suspend(
+    std::coroutine_handle<Behavior::promise_type> h) noexcept {
+  if (h.promise().process != nullptr) {
+    h.promise().process->skip_ = cycles - 1;
+  }
+}
+
+/// A method process: plain function re-evaluated whenever a signal in its
+/// sensitivity list changes (SC_METHOD analogue, used for combinational
+/// glue and testbench monitors).
+class MethodProcess final : public Process {
+public:
+  MethodProcess(std::string name, std::function<void()> fn)
+      : Process(std::move(name)), fn_(std::move(fn)) {}
+
+  void execute() override { fn_(); }
+
+private:
+  std::function<void()> fn_;
+};
+
+}  // namespace osss::sysc

@@ -1,0 +1,107 @@
+// signal.hpp — typed signals and ports (sc_signal / sc_in / sc_out analogue).
+//
+// A Signal<T> carries any equality-comparable value type: bool, integers,
+// BitVector<W>, or whole OSSS objects (the paper transfers object data "via
+// sc_signal<object> between different processes").  Writes take effect in
+// the next update phase; reads always observe the current value.
+
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "sysc/kernel.hpp"
+
+namespace osss::sysc {
+
+class Context;
+Kernel& kernel_of(Context& ctx);  // defined in module.hpp/cpp
+
+template <class T>
+class Signal final : public SignalBase {
+public:
+  /// Create a signal owned by a context (or module hierarchy).
+  Signal(Context& ctx, std::string name, T init = T{})
+      : SignalBase(kernel_of(ctx), std::move(name)),
+        current_(init),
+        next_(init) {}
+
+  Signal(Kernel& kernel, std::string name, T init = T{})
+      : SignalBase(kernel, std::move(name)), current_(init), next_(init) {}
+
+  const T& read() const noexcept { return current_; }
+  operator const T&() const noexcept { return current_; }  // NOLINT
+
+  void write(const T& v) {
+    next_ = v;
+    kernel_.request_update(*this);
+  }
+  Signal& operator=(const T& v) {
+    write(v);
+    return *this;
+  }
+
+  /// Register a process on the rising edge (bool signals only — clocks and
+  /// resets).
+  void on_posedge(Process& p)
+    requires std::same_as<T, bool>
+  {
+    pos_list_.push_back(&p);
+  }
+
+private:
+  T current_;
+  T next_;
+
+  void apply_update() override {
+    if (next_ == current_) return;
+    bool rising = false;
+    if constexpr (std::same_as<T, bool>) rising = !current_ && next_;
+    current_ = next_;
+    notify_change();
+    if (rising) notify_posedge();
+  }
+};
+
+/// Input port: a read-only view of a signal, bound at construction or via
+/// bind().  Kept deliberately thin — the port/signal split matters for the
+/// paper's discussion of module boundaries, not for simulator mechanics.
+template <class T>
+class In {
+public:
+  In() = default;
+  explicit In(const Signal<T>& s) : sig_(&s) {}
+
+  void bind(const Signal<T>& s) { sig_ = &s; }
+  bool bound() const noexcept { return sig_ != nullptr; }
+
+  const T& read() const { return sig_->read(); }
+  operator const T&() const { return sig_->read(); }  // NOLINT
+
+private:
+  const Signal<T>* sig_ = nullptr;
+};
+
+/// Output port: write-only view of a signal.
+template <class T>
+class Out {
+public:
+  Out() = default;
+  explicit Out(Signal<T>& s) : sig_(&s) {}
+
+  void bind(Signal<T>& s) { sig_ = &s; }
+  bool bound() const noexcept { return sig_ != nullptr; }
+
+  void write(const T& v) { sig_->write(v); }
+  Out& operator=(const T& v) {
+    write(v);
+    return *this;
+  }
+  /// Read-back of the current (committed) value of the bound signal.
+  const T& read() const { return sig_->read(); }
+
+private:
+  Signal<T>* sig_ = nullptr;
+};
+
+}  // namespace osss::sysc

@@ -1,0 +1,67 @@
+#include "sysc/trace.hpp"
+
+#include <stdexcept>
+
+namespace osss::sysc {
+
+TraceFile::TraceFile(Context& ctx, std::string path) : out_(path) {
+  if (!out_) throw std::runtime_error("TraceFile: cannot open " + path);
+  ctx.kernel().add_timestep_hook([this](Time t) { sample(t); });
+}
+
+TraceFile::~TraceFile() { out_.flush(); }
+
+void TraceFile::add_entry(const std::string& name, unsigned width,
+                          std::function<Bits()> getter) {
+  if (header_written_)
+    throw std::logic_error("TraceFile: trace() after simulation started");
+  entries_.push_back(
+      Entry{name, width, std::move(getter), make_id(entries_.size()), Bits{},
+            true});
+}
+
+std::string TraceFile::make_id(std::size_t index) {
+  // VCD identifiers: printable ASCII 33..126, little-endian base-94.
+  std::string id;
+  do {
+    id += static_cast<char>('!' + index % 94);
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+void TraceFile::write_header() {
+  out_ << "$timescale 1ps $end\n$scope module top $end\n";
+  for (const auto& e : entries_) {
+    out_ << "$var wire " << e.width << " " << e.id << " " << e.name
+         << " $end\n";
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+  header_written_ = true;
+}
+
+std::string TraceFile::value_text(const Entry& e, const Bits& v) {
+  if (e.width == 1) return (v.bit(0) ? "1" : "0") + e.id;
+  std::string text = "b";
+  for (unsigned i = v.width(); i-- > 0;) text += v.bit(i) ? '1' : '0';
+  return text + " " + e.id;
+}
+
+void TraceFile::sample(Time t) {
+  if (!header_written_) write_header();
+  for (auto& e : entries_) {
+    Bits v = e.get();
+    if (!e.first && v == e.last) continue;
+    if (!time_written_ || last_time_ != t) {
+      out_ << "#" << t << "\n";
+      last_time_ = t;
+      time_written_ = true;
+    }
+    out_ << value_text(e, v) << "\n";
+    e.last = std::move(v);
+    e.first = false;
+    ++changes_;
+  }
+}
+
+}  // namespace osss::sysc

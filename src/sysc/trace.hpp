@@ -1,0 +1,97 @@
+// trace.hpp — VCD waveform tracing (sc_trace analogue).
+//
+// The paper recommends implementing `sc_trace` and `operator<<` for every
+// OSSS class so object contents can be dumped at any time (its Figs. 9/10).
+// Here any signal whose payload is bool, an unsigned integer, a
+// BitVector<W>, or a type providing `Bits to_bits() const` can be traced.
+// The latter is how whole OSSS objects appear in the waveform.
+
+#pragma once
+
+#include <concepts>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sysc/bits.hpp"
+#include "sysc/bitvector.hpp"
+#include "sysc/module.hpp"
+
+namespace osss::sysc {
+
+/// Payload types convertible to Bits for waveform dumping.
+template <class T>
+concept HasToBits = requires(const T& t) {
+  { t.to_bits() } -> std::same_as<Bits>;
+};
+
+/// Writes a Value Change Dump file.  Register signals before the first
+/// `run_for`; the file is finalized in the destructor.
+class TraceFile {
+public:
+  /// Opens `path` for writing and attaches to the context's kernel so a
+  /// sample is taken after every converged timestep.
+  TraceFile(Context& ctx, std::string path);
+  ~TraceFile();
+
+  TraceFile(const TraceFile&) = delete;
+  TraceFile& operator=(const TraceFile&) = delete;
+
+  /// Trace any supported signal payload under `name`.
+  template <class T>
+  void trace(const Signal<T>& sig, const std::string& name) {
+    if constexpr (std::same_as<T, bool>) {
+      add_entry(name, 1, [&sig] { return Bits(1, sig.read() ? 1u : 0u); });
+    } else if constexpr (std::unsigned_integral<T>) {
+      add_entry(name, 8 * sizeof(T), [&sig] {
+        return Bits(8 * sizeof(T), static_cast<std::uint64_t>(sig.read()));
+      });
+    } else if constexpr (HasToBits<T>) {
+      add_entry(name, sig.read().to_bits().width(),
+                [&sig] { return sig.read().to_bits(); });
+    } else {
+      static_assert(HasToBits<T>, "type is not traceable");
+    }
+  }
+
+  template <unsigned W>
+  void trace(const Signal<BitVector<W>>& sig, const std::string& name) {
+    add_entry(name, W, [&sig] { return sig.read().to_bits(); });
+  }
+
+  /// Trace an arbitrary value through a getter (e.g. internal object state).
+  void trace_fn(const std::string& name, unsigned width,
+                std::function<Bits()> getter) {
+    add_entry(name, width, std::move(getter));
+  }
+
+  /// Number of value changes written so far (observable for tests).
+  std::uint64_t change_count() const noexcept { return changes_; }
+
+private:
+  struct Entry {
+    std::string name;
+    unsigned width;
+    std::function<Bits()> get;
+    std::string id;
+    Bits last;
+    bool first = true;
+  };
+
+  std::ofstream out_;
+  std::vector<Entry> entries_;
+  bool header_written_ = false;
+  std::uint64_t changes_ = 0;
+  Time last_time_ = 0;
+  bool time_written_ = false;
+
+  void add_entry(const std::string& name, unsigned width,
+                 std::function<Bits()> getter);
+  void sample(Time t);
+  void write_header();
+  static std::string make_id(std::size_t index);
+  static std::string value_text(const Entry& e, const Bits& v);
+};
+
+}  // namespace osss::sysc

@@ -1,0 +1,141 @@
+// Camera model framing/transfer and the bit-level I2C master/slave pair.
+
+#include <gtest/gtest.h>
+
+#include "expocu/camera_model.hpp"
+#include "expocu/hw.hpp"
+#include "expocu/i2c_bus.hpp"
+
+namespace osss::expocu {
+namespace {
+
+using sysc::Clock;
+using sysc::Context;
+
+TEST(CameraModel, FrameFraming) {
+  Context ctx;
+  Clock clk(ctx, "clk", kClockPeriodPs);
+  CameraRegisters regs;
+  CameraModel cam(ctx, "cam", clk.signal(), regs);
+  unsigned vsyncs = 0;
+  unsigned valid_pixels = 0;
+  ctx.create_method(
+      "watch",
+      [&] {
+        if (cam.pixel_valid.read() && cam.vsync.read()) ++vsyncs;
+      },
+      {&cam.vsync});
+  ctx.create_cthread("count", clk.signal(), [&]() -> sysc::Behavior {
+    for (;;) {
+      if (cam.pixel_valid.read()) ++valid_pixels;
+      co_await sysc::wait();
+    }
+  });
+  const unsigned frames = 3;
+  ctx.run_for((kPixelsPerFrame + 8) * frames * kClockPeriodPs);
+  EXPECT_GE(cam.frame_count(), frames - 1);
+  EXPECT_GE(vsyncs, frames - 1);
+  EXPECT_GE(valid_pixels, (frames - 1) * kPixelsPerFrame);
+}
+
+TEST(CameraModel, TransferMonotonicInExposure) {
+  CameraRegisters lo;
+  lo.exposure = 0x0400;
+  CameraRegisters hi;
+  hi.exposure = 0x2000;
+  double sum_lo = 0;
+  double sum_hi = 0;
+  for (unsigned y = 0; y < kFrameHeight; ++y) {
+    for (unsigned x = 0; x < kFrameWidth; ++x) {
+      sum_lo += CameraModel::sensor_value(x, y, 0, lo);
+      sum_hi += CameraModel::sensor_value(x, y, 0, hi);
+    }
+  }
+  EXPECT_GT(sum_hi, sum_lo);
+}
+
+TEST(CameraModel, GainScalesOutput) {
+  CameraRegisters g1;
+  g1.gain = 64;
+  CameraRegisters g2;
+  g2.gain = 128;
+  const auto v1 = CameraModel::sensor_value(10, 10, 0, g1);
+  const auto v2 = CameraModel::sensor_value(10, 10, 0, g2);
+  EXPECT_NEAR(v2, std::min(255, 2 * v1), 1.0);
+}
+
+class I2cFixture : public ::testing::Test {
+protected:
+  Context ctx;
+  Clock clk{ctx, "clk", kClockPeriodPs};
+  I2cBus bus{ctx};
+  CameraRegisters regs;
+  I2cSlaveModel slave{ctx, "slave", bus, regs};
+  I2cMasterSim master{ctx, "master", clk.signal(), bus, kI2cPhase};
+
+  void run_transaction() {
+    // Generous budget: 5 bytes x 9 clocks x 4 phases x 4 sysclk + framing.
+    ctx.run_for(1200 * kClockPeriodPs);
+  }
+};
+
+TEST_F(I2cFixture, RegisterWriteLands) {
+  master.start(kI2cAddress, kRegExposureHi, {0xAB, 0xCD, 0x55});
+  run_transaction();
+  EXPECT_FALSE(master.busy());
+  EXPECT_TRUE(master.last_acked());
+  EXPECT_EQ(regs.exposure, 0xABCD);
+  EXPECT_EQ(regs.gain, 0x55);
+  EXPECT_EQ(slave.transaction_count(), 1u);
+  EXPECT_EQ(slave.byte_count(), 3u);
+  EXPECT_EQ(slave.nack_count(), 0u);
+}
+
+TEST_F(I2cFixture, WrongAddressNacked) {
+  master.start(0x22, kRegExposureHi, {0x12});
+  run_transaction();
+  EXPECT_FALSE(master.last_acked());
+  EXPECT_EQ(regs.exposure, 0x0800);  // untouched
+  EXPECT_EQ(slave.nack_count(), 1u);
+  EXPECT_EQ(slave.byte_count(), 0u);
+}
+
+TEST_F(I2cFixture, SingleRegisterWrite) {
+  master.start(kI2cAddress, kRegGain, {200});
+  run_transaction();
+  EXPECT_TRUE(master.last_acked());
+  EXPECT_EQ(regs.gain, 200);
+  EXPECT_EQ(regs.exposure, 0x0800);
+}
+
+TEST_F(I2cFixture, BackToBackTransactions) {
+  master.start(kI2cAddress, kRegGain, {100});
+  run_transaction();
+  EXPECT_EQ(regs.gain, 100);
+  master.start(kI2cAddress, kRegGain, {150});
+  run_transaction();
+  EXPECT_EQ(regs.gain, 150);
+  EXPECT_EQ(slave.transaction_count(), 2u);
+  EXPECT_EQ(master.transaction_count(), 2u);
+}
+
+TEST_F(I2cFixture, StartIgnoredWhileBusy) {
+  master.start(kI2cAddress, kRegGain, {100});
+  ctx.run_for(20 * kClockPeriodPs);  // transaction under way
+  EXPECT_TRUE(master.busy());
+  master.start(kI2cAddress, kRegGain, {222});  // must be dropped
+  run_transaction();
+  EXPECT_EQ(regs.gain, 100);
+  EXPECT_EQ(master.transaction_count(), 1u);
+}
+
+TEST_F(I2cFixture, UnknownRegisterIgnored) {
+  master.start(kI2cAddress, 0x7f, {0x99});
+  run_transaction();
+  EXPECT_TRUE(master.last_acked());  // still acked, like real devices
+  EXPECT_EQ(regs.exposure, 0x0800);
+  EXPECT_EQ(regs.gain, 64);
+}
+
+}  // namespace
+}  // namespace osss::expocu

@@ -1,0 +1,80 @@
+// Flow-level tests: both flows synthesize to gates, produce the component
+// inventory of the paper's Fig. 12, and land in the expected area/fmax
+// relationship (precise numbers are the experiments' job).
+
+#include <gtest/gtest.h>
+
+#include "expocu/flows.hpp"
+
+namespace osss::expocu {
+namespace {
+
+const char* kExpectedComponents[] = {"camera_sync", "histogram",
+                                     "threshold_calc", "param_calc",
+                                     "i2c_master", "reset_ctrl"};
+
+TEST(Flows, OsssFlowBuildsAllComponents) {
+  const auto flow = build_osss_flow();
+  ASSERT_EQ(flow.size(), 6u);
+  for (const auto& c : flow) EXPECT_NO_THROW(c.module.validate());
+  // Behavioral components carry an HLS report.
+  for (const auto& c : flow) {
+    if (c.behavioral) EXPECT_GT(c.hls_report.states, 0u) << c.name;
+  }
+}
+
+TEST(Flows, VhdlFlowBuildsAllComponents) {
+  const auto flow = build_vhdl_flow();
+  ASSERT_EQ(flow.size(), 6u);
+  for (const auto& c : flow) {
+    EXPECT_NO_THROW(c.module.validate());
+    EXPECT_FALSE(c.behavioral);
+  }
+}
+
+TEST(Flows, SynthesisReportCoversEveryComponent) {
+  const auto lib = gate::Library::generic();
+  const FlowReport osss = synthesize_flow(build_osss_flow(), lib);
+  const FlowReport vhdl = synthesize_flow(build_vhdl_flow(), lib);
+  ASSERT_EQ(osss.components.size(), 6u);
+  ASSERT_EQ(vhdl.components.size(), 6u);
+  for (const char* name : kExpectedComponents) {
+    EXPECT_NE(osss.find(name), nullptr) << name;
+    EXPECT_NE(vhdl.find(name), nullptr) << name;
+    EXPECT_GT(osss.find(name)->timing.area_ge, 0.0) << name;
+  }
+  EXPECT_GT(osss.total_area_ge, 0.0);
+  EXPECT_GT(vhdl.total_area_ge, 0.0);
+}
+
+TEST(Flows, PaperShapeAreaAlmostEquivalentFrequencyLower) {
+  // §12: "the required area ... almost equivalent"; "the frequency of the
+  // achieved in OSSS design is below the frequency in the VHDL flow".
+  const auto lib = gate::Library::generic();
+  const FlowReport osss = synthesize_flow(build_osss_flow(), lib);
+  const FlowReport vhdl = synthesize_flow(build_vhdl_flow(), lib);
+  const double ratio = osss.total_area_ge / vhdl.total_area_ge;
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.35);
+  EXPECT_LE(osss.min_fmax_mhz, vhdl.min_fmax_mhz);
+}
+
+TEST(Flows, VhdlFlowMeetsSixtySixMhz) {
+  const auto lib = gate::Library::generic();
+  const FlowReport vhdl = synthesize_flow(build_vhdl_flow(), lib);
+  for (const auto& c : vhdl.components) {
+    EXPECT_TRUE(c.timing.meets(kClockMhz))
+        << c.name << " fmax " << c.timing.fmax_mhz;
+  }
+}
+
+TEST(Flows, SharedHistogramIdenticalAcrossFlows) {
+  const auto lib = gate::Library::generic();
+  const FlowReport osss = synthesize_flow(build_osss_flow(), lib);
+  const FlowReport vhdl = synthesize_flow(build_vhdl_flow(), lib);
+  EXPECT_DOUBLE_EQ(osss.find("histogram")->timing.area_ge,
+                   vhdl.find("histogram")->timing.area_ge);
+}
+
+}  // namespace
+}  // namespace osss::expocu

@@ -1,0 +1,155 @@
+// The three I2C master implementations: OSSS vs manually-resolved SystemC
+// (exact cycle equivalence) and the hand-RTL FSM (protocol equivalence),
+// decoded by a software I2C monitor.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "expocu/hw.hpp"
+#include "hls/synth.hpp"
+#include "rtl/sim.hpp"
+
+namespace osss::expocu {
+namespace {
+
+/// Software I2C monitor: feed one (scl, sda) sample per clock; collects
+/// complete transactions (sequence of bytes after START).  Always acks by
+/// reporting the level the master would see (the testbench drives sda_in
+/// separately).
+class I2cMonitor {
+public:
+  void sample(bool scl, bool sda) {
+    if (scl && last_scl_) {
+      if (last_sda_ && !sda) {  // START
+        in_frame_ = true;
+        bits_ = 0;
+        shift_ = 0;
+        current_.clear();
+      } else if (!last_sda_ && sda && in_frame_) {  // STOP
+        transactions_.push_back(current_);
+        in_frame_ = false;
+      }
+    } else if (scl && !last_scl_ && in_frame_) {
+      if (bits_ < 8) {
+        shift_ = static_cast<std::uint8_t>((shift_ << 1) | (sda ? 1 : 0));
+        if (++bits_ == 8) current_.push_back(shift_);
+      } else {
+        bits_ = 0;  // ack clock
+        shift_ = 0;
+      }
+    }
+    last_scl_ = scl;
+    last_sda_ = sda;
+  }
+
+  const std::vector<std::vector<std::uint8_t>>& transactions() const {
+    return transactions_;
+  }
+
+private:
+  bool last_scl_ = true;
+  bool last_sda_ = true;
+  bool in_frame_ = false;
+  unsigned bits_ = 0;
+  std::uint8_t shift_ = 0;
+  std::vector<std::uint8_t> current_;
+  std::vector<std::vector<std::uint8_t>> transactions_;
+};
+
+/// Run a master for one transaction; returns the decoded transaction.
+std::vector<std::uint8_t> run_master(rtl::Simulator& sim,
+                                     std::uint16_t exposure,
+                                     std::uint8_t gain, bool ack) {
+  I2cMonitor monitor;
+  sim.set_input("exposure", exposure);
+  sim.set_input("gain", gain);
+  sim.set_input("sda_in", ack ? 0 : 1);
+  sim.set_input("start", 1);
+  bool started = false;
+  for (int cycle = 0; cycle < 4000; ++cycle) {
+    sim.step();
+    if (started) sim.set_input("start", 0);
+    started = true;
+    monitor.sample(sim.output("scl").to_u64() == 1u,
+                   sim.output("sda").to_u64() == 1u);
+    if (!monitor.transactions().empty()) break;
+  }
+  sim.step(8 * kI2cPhase);  // let ack_ok/busy settle past the STOP
+  EXPECT_EQ(monitor.transactions().size(), 1u);
+  return monitor.transactions().empty() ? std::vector<std::uint8_t>{}
+                                        : monitor.transactions()[0];
+}
+
+const std::vector<std::uint8_t> kExpectedFrame = {
+    kI2cAddress << 1, kRegExposureHi, 0xAB, 0xCD, 0x37};
+
+TEST(I2cMasters, OsssProducesCorrectFrame) {
+  rtl::Simulator sim(hls::synthesize(build_i2c_master_osss()));
+  EXPECT_EQ(run_master(sim, 0xABCD, 0x37, true), kExpectedFrame);
+  EXPECT_EQ(sim.output("ack_ok").to_u64(), 1u);
+  EXPECT_EQ(sim.output("busy").to_u64(), 0u);
+}
+
+TEST(I2cMasters, SystemCProducesCorrectFrame) {
+  rtl::Simulator sim(hls::synthesize(build_i2c_master_systemc()));
+  EXPECT_EQ(run_master(sim, 0xABCD, 0x37, true), kExpectedFrame);
+  EXPECT_EQ(sim.output("ack_ok").to_u64(), 1u);
+}
+
+TEST(I2cMasters, VhdlProducesCorrectFrame) {
+  rtl::Simulator sim(build_i2c_master_vhdl());
+  EXPECT_EQ(run_master(sim, 0xABCD, 0x37, true), kExpectedFrame);
+  EXPECT_EQ(sim.output("ack_ok").to_u64(), 1u);
+  EXPECT_EQ(sim.output("busy").to_u64(), 0u);
+}
+
+TEST(I2cMasters, NackReported) {
+  for (int variant = 0; variant < 3; ++variant) {
+    rtl::Simulator sim(variant == 0
+                           ? hls::synthesize(build_i2c_master_osss())
+                           : variant == 1
+                                 ? hls::synthesize(build_i2c_master_systemc())
+                                 : build_i2c_master_vhdl());
+    (void)run_master(sim, 0x1234, 0x40, /*ack=*/false);
+    EXPECT_EQ(sim.output("ack_ok").to_u64(), 0u) << "variant " << variant;
+  }
+}
+
+TEST(I2cMasters, OsssAndSystemCCycleIdentical) {
+  // The manually resolved version must be indistinguishable on the bus,
+  // cycle for cycle — it is the same design, resolved by hand.
+  rtl::Simulator a(hls::synthesize(build_i2c_master_osss()));
+  rtl::Simulator b(hls::synthesize(build_i2c_master_systemc()));
+  for (auto* s : {&a, &b}) {
+    s->set_input("exposure", 0xC0DE);
+    s->set_input("gain", 0x5A);
+    s->set_input("sda_in", 0);
+    s->set_input("start", 1);
+  }
+  for (int cycle = 0; cycle < 2500; ++cycle) {
+    a.step();
+    b.step();
+    a.set_input("start", 0);
+    b.set_input("start", 0);
+    for (const char* out : {"scl", "sda", "busy", "ack_ok"}) {
+      ASSERT_TRUE(a.output(out) == b.output(out))
+          << out << " differs at cycle " << cycle;
+    }
+  }
+}
+
+TEST(I2cMasters, BusyDuringTransaction) {
+  rtl::Simulator sim(hls::synthesize(build_i2c_master_osss()));
+  sim.set_input("exposure", 0);
+  sim.set_input("gain", 0);
+  sim.set_input("sda_in", 0);
+  sim.set_input("start", 1);
+  sim.step(3);
+  sim.set_input("start", 0);
+  EXPECT_EQ(sim.output("busy").to_u64(), 1u);
+}
+
+}  // namespace
+}  // namespace osss::expocu

@@ -1,0 +1,160 @@
+// Tests for the optimizing netlist factories: constant folding, identity
+// simplification and structural hashing — the machinery behind the paper's
+// "resolution adds no overhead" result (R4).
+
+#include "gate/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace osss::gate {
+namespace {
+
+TEST(Netlist, ConstantsPreexist) {
+  Netlist nl("t");
+  EXPECT_EQ(nl.const0(), 0u);
+  EXPECT_EQ(nl.const1(), 1u);
+  EXPECT_EQ(nl.constant(true), nl.const1());
+}
+
+TEST(Netlist, InverterFolding) {
+  Netlist nl("t");
+  auto a = nl.add_input("a", 1);
+  EXPECT_EQ(nl.inv(nl.const0()), nl.const1());
+  EXPECT_EQ(nl.inv(nl.const1()), nl.const0());
+  const NetId na = nl.inv(a[0]);
+  EXPECT_EQ(nl.inv(na), a[0]);  // double inversion vanishes
+  EXPECT_EQ(nl.inv(a[0]), na);  // strash: same gate reused
+}
+
+TEST(Netlist, AndOrIdentities) {
+  Netlist nl("t");
+  auto a = nl.add_input("a", 1);
+  auto b = nl.add_input("b", 1);
+  EXPECT_EQ(nl.and2(a[0], nl.const0()), nl.const0());
+  EXPECT_EQ(nl.and2(a[0], nl.const1()), a[0]);
+  EXPECT_EQ(nl.and2(a[0], a[0]), a[0]);
+  EXPECT_EQ(nl.and2(a[0], nl.inv(a[0])), nl.const0());
+  EXPECT_EQ(nl.or2(a[0], nl.const1()), nl.const1());
+  EXPECT_EQ(nl.or2(a[0], nl.const0()), a[0]);
+  EXPECT_EQ(nl.or2(a[0], nl.inv(a[0])), nl.const1());
+  // Commutative canonicalization: and(a,b) == and(b,a).
+  EXPECT_EQ(nl.and2(a[0], b[0]), nl.and2(b[0], a[0]));
+}
+
+TEST(Netlist, XorIdentities) {
+  Netlist nl("t");
+  auto a = nl.add_input("a", 1);
+  EXPECT_EQ(nl.xor2(a[0], nl.const0()), a[0]);
+  EXPECT_EQ(nl.xor2(a[0], nl.const1()), nl.inv(a[0]));
+  EXPECT_EQ(nl.xor2(a[0], a[0]), nl.const0());
+  EXPECT_EQ(nl.xor2(a[0], nl.inv(a[0])), nl.const1());
+}
+
+TEST(Netlist, MuxSimplifications) {
+  Netlist nl("t");
+  auto s = nl.add_input("s", 1);
+  auto a = nl.add_input("a", 1);
+  auto b = nl.add_input("b", 1);
+  EXPECT_EQ(nl.mux2(nl.const1(), a[0], b[0]), a[0]);
+  EXPECT_EQ(nl.mux2(nl.const0(), a[0], b[0]), b[0]);
+  EXPECT_EQ(nl.mux2(s[0], a[0], a[0]), a[0]);
+  EXPECT_EQ(nl.mux2(s[0], nl.const1(), nl.const0()), s[0]);
+  EXPECT_EQ(nl.mux2(s[0], nl.const0(), nl.const1()), nl.inv(s[0]));
+  EXPECT_EQ(nl.mux2(s[0], a[0], nl.const0()), nl.and2(s[0], a[0]));
+}
+
+TEST(Netlist, StructuralHashingSharesLogic) {
+  Netlist nl("t");
+  auto a = nl.add_input("a", 1);
+  auto b = nl.add_input("b", 1);
+  const std::size_t before = nl.cells().size();
+  const NetId g1 = nl.xor2(nl.and2(a[0], b[0]), nl.or2(a[0], b[0]));
+  const NetId g2 = nl.xor2(nl.and2(b[0], a[0]), nl.or2(b[0], a[0]));
+  EXPECT_EQ(g1, g2);
+  EXPECT_EQ(nl.cells().size(), before + 3);  // and, or, xor — built once
+}
+
+TEST(Netlist, DffConnectionRules) {
+  Netlist nl("t");
+  const NetId q = nl.dff("r", true);
+  EXPECT_THROW(nl.validate(), std::logic_error);  // unconnected D
+  nl.connect_dff(q, nl.const0());
+  EXPECT_NO_THROW(nl.validate());
+  EXPECT_THROW(nl.connect_dff(q, nl.const1()), std::logic_error);
+  EXPECT_THROW(nl.connect_dff(nl.const0(), q), std::logic_error);
+}
+
+TEST(Netlist, SweepRemovesDeadLogic) {
+  Netlist nl("t");
+  auto a = nl.add_input("a", 1);
+  auto b = nl.add_input("b", 1);
+  const NetId live = nl.and2(a[0], b[0]);
+  (void)nl.xor2(a[0], b[0]);  // dead
+  (void)nl.or2(a[0], b[0]);   // dead
+  nl.add_output("o", {live});
+  const std::size_t removed = nl.sweep();
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(nl.gate_count(), 1u);
+  EXPECT_NO_THROW(nl.validate());
+  EXPECT_EQ(nl.outputs()[0].name, "o");
+}
+
+TEST(Netlist, SweepKeepsMemoryWriteCone) {
+  Netlist nl("t");
+  auto addr = nl.add_input("addr", 2);
+  auto en = nl.add_input("en", 1);
+  auto d = nl.add_input("d", 1);
+  const unsigned mem = nl.add_memory("m", 4, 1);
+  const NetId inv_d = nl.inv(d[0]);  // feeds write data: must survive
+  nl.mem_write(mem, addr, {inv_d}, en[0]);
+  auto q = nl.mem_read(mem, addr);
+  nl.add_output("q", q);
+  nl.sweep();
+  EXPECT_EQ(nl.gate_count(), 1u);  // the inverter survived
+}
+
+TEST(Netlist, InstantiateIpMapsPorts) {
+  // Build a tiny "IP": 2-bit AND.
+  Netlist ip("and_ip");
+  auto ia = ip.add_input("x", 2);
+  auto ib = ip.add_input("y", 2);
+  ip.add_output("z", {ip.and2(ia[0], ib[0]), ip.and2(ia[1], ib[1])});
+
+  Netlist top("top");
+  auto a = top.add_input("a", 2);
+  auto b = top.add_input("b", 2);
+  auto outs = top.instantiate(ip, "u0", {{"x", a}, {"y", b}});
+  ASSERT_EQ(outs.count("z"), 1u);
+  top.add_output("o", outs["z"]);
+  EXPECT_NO_THROW(top.validate());
+  EXPECT_EQ(top.gate_count(), 2u);
+}
+
+TEST(Netlist, InstantiateRejectsUnboundOrMismatched) {
+  Netlist ip("ip");
+  (void)ip.add_input("x", 2);
+  ip.add_output("z", {ip.const0()});
+  Netlist top("top");
+  auto a = top.add_input("a", 1);
+  EXPECT_THROW(top.instantiate(ip, "u0", {}), std::logic_error);
+  EXPECT_THROW(top.instantiate(ip, "u0", {{"x", a}}), std::logic_error);
+}
+
+TEST(Netlist, HistogramCountsKinds) {
+  Netlist nl("t");
+  auto a = nl.add_input("a", 1);
+  auto b = nl.add_input("b", 1);
+  nl.add_output("o", {nl.and2(a[0], nl.inv(b[0]))});
+  auto h = nl.cell_histogram();
+  EXPECT_EQ(h[CellKind::kAnd2], 1u);
+  EXPECT_EQ(h[CellKind::kInv], 1u);
+  EXPECT_EQ(h[CellKind::kInput], 2u);
+}
+
+TEST(Netlist, OutputBoundsChecked) {
+  Netlist nl("t");
+  EXPECT_THROW(nl.add_output("o", {999u}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace osss::gate

@@ -1,0 +1,74 @@
+// Tests for the VHDL netlist writer.
+
+#include <gtest/gtest.h>
+
+#include "gate/lower.hpp"
+#include "gate/vhdl.hpp"
+#include "rtl/builder.hpp"
+
+namespace osss::gate {
+namespace {
+
+using rtl::Builder;
+using rtl::Wire;
+
+Netlist small_netlist() {
+  Builder b("toggle");
+  Wire en = b.input("en", 1);
+  Wire q = b.reg("state", 2, rtl::Bits(2, 1));
+  b.connect(q, b.add(q, b.constant(2, 1)));
+  b.enable(q, en);
+  b.output("state", q);
+  return lower_to_gates(b.take());
+}
+
+TEST(Vhdl, EntityAndArchitectureEmitted) {
+  const std::string v = write_vhdl(small_netlist());
+  EXPECT_NE(v.find("entity toggle is"), std::string::npos);
+  EXPECT_NE(v.find("architecture netlist of toggle is"), std::string::npos);
+  EXPECT_NE(v.find("en : in std_logic_vector(0 downto 0)"),
+            std::string::npos);
+  EXPECT_NE(v.find("state : out std_logic_vector(1 downto 0)"),
+            std::string::npos);
+  EXPECT_NE(v.find("end architecture;"), std::string::npos);
+}
+
+TEST(Vhdl, RegistersHaveResetValues) {
+  const std::string v = write_vhdl(small_netlist());
+  EXPECT_NE(v.find("if rising_edge(clk) then"), std::string::npos);
+  EXPECT_NE(v.find("if rst = '1' then"), std::string::npos);
+  EXPECT_NE(v.find("<= '1';"), std::string::npos);  // init bit of value 1
+}
+
+TEST(Vhdl, MemoriesEmitted) {
+  Builder b("m");
+  Wire addr = b.input("addr", 2);
+  Wire data = b.input("data", 4);
+  Wire en = b.input("en", 1);
+  rtl::MemHandle mem = b.memory("ram", 4, 4);
+  b.mem_write(mem, addr, data, en);
+  b.output("q", b.mem_read(mem, addr));
+  const std::string v = write_vhdl(lower_to_gates(b.take()));
+  EXPECT_NE(v.find("type mem0_t is array (0 to 3) of "
+                   "std_logic_vector(3 downto 0);"),
+            std::string::npos)
+      << v;
+  EXPECT_NE(v.find("mem0_write : process (clk)"), std::string::npos);
+  EXPECT_NE(v.find("to_integer(unsigned"), std::string::npos);
+}
+
+TEST(Vhdl, CombinationalOperatorsUseVhdlKeywords) {
+  Builder b("ops");
+  Wire a = b.input("a", 1);
+  Wire c = b.input("b", 1);
+  b.output("x", b.xor_(a, c));
+  b.output("o", b.or_(a, c));
+  b.output("n", b.not_(a));
+  const std::string v = write_vhdl(lower_to_gates(b.take()));
+  EXPECT_NE(v.find(" xor "), std::string::npos);
+  EXPECT_NE(v.find(" or "), std::string::npos);
+  EXPECT_NE(v.find("not "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace osss::gate

@@ -1,0 +1,110 @@
+// Tests for behaviour construction and the linear lowering.
+
+#include "hls/behavior.hpp"
+
+#include <gtest/gtest.h>
+
+namespace osss::hls {
+namespace {
+
+using meta::constant;
+
+TEST(Behavior, BasicStructure) {
+  BehaviorBuilder bb("b");
+  auto x = bb.var("x", 8);
+  bb.assign(x, constant(8, 1));
+  bb.wait();
+  bb.loop([&] {
+    bb.assign(x, meta::add(x, constant(8, 1)));
+    bb.wait();
+  });
+  Behavior beh = bb.take();
+  EXPECT_EQ(beh.name, "b");
+  EXPECT_EQ(beh.state_count, 2u);
+  ASSERT_NE(beh.find_var("x"), nullptr);
+  EXPECT_EQ(beh.find_var("x")->width, 8u);
+  EXPECT_EQ(beh.code.back().kind, Instr::Kind::kJump);
+}
+
+TEST(Behavior, DuplicateNamesRejected) {
+  BehaviorBuilder bb("b");
+  bb.var("x", 8);
+  EXPECT_THROW(bb.var("x", 4), std::logic_error);
+  EXPECT_THROW(bb.input("x", 4), std::logic_error);
+}
+
+TEST(Behavior, AssignChecksWidthAndTarget) {
+  BehaviorBuilder bb("b");
+  auto x = bb.var("x", 8);
+  EXPECT_THROW(bb.assign(x, constant(4, 0)), std::logic_error);
+  EXPECT_THROW(bb.assign(meta::local("nope", 8), constant(8, 0)),
+               std::logic_error);
+  EXPECT_THROW(bb.assign(constant(8, 0), constant(8, 0)), std::logic_error);
+}
+
+TEST(Behavior, MustEndInLoopAndContainWait) {
+  {
+    BehaviorBuilder bb("no_loop");
+    auto x = bb.var("x", 4);
+    bb.assign(x, constant(4, 1));
+    bb.wait();
+    EXPECT_THROW(bb.take(), std::logic_error);
+  }
+  {
+    BehaviorBuilder bb("no_wait");
+    auto x = bb.var("x", 4);
+    bb.loop([&] { bb.assign(x, constant(4, 1)); });
+    EXPECT_THROW(bb.take(), std::logic_error);
+  }
+}
+
+TEST(Behavior, WaitZeroRejected) {
+  BehaviorBuilder bb("b");
+  EXPECT_THROW(bb.wait(0), std::logic_error);
+}
+
+TEST(Behavior, MultiCycleWaitMakesStates) {
+  BehaviorBuilder bb("b");
+  bb.wait(3);
+  bb.loop([&] { bb.wait(); });
+  Behavior beh = bb.take();
+  EXPECT_EQ(beh.state_count, 4u);
+}
+
+TEST(Behavior, CallValidatesSignature) {
+  auto cls = std::make_shared<meta::ClassDesc>("C");
+  cls->add_member("v", 8);
+  meta::MethodDesc set;
+  set.name = "Set";
+  set.params = {{"x", 8}};
+  set.body = {meta::assign_member("v", meta::param("x", 8))};
+  cls->add_method(std::move(set));
+  meta::MethodDesc get;
+  get.name = "Get";
+  get.return_width = 8;
+  get.is_const = true;
+  get.body = {meta::return_stmt(meta::member("v", 8))};
+  cls->add_method(std::move(get));
+
+  BehaviorBuilder bb("b");
+  auto obj = bb.object("o", cls);
+  EXPECT_EQ(obj->width, 8u);
+  EXPECT_THROW(bb.call(obj, "Nope"), std::logic_error);
+  EXPECT_THROW(bb.call(obj, "Set"), std::logic_error);  // missing arg
+  EXPECT_THROW(bb.call(obj, "Set", {constant(4, 0)}), std::logic_error);
+  EXPECT_NO_THROW(bb.call(obj, "Set", {constant(8, 1)}));
+  EXPECT_THROW(bb.call_r(obj, "Set", {constant(8, 1)}), std::logic_error);
+  auto r = bb.call_r(obj, "Get");
+  EXPECT_EQ(r->width, 8u);
+}
+
+TEST(Behavior, BuilderUnusableAfterTake) {
+  BehaviorBuilder bb("b");
+  bb.wait();
+  bb.loop([&] { bb.wait(); });
+  (void)bb.take();
+  EXPECT_THROW(bb.wait(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace osss::hls

@@ -1,0 +1,183 @@
+// Tests for ClassDesc: layout (the §8 single-bit-vector mapping),
+// inheritance prefix layout, the reference interpreter, templates.
+
+#include "meta/class_desc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace osss::meta {
+namespace {
+
+/// The paper's running example, as the analyzer sees it:
+///   template<unsigned REGSIZE, unsigned RESETVALUE> class SyncRegister {
+///     sc_bv<REGSIZE> RegValue;
+///     void Reset();
+///     void Write(const sc_bit& NewValue);
+///     bool RisingEdge(unsigned RegIndex) const;
+///   };
+ClassDesc make_sync_register(unsigned regsize, std::uint64_t resetvalue) {
+  ClassDesc c("SyncRegister<" + std::to_string(regsize) + "," +
+              std::to_string(resetvalue) + ">");
+  c.add_member("RegValue", regsize);
+
+  MethodDesc ctor;
+  ctor.name = "__ctor__";
+  ctor.body = {assign_member("RegValue", constant(regsize, resetvalue))};
+  c.add_method(std::move(ctor));
+
+  MethodDesc reset;
+  reset.name = "Reset";
+  reset.body = {assign_member("RegValue", constant(regsize, resetvalue))};
+  c.add_method(std::move(reset));
+
+  MethodDesc write;  // shift in a new LSB
+  write.name = "Write";
+  write.params = {{"NewValue", 1}};
+  if (regsize > 1) {
+    write.body = {assign_member(
+        "RegValue", concat({slice(member("RegValue", regsize), regsize - 2, 0),
+                            param("NewValue", 1)}))};
+  } else {
+    write.body = {assign_member("RegValue", param("NewValue", 1))};
+  }
+  c.add_method(std::move(write));
+
+  MethodDesc rising;  // bit[i] && !bit[i+1]: newest sample high, previous low
+  rising.name = "RisingEdge";
+  rising.params = {{"RegIndex", 8}};
+  rising.return_width = 1;
+  rising.is_const = true;
+  // For the test keep RegIndex fixed at 0: bit0 && !bit1.
+  rising.body = {return_stmt(
+      band(slice(member("RegValue", regsize), 0, 0),
+           bnot(slice(member("RegValue", regsize), 1, 1))))};
+  c.add_method(std::move(rising));
+  return c;
+}
+
+TEST(ClassDesc, LayoutAndWidths) {
+  const ClassDesc c = make_sync_register(4, 0);
+  EXPECT_EQ(c.data_width(), 4u);
+  EXPECT_EQ(c.member_offset("RegValue"), 0u);
+  EXPECT_EQ(c.member_width("RegValue"), 4u);
+  EXPECT_THROW(c.member_offset("nope"), std::logic_error);
+}
+
+TEST(ClassDesc, DuplicatesRejected) {
+  ClassDesc c("C");
+  c.add_member("a", 4);
+  EXPECT_THROW(c.add_member("a", 4), std::logic_error);
+  MethodDesc m;
+  m.name = "f";
+  c.add_method(m);
+  EXPECT_THROW(c.add_method(std::move(m)), std::logic_error);
+}
+
+TEST(ClassDesc, ConstructorGivesInitialValue) {
+  const ClassDesc c = make_sync_register(4, 0x9);
+  EXPECT_EQ(c.initial_value().to_u64(), 0x9u);
+  ClassDesc no_ctor("C");
+  no_ctor.add_member("x", 8);
+  EXPECT_EQ(no_ctor.initial_value().to_u64(), 0u);
+}
+
+TEST(ClassDesc, InterpreterMatchesPaperSemantics) {
+  const ClassDesc c = make_sync_register(4, 0);
+  Bits state = c.initial_value();
+  // Shift in 1: RegValue = 0001.
+  auto r = c.call("Write", state, {Bits(1, 1)});
+  state = r.state;
+  EXPECT_EQ(state.to_u64(), 0b0001u);
+  // Rising edge detected: bit0=1, bit1=0.
+  r = c.call("RisingEdge", state, {Bits(8, 0)});
+  EXPECT_EQ(r.ret->to_u64(), 1u);
+  // Shift in another 1: 0011 — no longer a rising edge at index 0.
+  state = c.call("Write", state, {Bits(1, 1)}).state;
+  EXPECT_EQ(state.to_u64(), 0b0011u);
+  EXPECT_EQ(c.call("RisingEdge", state, {Bits(8, 0)}).ret->to_u64(), 0u);
+  // Reset clears.
+  EXPECT_EQ(c.call("Reset", state, {}).state.to_u64(), 0u);
+}
+
+TEST(ClassDesc, CallChecksArguments) {
+  const ClassDesc c = make_sync_register(4, 0);
+  EXPECT_THROW(c.call("Write", Bits(4), {}), std::logic_error);
+  EXPECT_THROW(c.call("Write", Bits(4), {Bits(2, 0)}), std::logic_error);
+  EXPECT_THROW(c.call("Write", Bits(5), {Bits(1, 0)}), std::logic_error);
+  EXPECT_THROW(c.call("nope", Bits(4), {}), std::logic_error);
+}
+
+TEST(ClassDesc, InheritancePrefixLayout) {
+  auto base = std::make_shared<ClassDesc>("Base");
+  base->add_member("b0", 8);
+  MethodDesc get;
+  get.name = "GetB0";
+  get.return_width = 8;
+  get.is_const = true;
+  get.body = {return_stmt(member("b0", 8))};
+  base->add_method(std::move(get));
+
+  ClassDesc derived("Derived", base);
+  derived.add_member("d0", 4);
+  EXPECT_EQ(derived.data_width(), 12u);
+  EXPECT_EQ(derived.member_offset("b0"), 0u);   // base members first
+  EXPECT_EQ(derived.member_offset("d0"), 8u);
+  // Inherited method runs against the derived layout.
+  Bits state(12, 0);
+  state = (Bits(12, 0xab)) | state;  // b0 = 0xab
+  EXPECT_EQ(derived.call("GetB0", state, {}).ret->to_u64(), 0xabu);
+  EXPECT_TRUE(derived.derives_from(*base));
+  EXPECT_FALSE(base->derives_from(derived));
+}
+
+TEST(ClassDesc, OverrideShadowsBase) {
+  auto base = std::make_shared<ClassDesc>("Base");
+  base->add_member("x", 4);
+  MethodDesc f;
+  f.name = "F";
+  f.return_width = 4;
+  f.is_const = true;
+  f.body = {return_stmt(constant(4, 1))};
+  base->add_method(f);
+
+  ClassDesc derived("Derived", base);
+  MethodDesc g;
+  g.name = "F";
+  g.return_width = 4;
+  g.is_const = true;
+  g.body = {return_stmt(constant(4, 2))};
+  derived.add_method(std::move(g));
+
+  EXPECT_EQ(base->call("F", Bits(4), {}).ret->to_u64(), 1u);
+  EXPECT_EQ(derived.call("F", Bits(4), {}).ret->to_u64(), 2u);
+}
+
+TEST(ClassTemplate, InstantiationMemoized) {
+  ClassTemplate tmpl("SyncRegister",
+                     [](const std::vector<std::uint64_t>& p) {
+                       return make_sync_register(
+                           static_cast<unsigned>(p.at(0)), p.at(1));
+                     });
+  const ClassPtr a = tmpl.instantiate({4, 0});
+  const ClassPtr b = tmpl.instantiate({4, 0});
+  const ClassPtr c = tmpl.instantiate({8, 0});
+  EXPECT_EQ(a, b);  // cached: same descriptor object
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a->data_width(), 4u);
+  EXPECT_EQ(c->data_width(), 8u);
+  EXPECT_EQ(tmpl.instantiation_count(), 2u);
+}
+
+TEST(ClassDesc, PackUnpackRoundTrip) {
+  ClassDesc c("C");
+  c.add_member("lo", 4);
+  c.add_member("hi", 8);
+  const Bits state = Bits(12, 0xab7);
+  Env env = c.member_env(constant(state));
+  EXPECT_EQ(eval_const(env.members["lo"]).to_u64(), 0x7u);
+  EXPECT_EQ(eval_const(env.members["hi"]).to_u64(), 0xabu);
+  EXPECT_TRUE(eval_const(c.pack_members(env)) == state);
+}
+
+}  // namespace
+}  // namespace osss::meta

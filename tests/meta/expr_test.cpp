@@ -1,0 +1,177 @@
+// Tests for the analyzer expression/statement model: width checking,
+// constant folding, symbolic execution and if-merging.
+
+#include "meta/expr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace osss::meta {
+namespace {
+
+TEST(Expr, ConstantFoldingAtConstruction) {
+  const ExprPtr e = add(constant(8, 3), constant(8, 4));
+  ASSERT_TRUE(is_const(e));
+  EXPECT_EQ(e->value.to_u64(), 7u);
+  EXPECT_TRUE(is_const(mul(constant(8, 200), constant(8, 2))));
+  EXPECT_EQ(mul(constant(8, 200), constant(8, 2))->value.to_u64(),
+            (200u * 2u) & 0xffu);
+}
+
+TEST(Expr, WidthRulesEnforced) {
+  EXPECT_THROW(add(constant(8, 1), constant(9, 1)), std::invalid_argument);
+  EXPECT_THROW(eq(constant(8, 1), constant(4, 1)), std::invalid_argument);
+  EXPECT_THROW(cond(constant(2, 1), constant(8, 0), constant(8, 0)),
+               std::invalid_argument);
+  EXPECT_THROW(slice(constant(8, 0), 8, 0), std::invalid_argument);
+  EXPECT_THROW(zext(constant(8, 0), 4), std::invalid_argument);
+  EXPECT_NO_THROW(binary(BinOp::kShl, constant(8, 1), constant(3, 2)));
+}
+
+TEST(Expr, ComparisonResultsAreOneBit) {
+  EXPECT_EQ(eq(param("a", 8), param("b", 8))->width, 1u);
+  EXPECT_EQ(unary(UnOp::kRedOr, param("a", 8))->width, 1u);
+}
+
+TEST(Expr, CondSimplifications) {
+  const ExprPtr a = param("a", 4);
+  const ExprPtr b = param("b", 4);
+  EXPECT_EQ(cond(constant(1, 1), a, b), a);
+  EXPECT_EQ(cond(constant(1, 0), a, b), b);
+  EXPECT_EQ(cond(param("c", 1), a, a), a);
+}
+
+TEST(Expr, FullWidthSliceIsIdentity) {
+  const ExprPtr a = param("a", 8);
+  EXPECT_EQ(slice(a, 7, 0), a);
+}
+
+TEST(Expr, SubstituteBindsAndFolds) {
+  Env env;
+  env.params["a"] = constant(8, 10);
+  env.params["b"] = constant(8, 20);
+  const ExprPtr e = mul(add(param("a", 8), param("b", 8)), constant(8, 2));
+  const ExprPtr r = substitute(e, env);
+  ASSERT_TRUE(is_const(r));
+  EXPECT_EQ(r->value.to_u64(), 60u);
+}
+
+TEST(Expr, SubstituteUnboundThrows) {
+  Env env;
+  EXPECT_THROW(substitute(param("missing", 4), env), std::logic_error);
+  env.params["w"] = constant(8, 0);
+  EXPECT_THROW(substitute(param("w", 4), env), std::logic_error);  // width
+}
+
+TEST(Expr, SubstituteKeepsSymbolicParts) {
+  Env env;
+  env.params["a"] = param("a", 8);  // identity binding
+  env.params["b"] = constant(8, 0);
+  const ExprPtr e = add(param("a", 8), param("b", 8));
+  const ExprPtr r = substitute(e, env);
+  EXPECT_FALSE(is_const(r));
+  EXPECT_EQ(r->width, 8u);
+}
+
+TEST(Stmt, SequentialAssignSemantics) {
+  // x = a; x = x + 1; y = x  =>  y == a + 1.
+  Env env;
+  env.params["a"] = constant(8, 5);
+  env.locals["x"] = constant(8, 0);
+  env.locals["y"] = constant(8, 0);
+  exec_stmts({assign_local("x", param("a", 8)),
+              assign_local("x", add(local("x", 8), constant(8, 1))),
+              assign_local("y", local("x", 8))},
+             env);
+  EXPECT_EQ(eval_const(env.locals["y"]).to_u64(), 6u);
+}
+
+TEST(Stmt, ConstantIfTakesOneBranch) {
+  Env env;
+  env.locals["x"] = constant(4, 0);
+  exec_stmts({if_stmt(constant(1, 1), {assign_local("x", constant(4, 7))},
+                      {assign_local("x", constant(4, 3))})},
+             env);
+  EXPECT_EQ(eval_const(env.locals["x"]).to_u64(), 7u);
+}
+
+TEST(Stmt, SymbolicIfMergesWithCond) {
+  Env env;
+  env.params["c"] = param("c", 1);
+  env.locals["x"] = constant(4, 0);
+  exec_stmts({if_stmt(param("c", 1), {assign_local("x", constant(4, 7))},
+                      {assign_local("x", constant(4, 3))})},
+             env);
+  const ExprPtr x = env.locals["x"];
+  ASSERT_EQ(x->kind, ExprKind::kCond);
+  // Evaluate both settings of c.
+  Env c1;
+  c1.params["c"] = constant(1, 1);
+  EXPECT_EQ(eval_const(substitute(x, c1)).to_u64(), 7u);
+  Env c0;
+  c0.params["c"] = constant(1, 0);
+  EXPECT_EQ(eval_const(substitute(x, c0)).to_u64(), 3u);
+}
+
+TEST(Stmt, IfWithoutElseHoldsValue) {
+  Env env;
+  env.params["c"] = param("c", 1);
+  env.locals["x"] = constant(4, 9);
+  exec_stmts({if_stmt(param("c", 1), {assign_local("x", constant(4, 1))})},
+             env);
+  Env c0;
+  c0.params["c"] = constant(1, 0);
+  EXPECT_EQ(eval_const(substitute(env.locals["x"], c0)).to_u64(), 9u);
+}
+
+TEST(Stmt, ReturnMergesAcrossBranches) {
+  Env env;
+  env.params["c"] = param("c", 1);
+  const ExprPtr r = exec_stmts(
+      {if_stmt(param("c", 1), {return_stmt(constant(8, 1))},
+               {return_stmt(constant(8, 2))})},
+      env);
+  ASSERT_NE(r, nullptr);
+  Env c1;
+  c1.params["c"] = constant(1, 1);
+  EXPECT_EQ(eval_const(substitute(r, c1)).to_u64(), 1u);
+}
+
+TEST(Stmt, ReturnOnOneBranchOnlyThrows) {
+  Env env;
+  env.params["c"] = param("c", 1);
+  EXPECT_THROW(
+      exec_stmts({if_stmt(param("c", 1), {return_stmt(constant(8, 1))}, {})},
+                 env),
+      std::logic_error);
+}
+
+TEST(Stmt, StatementAfterReturnThrows) {
+  Env env;
+  env.locals["x"] = constant(4, 0);
+  EXPECT_THROW(exec_stmts({return_stmt(constant(8, 1)),
+                           assign_local("x", constant(4, 1))},
+                          env),
+               std::logic_error);
+}
+
+TEST(Stmt, AssignWidthMismatchThrows) {
+  Env env;
+  env.locals["x"] = constant(4, 0);
+  EXPECT_THROW(exec_stmts({assign_local("x", constant(8, 1))}, env),
+               std::logic_error);
+}
+
+TEST(Expr, ToStringReadable) {
+  const std::string s =
+      to_string(add(member("RegValue", 4), constant(4, 1)));
+  EXPECT_NE(s.find("this.RegValue"), std::string::npos);
+  EXPECT_NE(s.find("+"), std::string::npos);
+}
+
+TEST(Expr, EvalConstRejectsOpenTerms) {
+  EXPECT_THROW(eval_const(param("a", 4)), std::logic_error);
+  EXPECT_EQ(eval_const(constant(4, 9)).to_u64(), 9u);
+}
+
+}  // namespace
+}  // namespace osss::meta

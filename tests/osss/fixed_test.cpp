@@ -1,0 +1,97 @@
+// Tests for automated fixed-point resolution (paper §6).
+
+#include "osss/fixed.hpp"
+
+#include <gtest/gtest.h>
+
+namespace osss {
+namespace {
+
+TEST(Fixed, RoundTripDouble) {
+  const auto f = Fixed<8, 8>::from_double(3.5);
+  EXPECT_DOUBLE_EQ(f.to_double(), 3.5);
+  EXPECT_EQ(f.raw(), 3 * 256 + 128);
+  const auto n = Fixed<8, 8>::from_double(-1.25);
+  EXPECT_DOUBLE_EQ(n.to_double(), -1.25);
+}
+
+TEST(Fixed, FromDoubleRounds) {
+  const auto f = Fixed<8, 2>::from_double(1.13);  // nearest multiple of .25
+  EXPECT_DOUBLE_EQ(f.to_double(), 1.25);
+}
+
+TEST(Fixed, OverflowDetected) {
+  EXPECT_THROW((Fixed<4, 4>::from_double(8.0)), std::overflow_error);
+  EXPECT_NO_THROW((Fixed<4, 4>::from_double(7.9)));
+  EXPECT_NO_THROW((Fixed<4, 4>::from_double(-8.0)));
+  EXPECT_THROW((Fixed<4, 4>::from_double(-8.1)), std::overflow_error);
+}
+
+TEST(Fixed, AdditionResolvesFormat) {
+  const auto a = Fixed<4, 2>::from_double(1.75);
+  const auto b = Fixed<3, 4>::from_double(0.0625);
+  const auto sum = a + b;
+  static_assert(decltype(sum)::kIntBits == 5);   // max(4,3)+1
+  static_assert(decltype(sum)::kFracBits == 4);  // max(2,4)
+  EXPECT_DOUBLE_EQ(sum.to_double(), 1.8125);
+}
+
+TEST(Fixed, SubtractionResolvesFormat) {
+  const auto a = Fixed<4, 2>::from_double(1.0);
+  const auto b = Fixed<4, 2>::from_double(2.5);
+  const auto d = a - b;
+  static_assert(decltype(d)::kIntBits == 5);
+  EXPECT_DOUBLE_EQ(d.to_double(), -1.5);
+}
+
+TEST(Fixed, MultiplicationResolvesFormat) {
+  const auto a = Fixed<4, 4>::from_double(1.5);
+  const auto b = Fixed<4, 4>::from_double(2.25);
+  const auto p = a * b;
+  static_assert(decltype(p)::kIntBits == 8);
+  static_assert(decltype(p)::kFracBits == 8);
+  EXPECT_DOUBLE_EQ(p.to_double(), 3.375);  // exact — no precision lost
+}
+
+TEST(Fixed, ChainedArithmeticKeepsPrecision) {
+  const auto gain = Fixed<2, 6>::from_double(0.515625);
+  const auto signal = Fixed<9, 0>::from_int(200);
+  const auto scaled = signal * gain;
+  EXPECT_DOUBLE_EQ(scaled.to_double(), 200 * 0.515625);
+}
+
+TEST(Fixed, ResizeTruncatesTowardNegInfinity) {
+  const auto a = Fixed<8, 8>::from_double(1.9921875);
+  const auto r = a.resize<8, 2>();
+  EXPECT_DOUBLE_EQ(r.to_double(), 1.75);
+  const auto n = Fixed<8, 8>::from_double(-1.0625);
+  EXPECT_DOUBLE_EQ((n.resize<8, 2>().to_double()), -1.25);  // floor
+  EXPECT_THROW((Fixed<8, 0>::from_int(200).resize<4, 0>()),
+               std::overflow_error);
+}
+
+TEST(Fixed, ComparisonAcrossFormats) {
+  const auto a = Fixed<4, 2>::from_double(1.25);
+  const auto b = Fixed<3, 6>::from_double(1.265625);
+  EXPECT_TRUE(a.compare(b) == std::strong_ordering::less);
+  EXPECT_TRUE(b.compare(a) == std::strong_ordering::greater);
+  const auto c = Fixed<3, 6>::from_double(1.25);
+  EXPECT_TRUE(a.compare(c) == std::strong_ordering::equal);
+}
+
+TEST(Fixed, BitsRoundTrip) {
+  const auto a = Fixed<6, 2>::from_double(-3.75);
+  const sysc::Bits b = a.to_bits();
+  EXPECT_EQ(b.width(), 8u);
+  EXPECT_TRUE((Fixed<6, 2>::from_bits(b)) == a);
+  EXPECT_THROW((Fixed<6, 3>::from_bits(b)), std::invalid_argument);
+}
+
+TEST(Fixed, IntegerConversions) {
+  EXPECT_EQ((Fixed<8, 4>::from_int(-3).to_int()), -3);
+  EXPECT_EQ((Fixed<8, 4>::from_double(2.75).to_int()), 2);
+  EXPECT_EQ((Fixed<8, 4>::from_double(-2.25).to_int()), -3);  // floor
+}
+
+}  // namespace
+}  // namespace osss

@@ -1,0 +1,118 @@
+// Tests for the Polymorphic<Base, ...> runtime container — the paper's ALU
+// example: "simply select between different ALU instantiations (e.g. +, *,
+// -) but keeping the same access methods" (§6).
+
+#include "osss/polymorphic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace osss {
+namespace {
+
+struct AluOp {
+  virtual ~AluOp() = default;
+  virtual std::uint16_t execute(std::uint16_t a, std::uint16_t b) const = 0;
+  virtual const char* mnemonic() const = 0;
+  bool operator==(const AluOp&) const = default;
+};
+
+struct AluAdd final : AluOp {
+  std::uint16_t execute(std::uint16_t a, std::uint16_t b) const override {
+    return static_cast<std::uint16_t>(a + b);
+  }
+  const char* mnemonic() const override { return "add"; }
+  bool operator==(const AluAdd&) const = default;
+};
+
+struct AluSub final : AluOp {
+  std::uint16_t execute(std::uint16_t a, std::uint16_t b) const override {
+    return static_cast<std::uint16_t>(a - b);
+  }
+  const char* mnemonic() const override { return "sub"; }
+  bool operator==(const AluSub&) const = default;
+};
+
+struct AluMul final : AluOp {
+  std::uint16_t execute(std::uint16_t a, std::uint16_t b) const override {
+    return static_cast<std::uint16_t>(a * b);
+  }
+  const char* mnemonic() const override { return "mul"; }
+  bool operator==(const AluMul&) const = default;
+};
+
+using Alu = Polymorphic<AluOp, AluAdd, AluSub, AluMul>;
+
+TEST(Polymorphic, DefaultHoldsFirstAlternative) {
+  Alu alu;
+  EXPECT_EQ(alu.tag(), 0u);
+  EXPECT_TRUE(alu.holds<AluAdd>());
+  EXPECT_STREQ(alu->mnemonic(), "add");
+}
+
+TEST(Polymorphic, DispatchThroughCommonInterface) {
+  Alu alu;
+  EXPECT_EQ(alu->execute(7, 3), 10u);
+  alu.emplace<AluSub>();
+  EXPECT_EQ(alu->execute(7, 3), 4u);
+  EXPECT_EQ(alu.tag(), 1u);
+  alu.emplace<AluMul>();
+  EXPECT_EQ(alu->execute(7, 3), 21u);
+  EXPECT_EQ(alu.tag(), 2u);
+}
+
+TEST(Polymorphic, ConstructionFromAlternative) {
+  Alu alu{AluMul{}};
+  EXPECT_TRUE(alu.holds<AluMul>());
+  EXPECT_EQ((*alu).execute(4, 4), 16u);
+}
+
+TEST(Polymorphic, AsChecksActiveAlternative) {
+  Alu alu{AluSub{}};
+  EXPECT_NO_THROW(alu.as<AluSub>());
+  EXPECT_THROW(alu.as<AluAdd>(), std::bad_variant_access);
+}
+
+TEST(Polymorphic, TagWidthFollowsAlternativeCount) {
+  EXPECT_EQ(Alu::alternative_count(), 3u);
+}
+
+TEST(Polymorphic, EqualityComparesTagAndPayload) {
+  Alu a{AluAdd{}};
+  Alu b{AluAdd{}};
+  Alu c{AluSub{}};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+// A stateful hierarchy: alternatives carrying data members.
+struct Shape {
+  virtual ~Shape() = default;
+  virtual unsigned area() const = 0;
+};
+struct Square final : Shape {
+  unsigned side = 0;
+  unsigned area() const override { return side * side; }
+  bool operator==(const Square&) const = default;
+};
+struct Rect final : Shape {
+  unsigned w = 0;
+  unsigned h = 0;
+  unsigned area() const override { return w * h; }
+  bool operator==(const Rect&) const = default;
+};
+
+TEST(Polymorphic, StatefulAlternatives) {
+  Polymorphic<Shape, Square, Rect> s;
+  s.emplace<Square>().side = 5;
+  EXPECT_EQ(s->area(), 25u);
+  auto& r = s.emplace<Rect>();
+  r.w = 3;
+  r.h = 4;
+  EXPECT_EQ(s->area(), 12u);
+  EXPECT_EQ(s.as<Rect>().w, 3u);
+}
+
+}  // namespace
+}  // namespace osss

@@ -1,0 +1,159 @@
+// Tests for the Shared<T> global-object runtime: arbitration order, grant
+// accounting, blocking-access semantics and custom schedulers.
+
+#include "osss/shared.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace osss {
+namespace {
+
+using sysc::Behavior;
+using sysc::Clock;
+using sysc::Context;
+
+struct Counter {
+  unsigned value = 0;
+  void add(unsigned d) { value += d; }
+};
+
+constexpr sysc::Time kPeriod = 1000;
+
+TEST(SharedRuntime, RoundRobinGrantsRotate) {
+  Context ctx;
+  Clock clk(ctx, "clk", kPeriod);
+  Shared<Counter> shared(ctx, "ctr", clk.signal(), 3, Counter{},
+                         std::make_unique<RoundRobinScheduler>());
+  std::vector<std::size_t> grant_order;
+  for (std::size_t id = 0; id < 3; ++id) {
+    ctx.create_cthread(
+        "client" + std::to_string(id), clk.signal(),
+        [&shared, &grant_order, id]() -> Behavior {
+          for (int k = 0; k < 3; ++k) {
+            auto ticket = shared.request(id, [&grant_order, id](Counter& c) {
+              c.add(1);
+              grant_order.push_back(id);
+            });
+            while (!ticket->done()) co_await sysc::wait();
+          }
+        });
+  }
+  ctx.run_for(40 * kPeriod);
+  EXPECT_EQ(shared.peek().value, 9u);
+  ASSERT_GE(grant_order.size(), 3u);
+  EXPECT_EQ(grant_order[0], 0u);  // rotation starts at client 0
+  EXPECT_EQ(grant_order[1], 1u);
+  EXPECT_EQ(grant_order[2], 2u);
+  for (std::size_t id = 0; id < 3; ++id)
+    EXPECT_EQ(shared.grant_count(id), 3u) << "client " << id;
+}
+
+TEST(SharedRuntime, OneGrantPerCycle) {
+  Context ctx;
+  Clock clk(ctx, "clk", kPeriod);
+  Shared<Counter> shared(ctx, "ctr", clk.signal(), 2, Counter{},
+                         std::make_unique<RoundRobinScheduler>());
+  // Both clients enqueue 4 requests up front.
+  for (std::size_t id = 0; id < 2; ++id)
+    for (int k = 0; k < 4; ++k)
+      shared.request(id, [](Counter& c) { c.add(1); });
+  ctx.run_for(5 * kPeriod);  // only ~5 edges: at most 5 grants
+  EXPECT_LE(shared.peek().value, 6u);
+  ctx.run_for(10 * kPeriod);
+  EXPECT_EQ(shared.peek().value, 8u);  // all served eventually
+}
+
+TEST(SharedRuntime, StaticPriorityFavoursLowIndex) {
+  Context ctx;
+  Clock clk(ctx, "clk", kPeriod);
+  Shared<Counter> shared(ctx, "ctr", clk.signal(), 2, Counter{},
+                         std::make_unique<StaticPriorityScheduler>());
+  std::vector<std::size_t> grant_order;
+  for (std::size_t id = 0; id < 2; ++id)
+    for (int k = 0; k < 3; ++k)
+      shared.request(id, [&grant_order, id](Counter& c) {
+        c.add(1);
+        grant_order.push_back(id);
+      });
+  ctx.run_for(20 * kPeriod);
+  ASSERT_EQ(grant_order.size(), 6u);
+  // All of client 0's requests are served before any of client 1's.
+  EXPECT_EQ(grant_order[0], 0u);
+  EXPECT_EQ(grant_order[2], 0u);
+  EXPECT_EQ(grant_order[3], 1u);
+}
+
+TEST(SharedRuntime, CustomSchedulerHonoured) {
+  // "A designer can ... implement an own according to the required needs."
+  class OnlyClientOne final : public SchedulerPolicy {
+  public:
+    std::size_t pick(const std::vector<bool>& pending,
+                     std::size_t /*last*/) const override {
+      if (pending[1]) return 1;
+      for (std::size_t c = 0; c < pending.size(); ++c)
+        if (pending[c]) return c;
+      return 0;
+    }
+    std::string name() const override { return "only_one"; }
+  };
+  Context ctx;
+  Clock clk(ctx, "clk", kPeriod);
+  Shared<Counter> shared(ctx, "ctr", clk.signal(), 2, Counter{},
+                         std::make_unique<OnlyClientOne>());
+  std::vector<std::size_t> order;
+  for (int k = 0; k < 2; ++k) {
+    shared.request(0, [&order](Counter&) { order.push_back(0); });
+    shared.request(1, [&order](Counter&) { order.push_back(1); });
+  }
+  ctx.run_for(10 * kPeriod);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 1u);
+  EXPECT_EQ(order[2], 0u);
+}
+
+TEST(SharedRuntime, BlockingAccessLetsOthersRun) {
+  // While client 0 spins on its ticket, an independent thread keeps
+  // executing — the paper's requirement that "other modules still must
+  // continue their execution".
+  Context ctx;
+  Clock clk(ctx, "clk", kPeriod);
+  Shared<Counter> shared(ctx, "ctr", clk.signal(), 1, Counter{},
+                         std::make_unique<RoundRobinScheduler>());
+  int independent_ticks = 0;
+  ctx.create_cthread("free_runner", clk.signal(), [&]() -> Behavior {
+    for (;;) {
+      ++independent_ticks;
+      co_await sysc::wait();
+    }
+  });
+  bool done = false;
+  ctx.create_cthread("client", clk.signal(), [&]() -> Behavior {
+    auto t = shared.request(0, [](Counter& c) { c.add(5); });
+    while (!t->done()) co_await sysc::wait();
+    done = true;
+  });
+  ctx.run_for(10 * kPeriod);
+  EXPECT_TRUE(done);
+  EXPECT_GT(independent_ticks, 5);
+  EXPECT_EQ(shared.peek().value, 5u);
+}
+
+TEST(SharedRuntime, ArgumentValidation) {
+  Context ctx;
+  Clock clk(ctx, "clk", kPeriod);
+  EXPECT_THROW(Shared<Counter>(ctx, "z", clk.signal(), 0, Counter{},
+                               std::make_unique<RoundRobinScheduler>()),
+               std::invalid_argument);
+  Shared<Counter> ok(ctx, "ok", clk.signal(), 2, Counter{},
+                     std::make_unique<RoundRobinScheduler>());
+  EXPECT_THROW(ok.request(5, [](Counter&) {}), std::out_of_range);
+  EXPECT_THROW(ok.grant_count(9), std::out_of_range);
+  EXPECT_EQ(ok.client_count(), 2u);
+  EXPECT_EQ(ok.policy().name(), "round_robin");
+}
+
+}  // namespace
+}  // namespace osss

@@ -1,0 +1,111 @@
+// Tests for RTL module construction and validation: the width discipline
+// the "VHDL flow" relies on.
+
+#include "rtl/builder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace osss::rtl {
+namespace {
+
+TEST(Builder, AddrWidthFor) {
+  EXPECT_EQ(addr_width_for(1), 1u);
+  EXPECT_EQ(addr_width_for(2), 1u);
+  EXPECT_EQ(addr_width_for(3), 2u);
+  EXPECT_EQ(addr_width_for(4), 2u);
+  EXPECT_EQ(addr_width_for(5), 3u);
+  EXPECT_EQ(addr_width_for(64), 6u);
+  EXPECT_EQ(addr_width_for(65), 7u);
+  EXPECT_EQ(addr_width_for(256), 8u);
+}
+
+TEST(Builder, SimpleCombModule) {
+  Builder b("adder");
+  Wire a = b.input("a", 8);
+  Wire c = b.input("b", 8);
+  b.output("sum", b.add(a, c));
+  Module m = b.take();
+  EXPECT_EQ(m.name(), "adder");
+  EXPECT_EQ(m.inputs().size(), 2u);
+  EXPECT_EQ(m.outputs().size(), 1u);
+  EXPECT_NE(m.find_input("a"), kInvalidNode);
+  EXPECT_EQ(m.find_input("nope"), kInvalidNode);
+}
+
+TEST(Builder, WidthMismatchThrowsAtConstruction) {
+  Builder b("bad");
+  Wire a = b.input("a", 8);
+  Wire c = b.input("b", 9);
+  EXPECT_THROW(b.add(a, c), std::logic_error);
+  EXPECT_THROW(b.mux(a, a, a), std::logic_error);  // sel not 1 bit
+  EXPECT_THROW(b.slice(a, 8, 0), std::logic_error);
+  EXPECT_THROW(b.zext(a, 4), std::logic_error);
+}
+
+TEST(Builder, UnconnectedRegisterFailsValidation) {
+  Builder b("bad");
+  b.output("q", b.reg("r", 4));
+  EXPECT_THROW(b.take(), std::logic_error);
+}
+
+TEST(Builder, DoubleConnectThrows) {
+  Builder b("bad");
+  Wire q = b.reg("r", 4);
+  Wire d = b.constant(4, 1);
+  b.connect(q, d);
+  EXPECT_THROW(b.connect(q, d), std::logic_error);
+}
+
+TEST(Builder, CombinationalCycleDetected) {
+  // A register's D may depend on its own Q (that is sequential feedback),
+  // but we cannot build a purely combinational cycle through the public
+  // API; verify sequential feedback passes validation.
+  Builder b("feedback");
+  Wire q = b.reg("count", 8);
+  b.connect(q, b.add(q, b.constant(8, 1)));
+  b.output("count", q);
+  EXPECT_NO_THROW(b.take());
+}
+
+TEST(Builder, TakeTwiceThrows) {
+  Builder b("m");
+  b.output("k", b.constant(1, 0));
+  (void)b.take();
+  EXPECT_THROW(b.take(), std::logic_error);
+}
+
+TEST(Builder, MemoryPortWidthChecked) {
+  Builder b("m");
+  MemHandle mem = b.memory("ram", 64, 16);
+  EXPECT_EQ(b.mem_addr_width(mem), 6u);
+  Wire bad_addr = b.input("a", 5);
+  EXPECT_THROW(b.mem_read(mem, bad_addr), std::logic_error);
+}
+
+TEST(Builder, StatsCountLogicNotWiring) {
+  Builder b("m");
+  Wire a = b.input("a", 8);
+  Wire c = b.input("b", 8);
+  Wire s = b.add(a, c);
+  Wire m1 = b.mux(b.bit(s, 0), a, c);
+  b.output("o", b.concat({s, m1}));
+  Module m = b.take();
+  const ModuleStats st = m.stats();
+  EXPECT_EQ(st.arith_nodes, 1u);
+  EXPECT_EQ(st.mux_nodes, 1u);
+  EXPECT_EQ(st.register_bits, 0u);
+}
+
+TEST(Builder, DumpContainsNodes) {
+  Builder b("m");
+  Wire a = b.input("a", 4);
+  b.output("o", b.not_(a));
+  Module m = b.take();
+  const std::string d = m.dump();
+  EXPECT_NE(d.find("module m"), std::string::npos);
+  EXPECT_NE(d.find("not"), std::string::npos);
+  EXPECT_NE(d.find("out o"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace osss::rtl

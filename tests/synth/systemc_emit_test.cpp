@@ -1,0 +1,96 @@
+// Snapshot-style tests pinning the "readable standard SystemC" output of
+// the synthesizer to the paper's Figure 7 conventions.
+
+#include "synth/systemc_emit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+
+namespace osss::synth {
+namespace {
+
+TEST(SystemCEmit, ResetResolvesToThisAssignment) {
+  const meta::ClassDesc cls = testutil::make_sync_register(4, 0);
+  const std::string code = emit_resolved_method(cls, "Reset");
+  EXPECT_NE(code.find("void _SyncRegister_4_0_Reset_1_"), std::string::npos)
+      << code;
+  EXPECT_NE(code.find("sc_biguint< 4 > & _this_"), std::string::npos);
+  EXPECT_NE(code.find("_this_.range(3, 0) = 0x0;"), std::string::npos);
+}
+
+TEST(SystemCEmit, WriteUsesSliceShift) {
+  const meta::ClassDesc cls = testutil::make_sync_register(4, 0);
+  const std::string code = emit_resolved_method(cls, "Write");
+  // The Figure 7 pattern: new value into bit 0, old value shifted up.
+  EXPECT_NE(code.find("const sc_bit & NewValue"), std::string::npos) << code;
+  EXPECT_NE(code.find("_this_.range(2, 0)"), std::string::npos);
+  EXPECT_NE(code.find("NewValue"), std::string::npos);
+}
+
+TEST(SystemCEmit, ConstMethodTakesConstThis) {
+  const meta::ClassDesc cls = testutil::make_sync_register(4, 0);
+  const std::string code = emit_resolved_method(cls, "RisingEdge");
+  EXPECT_NE(code.find("bool _SyncRegister_4_0_RisingEdge_1_"),
+            std::string::npos)
+      << code;
+  EXPECT_NE(code.find("const sc_biguint< 4 > & _this_"), std::string::npos);
+  EXPECT_NE(code.find("return"), std::string::npos);
+}
+
+TEST(SystemCEmit, WholeClassEmitsEveryMethodOnce) {
+  const meta::ClassDesc cls = testutil::make_sync_register(4, 0);
+  const std::string code = emit_resolved_class(cls);
+  EXPECT_NE(code.find("Resolved by the OSSS synthesizer"), std::string::npos);
+  EXPECT_NE(code.find("_Reset_1_"), std::string::npos);
+  EXPECT_NE(code.find("_Write_1_"), std::string::npos);
+  EXPECT_NE(code.find("_RisingEdge_1_"), std::string::npos);
+  // Exactly one definition of each.
+  const auto count = [&](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = code.find(needle); pos != std::string::npos;
+         pos = code.find(needle, pos + 1))
+      ++n;
+    return n;
+  };
+  EXPECT_EQ(count("void _SyncRegister_4_0_Reset_1_"), 1u);
+}
+
+TEST(SystemCEmit, OverriddenMethodEmitsDerivedBody) {
+  auto base = std::make_shared<meta::ClassDesc>("Base");
+  base->add_member("x", 4);
+  meta::MethodDesc f;
+  f.name = "F";
+  f.return_width = 4;
+  f.is_const = true;
+  f.body = {meta::return_stmt(meta::constant(4, 1))};
+  base->add_method(f);
+  meta::ClassDesc derived("Derived", base);
+  meta::MethodDesc g = f;
+  g.body = {meta::return_stmt(meta::constant(4, 2))};
+  derived.add_method(std::move(g));
+  const std::string code = emit_resolved_class(derived);
+  EXPECT_NE(code.find("return 0x2;"), std::string::npos) << code;
+  EXPECT_EQ(code.find("return 0x1;"), std::string::npos) << code;
+}
+
+TEST(SystemCEmit, LocalsDeclaredOnFirstAssignment) {
+  meta::ClassDesc cls("Temp");
+  cls.add_member("v", 8);
+  meta::MethodDesc m;
+  m.name = "Twice";
+  m.body = {
+      meta::assign_local("t", meta::add(meta::member("v", 8),
+                                        meta::constant(8, 1))),
+      meta::assign_local("t", meta::add(meta::local("t", 8),
+                                        meta::local("t", 8))),
+      meta::assign_member("v", meta::local("t", 8))};
+  cls.add_method(std::move(m));
+  const std::string code = emit_resolved_method(cls, "Twice");
+  EXPECT_NE(code.find("sc_biguint< 8 > t ="), std::string::npos) << code;
+  EXPECT_NE(code.find("  t = "), std::string::npos);
+  EXPECT_THROW(emit_resolved_method(cls, "Nope"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace osss::synth

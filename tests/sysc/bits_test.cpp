@@ -1,0 +1,287 @@
+// Unit and property tests for the dynamic bit-vector type.
+
+#include "sysc/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+namespace osss::sysc {
+namespace {
+
+TEST(Bits, DefaultIsZeroWidth) {
+  Bits b;
+  EXPECT_EQ(b.width(), 0u);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(Bits, ConstructTruncates) {
+  Bits b(4, 0x1fu);
+  EXPECT_EQ(b.to_u64(), 0xfu);
+  EXPECT_EQ(b.width(), 4u);
+}
+
+TEST(Bits, BitAccess) {
+  Bits b(8);
+  b.set_bit(3, true);
+  b.set_bit(7, true);
+  EXPECT_TRUE(b.bit(3));
+  EXPECT_TRUE(b.bit(7));
+  EXPECT_FALSE(b.bit(0));
+  EXPECT_EQ(b.to_u64(), 0x88u);
+  b.set_bit(3, false);
+  EXPECT_EQ(b.to_u64(), 0x80u);
+}
+
+TEST(Bits, BitAccessOutOfRangeThrows) {
+  Bits b(8);
+  EXPECT_THROW(b.bit(8), std::invalid_argument);
+  EXPECT_THROW(b.set_bit(9, true), std::invalid_argument);
+}
+
+TEST(Bits, ParseBinary) {
+  EXPECT_EQ(Bits::parse(8, "0b1010").to_u64(), 0xau);
+  EXPECT_EQ(Bits::parse(8, "0b1111_0000").to_u64(), 0xf0u);
+}
+
+TEST(Bits, ParseHex) {
+  EXPECT_EQ(Bits::parse(16, "0xBEEF").to_u64(), 0xbeefu);
+  EXPECT_EQ(Bits::parse(8, "0xff").to_u64(), 0xffu);
+}
+
+TEST(Bits, ParseDecimal) {
+  EXPECT_EQ(Bits::parse(16, "12345").to_u64(), 12345u);
+  // 2^79 needs multi-word decimal accumulation.
+  EXPECT_EQ(Bits::parse(80, "604462909807314587353088").to_hex_string(),
+            "0x80000000000000000000");
+}
+
+TEST(Bits, ParseRejectsGarbage) {
+  EXPECT_THROW(Bits::parse(8, "0b102"), std::invalid_argument);
+  EXPECT_THROW(Bits::parse(8, "0xfg"), std::invalid_argument);
+  EXPECT_THROW(Bits::parse(8, "12a"), std::invalid_argument);
+  EXPECT_THROW(Bits::parse(8, ""), std::invalid_argument);
+}
+
+TEST(Bits, OnesAndIsOnes) {
+  EXPECT_EQ(Bits::ones(5).to_u64(), 0x1fu);
+  EXPECT_TRUE(Bits::ones(5).is_ones());
+  EXPECT_FALSE(Bits(5, 0x1e).is_ones());
+  EXPECT_TRUE(Bits::ones(130).is_ones());
+}
+
+TEST(Bits, AdditionWraps) {
+  Bits a(4, 0xf);
+  Bits b(4, 1);
+  EXPECT_EQ((a + b).to_u64(), 0u);
+}
+
+TEST(Bits, WidthMismatchThrows) {
+  Bits a(4, 1);
+  Bits b(5, 1);
+  EXPECT_THROW(a + b, std::invalid_argument);
+  EXPECT_THROW(a & b, std::invalid_argument);
+  EXPECT_THROW(Bits::ult(a, b), std::invalid_argument);
+}
+
+TEST(Bits, SubtractionWraps) {
+  Bits a(8, 0);
+  Bits b(8, 1);
+  EXPECT_EQ((a - b).to_u64(), 0xffu);
+}
+
+TEST(Bits, MultiplyTruncates) {
+  Bits a(8, 200);
+  Bits b(8, 3);
+  EXPECT_EQ((a * b).to_u64(), (200u * 3u) & 0xffu);
+}
+
+TEST(Bits, WideArithmeticCrossesWordBoundary) {
+  Bits a = Bits::ones(64).zext(128);
+  Bits one(128, 1);
+  Bits sum = a + one;
+  EXPECT_FALSE(sum.bit(63));
+  EXPECT_TRUE(sum.bit(64));
+  EXPECT_EQ(sum.popcount(), 1u);
+}
+
+TEST(Bits, NegateIsTwosComplement) {
+  Bits a(8, 5);
+  EXPECT_EQ(a.negate().to_u64(), 0xfbu);
+  EXPECT_EQ(Bits(8, 0).negate().to_u64(), 0u);
+}
+
+TEST(Bits, UnsignedDivision) {
+  Bits a(8, 100);
+  Bits b(8, 7);
+  EXPECT_EQ(udiv(a, b).to_u64(), 14u);
+  EXPECT_EQ(urem(a, b).to_u64(), 2u);
+}
+
+TEST(Bits, DivisionByZeroFollowsHdlConvention) {
+  Bits a(8, 100);
+  Bits z(8, 0);
+  EXPECT_EQ(udiv(a, z).to_u64(), 0xffu);
+  EXPECT_EQ(urem(a, z).to_u64(), 100u);
+}
+
+TEST(Bits, Shifts) {
+  Bits a(8, 0b1001'0110);
+  EXPECT_EQ(a.shl(2).to_u64(), 0b0101'1000u);
+  EXPECT_EQ(a.lshr(2).to_u64(), 0b0010'0101u);
+  EXPECT_EQ(a.ashr(2).to_u64(), 0b1110'0101u);
+  EXPECT_EQ(a.shl(8).to_u64(), 0u);
+  EXPECT_EQ(a.lshr(100).to_u64(), 0u);
+  EXPECT_EQ(a.ashr(100).to_u64(), 0xffu);
+}
+
+TEST(Bits, ShiftsAcrossWords) {
+  Bits a(128, 1);
+  EXPECT_TRUE(a.shl(100).bit(100));
+  EXPECT_EQ(a.shl(100).popcount(), 1u);
+  EXPECT_TRUE(a.shl(100).lshr(100) == a);
+}
+
+TEST(Bits, UnsignedCompare) {
+  EXPECT_TRUE(Bits::ult(Bits(8, 3), Bits(8, 200)));
+  EXPECT_FALSE(Bits::ult(Bits(8, 200), Bits(8, 3)));
+  EXPECT_TRUE(Bits::ule(Bits(8, 3), Bits(8, 3)));
+}
+
+TEST(Bits, SignedCompare) {
+  EXPECT_TRUE(Bits::slt(Bits(8, 0xff), Bits(8, 0)));   // -1 < 0
+  EXPECT_TRUE(Bits::slt(Bits(8, 0x80), Bits(8, 0x7f))); // -128 < 127
+  EXPECT_FALSE(Bits::slt(Bits(8, 5), Bits(8, 5)));
+  EXPECT_TRUE(Bits::sle(Bits(8, 5), Bits(8, 5)));
+}
+
+TEST(Bits, ToI64SignExtends) {
+  EXPECT_EQ(Bits(8, 0xff).to_i64(), -1);
+  EXPECT_EQ(Bits(8, 0x7f).to_i64(), 127);
+  EXPECT_THROW(Bits(65).to_i64(), std::invalid_argument);
+}
+
+TEST(Bits, SliceAndConcatRoundTrip) {
+  Bits a(16, 0xabcd);
+  EXPECT_EQ(a.slice(7, 0).to_u64(), 0xcdu);
+  EXPECT_EQ(a.slice(15, 8).to_u64(), 0xabu);
+  EXPECT_TRUE(Bits::concat(a.slice(15, 8), a.slice(7, 0)) == a);
+}
+
+TEST(Bits, SliceBoundsChecked) {
+  Bits a(16, 0xabcd);
+  EXPECT_THROW(a.slice(16, 0), std::invalid_argument);
+  EXPECT_THROW(a.slice(3, 5), std::invalid_argument);
+}
+
+TEST(Bits, Extensions) {
+  Bits a(4, 0b1010);
+  EXPECT_EQ(a.zext(8).to_u64(), 0x0au);
+  EXPECT_EQ(a.sext(8).to_u64(), 0xfau);
+  EXPECT_EQ(Bits(4, 0b0110).sext(8).to_u64(), 0x06u);
+  EXPECT_EQ(a.zext(8).trunc(4) == a, true);
+  EXPECT_THROW(a.trunc(5), std::invalid_argument);
+  EXPECT_THROW(a.zext(3), std::invalid_argument);
+}
+
+TEST(Bits, Strings) {
+  Bits a(6, 0b101101);
+  EXPECT_EQ(a.to_bin_string(), "0b101101");
+  EXPECT_EQ(a.to_hex_string(), "0x2d");
+}
+
+TEST(Bits, HashDiffersForDifferentValues) {
+  EXPECT_NE(Bits(8, 1).hash(), Bits(8, 2).hash());
+  EXPECT_NE(Bits(8, 1).hash(), Bits(9, 1).hash());
+  EXPECT_EQ(Bits(8, 1).hash(), Bits(8, 1).hash());
+}
+
+// ---------------------------------------------------------------------------
+// Property-style sweeps: Bits arithmetic must agree with native uint64_t
+// arithmetic at every width up to 64 (the reference model).
+// ---------------------------------------------------------------------------
+
+class BitsPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BitsPropertyTest, ArithmeticMatchesNativeModulo2W) {
+  const unsigned w = GetParam();
+  const std::uint64_t mask =
+      (w == 64) ? ~0ull : ((1ull << w) - 1);
+  std::mt19937_64 rng(42 + w);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t x = rng() & mask;
+    const std::uint64_t y = rng() & mask;
+    const Bits a(w, x);
+    const Bits b(w, y);
+    EXPECT_EQ((a + b).to_u64(), (x + y) & mask);
+    EXPECT_EQ((a - b).to_u64(), (x - y) & mask);
+    EXPECT_EQ((a * b).to_u64(), (x * y) & mask);
+    EXPECT_EQ((a & b).to_u64(), x & y);
+    EXPECT_EQ((a | b).to_u64(), x | y);
+    EXPECT_EQ((a ^ b).to_u64(), x ^ y);
+    EXPECT_EQ((~a).to_u64(), ~x & mask);
+    EXPECT_EQ(Bits::ult(a, b), x < y);
+    if (y != 0) {
+      EXPECT_EQ(udiv(a, b).to_u64(), x / y);
+      EXPECT_EQ(urem(a, b).to_u64(), x % y);
+    }
+  }
+}
+
+TEST_P(BitsPropertyTest, ShiftMatchesNative) {
+  const unsigned w = GetParam();
+  const std::uint64_t mask = (w == 64) ? ~0ull : ((1ull << w) - 1);
+  std::mt19937_64 rng(97 + w);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t x = rng() & mask;
+    const unsigned s = static_cast<unsigned>(rng() % (w + 2));
+    const Bits a(w, x);
+    const std::uint64_t shl_ref = (s >= w) ? 0 : ((x << s) & mask);
+    const std::uint64_t shr_ref = (s >= w) ? 0 : (x >> s);
+    EXPECT_EQ(a.shl(s).to_u64(), shl_ref);
+    EXPECT_EQ(a.lshr(s).to_u64(), shr_ref);
+  }
+}
+
+TEST_P(BitsPropertyTest, SliceConcatIdentity) {
+  const unsigned w = GetParam();
+  if (w < 2) return;
+  std::mt19937_64 rng(7 + w);
+  for (int i = 0; i < 100; ++i) {
+    Bits a(w, rng());
+    const unsigned cut = 1 + static_cast<unsigned>(rng() % (w - 1));
+    EXPECT_TRUE(Bits::concat(a.slice(w - 1, cut), a.slice(cut - 1, 0)) == a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitsPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 7u, 8u, 12u, 16u, 24u,
+                                           31u, 32u, 33u, 48u, 63u, 64u));
+
+// Wide-width properties checked structurally (no native reference).
+TEST(BitsWide, AddSubRoundTrip) {
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 100; ++i) {
+    Bits a(200);
+    Bits b(200);
+    for (unsigned j = 0; j < 200; ++j) {
+      a.set_bit(j, (rng() & 1) != 0);
+      b.set_bit(j, (rng() & 1) != 0);
+    }
+    EXPECT_TRUE((a + b) - b == a);
+    EXPECT_TRUE((a - b) + b == a);
+  }
+}
+
+TEST(BitsWide, MulByPowerOfTwoIsShift) {
+  Bits a(100, 0xdeadbeefcafe);
+  for (unsigned s : {0u, 1u, 5u, 31u, 64u, 99u}) {
+    Bits p(100, 0);
+    p.set_bit(s, true);
+    EXPECT_TRUE(a * p == a.shl(s)) << "shift " << s;
+  }
+}
+
+}  // namespace
+}  // namespace osss::sysc

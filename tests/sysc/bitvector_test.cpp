@@ -1,0 +1,144 @@
+// Tests for the fixed-width BitVector<W> simulation datatype, including the
+// cross-checks against the dynamic Bits representation that the synthesis
+// stack relies on for bit-accuracy (experiment R8's foundation).
+
+#include "sysc/bitvector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace osss::sysc {
+namespace {
+
+TEST(BitVector, DefaultZero) {
+  BitVector<12> v;
+  EXPECT_TRUE(v.is_zero());
+  EXPECT_EQ(v.to_u64(), 0u);
+}
+
+TEST(BitVector, ConstructorTruncates) {
+  BitVector<4> v(0x1f);
+  EXPECT_EQ(v.to_u64(), 0xfu);
+}
+
+TEST(BitVector, BitSetGet) {
+  BitVector<70> v;
+  v.set_bit(69, true);
+  v.set_bit(1, true);
+  EXPECT_TRUE(v.bit(69));
+  EXPECT_TRUE(v.bit(1));
+  EXPECT_FALSE(v.bit(68));
+  EXPECT_TRUE(v.msb());
+}
+
+TEST(BitVector, ArithmeticWraps) {
+  BitVector<4> a(0xf);
+  BitVector<4> b(1);
+  EXPECT_EQ((a + b).to_u64(), 0u);
+  EXPECT_EQ((b - a).to_u64(), 2u);
+  EXPECT_EQ((a * a).to_u64(), (15u * 15u) & 0xfu);
+}
+
+TEST(BitVector, Bitwise) {
+  BitVector<8> a(0b1100'1010);
+  BitVector<8> b(0b1010'0110);
+  EXPECT_EQ((a & b).to_u64(), 0b1000'0010u);
+  EXPECT_EQ((a | b).to_u64(), 0b1110'1110u);
+  EXPECT_EQ((a ^ b).to_u64(), 0b0110'1100u);
+  EXPECT_EQ((~a).to_u64(), 0b0011'0101u);
+}
+
+TEST(BitVector, Shifts) {
+  BitVector<8> a(0b1001'0110);
+  EXPECT_EQ(a.shl(2).to_u64(), 0b0101'1000u);
+  EXPECT_EQ(a.lshr(3).to_u64(), 0b0001'0010u);
+  EXPECT_EQ(a.shl(8).to_u64(), 0u);
+}
+
+TEST(BitVector, Comparisons) {
+  BitVector<8> a(3);
+  BitVector<8> b(200);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(a <= a);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(b >= b);
+  EXPECT_TRUE(a != b);
+  EXPECT_TRUE(a == BitVector<8>(3));
+}
+
+TEST(BitVector, SliceCompileTimeChecked) {
+  BitVector<16> a(0xabcd);
+  EXPECT_EQ((a.slice<7, 0>().to_u64()), 0xcdu);
+  EXPECT_EQ((a.slice<15, 12>().to_u64()), 0xau);
+  EXPECT_EQ((a.slice<11, 4>().to_u64()), 0xbcu);
+}
+
+TEST(BitVector, ConcatOrdersHighLow) {
+  BitVector<4> hi(0xa);
+  BitVector<8> lo(0xcd);
+  const BitVector<12> c = concat(hi, lo);
+  EXPECT_EQ(c.to_u64(), 0xacdu);
+}
+
+TEST(BitVector, Resize) {
+  BitVector<4> a(0b1010);
+  EXPECT_EQ(a.resize<8>().to_u64(), 0x0au);
+  EXPECT_EQ(a.resize<2>().to_u64(), 0b10u);
+}
+
+TEST(BitVector, BitsRoundTrip) {
+  BitVector<100> v;
+  v.set_bit(99, true);
+  v.set_bit(42, true);
+  v.set_bit(0, true);
+  const Bits b = v.to_bits();
+  EXPECT_EQ(b.width(), 100u);
+  EXPECT_TRUE(BitVector<100>::from_bits(b) == v);
+}
+
+TEST(BitVector, FromBitsWidthChecked) {
+  EXPECT_THROW(BitVector<8>::from_bits(Bits(9, 0)), std::invalid_argument);
+}
+
+// Property: BitVector<W> ops agree with Bits ops for random values — the
+// fast simulation datapath and the synthesis-value datapath are one model.
+template <unsigned W>
+void check_agreement(std::mt19937_64& rng) {
+  for (int i = 0; i < 200; ++i) {
+    BitVector<W> a;
+    BitVector<W> b;
+    for (unsigned j = 0; j < W; ++j) {
+      a.set_bit(j, (rng() & 1) != 0);
+      b.set_bit(j, (rng() & 1) != 0);
+    }
+    const Bits ba = a.to_bits();
+    const Bits bb = b.to_bits();
+    EXPECT_TRUE((a + b).to_bits() == ba + bb);
+    EXPECT_TRUE((a - b).to_bits() == ba - bb);
+    EXPECT_TRUE((a * b).to_bits() == ba * bb);
+    EXPECT_TRUE((a & b).to_bits() == (ba & bb));
+    EXPECT_TRUE((a | b).to_bits() == (ba | bb));
+    EXPECT_TRUE((a ^ b).to_bits() == (ba ^ bb));
+    EXPECT_TRUE((~a).to_bits() == ~ba);
+    EXPECT_EQ(a < b, Bits::ult(ba, bb));
+    const unsigned s = static_cast<unsigned>(rng() % (W + 1));
+    EXPECT_TRUE(a.shl(s).to_bits() == ba.shl(s));
+    EXPECT_TRUE(a.lshr(s).to_bits() == ba.lshr(s));
+  }
+}
+
+TEST(BitVectorProperty, AgreesWithBits) {
+  std::mt19937_64 rng(1234);
+  check_agreement<1>(rng);
+  check_agreement<4>(rng);
+  check_agreement<8>(rng);
+  check_agreement<17>(rng);
+  check_agreement<32>(rng);
+  check_agreement<64>(rng);
+  check_agreement<65>(rng);
+  check_agreement<128>(rng);
+}
+
+}  // namespace
+}  // namespace osss::sysc

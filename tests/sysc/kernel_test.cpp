@@ -1,0 +1,251 @@
+// Tests for the simulation kernel: delta-cycle semantics, clocked threads,
+// synchronous reset restart (watching semantics), multi-cycle waits, method
+// sensitivity and clock generation.
+
+#include "sysc/module.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sysc/bitvector.hpp"
+
+#include <vector>
+
+namespace osss::sysc {
+namespace {
+
+constexpr Time kPeriod = 15151;  // ~66 MHz in ps, like the ExpoCU clock
+
+TEST(Kernel, ClockTogglesAtExpectedTimes) {
+  Context ctx;
+  Clock clk(ctx, "clk", 1000);
+  std::vector<Time> posedges;
+  Signal<bool>& c = clk.signal();
+  ctx.create_method(
+      "watch",
+      [&] {
+        if (c.read()) posedges.push_back(ctx.now());
+      },
+      {&c});
+  ctx.run_for(3499);
+  ASSERT_EQ(posedges.size(), 3u);
+  EXPECT_EQ(posedges[0], 500u);
+  EXPECT_EQ(posedges[1], 1500u);
+  EXPECT_EQ(posedges[2], 2500u);
+}
+
+TEST(Kernel, SignalWriteVisibleNextDelta) {
+  Context ctx;
+  Signal<int> s(ctx, "s", 0);
+  int observed_during_write = -1;
+  Clock clk(ctx, "clk", 1000);
+  ctx.create_cthread("t", clk.signal(), [&]() -> Behavior {
+    s.write(42);
+    observed_during_write = s.read();  // old value: update is deferred
+    co_await wait();
+  });
+  ctx.run_for(1000);
+  EXPECT_EQ(observed_during_write, 0);
+  EXPECT_EQ(s.read(), 42);
+}
+
+TEST(Kernel, CThreadRunsOncePerPosedge) {
+  Context ctx;
+  Clock clk(ctx, "clk", 1000);
+  int count = 0;
+  ctx.create_cthread("t", clk.signal(), [&]() -> Behavior {
+    for (;;) {
+      ++count;
+      co_await wait();
+    }
+  });
+  ctx.run_for(10'000);  // posedges at 500, 1500, ..., 9500 -> 10 edges
+  // Initialization runs the body once (count=1 before the first edge).
+  EXPECT_EQ(count, 11);
+}
+
+TEST(Kernel, WaitMultipleCyclesSkipsEdges) {
+  Context ctx;
+  Clock clk(ctx, "clk", 1000);
+  std::vector<Time> wake_times;
+  ctx.create_cthread("t", clk.signal(), [&]() -> Behavior {
+    for (;;) {
+      co_await wait(3);
+      wake_times.push_back(ctx.now());
+    }
+  });
+  ctx.run_for(10'000);
+  ASSERT_GE(wake_times.size(), 3u);
+  EXPECT_EQ(wake_times[0], 2500u);  // 3rd posedge
+  EXPECT_EQ(wake_times[1], 5500u);
+  EXPECT_EQ(wake_times[2], 8500u);
+}
+
+TEST(Kernel, SynchronousResetRestartsThread) {
+  Context ctx;
+  Clock clk(ctx, "clk", kPeriod);
+  Signal<bool> reset(ctx, "reset", true);
+  Signal<int> counter(ctx, "counter", 0);
+  int reset_entries = 0;
+  auto& proc = ctx.create_cthread("t", clk.signal(), [&]() -> Behavior {
+    ++reset_entries;        // reset preamble
+    counter.write(0);
+    co_await wait();
+    for (;;) {
+      counter.write(counter.read() + 1);
+      co_await wait();
+    }
+  });
+  proc.set_reset(reset);
+
+  ctx.run_for(3 * kPeriod);  // held in reset: preamble re-runs per edge
+  EXPECT_EQ(counter.read(), 0);
+  EXPECT_GE(reset_entries, 3);
+
+  reset.write(false);
+  const int entries_after_release = reset_entries;
+  ctx.run_for(5 * kPeriod);
+  EXPECT_EQ(reset_entries, entries_after_release);  // no restarts
+  EXPECT_GT(counter.read(), 2);
+
+  // Assert reset again: counter returns to zero and stays there.
+  reset.write(true);
+  ctx.run_for(2 * kPeriod);
+  EXPECT_EQ(counter.read(), 0);
+}
+
+TEST(Kernel, MethodSensitivityTriggersOnChangeOnly) {
+  Context ctx;
+  Signal<int> a(ctx, "a", 0);
+  Signal<int> sum(ctx, "sum", 0);
+  int evaluations = 0;
+  ctx.create_method(
+      "comb",
+      [&] {
+        ++evaluations;
+        sum.write(a.read() + 1);
+      },
+      {&a});
+  ctx.run_for(10);
+  const int after_init = evaluations;
+  EXPECT_GE(after_init, 1);  // ran at initialization
+
+  a.write(5);
+  ctx.run_for(10);
+  EXPECT_EQ(sum.read(), 6);
+  EXPECT_EQ(evaluations, after_init + 1);
+
+  a.write(5);  // same value: no event, no re-evaluation
+  ctx.run_for(10);
+  EXPECT_EQ(evaluations, after_init + 1);
+}
+
+TEST(Kernel, MethodChainsSettleInDeltas) {
+  // a -> b -> c combinational chain settles within one timestep.
+  Context ctx;
+  Signal<int> a(ctx, "a", 0);
+  Signal<int> b(ctx, "b", 0);
+  Signal<int> c(ctx, "c", 0);
+  ctx.create_method("m1", [&] { b.write(a.read() * 2); }, {&a});
+  ctx.create_method("m2", [&] { c.write(b.read() + 1); }, {&b});
+  a.write(10);
+  ctx.run_for(1);
+  EXPECT_EQ(b.read(), 20);
+  EXPECT_EQ(c.read(), 21);
+}
+
+TEST(Kernel, TwoClockDomains) {
+  Context ctx;
+  Clock fast(ctx, "fast", 1000);
+  Clock slow(ctx, "slow", 3000);
+  int fast_count = 0;
+  int slow_count = 0;
+  ctx.create_cthread("f", fast.signal(), [&]() -> Behavior {
+    for (;;) {
+      ++fast_count;
+      co_await wait();
+    }
+  });
+  ctx.create_cthread("s", slow.signal(), [&]() -> Behavior {
+    for (;;) {
+      ++slow_count;
+      co_await wait();
+    }
+  });
+  ctx.run_for(9000);
+  // fast posedges: 500..8500 -> 9 (+1 init); slow: 1500,4500,7500 -> 3 (+1)
+  EXPECT_EQ(fast_count, 10);
+  EXPECT_EQ(slow_count, 4);
+}
+
+TEST(Kernel, ThreadTerminationIsQuiet) {
+  Context ctx;
+  Clock clk(ctx, "clk", 1000);
+  int runs = 0;
+  ctx.create_cthread("t", clk.signal(), [&]() -> Behavior {
+    ++runs;
+    co_await wait();
+    ++runs;
+    co_return;  // thread finishes; further edges must not crash
+  });
+  ctx.run_for(10'000);
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(Kernel, SignalsCarryBitVectors) {
+  Context ctx;
+  Clock clk(ctx, "clk", 1000);
+  Signal<BitVector<12>> bus(ctx, "bus");
+  ctx.create_cthread("t", clk.signal(), [&]() -> Behavior {
+    bus.write(BitVector<12>(0x5a5));
+    co_await wait();
+  });
+  ctx.run_for(1000);
+  EXPECT_EQ(bus.read().to_u64(), 0x5a5u);
+}
+
+TEST(Kernel, PortsBindAndForward) {
+  Context ctx;
+  Signal<int> s(ctx, "s", 7);
+  In<int> in(s);
+  Out<int> out;
+  out.bind(s);
+  EXPECT_TRUE(in.bound());
+  EXPECT_EQ(in.read(), 7);
+  out.write(9);
+  ctx.run_for(1);
+  EXPECT_EQ(in.read(), 9);
+}
+
+TEST(Kernel, ModuleHierarchyNames) {
+  Context ctx;
+  struct Top : Module {
+    explicit Top(Context& c) : Module(c, "top") {}
+  };
+  struct Child : Module {
+    explicit Child(Module& p) : Module(p, "child") {}
+  };
+  Top top(ctx);
+  Child child(top);
+  EXPECT_EQ(child.full_name(), "top.child");
+}
+
+TEST(Kernel, DeltaCountAdvances) {
+  Context ctx;
+  Clock clk(ctx, "clk", 1000);
+  ctx.create_cthread("t", clk.signal(), [&]() -> Behavior {
+    for (;;) co_await wait();
+  });
+  ctx.run_for(5000);
+  EXPECT_GT(ctx.kernel().delta_count(), 4u);
+}
+
+TEST(Kernel, RunForZeroSettlesPendingWrites) {
+  Context ctx;
+  Signal<int> s(ctx, "s", 0);
+  s.write(3);
+  ctx.run_for(0);
+  EXPECT_EQ(s.read(), 3);
+}
+
+}  // namespace
+}  // namespace osss::sysc

@@ -1,0 +1,83 @@
+// testutil.hpp — shared fixtures for the test suite.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "meta/class_desc.hpp"
+
+namespace osss::testutil {
+
+/// The paper's SyncRegister<REGSIZE, RESETVALUE> as the analyzer sees it:
+/// a shift register with reset value, LSB-in Write and rising-edge detect
+/// at a fixed index.
+inline meta::ClassDesc make_sync_register(unsigned regsize,
+                                          std::uint64_t resetvalue) {
+  using namespace meta;
+  ClassDesc c("SyncRegister_" + std::to_string(regsize) + "_" +
+              std::to_string(resetvalue));
+  c.add_member("RegValue", regsize);
+
+  MethodDesc ctor;
+  ctor.name = "__ctor__";
+  ctor.body = {assign_member("RegValue", constant(regsize, resetvalue))};
+  c.add_method(std::move(ctor));
+
+  MethodDesc reset;
+  reset.name = "Reset";
+  reset.body = {assign_member("RegValue", constant(regsize, resetvalue))};
+  c.add_method(std::move(reset));
+
+  MethodDesc write;
+  write.name = "Write";
+  write.params = {{"NewValue", 1}};
+  if (regsize > 1) {
+    write.body = {assign_member(
+        "RegValue", concat({slice(member("RegValue", regsize), regsize - 2, 0),
+                            param("NewValue", 1)}))};
+  } else {
+    write.body = {assign_member("RegValue", param("NewValue", 1))};
+  }
+  c.add_method(std::move(write));
+
+  MethodDesc rising;  // newest sample high, previous low
+  rising.name = "RisingEdge";
+  rising.return_width = 1;
+  rising.is_const = true;
+  rising.body = {return_stmt(band(slice(member("RegValue", regsize), 0, 0),
+                                  bnot(slice(member("RegValue", regsize), 1,
+                                             1))))};
+  c.add_method(std::move(rising));
+  return c;
+}
+
+/// A small accumulator class used by the shared-object tests.
+inline meta::ClassPtr make_counter_class(unsigned width) {
+  using namespace meta;
+  auto c = std::make_shared<ClassDesc>("Counter" + std::to_string(width));
+  c->add_member("value", width);
+
+  MethodDesc add;
+  add.name = "Add";
+  add.params = {{"d", width}};
+  add.body = {assign_member("value",
+                            meta::add(member("value", width),
+                                      param("d", width)))};
+  c->add_method(std::move(add));
+
+  MethodDesc get;
+  get.name = "Get";
+  get.return_width = width;
+  get.is_const = true;
+  get.body = {return_stmt(member("value", width))};
+  c->add_method(std::move(get));
+
+  MethodDesc clear;
+  clear.name = "Clear";
+  clear.body = {assign_member("value", constant(width, 0))};
+  c->add_method(std::move(clear));
+  return c;
+}
+
+}  // namespace osss::testutil
