@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_r10_hls_ablation.dir/exp_r10_hls_ablation.cpp.o"
+  "CMakeFiles/exp_r10_hls_ablation.dir/exp_r10_hls_ablation.cpp.o.d"
+  "exp_r10_hls_ablation"
+  "exp_r10_hls_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_r10_hls_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

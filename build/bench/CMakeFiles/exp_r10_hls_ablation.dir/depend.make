@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_r10_hls_ablation.
+# This may be replaced when dependencies are built.

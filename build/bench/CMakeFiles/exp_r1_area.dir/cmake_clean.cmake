@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_r1_area.dir/exp_r1_area.cpp.o"
+  "CMakeFiles/exp_r1_area.dir/exp_r1_area.cpp.o.d"
+  "exp_r1_area"
+  "exp_r1_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_r1_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_r2_frequency.dir/exp_r2_frequency.cpp.o"
+  "CMakeFiles/exp_r2_frequency.dir/exp_r2_frequency.cpp.o.d"
+  "exp_r2_frequency"
+  "exp_r2_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_r2_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

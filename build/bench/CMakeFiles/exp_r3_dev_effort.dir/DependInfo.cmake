@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/exp_r3_dev_effort.cpp" "bench/CMakeFiles/exp_r3_dev_effort.dir/exp_r3_dev_effort.cpp.o" "gcc" "bench/CMakeFiles/exp_r3_dev_effort.dir/exp_r3_dev_effort.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expocu/CMakeFiles/osss_expocu.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/osss_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/osss_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/osss_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/gate/CMakeFiles/osss_gate.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/osss_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysc/CMakeFiles/osss_sysc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

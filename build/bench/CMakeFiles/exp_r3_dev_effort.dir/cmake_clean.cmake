@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_r3_dev_effort.dir/exp_r3_dev_effort.cpp.o"
+  "CMakeFiles/exp_r3_dev_effort.dir/exp_r3_dev_effort.cpp.o.d"
+  "exp_r3_dev_effort"
+  "exp_r3_dev_effort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_r3_dev_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_r3_dev_effort.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_r4_zero_overhead.dir/exp_r4_zero_overhead.cpp.o"
+  "CMakeFiles/exp_r4_zero_overhead.dir/exp_r4_zero_overhead.cpp.o.d"
+  "exp_r4_zero_overhead"
+  "exp_r4_zero_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_r4_zero_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_r4_zero_overhead.
+# This may be replaced when dependencies are built.

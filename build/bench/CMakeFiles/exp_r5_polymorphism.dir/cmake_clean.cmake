@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_r5_polymorphism.dir/exp_r5_polymorphism.cpp.o"
+  "CMakeFiles/exp_r5_polymorphism.dir/exp_r5_polymorphism.cpp.o.d"
+  "exp_r5_polymorphism"
+  "exp_r5_polymorphism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_r5_polymorphism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

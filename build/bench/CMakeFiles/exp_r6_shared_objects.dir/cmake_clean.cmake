@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_r6_shared_objects.dir/exp_r6_shared_objects.cpp.o"
+  "CMakeFiles/exp_r6_shared_objects.dir/exp_r6_shared_objects.cpp.o.d"
+  "exp_r6_shared_objects"
+  "exp_r6_shared_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_r6_shared_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

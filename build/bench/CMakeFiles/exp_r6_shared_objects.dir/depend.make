@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_r6_shared_objects.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_r7_sim_speed.dir/exp_r7_sim_speed.cpp.o"
+  "CMakeFiles/exp_r7_sim_speed.dir/exp_r7_sim_speed.cpp.o.d"
+  "exp_r7_sim_speed"
+  "exp_r7_sim_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_r7_sim_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

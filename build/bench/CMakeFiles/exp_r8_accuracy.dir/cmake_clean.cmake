@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_r8_accuracy.dir/exp_r8_accuracy.cpp.o"
+  "CMakeFiles/exp_r8_accuracy.dir/exp_r8_accuracy.cpp.o.d"
+  "exp_r8_accuracy"
+  "exp_r8_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_r8_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_r9_report.dir/exp_r9_report.cpp.o"
+  "CMakeFiles/exp_r9_report.dir/exp_r9_report.cpp.o.d"
+  "exp_r9_report"
+  "exp_r9_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_r9_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exposure_control_loop.dir/exposure_control_loop.cpp.o"
+  "CMakeFiles/exposure_control_loop.dir/exposure_control_loop.cpp.o.d"
+  "exposure_control_loop"
+  "exposure_control_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exposure_control_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

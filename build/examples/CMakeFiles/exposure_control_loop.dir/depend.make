@@ -1,0 +1,2 @@
+# Empty dependencies file for exposure_control_loop.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polymorphic_alu.dir/polymorphic_alu.cpp.o"
+  "CMakeFiles/polymorphic_alu.dir/polymorphic_alu.cpp.o.d"
+  "polymorphic_alu"
+  "polymorphic_alu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polymorphic_alu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

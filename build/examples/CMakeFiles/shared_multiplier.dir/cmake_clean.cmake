@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_multiplier.dir/shared_multiplier.cpp.o"
+  "CMakeFiles/shared_multiplier.dir/shared_multiplier.cpp.o.d"
+  "shared_multiplier"
+  "shared_multiplier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_multiplier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expocu/camera_model.cpp" "src/expocu/CMakeFiles/osss_expocu.dir/camera_model.cpp.o" "gcc" "src/expocu/CMakeFiles/osss_expocu.dir/camera_model.cpp.o.d"
+  "/root/repo/src/expocu/camera_sync_hw.cpp" "src/expocu/CMakeFiles/osss_expocu.dir/camera_sync_hw.cpp.o" "gcc" "src/expocu/CMakeFiles/osss_expocu.dir/camera_sync_hw.cpp.o.d"
+  "/root/repo/src/expocu/expocu_sim.cpp" "src/expocu/CMakeFiles/osss_expocu.dir/expocu_sim.cpp.o" "gcc" "src/expocu/CMakeFiles/osss_expocu.dir/expocu_sim.cpp.o.d"
+  "/root/repo/src/expocu/flows.cpp" "src/expocu/CMakeFiles/osss_expocu.dir/flows.cpp.o" "gcc" "src/expocu/CMakeFiles/osss_expocu.dir/flows.cpp.o.d"
+  "/root/repo/src/expocu/histogram_hw.cpp" "src/expocu/CMakeFiles/osss_expocu.dir/histogram_hw.cpp.o" "gcc" "src/expocu/CMakeFiles/osss_expocu.dir/histogram_hw.cpp.o.d"
+  "/root/repo/src/expocu/i2c_bus.cpp" "src/expocu/CMakeFiles/osss_expocu.dir/i2c_bus.cpp.o" "gcc" "src/expocu/CMakeFiles/osss_expocu.dir/i2c_bus.cpp.o.d"
+  "/root/repo/src/expocu/i2c_master_osss.cpp" "src/expocu/CMakeFiles/osss_expocu.dir/i2c_master_osss.cpp.o" "gcc" "src/expocu/CMakeFiles/osss_expocu.dir/i2c_master_osss.cpp.o.d"
+  "/root/repo/src/expocu/i2c_master_systemc.cpp" "src/expocu/CMakeFiles/osss_expocu.dir/i2c_master_systemc.cpp.o" "gcc" "src/expocu/CMakeFiles/osss_expocu.dir/i2c_master_systemc.cpp.o.d"
+  "/root/repo/src/expocu/i2c_master_vhdl.cpp" "src/expocu/CMakeFiles/osss_expocu.dir/i2c_master_vhdl.cpp.o" "gcc" "src/expocu/CMakeFiles/osss_expocu.dir/i2c_master_vhdl.cpp.o.d"
+  "/root/repo/src/expocu/param_calc_hw.cpp" "src/expocu/CMakeFiles/osss_expocu.dir/param_calc_hw.cpp.o" "gcc" "src/expocu/CMakeFiles/osss_expocu.dir/param_calc_hw.cpp.o.d"
+  "/root/repo/src/expocu/reset_ctrl_hw.cpp" "src/expocu/CMakeFiles/osss_expocu.dir/reset_ctrl_hw.cpp.o" "gcc" "src/expocu/CMakeFiles/osss_expocu.dir/reset_ctrl_hw.cpp.o.d"
+  "/root/repo/src/expocu/threshold_hw.cpp" "src/expocu/CMakeFiles/osss_expocu.dir/threshold_hw.cpp.o" "gcc" "src/expocu/CMakeFiles/osss_expocu.dir/threshold_hw.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sysc/CMakeFiles/osss_sysc.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/osss_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/osss_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/osss_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/gate/CMakeFiles/osss_gate.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/osss_rtl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osss_expocu.dir/camera_model.cpp.o"
+  "CMakeFiles/osss_expocu.dir/camera_model.cpp.o.d"
+  "CMakeFiles/osss_expocu.dir/camera_sync_hw.cpp.o"
+  "CMakeFiles/osss_expocu.dir/camera_sync_hw.cpp.o.d"
+  "CMakeFiles/osss_expocu.dir/expocu_sim.cpp.o"
+  "CMakeFiles/osss_expocu.dir/expocu_sim.cpp.o.d"
+  "CMakeFiles/osss_expocu.dir/flows.cpp.o"
+  "CMakeFiles/osss_expocu.dir/flows.cpp.o.d"
+  "CMakeFiles/osss_expocu.dir/histogram_hw.cpp.o"
+  "CMakeFiles/osss_expocu.dir/histogram_hw.cpp.o.d"
+  "CMakeFiles/osss_expocu.dir/i2c_bus.cpp.o"
+  "CMakeFiles/osss_expocu.dir/i2c_bus.cpp.o.d"
+  "CMakeFiles/osss_expocu.dir/i2c_master_osss.cpp.o"
+  "CMakeFiles/osss_expocu.dir/i2c_master_osss.cpp.o.d"
+  "CMakeFiles/osss_expocu.dir/i2c_master_systemc.cpp.o"
+  "CMakeFiles/osss_expocu.dir/i2c_master_systemc.cpp.o.d"
+  "CMakeFiles/osss_expocu.dir/i2c_master_vhdl.cpp.o"
+  "CMakeFiles/osss_expocu.dir/i2c_master_vhdl.cpp.o.d"
+  "CMakeFiles/osss_expocu.dir/param_calc_hw.cpp.o"
+  "CMakeFiles/osss_expocu.dir/param_calc_hw.cpp.o.d"
+  "CMakeFiles/osss_expocu.dir/reset_ctrl_hw.cpp.o"
+  "CMakeFiles/osss_expocu.dir/reset_ctrl_hw.cpp.o.d"
+  "CMakeFiles/osss_expocu.dir/threshold_hw.cpp.o"
+  "CMakeFiles/osss_expocu.dir/threshold_hw.cpp.o.d"
+  "libosss_expocu.a"
+  "libosss_expocu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osss_expocu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

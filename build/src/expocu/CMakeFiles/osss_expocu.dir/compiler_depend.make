@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for osss_expocu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gate/equiv.cpp" "src/gate/CMakeFiles/osss_gate.dir/equiv.cpp.o" "gcc" "src/gate/CMakeFiles/osss_gate.dir/equiv.cpp.o.d"
+  "/root/repo/src/gate/library.cpp" "src/gate/CMakeFiles/osss_gate.dir/library.cpp.o" "gcc" "src/gate/CMakeFiles/osss_gate.dir/library.cpp.o.d"
+  "/root/repo/src/gate/lower.cpp" "src/gate/CMakeFiles/osss_gate.dir/lower.cpp.o" "gcc" "src/gate/CMakeFiles/osss_gate.dir/lower.cpp.o.d"
+  "/root/repo/src/gate/netlist.cpp" "src/gate/CMakeFiles/osss_gate.dir/netlist.cpp.o" "gcc" "src/gate/CMakeFiles/osss_gate.dir/netlist.cpp.o.d"
+  "/root/repo/src/gate/sim.cpp" "src/gate/CMakeFiles/osss_gate.dir/sim.cpp.o" "gcc" "src/gate/CMakeFiles/osss_gate.dir/sim.cpp.o.d"
+  "/root/repo/src/gate/timing.cpp" "src/gate/CMakeFiles/osss_gate.dir/timing.cpp.o" "gcc" "src/gate/CMakeFiles/osss_gate.dir/timing.cpp.o.d"
+  "/root/repo/src/gate/verilog.cpp" "src/gate/CMakeFiles/osss_gate.dir/verilog.cpp.o" "gcc" "src/gate/CMakeFiles/osss_gate.dir/verilog.cpp.o.d"
+  "/root/repo/src/gate/vhdl.cpp" "src/gate/CMakeFiles/osss_gate.dir/vhdl.cpp.o" "gcc" "src/gate/CMakeFiles/osss_gate.dir/vhdl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/osss_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysc/CMakeFiles/osss_sysc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

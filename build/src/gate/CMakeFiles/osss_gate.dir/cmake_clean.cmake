@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osss_gate.dir/equiv.cpp.o"
+  "CMakeFiles/osss_gate.dir/equiv.cpp.o.d"
+  "CMakeFiles/osss_gate.dir/library.cpp.o"
+  "CMakeFiles/osss_gate.dir/library.cpp.o.d"
+  "CMakeFiles/osss_gate.dir/lower.cpp.o"
+  "CMakeFiles/osss_gate.dir/lower.cpp.o.d"
+  "CMakeFiles/osss_gate.dir/netlist.cpp.o"
+  "CMakeFiles/osss_gate.dir/netlist.cpp.o.d"
+  "CMakeFiles/osss_gate.dir/sim.cpp.o"
+  "CMakeFiles/osss_gate.dir/sim.cpp.o.d"
+  "CMakeFiles/osss_gate.dir/timing.cpp.o"
+  "CMakeFiles/osss_gate.dir/timing.cpp.o.d"
+  "CMakeFiles/osss_gate.dir/verilog.cpp.o"
+  "CMakeFiles/osss_gate.dir/verilog.cpp.o.d"
+  "CMakeFiles/osss_gate.dir/vhdl.cpp.o"
+  "CMakeFiles/osss_gate.dir/vhdl.cpp.o.d"
+  "libosss_gate.a"
+  "libosss_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osss_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hls/behavior.cpp" "src/hls/CMakeFiles/osss_hls.dir/behavior.cpp.o" "gcc" "src/hls/CMakeFiles/osss_hls.dir/behavior.cpp.o.d"
+  "/root/repo/src/hls/interp.cpp" "src/hls/CMakeFiles/osss_hls.dir/interp.cpp.o" "gcc" "src/hls/CMakeFiles/osss_hls.dir/interp.cpp.o.d"
+  "/root/repo/src/hls/synth.cpp" "src/hls/CMakeFiles/osss_hls.dir/synth.cpp.o" "gcc" "src/hls/CMakeFiles/osss_hls.dir/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/meta/CMakeFiles/osss_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/osss_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysc/CMakeFiles/osss_sysc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

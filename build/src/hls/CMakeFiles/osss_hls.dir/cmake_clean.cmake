@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osss_hls.dir/behavior.cpp.o"
+  "CMakeFiles/osss_hls.dir/behavior.cpp.o.d"
+  "CMakeFiles/osss_hls.dir/interp.cpp.o"
+  "CMakeFiles/osss_hls.dir/interp.cpp.o.d"
+  "CMakeFiles/osss_hls.dir/synth.cpp.o"
+  "CMakeFiles/osss_hls.dir/synth.cpp.o.d"
+  "libosss_hls.a"
+  "libosss_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osss_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

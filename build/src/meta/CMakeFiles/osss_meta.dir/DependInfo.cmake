@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/meta/class_desc.cpp" "src/meta/CMakeFiles/osss_meta.dir/class_desc.cpp.o" "gcc" "src/meta/CMakeFiles/osss_meta.dir/class_desc.cpp.o.d"
+  "/root/repo/src/meta/emit.cpp" "src/meta/CMakeFiles/osss_meta.dir/emit.cpp.o" "gcc" "src/meta/CMakeFiles/osss_meta.dir/emit.cpp.o.d"
+  "/root/repo/src/meta/expr.cpp" "src/meta/CMakeFiles/osss_meta.dir/expr.cpp.o" "gcc" "src/meta/CMakeFiles/osss_meta.dir/expr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/osss_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysc/CMakeFiles/osss_sysc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osss_meta.dir/class_desc.cpp.o"
+  "CMakeFiles/osss_meta.dir/class_desc.cpp.o.d"
+  "CMakeFiles/osss_meta.dir/emit.cpp.o"
+  "CMakeFiles/osss_meta.dir/emit.cpp.o.d"
+  "CMakeFiles/osss_meta.dir/expr.cpp.o"
+  "CMakeFiles/osss_meta.dir/expr.cpp.o.d"
+  "libosss_meta.a"
+  "libosss_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osss_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

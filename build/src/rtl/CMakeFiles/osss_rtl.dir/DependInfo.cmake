@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/builder.cpp" "src/rtl/CMakeFiles/osss_rtl.dir/builder.cpp.o" "gcc" "src/rtl/CMakeFiles/osss_rtl.dir/builder.cpp.o.d"
+  "/root/repo/src/rtl/ir.cpp" "src/rtl/CMakeFiles/osss_rtl.dir/ir.cpp.o" "gcc" "src/rtl/CMakeFiles/osss_rtl.dir/ir.cpp.o.d"
+  "/root/repo/src/rtl/sim.cpp" "src/rtl/CMakeFiles/osss_rtl.dir/sim.cpp.o" "gcc" "src/rtl/CMakeFiles/osss_rtl.dir/sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sysc/CMakeFiles/osss_sysc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

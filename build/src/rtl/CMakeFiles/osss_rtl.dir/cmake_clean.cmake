@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osss_rtl.dir/builder.cpp.o"
+  "CMakeFiles/osss_rtl.dir/builder.cpp.o.d"
+  "CMakeFiles/osss_rtl.dir/ir.cpp.o"
+  "CMakeFiles/osss_rtl.dir/ir.cpp.o.d"
+  "CMakeFiles/osss_rtl.dir/sim.cpp.o"
+  "CMakeFiles/osss_rtl.dir/sim.cpp.o.d"
+  "libosss_rtl.a"
+  "libosss_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osss_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/method_synth.cpp" "src/synth/CMakeFiles/osss_synth.dir/method_synth.cpp.o" "gcc" "src/synth/CMakeFiles/osss_synth.dir/method_synth.cpp.o.d"
+  "/root/repo/src/synth/polymorphic_synth.cpp" "src/synth/CMakeFiles/osss_synth.dir/polymorphic_synth.cpp.o" "gcc" "src/synth/CMakeFiles/osss_synth.dir/polymorphic_synth.cpp.o.d"
+  "/root/repo/src/synth/shared_synth.cpp" "src/synth/CMakeFiles/osss_synth.dir/shared_synth.cpp.o" "gcc" "src/synth/CMakeFiles/osss_synth.dir/shared_synth.cpp.o.d"
+  "/root/repo/src/synth/systemc_emit.cpp" "src/synth/CMakeFiles/osss_synth.dir/systemc_emit.cpp.o" "gcc" "src/synth/CMakeFiles/osss_synth.dir/systemc_emit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/meta/CMakeFiles/osss_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/osss_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/osss_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysc/CMakeFiles/osss_sysc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

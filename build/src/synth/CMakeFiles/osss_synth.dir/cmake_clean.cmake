@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osss_synth.dir/method_synth.cpp.o"
+  "CMakeFiles/osss_synth.dir/method_synth.cpp.o.d"
+  "CMakeFiles/osss_synth.dir/polymorphic_synth.cpp.o"
+  "CMakeFiles/osss_synth.dir/polymorphic_synth.cpp.o.d"
+  "CMakeFiles/osss_synth.dir/shared_synth.cpp.o"
+  "CMakeFiles/osss_synth.dir/shared_synth.cpp.o.d"
+  "CMakeFiles/osss_synth.dir/systemc_emit.cpp.o"
+  "CMakeFiles/osss_synth.dir/systemc_emit.cpp.o.d"
+  "libosss_synth.a"
+  "libosss_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osss_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sysc/bits.cpp" "src/sysc/CMakeFiles/osss_sysc.dir/bits.cpp.o" "gcc" "src/sysc/CMakeFiles/osss_sysc.dir/bits.cpp.o.d"
+  "/root/repo/src/sysc/kernel.cpp" "src/sysc/CMakeFiles/osss_sysc.dir/kernel.cpp.o" "gcc" "src/sysc/CMakeFiles/osss_sysc.dir/kernel.cpp.o.d"
+  "/root/repo/src/sysc/trace.cpp" "src/sysc/CMakeFiles/osss_sysc.dir/trace.cpp.o" "gcc" "src/sysc/CMakeFiles/osss_sysc.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

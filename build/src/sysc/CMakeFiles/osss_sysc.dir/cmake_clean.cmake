@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osss_sysc.dir/bits.cpp.o"
+  "CMakeFiles/osss_sysc.dir/bits.cpp.o.d"
+  "CMakeFiles/osss_sysc.dir/kernel.cpp.o"
+  "CMakeFiles/osss_sysc.dir/kernel.cpp.o.d"
+  "CMakeFiles/osss_sysc.dir/trace.cpp.o"
+  "CMakeFiles/osss_sysc.dir/trace.cpp.o.d"
+  "libosss_sysc.a"
+  "libosss_sysc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osss_sysc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/expocu/camera_i2c_test.cpp" "tests/CMakeFiles/osss_tests.dir/expocu/camera_i2c_test.cpp.o" "gcc" "tests/CMakeFiles/osss_tests.dir/expocu/camera_i2c_test.cpp.o.d"
+  "/root/repo/tests/expocu/flows_test.cpp" "tests/CMakeFiles/osss_tests.dir/expocu/flows_test.cpp.o" "gcc" "tests/CMakeFiles/osss_tests.dir/expocu/flows_test.cpp.o.d"
+  "/root/repo/tests/expocu/hw_components_test.cpp" "tests/CMakeFiles/osss_tests.dir/expocu/hw_components_test.cpp.o" "gcc" "tests/CMakeFiles/osss_tests.dir/expocu/hw_components_test.cpp.o.d"
+  "/root/repo/tests/expocu/i2c_masters_test.cpp" "tests/CMakeFiles/osss_tests.dir/expocu/i2c_masters_test.cpp.o" "gcc" "tests/CMakeFiles/osss_tests.dir/expocu/i2c_masters_test.cpp.o.d"
+  "/root/repo/tests/expocu/sync_register_test.cpp" "tests/CMakeFiles/osss_tests.dir/expocu/sync_register_test.cpp.o" "gcc" "tests/CMakeFiles/osss_tests.dir/expocu/sync_register_test.cpp.o.d"
+  "/root/repo/tests/gate/gatesim_test.cpp" "tests/CMakeFiles/osss_tests.dir/gate/gatesim_test.cpp.o" "gcc" "tests/CMakeFiles/osss_tests.dir/gate/gatesim_test.cpp.o.d"
+  "/root/repo/tests/gate/lower_test.cpp" "tests/CMakeFiles/osss_tests.dir/gate/lower_test.cpp.o" "gcc" "tests/CMakeFiles/osss_tests.dir/gate/lower_test.cpp.o.d"
+  "/root/repo/tests/gate/netlist_test.cpp" "tests/CMakeFiles/osss_tests.dir/gate/netlist_test.cpp.o" "gcc" "tests/CMakeFiles/osss_tests.dir/gate/netlist_test.cpp.o.d"
+  "/root/repo/tests/gate/timing_test.cpp" "tests/CMakeFiles/osss_tests.dir/gate/timing_test.cpp.o" "gcc" "tests/CMakeFiles/osss_tests.dir/gate/timing_test.cpp.o.d"
+  "/root/repo/tests/gate/verilog_equiv_test.cpp" "tests/CMakeFiles/osss_tests.dir/gate/verilog_equiv_test.cpp.o" "gcc" "tests/CMakeFiles/osss_tests.dir/gate/verilog_equiv_test.cpp.o.d"
+  "/root/repo/tests/gate/vhdl_test.cpp" "tests/CMakeFiles/osss_tests.dir/gate/vhdl_test.cpp.o" "gcc" "tests/CMakeFiles/osss_tests.dir/gate/vhdl_test.cpp.o.d"
+  "/root/repo/tests/hls/behavior_test.cpp" "tests/CMakeFiles/osss_tests.dir/hls/behavior_test.cpp.o" "gcc" "tests/CMakeFiles/osss_tests.dir/hls/behavior_test.cpp.o.d"
+  "/root/repo/tests/hls/synth_test.cpp" "tests/CMakeFiles/osss_tests.dir/hls/synth_test.cpp.o" "gcc" "tests/CMakeFiles/osss_tests.dir/hls/synth_test.cpp.o.d"
+  "/root/repo/tests/integration/closed_loop_test.cpp" "tests/CMakeFiles/osss_tests.dir/integration/closed_loop_test.cpp.o" "gcc" "tests/CMakeFiles/osss_tests.dir/integration/closed_loop_test.cpp.o.d"
+  "/root/repo/tests/integration/fuzz_lowering_test.cpp" "tests/CMakeFiles/osss_tests.dir/integration/fuzz_lowering_test.cpp.o" "gcc" "tests/CMakeFiles/osss_tests.dir/integration/fuzz_lowering_test.cpp.o.d"
+  "/root/repo/tests/integration/rtl_pipeline_test.cpp" "tests/CMakeFiles/osss_tests.dir/integration/rtl_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/osss_tests.dir/integration/rtl_pipeline_test.cpp.o.d"
+  "/root/repo/tests/meta/class_desc_test.cpp" "tests/CMakeFiles/osss_tests.dir/meta/class_desc_test.cpp.o" "gcc" "tests/CMakeFiles/osss_tests.dir/meta/class_desc_test.cpp.o.d"
+  "/root/repo/tests/meta/emit_test.cpp" "tests/CMakeFiles/osss_tests.dir/meta/emit_test.cpp.o" "gcc" "tests/CMakeFiles/osss_tests.dir/meta/emit_test.cpp.o.d"
+  "/root/repo/tests/meta/expr_test.cpp" "tests/CMakeFiles/osss_tests.dir/meta/expr_test.cpp.o" "gcc" "tests/CMakeFiles/osss_tests.dir/meta/expr_test.cpp.o.d"
+  "/root/repo/tests/osss/fixed_test.cpp" "tests/CMakeFiles/osss_tests.dir/osss/fixed_test.cpp.o" "gcc" "tests/CMakeFiles/osss_tests.dir/osss/fixed_test.cpp.o.d"
+  "/root/repo/tests/osss/polymorphic_test.cpp" "tests/CMakeFiles/osss_tests.dir/osss/polymorphic_test.cpp.o" "gcc" "tests/CMakeFiles/osss_tests.dir/osss/polymorphic_test.cpp.o.d"
+  "/root/repo/tests/osss/shared_test.cpp" "tests/CMakeFiles/osss_tests.dir/osss/shared_test.cpp.o" "gcc" "tests/CMakeFiles/osss_tests.dir/osss/shared_test.cpp.o.d"
+  "/root/repo/tests/rtl/builder_test.cpp" "tests/CMakeFiles/osss_tests.dir/rtl/builder_test.cpp.o" "gcc" "tests/CMakeFiles/osss_tests.dir/rtl/builder_test.cpp.o.d"
+  "/root/repo/tests/rtl/sim_test.cpp" "tests/CMakeFiles/osss_tests.dir/rtl/sim_test.cpp.o" "gcc" "tests/CMakeFiles/osss_tests.dir/rtl/sim_test.cpp.o.d"
+  "/root/repo/tests/synth/method_synth_test.cpp" "tests/CMakeFiles/osss_tests.dir/synth/method_synth_test.cpp.o" "gcc" "tests/CMakeFiles/osss_tests.dir/synth/method_synth_test.cpp.o.d"
+  "/root/repo/tests/synth/module_emit_test.cpp" "tests/CMakeFiles/osss_tests.dir/synth/module_emit_test.cpp.o" "gcc" "tests/CMakeFiles/osss_tests.dir/synth/module_emit_test.cpp.o.d"
+  "/root/repo/tests/synth/polymorphic_synth_test.cpp" "tests/CMakeFiles/osss_tests.dir/synth/polymorphic_synth_test.cpp.o" "gcc" "tests/CMakeFiles/osss_tests.dir/synth/polymorphic_synth_test.cpp.o.d"
+  "/root/repo/tests/synth/shared_synth_test.cpp" "tests/CMakeFiles/osss_tests.dir/synth/shared_synth_test.cpp.o" "gcc" "tests/CMakeFiles/osss_tests.dir/synth/shared_synth_test.cpp.o.d"
+  "/root/repo/tests/synth/systemc_emit_test.cpp" "tests/CMakeFiles/osss_tests.dir/synth/systemc_emit_test.cpp.o" "gcc" "tests/CMakeFiles/osss_tests.dir/synth/systemc_emit_test.cpp.o.d"
+  "/root/repo/tests/sysc/bits_test.cpp" "tests/CMakeFiles/osss_tests.dir/sysc/bits_test.cpp.o" "gcc" "tests/CMakeFiles/osss_tests.dir/sysc/bits_test.cpp.o.d"
+  "/root/repo/tests/sysc/bitvector_test.cpp" "tests/CMakeFiles/osss_tests.dir/sysc/bitvector_test.cpp.o" "gcc" "tests/CMakeFiles/osss_tests.dir/sysc/bitvector_test.cpp.o.d"
+  "/root/repo/tests/sysc/kernel_test.cpp" "tests/CMakeFiles/osss_tests.dir/sysc/kernel_test.cpp.o" "gcc" "tests/CMakeFiles/osss_tests.dir/sysc/kernel_test.cpp.o.d"
+  "/root/repo/tests/sysc/trace_test.cpp" "tests/CMakeFiles/osss_tests.dir/sysc/trace_test.cpp.o" "gcc" "tests/CMakeFiles/osss_tests.dir/sysc/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sysc/CMakeFiles/osss_sysc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/osss_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/gate/CMakeFiles/osss_gate.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/osss_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/osss_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/osss_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/expocu/CMakeFiles/osss_expocu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
