@@ -7,12 +7,21 @@
 //   * OO model:   the compiled C++ ExpoCU on the simulation kernel
 //                 (the paper's "binary executable for simulation");
 //   * RTL level:  the synthesized modules on the cycle-level RTL simulator;
-//   * gate level: the mapped netlists on the event-driven gate simulator
-//                 (the "conventional RTL/netlist simulator" stand-in).
+//   * gate level: the mapped netlists on the gate simulator, once per
+//                 engine — event-driven (the "conventional RTL/netlist
+//                 simulator" stand-in), levelized two-pass, and 64-lane
+//                 bit-parallel (64 frames advance per netlist sweep).
 //
-// Reported as items_per_second = simulated clock cycles per wall second.
+// Reported as items_per_second = simulated clock cycles per wall second
+// (stimulus-vector cycles: the bit-parallel engine counts all 64 lanes).
+// Engine internals (gate evaluations, event-queue high water, levels
+// skipped) are exported as counters.
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "expocu/expocu_sim.hpp"
 #include "expocu/flows.hpp"
@@ -71,10 +80,23 @@ void BM_RtlCycleSim(benchmark::State& state) {
   state.counters["level"] = 1;  // RTL
 }
 
-void BM_GateEventSim(benchmark::State& state) {
-  gate::Simulator hist(gate::lower_to_gates(build_histogram_rtl()));
+void report_engine_stats(benchmark::State& state,
+                         const gate::Simulator::Stats& hist,
+                         const gate::Simulator::Stats& thresh) {
+  state.counters["gate_evals"] = static_cast<double>(hist.events +
+                                                     thresh.events);
+  state.counters["queue_high_water"] = static_cast<double>(
+      std::max(hist.queue_high_water, thresh.queue_high_water));
+  state.counters["levels_evaluated"] =
+      static_cast<double>(hist.levels_evaluated + thresh.levels_evaluated);
+  state.counters["levels_skipped"] =
+      static_cast<double>(hist.levels_skipped + thresh.levels_skipped);
+}
+
+void gate_scalar_bench(benchmark::State& state, gate::SimMode mode) {
+  gate::Simulator hist(gate::lower_to_gates(build_histogram_rtl()), mode);
   gate::Simulator thresh(
-      gate::lower_to_gates(hls::synthesize(build_threshold_osss())));
+      gate::lower_to_gates(hls::synthesize(build_threshold_osss())), mode);
   std::uint64_t frame = 0;
   for (auto _ : state) {
     drive_frame(hist, thresh, frame++);
@@ -83,6 +105,54 @@ void BM_GateEventSim(benchmark::State& state) {
   state.SetItemsProcessed(
       static_cast<std::int64_t>(frame) * kCyclesPerFrame);
   state.counters["level"] = 2;  // gate
+  report_engine_stats(state, hist.stats(), thresh.stats());
+}
+
+void BM_GateEventSim(benchmark::State& state) {
+  gate_scalar_bench(state, gate::SimMode::kEvent);
+}
+
+void BM_GateLevelizedSim(benchmark::State& state) {
+  gate_scalar_bench(state, gate::SimMode::kLevelized);
+}
+
+void BM_GateBitParallelSim(benchmark::State& state) {
+  // One simulated cycle advances kLanes independent frames: lane l runs
+  // the pixel stream of frame `frame + l`.
+  constexpr unsigned kLanes = gate::Simulator::kLanes;
+  gate::Simulator hist(gate::lower_to_gates(build_histogram_rtl()),
+                       gate::SimMode::kBitParallel);
+  gate::Simulator thresh(
+      gate::lower_to_gates(hls::synthesize(build_threshold_osss())),
+      gate::SimMode::kBitParallel);
+  std::vector<std::uint64_t> pixel(8);
+  std::uint64_t frame = 0;
+  for (auto _ : state) {
+    for (unsigned i = 0; i < kCyclesPerFrame; ++i) {
+      const bool valid = i < kPixelsPerFrame;
+      std::fill(pixel.begin(), pixel.end(), 0);
+      for (unsigned lane = 0; lane < kLanes; ++lane) {
+        const std::uint64_t pix = (i * 7 + (frame + lane) * 13) & 0xff;
+        for (unsigned b = 0; b < 8; ++b)
+          pixel[b] |= ((pix >> b) & 1u) << lane;
+      }
+      hist.set_input_lanes("pixel", pixel);
+      hist.set_input("pixel_valid", valid ? 1 : 0);
+      hist.set_input("vsync", (valid && i == 0) ? 1 : 0);
+      hist.step();
+      thresh.set_input_lanes("bin_valid", hist.output_words("bin_valid"));
+      thresh.set_input_lanes("bin_index", hist.output_words("bin_index"));
+      thresh.set_input_lanes("bin_count", hist.output_words("bin_count"));
+      thresh.set_input_lanes("frame_done", hist.output_words("frame_done"));
+      thresh.step();
+    }
+    frame += kLanes;
+    benchmark::DoNotOptimize(thresh.output("mean"));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(frame) * kCyclesPerFrame);
+  state.counters["level"] = 2;  // gate
+  report_engine_stats(state, hist.stats(), thresh.stats());
 }
 
 }  // namespace
@@ -90,5 +160,7 @@ void BM_GateEventSim(benchmark::State& state) {
 BENCHMARK(BM_OoKernelSim)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RtlCycleSim)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GateEventSim)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GateLevelizedSim)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GateBitParallelSim)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

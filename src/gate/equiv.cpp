@@ -2,66 +2,123 @@
 
 #include <random>
 #include <sstream>
-
-#include "gate/sim.hpp"
+#include <vector>
 
 namespace osss::gate {
 
-EquivResult check_equivalence(const Netlist& a, const Netlist& b,
-                              unsigned sequences, unsigned cycles,
-                              std::uint64_t seed) {
-  EquivResult result;
-  // Interface check.
-  auto interface_of = [](const Netlist& n) {
+namespace {
+
+std::string interface_of(const Netlist& n) {
+  std::ostringstream os;
+  for (const Bus& bus : n.inputs()) os << "i:" << bus.name << ":"
+                                       << bus.nets.size() << ";";
+  for (const Bus& bus : n.outputs()) os << "o:" << bus.name << ":"
+                                        << bus.nets.size() << ";";
+  return os.str();
+}
+
+/// One cycle's stimulus for every input bus, as per-bit lane words (lane 0
+/// is the scalar vector when only one lane is in use).
+struct Stimulus {
+  std::vector<std::vector<std::uint64_t>> words;  // per bus, per bit
+
+  std::string lane_text(const Netlist& n, unsigned lane) const {
     std::ostringstream os;
-    for (const Bus& bus : n.inputs()) os << "i:" << bus.name << ":"
-                                         << bus.nets.size() << ";";
-    for (const Bus& bus : n.outputs()) os << "o:" << bus.name << ":"
-                                          << bus.nets.size() << ";";
+    for (std::size_t bi = 0; bi < n.inputs().size(); ++bi) {
+      const Bus& bus = n.inputs()[bi];
+      Bits v(static_cast<unsigned>(bus.nets.size()));
+      for (unsigned i = 0; i < v.width(); ++i)
+        v.set_bit(i, ((words[bi][i] >> lane) & 1u) != 0);
+      os << bus.name << "=" << v.to_hex_string() << " ";
+    }
     return os.str();
-  };
+  }
+};
+
+}  // namespace
+
+EquivResult check_equivalence(const Netlist& a, const Netlist& b,
+                              const EquivOptions& opt) {
+  EquivResult result;
   if (interface_of(a) != interface_of(b)) {
     result.counterexample = "interface mismatch: [" + interface_of(a) +
                             "] vs [" + interface_of(b) + "]";
     return result;
   }
 
-  Simulator sim_a(a);
-  Simulator sim_b(b);
-  std::mt19937_64 rng(seed);
-  for (unsigned s = 0; s < sequences; ++s) {
+  const bool lanes = opt.mode_a == SimMode::kBitParallel &&
+                     opt.mode_b == SimMode::kBitParallel;
+  const unsigned vectors_per_cycle = lanes ? Simulator::kLanes : 1;
+
+  Simulator sim_a(a, opt.mode_a);
+  Simulator sim_b(b, opt.mode_b);
+  std::mt19937_64 rng(opt.seed);
+  Stimulus stim;
+  stim.words.resize(a.inputs().size());
+  for (unsigned s = 0; s < opt.sequences; ++s) {
     sim_a.reset();
     sim_b.reset();
-    for (unsigned c = 0; c < cycles; ++c) {
-      std::ostringstream stimulus;
-      for (const Bus& bus : a.inputs()) {
-        Bits v(static_cast<unsigned>(bus.nets.size()));
-        for (unsigned i = 0; i < v.width(); ++i)
-          v.set_bit(i, (rng() & 1) != 0);
-        sim_a.set_input(bus.name, v);
-        sim_b.set_input(bus.name, v);
-        stimulus << bus.name << "=" << v.to_hex_string() << " ";
+    for (unsigned c = 0; c < opt.cycles; ++c) {
+      for (std::size_t bi = 0; bi < a.inputs().size(); ++bi) {
+        const Bus& bus = a.inputs()[bi];
+        auto& words = stim.words[bi];
+        words.assign(bus.nets.size(), 0);
+        if (lanes) {
+          for (auto& w : words) w = rng();
+          sim_a.set_input_lanes(bus.name, words);
+          sim_b.set_input_lanes(bus.name, words);
+        } else {
+          Bits v(static_cast<unsigned>(bus.nets.size()));
+          for (unsigned i = 0; i < v.width(); ++i) {
+            const bool bit = (rng() & 1u) != 0;
+            v.set_bit(i, bit);
+            words[i] = bit ? 1 : 0;
+          }
+          sim_a.set_input(bus.name, v);
+          sim_b.set_input(bus.name, v);
+        }
       }
       for (const Bus& bus : a.outputs()) {
-        const Bits va = sim_a.output(bus.name);
-        const Bits vb = sim_b.output(bus.name);
-        if (!(va == vb)) {
+        const std::vector<std::uint64_t> wa = sim_a.output_words(bus.name);
+        const std::vector<std::uint64_t> wb = sim_b.output_words(bus.name);
+        std::uint64_t diff = 0;
+        for (std::size_t i = 0; i < wa.size(); ++i) diff |= wa[i] ^ wb[i];
+        if (!lanes) diff &= 1u;  // engines may differ in unused lanes
+        if (diff) {
+          unsigned lane = 0;
+          while (!((diff >> lane) & 1u)) ++lane;
           std::ostringstream os;
-          os << "sequence " << s << " cycle " << c << ": output " << bus.name
-             << " = " << va.to_hex_string() << " vs " << vb.to_hex_string()
-             << " with " << stimulus.str();
+          os << "sequence " << s << " cycle " << c;
+          if (lanes) os << " lane " << lane;
+          os << ": output " << bus.name << " = "
+             << sim_a.output_lane(bus.name, lane).to_hex_string() << " vs "
+             << sim_b.output_lane(bus.name, lane).to_hex_string() << " with "
+             << stim.lane_text(a, lane);
           result.counterexample = os.str();
-          result.cycles_checked += c;
+          result.cycles_checked +=
+              static_cast<std::uint64_t>(c) * vectors_per_cycle;
           return result;
         }
       }
       sim_a.step();
       sim_b.step();
-      ++result.cycles_checked;
+      result.cycles_checked += vectors_per_cycle;
     }
   }
   result.equivalent = true;
   return result;
+}
+
+EquivResult check_equivalence(const Netlist& a, const Netlist& b,
+                              unsigned sequences, unsigned cycles,
+                              std::uint64_t seed, SimMode mode) {
+  EquivOptions opt;
+  opt.sequences = sequences;
+  opt.cycles = cycles;
+  opt.seed = seed;
+  opt.mode_a = mode;
+  opt.mode_b = mode;
+  return check_equivalence(a, b, opt);
 }
 
 }  // namespace osss::gate

@@ -5,6 +5,13 @@
 // counterexample.  Used by the zero-overhead experiment (R4) and the IP
 // integration tests to demonstrate the §12 "fully complies with its
 // original description" property at netlist level.
+//
+// The checker runs on any of the gate simulator's engines (EquivOptions).
+// With both sides on the 64-lane bit-parallel engine, every simulated
+// cycle checks 64 independent stimulus vectors.  Mixing engines (e.g.
+// event-driven vs. bit-parallel) cross-validates the engines themselves on
+// one netlist: check_equivalence(nl, nl, {.mode_a = kEvent, .mode_b =
+// kBitParallel}) must hold for every correct engine pair.
 
 #pragma once
 
@@ -12,22 +19,38 @@
 #include <string>
 
 #include "gate/netlist.hpp"
+#include "gate/sim.hpp"
 
 namespace osss::gate {
 
 struct EquivResult {
   bool equivalent = false;
-  std::uint64_t cycles_checked = 0;
-  std::string counterexample;  ///< empty when equivalent
+  std::uint64_t cycles_checked = 0;  ///< stimulus vectors compared
+  std::string counterexample;        ///< empty when equivalent
 
   explicit operator bool() const noexcept { return equivalent; }
 };
 
-/// Randomized sequential equivalence over `sequences` runs of `cycles`
-/// cycles each (each run starts from reset).  Both netlists must expose
-/// identical input and output bus interfaces (name and width).
+struct EquivOptions {
+  unsigned sequences = 8;  ///< independent runs, each from reset
+  unsigned cycles = 256;   ///< clock cycles per run
+  std::uint64_t seed = 1;
+  SimMode mode_a = SimMode::kEvent;  ///< engine simulating netlist `a`
+  SimMode mode_b = SimMode::kEvent;  ///< engine simulating netlist `b`
+};
+
+/// Randomized sequential equivalence check.  Both netlists must expose
+/// identical input and output bus interfaces (name and width).  64-lane
+/// stimulus is used when both engines are kBitParallel; otherwise the same
+/// scalar vector drives both sides each cycle.
+EquivResult check_equivalence(const Netlist& a, const Netlist& b,
+                              const EquivOptions& opt);
+
+/// Convenience overload with the historical positional parameters; `mode`
+/// selects the engine for both sides.
 EquivResult check_equivalence(const Netlist& a, const Netlist& b,
                               unsigned sequences = 8, unsigned cycles = 256,
-                              std::uint64_t seed = 1);
+                              std::uint64_t seed = 1,
+                              SimMode mode = SimMode::kEvent);
 
 }  // namespace osss::gate

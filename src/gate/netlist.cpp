@@ -356,6 +356,17 @@ std::vector<NetId> Netlist::topo_order() const {
   return order;
 }
 
+std::vector<std::uint32_t> Netlist::topo_levels() const {
+  std::vector<std::uint32_t> level(cells_.size(), kNoLevel);
+  for (const NetId id : topo_order()) {
+    std::uint32_t lvl = 0;
+    for (const NetId in : cells_[id].ins)
+      if (level[in] != kNoLevel) lvl = std::max(lvl, level[in] + 1);
+    level[id] = lvl;
+  }
+  return level;
+}
+
 void Netlist::validate() const {
   for (NetId id = 0; id < cells_.size(); ++id) {
     const Cell& c = cells_[id];

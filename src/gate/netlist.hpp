@@ -31,6 +31,9 @@ using sysc::Bits;
 using NetId = std::uint32_t;
 constexpr NetId kInvalidNet = static_cast<NetId>(-1);
 
+/// Level assigned to non-combinational cells by Netlist::topo_levels().
+constexpr std::uint32_t kNoLevel = static_cast<std::uint32_t>(-1);
+
 enum class CellKind : std::uint8_t {
   kConst0,
   kConst1,
@@ -151,6 +154,11 @@ public:
 
   /// Topological order of combinational cells (sources excluded).
   std::vector<NetId> topo_order() const;
+
+  /// Logic depth of every combinational cell: 0 for cells fed only by
+  /// sources (constants, inputs, DFF outputs), else 1 + max input level.
+  /// Sources themselves get kNoLevel.  Used by the levelized simulator.
+  std::vector<std::uint32_t> topo_levels() const;
 
   /// Remove logic not reachable from any output, DFF input or memory write
   /// port.  Returns the number of cells removed.  Net ids are NOT preserved.

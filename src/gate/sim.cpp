@@ -1,208 +1,417 @@
 #include "gate/sim.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace osss::gate {
 
-Simulator::Simulator(Netlist nl) : nl_(std::move(nl)) {
+const char* sim_mode_name(SimMode m) {
+  switch (m) {
+    case SimMode::kEvent: return "event";
+    case SimMode::kLevelized: return "levelized";
+    case SimMode::kBitParallel: return "bit-parallel";
+  }
+  return "?";
+}
+
+Simulator::Simulator(Netlist nl, SimMode mode)
+    : nl_(std::move(nl)),
+      mode_(mode),
+      lane_mask_(mode == SimMode::kBitParallel ? ~std::uint64_t{0}
+                                               : std::uint64_t{1}) {
   nl_.validate();
-  values_.assign(nl_.cells().size(), 0);
-  values_[nl_.const1()] = 1;
-  fanout_.resize(nl_.cells().size());
-  queued_.assign(nl_.cells().size(), 0);
+  const std::size_t n = nl_.cells().size();
+  values_.assign(n, 0);
+  values_[nl_.const1()] = lane_mask_;
+  queued_.assign(n, 0);
+  queue_.reserve(64);
+
+  // Sequential elements and memory read cells, cached once so step() never
+  // rescans the cell array.
   memq_cells_.resize(nl_.memories().size());
-  for (NetId id = 0; id < nl_.cells().size(); ++id) {
+  for (NetId id = 0; id < n; ++id) {
     const Cell& c = nl_.cells()[id];
-    if (c.kind == CellKind::kDff) continue;  // sequential boundary
-    for (const NetId in : c.ins) fanout_[in].push_back(id);
+    if (c.kind == CellKind::kDff) dffs_.push_back({id, c.ins[0], c.init});
     if (c.kind == CellKind::kMemQ) memq_cells_[c.param].push_back(id);
   }
+  dff_next_.resize(dffs_.size());
+
+  // CSR fanout arena (combinational users only; DFFs are the sequential
+  // boundary and are sampled in step(), never event-scheduled).
+  fanout_offset_.assign(n + 1, 0);
+  for (NetId id = 0; id < n; ++id) {
+    const Cell& c = nl_.cells()[id];
+    if (c.kind == CellKind::kDff) continue;
+    for (const NetId in : c.ins) ++fanout_offset_[in + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) fanout_offset_[i] += fanout_offset_[i - 1];
+  fanout_.resize(fanout_offset_[n]);
+  {
+    std::vector<std::uint32_t> cursor(fanout_offset_.begin(),
+                                      fanout_offset_.end() - 1);
+    for (NetId id = 0; id < n; ++id) {
+      const Cell& c = nl_.cells()[id];
+      if (c.kind == CellKind::kDff) continue;
+      for (const NetId in : c.ins) fanout_[cursor[in]++] = id;
+    }
+  }
+
+  // Level schedule: cells grouped by logic depth, plus the distinct fanout
+  // levels of every net so changes mark exactly the levels that must re-run.
+  level_of_ = nl_.topo_levels();
+  std::uint32_t num_levels = 0;
+  for (const std::uint32_t l : level_of_)
+    if (l != kNoLevel) num_levels = std::max(num_levels, l + 1);
+  level_offset_.assign(num_levels + 1, 0);
+  for (const std::uint32_t l : level_of_)
+    if (l != kNoLevel) ++level_offset_[l + 1];
+  for (std::size_t i = 1; i <= num_levels; ++i)
+    level_offset_[i] += level_offset_[i - 1];
+  level_cells_.resize(level_offset_[num_levels]);
+  {
+    std::vector<std::uint32_t> cursor(level_offset_.begin(),
+                                      level_offset_.end() - 1);
+    for (NetId id = 0; id < n; ++id)
+      if (level_of_[id] != kNoLevel) level_cells_[cursor[level_of_[id]]++] = id;
+  }
+  level_dirty_.assign(num_levels, 0);
+  flevel_offset_.assign(n + 1, 0);
+  {
+    std::vector<std::uint32_t> scratch;
+    for (NetId id = 0; id < n; ++id) {
+      scratch.clear();
+      for (std::uint32_t i = fanout_offset_[id]; i < fanout_offset_[id + 1];
+           ++i)
+        scratch.push_back(level_of_[fanout_[i]]);
+      std::sort(scratch.begin(), scratch.end());
+      scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                    scratch.end());
+      for (const std::uint32_t l : scratch) flevels_.push_back(l);
+      flevel_offset_[id + 1] =
+          static_cast<std::uint32_t>(flevels_.size());
+    }
+  }
+
+  // Memory state and flattened write-port sampling plan.
   for (const MemMacro& m : nl_.memories())
-    mem_state_.emplace_back(m.depth, Bits(m.width));
+    mem_.emplace_back(static_cast<std::size_t>(m.depth) * m.width, 0);
+  for (std::uint32_t mi = 0; mi < nl_.memories().size(); ++mi) {
+    const MemMacro& m = nl_.memories()[mi];
+    for (const auto& w : m.writes) {
+      WritePortRef ref;
+      ref.mem = mi;
+      ref.base = static_cast<std::uint32_t>(wp_nets_.size());
+      ref.addr_n = static_cast<std::uint32_t>(w.addr.size());
+      ref.width = m.width;
+      wp_nets_.push_back(w.enable);
+      wp_nets_.insert(wp_nets_.end(), w.addr.begin(), w.addr.end());
+      wp_nets_.insert(wp_nets_.end(), w.data.begin(), w.data.end());
+      wports_.push_back(ref);
+    }
+  }
+  wp_samp_.resize(wp_nets_.size());
+
   reset();
 }
 
-std::uint64_t Simulator::addr_of(const std::vector<NetId>& addr_nets) const {
+std::uint64_t Simulator::addr_of(const std::vector<NetId>& addr_nets,
+                                 unsigned lane) const {
   std::uint64_t a = 0;
-  for (std::size_t i = addr_nets.size(); i-- > 0;) {
-    a = (a << 1) | (values_[addr_nets[i]] ? 1u : 0u);
-  }
+  for (std::size_t i = addr_nets.size(); i-- > 0;)
+    a = (a << 1) | ((values_[addr_nets[i]] >> lane) & 1u);
   return a;
 }
 
-bool Simulator::eval_cell(NetId id) const {
-  const Cell& c = nl_.cells()[id];
-  auto v = [&](std::size_t i) { return values_[c.ins[i]] != 0; };
-  switch (c.kind) {
-    case CellKind::kConst0: return false;
-    case CellKind::kConst1: return true;
-    case CellKind::kInput: return values_[id] != 0;
-    case CellKind::kBuf: return v(0);
-    case CellKind::kInv: return !v(0);
-    case CellKind::kAnd2: return v(0) && v(1);
-    case CellKind::kOr2: return v(0) || v(1);
-    case CellKind::kNand2: return !(v(0) && v(1));
-    case CellKind::kNor2: return !(v(0) || v(1));
-    case CellKind::kXor2: return v(0) != v(1);
-    case CellKind::kXnor2: return v(0) == v(1);
-    case CellKind::kMux2: return v(0) ? v(1) : v(2);
-    case CellKind::kDff: return values_[id] != 0;  // held state
-    case CellKind::kMemQ: {
-      const MemMacro& m = nl_.memories()[c.param];
-      const std::uint64_t a = addr_of(c.ins);
-      if (a >= m.depth) return false;
-      return mem_state_[c.param][a].bit(c.param2);
-    }
+std::uint64_t Simulator::eval_memq(const Cell& c) const {
+  const MemMacro& m = nl_.memories()[c.param];
+  const std::vector<std::uint64_t>& mem = mem_[c.param];
+  if (mode_ != SimMode::kBitParallel) {
+    const std::uint64_t a = addr_of(c.ins, 0);
+    if (a >= m.depth) return 0;
+    return mem[a * m.width + c.param2] & 1u;
   }
-  return false;
+  // Lanes address independent words: gather bit c.param2 per lane.
+  std::uint64_t out = 0;
+  for (unsigned lane = 0; lane < kLanes; ++lane) {
+    const std::uint64_t a = addr_of(c.ins, lane);
+    if (a >= m.depth) continue;
+    out |= ((mem[a * m.width + c.param2] >> lane) & 1u) << lane;
+  }
+  return out;
 }
 
-void Simulator::enqueue_fanout(NetId id) {
-  for (const NetId u : fanout_[id]) {
-    if (!queued_[u]) {
-      queued_[u] = 1;
-      queue_.push_back(u);
+std::uint64_t Simulator::eval_cell(NetId id) const {
+  const Cell& c = nl_.cells()[id];
+  const auto w = [&](std::size_t i) { return values_[c.ins[i]]; };
+  switch (c.kind) {
+    case CellKind::kConst0: return 0;
+    case CellKind::kConst1: return lane_mask_;
+    case CellKind::kInput: return values_[id];
+    case CellKind::kBuf: return w(0);
+    case CellKind::kInv: return ~w(0) & lane_mask_;
+    case CellKind::kAnd2: return w(0) & w(1);
+    case CellKind::kOr2: return w(0) | w(1);
+    case CellKind::kNand2: return ~(w(0) & w(1)) & lane_mask_;
+    case CellKind::kNor2: return ~(w(0) | w(1)) & lane_mask_;
+    case CellKind::kXor2: return w(0) ^ w(1);
+    case CellKind::kXnor2: return ~(w(0) ^ w(1)) & lane_mask_;
+    case CellKind::kMux2: return (w(0) & w(1)) | (~w(0) & w(2));
+    case CellKind::kDff: return values_[id];  // held state
+    case CellKind::kMemQ: return eval_memq(c);
+  }
+  return 0;
+}
+
+void Simulator::on_net_changed(NetId id) {
+  if (mode_ == SimMode::kEvent) {
+    for (std::uint32_t i = fanout_offset_[id]; i < fanout_offset_[id + 1];
+         ++i) {
+      const NetId u = fanout_[i];
+      if (!queued_[u]) {
+        queued_[u] = 1;
+        queue_.push_back(u);
+      }
+    }
+  } else {
+    for (std::uint32_t i = flevel_offset_[id]; i < flevel_offset_[id + 1];
+         ++i)
+      level_dirty_[flevels_[i]] = 1;
+  }
+}
+
+void Simulator::wake_cell(NetId cell) {
+  if (mode_ == SimMode::kEvent) {
+    if (!queued_[cell]) {
+      queued_[cell] = 1;
+      queue_.push_back(cell);
+    }
+  } else {
+    level_dirty_[level_of_[cell]] = 1;
+  }
+}
+
+void Simulator::propagate_events() {
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    stats_.queue_high_water =
+        std::max<std::uint64_t>(stats_.queue_high_water, queue_.size() - head);
+    const NetId id = queue_[head];
+    queued_[id] = 0;
+    ++stats_.events;
+    const std::uint64_t nv = eval_cell(id);
+    if (nv != values_[id]) {
+      values_[id] = nv;
+      on_net_changed(id);
+    }
+  }
+  queue_.clear();
+}
+
+void Simulator::sweep_levels() {
+  // Dirty marks only ever propagate to strictly higher levels, so one
+  // ascending pass settles the netlist; quiescent levels cost one branch.
+  for (std::uint32_t lvl = 0; lvl < level_dirty_.size(); ++lvl) {
+    if (!level_dirty_[lvl]) {
+      ++stats_.levels_skipped;
+      continue;
+    }
+    level_dirty_[lvl] = 0;
+    ++stats_.levels_evaluated;
+    for (std::uint32_t i = level_offset_[lvl]; i < level_offset_[lvl + 1];
+         ++i) {
+      const NetId id = level_cells_[i];
+      ++stats_.events;
+      const std::uint64_t nv = eval_cell(id);
+      if (nv != values_[id]) {
+        values_[id] = nv;
+        on_net_changed(id);
+      }
     }
   }
 }
 
 void Simulator::propagate() {
-  while (!queue_.empty()) {
-    const NetId id = queue_.front();
-    queue_.pop_front();
-    queued_[id] = 0;
-    ++events_;
-    const bool nv = eval_cell(id);
-    if (nv != (values_[id] != 0)) {
-      values_[id] = nv ? 1 : 0;
-      enqueue_fanout(id);
-    }
-  }
+  if (mode_ == SimMode::kEvent)
+    propagate_events();
+  else
+    sweep_levels();
 }
 
 void Simulator::full_eval() {
-  for (const NetId id : nl_.topo_order()) {
-    ++events_;
-    values_[id] = eval_cell(id) ? 1 : 0;
+  // level_cells_ is a valid topological order (levels ascend).
+  for (const NetId id : level_cells_) {
+    ++stats_.events;
+    values_[id] = eval_cell(id);
   }
+  std::fill(level_dirty_.begin(), level_dirty_.end(), 0);
 }
 
 void Simulator::reset() {
-  for (NetId id = 0; id < nl_.cells().size(); ++id) {
-    const Cell& c = nl_.cells()[id];
-    if (c.kind == CellKind::kDff) values_[id] = c.init ? 1 : 0;
-  }
-  for (auto& mem : mem_state_)
-    for (auto& word : mem) word = Bits(word.width());
+  for (const DffBind& d : dffs_) values_[d.q] = d.init ? lane_mask_ : 0;
+  for (auto& mem : mem_) std::fill(mem.begin(), mem.end(), 0);
   queue_.clear();
   std::fill(queued_.begin(), queued_.end(), 0);
   full_eval();
 }
 
+const Bus& Simulator::find_bus(const std::vector<Bus>& buses,
+                               const std::string& name) const {
+  for (const Bus& b : buses)
+    if (b.name == name) return b;
+  throw std::logic_error("gate::Simulator: no bus " + name);
+}
+
 void Simulator::set_input(const std::string& bus, const Bits& value) {
-  for (const Bus& b : nl_.inputs()) {
-    if (b.name != bus) continue;
-    if (value.width() != b.nets.size())
-      throw std::logic_error("gate::Simulator: input width mismatch on " +
-                             bus);
-    for (std::size_t i = 0; i < b.nets.size(); ++i) {
-      const char nv = value.bit(i) ? 1 : 0;
-      if (values_[b.nets[i]] != nv) {
-        values_[b.nets[i]] = nv;
-        enqueue_fanout(b.nets[i]);
-      }
-    }
-    propagate();
-    return;
-  }
-  throw std::logic_error("gate::Simulator: no input bus " + bus);
-}
-
-void Simulator::set_input(const std::string& bus, std::uint64_t value) {
-  for (const Bus& b : nl_.inputs()) {
-    if (b.name == bus) {
-      set_input(bus, Bits(static_cast<unsigned>(b.nets.size()), value));
-      return;
-    }
-  }
-  throw std::logic_error("gate::Simulator: no input bus " + bus);
-}
-
-Bits Simulator::output(const std::string& bus) const {
-  for (const Bus& b : nl_.outputs()) {
-    if (b.name != bus) continue;
-    Bits out(static_cast<unsigned>(b.nets.size()));
-    for (std::size_t i = 0; i < b.nets.size(); ++i)
-      out.set_bit(i, values_[b.nets[i]] != 0);
-    return out;
-  }
-  throw std::logic_error("gate::Simulator: no output bus " + bus);
-}
-
-void Simulator::step() {
-  // Sample all DFF D pins and memory write ports with pre-edge values.
-  std::vector<std::pair<NetId, char>> dff_next;
-  for (NetId id = 0; id < nl_.cells().size(); ++id) {
-    const Cell& c = nl_.cells()[id];
-    if (c.kind == CellKind::kDff)
-      dff_next.emplace_back(id, values_[c.ins[0]]);
-  }
-  struct Write {
-    unsigned mem;
-    std::uint64_t addr;
-    Bits data;
-  };
-  std::vector<Write> writes;
-  for (unsigned mi = 0; mi < nl_.memories().size(); ++mi) {
-    const MemMacro& m = nl_.memories()[mi];
-    for (const auto& w : m.writes) {
-      if (!values_[w.enable]) continue;
-      const std::uint64_t a = addr_of(w.addr);
-      if (a >= m.depth) continue;
-      Bits data(m.width);
-      for (unsigned b = 0; b < m.width; ++b)
-        data.set_bit(b, values_[w.data[b]] != 0);
-      writes.push_back({mi, a, std::move(data)});
-    }
-  }
-  // Commit.
-  for (const auto& [id, nv] : dff_next) {
-    if (values_[id] != nv) {
-      values_[id] = nv;
-      enqueue_fanout(id);
-    }
-  }
-  for (auto& w : writes) {
-    if (mem_state_[w.mem][w.addr] != w.data) {
-      mem_state_[w.mem][w.addr] = std::move(w.data);
-      // All read ports of this memory may change.
-      for (const NetId q : memq_cells_[w.mem]) {
-        if (!queued_[q]) {
-          queued_[q] = 1;
-          queue_.push_back(q);
-        }
-      }
+  const Bus& b = find_bus(nl_.inputs(), bus);
+  if (value.width() != b.nets.size())
+    throw std::logic_error("gate::Simulator: input width mismatch on " + bus);
+  for (std::size_t i = 0; i < b.nets.size(); ++i) {
+    const std::uint64_t nv = value.bit(i) ? lane_mask_ : 0;  // broadcast
+    if (values_[b.nets[i]] != nv) {
+      values_[b.nets[i]] = nv;
+      on_net_changed(b.nets[i]);
     }
   }
   propagate();
-  ++cycles_;
+}
+
+void Simulator::set_input(const std::string& bus, std::uint64_t value) {
+  const Bus& b = find_bus(nl_.inputs(), bus);
+  const std::size_t n = b.nets.size();
+  if (n < 64 && (value >> n) != 0)
+    throw std::logic_error("gate::Simulator: value does not fit " +
+                           std::to_string(n) + "-bit input bus " + bus);
+  set_input(bus, Bits(static_cast<unsigned>(n), value));
+}
+
+void Simulator::set_input_lanes(const std::string& bus,
+                                const std::vector<std::uint64_t>& bit_lanes) {
+  if (mode_ != SimMode::kBitParallel)
+    throw std::logic_error(
+        "gate::Simulator: set_input_lanes requires kBitParallel mode");
+  const Bus& b = find_bus(nl_.inputs(), bus);
+  if (bit_lanes.size() != b.nets.size())
+    throw std::logic_error("gate::Simulator: input width mismatch on " + bus);
+  for (std::size_t i = 0; i < b.nets.size(); ++i) {
+    if (values_[b.nets[i]] != bit_lanes[i]) {
+      values_[b.nets[i]] = bit_lanes[i];
+      on_net_changed(b.nets[i]);
+    }
+  }
+  propagate();
+}
+
+Bits Simulator::output(const std::string& bus) const {
+  return output_lane(bus, 0);
+}
+
+Bits Simulator::output_lane(const std::string& bus, unsigned lane) const {
+  if (lane >= kLanes)
+    throw std::logic_error("gate::Simulator: lane out of range");
+  const Bus& b = find_bus(nl_.outputs(), bus);
+  Bits out(static_cast<unsigned>(b.nets.size()));
+  for (std::size_t i = 0; i < b.nets.size(); ++i)
+    out.set_bit(i, ((values_[b.nets[i]] >> lane) & 1u) != 0);
+  return out;
+}
+
+std::vector<std::uint64_t> Simulator::output_words(
+    const std::string& bus) const {
+  const Bus& b = find_bus(nl_.outputs(), bus);
+  std::vector<std::uint64_t> out(b.nets.size());
+  for (std::size_t i = 0; i < b.nets.size(); ++i)
+    out[i] = values_[b.nets[i]] & lane_mask_;
+  return out;
+}
+
+void Simulator::sample_writes() {
+  for (std::size_t i = 0; i < wp_nets_.size(); ++i)
+    wp_samp_[i] = values_[wp_nets_[i]];
+}
+
+void Simulator::commit_writes() {
+  for (const WritePortRef& wp : wports_) {
+    const std::uint64_t en = wp_samp_[wp.base] & lane_mask_;
+    if (!en) continue;
+    const std::uint64_t* addr = &wp_samp_[wp.base + 1];
+    const std::uint64_t* data = addr + wp.addr_n;
+    const MemMacro& m = nl_.memories()[wp.mem];
+    std::vector<std::uint64_t>& mem = mem_[wp.mem];
+    bool changed = false;
+    if (mode_ != SimMode::kBitParallel) {
+      std::uint64_t a = 0;
+      for (std::size_t i = wp.addr_n; i-- > 0;)
+        a = (a << 1) | (addr[i] & 1u);
+      if (a >= m.depth) continue;
+      for (std::uint32_t b = 0; b < wp.width; ++b) {
+        const std::uint64_t nv = data[b] & 1u;
+        std::uint64_t& word = mem[a * wp.width + b];
+        if (word != nv) {
+          word = nv;
+          changed = true;
+        }
+      }
+    } else {
+      for (unsigned lane = 0; lane < kLanes; ++lane) {
+        if (!((en >> lane) & 1u)) continue;
+        std::uint64_t a = 0;
+        for (std::size_t i = wp.addr_n; i-- > 0;)
+          a = (a << 1) | ((addr[i] >> lane) & 1u);
+        if (a >= m.depth) continue;
+        for (std::uint32_t b = 0; b < wp.width; ++b) {
+          std::uint64_t& word = mem[a * wp.width + b];
+          const std::uint64_t nw = (word & ~(std::uint64_t{1} << lane)) |
+                                   (((data[b] >> lane) & 1u) << lane);
+          if (nw != word) {
+            word = nw;
+            changed = true;
+          }
+        }
+      }
+    }
+    if (changed)
+      for (const NetId q : memq_cells_[wp.mem]) wake_cell(q);
+  }
+}
+
+void Simulator::step() {
+  // Sample all DFF D pins and memory write ports with pre-edge values,
+  // then commit — member scratch buffers, no per-cycle allocation.
+  for (std::size_t i = 0; i < dffs_.size(); ++i)
+    dff_next_[i] = values_[dffs_[i].d];
+  sample_writes();
+  for (std::size_t i = 0; i < dffs_.size(); ++i) {
+    const NetId q = dffs_[i].q;
+    if (values_[q] != dff_next_[i]) {
+      values_[q] = dff_next_[i];
+      on_net_changed(q);
+    }
+  }
+  commit_writes();
+  propagate();
+  ++stats_.cycles;
 }
 
 Bits Simulator::mem_word(unsigned mem, unsigned word) const {
-  return mem_state_.at(mem).at(word);
+  const MemMacro& m = nl_.memories().at(mem);
+  if (word >= m.depth)
+    throw std::out_of_range("gate::Simulator: memory word out of range");
+  Bits out(m.width);
+  for (unsigned b = 0; b < m.width; ++b)
+    out.set_bit(b, (mem_[mem][static_cast<std::size_t>(word) * m.width + b] &
+                    1u) != 0);
+  return out;
 }
 
 void Simulator::poke_mem(unsigned mem, unsigned word, const Bits& value) {
-  Bits& slot = mem_state_.at(mem).at(word);
-  if (slot.width() != value.width())
+  const MemMacro& m = nl_.memories().at(mem);
+  if (word >= m.depth)
+    throw std::out_of_range("gate::Simulator: memory word out of range");
+  if (m.width != value.width())
     throw std::logic_error("gate::Simulator: poke_mem width mismatch");
-  slot = value;
-  for (const NetId q : memq_cells_.at(mem)) {
-    if (!queued_[q]) {
-      queued_[q] = 1;
-      queue_.push_back(q);
-    }
-  }
+  for (unsigned b = 0; b < m.width; ++b)
+    mem_[mem][static_cast<std::size_t>(word) * m.width + b] =
+        value.bit(b) ? lane_mask_ : 0;
+  for (const NetId q : memq_cells_.at(mem)) wake_cell(q);
   propagate();
 }
 

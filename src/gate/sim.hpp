@@ -1,16 +1,28 @@
-// sim.hpp — event-driven gate-level simulator.
+// sim.hpp — gate-level simulator with three evaluation engines.
 //
 // Simulates a mapped netlist the way a conventional HDL simulator simulates
-// a post-synthesis netlist: per-gate evaluation driven by value-change
-// events.  It is deliberately the slowest of the three simulators in this
-// repository — the paper's claim of "much higher simulation speed than
-// conventional RTL simulators" for compiled SystemC is reproduced by
-// benchmarking the same design at the OO, RTL-IR and gate levels (R7).
+// a post-synthesis netlist.  Three engines share one value store:
+//
+//   * kEvent:       per-gate evaluation driven by value-change events (the
+//                   classic event wheel; slowest, the paper's conventional
+//                   netlist-simulator stand-in for R7);
+//   * kLevelized:   two-pass levelized sweep — cells are grouped by logic
+//                   depth at construction and each clock phase re-evaluates
+//                   only levels whose inputs changed (quiescent levels are
+//                   skipped wholesale);
+//   * kBitParallel: the levelized schedule with 64 stimulus lanes packed
+//                   into one std::uint64_t per net, so every sweep advances
+//                   64 independent vectors — this is what lets random-vector
+//                   equivalence checking and the R7 bench amortize the
+//                   netlist walk across a whole stimulus batch.
+//
+// All topology (fanout, DFF bindings, memory write ports, level schedule)
+// is precomputed once in the constructor; the per-cycle hot path performs
+// no allocation.
 
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
@@ -18,19 +30,58 @@
 
 namespace osss::gate {
 
+/// Evaluation engine selection (fixed per Simulator instance).
+enum class SimMode : std::uint8_t {
+  kEvent,        ///< scalar, event-driven
+  kLevelized,    ///< scalar, level-sweep with quiescent-level skipping
+  kBitParallel,  ///< 64-lane level-sweep (one stimulus vector per lane)
+};
+
+const char* sim_mode_name(SimMode m);
+
 class Simulator {
 public:
+  /// Stimulus lanes carried per net in kBitParallel mode.
+  static constexpr unsigned kLanes = 64;
+
+  /// Engine internals, exposed so benches report activity instead of just
+  /// wall-clock (R7).
+  struct Stats {
+    std::uint64_t events = 0;            ///< gate evaluations performed
+    std::uint64_t cycles = 0;            ///< clock edges stepped
+    std::uint64_t queue_high_water = 0;  ///< kEvent: max outstanding events
+    std::uint64_t levels_evaluated = 0;  ///< level sweeps that did work
+    std::uint64_t levels_skipped = 0;    ///< quiescent levels skipped
+  };
+
   /// Takes the netlist by value: the simulator owns its design, so
   /// `Simulator sim(lower_to_gates(m))` is safe.
-  explicit Simulator(Netlist nl);
+  explicit Simulator(Netlist nl, SimMode mode = SimMode::kEvent);
 
+  SimMode mode() const noexcept { return mode_; }
+
+  /// Drive an input bus.  In kBitParallel mode the value is broadcast to
+  /// all 64 lanes.
   void set_input(const std::string& bus, const Bits& value);
+  /// Convenience overload; throws if `value` has bits beyond the bus width.
   void set_input(const std::string& bus, std::uint64_t value);
+  /// Drive an input bus with 64 distinct vectors: `bit_lanes[i]` holds the
+  /// 64 lane values of bus bit i.  kBitParallel mode only.
+  void set_input_lanes(const std::string& bus,
+                       const std::vector<std::uint64_t>& bit_lanes);
+
+  /// Output bus value (lane 0 in kBitParallel mode).
   Bits output(const std::string& bus) const;
-  bool net(NetId id) const { return values_[id]; }
+  /// Output bus value of one stimulus lane.
+  Bits output_lane(const std::string& bus, unsigned lane) const;
+  /// All 64 lanes of an output bus: element i holds the lanes of bit i.
+  std::vector<std::uint64_t> output_words(const std::string& bus) const;
+
+  bool net(NetId id) const { return (values_[id] & 1u) != 0; }
+  std::uint64_t net_lanes(NetId id) const { return values_[id]; }
 
   /// One rising clock edge: DFFs sample, memory writes commit, changes
-  /// propagate event-driven until quiescent.
+  /// propagate until quiescent.
   void step();
   void step(unsigned n) {
     for (unsigned i = 0; i < n; ++i) step();
@@ -39,30 +90,85 @@ public:
   /// Asynchronous power-on reset: every DFF to its init value.
   void reset();
 
-  /// Total gate evaluations performed (the event-driven activity measure).
-  std::uint64_t event_count() const noexcept { return events_; }
-  std::uint64_t cycle_count() const noexcept { return cycles_; }
+  const Stats& stats() const noexcept { return stats_; }
+  /// Total gate evaluations performed (the activity measure).
+  std::uint64_t event_count() const noexcept { return stats_.events; }
+  std::uint64_t cycle_count() const noexcept { return stats_.cycles; }
 
-  /// Direct memory access for tests.
+  /// Direct memory access for tests (lane 0 in kBitParallel mode; pokes
+  /// broadcast to all lanes).
   Bits mem_word(unsigned mem, unsigned word) const;
   void poke_mem(unsigned mem, unsigned word, const Bits& value);
 
 private:
-  const Netlist nl_;
-  std::vector<char> values_;
-  std::vector<std::vector<NetId>> fanout_;
-  std::vector<std::vector<NetId>> memq_cells_;  // per memory
-  std::vector<std::vector<Bits>> mem_state_;
-  std::deque<NetId> queue_;
-  std::vector<char> queued_;
-  std::uint64_t events_ = 0;
-  std::uint64_t cycles_ = 0;
+  /// Cached write-port topology: samples live at
+  /// `wp_samp_[base]` = enable, `[base+1 .. base+addr_n]` = address nets,
+  /// `[base+1+addr_n .. +width]` = data nets.
+  struct WritePortRef {
+    std::uint32_t mem = 0;
+    std::uint32_t base = 0;
+    std::uint32_t addr_n = 0;
+    std::uint32_t width = 0;
+  };
 
-  bool eval_cell(NetId id) const;
-  void enqueue_fanout(NetId id);
-  void propagate();
+  const Netlist nl_;
+  SimMode mode_;
+  std::uint64_t lane_mask_;  ///< 1 in scalar modes, all-ones in kBitParallel
+
+  std::vector<std::uint64_t> values_;  ///< one word of lanes per net
+
+  // CSR fanout arena: combinational users of net n are
+  // fanout_[fanout_offset_[n] .. fanout_offset_[n+1]).
+  std::vector<std::uint32_t> fanout_offset_;
+  std::vector<NetId> fanout_;
+
+  // Sequential elements cached once at construction.
+  struct DffBind {
+    NetId q;
+    NetId d;
+    bool init;
+  };
+  std::vector<DffBind> dffs_;
+  std::vector<std::uint64_t> dff_next_;  ///< scratch, one word per DFF
+
+  // Level schedule: level l spans
+  // level_cells_[level_offset_[l] .. level_offset_[l+1]).
+  std::vector<std::uint32_t> level_of_;  ///< per cell; kNoLevel for sources
+  std::vector<std::uint32_t> level_offset_;
+  std::vector<NetId> level_cells_;
+  std::vector<char> level_dirty_;
+  // Distinct fanout levels of net n (for dirty marking):
+  // flevels_[flevel_offset_[n] .. flevel_offset_[n+1]).
+  std::vector<std::uint32_t> flevel_offset_;
+  std::vector<std::uint32_t> flevels_;
+
+  // Memories: mem_[m][addr * width + bit] is a word of lanes.
+  std::vector<std::vector<NetId>> memq_cells_;  // read-data cells per memory
+  std::vector<std::vector<std::uint64_t>> mem_;
+  std::vector<WritePortRef> wports_;
+  std::vector<NetId> wp_nets_;           ///< flattened en/addr/data nets
+  std::vector<std::uint64_t> wp_samp_;   ///< pre-edge samples (scratch)
+
+  // Event engine.
+  std::vector<NetId> queue_;
+  std::vector<char> queued_;
+
+  Stats stats_;
+
+  const Bus& find_bus(const std::vector<Bus>& buses,
+                      const std::string& name) const;
+  std::uint64_t eval_cell(NetId id) const;
+  std::uint64_t eval_memq(const Cell& c) const;
+  std::uint64_t addr_of(const std::vector<NetId>& addr_nets,
+                        unsigned lane) const;
+  void on_net_changed(NetId id);   ///< schedule fanout of a changed net
+  void wake_cell(NetId cell);      ///< schedule re-evaluation of one cell
+  void propagate();                ///< settle combinational logic
+  void propagate_events();
+  void sweep_levels();
   void full_eval();
-  std::uint64_t addr_of(const std::vector<NetId>& addr_nets) const;
+  void sample_writes();
+  void commit_writes();
 };
 
 }  // namespace osss::gate

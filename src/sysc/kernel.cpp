@@ -71,6 +71,9 @@ void Kernel::fire_hooks() {
 
 void Kernel::run_until(Time end) {
   if (!initialized_) initialize();
+  // Time never rewinds: a caller passing end < now() gets the settle
+  // behaviour below but keeps the current timestamp.
+  if (end < now_) end = now_;
   // Settle any writes made from outside process context (testbench code
   // between run calls).
   if (!update_queue_.empty() || !runnable_.empty()) {

@@ -112,6 +112,7 @@ public:
   void run_for(Time duration) { run_until(now_ + duration); }
 
   /// Advance simulation up to and including events at time `end`.
+  /// An `end` in the past settles pending writes but never rewinds now().
   void run_until(Time end);
 
   /// Hook invoked after every converged timestep (used by VCD tracing).

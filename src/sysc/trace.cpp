@@ -41,9 +41,12 @@ void TraceFile::write_header() {
 }
 
 std::string TraceFile::value_text(const Entry& e, const Bits& v) {
-  if (e.width == 1) return (v.bit(0) ? "1" : "0") + e.id;
+  // Getters may return a Bits of a different size than the declared $var
+  // width; zero-extend/truncate so the VCD stays well-formed.
+  const Bits w = v.width() == e.width ? v : v.resize(e.width);
+  if (e.width == 1) return (w.bit(0) ? "1" : "0") + e.id;
   std::string text = "b";
-  for (unsigned i = v.width(); i-- > 0;) text += v.bit(i) ? '1' : '0';
+  for (unsigned i = e.width; i-- > 0;) text += w.bit(i) ? '1' : '0';
   return text + " " + e.id;
 }
 

@@ -77,6 +77,164 @@ TEST(GateSim, UnknownBusThrows) {
   EXPECT_THROW(sim.set_input("a", Bits(3, 0)), std::logic_error);
 }
 
+TEST(GateSim, SetInputU64RejectsOversizedValue) {
+  Builder b("m");
+  Wire a = b.input("a", 2);
+  b.output("o", a);
+  Simulator sim(lower_to_gates(b.take()));
+  sim.set_input("a", 3);  // widest value that fits
+  EXPECT_EQ(sim.output("o").to_u64(), 3u);
+  EXPECT_THROW(sim.set_input("a", 4), std::logic_error);
+  EXPECT_THROW(sim.set_input("a", 0x100), std::logic_error);
+  EXPECT_EQ(sim.output("o").to_u64(), 3u);  // failed set left state alone
+}
+
+namespace modes {
+
+rtl::Module accumulator() {
+  Builder b("acc");
+  Wire en = b.input("en", 1);
+  Wire d = b.input("d", 8);
+  Wire q = b.reg("acc", 8);
+  b.connect(q, b.mux(en, b.add(q, d), q));
+  b.output("acc", q);
+  return b.take();
+}
+
+rtl::Module mem_pipe() {
+  Builder b("m");
+  Wire waddr = b.input("waddr", 2);
+  Wire raddr = b.input("raddr", 2);
+  Wire data = b.input("d", 8);
+  Wire wen = b.input("wen", 1);
+  rtl::MemHandle mem = b.memory("ram", 4, 8);
+  b.mem_write(mem, waddr, data, wen);
+  b.output("q", b.mem_read(mem, raddr));
+  return b.take();
+}
+
+}  // namespace modes
+
+TEST(GateSim, EnginesAgreeCycleByCycle) {
+  // The same stimulus through all three engines must produce identical
+  // outputs every cycle (bit-parallel compared on lane 0 via broadcast).
+  const Netlist nl = lower_to_gates(modes::accumulator());
+  Simulator ev(nl, SimMode::kEvent);
+  Simulator lv(nl, SimMode::kLevelized);
+  Simulator bp(nl, SimMode::kBitParallel);
+  std::uint64_t x = 0x1234;
+  for (unsigned c = 0; c < 200; ++c) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const std::uint64_t en = (x >> 17) & 1;
+    const std::uint64_t d = (x >> 24) & 0xff;
+    for (Simulator* s : {&ev, &lv, &bp}) {
+      s->set_input("en", en);
+      s->set_input("d", d);
+    }
+    ASSERT_EQ(ev.output("acc"), lv.output("acc")) << "cycle " << c;
+    ASSERT_EQ(ev.output("acc"), bp.output("acc")) << "cycle " << c;
+    for (Simulator* s : {&ev, &lv, &bp}) s->step();
+  }
+}
+
+TEST(GateSim, BitParallelLanesAreIndependent) {
+  // Lane l accumulates its own operand stream; each lane must match a
+  // scalar reference model.
+  Simulator sim(lower_to_gates(modes::accumulator()),
+                SimMode::kBitParallel);
+  std::uint8_t model[Simulator::kLanes] = {};
+  for (unsigned c = 0; c < 40; ++c) {
+    std::vector<std::uint64_t> d(8, 0);
+    std::uint64_t en = 0;
+    for (unsigned lane = 0; lane < Simulator::kLanes; ++lane) {
+      const std::uint8_t operand =
+          static_cast<std::uint8_t>(lane * 31 + c * 7 + 1);
+      const bool enable = ((lane + c) % 3) != 0;
+      for (unsigned b = 0; b < 8; ++b)
+        d[b] |= static_cast<std::uint64_t>((operand >> b) & 1u) << lane;
+      en |= static_cast<std::uint64_t>(enable) << lane;
+      if (enable) model[lane] = static_cast<std::uint8_t>(model[lane] +
+                                                          operand);
+    }
+    sim.set_input_lanes("d", d);
+    sim.set_input_lanes("en", {en});
+    sim.step();
+    for (unsigned lane : {0u, 1u, 17u, 63u})
+      ASSERT_EQ(sim.output_lane("acc", lane).to_u64(), model[lane])
+          << "cycle " << c << " lane " << lane;
+  }
+}
+
+TEST(GateSim, SetInputLanesRequiresBitParallelMode) {
+  Simulator sim(lower_to_gates(modes::accumulator()), SimMode::kEvent);
+  EXPECT_THROW(sim.set_input_lanes("en", {1}), std::logic_error);
+}
+
+TEST(GateSim, SameCycleMemWriteReachesReadPort) {
+  for (const SimMode mode :
+       {SimMode::kEvent, SimMode::kLevelized, SimMode::kBitParallel}) {
+    Simulator sim(lower_to_gates(modes::mem_pipe()), mode);
+    sim.set_input("waddr", 1);
+    sim.set_input("raddr", 1);
+    sim.set_input("d", 0x5a);
+    sim.set_input("wen", 1);
+    EXPECT_EQ(sim.output("q").to_u64(), 0u) << sim_mode_name(mode);
+    sim.step();  // write commits AND the read port re-evaluates
+    EXPECT_EQ(sim.output("q").to_u64(), 0x5au) << sim_mode_name(mode);
+    // Disabled write leaves the word (and the read port) untouched.
+    sim.set_input("d", 0x33);
+    sim.set_input("wen", 0);
+    sim.step();
+    EXPECT_EQ(sim.output("q").to_u64(), 0x5au) << sim_mode_name(mode);
+  }
+}
+
+TEST(GateSim, BitParallelLanesWriteDistinctMemoryWords) {
+  Simulator sim(lower_to_gates(modes::mem_pipe()), SimMode::kBitParallel);
+  // Lane l writes value 0x10+l to address l%4, all lanes enabled.
+  std::vector<std::uint64_t> waddr(2, 0), d(8, 0);
+  for (unsigned lane = 0; lane < Simulator::kLanes; ++lane) {
+    const unsigned a = lane % 4;
+    const unsigned v = 0x10 + lane;
+    for (unsigned b = 0; b < 2; ++b)
+      waddr[b] |= static_cast<std::uint64_t>((a >> b) & 1u) << lane;
+    for (unsigned b = 0; b < 8; ++b)
+      d[b] |= static_cast<std::uint64_t>((v >> b) & 1u) << lane;
+  }
+  sim.set_input_lanes("waddr", waddr);
+  sim.set_input_lanes("raddr", waddr);  // read back what we wrote
+  sim.set_input_lanes("d", d);
+  sim.set_input("wen", 1);
+  sim.step();
+  for (unsigned lane : {0u, 5u, 42u, 63u})
+    EXPECT_EQ(sim.output_lane("q", lane).to_u64(), 0x10u + lane)
+        << "lane " << lane;
+}
+
+TEST(GateSim, StatsExposeEngineInternals) {
+  Builder b("counter");
+  Wire q = b.reg("count", 16);
+  b.connect(q, b.add(q, b.constant(16, 1)));
+  b.output("count", q);
+  const Netlist nl = lower_to_gates(b.take());
+
+  Simulator ev(nl, SimMode::kEvent);
+  ev.step(64);
+  EXPECT_EQ(ev.stats().cycles, 64u);
+  EXPECT_GT(ev.stats().events, 0u);
+  EXPECT_GE(ev.stats().queue_high_water, 1u);
+  EXPECT_EQ(ev.stats().levels_evaluated, 0u);  // event engine has no levels
+
+  Simulator lv(nl, SimMode::kLevelized);
+  lv.step(64);
+  EXPECT_EQ(lv.stats().cycles, 64u);
+  EXPECT_GT(lv.stats().levels_evaluated, 0u);
+  // A ripple counter's deep carry levels are quiescent most cycles.
+  EXPECT_GT(lv.stats().levels_skipped, 0u);
+  EXPECT_EQ(lv.stats().queue_high_water, 0u);
+  EXPECT_EQ(lv.output("count").to_u64(), ev.output("count").to_u64());
+}
+
 TEST(GateSim, CycleCountTracksSteps) {
   Builder b("m");
   Wire q = b.reg("r", 1);

@@ -247,5 +247,81 @@ TEST(Kernel, RunForZeroSettlesPendingWrites) {
   EXPECT_EQ(s.read(), 3);
 }
 
+TEST(Kernel, RunUntilPastTimeDoesNotRewind) {
+  Context ctx;
+  Clock clk(ctx, "clk", 1000);
+  int count = 0;
+  ctx.create_cthread("t", clk.signal(), [&]() -> Behavior {
+    for (;;) {
+      ++count;
+      co_await wait();
+    }
+  });
+  ctx.run_for(5000);  // posedges at 500..4500 -> count = 5 (+1 init)
+  EXPECT_EQ(ctx.now(), 5000u);
+  const int at_5000 = count;
+
+  ctx.kernel().run_until(1000);  // in the past: must be a no-op on time
+  EXPECT_EQ(ctx.now(), 5000u);
+  EXPECT_EQ(count, at_5000);
+
+  // The schedule is intact: the next edge at 5500 still fires on time.
+  ctx.run_for(1000);
+  EXPECT_EQ(ctx.now(), 6000u);
+  EXPECT_EQ(count, at_5000 + 1);
+}
+
+TEST(Kernel, EventsExactlyAtEndAreRun) {
+  Context ctx;
+  Clock clk(ctx, "clk", 1000);
+  std::vector<Time> posedges;
+  Signal<bool>& c = clk.signal();
+  ctx.create_method(
+      "watch",
+      [&] {
+        if (c.read()) posedges.push_back(ctx.now());
+      },
+      {&c});
+  ctx.kernel().run_until(500);  // first posedge is exactly at end
+  ASSERT_EQ(posedges.size(), 1u);
+  EXPECT_EQ(posedges[0], 500u);
+  EXPECT_EQ(ctx.now(), 500u);
+}
+
+TEST(Kernel, BackToBackRunUntilSameTimeIsIdempotent) {
+  Context ctx;
+  Clock clk(ctx, "clk", 1000);
+  int count = 0;
+  ctx.create_cthread("t", clk.signal(), [&]() -> Behavior {
+    for (;;) {
+      ++count;
+      co_await wait();
+    }
+  });
+  ctx.kernel().run_until(2000);
+  const int first = count;
+  EXPECT_EQ(ctx.now(), 2000u);
+  ctx.kernel().run_until(2000);  // same instant again: nothing re-fires
+  EXPECT_EQ(ctx.now(), 2000u);
+  EXPECT_EQ(count, first);
+}
+
+TEST(Kernel, ZeroDurationRunForMidSimDoesNotFire) {
+  Context ctx;
+  Clock clk(ctx, "clk", 1000);
+  int count = 0;
+  ctx.create_cthread("t", clk.signal(), [&]() -> Behavior {
+    for (;;) {
+      ++count;
+      co_await wait();
+    }
+  });
+  ctx.run_for(2000);
+  const int before = count;
+  ctx.run_for(0);
+  EXPECT_EQ(ctx.now(), 2000u);
+  EXPECT_EQ(count, before);
+}
+
 }  // namespace
 }  // namespace osss::sysc

@@ -123,6 +123,26 @@ TEST_F(TraceTest, RegistrationAfterRunThrows) {
   EXPECT_THROW(tf.trace(late, "late"), std::logic_error);
 }
 
+TEST_F(TraceTest, GetterWidthMismatchIsNormalizedToVarWidth) {
+  // A getter returning a Bits sized differently from the declared $var
+  // width must be zero-extended/truncated, not dumped verbatim.
+  {
+    Context ctx;
+    Clock clk(ctx, "clk", 1000);
+    TraceFile tf(ctx, path_);
+    tf.trace_fn("narrow", 4, [] { return Bits(8, 0xab); });   // truncate
+    tf.trace_fn("wide", 8, [] { return Bits(4, 0x5); });      // zero-extend
+    tf.trace_fn("flag", 1, [] { return Bits(8, 0xfe); });     // 1-bit var
+    ctx.run_for(1500);
+  }
+  const std::string vcd = slurp(path_);
+  EXPECT_NE(vcd.find("$var wire 4 ! narrow $end"), std::string::npos);
+  EXPECT_NE(vcd.find("b1011 !"), std::string::npos);       // 0xab -> 0xb
+  EXPECT_NE(vcd.find("b00000101 \""), std::string::npos);  // 0x5 zext to 8
+  EXPECT_NE(vcd.find("0#"), std::string::npos);  // lsb of 0xfe is 0
+  EXPECT_EQ(vcd.find("b10101011"), std::string::npos);  // raw 8-bit leak
+}
+
 TEST_F(TraceTest, UnchangedSignalsProduceNoChurn) {
   std::uint64_t changes = 0;
   {
