@@ -367,6 +367,28 @@ std::vector<std::uint32_t> Netlist::topo_levels() const {
   return level;
 }
 
+void Netlist::mutate_cell(NetId id, CellKind new_kind) {
+  if (id >= cells_.size()) bad(name_, "mutate_cell: bad net id");
+  auto arity = [this](CellKind k) -> int {
+    switch (k) {
+      case CellKind::kBuf:
+      case CellKind::kInv: return 1;
+      case CellKind::kAnd2:
+      case CellKind::kOr2:
+      case CellKind::kNand2:
+      case CellKind::kNor2:
+      case CellKind::kXor2:
+      case CellKind::kXnor2: return 2;
+      case CellKind::kMux2: return 3;
+      default: bad(name_, "mutate_cell: not a logic cell"); return -1;
+    }
+  };
+  if (arity(cells_[id].kind) != arity(new_kind))
+    bad(name_, "mutate_cell: arity mismatch");
+  cells_[id].kind = new_kind;
+  strash_.clear();  // hashed shapes are stale after mutation
+}
+
 void Netlist::validate() const {
   for (NetId id = 0; id < cells_.size(); ++id) {
     const Cell& c = cells_[id];

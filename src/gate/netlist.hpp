@@ -148,6 +148,14 @@ public:
   std::size_t dff_count() const;
   std::size_t gate_count() const;  ///< combinational cells excl. const/input
 
+  /// Fault injection for verification suites: replace the kind of a
+  /// combinational logic cell with another of identical arity (e.g.
+  /// kAnd2 -> kOr2, kInv -> kBuf).  The mutant is only meant to be
+  /// simulated — structural hashing invariants no longer hold, so do not
+  /// keep building gates on a mutated netlist.  Throws std::logic_error
+  /// on non-logic cells or arity mismatch.
+  void mutate_cell(NetId id, CellKind new_kind);
+
   /// Structural validation; throws std::logic_error on dangling nets,
   /// unconnected DFFs or combinational cycles.
   void validate() const;

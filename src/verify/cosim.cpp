@@ -1,0 +1,332 @@
+#include "verify/cosim.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace osss::verify {
+
+// --- Model defaults --------------------------------------------------------
+
+void Model::set_input_lanes(const std::string& name,
+                            const std::vector<std::uint64_t>& bit_lanes) {
+  Bits v(static_cast<unsigned>(bit_lanes.size()));
+  for (unsigned i = 0; i < v.width(); ++i)
+    v.set_bit(i, (bit_lanes[i] & 1u) != 0);
+  set_input(name, v);
+}
+
+Bits Model::output_lane(const std::string& name, unsigned) {
+  return output(name);
+}
+
+std::vector<std::uint64_t> Model::output_words(const std::string& name,
+                                               unsigned width) {
+  const Bits v = output(name);
+  std::vector<std::uint64_t> words(width, 0);
+  for (unsigned i = 0; i < width && i < v.width(); ++i)
+    words[i] = v.bit(i) ? 1u : 0u;
+  return words;
+}
+
+// --- InterpModel -----------------------------------------------------------
+
+InterpModel::InterpModel(hls::Behavior beh, std::string name)
+    : Model(std::move(name)), beh_(std::move(beh)), interp_(beh_) {}
+
+void InterpModel::enable_fsm_coverage(unsigned transition_count) {
+  fsm_ = std::make_unique<FsmCoverage>(beh_.state_count, transition_count);
+}
+
+void InterpModel::reset() { interp_.reset(); }
+
+void InterpModel::set_input(const std::string& name, const Bits& value) {
+  interp_.set_input(name, value);
+}
+
+Bits InterpModel::output(const std::string& name) {
+  return interp_.var(name);
+}
+
+void InterpModel::step() { interp_.step(); }
+
+void InterpModel::sample_coverage() {
+  if (fsm_) fsm_->sample(interp_.current_state());
+}
+
+void InterpModel::report_coverage(CoverageReport& r) const {
+  if (!fsm_) return;
+  r.items.push_back(fsm_->state_item(name()));
+  r.items.push_back(fsm_->transition_item(name()));
+}
+
+// --- RtlModel --------------------------------------------------------------
+
+RtlModel::RtlModel(rtl::Module m, std::string name)
+    : Model(std::move(name)), sim_(std::move(m)) {}
+
+void RtlModel::reset() { sim_.reset(); }
+
+void RtlModel::set_input(const std::string& name, const Bits& value) {
+  sim_.set_input(name, value);
+}
+
+Bits RtlModel::output(const std::string& name) { return sim_.output(name); }
+
+void RtlModel::step() { sim_.step(); }
+
+// --- GateModel -------------------------------------------------------------
+
+GateModel::GateModel(gate::Netlist nl, gate::SimMode mode, std::string name)
+    : Model(name.empty() ? std::string("gate:") + gate::sim_mode_name(mode)
+                         : std::move(name)),
+      nl_(std::move(nl)),
+      sim_(nl_, mode) {}
+
+void GateModel::enable_toggle_coverage() {
+  toggle_ = std::make_unique<ToggleCoverage>(nl_);
+}
+
+unsigned GateModel::lanes() const {
+  return sim_.mode() == gate::SimMode::kBitParallel ? gate::Simulator::kLanes
+                                                    : 1;
+}
+
+void GateModel::reset() { sim_.reset(); }
+
+void GateModel::set_input(const std::string& name, const Bits& value) {
+  sim_.set_input(name, value);
+}
+
+void GateModel::set_input_lanes(const std::string& name,
+                                const std::vector<std::uint64_t>& bit_lanes) {
+  sim_.set_input_lanes(name, bit_lanes);
+}
+
+Bits GateModel::output(const std::string& name) { return sim_.output(name); }
+
+Bits GateModel::output_lane(const std::string& name, unsigned lane) {
+  return sim_.output_lane(name, lane);
+}
+
+std::vector<std::uint64_t> GateModel::output_words(const std::string& name,
+                                                   unsigned) {
+  return sim_.output_words(name);
+}
+
+void GateModel::step() { sim_.step(); }
+
+void GateModel::sample_coverage() {
+  if (toggle_) toggle_->sample(sim_);
+}
+
+void GateModel::report_coverage(CoverageReport& r) const {
+  if (toggle_) r.items.push_back(toggle_->item(name()));
+}
+
+// --- Mismatch --------------------------------------------------------------
+
+std::string Mismatch::describe(const std::vector<IoDecl>& input_decls,
+                               bool show_lane) const {
+  std::ostringstream os;
+  os << "sequence " << sequence << " cycle " << cycle;
+  if (show_lane) os << " lane " << lane;
+  os << ": output " << output << " = " << ref_value.to_hex_string() << " ("
+     << ref_model << ") vs " << dut_value.to_hex_string() << " (" << dut_model
+     << ") with ";
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const std::string name =
+        i < input_decls.size() ? input_decls[i].name : "in" + std::to_string(i);
+    os << name << "=" << inputs[i].to_hex_string() << " ";
+  }
+  return os.str();
+}
+
+// --- CoSim -----------------------------------------------------------------
+
+Model& CoSim::add_model(std::unique_ptr<Model> m) {
+  models_.push_back(std::move(m));
+  return *models_.back();
+}
+
+void CoSim::add_input(const std::string& name, unsigned width) {
+  inputs_.push_back(IoDecl{name, width});
+}
+
+void CoSim::add_output(const std::string& name, unsigned width) {
+  outputs_.push_back(IoDecl{name, width});
+}
+
+void CoSim::declare_io(const hls::Behavior& beh) {
+  for (const hls::InputDecl& in : beh.inputs) add_input(in.name, in.width);
+  for (const hls::VarDecl& v : beh.vars)
+    if (v.is_output) add_output(v.name, v.width);
+}
+
+void CoSim::declare_io(const rtl::Module& m) {
+  for (const rtl::PortRef& p : m.inputs())
+    add_input(p.name, m.node(p.node).width);
+  for (const rtl::PortRef& p : m.outputs())
+    add_output(p.name, m.node(p.node).width);
+}
+
+void CoSim::declare_io(const gate::Netlist& nl) {
+  for (const gate::Bus& b : nl.inputs())
+    add_input(b.name, static_cast<unsigned>(b.nets.size()));
+  for (const gate::Bus& b : nl.outputs())
+    add_output(b.name, static_cast<unsigned>(b.nets.size()));
+}
+
+void CoSim::declare_stimulus(StimGen& gen, StimConstraint c) const {
+  for (const IoDecl& in : inputs_)
+    if (!gen.declared(in.name)) gen.declare(in.name, in.width, c);
+}
+
+unsigned CoSim::common_lanes() const {
+  unsigned lanes = gate::Simulator::kLanes;
+  for (const auto& m : models_)
+    if (m->lanes() < lanes) lanes = m->lanes();
+  return lanes == 0 ? 1 : lanes;
+}
+
+void CoSim::reset_models() {
+  for (auto& m : models_) m->reset();
+}
+
+void CoSim::finish(RunResult& r) const {
+  if (!coverage_) return;
+  for (const auto& m : models_) m->report_coverage(r.coverage);
+}
+
+bool CoSim::score_cycle(RunResult& r, unsigned lanes_active,
+                        unsigned sequence, std::uint64_t cycle) {
+  const std::uint64_t active_mask =
+      lanes_active >= 64 ? ~0ull : ((1ull << lanes_active) - 1);
+  Model& ref = *models_.front();
+  for (const IoDecl& out : outputs_) {
+    const std::vector<std::uint64_t> wr = ref.output_words(out.name, out.width);
+    for (std::size_t mi = 1; mi < models_.size(); ++mi) {
+      Model& dut = *models_[mi];
+      const std::vector<std::uint64_t> wd =
+          dut.output_words(out.name, out.width);
+      std::uint64_t diff = 0;
+      for (std::size_t i = 0; i < wr.size(); ++i) diff |= wr[i] ^ wd[i];
+      diff &= active_mask;
+      r.checks += lanes_active;
+      if (diff == 0) continue;
+      unsigned lane = 0;
+      while (((diff >> lane) & 1u) == 0) ++lane;
+      r.mismatch.sequence = sequence;
+      r.mismatch.cycle = cycle;
+      r.mismatch.lane = lane;
+      r.mismatch.output = out.name;
+      r.mismatch.ref_model = ref.name();
+      r.mismatch.dut_model = dut.name();
+      r.mismatch.ref_value = ref.output_lane(out.name, lane);
+      r.mismatch.dut_value = dut.output_lane(out.name, lane);
+      return false;
+    }
+  }
+  return true;
+}
+
+RunResult CoSim::run(StimGen& gen, unsigned cycles, unsigned sequences) {
+  if (models_.empty()) throw std::logic_error("CoSim: no models attached");
+  RunResult r;
+  const unsigned lanes = common_lanes();
+  const bool wide = lanes > 1;
+
+  // Per-cycle stimulus recording: rec[c][i] holds the lane words of input
+  // i's bits (scalar runs use lane 0 only).
+  std::vector<std::vector<std::vector<std::uint64_t>>> rec;
+
+  for (unsigned s = 0; s < sequences; ++s) {
+    reset_models();
+    rec.clear();
+    for (unsigned c = 0; c < cycles; ++c) {
+      rec.emplace_back();
+      rec.back().reserve(inputs_.size());
+      for (const IoDecl& in : inputs_) {
+        if (wide) {
+          std::vector<std::uint64_t> words = gen.next_lanes(in.name);
+          for (auto& m : models_) {
+            if (m->lanes() > 1) {
+              m->set_input_lanes(in.name, words);
+            } else {
+              Bits v(in.width);
+              for (unsigned i = 0; i < in.width; ++i)
+                v.set_bit(i, (words[i] & 1u) != 0);
+              m->set_input(in.name, v);
+            }
+          }
+          rec.back().push_back(std::move(words));
+        } else {
+          const Bits v = gen.next(in.name);
+          for (auto& m : models_) m->set_input(in.name, v);
+          std::vector<std::uint64_t> words(in.width, 0);
+          for (unsigned i = 0; i < in.width; ++i)
+            words[i] = v.bit(i) ? 1u : 0u;
+          rec.back().push_back(std::move(words));
+        }
+      }
+      if (!score_cycle(r, lanes, s, c)) {
+        // Extract the offending lane's scalar stimulus, including the
+        // failing cycle, for shrinking / replay.
+        const unsigned lane = r.mismatch.lane;
+        r.failing_trace.inputs = inputs_;
+        for (const auto& cyc : rec) {
+          std::vector<Bits> values;
+          values.reserve(inputs_.size());
+          for (std::size_t i = 0; i < inputs_.size(); ++i) {
+            Bits v(inputs_[i].width);
+            for (unsigned bi = 0; bi < inputs_[i].width; ++bi)
+              v.set_bit(bi, ((cyc[i][bi] >> lane) & 1u) != 0);
+            values.push_back(std::move(v));
+          }
+          r.failing_trace.cycles.push_back(std::move(values));
+        }
+        r.mismatch.inputs = r.failing_trace.cycles.back();
+        finish(r);
+        return r;
+      }
+      if (coverage_)
+        for (auto& m : models_) m->sample_coverage();
+      for (auto& m : models_) m->step();
+      ++r.cycles;
+      r.vectors += lanes;
+    }
+  }
+  r.ok = true;
+  finish(r);
+  return r;
+}
+
+RunResult CoSim::run_trace(const Trace& t) {
+  if (models_.empty()) throw std::logic_error("CoSim: no models attached");
+  RunResult r;
+  reset_models();
+  for (std::size_t c = 0; c < t.cycles.size(); ++c) {
+    const std::vector<Bits>& values = t.cycles[c];
+    if (values.size() != inputs_.size())
+      throw std::invalid_argument("CoSim: trace input arity mismatch");
+    for (std::size_t i = 0; i < inputs_.size(); ++i)
+      for (auto& m : models_) m->set_input(inputs_[i].name, values[i]);
+    if (!score_cycle(r, 1, 0, c)) {
+      r.mismatch.inputs = values;
+      r.failing_trace.inputs = inputs_;
+      r.failing_trace.cycles.assign(t.cycles.begin(),
+                                    t.cycles.begin() + c + 1);
+      finish(r);
+      return r;
+    }
+    if (coverage_)
+      for (auto& m : models_) m->sample_coverage();
+    for (auto& m : models_) m->step();
+    ++r.cycles;
+    ++r.vectors;
+  }
+  r.ok = true;
+  finish(r);
+  return r;
+}
+
+}  // namespace osss::verify

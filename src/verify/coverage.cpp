@@ -1,0 +1,86 @@
+#include "verify/coverage.hpp"
+
+#include <sstream>
+
+namespace osss::verify {
+
+const CoverageItem* CoverageReport::find(const std::string& model,
+                                         const std::string& kind) const {
+  for (const CoverageItem& it : items)
+    if (it.model == model && it.kind == kind) return &it;
+  return nullptr;
+}
+
+std::string CoverageReport::text() const {
+  std::ostringstream os;
+  for (const CoverageItem& it : items) {
+    os << it.model << " " << it.kind << ": " << it.covered;
+    if (it.total != 0) {
+      os.precision(1);
+      os << "/" << it.total << " (" << std::fixed << it.percent() << "%)";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+ToggleCoverage::ToggleCoverage(const gate::Netlist& nl) {
+  const std::size_t n = nl.cells().size();
+  track_.assign(n, 0);
+  seen0_.assign(n, 0);
+  seen1_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const gate::Cell& c = nl.cells()[i];
+    if (c.kind == gate::CellKind::kConst0 ||
+        c.kind == gate::CellKind::kConst1)
+      continue;
+    track_[i] = 1;
+    ++tracked_;
+  }
+}
+
+void ToggleCoverage::sample(const gate::Simulator& sim) {
+  // All lanes participate: in bit-parallel mode one sample covers 64
+  // stimulus vectors.  In scalar modes only lane 0 carries defined data.
+  const std::uint64_t mask =
+      sim.mode() == gate::SimMode::kBitParallel ? ~0ull : 1ull;
+  for (std::size_t i = 0; i < track_.size(); ++i) {
+    if (!track_[i]) continue;
+    const std::uint64_t v =
+        sim.net_lanes(static_cast<gate::NetId>(i)) & mask;
+    if (v != 0) seen1_[i] = 1;
+    if (v != mask) seen0_[i] = 1;
+  }
+}
+
+std::uint64_t ToggleCoverage::covered() const {
+  std::uint64_t n = 0;
+  for (std::size_t i = 0; i < track_.size(); ++i)
+    if (track_[i] && seen0_[i] && seen1_[i]) ++n;
+  return n;
+}
+
+CoverageItem ToggleCoverage::item(const std::string& model) const {
+  return CoverageItem{model, "net-toggle", covered(), total()};
+}
+
+FsmCoverage::FsmCoverage(unsigned state_count, unsigned transition_count)
+    : state_count_(state_count), transition_count_(transition_count) {}
+
+void FsmCoverage::sample(unsigned state) {
+  states_.insert(state);
+  if (have_prev_) transitions_.insert({prev_, state});
+  prev_ = state;
+  have_prev_ = true;
+}
+
+CoverageItem FsmCoverage::state_item(const std::string& model) const {
+  return CoverageItem{model, "fsm-state", states_covered(), state_count_};
+}
+
+CoverageItem FsmCoverage::transition_item(const std::string& model) const {
+  return CoverageItem{model, "fsm-transition", transitions_covered(),
+                      transition_count_};
+}
+
+}  // namespace osss::verify

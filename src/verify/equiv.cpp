@@ -1,0 +1,80 @@
+// equiv.cpp — gate::check_equivalence as a thin wrapper over verify::CoSim.
+//
+// The historical bespoke lockstep loop is gone: both netlists are attached
+// to one co-simulation (each on its requested engine) and scored by the
+// shared scoreboard.  This file lives in the verify library because the
+// co-sim depends on the gate library; the public interface stays
+// gate/equiv.hpp.
+
+#include "gate/equiv.hpp"
+
+#include <sstream>
+
+#include "verify/cosim.hpp"
+#include "verify/stimgen.hpp"
+
+namespace osss::gate {
+
+namespace {
+
+std::string interface_of(const Netlist& n) {
+  std::ostringstream os;
+  for (const Bus& bus : n.inputs())
+    os << "i:" << bus.name << ":" << bus.nets.size() << ";";
+  for (const Bus& bus : n.outputs())
+    os << "o:" << bus.name << ":" << bus.nets.size() << ";";
+  return os.str();
+}
+
+}  // namespace
+
+std::uint64_t derive_equiv_seed(const Netlist& a, const Netlist& b) {
+  return verify::StimGen::derive(0x0551e9u, a.name() + "|" + b.name());
+}
+
+EquivResult check_equivalence(const Netlist& a, const Netlist& b,
+                              const EquivOptions& opt) {
+  EquivResult result;
+  if (interface_of(a) != interface_of(b)) {
+    result.counterexample = "interface mismatch: [" + interface_of(a) +
+                            "] vs [" + interface_of(b) + "]";
+    return result;
+  }
+
+  verify::CoSim cs;
+  cs.add(std::make_unique<verify::GateModel>(a, opt.mode_a, "a"));
+  cs.add(std::make_unique<verify::GateModel>(b, opt.mode_b, "b"));
+  cs.declare_io(a);
+
+  result.seed = opt.seed != 0 ? opt.seed : derive_equiv_seed(a, b);
+  verify::StimGen gen(result.seed);
+  cs.declare_stimulus(gen);
+
+  const verify::RunResult run = cs.run(gen, opt.cycles, opt.sequences);
+  result.cycles_checked = run.vectors;
+  if (run.ok) {
+    result.equivalent = true;
+    return result;
+  }
+  const bool lanes = opt.mode_a == SimMode::kBitParallel &&
+                     opt.mode_b == SimMode::kBitParallel;
+  std::ostringstream os;
+  os << run.mismatch.describe(cs.inputs(), lanes) << "(seed " << result.seed
+     << ")";
+  result.counterexample = os.str();
+  return result;
+}
+
+EquivResult check_equivalence(const Netlist& a, const Netlist& b,
+                              unsigned sequences, unsigned cycles,
+                              std::uint64_t seed, SimMode mode) {
+  EquivOptions opt;
+  opt.sequences = sequences;
+  opt.cycles = cycles;
+  opt.seed = seed;
+  opt.mode_a = mode;
+  opt.mode_b = mode;
+  return check_equivalence(a, b, opt);
+}
+
+}  // namespace osss::gate

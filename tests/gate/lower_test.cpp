@@ -7,11 +7,10 @@
 
 #include <gtest/gtest.h>
 
-#include <random>
-
 #include "gate/sim.hpp"
 #include "rtl/builder.hpp"
 #include "rtl/sim.hpp"
+#include "verify/stimgen.hpp"
 
 namespace osss::gate {
 namespace {
@@ -20,17 +19,21 @@ using rtl::Builder;
 using rtl::Wire;
 
 /// Random co-simulation of an RTL module against its gate lowering.
+/// Stimulus comes from verify::StimGen under the repo's seed discipline:
+/// the effective seed is derived from the base and the module name and is
+/// part of every failure message, so a CI log line reproduces the run.
 void check_equivalence(const rtl::Module& m, unsigned cycles, unsigned seed,
                        const std::vector<std::string>& input_names) {
   rtl::Simulator ref(m);
   Netlist nl = lower_to_gates(m);
   Simulator dut(nl);
-  std::mt19937_64 rng(seed);
+  verify::StimGen gen(
+      verify::StimGen::derive(verify::env_seed(seed), "lower/" + m.name()));
+  for (const auto& name : input_names)
+    gen.declare(name, m.node(m.find_input(name)).width);
   for (unsigned c = 0; c < cycles; ++c) {
     for (const auto& name : input_names) {
-      const unsigned w = m.node(m.find_input(name)).width;
-      Bits v(w);
-      for (unsigned i = 0; i < w; ++i) v.set_bit(i, (rng() & 1) != 0);
+      const Bits v = gen.next(name);
       ref.set_input(name, v);
       dut.set_input(name, v);
     }
@@ -38,7 +41,8 @@ void check_equivalence(const rtl::Module& m, unsigned cycles, unsigned seed,
       EXPECT_TRUE(ref.output(out.name) == dut.output(out.name))
           << "cycle " << c << " output " << out.name << ": rtl "
           << ref.output(out.name).to_hex_string() << " vs gate "
-          << dut.output(out.name).to_hex_string();
+          << dut.output(out.name).to_hex_string() << " (seed "
+          << gen.seed() << ")";
     }
     ref.step();
     dut.step();

@@ -6,12 +6,11 @@
 
 #include <gtest/gtest.h>
 
-#include <random>
-
 #include "gate/lower.hpp"
 #include "gate/sim.hpp"
 #include "hls/interp.hpp"
 #include "rtl/sim.hpp"
+#include "verify/stimgen.hpp"
 
 namespace osss::hls {
 namespace {
@@ -19,7 +18,9 @@ namespace {
 using meta::constant;
 
 /// Drive interpreter, RTL sim and gate sim with the same random inputs and
-/// require identical outputs every cycle.
+/// require identical outputs every cycle.  Stimulus follows the repo's
+/// seed discipline (verify::StimGen): the derived seed is printed in every
+/// failure message so a CI log line reproduces the run.
 void check_equivalence(const Behavior& beh, const Options& opt,
                        unsigned cycles, unsigned seed) {
   Interpreter ref(beh);
@@ -31,11 +32,12 @@ void check_equivalence(const Behavior& beh, const Options& opt,
   for (const VarDecl& v : beh.vars)
     if (v.is_output) outputs.push_back(v.name);
 
-  std::mt19937_64 rng(seed);
+  verify::StimGen gen(
+      verify::StimGen::derive(verify::env_seed(seed), "synth/" + beh.name));
+  for (const InputDecl& in : beh.inputs) gen.declare(in.name, in.width);
   for (unsigned c = 0; c < cycles; ++c) {
     for (const InputDecl& in : beh.inputs) {
-      Bits v(in.width);
-      for (unsigned i = 0; i < in.width; ++i) v.set_bit(i, (rng() & 1) != 0);
+      const Bits v = gen.next(in.name);
       ref.set_input(in.name, v);
       rsim.set_input(in.name, v);
       gsim.set_input(in.name, v);
@@ -44,9 +46,11 @@ void check_equivalence(const Behavior& beh, const Options& opt,
       EXPECT_TRUE(ref.var(out) == rsim.output(out))
           << "cycle " << c << " output " << out << ": interp "
           << ref.var(out).to_hex_string() << " vs rtl "
-          << rsim.output(out).to_hex_string();
+          << rsim.output(out).to_hex_string() << " (seed " << gen.seed()
+          << ")";
       EXPECT_TRUE(ref.var(out) == gsim.output(out))
-          << "cycle " << c << " output " << out << " (gate)";
+          << "cycle " << c << " output " << out << " (gate, seed "
+          << gen.seed() << ")";
     }
     ref.step();
     rsim.step();

@@ -1,120 +1,95 @@
 // Fuzz test: randomly generated RTL modules must survive lowering and be
 // cycle-equivalent between the RTL simulator and the gate netlist — the
 // broad-spectrum version of the per-operator lowering tests.
+//
+// Runs on the unified verification stack: verify::random_module generates
+// the designs (including the memory / shared-mux / polymorphic-dispatch
+// shapes the OSSS synthesizer emits), verify::CoSim scoreboards RTL
+// against gates, and any mismatch is shrunk to a minimal replay record
+// that is saved to disk and whose seed is part of the assertion message —
+// a CI log line alone reproduces the failure (set OSSS_FUZZ_SEED).
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <random>
 
 #include "gate/lower.hpp"
-#include "gate/sim.hpp"
-#include "rtl/builder.hpp"
-#include "rtl/sim.hpp"
+#include "verify/cosim.hpp"
+#include "verify/random_module.hpp"
+#include "verify/shrink.hpp"
+#include "verify/stimgen.hpp"
 
 namespace osss {
 namespace {
 
-using rtl::Builder;
-using rtl::Wire;
+/// Build the module for one (variant, index) fuzz case.
+rtl::Module make_case(const verify::RandomModuleOptions& opt,
+                      std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  return verify::random_module(rng, opt);
+}
 
-/// Generate a random module: a pool of wires grown by random operations,
-/// a few registers with random feedback, random outputs.
-rtl::Module random_module(std::mt19937_64& rng, unsigned ops) {
-  Builder b("fuzz");
-  std::vector<Wire> pool;
-  const unsigned n_inputs = 2 + static_cast<unsigned>(rng() % 3);
-  for (unsigned i = 0; i < n_inputs; ++i) {
-    const unsigned w = 1 + static_cast<unsigned>(rng() % 12);
-    pool.push_back(b.input("in" + std::to_string(i), w));
-  }
-  std::vector<Wire> regs;
-  const unsigned n_regs = 1 + static_cast<unsigned>(rng() % 3);
-  for (unsigned i = 0; i < n_regs; ++i) {
-    const unsigned w = 1 + static_cast<unsigned>(rng() % 12);
-    const Wire q = b.reg("r" + std::to_string(i), w,
-                         rtl::Bits(w, rng()));
-    regs.push_back(q);
-    pool.push_back(q);
-  }
-  auto pick = [&]() -> Wire { return pool[rng() % pool.size()]; };
-  auto pick_w = [&](unsigned w) -> Wire {
-    // Find or adapt a wire of width w.
-    for (unsigned tries = 0; tries < 8; ++tries) {
-      const Wire c = pick();
-      if (c.width == w) return c;
+void run_case(const char* variant, const verify::RandomModuleOptions& opt,
+              unsigned index) {
+  const std::uint64_t seed = verify::StimGen::derive(
+      verify::env_seed(7919), std::string("fuzz_lowering/") + variant + "/" +
+                                  std::to_string(index));
+  const rtl::Module m = make_case(opt, seed);
+
+  verify::CoSim cs;
+  cs.add(std::make_unique<verify::RtlModel>(m));
+  cs.add(std::make_unique<verify::GateModel>(gate::lower_to_gates(m),
+                                             gate::SimMode::kEvent, "gate"));
+  cs.declare_io(m);
+  verify::StimGen gen(seed);
+  cs.declare_stimulus(gen);
+
+  const verify::RunResult r = cs.run(gen, 120);
+  if (!r.ok) {
+    verify::ShrinkResult shrunk = verify::shrink(cs, r.failing_trace);
+    verify::ReplayRecord rec;
+    rec.design = std::string("fuzz_lowering_") + variant;
+    rec.seed = seed;
+    rec.note = shrunk.final_run.mismatch.describe(cs.inputs(), false);
+    rec.trace = shrunk.trace;
+    std::string path = "(unsaved)";
+    try {
+      path = verify::save_replay(rec);
+    } catch (const std::exception&) {
     }
-    Wire c = pick();
-    return c.width >= w ? b.trunc(c, w) : b.zext(c, w);
-  };
-  for (unsigned i = 0; i < ops; ++i) {
-    const Wire a = pick();
-    switch (rng() % 14) {
-      case 0: pool.push_back(b.add(a, pick_w(a.width))); break;
-      case 1: pool.push_back(b.sub(a, pick_w(a.width))); break;
-      case 2:
-        if (a.width <= 8) pool.push_back(b.mul(a, pick_w(a.width)));
-        break;
-      case 3: pool.push_back(b.and_(a, pick_w(a.width))); break;
-      case 4: pool.push_back(b.or_(a, pick_w(a.width))); break;
-      case 5: pool.push_back(b.xor_(a, pick_w(a.width))); break;
-      case 6: pool.push_back(b.not_(a)); break;
-      case 7:
-        pool.push_back(b.shli(a, static_cast<unsigned>(rng() % (a.width + 1))));
-        break;
-      case 8:
-        pool.push_back(
-            b.ashri(a, static_cast<unsigned>(rng() % (a.width + 1))));
-        break;
-      case 9: pool.push_back(b.eq(a, pick_w(a.width))); break;
-      case 10: pool.push_back(b.ult(a, pick_w(a.width))); break;
-      case 11:
-        pool.push_back(b.mux(pick_w(1), a, pick_w(a.width)));
-        break;
-      case 12:
-        if (a.width > 1)
-          pool.push_back(
-              b.slice(a, a.width - 1,
-                      static_cast<unsigned>(rng() % a.width)));
-        break;
-      case 13: pool.push_back(b.concat({a, pick()})); break;
-    }
-    if (pool.back().width > 40)
-      pool.back() = b.trunc(pool.back(), 40);  // keep widths sane
+    FAIL() << "variant " << variant << " index " << index << " seed " << seed
+           << ": " << r.mismatch.describe(cs.inputs(), false)
+           << "\nshrunk to " << shrunk.trace.length() << " cycles (from "
+           << shrunk.original_cycles << "): " << rec.note << "\nreplay: "
+           << path;
   }
-  for (unsigned i = 0; i < regs.size(); ++i)
-    b.connect(regs[i], pick_w(regs[i].width));
-  const unsigned n_outputs = 1 + static_cast<unsigned>(rng() % 4);
-  for (unsigned i = 0; i < n_outputs; ++i)
-    b.output("out" + std::to_string(i), pick());
-  return b.take();
 }
 
 class FuzzLowering : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(FuzzLowering, RtlAndGateAgree) {
-  std::mt19937_64 rng(GetParam() * 7919 + 3);
-  const rtl::Module m = random_module(rng, 40);
-  rtl::Simulator ref(m);
-  gate::Simulator dut(gate::lower_to_gates(m));
-  for (unsigned cycle = 0; cycle < 120; ++cycle) {
-    for (const auto& in : m.inputs()) {
-      const unsigned w = m.node(in.node).width;
-      rtl::Bits v(w);
-      for (unsigned i = 0; i < w; ++i) v.set_bit(i, (rng() & 1) != 0);
-      ref.set_input(in.name, v);
-      dut.set_input(in.name, v);
-    }
-    for (const auto& out : m.outputs()) {
-      ASSERT_TRUE(ref.output(out.name) == dut.output(out.name))
-          << "seed " << GetParam() << " cycle " << cycle << " output "
-          << out.name;
-    }
-    ref.step();
-    dut.step();
-  }
+  run_case("base", {40, false, false, false}, GetParam());
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, FuzzLowering, ::testing::Range(0u, 24u));
+TEST_P(FuzzLowering, WithMemories) {
+  run_case("mem", {32, true, false, false}, GetParam());
+}
+
+TEST_P(FuzzLowering, WithSharedMuxShapes) {
+  run_case("shared", {32, false, true, false}, GetParam());
+}
+
+TEST_P(FuzzLowering, WithPolymorphicDispatch) {
+  run_case("poly", {32, false, false, true}, GetParam());
+}
+
+TEST_P(FuzzLowering, WithEverything) {
+  run_case("all", {48, true, true, true}, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzLowering,
+                         ::testing::Range(0u, verify::env_iters(12)));
 
 }  // namespace
 }  // namespace osss

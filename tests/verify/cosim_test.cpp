@@ -1,0 +1,185 @@
+// Tests for the lockstep co-simulation driver: multi-level agreement,
+// lane accounting, scoreboard mismatch reporting and trace replay.
+
+#include "verify/cosim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gate/lower.hpp"
+#include "hls/behavior.hpp"
+#include "hls/synth.hpp"
+#include "meta/expr.hpp"
+#include "rtl/builder.hpp"
+#include "verify/stimgen.hpp"
+
+namespace osss::verify {
+namespace {
+
+using meta::constant;
+
+/// start -> 3 busy cycles accumulating the input, then idle.
+hls::Behavior pulse_behavior() {
+  hls::BehaviorBuilder bb("pulse");
+  auto start = bb.input("start", 1);
+  auto data = bb.input("data", 4);
+  auto busy = bb.var("busy", 1, 0, true);
+  auto acc = bb.var("acc", 8, 0, true);
+  bb.assign(busy, constant(1, 0));
+  bb.assign(acc, constant(8, 0));
+  bb.wait();
+  bb.loop([&] {
+    bb.if_(start, [&] {
+      bb.assign(busy, constant(1, 1));
+      bb.assign(acc, meta::add(acc, meta::zext(data, 8)));
+      bb.wait();
+      bb.assign(acc, meta::add(acc, meta::zext(data, 8)));
+      bb.wait();
+      bb.assign(busy, constant(1, 0));
+    });
+    bb.wait();
+  });
+  return bb.take();
+}
+
+rtl::Module xor_pipe(const char* reg_name = "q") {
+  rtl::Builder b("pipe");
+  rtl::Wire a = b.input("a", 8);
+  rtl::Wire x = b.input("b", 8);
+  rtl::Wire q = b.reg(reg_name, 8);
+  b.connect(q, b.xor_(a, x));
+  b.output("o", q);
+  return b.take();
+}
+
+TEST(CoSim, ThreeLevelsAgreeOnBehaviour) {
+  const hls::Behavior beh = pulse_behavior();
+  CoSim cs;
+  cs.add(std::make_unique<InterpModel>(beh));
+  cs.add(std::make_unique<RtlModel>(hls::synthesize(beh)));
+  cs.add(std::make_unique<GateModel>(
+      gate::lower_to_gates(hls::synthesize(beh)), gate::SimMode::kEvent));
+  cs.declare_io(beh);
+  StimGen gen(StimGen::derive(1, "CoSim.ThreeLevels"));
+  cs.declare_stimulus(gen);
+  const RunResult r = cs.run(gen, 200, 2);
+  EXPECT_TRUE(r.ok) << r.mismatch.describe(cs.inputs(), false) << " seed "
+                    << gen.seed();
+  EXPECT_EQ(r.cycles, 400u);
+  EXPECT_EQ(r.vectors, 400u);
+  // 2 non-reference models × 2 outputs × 400 cycles.
+  EXPECT_EQ(r.checks, 1600u);
+}
+
+TEST(CoSim, BitParallelPairScores64LanesPerCycle) {
+  const rtl::Module m = xor_pipe();
+  CoSim cs;
+  cs.add(std::make_unique<GateModel>(gate::lower_to_gates(m),
+                                     gate::SimMode::kBitParallel, "a"));
+  cs.add(std::make_unique<GateModel>(gate::lower_to_gates(m),
+                                     gate::SimMode::kBitParallel, "b"));
+  cs.declare_io(m);
+  StimGen gen(3);
+  cs.declare_stimulus(gen);
+  const RunResult r = cs.run(gen, 50);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.cycles, 50u);
+  EXPECT_EQ(r.vectors, 50u * gate::Simulator::kLanes);
+}
+
+TEST(CoSim, MixedLaneModelsFallBackToScalar) {
+  const rtl::Module m = xor_pipe();
+  CoSim cs;
+  cs.add(std::make_unique<RtlModel>(m));
+  cs.add(std::make_unique<GateModel>(gate::lower_to_gates(m),
+                                     gate::SimMode::kBitParallel, "gate"));
+  cs.declare_io(m);
+  StimGen gen(4);
+  cs.declare_stimulus(gen);
+  const RunResult r = cs.run(gen, 40);
+  EXPECT_TRUE(r.ok) << r.mismatch.describe(cs.inputs(), false);
+  EXPECT_EQ(r.vectors, 40u);
+}
+
+TEST(CoSim, ScoreboardCatchesInjectedFault) {
+  const rtl::Module m = xor_pipe();
+  gate::Netlist good = gate::lower_to_gates(m);
+  gate::Netlist bad = gate::lower_to_gates(m);
+  // Flip the first 2-input logic gate found: a single-gate mutation.
+  bool mutated = false;
+  for (gate::NetId id = 0; id < bad.cells().size() && !mutated; ++id) {
+    const gate::CellKind k = bad.cells()[id].kind;
+    if (k == gate::CellKind::kXor2) {
+      bad.mutate_cell(id, gate::CellKind::kXnor2);
+      mutated = true;
+    }
+  }
+  ASSERT_TRUE(mutated);
+
+  CoSim cs;
+  cs.add(std::make_unique<GateModel>(std::move(good), gate::SimMode::kEvent,
+                                     "good"));
+  cs.add(std::make_unique<GateModel>(std::move(bad), gate::SimMode::kEvent,
+                                     "bad"));
+  cs.declare_io(m);
+  StimGen gen(5);
+  cs.declare_stimulus(gen);
+  const RunResult r = cs.run(gen, 64);
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.mismatch.output, "o");
+  EXPECT_EQ(r.mismatch.ref_model, "good");
+  EXPECT_EQ(r.mismatch.dut_model, "bad");
+  EXPECT_FALSE(r.failing_trace.cycles.empty());
+  EXPECT_EQ(r.failing_trace.cycles.size(), r.mismatch.cycle + 1);
+  // The recorded trace must reproduce the mismatch exactly.
+  const RunResult again = cs.run_trace(r.failing_trace);
+  ASSERT_FALSE(again.ok);
+  EXPECT_EQ(again.mismatch.cycle, r.mismatch.cycle);
+  EXPECT_EQ(again.mismatch.output, r.mismatch.output);
+}
+
+TEST(CoSim, FailingLaneExtractedFromWideRun) {
+  const rtl::Module m = xor_pipe();
+  gate::Netlist bad = gate::lower_to_gates(m);
+  bool mutated = false;
+  for (gate::NetId id = 0; id < bad.cells().size() && !mutated; ++id) {
+    if (bad.cells()[id].kind == gate::CellKind::kXor2) {
+      bad.mutate_cell(id, gate::CellKind::kXnor2);
+      mutated = true;
+    }
+  }
+  ASSERT_TRUE(mutated);
+  CoSim cs;
+  cs.add(std::make_unique<GateModel>(gate::lower_to_gates(m),
+                                     gate::SimMode::kBitParallel, "good"));
+  cs.add(std::make_unique<GateModel>(std::move(bad),
+                                     gate::SimMode::kBitParallel, "bad"));
+  cs.declare_io(m);
+  StimGen gen(6);
+  cs.declare_stimulus(gen);
+  const RunResult r = cs.run(gen, 32);
+  ASSERT_FALSE(r.ok);
+  // Whatever lane failed, its scalar extraction must fail standalone too.
+  const RunResult scalar = cs.run_trace(r.failing_trace);
+  EXPECT_FALSE(scalar.ok);
+}
+
+TEST(CoSim, DescribeMentionsOutputAndInputs) {
+  Mismatch mm;
+  mm.sequence = 1;
+  mm.cycle = 7;
+  mm.output = "o";
+  mm.ref_model = "rtl";
+  mm.dut_model = "gate";
+  mm.ref_value = Bits(8, 0x12);
+  mm.dut_value = Bits(8, 0x13);
+  mm.inputs = {Bits(8, 0xab)};
+  const std::string text = mm.describe({{"a", 8}}, false);
+  EXPECT_NE(text.find("output o"), std::string::npos);
+  EXPECT_NE(text.find("a=0xab"), std::string::npos);
+  EXPECT_NE(text.find("cycle 7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace osss::verify
