@@ -6,7 +6,9 @@
 //
 //   * OO model:   the compiled C++ ExpoCU on the simulation kernel
 //                 (the paper's "binary executable for simulation");
-//   * RTL level:  the synthesized modules on the cycle-level RTL simulator;
+//   * RTL level:  the synthesized modules on the RTL simulator, once per
+//                 engine — the Bits interpreter (the oracle) and the
+//                 compiled word-level tape, scalar and 64-lane;
 //   * gate level: the mapped netlists on the gate simulator, once per
 //                 engine — event-driven (the "conventional RTL/netlist
 //                 simulator" stand-in), levelized two-pass, and 64-lane
@@ -67,17 +69,121 @@ void drive_frame(Sim& hist, Sim& thresh, std::uint64_t frame) {
   }
 }
 
-void BM_RtlCycleSim(benchmark::State& state) {
-  rtl::Simulator hist(build_histogram_rtl());
-  rtl::Simulator thresh(hls::synthesize(build_threshold_osss()));
+void report_rtl_stats(benchmark::State& state,
+                      const rtl::Simulator::Stats& hist,
+                      const rtl::Simulator::Stats& thresh) {
+  state.counters["nodes_evaluated"] =
+      static_cast<double>(hist.nodes_evaluated + thresh.nodes_evaluated);
+  state.counters["levels_evaluated"] =
+      static_cast<double>(hist.levels_evaluated + thresh.levels_evaluated);
+  state.counters["levels_skipped"] =
+      static_cast<double>(hist.levels_skipped + thresh.levels_skipped);
+  state.counters["tape_len"] =
+      static_cast<double>(hist.tape_len + thresh.tape_len);
+  state.counters["arena_words"] =
+      static_cast<double>(hist.arena_words + thresh.arena_words);
+  state.counters["const_folded"] =
+      static_cast<double>(hist.const_folded + thresh.const_folded);
+  state.counters["pruned"] = static_cast<double>(hist.pruned + thresh.pruned);
+  state.counters["fused"] = static_cast<double>(hist.fused + thresh.fused);
+}
+
+void rtl_scalar_bench(benchmark::State& state, rtl::SimMode mode) {
+  rtl::Simulator hist(build_histogram_rtl(), mode);
+  rtl::Simulator thresh(hls::synthesize(build_threshold_osss()), mode);
+  // Resolve every port once; the frame loop drives cached handles.
+  const rtl::InputHandle pixel = hist.input_handle("pixel");
+  const rtl::InputHandle pixel_valid = hist.input_handle("pixel_valid");
+  const rtl::InputHandle vsync = hist.input_handle("vsync");
+  const rtl::OutputHandle bin_valid = hist.output_handle("bin_valid");
+  const rtl::OutputHandle bin_index = hist.output_handle("bin_index");
+  const rtl::OutputHandle bin_count = hist.output_handle("bin_count");
+  const rtl::OutputHandle frame_done = hist.output_handle("frame_done");
+  const rtl::InputHandle t_bin_valid = thresh.input_handle("bin_valid");
+  const rtl::InputHandle t_bin_index = thresh.input_handle("bin_index");
+  const rtl::InputHandle t_bin_count = thresh.input_handle("bin_count");
+  const rtl::InputHandle t_frame_done = thresh.input_handle("frame_done");
+  const rtl::OutputHandle mean = thresh.output_handle("mean");
   std::uint64_t frame = 0;
   for (auto _ : state) {
-    drive_frame(hist, thresh, frame++);
-    benchmark::DoNotOptimize(thresh.output("mean"));
+    for (unsigned i = 0; i < kCyclesPerFrame; ++i) {
+      const bool valid = i < kPixelsPerFrame;
+      hist.set_input(pixel, (i * 7 + frame * 13) & 0xff);
+      hist.set_input(pixel_valid, std::uint64_t{valid ? 1u : 0u});
+      hist.set_input(vsync, std::uint64_t{(valid && i == 0) ? 1u : 0u});
+      hist.step();
+      thresh.set_input(t_bin_valid, hist.output_u64(bin_valid));
+      thresh.set_input(t_bin_index, hist.output_u64(bin_index));
+      thresh.set_input(t_bin_count, hist.output_u64(bin_count));
+      thresh.set_input(t_frame_done, hist.output_u64(frame_done));
+      thresh.step();
+    }
+    ++frame;
+    benchmark::DoNotOptimize(thresh.output(mean));
   }
   state.SetItemsProcessed(
       static_cast<std::int64_t>(frame) * kCyclesPerFrame);
   state.counters["level"] = 1;  // RTL
+  if (mode == rtl::SimMode::kTape)
+    report_rtl_stats(state, hist.stats(), thresh.stats());
+}
+
+void BM_RtlCycleSim(benchmark::State& state) {
+  rtl_scalar_bench(state, rtl::SimMode::kInterp);
+}
+
+void BM_RtlTapeSim(benchmark::State& state) {
+  rtl_scalar_bench(state, rtl::SimMode::kTape);
+}
+
+void BM_RtlTapeLanesSim(benchmark::State& state) {
+  // One simulated cycle advances 64 independent frames through the tape:
+  // lane l runs the pixel stream of frame `frame + l` (the RTL analogue of
+  // the gate bit-parallel row).
+  constexpr unsigned kLanes = 64;
+  rtl::Simulator hist(build_histogram_rtl(), rtl::SimMode::kTape, kLanes);
+  rtl::Simulator thresh(hls::synthesize(build_threshold_osss()),
+                        rtl::SimMode::kTape, kLanes);
+  const rtl::InputHandle pixel = hist.input_handle("pixel");
+  const rtl::InputHandle pixel_valid = hist.input_handle("pixel_valid");
+  const rtl::InputHandle vsync = hist.input_handle("vsync");
+  const rtl::OutputHandle bin_valid = hist.output_handle("bin_valid");
+  const rtl::OutputHandle bin_index = hist.output_handle("bin_index");
+  const rtl::OutputHandle bin_count = hist.output_handle("bin_count");
+  const rtl::OutputHandle frame_done = hist.output_handle("frame_done");
+  const rtl::InputHandle t_bin_valid = thresh.input_handle("bin_valid");
+  const rtl::InputHandle t_bin_index = thresh.input_handle("bin_index");
+  const rtl::InputHandle t_bin_count = thresh.input_handle("bin_count");
+  const rtl::InputHandle t_frame_done = thresh.input_handle("frame_done");
+  const rtl::OutputHandle mean = thresh.output_handle("mean");
+  std::vector<std::uint64_t> pixel_lanes(8);
+  std::uint64_t frame = 0;
+  for (auto _ : state) {
+    for (unsigned i = 0; i < kCyclesPerFrame; ++i) {
+      const bool valid = i < kPixelsPerFrame;
+      std::fill(pixel_lanes.begin(), pixel_lanes.end(), 0);
+      for (unsigned lane = 0; lane < kLanes; ++lane) {
+        const std::uint64_t pix = (i * 7 + (frame + lane) * 13) & 0xff;
+        for (unsigned b = 0; b < 8; ++b)
+          pixel_lanes[b] |= ((pix >> b) & 1u) << lane;
+      }
+      hist.set_input_lanes(pixel, pixel_lanes);
+      hist.set_input(pixel_valid, std::uint64_t{valid ? 1u : 0u});
+      hist.set_input(vsync, std::uint64_t{(valid && i == 0) ? 1u : 0u});
+      hist.step();
+      thresh.set_input_lanes(t_bin_valid, hist.output_words(bin_valid));
+      thresh.set_input_lanes(t_bin_index, hist.output_words(bin_index));
+      thresh.set_input_lanes(t_bin_count, hist.output_words(bin_count));
+      thresh.set_input_lanes(t_frame_done, hist.output_words(frame_done));
+      thresh.step();
+    }
+    frame += kLanes;
+    benchmark::DoNotOptimize(thresh.output(mean));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(frame) * kCyclesPerFrame);
+  state.counters["level"] = 1;  // RTL
+  report_rtl_stats(state, hist.stats(), thresh.stats());
 }
 
 void report_engine_stats(benchmark::State& state,
@@ -159,6 +265,8 @@ void BM_GateBitParallelSim(benchmark::State& state) {
 
 BENCHMARK(BM_OoKernelSim)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RtlCycleSim)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RtlTapeSim)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RtlTapeLanesSim)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GateEventSim)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GateLevelizedSim)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GateBitParallelSim)->Unit(benchmark::kMillisecond);

@@ -4,7 +4,26 @@
 
 namespace osss::rtl {
 
-Simulator::Simulator(Module module) : m_(std::move(module)) {
+const char* sim_mode_name(SimMode mode) {
+  switch (mode) {
+    case SimMode::kInterp: return "interp";
+    case SimMode::kTape: return "tape";
+  }
+  return "?";
+}
+
+Simulator::Simulator(Module module, SimMode mode, unsigned lanes)
+    : m_(std::move(module)), mode_(mode), lanes_(lanes) {
+  if (mode_ == SimMode::kInterp && lanes_ != 1)
+    throw std::logic_error("Simulator: multi-lane requires SimMode::kTape");
+  for (std::uint32_t i = 0; i < m_.inputs().size(); ++i)
+    input_index_.emplace(m_.inputs()[i].name, i);
+  for (std::uint32_t i = 0; i < m_.outputs().size(); ++i)
+    output_index_.emplace(m_.outputs()[i].name, i);
+  if (mode_ == SimMode::kTape) {
+    engine_ = std::make_unique<tape::Engine>(m_, lanes_);
+    return;
+  }
   m_.validate();
   order_ = m_.topo_order();
   values_.resize(m_.node_count());
@@ -19,24 +38,60 @@ Simulator::Simulator(Module module) : m_(std::move(module)) {
     input_values_.push_back(Bits(m_.node(p.node).width));
 }
 
+InputHandle Simulator::input_handle(const std::string& name) const {
+  const auto it = input_index_.find(name);
+  if (it == input_index_.end())
+    throw std::logic_error("Simulator: no input named " + name);
+  return InputHandle{it->second};
+}
+
+OutputHandle Simulator::output_handle(const std::string& name) const {
+  const auto it = output_index_.find(name);
+  if (it == output_index_.end())
+    throw std::logic_error("Simulator: no output named " + name);
+  return OutputHandle{it->second};
+}
+
 void Simulator::set_input(const std::string& name, const Bits& value) {
-  for (std::size_t i = 0; i < m_.inputs().size(); ++i) {
-    if (m_.inputs()[i].name == name) {
-      if (value.width() != input_values_[i].width())
-        throw std::logic_error("Simulator: input width mismatch on " + name);
-      input_values_[i] = value;
-      dirty_ = true;
-      return;
-    }
-  }
-  throw std::logic_error("Simulator: no input named " + name);
+  set_input(input_handle(name), value);
 }
 
 void Simulator::set_input(const std::string& name, std::uint64_t value) {
-  const NodeId id = m_.find_input(name);
-  if (id == kInvalidNode)
-    throw std::logic_error("Simulator: no input named " + name);
-  set_input(name, Bits(m_.node(id).width, value));
+  const InputHandle h = input_handle(name);
+  set_input(h, Bits(input_width(h.index), value));
+}
+
+void Simulator::set_input(InputHandle h, const Bits& value) {
+  if (h.index >= m_.inputs().size())
+    throw std::logic_error("Simulator: bad input handle");
+  if (value.width() != input_width(h.index))
+    throw std::logic_error("Simulator: input width mismatch on " +
+                           m_.inputs()[h.index].name);
+  if (mode_ == SimMode::kTape) {
+    engine_->set_input(h.index, value);
+    return;
+  }
+  input_values_[h.index] = value;
+  dirty_ = true;
+}
+
+void Simulator::set_input(InputHandle h, std::uint64_t value) {
+  if (h.index >= m_.inputs().size())
+    throw std::logic_error("Simulator: bad input handle");
+  if (mode_ == SimMode::kTape) {
+    engine_->set_input_u64(h.index, value);  // no Bits construction
+    return;
+  }
+  set_input(h, Bits(input_width(h.index), value));
+}
+
+void Simulator::set_input_lanes(InputHandle h,
+                                const std::vector<std::uint64_t>& bit_lanes) {
+  if (mode_ != SimMode::kTape)
+    throw std::logic_error("Simulator: set_input_lanes requires kTape");
+  if (h.index >= m_.inputs().size())
+    throw std::logic_error("Simulator: bad input handle");
+  engine_->set_input_lanes(h.index, bit_lanes);
 }
 
 Bits Simulator::compute(const Node& n) const {
@@ -69,9 +124,14 @@ Bits Simulator::compute(const Node& n) const {
     case Op::kMux: return in(0).bit(0) ? in(1) : in(2);
     case Op::kSlice: return in(0).slice(n.param + n.width - 1, n.param);
     case Op::kConcat: {
-      Bits acc = in(0);
-      for (std::size_t i = 1; i < n.ins.size(); ++i)
-        acc = Bits::concat(acc, in(i));
+      // ins[0] is the MOST significant chunk; deposit each operand once
+      // instead of re-copying an accumulator per operand.
+      Bits acc(n.width);
+      unsigned pos = n.width;
+      for (std::size_t i = 0; i < n.ins.size(); ++i) {
+        pos -= in(i).width();
+        acc.set_range(pos, in(i));
+      }
       return acc;
     }
     case Op::kZExt: return in(0).zext(n.width);
@@ -104,19 +164,47 @@ void Simulator::eval() {
   dirty_ = false;
 }
 
-const Bits& Simulator::get(NodeId id) {
+Bits Simulator::get(NodeId id, unsigned lane) {
+  if (mode_ == SimMode::kTape) return engine_->node_value(id, lane);
   eval();
   return values_.at(id);
 }
 
-const Bits& Simulator::output(const std::string& name) {
-  const NodeId id = m_.find_output(name);
-  if (id == kInvalidNode)
-    throw std::logic_error("Simulator: no output named " + name);
-  return get(id);
+Bits Simulator::output(const std::string& name) {
+  return output(output_handle(name));
+}
+
+Bits Simulator::output(OutputHandle h) { return output_lane(h, 0); }
+
+Bits Simulator::output_lane(OutputHandle h, unsigned lane) {
+  if (h.index >= m_.outputs().size())
+    throw std::logic_error("Simulator: bad output handle");
+  if (mode_ == SimMode::kTape) return engine_->output(h.index, lane);
+  eval();
+  return values_.at(m_.outputs()[h.index].node);
+}
+
+std::uint64_t Simulator::output_u64(OutputHandle h) {
+  if (h.index >= m_.outputs().size())
+    throw std::logic_error("Simulator: bad output handle");
+  if (mode_ == SimMode::kTape) return engine_->output_u64(h.index);
+  eval();
+  return values_[m_.outputs()[h.index].node].to_u64();
+}
+
+std::vector<std::uint64_t> Simulator::output_words(OutputHandle h) {
+  if (mode_ != SimMode::kTape)
+    throw std::logic_error("Simulator: output_words requires kTape");
+  if (h.index >= m_.outputs().size())
+    throw std::logic_error("Simulator: bad output handle");
+  return engine_->output_words(h.index);
 }
 
 void Simulator::step() {
+  if (mode_ == SimMode::kTape) {
+    engine_->step();
+    return;
+  }
   eval();
   // Capture next state before committing anything (all registers and memory
   // writes observe the same pre-edge values).
@@ -149,6 +237,10 @@ void Simulator::step() {
 }
 
 void Simulator::reset() {
+  if (mode_ == SimMode::kTape) {
+    engine_->reset();
+    return;
+  }
   for (std::size_t i = 0; i < m_.registers().size(); ++i)
     reg_state_[i] = m_.registers()[i].init;
   for (unsigned mi = 0; mi < m_.memories().size(); ++mi) {
@@ -157,12 +249,53 @@ void Simulator::reset() {
   dirty_ = true;
 }
 
-const Bits& Simulator::mem_word(unsigned mem_index, unsigned word) {
+std::uint64_t Simulator::cycle_count() const noexcept {
+  return mode_ == SimMode::kTape ? engine_->stats().cycles : cycles_;
+}
+
+Simulator::Stats Simulator::stats() const {
+  Stats s;
+  if (mode_ == SimMode::kTape) {
+    const tape::Engine::RunStats& rs = engine_->stats();
+    const tape::CompileStats& cs = engine_->program().stats;
+    s.cycles = rs.cycles;
+    s.nodes_evaluated = rs.nodes_evaluated;
+    s.levels_evaluated = rs.levels_evaluated;
+    s.levels_skipped = rs.levels_skipped;
+    s.tape_len = cs.tape_len;
+    s.arena_words = cs.arena_words;
+    s.levels = cs.levels;
+    s.const_folded = cs.const_folded;
+    s.pruned = cs.pruned;
+    s.fused = cs.fused;
+    return s;
+  }
+  s.cycles = cycles_;
+  return s;
+}
+
+tape::Program& Simulator::tape() {
+  if (mode_ != SimMode::kTape)
+    throw std::logic_error("Simulator: tape() requires SimMode::kTape");
+  return engine_->program();
+}
+
+Bits Simulator::mem_word(unsigned mem_index, unsigned word) {
+  if (mode_ == SimMode::kTape) return engine_->mem_word(mem_index, word);
   return mem_state_.at(mem_index).at(word);
 }
 
 void Simulator::poke_mem(unsigned mem_index, unsigned word,
                          const Bits& value) {
+  if (mode_ == SimMode::kTape) {
+    if (mem_index >= m_.memories().size() ||
+        word >= m_.memories()[mem_index].depth)
+      throw std::out_of_range("Simulator: poke_mem out of range");
+    if (value.width() != m_.memories()[mem_index].data_width)
+      throw std::logic_error("Simulator: poke_mem width mismatch");
+    engine_->poke_mem(mem_index, word, value);
+    return;
+  }
   Bits& slot = mem_state_.at(mem_index).at(word);
   if (slot.width() != value.width())
     throw std::logic_error("Simulator: poke_mem width mismatch");
@@ -173,10 +306,14 @@ void Simulator::poke_mem(unsigned mem_index, unsigned word,
 void Simulator::poke_reg(const std::string& name, const Bits& value) {
   for (std::size_t i = 0; i < m_.registers().size(); ++i) {
     if (m_.registers()[i].name == name) {
-      if (reg_state_[i].width() != value.width())
+      if (m_.node(m_.registers()[i].q).width != value.width())
         throw std::logic_error("Simulator: poke_reg width mismatch");
-      reg_state_[i] = value;
-      dirty_ = true;
+      if (mode_ == SimMode::kTape) {
+        engine_->poke_reg(static_cast<unsigned>(i), value);
+      } else {
+        reg_state_[i] = value;
+        dirty_ = true;
+      }
       return;
     }
   }

@@ -1,36 +1,95 @@
 // sim.hpp — cycle-accurate RTL simulator.
 //
-// Executes an rtl::Module directly: combinational nodes are evaluated in a
-// precomputed (levelized) topological order, registers and memory writes
-// commit on step().  This is the reference model for the gate-level netlist
-// and one of the three simulators compared in the simulation-speed
-// experiment (R7): faster than event-driven gate simulation, slower than
-// the compiled OO simulation.
+// Executes an rtl::Module with one of two engines, selected at construction
+// (mirroring gate::Simulator):
+//
+//   * SimMode::kInterp — the reference interpreter: combinational nodes are
+//     evaluated as Bits values in a precomputed topological order.  Slow but
+//     transparently close to the IR semantics; this is the oracle every
+//     other engine is differentially tested against.
+//   * SimMode::kTape — the compiled word-level tape (rtl/tape.hpp): the
+//     module is lowered once into a flat instruction stream over a
+//     preallocated uint64_t arena with zero per-cycle allocation,
+//     level-granular activity gating and optional multi-lane stimulus.
+//
+// Ports can be addressed by name (convenience) or through cached
+// InputHandle/OutputHandle values that skip the name lookup on the hot path.
+// This is the reference model for the gate-level netlist and one of the
+// simulators compared in the simulation-speed experiment (R7).
 
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "rtl/ir.hpp"
+#include "rtl/tape.hpp"
 
 namespace osss::rtl {
+
+enum class SimMode : std::uint8_t {
+  kInterp,  ///< per-node Bits interpreter (the oracle)
+  kTape,    ///< compiled word-level tape engine
+};
+
+const char* sim_mode_name(SimMode mode);
+
+/// Cached port indices: resolve once, drive every cycle without a name
+/// lookup.  Obtained from Simulator::input_handle / output_handle.
+struct InputHandle {
+  std::uint32_t index = 0;
+};
+struct OutputHandle {
+  std::uint32_t index = 0;
+};
 
 class Simulator {
 public:
   /// Takes the module by value: the simulator owns its design, so
-  /// temporaries (`Simulator sim(build_foo())`) are safe.
-  explicit Simulator(Module module);
+  /// temporaries (`Simulator sim(build_foo())`) are safe.  `lanes > 1`
+  /// (parallel stimulus lanes) requires SimMode::kTape.
+  explicit Simulator(Module module, SimMode mode = SimMode::kInterp,
+                     unsigned lanes = 1);
 
-  /// Drive an input port.  Takes effect at the next eval.
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  const Module& module() const noexcept { return m_; }
+  SimMode mode() const noexcept { return mode_; }
+  unsigned lanes() const noexcept { return lanes_; }
+
+  /// Resolve a port name once.  Throws std::logic_error on unknown names.
+  InputHandle input_handle(const std::string& name) const;
+  OutputHandle output_handle(const std::string& name) const;
+
+  /// Drive an input port.  Takes effect at the next eval.  The u64 overload
+  /// truncates `value` to the port width.
   void set_input(const std::string& name, const Bits& value);
   void set_input(const std::string& name, std::uint64_t value);
+  void set_input(InputHandle h, const Bits& value);
+  void set_input(InputHandle h, std::uint64_t value);
+
+  /// Drive all lanes of one input (tape mode): bit_lanes[i] holds the lane
+  /// word of input bit i, same layout as gate::Simulator::set_input_lanes.
+  void set_input_lanes(InputHandle h,
+                       const std::vector<std::uint64_t>& bit_lanes);
 
   /// Current value of any node (evaluates combinational logic on demand).
-  const Bits& get(NodeId id);
-  /// Current value of an output port.
-  const Bits& output(const std::string& name);
+  /// In tape mode, throws std::logic_error for nodes the compiler pruned or
+  /// folded away.
+  Bits get(NodeId id, unsigned lane = 0);
+  /// Current value of an output port (lane 0).
+  Bits output(const std::string& name);
+  Bits output(OutputHandle h);
+  Bits output_lane(OutputHandle h, unsigned lane);
+  /// Low 64 bits of an output, lane 0 — the allocation-free hot path for
+  /// testbench loops (pairs with the u64 set_input overload).
+  std::uint64_t output_u64(OutputHandle h);
+  /// Lane words of an output: element i = lanes of output bit i.
+  std::vector<std::uint64_t> output_words(OutputHandle h);
 
   /// One rising clock edge: evaluate, capture register/memory next state,
   /// commit.
@@ -44,16 +103,45 @@ public:
   /// (power-on reset).
   void reset();
 
-  std::uint64_t cycle_count() const noexcept { return cycles_; }
+  std::uint64_t cycle_count() const noexcept;
+
+  /// Run counters in the gate::Simulator::Stats style; interpreter mode
+  /// reports cycles only.
+  struct Stats {
+    std::uint64_t cycles = 0;
+    std::uint64_t nodes_evaluated = 0;
+    std::uint64_t levels_evaluated = 0;
+    std::uint64_t levels_skipped = 0;
+    std::uint32_t tape_len = 0;
+    std::uint32_t arena_words = 0;
+    std::uint32_t levels = 0;
+    std::uint32_t const_folded = 0;
+    std::uint32_t pruned = 0;
+    std::uint32_t fused = 0;
+  };
+  Stats stats() const;
+
+  /// The compiled program (tape mode only; throws otherwise).  Mutable so
+  /// tests can corrupt instructions and prove CoSim catches a broken tape.
+  tape::Program& tape();
 
   /// Direct memory inspection for tests (word index).
-  const Bits& mem_word(unsigned mem_index, unsigned word);
+  Bits mem_word(unsigned mem_index, unsigned word);
   void poke_mem(unsigned mem_index, unsigned word, const Bits& value);
   /// Direct register override for fault-injection tests.
   void poke_reg(const std::string& name, const Bits& value);
 
 private:
   const Module m_;
+  const SimMode mode_;
+  const unsigned lanes_;
+  std::unordered_map<std::string, std::uint32_t> input_index_;
+  std::unordered_map<std::string, std::uint32_t> output_index_;
+
+  // --- tape engine (mode_ == kTape) --------------------------------------
+  std::unique_ptr<tape::Engine> engine_;
+
+  // --- interpreter state (mode_ == kInterp) ------------------------------
   std::vector<NodeId> order_;
   std::vector<Bits> values_;           // per node
   std::vector<Bits> reg_state_;        // per register
@@ -64,6 +152,9 @@ private:
 
   void eval();
   Bits compute(const Node& n) const;
+  unsigned input_width(std::uint32_t index) const {
+    return m_.node(m_.inputs()[index].node).width;
+  }
 };
 
 }  // namespace osss::rtl

@@ -1,0 +1,258 @@
+// tape.hpp — RTL-IR compiled to a flat word-level instruction tape.
+//
+// Program::compile lowers an rtl::Module into a linear instruction stream
+// executed over one preallocated contiguous uint64_t word arena — the
+// Hardcaml-style "compiled cycle function" that makes a word-level reference
+// simulator competitive with compiled-code simulation:
+//
+//   * every live node owns a fixed arena slot: 1 word for width <= 64,
+//     ceil(width/64) words above;
+//   * operands are pre-resolved arena offsets — no NodeId indirection, no
+//     Bits construction, zero per-cycle allocation;
+//   * dispatch is a tight switch over a packed opcode stream, with
+//     single-word fast-path opcodes (the overwhelmingly common case) and
+//     generic multi-word forms.
+//
+// The compiler runs constant folding (with a deduplicated constant pool),
+// zext/slice/concat alias fusion (no-op casts share their operand's slot —
+// sound because the arena keeps bits above a node's width zero), slice-chain
+// composition, and dead-node pruning before emission.  The executor mirrors
+// gate::Simulator's levelized engine: instructions are grouped by
+// combinational level and a level is skipped entirely when none of its
+// inputs changed since the last sweep (per-producer fanout-level lists mark
+// levels dirty on change).  An optional L-lane mode stripes the arena per
+// lane (lane l of a node lives at offset + l*words) so verify::CoSim can
+// drive up to 64 stimulus lanes through the RTL level in one sweep.
+//
+// rtl::Simulator selects this engine with SimMode::kTape; the interpreter
+// remains the oracle the tape is differentially tested against
+// (tests/rtl/tape_test.cpp).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rtl/ir.hpp"
+
+namespace osss::rtl::tape {
+
+/// "No arena slot": pruned/folded-away nodes and absent register enables.
+constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+/// Tape opcodes.  `*1` forms are the single-word fast path; `*N` forms
+/// handle multi-word (width > 64) values.  kConcat and kMemRead are
+/// width-generic.
+enum class TOp : std::uint8_t {
+  // single-word (result and data operands fit one word)
+  kAdd1, kSub1, kMul1, kAnd1, kOr1, kXor1, kNot1,
+  kShlI1, kLshrI1, kAshrI1, kShlV1, kLshrV1,
+  kEq1, kNe1, kUlt1, kUle1, kSlt1, kSle1,
+  kMux1, kSlice1, kSExt1, kRedOr1, kRedAnd1, kRedXor1,
+  // multi-word general forms
+  kCopyN,  // zext into more words: copy + zero-fill
+  kAddN, kSubN, kMulN, kAndN, kOrN, kXorN, kNotN,
+  kShlIN, kLshrIN, kAshrIN, kShlVN, kLshrVN,
+  kEqN, kNeN, kUltN, kUleN, kSltN, kSleN,
+  kMuxN, kSliceN, kSExtN, kRedOrN, kRedAndN, kRedXorN,
+  // width-generic
+  kConcat,   // parts pool: [param, param+c) of Program::parts, LSB first
+  kMemRead,  // param = memory index; a = address slot
+};
+
+/// One tape instruction.  Field meaning varies slightly by opcode:
+///   dst       destination arena offset (lane stride = dw words)
+///   a, b, c   operand arena offsets
+///   dw        destination word count (also the data-operand lane stride)
+///   aw        operand-a word count / lane stride; for kShlV*/kLshrV* it is
+///             the word count of the *amount* operand (b); for kMux* the
+///             1-bit select (a) always strides 1
+///   width     destination bit width
+///   a_width   operand bit width where semantics need it (compares, sext,
+///             slice source, reductions)
+///   param     shift amount / slice lo / memory index / parts-pool offset
+///   mask      top-word mask of the destination width
+struct Instr {
+  TOp op = TOp::kAdd1;
+  std::uint8_t dw = 1;
+  std::uint8_t aw = 1;
+  std::uint16_t width = 0;
+  std::uint16_t a_width = 0;
+  std::uint32_t dst = 0;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint32_t c = 0;
+  std::uint32_t param = 0;
+  std::uint64_t mask = 0;
+};
+
+/// One concatenation operand (LSB-first in the parts pool).
+struct ConcatPart {
+  std::uint32_t off = 0;     ///< arena offset (lane stride = words)
+  std::uint16_t width = 0;
+  std::uint16_t words = 1;
+};
+
+/// Compile-time statistics, exported through Simulator::Stats.
+struct CompileStats {
+  std::uint32_t tape_len = 0;     ///< instructions emitted
+  std::uint32_t arena_words = 0;  ///< total arena size (all lanes)
+  std::uint32_t levels = 0;       ///< combinational levels
+  std::uint32_t const_folded = 0; ///< non-kConst nodes folded to constants
+  std::uint32_t pruned = 0;       ///< dead combinational nodes dropped
+  std::uint32_t fused = 0;        ///< alias + slice-chain fusions
+};
+
+/// The compiled program: instruction tape, arena layout and the
+/// per-producer fanout-level lists that drive activity gating.  Members are
+/// public by design — tests corrupt instructions to prove the differential
+/// harness catches a broken tape (see tests/rtl/tape_test.cpp).
+struct Program {
+  unsigned lanes = 1;
+
+  std::vector<Instr> instrs;  ///< grouped by level, ascending
+  /// Level l owns instrs [level_offset[l], level_offset[l+1]).
+  std::vector<std::uint32_t> level_offset;
+  std::vector<ConcatPart> parts;
+
+  // Fanout-level lists (CSR): which levels to mark dirty when a producer's
+  // value changes.  One list per instruction, input port, register and
+  // memory (memory content changes wake that memory's read levels).
+  std::vector<std::uint32_t> instr_fl_off, instr_fl;
+  std::vector<std::uint32_t> input_fl_off, input_fl;
+  std::vector<std::uint32_t> reg_fl_off, reg_fl;
+  std::vector<std::uint32_t> mem_fl_off, mem_fl;
+
+  struct Port {
+    std::uint32_t off = kNoSlot;
+    std::uint16_t width = 0;
+    std::uint16_t words = 1;
+  };
+  std::vector<Port> inputs;   ///< module input-port order
+  std::vector<Port> outputs;  ///< module output-port order
+
+  struct Reg {
+    std::uint32_t q = kNoSlot;   ///< arena slot of the kReg node
+    std::uint32_t d = kNoSlot;   ///< arena slot of the next-value input
+    std::uint32_t en = kNoSlot;  ///< 1-bit enable slot; kNoSlot = always
+    std::uint16_t width = 0;
+    std::uint16_t words = 1;
+    Bits init;
+  };
+  std::vector<Reg> regs;
+
+  struct WritePort {
+    std::uint32_t addr = kNoSlot;
+    std::uint32_t data = kNoSlot;
+    std::uint32_t en = kNoSlot;
+    std::uint16_t addr_words = 1;  ///< lane stride of the address operand
+  };
+  struct Mem {
+    unsigned depth = 0;
+    unsigned width = 0;
+    std::uint16_t words = 1;
+    std::vector<WritePort> writes;
+  };
+  std::vector<Mem> mems;
+
+  /// Constant-pool image: (arena offset, value) pairs the engine broadcasts
+  /// into every lane once at construction.
+  std::vector<std::pair<std::uint32_t, Bits>> const_init;
+
+  std::size_t arena_size = 0;  ///< words, including lane striding
+
+  /// Per-node arena slot (kNoSlot when pruned) and bit width, for
+  /// Simulator::get() and debugging.
+  std::vector<std::uint32_t> node_slot;
+  std::vector<std::uint16_t> node_width;
+
+  CompileStats stats;
+
+  /// Lower `m` (validated first) for `lanes` stimulus lanes (1..64).
+  static Program compile(const Module& m, unsigned lanes = 1);
+};
+
+/// Executes a compiled Program over its word arena.  One Engine = one
+/// simulation instance; rtl::Simulator owns it behind SimMode::kTape.
+class Engine {
+public:
+  Engine(const Module& m, unsigned lanes);
+
+  Program& program() noexcept { return prog_; }
+  const Program& program() const noexcept { return prog_; }
+  unsigned lanes() const noexcept { return prog_.lanes; }
+
+  struct RunStats {
+    std::uint64_t cycles = 0;
+    std::uint64_t nodes_evaluated = 0;   ///< instruction executions
+    std::uint64_t levels_evaluated = 0;
+    std::uint64_t levels_skipped = 0;
+  };
+  const RunStats& stats() const noexcept { return stats_; }
+
+  void set_input(unsigned index, const Bits& value);
+  /// Allocation-free fast path: drive all lanes with `value` truncated to
+  /// the port width (any width; words above the first are cleared).
+  void set_input_u64(unsigned index, std::uint64_t value);
+  /// Drive all lanes of one input: bit_lanes[i] = lane word of input bit i
+  /// (same layout as gate::Simulator::set_input_lanes).
+  void set_input_lanes(unsigned index,
+                       const std::vector<std::uint64_t>& bit_lanes);
+
+  Bits output(unsigned index, unsigned lane = 0);
+  /// Allocation-free fast path: low 64 bits of an output, lane 0.
+  std::uint64_t output_u64(unsigned index);
+  /// Lane words of an output: element i = lanes of output bit i.
+  std::vector<std::uint64_t> output_words(unsigned index);
+
+  /// Value of any live node (throws std::logic_error if pruned away).
+  Bits node_value(NodeId id, unsigned lane = 0);
+  bool node_live(NodeId id) const;
+
+  void eval();
+  void step();
+  void reset();
+
+  Bits mem_word(unsigned mem_index, unsigned word, unsigned lane = 0);
+  void poke_mem(unsigned mem_index, unsigned word, const Bits& value);
+  void poke_reg(unsigned reg_index, const Bits& value);
+
+private:
+  Program prog_;
+  std::vector<std::uint64_t> arena_;
+  std::vector<std::uint64_t> scratch_;  ///< multi-word result staging
+  std::vector<char> level_dirty_;
+  bool pending_ = true;
+  RunStats stats_;
+
+  /// Memory content, per memory: word w of entry a in lane l lives at
+  /// (a * lanes + l) * words + w.
+  std::vector<std::vector<std::uint64_t>> mem_;
+
+  // Pre-edge sampling buffers (sized once at construction).
+  std::vector<std::uint64_t> reg_next_;      ///< sum(reg words) * lanes
+  std::vector<std::uint32_t> reg_next_off_;  ///< per register
+  std::vector<std::uint64_t> reg_en_;        ///< per register: lane bitmask
+  struct Wp {  ///< flattened write port
+    std::uint32_t mem = 0;
+    Program::WritePort port;
+    std::uint32_t addr_at = 0;  ///< offset into wp_addr_
+    std::uint32_t data_at = 0;  ///< offset into wp_data_
+    std::uint16_t words = 1;
+  };
+  std::vector<Wp> wps_;
+  std::vector<std::uint64_t> wp_en_;    ///< per port: lane bitmask
+  std::vector<std::uint64_t> wp_addr_;  ///< per port * lane
+  std::vector<std::uint64_t> wp_data_;  ///< per port: words * lanes
+
+  bool exec_one(const Instr& ins, unsigned lane);
+  void mark_levels(const std::vector<std::uint32_t>& off,
+                   const std::vector<std::uint32_t>& fl, std::uint32_t site);
+  void mark_all_dirty();
+  void write_lane_bits(std::uint32_t off, std::uint16_t words, unsigned lane,
+                       const Bits& value, bool* changed);
+  Bits read_lane_bits(std::uint32_t off, std::uint16_t words, unsigned width,
+                      unsigned lane) const;
+};
+
+}  // namespace osss::rtl::tape

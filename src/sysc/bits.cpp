@@ -308,6 +308,30 @@ Bits Bits::slice(unsigned hi, unsigned lo) const {
   return out.trunc(w);
 }
 
+void Bits::set_range(unsigned lo, const Bits& value) {
+  if (lo + value.width_ > width_ || lo > width_)
+    fail("set_range out of range");
+  if (value.width_ == 0) return;
+  const unsigned word_off = lo / kWordBits;
+  const unsigned bit_off = lo % kWordBits;
+  // Clear the destination window, then OR the (masked) payload in.
+  for (unsigned i = 0; i < value.width_; /* per-word strides below */) {
+    const unsigned w = (lo + i) / kWordBits;
+    const unsigned b = (lo + i) % kWordBits;
+    const unsigned n = std::min(kWordBits - b, value.width_ - i);
+    const std::uint64_t window =
+        (n == kWordBits ? ~0ull : ((1ull << n) - 1)) << b;
+    words_[w] &= ~window;
+    i += n;
+  }
+  for (unsigned i = 0; i < value.words_.size(); ++i) {
+    words_[word_off + i] |= value.words_[i] << bit_off;
+    if (bit_off != 0 && word_off + i + 1 < words_.size())
+      words_[word_off + i + 1] |= value.words_[i] >> (kWordBits - bit_off);
+  }
+  mask_top();
+}
+
 Bits Bits::concat(const Bits& hi, const Bits& lo) {
   if (hi.width_ == 0) return lo;
   if (lo.width_ == 0) return hi;

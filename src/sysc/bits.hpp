@@ -52,6 +52,11 @@ public:
   /// Low 64 bits of the payload (well-defined for any width).
   std::uint64_t to_u64() const noexcept;
 
+  /// Storage word `i` (bits [64*i, 64*i+63]); zero beyond the top word.
+  std::uint64_t word(unsigned i) const noexcept {
+    return i < words_.size() ? words_[i] : 0;
+  }
+
   /// Payload as signed value; requires width() <= 64.
   std::int64_t to_i64() const;
 
@@ -101,6 +106,11 @@ public:
 
   /// {hi, lo} concatenation: `hi` occupies the upper bits.
   static Bits concat(const Bits& hi, const Bits& lo);
+
+  /// Overwrite bits [lo, lo + value.width()) with `value` (word-at-a-time;
+  /// the linear-time building block for multi-part concatenation).
+  /// Requires lo + value.width() <= width().
+  void set_range(unsigned lo, const Bits& value);
 
   Bits zext(unsigned new_width) const;
   Bits sext(unsigned new_width) const;

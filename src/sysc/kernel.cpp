@@ -1,5 +1,7 @@
 #include "sysc/kernel.hpp"
 
+#include <algorithm>
+
 namespace osss::sysc {
 
 SignalBase::SignalBase(Kernel& kernel, std::string name)
@@ -14,7 +16,8 @@ void SignalBase::notify_posedge() {
 }
 
 void Kernel::schedule(Time at, std::function<void()> fn) {
-  timed_.emplace(std::make_pair(at, sequence_++), std::move(fn));
+  timed_.push_back(TimedEvent{at, sequence_++, std::move(fn)});
+  std::push_heap(timed_.begin(), timed_.end(), TimedEventLater{});
 }
 
 void Kernel::request_update(SignalBase& s) {
@@ -81,15 +84,15 @@ void Kernel::run_until(Time end) {
     fire_hooks();
   }
   while (!timed_.empty()) {
-    const auto it = timed_.begin();
-    const Time t = it->first.first;
+    const Time t = timed_.front().at;
     if (t > end) break;
     now_ = t;
     // Run all events scheduled for this instant before entering the delta
     // loop, so simultaneous clock edges are seen together.
-    while (!timed_.empty() && timed_.begin()->first.first == t) {
-      auto fn = std::move(timed_.begin()->second);
-      timed_.erase(timed_.begin());
+    while (!timed_.empty() && timed_.front().at == t) {
+      std::pop_heap(timed_.begin(), timed_.end(), TimedEventLater{});
+      auto fn = std::move(timed_.back().fn);
+      timed_.pop_back();
       fn();
     }
     delta_loop();

@@ -19,7 +19,6 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -126,10 +125,21 @@ private:
   std::uint64_t sequence_ = 0;
   bool initialized_ = false;
 
-  // Ordered (time, insertion-sequence) -> callback.  The sequence keeps
-  // same-time events in schedule order, which keeps clock edges
-  // deterministic.
-  std::map<std::pair<Time, std::uint64_t>, std::function<void()>> timed_;
+  // Binary min-heap ordered by (time, insertion-sequence).  The sequence
+  // keeps same-time events in schedule order, which keeps clock edges
+  // deterministic; the heap makes schedule/pop O(log n) with contiguous
+  // storage instead of a node allocation per event (std::map).
+  struct TimedEvent {
+    Time at = 0;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+  };
+  struct TimedEventLater {  ///< max-heap comparator -> min-heap behaviour
+    bool operator()(const TimedEvent& a, const TimedEvent& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+  std::vector<TimedEvent> timed_;
   std::vector<SignalBase*> update_queue_;
   std::deque<Process*> runnable_;
   std::vector<Process*> initial_;

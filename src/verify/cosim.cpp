@@ -62,15 +62,61 @@ void InterpModel::report_coverage(CoverageReport& r) const {
 // --- RtlModel --------------------------------------------------------------
 
 RtlModel::RtlModel(rtl::Module m, std::string name)
-    : Model(std::move(name)), sim_(std::move(m)) {}
+    : RtlModel(std::move(m), rtl::SimMode::kInterp, 1, std::move(name)) {}
+
+RtlModel::RtlModel(rtl::Module m, rtl::SimMode mode, unsigned lanes,
+                   std::string name)
+    : Model(name.empty() ? std::string("rtl:") + rtl::sim_mode_name(mode)
+                         : std::move(name)),
+      sim_(std::move(m), mode, lanes) {}
+
+rtl::InputHandle RtlModel::in_handle(const std::string& name) {
+  const auto it = in_.find(name);
+  if (it != in_.end()) return it->second;
+  const rtl::InputHandle h = sim_.input_handle(name);
+  in_.emplace(name, h);
+  return h;
+}
+
+rtl::OutputHandle RtlModel::out_handle(const std::string& name) {
+  const auto it = out_.find(name);
+  if (it != out_.end()) return it->second;
+  const rtl::OutputHandle h = sim_.output_handle(name);
+  out_.emplace(name, h);
+  return h;
+}
+
+unsigned RtlModel::lanes() const { return sim_.lanes(); }
 
 void RtlModel::reset() { sim_.reset(); }
 
 void RtlModel::set_input(const std::string& name, const Bits& value) {
-  sim_.set_input(name, value);
+  sim_.set_input(in_handle(name), value);
 }
 
-Bits RtlModel::output(const std::string& name) { return sim_.output(name); }
+void RtlModel::set_input_lanes(const std::string& name,
+                               const std::vector<std::uint64_t>& bit_lanes) {
+  if (sim_.lanes() == 1) {
+    Model::set_input_lanes(name, bit_lanes);
+    return;
+  }
+  sim_.set_input_lanes(in_handle(name), bit_lanes);
+}
+
+Bits RtlModel::output(const std::string& name) {
+  return sim_.output(out_handle(name));
+}
+
+Bits RtlModel::output_lane(const std::string& name, unsigned lane) {
+  if (sim_.lanes() == 1) return output(name);
+  return sim_.output_lane(out_handle(name), lane);
+}
+
+std::vector<std::uint64_t> RtlModel::output_words(const std::string& name,
+                                                  unsigned width) {
+  if (sim_.lanes() == 1) return Model::output_words(name, width);
+  return sim_.output_words(out_handle(name));
+}
 
 void RtlModel::step() { sim_.step(); }
 

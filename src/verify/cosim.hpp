@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "gate/netlist.hpp"
@@ -110,20 +111,36 @@ private:
   std::unique_ptr<FsmCoverage> fsm_;
 };
 
-/// rtl::Simulator as a co-sim model.
+/// rtl::Simulator as a co-sim model: interpreter or tape engine, the tape
+/// optionally contributing up to 64 stimulus lanes.  Port names are resolved
+/// to handles once so lockstep driving skips the name lookup.
 class RtlModel final : public Model {
 public:
   explicit RtlModel(rtl::Module m, std::string name = "rtl");
+  RtlModel(rtl::Module m, rtl::SimMode mode, unsigned lanes = 1,
+           std::string name = "");
 
   rtl::Simulator& sim() noexcept { return sim_; }
 
+  unsigned lanes() const override;
   void reset() override;
   void set_input(const std::string& name, const Bits& value) override;
+  void set_input_lanes(
+      const std::string& name,
+      const std::vector<std::uint64_t>& bit_lanes) override;
   Bits output(const std::string& name) override;
+  Bits output_lane(const std::string& name, unsigned lane) override;
+  std::vector<std::uint64_t> output_words(const std::string& name,
+                                          unsigned width) override;
   void step() override;
 
 private:
   rtl::Simulator sim_;
+  std::unordered_map<std::string, rtl::InputHandle> in_;
+  std::unordered_map<std::string, rtl::OutputHandle> out_;
+
+  rtl::InputHandle in_handle(const std::string& name);
+  rtl::OutputHandle out_handle(const std::string& name);
 };
 
 /// gate::Simulator as a co-sim model; kBitParallel engines contribute 64

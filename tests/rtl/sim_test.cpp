@@ -229,5 +229,51 @@ TEST(RtlSimProperty, PipelinedMultiplierMatchesReference) {
   }
 }
 
+TEST(RtlSim, HandlesDriveAndReadPortsWithoutNameLookups) {
+  Builder b("h");
+  Wire a = b.input("a", 8);
+  Wire x = b.input("b", 8);
+  b.output("sum", b.add(a, x));
+  b.output("prod", b.mul(a, x));
+  Simulator sim(b.take());
+
+  const InputHandle ha = sim.input_handle("a");
+  const InputHandle hb = sim.input_handle("b");
+  const OutputHandle hs = sim.output_handle("sum");
+  const OutputHandle hp = sim.output_handle("prod");
+  sim.set_input(ha, Bits(8, 7));
+  sim.set_input(hb, std::uint64_t{0x105});  // u64 overload truncates: 0x05
+  EXPECT_EQ(sim.output(hs).to_u64(), 12u);
+  EXPECT_EQ(sim.output(hp).to_u64(), 35u);
+
+  EXPECT_THROW(sim.input_handle("nope"), std::logic_error);
+  EXPECT_THROW(sim.output_handle("nope"), std::logic_error);
+  EXPECT_THROW(sim.set_input(ha, Bits(9, 0)), std::logic_error);
+}
+
+TEST(RtlSim, WideConcatEvaluatesLinearly) {
+  // Many-operand concat: each operand deposited once (regression for the
+  // quadratic accumulator rebuild); values must match bit-by-bit.
+  Builder b("cat");
+  std::vector<Wire> parts;
+  for (int i = 0; i < 16; ++i)
+    parts.push_back(b.input("i" + std::to_string(i), 5));
+  b.output("o", b.concat(parts));
+  Simulator sim(b.take());
+  std::mt19937_64 rng(9);
+  std::vector<std::uint64_t> vals;
+  for (int i = 0; i < 16; ++i) {
+    vals.push_back(rng() & 0x1f);
+    sim.set_input("i" + std::to_string(i), vals.back());
+  }
+  const Bits o = sim.output("o");
+  ASSERT_EQ(o.width(), 80u);
+  // parts[0] is the MOST significant chunk.
+  for (int i = 0; i < 16; ++i)
+    for (unsigned bit = 0; bit < 5; ++bit)
+      EXPECT_EQ(o.bit((15 - i) * 5 + bit), ((vals[i] >> bit) & 1) != 0)
+          << i << "." << bit;
+}
+
 }  // namespace
 }  // namespace osss::rtl

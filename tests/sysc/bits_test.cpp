@@ -283,5 +283,45 @@ TEST(BitsWide, MulByPowerOfTwoIsShift) {
   }
 }
 
+TEST(Bits, WordAccessorCoversAndExceedsStorage) {
+  Bits a(100);
+  a.set_bit(0, true);
+  a.set_bit(64, true);
+  a.set_bit(99, true);
+  EXPECT_EQ(a.word(0), 1u);
+  EXPECT_EQ(a.word(1), (1ull << 0) | (1ull << 35));
+  EXPECT_EQ(a.word(2), 0u);  // beyond storage: zero, not UB
+}
+
+TEST(Bits, SetRangeMatchesConcat) {
+  // Building {hi, mid, lo} via set_range must equal nested concat.
+  std::mt19937_64 rng(123);
+  for (int iter = 0; iter < 50; ++iter) {
+    const unsigned wl = 1 + static_cast<unsigned>(rng() % 70);
+    const unsigned wm = 1 + static_cast<unsigned>(rng() % 70);
+    const unsigned wh = 1 + static_cast<unsigned>(rng() % 70);
+    auto rand_bits = [&](unsigned w) {
+      Bits v(w);
+      for (unsigned i = 0; i < w; ++i) v.set_bit(i, (rng() & 1) != 0);
+      return v;
+    };
+    const Bits lo = rand_bits(wl), mid = rand_bits(wm), hi = rand_bits(wh);
+    Bits built(wl + wm + wh);
+    built.set_range(0, lo);
+    built.set_range(wl, mid);
+    built.set_range(wl + wm, hi);
+    EXPECT_TRUE(built == Bits::concat(hi, Bits::concat(mid, lo)))
+        << wl << "+" << wm << "+" << wh;
+  }
+}
+
+TEST(Bits, SetRangeOverwritesExistingBits) {
+  Bits v = Bits::ones(96);
+  v.set_range(30, Bits(40));  // clear a straddling window
+  for (unsigned i = 0; i < 96; ++i)
+    EXPECT_EQ(v.bit(i), i < 30 || i >= 70) << i;
+  EXPECT_THROW(v.set_range(60, Bits(40)), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace osss::sysc

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Gate the R7 simulation-speed benchmark (BENCH_r7.json).
+
+Reads the Google Benchmark JSON produced by exp_r7_sim_speed and fails
+(exit 1) if the compiled RTL tape engine's throughput drops below a
+multiple of the RTL interpreter's — the repo's tracked perf-trajectory
+point for the word-level tape rebuild.
+
+Usage: check_bench_r7.py BENCH_r7.json [--min-ratio 5.0]
+"""
+
+import argparse
+import json
+import sys
+
+
+def items_per_second(benchmarks, name):
+    for b in benchmarks:
+        if b.get("name") == name and b.get("run_type", "iteration") != "aggregate":
+            ips = b.get("items_per_second")
+            if ips is None:
+                sys.exit(f"error: {name} has no items_per_second counter")
+            return float(ips)
+    sys.exit(f"error: benchmark {name!r} not found in results")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("json_path")
+    ap.add_argument("--min-ratio", type=float, default=5.0,
+                    help="minimum tape/interpreter cycles-per-second ratio")
+    args = ap.parse_args()
+
+    with open(args.json_path) as f:
+        data = json.load(f)
+    benchmarks = data.get("benchmarks", [])
+
+    interp = items_per_second(benchmarks, "BM_RtlCycleSim")
+    tape = items_per_second(benchmarks, "BM_RtlTapeSim")
+    tape_lanes = items_per_second(benchmarks, "BM_RtlTapeLanesSim")
+
+    ratio = tape / interp if interp > 0 else float("inf")
+    print(f"RTL interpreter : {interp:12.0f} cycles/s")
+    print(f"RTL tape        : {tape:12.0f} cycles/s  ({ratio:.1f}x interpreter)")
+    print(f"RTL tape x64    : {tape_lanes:12.0f} cycles/s  "
+          f"({tape_lanes / interp:.1f}x interpreter)")
+
+    for b in benchmarks:
+        if b.get("name") == "BM_RtlTapeSim":
+            stats = {k: b[k] for k in
+                     ("tape_len", "arena_words", "nodes_evaluated",
+                      "levels_evaluated", "levels_skipped") if k in b}
+            print(f"tape stats      : {stats}")
+            break
+
+    if ratio < args.min_ratio:
+        print(f"FAIL: tape engine is only {ratio:.2f}x the interpreter "
+              f"(required >= {args.min_ratio}x)")
+        return 1
+    print(f"OK: tape engine is {ratio:.2f}x the interpreter "
+          f"(required >= {args.min_ratio}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
