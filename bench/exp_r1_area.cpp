@@ -10,10 +10,13 @@
 // table measures are known-good under two independent evaluators.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "expocu/flows.hpp"
 #include "gate/equiv.hpp"
 #include "gate/lower.hpp"
+#include "par/pool.hpp"
 
 int main() {
   using namespace osss::expocu;
@@ -34,33 +37,56 @@ int main() {
               vhdl.total_area_ge, osss.total_area_ge / vhdl.total_area_ge);
 
   // Netlist-equivalence backing: event-driven vs bit-parallel engine on
-  // the same netlist, per flow component.
+  // the same netlist, per flow component.  Lowering runs serially (synthesis
+  // naming is call-order dependent); the checks fan out across the pool,
+  // each with an explicit per-component seed so the sweep is reproducible
+  // regardless of thread count or completion order.
   std::printf("\ncross-engine netlist verification (event vs 64-lane "
               "bit-parallel):\n");
-  bool all_ok = true;
-  std::uint64_t total_vectors = 0;
+  struct Item {
+    const char* flow;
+    std::string name;
+    osss::gate::Netlist nl;
+    std::uint64_t seed;
+  };
+  std::vector<Item> items;
+  std::uint64_t seed = 1;
+  for (const auto& c : build_osss_flow())
+    items.push_back({"OSSS", c.name, osss::gate::lower_to_gates(c.module),
+                     seed++});
+  for (const auto& c : build_vhdl_flow())
+    items.push_back({"VHDL", c.name, osss::gate::lower_to_gates(c.module),
+                     seed++});
+
   osss::gate::EquivOptions opt;
   opt.sequences = 2;
   opt.cycles = 128;
   opt.mode_a = osss::gate::SimMode::kEvent;
   opt.mode_b = osss::gate::SimMode::kBitParallel;
-  auto verify = [&](const char* flow, const FlowComponent& c,
-                    std::uint64_t seed) {
-    opt.seed = seed;
-    const osss::gate::Netlist nl = osss::gate::lower_to_gates(c.module);
-    const auto r = osss::gate::check_equivalence(nl, nl, opt);
+  const std::vector<osss::gate::EquivResult> results =
+      osss::par::Pool::global().parallel_map<osss::gate::EquivResult>(
+          items.size(), [&](std::size_t i) {
+            osss::gate::EquivOptions o = opt;
+            o.seed = items[i].seed;
+            o.threads = 1;  // the component sweep is the parallel axis
+            return osss::gate::check_equivalence(items[i].nl, items[i].nl, o);
+          });
+
+  bool all_ok = true;
+  std::uint64_t total_vectors = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto& r = results[i];
     total_vectors += r.cycles_checked;
     all_ok = all_ok && static_cast<bool>(r);
-    std::printf("  %-6s %-16s %s (%llu vectors)\n", flow, c.name.c_str(),
+    std::printf("  %-6s %-16s %s (%llu vectors)\n", items[i].flow,
+                items[i].name.c_str(),
                 r ? "agree" : r.counterexample.c_str(),
                 static_cast<unsigned long long>(r.cycles_checked));
-  };
-  std::uint64_t seed = 1;
-  for (const auto& c : build_osss_flow()) verify("OSSS", c, seed++);
-  for (const auto& c : build_vhdl_flow()) verify("VHDL", c, seed++);
-  std::printf("engines %s over %llu random vectors\n",
+  }
+  std::printf("engines %s over %llu random vectors (%u pool contexts)\n",
               all_ok ? "agree" : "DISAGREE",
-              static_cast<unsigned long long>(total_vectors));
+              static_cast<unsigned long long>(total_vectors),
+              osss::par::Pool::global().size());
 
   std::printf(
       "\npaper: \"almost equivalent\" -> reproduced ratio %.2f "

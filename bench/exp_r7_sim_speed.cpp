@@ -30,6 +30,8 @@
 #include "gate/lower.hpp"
 #include "gate/sim.hpp"
 #include "hls/synth.hpp"
+#include "par/batch.hpp"
+#include "par/pool.hpp"
 #include "rtl/sim.hpp"
 
 using namespace osss;
@@ -261,6 +263,92 @@ void BM_GateBitParallelSim(benchmark::State& state) {
   report_engine_stats(state, hist.stats(), thresh.stats());
 }
 
+// --- Thread scaling (src/par batch API) ------------------------------------
+//
+// The same histogram netlist / module, but the stimulus is pre-generated
+// into independent StimulusBlocks and fanned across a work-stealing pool
+// (run_batch).  Arg = pool contexts; items_per_second stays
+// vector-cycles/s, so the 1→8 thread curve is the R7 scaling result.
+
+constexpr unsigned kBatchBlocks = 16;
+constexpr unsigned kFramesPerBlock = 2;
+constexpr unsigned kBatchCycles = kFramesPerBlock * kCyclesPerFrame;
+
+std::vector<par::StimulusBlock> make_gate_lane_blocks() {
+  // Gate hist inputs in declaration order: pixel[8], pixel_valid, vsync —
+  // 10 bit slots, each element a 64-lane word; block b lane l carries the
+  // pixel stream of frame (b * 64 + l) per in-block frame.
+  std::vector<par::StimulusBlock> blocks;
+  for (unsigned b = 0; b < kBatchBlocks; ++b) {
+    par::StimulusBlock blk = par::StimulusBlock::make(kBatchCycles, 10, 64);
+    for (unsigned f = 0; f < kFramesPerBlock; ++f) {
+      for (unsigned i = 0; i < kCyclesPerFrame; ++i) {
+        const unsigned c = f * kCyclesPerFrame + i;
+        const bool valid = i < kPixelsPerFrame;
+        for (unsigned lane = 0; lane < 64; ++lane) {
+          const std::uint64_t frame =
+              (static_cast<std::uint64_t>(b) * 64 + lane) * kFramesPerBlock +
+              f;
+          const std::uint64_t pix = (i * 7 + frame * 13) & 0xff;
+          for (unsigned bit = 0; bit < 8; ++bit)
+            blk.in_at(c, bit) |= ((pix >> bit) & 1u) << lane;
+        }
+        blk.in_at(c, 8) = valid ? ~0ull : 0;
+        blk.in_at(c, 9) = (valid && i == 0) ? ~0ull : 0;
+      }
+    }
+    blocks.push_back(std::move(blk));
+  }
+  return blocks;
+}
+
+void BM_GateBitParallelShards(benchmark::State& state) {
+  const gate::Netlist nl = gate::lower_to_gates(build_histogram_rtl());
+  std::vector<par::StimulusBlock> blocks = make_gate_lane_blocks();
+  par::Pool pool(static_cast<unsigned>(state.range(0)));
+  std::uint64_t vectors = 0;
+  for (auto _ : state) {
+    gate::run_batch(nl, gate::SimMode::kBitParallel, blocks, &pool);
+    vectors += static_cast<std::uint64_t>(kBatchBlocks) * kBatchCycles * 64;
+    benchmark::DoNotOptimize(blocks.front().out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(vectors));
+  state.counters["level"] = 2;  // gate
+  state.counters["threads"] = static_cast<double>(pool.size());
+}
+
+void BM_RtlTapeBatch(benchmark::State& state) {
+  const rtl::Module m = build_histogram_rtl();
+  // Scalar blocks: slots follow the module ports (pixel, pixel_valid,
+  // vsync); block b runs the pixel streams of frames b*2 and b*2+1.
+  std::vector<par::StimulusBlock> blocks;
+  for (unsigned b = 0; b < kBatchBlocks; ++b) {
+    par::StimulusBlock blk = par::StimulusBlock::make(kBatchCycles, 3, 1);
+    for (unsigned f = 0; f < kFramesPerBlock; ++f) {
+      const std::uint64_t frame =
+          static_cast<std::uint64_t>(b) * kFramesPerBlock + f;
+      for (unsigned i = 0; i < kCyclesPerFrame; ++i) {
+        const unsigned c = f * kCyclesPerFrame + i;
+        const bool valid = i < kPixelsPerFrame;
+        blk.in_at(c, 0) = (i * 7 + frame * 13) & 0xff;
+        blk.in_at(c, 1) = valid ? 1 : 0;
+        blk.in_at(c, 2) = (valid && i == 0) ? 1 : 0;
+      }
+    }
+    blocks.push_back(std::move(blk));
+  }
+  par::Pool pool(static_cast<unsigned>(state.range(0)));
+  std::uint64_t vectors = 0;
+  for (auto _ : state) {
+    rtl::run_batch(m, rtl::SimMode::kTape, blocks, &pool);
+    vectors += static_cast<std::uint64_t>(kBatchBlocks) * kBatchCycles;
+    benchmark::DoNotOptimize(blocks.front().out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(vectors));
+  state.counters["level"] = 1;  // RTL
+  state.counters["threads"] = static_cast<double>(pool.size());
+}
+
 }  // namespace
 
 BENCHMARK(BM_OoKernelSim)->Unit(benchmark::kMillisecond);
@@ -270,5 +358,21 @@ BENCHMARK(BM_RtlTapeLanesSim)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GateEventSim)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GateLevelizedSim)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GateBitParallelSim)->Unit(benchmark::kMillisecond);
+// UseRealTime: vector-cycles per WALL second — the honest scaling metric
+// (the default CPU-time rate only counts the calling thread).
+BENCHMARK(BM_GateBitParallelShards)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
+BENCHMARK(BM_RtlTapeBatch)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
 
 BENCHMARK_MAIN();

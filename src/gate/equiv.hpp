@@ -27,7 +27,12 @@
 //   * any nonzero seed is used verbatim, for replaying a reported failure;
 //   * the effective seed is returned in EquivResult::seed and embedded in
 //     the counterexample text, so a failure log alone suffices to re-run
-//     the identical check.
+//     the identical check;
+//   * every sequence is an independent shard seeded with
+//     derive(base, "seq/<i>") and the shards run on a work-stealing pool
+//     (EquivOptions::threads); the verdict, the reported counterexample
+//     (lowest failing sequence) and cycles_checked do not depend on the
+//     thread count.
 
 #pragma once
 
@@ -54,6 +59,12 @@ struct EquivOptions {
   std::uint64_t seed = 0;  ///< 0 = derive from the netlist names
   SimMode mode_a = SimMode::kEvent;  ///< engine simulating netlist `a`
   SimMode mode_b = SimMode::kEvent;  ///< engine simulating netlist `b`
+  /// Pool contexts running the sequence shards: 0 = the process-wide
+  /// par::Pool::global(), 1 = inline on the caller, n = a private n-context
+  /// pool.  The verdict, counterexample and cycles_checked are identical
+  /// for every value — each sequence is an independent shard with a seed
+  /// derived from the base, reduced in sequence order.
+  unsigned threads = 0;
 };
 
 /// The seed a default (seed == 0) check of these two netlists will use.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "par/pool.hpp"
+
 namespace osss::gate {
 
 const char* sim_mode_name(SimMode m) {
@@ -413,6 +415,111 @@ void Simulator::poke_mem(unsigned mem, unsigned word, const Bits& value) {
         value.bit(b) ? lane_mask_ : 0;
   for (const NetId q : memq_cells_.at(mem)) wake_cell(q);
   propagate();
+}
+
+// --- run_batch -------------------------------------------------------------
+
+namespace {
+
+std::uint64_t low64(const Bits& v) {
+  std::uint64_t out = 0;
+  const unsigned n = v.width() < 64 ? v.width() : 64;
+  for (unsigned i = 0; i < n; ++i)
+    if (v.bit(i)) out |= 1ull << i;
+  return out;
+}
+
+void run_scalar_block(Simulator& sim, const Netlist& nl,
+                      par::StimulusBlock& b) {
+  sim.reset();
+  for (unsigned c = 0; c < b.cycles; ++c) {
+    for (unsigned s = 0; s < b.in_slots; ++s) {
+      const Bus& bus = nl.inputs()[s];
+      const unsigned w = static_cast<unsigned>(bus.nets.size());
+      const std::uint64_t mask = w >= 64 ? ~0ull : ((1ull << w) - 1);
+      sim.set_input(bus.name, b.in_at(c, s) & mask);
+    }
+    sim.step();
+    for (unsigned s = 0; s < b.out_slots; ++s)
+      b.out[static_cast<std::size_t>(c) * b.out_slots + s] =
+          low64(sim.output(nl.outputs()[s].name));
+  }
+}
+
+void run_lane_block(Simulator& sim, const Netlist& nl, par::StimulusBlock& b,
+                    std::vector<std::uint64_t>& scratch) {
+  sim.reset();
+  for (unsigned c = 0; c < b.cycles; ++c) {
+    unsigned slot = 0;
+    for (const Bus& bus : nl.inputs()) {
+      const unsigned w = static_cast<unsigned>(bus.nets.size());
+      scratch.assign(&b.in_at(c, slot), &b.in_at(c, slot) + w);
+      sim.set_input_lanes(bus.name, scratch);
+      slot += w;
+    }
+    sim.step();
+    slot = 0;
+    for (const Bus& bus : nl.outputs()) {
+      const std::vector<std::uint64_t> words = sim.output_words(bus.name);
+      for (std::size_t i = 0; i < words.size(); ++i)
+        b.out[static_cast<std::size_t>(c) * b.out_slots + slot + i] = words[i];
+      slot += static_cast<unsigned>(words.size());
+    }
+  }
+}
+
+}  // namespace
+
+void run_batch(const Netlist& nl, SimMode mode,
+               std::span<par::StimulusBlock> blocks, par::Pool* pool_arg) {
+  if (blocks.empty()) return;
+  const unsigned lanes = blocks.front().lanes;
+  if (lanes != 1 && lanes != Simulator::kLanes)
+    throw std::invalid_argument("gate::run_batch: lanes must be 1 or 64");
+  if (lanes == Simulator::kLanes && mode != SimMode::kBitParallel)
+    throw std::invalid_argument(
+        "gate::run_batch: 64-lane blocks require kBitParallel");
+
+  unsigned in_slots = 0, out_slots = 0;
+  if (lanes == 1) {
+    in_slots = static_cast<unsigned>(nl.inputs().size());
+    out_slots = static_cast<unsigned>(nl.outputs().size());
+  } else {
+    for (const Bus& bus : nl.inputs())
+      in_slots += static_cast<unsigned>(bus.nets.size());
+    for (const Bus& bus : nl.outputs())
+      out_slots += static_cast<unsigned>(bus.nets.size());
+  }
+  for (par::StimulusBlock& b : blocks) {
+    if (b.lanes != lanes)
+      throw std::invalid_argument("gate::run_batch: mixed-lane batch");
+    if (b.in_slots != in_slots ||
+        b.in.size() != static_cast<std::size_t>(b.cycles) * in_slots)
+      throw std::invalid_argument("gate::run_batch: block stimulus shape "
+                                  "does not match the netlist interface");
+    b.out_slots = out_slots;
+    b.out.assign(static_cast<std::size_t>(b.cycles) * out_slots, 0);
+  }
+
+  par::Pool& pool = pool_arg ? *pool_arg : par::Pool::global();
+  // One simulator per chunk (netlist copy + schedule build amortized over
+  // the chunk's blocks), reset between blocks.
+  const std::size_t chunks =
+      std::min(blocks.size(), static_cast<std::size_t>(pool.size()) * 2);
+  const std::size_t per = (blocks.size() + chunks - 1) / chunks;
+  pool.parallel_for(chunks, [&](std::size_t chunk) {
+    const std::size_t lo = chunk * per;
+    const std::size_t hi = std::min(blocks.size(), lo + per);
+    if (lo >= hi) return;
+    Simulator sim(nl, mode);
+    std::vector<std::uint64_t> scratch;
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (lanes == 1)
+        run_scalar_block(sim, nl, blocks[i]);
+      else
+        run_lane_block(sim, nl, blocks[i], scratch);
+    }
+  });
 }
 
 }  // namespace osss::gate

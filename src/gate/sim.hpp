@@ -23,10 +23,16 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "gate/netlist.hpp"
+#include "par/batch.hpp"
+
+namespace osss::par {
+class Pool;
+}
 
 namespace osss::gate {
 
@@ -170,5 +176,23 @@ private:
   void sample_writes();
   void commit_writes();
 };
+
+/// Evaluate independent stimulus blocks of `nl` across a pool (nullptr =
+/// par::Pool::global()).  Each block runs from power-on reset; per cycle the
+/// runner drives every input slot, steps, then samples every output slot
+/// into block.out.
+///
+/// Scalar blocks (lanes == 1): slot s is input/output bus s in netlist
+/// declaration order, values masked to the bus width.  Lane blocks
+/// (lanes == Simulator::kLanes, kBitParallel mode only): slot s is the s-th
+/// bit of the buses concatenated LSB-first — in_slots must equal the summed
+/// input widths and each element is that bit's 64-lane word.
+///
+/// Block results depend only on the block's own stimulus, so the batch is
+/// bit-identical for every pool size.  Throws std::invalid_argument on
+/// malformed blocks.
+void run_batch(const Netlist& nl, SimMode mode,
+               std::span<par::StimulusBlock> blocks,
+               par::Pool* pool = nullptr);
 
 }  // namespace osss::gate

@@ -1,0 +1,53 @@
+// batch.hpp — stimulus blocks for batch simulation across pool workers.
+//
+// A StimulusBlock is one self-contained simulation job: `cycles` cycles of
+// pre-generated input values for `in_slots` input ports, starting from
+// power-on reset, producing `cycles` rows of `out_slots` sampled outputs.
+// Blocks are independent by construction (each starts from reset), so a
+// batch of blocks can run on any worker in any order and the per-block
+// outputs are bit-identical for every thread count.
+//
+// Layout: flat row-major arrays.  For lanes == 1, in[c * in_slots + s] is
+// the scalar value driven on input slot s at cycle c (masked to the port
+// width by the batch runner).  For lanes == 64 (gate bit-parallel / RTL
+// tape lane mode) the same indexing holds but each element is a 64-lane
+// word per port *bit*, ports concatenated LSB-first: in_slots is the sum of
+// port widths and slot s is the s-th bit position in that concatenation.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace osss::par {
+
+struct StimulusBlock {
+  unsigned cycles = 0;
+  unsigned lanes = 1;  ///< 1 (scalar) or 64 (lane-word per port bit)
+  unsigned in_slots = 0;
+  unsigned out_slots = 0;
+  std::vector<std::uint64_t> in;   ///< [cycle * in_slots + slot]
+  std::vector<std::uint64_t> out;  ///< [cycle * out_slots + slot], filled by run_batch
+
+  static StimulusBlock make(unsigned cycles, unsigned in_slots,
+                            unsigned lanes = 1) {
+    StimulusBlock b;
+    b.cycles = cycles;
+    b.lanes = lanes;
+    b.in_slots = in_slots;
+    b.in.assign(static_cast<std::size_t>(cycles) * in_slots, 0);
+    return b;
+  }
+
+  std::uint64_t& in_at(unsigned cycle, unsigned slot) {
+    return in[static_cast<std::size_t>(cycle) * in_slots + slot];
+  }
+  std::uint64_t in_at(unsigned cycle, unsigned slot) const {
+    return in[static_cast<std::size_t>(cycle) * in_slots + slot];
+  }
+  std::uint64_t out_at(unsigned cycle, unsigned slot) const {
+    return out[static_cast<std::size_t>(cycle) * out_slots + slot];
+  }
+};
+
+}  // namespace osss::par

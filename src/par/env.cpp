@@ -1,0 +1,83 @@
+#include "par/env.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace osss::par {
+
+namespace {
+
+bool is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+
+}  // namespace
+
+EnvValue parse_u64(std::string_view text, std::uint64_t lo, std::uint64_t hi) {
+  EnvValue out;
+  std::size_t b = 0, e = text.size();
+  while (b < e && is_space(text[b])) ++b;
+  while (e > b && is_space(text[e - 1])) --e;
+  if (b == e) return out;  // empty -> kMalformed
+  if (text[b] == '-') {
+    out.status = EnvParseStatus::kNegative;
+    return out;
+  }
+  const std::string body(text.substr(b, e - b));  // NUL-terminated for strtoull
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(body.c_str(), &end, 0);
+  if (end == body.c_str() || *end != '\0') return out;  // kMalformed
+  if (errno == ERANGE) {
+    out.status = EnvParseStatus::kOverflow;
+    out.value = hi;
+    out.clamped = true;
+    return out;
+  }
+  out.status = EnvParseStatus::kOk;
+  out.value = static_cast<std::uint64_t>(v);
+  if (out.value < lo) {
+    out.value = lo;
+    out.clamped = true;
+  } else if (out.value > hi) {
+    out.value = hi;
+    out.clamped = true;
+  }
+  return out;
+}
+
+std::uint64_t env_u64(const char* var, std::uint64_t fallback,
+                      std::uint64_t lo, std::uint64_t hi) {
+  const char* text = std::getenv(var);
+  if (text == nullptr) return fallback;
+  const EnvValue v = parse_u64(text, lo, hi);
+  switch (v.status) {
+    case EnvParseStatus::kOk:
+      if (v.clamped)
+        std::fprintf(stderr,
+                     "osss: %s='%s' out of range [%llu, %llu]; clamped to "
+                     "%llu\n",
+                     var, text, static_cast<unsigned long long>(lo),
+                     static_cast<unsigned long long>(hi),
+                     static_cast<unsigned long long>(v.value));
+      return v.value;
+    case EnvParseStatus::kOverflow:
+      std::fprintf(stderr,
+                   "osss: %s='%s' overflows 64 bits; clamped to %llu\n", var,
+                   text, static_cast<unsigned long long>(v.value));
+      return v.value;
+    case EnvParseStatus::kNegative:
+    case EnvParseStatus::kMalformed:
+      std::fprintf(stderr,
+                   "osss: ignoring %s='%s' (not an unsigned integer); using "
+                   "%llu\n",
+                   var, text, static_cast<unsigned long long>(fallback));
+      return fallback;
+  }
+  return fallback;
+}
+
+}  // namespace osss::par

@@ -1,0 +1,41 @@
+// env.hpp — hardened environment-variable parsing for numeric knobs.
+//
+// Every numeric environment override in the repo (OSSS_FUZZ_SEED,
+// OSSS_FUZZ_ITERS, OSSS_THREADS) goes through one strict parser instead of
+// atoi-style prefix parsing: garbage, embedded junk, negative values and
+// overflow are rejected or clamped with a warning on stderr, never silently
+// truncated.  parse_u64 is the pure, testable core; env_u64 adds the getenv
+// lookup and the warning policy.
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace osss::par {
+
+enum class EnvParseStatus : std::uint8_t {
+  kOk,         ///< parsed cleanly (value may still have been clamped)
+  kMalformed,  ///< empty, non-numeric, or trailing junk
+  kNegative,   ///< a leading '-' (unsigned knobs reject negatives outright)
+  kOverflow,   ///< does not fit in 64 bits (value is clamped to `hi`)
+};
+
+struct EnvValue {
+  std::uint64_t value = 0;
+  EnvParseStatus status = EnvParseStatus::kMalformed;
+  bool clamped = false;  ///< value was pulled into [lo, hi]
+};
+
+/// Strict full-string parse of `text` as an unsigned 64-bit value, then
+/// clamp into [lo, hi].  Accepts decimal, 0x-hex and 0-octal (strtoull
+/// base 0) with surrounding whitespace; anything else is kMalformed.
+EnvValue parse_u64(std::string_view text, std::uint64_t lo, std::uint64_t hi);
+
+/// getenv(var) through parse_u64.  Unset -> `fallback` silently; malformed
+/// or negative -> `fallback` with a stderr warning; overflow or
+/// out-of-range -> clamped with a stderr warning.
+std::uint64_t env_u64(const char* var, std::uint64_t fallback,
+                      std::uint64_t lo, std::uint64_t hi);
+
+}  // namespace osss::par

@@ -1,6 +1,9 @@
 #include "rtl/sim.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "par/pool.hpp"
 
 namespace osss::rtl {
 
@@ -318,6 +321,107 @@ void Simulator::poke_reg(const std::string& name, const Bits& value) {
     }
   }
   throw std::logic_error("Simulator: no register named " + name);
+}
+
+// --- run_batch -------------------------------------------------------------
+
+namespace {
+
+void run_scalar_block(Simulator& sim, const std::vector<InputHandle>& in,
+                      const std::vector<OutputHandle>& out,
+                      par::StimulusBlock& b) {
+  sim.reset();
+  for (unsigned c = 0; c < b.cycles; ++c) {
+    for (unsigned s = 0; s < b.in_slots; ++s)
+      sim.set_input(in[s], b.in_at(c, s));  // truncates to port width
+    sim.step();
+    for (unsigned s = 0; s < b.out_slots; ++s)
+      b.out[static_cast<std::size_t>(c) * b.out_slots + s] =
+          sim.output_u64(out[s]);
+  }
+}
+
+void run_lane_block(Simulator& sim, const std::vector<InputHandle>& in,
+                    const std::vector<unsigned>& in_widths,
+                    const std::vector<OutputHandle>& out,
+                    par::StimulusBlock& b,
+                    std::vector<std::uint64_t>& scratch) {
+  sim.reset();
+  for (unsigned c = 0; c < b.cycles; ++c) {
+    unsigned slot = 0;
+    for (std::size_t p = 0; p < in.size(); ++p) {
+      const unsigned w = in_widths[p];
+      scratch.assign(&b.in_at(c, slot), &b.in_at(c, slot) + w);
+      sim.set_input_lanes(in[p], scratch);
+      slot += w;
+    }
+    sim.step();
+    slot = 0;
+    for (const OutputHandle h : out) {
+      const std::vector<std::uint64_t> words = sim.output_words(h);
+      for (std::size_t i = 0; i < words.size(); ++i)
+        b.out[static_cast<std::size_t>(c) * b.out_slots + slot + i] = words[i];
+      slot += static_cast<unsigned>(words.size());
+    }
+  }
+}
+
+}  // namespace
+
+void run_batch(const Module& m, SimMode mode,
+               std::span<par::StimulusBlock> blocks, par::Pool* pool_arg) {
+  if (blocks.empty()) return;
+  const unsigned lanes = blocks.front().lanes;
+  if (lanes != 1 && lanes != 64)
+    throw std::invalid_argument("rtl::run_batch: lanes must be 1 or 64");
+  if (lanes == 64 && mode != SimMode::kTape)
+    throw std::invalid_argument(
+        "rtl::run_batch: 64-lane blocks require SimMode::kTape");
+
+  std::vector<unsigned> in_widths;
+  for (const PortRef& p : m.inputs())
+    in_widths.push_back(m.node(p.node).width);
+  unsigned in_slots = 0, out_slots = 0;
+  if (lanes == 1) {
+    in_slots = static_cast<unsigned>(m.inputs().size());
+    out_slots = static_cast<unsigned>(m.outputs().size());
+  } else {
+    for (const unsigned w : in_widths) in_slots += w;
+    for (const PortRef& p : m.outputs()) out_slots += m.node(p.node).width;
+  }
+  for (par::StimulusBlock& b : blocks) {
+    if (b.lanes != lanes)
+      throw std::invalid_argument("rtl::run_batch: mixed-lane batch");
+    if (b.in_slots != in_slots ||
+        b.in.size() != static_cast<std::size_t>(b.cycles) * in_slots)
+      throw std::invalid_argument("rtl::run_batch: block stimulus shape "
+                                  "does not match the module interface");
+    b.out_slots = out_slots;
+    b.out.assign(static_cast<std::size_t>(b.cycles) * out_slots, 0);
+  }
+
+  par::Pool& pool = pool_arg ? *pool_arg : par::Pool::global();
+  const std::size_t chunks =
+      std::min(blocks.size(), static_cast<std::size_t>(pool.size()) * 2);
+  const std::size_t per = (blocks.size() + chunks - 1) / chunks;
+  pool.parallel_for(chunks, [&](std::size_t chunk) {
+    const std::size_t lo = chunk * per;
+    const std::size_t hi = std::min(blocks.size(), lo + per);
+    if (lo >= hi) return;
+    Simulator sim(m, mode, lanes);
+    std::vector<InputHandle> in;
+    std::vector<OutputHandle> out;
+    for (const PortRef& p : m.inputs()) in.push_back(sim.input_handle(p.name));
+    for (const PortRef& p : m.outputs())
+      out.push_back(sim.output_handle(p.name));
+    std::vector<std::uint64_t> scratch;
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (lanes == 1)
+        run_scalar_block(sim, in, out, blocks[i]);
+      else
+        run_lane_block(sim, in, in_widths, out, blocks[i], scratch);
+    }
+  });
 }
 
 }  // namespace osss::rtl

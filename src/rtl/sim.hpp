@@ -21,12 +21,18 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "par/batch.hpp"
 #include "rtl/ir.hpp"
 #include "rtl/tape.hpp"
+
+namespace osss::par {
+class Pool;
+}
 
 namespace osss::rtl {
 
@@ -156,5 +162,21 @@ private:
     return m_.node(m_.inputs()[index].node).width;
   }
 };
+
+/// Evaluate independent stimulus blocks of `m` across a pool (nullptr =
+/// par::Pool::global()).  Same contract as gate::run_batch: each block runs
+/// from power-on reset; per cycle the runner drives every input slot, steps,
+/// then samples every output slot into block.out.
+///
+/// Scalar blocks (lanes == 1): slot s is input/output port s in module
+/// declaration order, values truncated to the port width.  Lane blocks
+/// (lanes == 64, kTape mode only): slot s is the s-th bit of the ports
+/// concatenated LSB-first, each element a 64-lane word.
+///
+/// Bit-identical for every pool size.  Throws std::invalid_argument on
+/// malformed blocks.
+void run_batch(const Module& m, SimMode mode,
+               std::span<par::StimulusBlock> blocks,
+               par::Pool* pool = nullptr);
 
 }  // namespace osss::rtl

@@ -5,6 +5,19 @@
 
 namespace osss::verify {
 
+// --- Trace -----------------------------------------------------------------
+
+std::size_t Trace::memory_bytes() const noexcept {
+  std::size_t n = sizeof(*this);
+  n += inputs.capacity() * sizeof(IoDecl);
+  n += cycles.capacity() * sizeof(std::vector<Bits>);
+  for (const std::vector<Bits>& row : cycles) {
+    n += row.capacity() * sizeof(Bits);
+    for (const Bits& v : row) n += ((v.width() + 63) / 64) * 8;
+  }
+  return n;
+}
+
 // --- Model defaults --------------------------------------------------------
 
 void Model::set_input_lanes(const std::string& name,
@@ -281,22 +294,38 @@ RunResult CoSim::run(StimGen& gen, unsigned cycles, unsigned sequences) {
   const unsigned lanes = common_lanes();
   const bool wide = lanes > 1;
 
-  // Per-cycle stimulus recording: rec[c][i] holds the lane words of input
-  // i's bits (scalar runs use lane 0 only).
-  std::vector<std::vector<std::vector<std::uint64_t>>> rec;
+  // Flat per-sequence stimulus recorder: one row of `row_words` lane words
+  // per cycle (input bits concatenated in declaration order), sized once
+  // and overwritten every sequence — the hot loop does no allocation.
+  std::vector<std::size_t> offset(inputs_.size(), 0);
+  std::size_t row_words = 0;
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    offset[i] = row_words;
+    row_words += inputs_[i].width;
+  }
+  std::vector<std::uint64_t> rec(static_cast<std::size_t>(cycles) * row_words);
+  std::vector<std::uint64_t> scratch(wide ? row_words : 0);
+
+  r.recorder_bytes = (rec.capacity() + scratch.capacity()) * 8 +
+                     offset.capacity() * sizeof(std::size_t);
 
   for (unsigned s = 0; s < sequences; ++s) {
     reset_models();
-    rec.clear();
     for (unsigned c = 0; c < cycles; ++c) {
-      rec.emplace_back();
-      rec.back().reserve(inputs_.size());
-      for (const IoDecl& in : inputs_) {
+      std::uint64_t* row = rec.data() + static_cast<std::size_t>(c) * row_words;
+      for (std::size_t ii = 0; ii < inputs_.size(); ++ii) {
+        const IoDecl& in = inputs_[ii];
+        std::uint64_t* words = row + offset[ii];
         if (wide) {
-          std::vector<std::uint64_t> words = gen.next_lanes(in.name);
+          gen.next_lanes(in.name, words);
+          bool shared = false;  // scratch vector built lazily, reused after
           for (auto& m : models_) {
             if (m->lanes() > 1) {
-              m->set_input_lanes(in.name, words);
+              if (!shared) {
+                scratch.assign(words, words + in.width);
+                shared = true;
+              }
+              m->set_input_lanes(in.name, scratch);
             } else {
               Bits v(in.width);
               for (unsigned i = 0; i < in.width; ++i)
@@ -304,14 +333,11 @@ RunResult CoSim::run(StimGen& gen, unsigned cycles, unsigned sequences) {
               m->set_input(in.name, v);
             }
           }
-          rec.back().push_back(std::move(words));
         } else {
           const Bits v = gen.next(in.name);
           for (auto& m : models_) m->set_input(in.name, v);
-          std::vector<std::uint64_t> words(in.width, 0);
           for (unsigned i = 0; i < in.width; ++i)
             words[i] = v.bit(i) ? 1u : 0u;
-          rec.back().push_back(std::move(words));
         }
       }
       if (!score_cycle(r, lanes, s, c)) {
@@ -319,18 +345,21 @@ RunResult CoSim::run(StimGen& gen, unsigned cycles, unsigned sequences) {
         // failing cycle, for shrinking / replay.
         const unsigned lane = r.mismatch.lane;
         r.failing_trace.inputs = inputs_;
-        for (const auto& cyc : rec) {
+        for (unsigned pc = 0; pc <= c; ++pc) {
+          const std::uint64_t* prow =
+              rec.data() + static_cast<std::size_t>(pc) * row_words;
           std::vector<Bits> values;
           values.reserve(inputs_.size());
           for (std::size_t i = 0; i < inputs_.size(); ++i) {
             Bits v(inputs_[i].width);
             for (unsigned bi = 0; bi < inputs_[i].width; ++bi)
-              v.set_bit(bi, ((cyc[i][bi] >> lane) & 1u) != 0);
+              v.set_bit(bi, ((prow[offset[i] + bi] >> lane) & 1u) != 0);
             values.push_back(std::move(v));
           }
           r.failing_trace.cycles.push_back(std::move(values));
         }
         r.mismatch.inputs = r.failing_trace.cycles.back();
+        r.recorder_bytes += r.failing_trace.memory_bytes();
         finish(r);
         return r;
       }

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -46,6 +47,11 @@ struct Trace {
   std::vector<std::vector<Bits>> cycles;
 
   std::size_t length() const noexcept { return cycles.size(); }
+
+  /// Approximate heap footprint of the recorded stimulus (containers plus
+  /// one 64-bit word per 64 bits of every Bits value).  Reported through
+  /// RunResult::recorder_bytes so fuzz campaigns can see recorder overhead.
+  std::size_t memory_bytes() const noexcept;
 };
 
 /// One simulator wrapped for lockstep driving.  Concrete adapters below.
@@ -200,12 +206,16 @@ struct RunResult {
   std::uint64_t cycles = 0;   ///< clock edges stepped
   std::uint64_t vectors = 0;  ///< stimulus vectors scored (cycles × lanes)
   std::uint64_t checks = 0;   ///< output comparisons performed
+  std::uint64_t recorder_bytes = 0;  ///< stimulus-recorder heap footprint
   Mismatch mismatch;          ///< valid when !ok
   Trace failing_trace;        ///< scalar trace of the mismatching lane
   CoverageReport coverage;
 
   explicit operator bool() const noexcept { return ok; }
 };
+
+struct ShardOptions;       // verify/parallel.hpp
+struct ShardedRunResult;   // verify/parallel.hpp
 
 class CoSim {
 public:
@@ -250,6 +260,14 @@ public:
   /// Replay an explicit scalar stimulus sequence (models reset first).
   /// Used by the shrinker and by replay records.
   RunResult run_trace(const Trace& t);
+
+  /// Sharded campaign across a par::Pool: each shard gets its own CoSim
+  /// from `make` and a seed derived from the base, so results are
+  /// bit-identical for every thread count.  Thin wrapper over
+  /// parallel_fuzz — see verify/parallel.hpp for the options and result.
+  static ShardedRunResult run_sharded(
+      const std::function<std::unique_ptr<CoSim>()>& make,
+      const ShardOptions& opt);
 
 private:
   std::vector<std::unique_ptr<Model>> models_;

@@ -1,5 +1,7 @@
 #include "verify/coverage.hpp"
 
+#include <algorithm>
+#include <iterator>
 #include <sstream>
 
 namespace osss::verify {
@@ -9,6 +11,30 @@ const CoverageItem* CoverageReport::find(const std::string& model,
   for (const CoverageItem& it : items)
     if (it.model == model && it.kind == kind) return &it;
   return nullptr;
+}
+
+void CoverageReport::merge(const CoverageReport& other) {
+  for (const CoverageItem& o : other.items) {
+    CoverageItem* mine = nullptr;
+    for (CoverageItem& it : items)
+      if (it.model == o.model && it.kind == o.kind) {
+        mine = &it;
+        break;
+      }
+    if (mine == nullptr) {
+      items.push_back(o);
+      continue;
+    }
+    std::vector<std::uint64_t> merged;
+    merged.reserve(mine->points.size() + o.points.size());
+    std::set_union(mine->points.begin(), mine->points.end(), o.points.begin(),
+                   o.points.end(), std::back_inserter(merged));
+    mine->points = std::move(merged);
+    mine->covered = mine->points.empty()
+                        ? std::max(mine->covered, o.covered)
+                        : mine->points.size();
+    mine->total = std::max(mine->total, o.total);
+  }
 }
 
 std::string CoverageReport::text() const {
@@ -61,7 +87,12 @@ std::uint64_t ToggleCoverage::covered() const {
 }
 
 CoverageItem ToggleCoverage::item(const std::string& model) const {
-  return CoverageItem{model, "net-toggle", covered(), total()};
+  CoverageItem it{model, "net-toggle", 0, total(), {}};
+  for (std::size_t i = 0; i < track_.size(); ++i)
+    if (track_[i] && seen0_[i] && seen1_[i])
+      it.points.push_back(static_cast<std::uint64_t>(i));
+  it.covered = it.points.size();
+  return it;
 }
 
 FsmCoverage::FsmCoverage(unsigned state_count, unsigned transition_count)
@@ -75,12 +106,18 @@ void FsmCoverage::sample(unsigned state) {
 }
 
 CoverageItem FsmCoverage::state_item(const std::string& model) const {
-  return CoverageItem{model, "fsm-state", states_covered(), state_count_};
+  CoverageItem it{model, "fsm-state", states_covered(), state_count_, {}};
+  it.points.assign(states_.begin(), states_.end());  // std::set: sorted
+  return it;
 }
 
 CoverageItem FsmCoverage::transition_item(const std::string& model) const {
-  return CoverageItem{model, "fsm-transition", transitions_covered(),
-                      transition_count_};
+  CoverageItem it{model, "fsm-transition", transitions_covered(),
+                  transition_count_,
+                  {}};
+  for (const auto& [prev, next] : transitions_)  // sorted pair order
+    it.points.push_back((static_cast<std::uint64_t>(prev) << 32) | next);
+  return it;
 }
 
 }  // namespace osss::verify

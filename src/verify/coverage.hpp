@@ -32,12 +32,18 @@ struct CoverageItem {
   std::string kind;   ///< "net-toggle", "fsm-state", "fsm-transition"
   std::uint64_t covered = 0;
   std::uint64_t total = 0;  ///< 0 = unknown universe (report covered only)
+  /// Sorted identities of the covered points (net ids, state ids, or
+  /// (prev << 32) | next transition encodings).  Lets reports from
+  /// independent shards union-merge exactly instead of summing counts.
+  std::vector<std::uint64_t> points;
 
   double percent() const {
     return total == 0 ? 0.0
                       : 100.0 * static_cast<double>(covered) /
                             static_cast<double>(total);
   }
+
+  bool operator==(const CoverageItem&) const = default;
 };
 
 struct CoverageReport {
@@ -45,8 +51,15 @@ struct CoverageReport {
 
   const CoverageItem* find(const std::string& model,
                            const std::string& kind) const;
+  /// Union-merge another report (e.g. from a parallel fuzz shard): items
+  /// with the same (model, kind) merge their point sets; unseen items are
+  /// appended in `other`'s order, so merging shards in shard order is
+  /// deterministic for any thread count.
+  void merge(const CoverageReport& other);
   /// Multi-line human-readable table.
   std::string text() const;
+
+  bool operator==(const CoverageReport&) const = default;
 };
 
 /// Tracks per-net toggle activity of one gate::Simulator.

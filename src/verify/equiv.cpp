@@ -8,8 +8,11 @@
 
 #include "gate/equiv.hpp"
 
+#include <atomic>
+#include <memory>
 #include <sstream>
 
+#include "par/pool.hpp"
 #include "verify/cosim.hpp"
 #include "verify/stimgen.hpp"
 
@@ -41,26 +44,78 @@ EquivResult check_equivalence(const Netlist& a, const Netlist& b,
     return result;
   }
 
-  verify::CoSim cs;
-  cs.add(std::make_unique<verify::GateModel>(a, opt.mode_a, "a"));
-  cs.add(std::make_unique<verify::GateModel>(b, opt.mode_b, "b"));
-  cs.declare_io(a);
-
   result.seed = opt.seed != 0 ? opt.seed : derive_equiv_seed(a, b);
-  verify::StimGen gen(result.seed);
-  cs.declare_stimulus(gen);
-
-  const verify::RunResult run = cs.run(gen, opt.cycles, opt.sequences);
-  result.cycles_checked = run.vectors;
-  if (run.ok) {
+  if (opt.sequences == 0) {
     result.equivalent = true;
     return result;
   }
+
+  // Every sequence is an independent shard: its own pair of gate models,
+  // its own derived seed.  Shards run on the pool; once some shard fails,
+  // shards with a HIGHER index may be skipped (their vectors can never be
+  // part of the deterministic result), but every shard at or below the
+  // lowest failing index always runs, so verdict, counterexample and
+  // cycles_checked are identical for any thread count.
+  const unsigned seqs = opt.sequences;
+  std::atomic<unsigned> first_fail{seqs};
+
+  struct SeqOut {
+    verify::RunResult run;
+    bool ran = false;
+  };
+
+  const auto run_shard = [&](std::size_t s) {
+    SeqOut out;
+    if (static_cast<unsigned>(s) > first_fail.load(std::memory_order_acquire))
+      return out;
+    verify::CoSim cs;
+    cs.add(std::make_unique<verify::GateModel>(a, opt.mode_a, "a"));
+    cs.add(std::make_unique<verify::GateModel>(b, opt.mode_b, "b"));
+    cs.declare_io(a);
+    verify::StimGen gen(verify::StimGen::derive(
+        result.seed, "seq/" + std::to_string(s)));
+    cs.declare_stimulus(gen);
+    out.run = cs.run(gen, opt.cycles, 1);
+    out.ran = true;
+    if (!out.run.ok) {
+      unsigned cur = first_fail.load(std::memory_order_relaxed);
+      while (static_cast<unsigned>(s) < cur &&
+             !first_fail.compare_exchange_weak(cur, static_cast<unsigned>(s),
+                                               std::memory_order_acq_rel))
+        ;
+    }
+    return out;
+  };
+
+  std::unique_ptr<par::Pool> own;
+  if (opt.threads != 0) own = std::make_unique<par::Pool>(opt.threads);
+  par::Pool& pool = own ? *own : par::Pool::global();
+  const std::vector<SeqOut> outs =
+      pool.parallel_map<SeqOut>(seqs, run_shard);
+
+  unsigned fail = seqs;
+  for (unsigned s = 0; s < seqs; ++s)
+    if (outs[s].ran && !outs[s].run.ok) {
+      fail = s;
+      break;
+    }
+  for (unsigned s = 0; s < seqs && s <= fail; ++s)
+    if (outs[s].ran) result.cycles_checked += outs[s].run.vectors;
+  if (fail == seqs) {
+    result.equivalent = true;
+    return result;
+  }
+
   const bool lanes = opt.mode_a == SimMode::kBitParallel &&
                      opt.mode_b == SimMode::kBitParallel;
+  verify::Mismatch mismatch = outs[fail].run.mismatch;
+  mismatch.sequence = fail;
+  std::vector<verify::IoDecl> decls;
+  for (const Bus& bus : a.inputs())
+    decls.push_back(
+        verify::IoDecl{bus.name, static_cast<unsigned>(bus.nets.size())});
   std::ostringstream os;
-  os << run.mismatch.describe(cs.inputs(), lanes) << "(seed " << result.seed
-     << ")";
+  os << mismatch.describe(decls, lanes) << "(seed " << result.seed << ")";
   result.counterexample = os.str();
   return result;
 }

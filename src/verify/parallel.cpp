@@ -1,0 +1,87 @@
+#include "verify/parallel.hpp"
+
+#include <stdexcept>
+
+namespace osss::verify {
+
+std::uint64_t shard_seed(std::uint64_t base, unsigned shard) {
+  return StimGen::derive(base, "shard/" + std::to_string(shard));
+}
+
+ShardedRunResult parallel_fuzz(const CoSimFactory& make,
+                               const ShardOptions& opt) {
+  if (!make) throw std::invalid_argument("parallel_fuzz: null factory");
+  if (opt.shards == 0)
+    throw std::invalid_argument("parallel_fuzz: zero shards");
+  par::Pool& pool = opt.pool ? *opt.pool : par::Pool::global();
+
+  // Serial, shard-ordered construction: factories may rely on global
+  // call-order state (generated controller names), so only the runs below
+  // are allowed on workers.
+  std::vector<std::unique_ptr<CoSim>> sims;
+  std::vector<std::unique_ptr<StimGen>> gens;
+  sims.reserve(opt.shards);
+  gens.reserve(opt.shards);
+  for (unsigned i = 0; i < opt.shards; ++i) {
+    sims.push_back(make());
+    gens.push_back(std::make_unique<StimGen>(shard_seed(opt.seed, i)));
+    if (opt.declare)
+      opt.declare(*sims.back(), *gens.back());
+    else
+      sims.back()->declare_stimulus(*gens.back());
+  }
+
+  const std::vector<RunResult> runs = pool.parallel_map<RunResult>(
+      opt.shards, [&](std::size_t i) {
+        return sims[i]->run(*gens[i], opt.cycles, opt.sequences);
+      });
+
+  // Shard-ordered reduction: identical for every thread count.
+  ShardedRunResult out;
+  out.shards = opt.shards;
+  for (unsigned i = 0; i < opt.shards; ++i) {
+    const RunResult& r = runs[i];
+    out.cycles += r.cycles;
+    out.vectors += r.vectors;
+    out.checks += r.checks;
+    if (r.recorder_bytes > out.recorder_bytes)
+      out.recorder_bytes = r.recorder_bytes;
+    out.coverage.merge(r.coverage);
+    if (!r.ok) {
+      ShardFailure f;
+      f.shard = i;
+      f.seed = gens[i]->seed();
+      f.mismatch = r.mismatch;
+      f.trace = r.failing_trace;
+      out.failures.push_back(std::move(f));
+    }
+  }
+  out.ok = out.failures.empty();
+  return out;
+}
+
+ReplayRecord shrink_first_failure(const CoSimFactory& make,
+                                  const ShardedRunResult& result,
+                                  const std::string& design,
+                                  std::uint64_t max_runs) {
+  const ShardFailure* f = result.first_failure();
+  if (f == nullptr)
+    throw std::logic_error("shrink_first_failure: campaign had no failures");
+  const std::unique_ptr<CoSim> cs = make();
+  const ShrinkResult s = shrink(*cs, f->trace, max_runs);
+  ReplayRecord rec;
+  rec.design = design;
+  rec.seed = f->seed;
+  rec.note = "shard " + std::to_string(f->shard) + ": " +
+             f->mismatch.describe(f->trace.inputs, true);
+  rec.trace = s.trace;
+  return rec;
+}
+
+ShardedRunResult CoSim::run_sharded(
+    const std::function<std::unique_ptr<CoSim>()>& make,
+    const ShardOptions& opt) {
+  return parallel_fuzz(make, opt);
+}
+
+}  // namespace osss::verify

@@ -1,0 +1,88 @@
+// parallel.hpp — sharded fuzz campaigns across the work-stealing pool.
+//
+// A fuzz campaign splits into independent shards: shard i gets its own
+// co-simulation (from a user factory) and its own StimGen seeded with
+// shard_seed(base, i).  Shards execute on a par::Pool, but every quantity a
+// caller can observe — mismatch set, merged coverage, vector counts, the
+// replay file of the first failure — is reduced in shard order, so a
+// campaign is bit-identical whether it ran on 1, 2 or 64 threads
+// (OSSS_THREADS only changes wall-clock).
+//
+// The shard co-sims are constructed serially, in shard order, before any
+// worker runs: synthesis-backed factories are not required to be
+// thread-safe or call-order independent (e.g. generated controller names
+// include a global counter).  Only the runs themselves are parallel.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "par/pool.hpp"
+#include "verify/cosim.hpp"
+#include "verify/shrink.hpp"
+
+namespace osss::verify {
+
+/// Builds one fresh, independent co-simulation of the design under test
+/// (models attached, I/O declared, coverage enabled if wanted).  Called
+/// once per shard, serially, in shard order.
+using CoSimFactory = std::function<std::unique_ptr<CoSim>()>;
+
+/// The seed of shard `shard` in a campaign with base seed `base`.
+std::uint64_t shard_seed(std::uint64_t base, unsigned shard);
+
+struct ShardOptions {
+  std::uint64_t seed = 1;   ///< campaign base seed (print on failure)
+  unsigned shards = 8;      ///< independent shards
+  unsigned cycles = 256;    ///< cycles per sequence
+  unsigned sequences = 1;   ///< sequences per shard, each from reset
+  par::Pool* pool = nullptr;  ///< nullptr = par::Pool::global()
+  /// Optional stimulus setup per shard (constraints, extra streams).  The
+  /// default declares every co-sim input with the default constraint.
+  std::function<void(CoSim&, StimGen&)> declare;
+};
+
+/// One shard's scoreboard divergence, with everything needed to replay it.
+struct ShardFailure {
+  unsigned shard = 0;
+  std::uint64_t seed = 0;  ///< the shard's derived seed
+  Mismatch mismatch;
+  Trace trace;  ///< scalar failing stimulus of the offending lane
+};
+
+struct ShardedRunResult {
+  bool ok = false;
+  unsigned shards = 0;
+  std::uint64_t cycles = 0;   ///< clock edges stepped, all shards
+  std::uint64_t vectors = 0;  ///< stimulus vectors scored, all shards
+  std::uint64_t checks = 0;   ///< output comparisons, all shards
+  std::uint64_t recorder_bytes = 0;  ///< max per-shard recorder footprint
+  CoverageReport coverage;           ///< union-merged in shard order
+  std::vector<ShardFailure> failures;  ///< ascending shard order
+
+  const ShardFailure* first_failure() const {
+    return failures.empty() ? nullptr : &failures.front();
+  }
+
+  explicit operator bool() const noexcept { return ok; }
+};
+
+/// Run the sharded campaign.  Deterministic for any pool size; see the
+/// header comment for the contract.
+ShardedRunResult parallel_fuzz(const CoSimFactory& make,
+                               const ShardOptions& opt);
+
+/// Shrink the first failing shard's trace on a fresh co-sim from `make`
+/// and package it as a ReplayRecord (seed = the failing shard's derived
+/// seed, note = the mismatch description).  Throws std::logic_error if the
+/// campaign had no failures.
+ReplayRecord shrink_first_failure(const CoSimFactory& make,
+                                  const ShardedRunResult& result,
+                                  const std::string& design,
+                                  std::uint64_t max_runs = 4000);
+
+}  // namespace osss::verify

@@ -1,7 +1,8 @@
 #include "verify/stimgen.hpp"
 
-#include <cstdlib>
 #include <stdexcept>
+
+#include "par/env.hpp"
 
 namespace osss::verify {
 
@@ -142,15 +143,19 @@ Bits StimGen::next_value(Input& in) {
 Bits StimGen::next(const std::string& name) { return next_value(find(name)); }
 
 std::vector<std::uint64_t> StimGen::next_lanes(const std::string& name) {
+  std::vector<std::uint64_t> words(width_of(name));
+  next_lanes(name, words.data());
+  return words;
+}
+
+void StimGen::next_lanes(const std::string& name, std::uint64_t* out) {
   Input& in = find(name);
   const Bits lane0 = next_value(in);
-  std::vector<std::uint64_t> words(in.width);
   for (unsigned i = 0; i < in.width; ++i) {
     std::uint64_t w = next_u64(in.lane_state);
     w = (w & ~1ull) | (lane0.bit(i) ? 1u : 0u);
-    words[i] = w;
+    out[i] = w;
   }
-  return words;
 }
 
 void StimGen::restart() {
@@ -163,24 +168,16 @@ void StimGen::restart() {
 }
 
 std::uint64_t env_seed(std::uint64_t fallback) {
-  if (const char* s = std::getenv("OSSS_FUZZ_SEED")) {
-    char* end = nullptr;
-    const unsigned long long v = std::strtoull(s, &end, 0);
-    if (end != s) return static_cast<std::uint64_t>(v);
-  }
-  return fallback;
+  return par::env_u64("OSSS_FUZZ_SEED", fallback, 0,
+                      ~static_cast<std::uint64_t>(0));
 }
 
 unsigned env_iters(unsigned base) {
-  if (const char* s = std::getenv("OSSS_FUZZ_ITERS")) {
-    char* end = nullptr;
-    const unsigned long long mul = std::strtoull(s, &end, 0);
-    if (end != s && mul > 0) {
-      const unsigned long long scaled = base * mul;
-      return scaled > 1000000ull ? 1000000u : static_cast<unsigned>(scaled);
-    }
-  }
-  return base;
+  constexpr std::uint64_t kCap = 1000000;
+  const std::uint64_t mul = par::env_u64("OSSS_FUZZ_ITERS", 1, 1, kCap);
+  const std::uint64_t scaled = static_cast<std::uint64_t>(base) * mul;
+  return scaled > kCap ? static_cast<unsigned>(kCap)
+                       : static_cast<unsigned>(scaled);
 }
 
 }  // namespace osss::verify

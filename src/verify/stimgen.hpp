@@ -74,6 +74,10 @@ public:
   /// wide random-vector batch.
   std::vector<std::uint64_t> next_lanes(const std::string& name);
 
+  /// Allocation-free variant: writes width_of(name) lane words into `out`.
+  /// Same stream as the allocating overload.
+  void next_lanes(const std::string& name, std::uint64_t* out);
+
   /// Restart every stream from the construction seed.
   void restart();
 
@@ -99,13 +103,16 @@ private:
   Bits next_value(Input& in);
 };
 
-/// Base seed for fuzz suites: OSSS_FUZZ_SEED if set (decimal), else
-/// `fallback`.  Nightly CI sets a time-derived value so every run explores
-/// new vectors; the chosen seed must be printed on failure.
+/// Base seed for fuzz suites: OSSS_FUZZ_SEED if set, else `fallback`.
+/// Parsed through par::env_u64, so garbage / negative values fall back with
+/// a stderr warning instead of silently truncating.  Nightly CI sets a
+/// time-derived value so every run explores new vectors; the chosen seed
+/// must be printed on failure.
 std::uint64_t env_seed(std::uint64_t fallback);
 
-/// Iteration count for fuzz suites: `base * OSSS_FUZZ_ITERS` (clamped to
-/// >= 1) when the variable is set, else `base`.
+/// Iteration count for fuzz suites: `base * OSSS_FUZZ_ITERS` when the
+/// variable is set (multiplier clamped to [1, 1000000], product capped at
+/// 1000000), else `base`.  Malformed values fall back with a warning.
 unsigned env_iters(unsigned base);
 
 }  // namespace osss::verify

@@ -1,0 +1,187 @@
+// Batch simulation across the pool: block results must match a hand-rolled
+// serial simulator exactly, be bit-identical for every pool size, agree
+// between lane and scalar modes, and reject malformed blocks.
+
+#include "par/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "gate/lower.hpp"
+#include "gate/sim.hpp"
+#include "par/pool.hpp"
+#include "rtl/builder.hpp"
+#include "rtl/sim.hpp"
+
+namespace osss::par {
+namespace {
+
+// Gated accumulator: inputs en[1], d[8] (declaration order), output acc[8].
+rtl::Module accumulator() {
+  rtl::Builder b("acc");
+  rtl::Wire en = b.input("en", 1);
+  rtl::Wire d = b.input("d", 8);
+  rtl::Wire q = b.reg("acc", 8);
+  b.connect(q, b.mux(en, b.add(q, d), q));
+  b.output("acc", q);
+  return b.take();
+}
+
+std::vector<StimulusBlock> make_scalar_blocks(unsigned blocks, unsigned cycles,
+                                              std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<StimulusBlock> out;
+  for (unsigned i = 0; i < blocks; ++i) {
+    StimulusBlock b = StimulusBlock::make(cycles, 2);
+    for (unsigned c = 0; c < cycles; ++c) {
+      b.in_at(c, 0) = rng() & 1;
+      b.in_at(c, 1) = rng() & 0xff;
+    }
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+TEST(Batch, GateScalarMatchesSerialReference) {
+  const gate::Netlist nl = gate::lower_to_gates(accumulator());
+  std::vector<StimulusBlock> blocks = make_scalar_blocks(6, 40, 7);
+  const std::vector<StimulusBlock> stim = blocks;  // pristine inputs
+
+  Pool pool(4);
+  gate::run_batch(nl, gate::SimMode::kLevelized, blocks, &pool);
+
+  gate::Simulator ref(nl);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    ref.reset();
+    for (unsigned c = 0; c < stim[i].cycles; ++c) {
+      ref.set_input("en", stim[i].in_at(c, 0));
+      ref.set_input("d", stim[i].in_at(c, 1));
+      ref.step();
+      ASSERT_EQ(blocks[i].out_at(c, 0), ref.output("acc").to_u64())
+          << "block " << i << " cycle " << c;
+    }
+  }
+}
+
+TEST(Batch, GateScalarIdenticalForEveryPoolSize) {
+  const gate::Netlist nl = gate::lower_to_gates(accumulator());
+  std::vector<StimulusBlock> serial = make_scalar_blocks(9, 64, 11);
+  std::vector<StimulusBlock> wide = serial;
+  Pool p1(1), p8(8);
+  gate::run_batch(nl, gate::SimMode::kEvent, serial, &p1);
+  gate::run_batch(nl, gate::SimMode::kEvent, wide, &p8);
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_EQ(serial[i].out, wide[i].out) << "block " << i;
+}
+
+TEST(Batch, GateScalarMasksOversizedValues) {
+  // A scalar slot may carry a full random u64; the runner must mask it to
+  // the bus width instead of tripping the simulator's width check.
+  const gate::Netlist nl = gate::lower_to_gates(accumulator());
+  std::vector<StimulusBlock> blocks(1, StimulusBlock::make(4, 2));
+  for (unsigned c = 0; c < 4; ++c) {
+    blocks[0].in_at(c, 0) = 0xffffffffffffffffull;  // en: masked to 1
+    blocks[0].in_at(c, 1) = 0xa5a5a5a5a5a5a5a5ull;  // d: masked to 0xa5
+  }
+  Pool pool(1);
+  ASSERT_NO_THROW(gate::run_batch(nl, gate::SimMode::kLevelized, blocks,
+                                  &pool));
+  EXPECT_EQ(blocks[0].out_at(3, 0), (4 * 0xa5) & 0xff);
+}
+
+TEST(Batch, GateLaneModeAgreesWithScalar) {
+  const gate::Netlist nl = gate::lower_to_gates(accumulator());
+  constexpr unsigned kCycles = 32;
+  // 9 lane slots: en bit (slot 0) then d bits (slots 1..8), one 64-lane
+  // word each.
+  std::mt19937_64 rng(23);
+  std::vector<StimulusBlock> lane_blocks(
+      1, StimulusBlock::make(kCycles, 9, gate::Simulator::kLanes));
+  for (unsigned c = 0; c < kCycles; ++c)
+    for (unsigned s = 0; s < 9; ++s) lane_blocks[0].in_at(c, s) = rng();
+  Pool pool(2);
+  gate::run_batch(nl, gate::SimMode::kBitParallel, lane_blocks, &pool);
+  ASSERT_EQ(lane_blocks[0].out_slots, 8u);
+
+  for (const unsigned lane : {0u, 17u, 63u}) {
+    std::vector<StimulusBlock> scalar(1, StimulusBlock::make(kCycles, 2));
+    for (unsigned c = 0; c < kCycles; ++c) {
+      scalar[0].in_at(c, 0) = (lane_blocks[0].in_at(c, 0) >> lane) & 1;
+      std::uint64_t d = 0;
+      for (unsigned bit = 0; bit < 8; ++bit)
+        d |= ((lane_blocks[0].in_at(c, 1 + bit) >> lane) & 1) << bit;
+      scalar[0].in_at(c, 1) = d;
+    }
+    gate::run_batch(nl, gate::SimMode::kLevelized, scalar, &pool);
+    for (unsigned c = 0; c < kCycles; ++c) {
+      std::uint64_t acc = 0;
+      for (unsigned bit = 0; bit < 8; ++bit)
+        acc |= ((lane_blocks[0].out_at(c, bit) >> lane) & 1) << bit;
+      ASSERT_EQ(acc, scalar[0].out_at(c, 0))
+          << "lane " << lane << " cycle " << c;
+    }
+  }
+}
+
+TEST(Batch, RtlTapeMatchesInterpAndSerialReference) {
+  const rtl::Module m = accumulator();
+  std::vector<StimulusBlock> tape = make_scalar_blocks(5, 48, 31);
+  std::vector<StimulusBlock> interp = tape;
+  const std::vector<StimulusBlock> stim = tape;
+  Pool pool(4);
+  rtl::run_batch(m, rtl::SimMode::kTape, tape, &pool);
+  rtl::run_batch(m, rtl::SimMode::kInterp, interp, &pool);
+  for (std::size_t i = 0; i < tape.size(); ++i)
+    EXPECT_EQ(tape[i].out, interp[i].out) << "block " << i;
+
+  rtl::Simulator ref(m, rtl::SimMode::kInterp);
+  const rtl::InputHandle en = ref.input_handle("en");
+  const rtl::InputHandle d = ref.input_handle("d");
+  const rtl::OutputHandle acc = ref.output_handle("acc");
+  for (std::size_t i = 0; i < tape.size(); ++i) {
+    ref.reset();
+    for (unsigned c = 0; c < stim[i].cycles; ++c) {
+      ref.set_input(en, stim[i].in_at(c, 0));
+      ref.set_input(d, stim[i].in_at(c, 1));
+      ref.step();
+      ASSERT_EQ(tape[i].out_at(c, 0), ref.output_u64(acc))
+          << "block " << i << " cycle " << c;
+    }
+  }
+}
+
+TEST(Batch, RejectsMalformedBlocks) {
+  const rtl::Module m = accumulator();
+  const gate::Netlist nl = gate::lower_to_gates(accumulator());
+  Pool pool(1);
+
+  std::vector<StimulusBlock> bad_lanes(1, StimulusBlock::make(4, 2, 7));
+  EXPECT_THROW(gate::run_batch(nl, gate::SimMode::kLevelized, bad_lanes,
+                               &pool),
+               std::invalid_argument);
+
+  // 64-lane blocks need the wide engines.
+  std::vector<StimulusBlock> lanes(
+      1, StimulusBlock::make(4, 9, gate::Simulator::kLanes));
+  EXPECT_THROW(gate::run_batch(nl, gate::SimMode::kLevelized, lanes, &pool),
+               std::invalid_argument);
+  std::vector<StimulusBlock> rlanes(1, StimulusBlock::make(4, 10, 64));
+  EXPECT_THROW(rtl::run_batch(m, rtl::SimMode::kInterp, rlanes, &pool),
+               std::invalid_argument);
+
+  std::vector<StimulusBlock> bad_shape(1, StimulusBlock::make(4, 3));
+  EXPECT_THROW(gate::run_batch(nl, gate::SimMode::kLevelized, bad_shape,
+                               &pool),
+               std::invalid_argument);
+
+  std::vector<StimulusBlock> mixed;
+  mixed.push_back(StimulusBlock::make(4, 2));
+  mixed.push_back(StimulusBlock::make(4, 9, gate::Simulator::kLanes));
+  EXPECT_THROW(gate::run_batch(nl, gate::SimMode::kBitParallel, mixed, &pool),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace osss::par

@@ -1,0 +1,151 @@
+// Hardened numeric environment parsing: garbage, negatives and overflow
+// must be rejected or clamped with a warning, never silently truncated the
+// way prefix-atoi parsing used to.
+
+#include "par/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "par/pool.hpp"
+#include "verify/stimgen.hpp"
+
+namespace osss::par {
+namespace {
+
+class EnvGuard {
+public:
+  explicit EnvGuard(const char* var) : var_(var) {
+    if (const char* old = std::getenv(var)) old_ = old;
+    unsetenv(var);
+  }
+  ~EnvGuard() {
+    if (old_.empty())
+      unsetenv(var_);
+    else
+      setenv(var_, old_.c_str(), 1);
+  }
+  void set(const char* value) { setenv(var_, value, 1); }
+
+private:
+  const char* var_;
+  std::string old_;
+};
+
+TEST(ParseU64, AcceptsPlainDecimal) {
+  const EnvValue v = parse_u64("42", 0, 100);
+  EXPECT_EQ(v.status, EnvParseStatus::kOk);
+  EXPECT_EQ(v.value, 42u);
+  EXPECT_FALSE(v.clamped);
+}
+
+TEST(ParseU64, AcceptsSurroundingWhitespace) {
+  const EnvValue v = parse_u64("  42\t", 0, 100);
+  EXPECT_EQ(v.status, EnvParseStatus::kOk);
+  EXPECT_EQ(v.value, 42u);
+}
+
+TEST(ParseU64, AcceptsHexAndOctal) {
+  EXPECT_EQ(parse_u64("0x10", 0, 100).value, 16u);
+  EXPECT_EQ(parse_u64("010", 0, 100).value, 8u);
+}
+
+TEST(ParseU64, RejectsGarbage) {
+  EXPECT_EQ(parse_u64("abc", 0, 100).status, EnvParseStatus::kMalformed);
+  EXPECT_EQ(parse_u64("", 0, 100).status, EnvParseStatus::kMalformed);
+  EXPECT_EQ(parse_u64("   ", 0, 100).status, EnvParseStatus::kMalformed);
+}
+
+TEST(ParseU64, RejectsTrailingJunk) {
+  // strtoull would happily parse "12abc" as 12 — the strict parser must not.
+  EXPECT_EQ(parse_u64("12abc", 0, 100).status, EnvParseStatus::kMalformed);
+  EXPECT_EQ(parse_u64("3.5", 0, 100).status, EnvParseStatus::kMalformed);
+}
+
+TEST(ParseU64, RejectsNegative) {
+  // strtoull wraps "-3" to 2^64-3; an unsigned knob must reject it instead.
+  EXPECT_EQ(parse_u64("-3", 0, 100).status, EnvParseStatus::kNegative);
+  EXPECT_EQ(parse_u64(" -1", 0, 100).status, EnvParseStatus::kNegative);
+}
+
+TEST(ParseU64, OverflowClampsToHi) {
+  const EnvValue v = parse_u64("99999999999999999999999999", 1, 100);
+  EXPECT_EQ(v.status, EnvParseStatus::kOverflow);
+  EXPECT_EQ(v.value, 100u);
+  EXPECT_TRUE(v.clamped);
+}
+
+TEST(ParseU64, ClampsIntoRange) {
+  const EnvValue lo = parse_u64("1", 4, 16);
+  EXPECT_EQ(lo.status, EnvParseStatus::kOk);
+  EXPECT_EQ(lo.value, 4u);
+  EXPECT_TRUE(lo.clamped);
+  const EnvValue hi = parse_u64("500", 4, 16);
+  EXPECT_EQ(hi.value, 16u);
+  EXPECT_TRUE(hi.clamped);
+}
+
+TEST(EnvU64, UnsetUsesFallbackSilently) {
+  EnvGuard guard("OSSS_TEST_KNOB");
+  EXPECT_EQ(env_u64("OSSS_TEST_KNOB", 7, 0, 100), 7u);
+}
+
+TEST(EnvU64, MalformedFallsBack) {
+  EnvGuard guard("OSSS_TEST_KNOB");
+  guard.set("not-a-number");
+  EXPECT_EQ(env_u64("OSSS_TEST_KNOB", 7, 0, 100), 7u);
+  guard.set("-4");
+  EXPECT_EQ(env_u64("OSSS_TEST_KNOB", 7, 0, 100), 7u);
+}
+
+TEST(EnvU64, ValidValueWins) {
+  EnvGuard guard("OSSS_TEST_KNOB");
+  guard.set("33");
+  EXPECT_EQ(env_u64("OSSS_TEST_KNOB", 7, 0, 100), 33u);
+}
+
+TEST(EnvU64, OutOfRangeClamps) {
+  EnvGuard guard("OSSS_TEST_KNOB");
+  guard.set("5000");
+  EXPECT_EQ(env_u64("OSSS_TEST_KNOB", 7, 0, 100), 100u);
+  guard.set("18446744073709551616");  // 2^64
+  EXPECT_EQ(env_u64("OSSS_TEST_KNOB", 7, 0, 100), 100u);
+}
+
+TEST(EnvThreads, ClampsAndFallsBack) {
+  EnvGuard guard("OSSS_THREADS");
+  guard.set("0");
+  EXPECT_EQ(env_threads(4), 1u);  // clamped up to the [1, 256] floor
+  guard.set("3");
+  EXPECT_EQ(env_threads(4), 3u);
+  guard.set("bogus");
+  EXPECT_EQ(env_threads(4), 4u);
+  guard.set("100000");
+  EXPECT_EQ(env_threads(4), 256u);
+}
+
+TEST(EnvFuzzKnobs, SeedAndItersAreHardened) {
+  EnvGuard seed_guard("OSSS_FUZZ_SEED");
+  EnvGuard iters_guard("OSSS_FUZZ_ITERS");
+
+  EXPECT_EQ(verify::env_seed(11), 11u);
+  seed_guard.set("123");
+  EXPECT_EQ(verify::env_seed(11), 123u);
+  seed_guard.set("123junk");
+  EXPECT_EQ(verify::env_seed(11), 11u);
+  seed_guard.set("-9");
+  EXPECT_EQ(verify::env_seed(11), 11u);
+
+  EXPECT_EQ(verify::env_iters(10), 10u);
+  iters_guard.set("3");
+  EXPECT_EQ(verify::env_iters(10), 30u);
+  iters_guard.set("oops");
+  EXPECT_EQ(verify::env_iters(10), 10u);
+  iters_guard.set("999999999");  // multiplier clamped, product capped at 1e6
+  EXPECT_EQ(verify::env_iters(10), 1000000u);
+}
+
+}  // namespace
+}  // namespace osss::par

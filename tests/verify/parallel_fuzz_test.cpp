@@ -1,0 +1,229 @@
+// Determinism under parallelism: the same sharded fuzz campaign run on 1,
+// 2 and 8 pool contexts must produce identical mismatch sets, identical
+// merged coverage reports and an identical shrunk replay record — the
+// thread count may only change wall-clock time.
+
+#include "verify/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gate/equiv.hpp"
+#include "gate/lower.hpp"
+#include "rtl/builder.hpp"
+#include "verify/shrink.hpp"
+
+namespace osss::verify {
+namespace {
+
+rtl::Module xor_pipe() {
+  rtl::Builder b("pipe");
+  rtl::Wire a = b.input("a", 8);
+  rtl::Wire x = b.input("b", 8);
+  rtl::Wire q = b.reg("q", 8);
+  b.connect(q, b.xor_(a, x));
+  b.output("o", q);
+  return b.take();
+}
+
+gate::Netlist faulty_netlist() {
+  gate::Netlist bad = gate::lower_to_gates(xor_pipe());
+  for (gate::NetId id = 0; id < bad.cells().size(); ++id)
+    if (bad.cells()[id].kind == gate::CellKind::kXor2) {
+      bad.mutate_cell(id, gate::CellKind::kXnor2);
+      return bad;
+    }
+  ADD_FAILURE() << "no xor cell to mutate";
+  return bad;
+}
+
+/// Factory for a good-vs-faulty gate co-sim with toggle coverage on the
+/// reference side.  Pure netlist construction — no synthesis involved.
+CoSimFactory faulty_factory() {
+  return [] {
+    const rtl::Module m = xor_pipe();
+    auto cs = std::make_unique<CoSim>();
+    auto& good = cs->add(std::make_unique<GateModel>(
+        gate::lower_to_gates(m), gate::SimMode::kEvent, "good"));
+    good.enable_toggle_coverage();
+    cs->add(std::make_unique<GateModel>(faulty_netlist(),
+                                        gate::SimMode::kEvent, "bad"));
+    cs->declare_io(m);
+    cs->enable_coverage();
+    return cs;
+  };
+}
+
+CoSimFactory clean_factory() {
+  return [] {
+    const rtl::Module m = xor_pipe();
+    auto cs = std::make_unique<CoSim>();
+    auto& ref = cs->add(std::make_unique<GateModel>(
+        gate::lower_to_gates(m), gate::SimMode::kEvent, "a"));
+    ref.enable_toggle_coverage();
+    cs->add(std::make_unique<GateModel>(gate::lower_to_gates(m),
+                                        gate::SimMode::kEvent, "b"));
+    cs->declare_io(m);
+    cs->enable_coverage();
+    return cs;
+  };
+}
+
+ShardedRunResult run_campaign(unsigned threads, const CoSimFactory& make) {
+  par::Pool pool(threads);
+  ShardOptions opt;
+  opt.seed = 42;
+  opt.shards = 8;
+  opt.cycles = 64;
+  opt.pool = &pool;
+  return parallel_fuzz(make, opt);
+}
+
+TEST(ParallelFuzz, CleanCampaignPassesWithFullAccounting) {
+  const ShardedRunResult r = run_campaign(4, clean_factory());
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.shards, 8u);
+  EXPECT_EQ(r.vectors, 8u * 64u);
+  EXPECT_EQ(r.cycles, 8u * 64u);
+  EXPECT_GT(r.checks, 0u);
+  EXPECT_GT(r.recorder_bytes, 0u);
+  EXPECT_TRUE(r.failures.empty());
+  EXPECT_EQ(r.first_failure(), nullptr);
+}
+
+TEST(ParallelFuzz, ShardSeedsAreDerivedNotSequential) {
+  EXPECT_NE(shard_seed(42, 0), shard_seed(42, 1));
+  EXPECT_NE(shard_seed(42, 0), 42u);
+  EXPECT_EQ(shard_seed(42, 3), shard_seed(42, 3));
+}
+
+TEST(ParallelFuzz, MismatchSetIdenticalAcrossThreadCounts) {
+  const CoSimFactory make = faulty_factory();
+  const ShardedRunResult base = run_campaign(1, make);
+  ASSERT_FALSE(base.ok);
+  // An inverted gate diverges almost immediately in every shard.
+  ASSERT_EQ(base.failures.size(), 8u);
+  for (unsigned i = 0; i < base.failures.size(); ++i) {
+    EXPECT_EQ(base.failures[i].shard, i);
+    EXPECT_EQ(base.failures[i].seed, shard_seed(42, i));
+  }
+
+  for (const unsigned threads : {2u, 8u}) {
+    const ShardedRunResult r = run_campaign(threads, make);
+    EXPECT_EQ(r.ok, base.ok);
+    EXPECT_EQ(r.vectors, base.vectors);
+    EXPECT_EQ(r.cycles, base.cycles);
+    EXPECT_EQ(r.checks, base.checks);
+    ASSERT_EQ(r.failures.size(), base.failures.size()) << threads;
+    for (std::size_t i = 0; i < r.failures.size(); ++i) {
+      const ShardFailure& got = r.failures[i];
+      const ShardFailure& want = base.failures[i];
+      EXPECT_EQ(got.shard, want.shard);
+      EXPECT_EQ(got.seed, want.seed);
+      EXPECT_EQ(got.mismatch.cycle, want.mismatch.cycle);
+      EXPECT_EQ(got.mismatch.output, want.mismatch.output);
+      EXPECT_EQ(got.mismatch.describe(got.trace.inputs, false),
+                want.mismatch.describe(want.trace.inputs, false));
+      EXPECT_EQ(got.trace.cycles.size(), want.trace.cycles.size());
+    }
+  }
+}
+
+TEST(ParallelFuzz, CoverageReportIdenticalAcrossThreadCounts) {
+  // Clean campaign: full-length shards accumulate real toggle coverage.
+  const CoSimFactory clean = clean_factory();
+  const ShardedRunResult base = run_campaign(1, clean);
+  const CoverageItem* toggles = base.coverage.find("a", "net-toggle");
+  ASSERT_NE(toggles, nullptr);
+  EXPECT_GT(toggles->covered, 0u);
+  for (const unsigned threads : {2u, 8u})
+    EXPECT_EQ(run_campaign(threads, clean).coverage, base.coverage)
+        << threads << " threads";
+
+  // Faulty campaign: shards abort at the first mismatch, but whatever
+  // coverage was gathered up to that point must still merge identically.
+  const CoSimFactory faulty = faulty_factory();
+  const ShardedRunResult fbase = run_campaign(1, faulty);
+  for (const unsigned threads : {2u, 8u})
+    EXPECT_EQ(run_campaign(threads, faulty).coverage, fbase.coverage)
+        << threads << " threads";
+}
+
+TEST(ParallelFuzz, ShrunkReplayIdenticalAcrossThreadCounts) {
+  const CoSimFactory make = faulty_factory();
+  const ShardedRunResult base = run_campaign(1, make);
+  ASSERT_FALSE(base.ok);
+  const std::string text =
+      shrink_first_failure(make, base, "pipe").to_text();
+
+  for (const unsigned threads : {2u, 8u}) {
+    const ShardedRunResult r = run_campaign(threads, make);
+    EXPECT_EQ(shrink_first_failure(make, r, "pipe").to_text(), text)
+        << threads << " threads";
+  }
+
+  // The record round-trips and replays to the same mismatch.
+  const ReplayRecord rec = ReplayRecord::from_text(text);
+  EXPECT_EQ(rec.design, "pipe");
+  EXPECT_EQ(rec.seed, shard_seed(42, base.failures.front().shard));
+  const std::unique_ptr<CoSim> cs = make();
+  const RunResult rr = replay(*cs, rec);
+  ASSERT_FALSE(rr.ok);
+  EXPECT_EQ(rr.mismatch.output, base.failures.front().mismatch.output);
+}
+
+TEST(ParallelFuzz, ShrinkWithoutFailureThrows) {
+  const ShardedRunResult r = run_campaign(2, clean_factory());
+  EXPECT_THROW(shrink_first_failure(clean_factory(), r, "pipe"),
+               std::logic_error);
+}
+
+TEST(ParallelFuzz, RunShardedConvenienceMatchesParallelFuzz) {
+  const CoSimFactory make = clean_factory();
+  ShardOptions opt;
+  opt.seed = 7;
+  opt.shards = 4;
+  opt.cycles = 32;
+  const ShardedRunResult a = CoSim::run_sharded(make, opt);
+  const ShardedRunResult b = parallel_fuzz(make, opt);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.vectors, b.vectors);
+  EXPECT_EQ(a.checks, b.checks);
+}
+
+TEST(ParallelEquiv, VerdictIdenticalAcrossThreadCounts) {
+  const gate::Netlist good = gate::lower_to_gates(xor_pipe());
+  const gate::Netlist bad = faulty_netlist();
+
+  gate::EquivOptions opt;
+  opt.sequences = 6;
+  opt.cycles = 40;
+  opt.seed = 9;
+
+  opt.threads = 1;
+  const gate::EquivResult serial_ok = check_equivalence(good, good, opt);
+  const gate::EquivResult serial_bad = check_equivalence(good, bad, opt);
+  EXPECT_TRUE(serial_ok.equivalent);
+  EXPECT_EQ(serial_ok.cycles_checked, 6u * 40u);
+  ASSERT_FALSE(serial_bad.equivalent);
+
+  for (const unsigned threads : {0u, 8u}) {
+    gate::EquivOptions o = opt;
+    o.threads = threads;
+    const gate::EquivResult ok = check_equivalence(good, good, o);
+    EXPECT_EQ(ok.equivalent, serial_ok.equivalent);
+    EXPECT_EQ(ok.cycles_checked, serial_ok.cycles_checked);
+    EXPECT_EQ(ok.seed, serial_ok.seed);
+    const gate::EquivResult ne = check_equivalence(good, bad, o);
+    EXPECT_EQ(ne.equivalent, serial_bad.equivalent);
+    EXPECT_EQ(ne.cycles_checked, serial_bad.cycles_checked);
+    EXPECT_EQ(ne.counterexample, serial_bad.counterexample);
+  }
+}
+
+}  // namespace
+}  // namespace osss::verify

@@ -1,12 +1,28 @@
 #!/usr/bin/env python3
-"""Gate the R7 simulation-speed benchmark (BENCH_r7.json).
+"""Gate the R7 simulation-speed benchmark (exp_r7_sim_speed JSON output).
 
-Reads the Google Benchmark JSON produced by exp_r7_sim_speed and fails
-(exit 1) if the compiled RTL tape engine's throughput drops below a
-multiple of the RTL interpreter's — the repo's tracked perf-trajectory
-point for the word-level tape rebuild.
+Three independent gates, each printed with its inputs so a CI log alone
+explains a failure:
 
-Usage: check_bench_r7.py BENCH_r7.json [--min-ratio 5.0]
+1. Tape floor: the compiled RTL tape engine must stay at least
+   ``--min-ratio`` (default 5x) faster than the RTL interpreter — the
+   repo's original tracked perf-trajectory point.
+
+2. Baseline ratios (``--baseline BENCH_r7.json``): engine-vs-engine
+   throughput ratios of the current run must stay within
+   ``--max-regression`` (default 0.5, i.e. no worse than half) of the
+   same ratios in the committed reference JSON.  Comparing ratios rather
+   than absolute cycles/s makes the gate robust against CI machines of
+   different speeds.
+
+3. Thread scaling: the 8-context sharded benchmarks
+   (``BM_GateBitParallelShards/8/real_time``, ``BM_RtlTapeBatch/8``)
+   must reach ``--min-scaling`` (default 3x) the 1-context throughput.
+   Only enforced when the run's ``context.num_cpus`` is at least 8 —
+   wall-clock scaling is meaningless on fewer cores, so the gate prints
+   a skip note instead.
+
+Usage: check_bench_r7.py out.json [--baseline BENCH_r7.json]
 """
 
 import argparse
@@ -14,27 +30,47 @@ import json
 import sys
 
 
-def items_per_second(benchmarks, name):
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def find(benchmarks, name):
     for b in benchmarks:
         if b.get("name") == name and b.get("run_type", "iteration") != "aggregate":
-            ips = b.get("items_per_second")
-            if ips is None:
-                sys.exit(f"error: {name} has no items_per_second counter")
-            return float(ips)
-    sys.exit(f"error: benchmark {name!r} not found in results")
+            return b
+    return None
 
 
-def main():
-    ap = argparse.ArgumentParser()
-    ap.add_argument("json_path")
-    ap.add_argument("--min-ratio", type=float, default=5.0,
-                    help="minimum tape/interpreter cycles-per-second ratio")
-    args = ap.parse_args()
+def items_per_second(benchmarks, name, required=True):
+    b = find(benchmarks, name)
+    if b is None:
+        if required:
+            sys.exit(f"error: benchmark {name!r} not found in results")
+        return None
+    ips = b.get("items_per_second")
+    if ips is None:
+        sys.exit(f"error: {name} has no items_per_second counter")
+    return float(ips)
 
-    with open(args.json_path) as f:
-        data = json.load(f)
-    benchmarks = data.get("benchmarks", [])
 
+# Engine-vs-engine ratio pairs tracked against the committed baseline:
+# (label, numerator benchmark, denominator benchmark).
+RATIO_PAIRS = [
+    ("tape/interp", "BM_RtlTapeSim", "BM_RtlCycleSim"),
+    ("tape-lanes/interp", "BM_RtlTapeLanesSim", "BM_RtlCycleSim"),
+    ("levelized/event", "BM_GateLevelizedSim", "BM_GateEventSim"),
+    ("bit-parallel/event", "BM_GateBitParallelSim", "BM_GateEventSim"),
+]
+
+# Sharded benchmarks gated on 8-vs-1 context wall-clock scaling.
+SCALING_BENCHES = [
+    ("gate bit-parallel shards", "BM_GateBitParallelShards/{n}/real_time"),
+    ("rtl tape batch", "BM_RtlTapeBatch/{n}/real_time"),
+]
+
+
+def check_tape_floor(benchmarks, min_ratio):
     interp = items_per_second(benchmarks, "BM_RtlCycleSim")
     tape = items_per_second(benchmarks, "BM_RtlTapeSim")
     tape_lanes = items_per_second(benchmarks, "BM_RtlTapeLanesSim")
@@ -45,21 +81,87 @@ def main():
     print(f"RTL tape x64    : {tape_lanes:12.0f} cycles/s  "
           f"({tape_lanes / interp:.1f}x interpreter)")
 
-    for b in benchmarks:
-        if b.get("name") == "BM_RtlTapeSim":
-            stats = {k: b[k] for k in
-                     ("tape_len", "arena_words", "nodes_evaluated",
-                      "levels_evaluated", "levels_skipped") if k in b}
-            print(f"tape stats      : {stats}")
-            break
+    b = find(benchmarks, "BM_RtlTapeSim")
+    stats = {k: b[k] for k in
+             ("tape_len", "arena_words", "nodes_evaluated",
+              "levels_evaluated", "levels_skipped") if k in b}
+    print(f"tape stats      : {stats}")
 
-    if ratio < args.min_ratio:
+    if ratio < min_ratio:
         print(f"FAIL: tape engine is only {ratio:.2f}x the interpreter "
-              f"(required >= {args.min_ratio}x)")
-        return 1
+              f"(required >= {min_ratio}x)")
+        return False
     print(f"OK: tape engine is {ratio:.2f}x the interpreter "
-          f"(required >= {args.min_ratio}x)")
-    return 0
+          f"(required >= {min_ratio}x)")
+    return True
+
+
+def check_baseline(benchmarks, baseline_benchmarks, max_regression):
+    ok = True
+    print("\nengine ratios vs committed baseline "
+          f"(must stay >= {max_regression:.2f}x of baseline):")
+    for label, num, den in RATIO_PAIRS:
+        cur = items_per_second(benchmarks, num) / items_per_second(benchmarks, den)
+        base_num = items_per_second(baseline_benchmarks, num, required=False)
+        base_den = items_per_second(baseline_benchmarks, den, required=False)
+        if not base_num or not base_den:
+            print(f"  {label:20s} current {cur:7.2f}x  (no baseline entry, skipped)")
+            continue
+        base = base_num / base_den
+        rel = cur / base if base > 0 else float("inf")
+        verdict = "ok" if rel >= max_regression else "FAIL"
+        print(f"  {label:20s} current {cur:7.2f}x  baseline {base:7.2f}x  "
+              f"({rel:.2f}x of baseline) {verdict}")
+        ok = ok and rel >= max_regression
+    return ok
+
+
+def check_scaling(data, min_scaling):
+    benchmarks = data.get("benchmarks", [])
+    num_cpus = data.get("context", {}).get("num_cpus", 0)
+    print(f"\nthread scaling (run on {num_cpus} cpus):")
+    if num_cpus < 8:
+        print(f"  SKIP: scaling gate needs >= 8 cpus; wall-clock speedup on "
+              f"{num_cpus} is not meaningful")
+        return True
+    ok = True
+    for label, pattern in SCALING_BENCHES:
+        one = items_per_second(benchmarks, pattern.format(n=1), required=False)
+        eight = items_per_second(benchmarks, pattern.format(n=8), required=False)
+        if one is None or eight is None:
+            print(f"  {label:28s} missing 1/8-thread entries, skipped")
+            continue
+        scale = eight / one if one > 0 else float("inf")
+        verdict = "ok" if scale >= min_scaling else "FAIL"
+        print(f"  {label:28s} {scale:.2f}x at 8 threads "
+              f"(required >= {min_scaling}x) {verdict}")
+        ok = ok and scale >= min_scaling
+    return ok
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("json_path")
+    ap.add_argument("--baseline", default=None,
+                    help="committed reference BENCH_r7.json to compare "
+                         "engine ratios against")
+    ap.add_argument("--min-ratio", type=float, default=5.0,
+                    help="minimum tape/interpreter cycles-per-second ratio")
+    ap.add_argument("--max-regression", type=float, default=0.5,
+                    help="minimum current/baseline ratio-of-ratios")
+    ap.add_argument("--min-scaling", type=float, default=3.0,
+                    help="minimum 8-thread vs 1-thread real-time speedup")
+    args = ap.parse_args()
+
+    data = load(args.json_path)
+    benchmarks = data.get("benchmarks", [])
+
+    ok = check_tape_floor(benchmarks, args.min_ratio)
+    if args.baseline:
+        ok = check_baseline(benchmarks, load(args.baseline).get("benchmarks", []),
+                            args.max_regression) and ok
+    ok = check_scaling(data, args.min_scaling) and ok
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":
