@@ -186,6 +186,18 @@ private:
   NetId strash_lookup(CellKind kind, const std::vector<NetId>& ins);
   friend class Simulator;
   friend class Timing;
+  friend struct NetlistSurgeon;
+};
+
+/// Raw access to a netlist's cells, bypassing the optimizing factories.
+/// Exists for the lint subsystem's test vectors (combinational loops and
+/// floating inputs cannot be built through the factory API).  A mutated
+/// netlist may violate every structural invariant — lint it, don't build on
+/// it or simulate it.
+struct NetlistSurgeon {
+  static std::vector<Cell>& cells(Netlist& nl) { return nl.cells_; }
+  static std::vector<MemMacro>& memories(Netlist& nl) { return nl.mems_; }
+  static std::vector<Bus>& outputs(Netlist& nl) { return nl.outputs_; }
 };
 
 }  // namespace osss::gate

@@ -267,7 +267,7 @@ void Simulator::set_input(const std::string& bus, const Bits& value) {
   if (value.width() != b.nets.size())
     throw std::logic_error("gate::Simulator: input width mismatch on " + bus);
   for (std::size_t i = 0; i < b.nets.size(); ++i) {
-    const std::uint64_t nv = value.bit(i) ? lane_mask_ : 0;  // broadcast
+    const std::uint64_t nv = value.bit(static_cast<unsigned>(i)) ? lane_mask_ : 0;  // broadcast
     if (values_[b.nets[i]] != nv) {
       values_[b.nets[i]] = nv;
       on_net_changed(b.nets[i]);
@@ -312,7 +312,7 @@ Bits Simulator::output_lane(const std::string& bus, unsigned lane) const {
   const Bus& b = find_bus(nl_.outputs(), bus);
   Bits out(static_cast<unsigned>(b.nets.size()));
   for (std::size_t i = 0; i < b.nets.size(); ++i)
-    out.set_bit(i, ((values_[b.nets[i]] >> lane) & 1u) != 0);
+    out.set_bit(static_cast<unsigned>(i), ((values_[b.nets[i]] >> lane) & 1u) != 0);
   return out;
 }
 

@@ -10,15 +10,15 @@ namespace {
 }
 }  // namespace
 
-const VarDecl* Behavior::find_var(const std::string& name) const {
+const VarDecl* Behavior::find_var(const std::string& wanted) const {
   for (const VarDecl& v : vars)
-    if (v.name == name) return &v;
+    if (v.name == wanted) return &v;
   return nullptr;
 }
 
-const InputDecl* Behavior::find_input(const std::string& name) const {
+const InputDecl* Behavior::find_input(const std::string& wanted) const {
   for (const InputDecl& i : inputs)
-    if (i.name == name) return &i;
+    if (i.name == wanted) return &i;
   return nullptr;
 }
 

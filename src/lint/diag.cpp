@@ -1,0 +1,144 @@
+#include "lint/diag.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace osss::lint {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::format() const {
+  std::ostringstream os;
+  os << severity_name(severity) << "[" << rule << "] " << source;
+  if (!object.empty()) os << "." << object;
+  os << ": " << message;
+  if (!note.empty()) os << " (" << note << ")";
+  return os.str();
+}
+
+const std::vector<RuleInfo>& rule_registry() {
+  static const std::vector<RuleInfo> kRules = {
+      // --- RTL-IR pack (lint/rtl_rules.cpp) ------------------------------
+      {"RTL-001", "rtl", Severity::kError, "combinational cycle"},
+      {"RTL-002", "rtl", Severity::kError, "width or shape mismatch"},
+      {"RTL-003", "rtl", Severity::kWarning,
+       "dead node (never observable; agrees with the tape pruner)"},
+      {"RTL-004", "rtl", Severity::kWarning, "register without reset value"},
+      {"RTL-005", "rtl", Severity::kWarning, "output folds to a constant"},
+      {"RTL-006", "rtl", Severity::kWarning, "unreachable FSM state"},
+      {"RTL-007", "rtl", Severity::kInfo, "dead FSM transition"},
+      {"RTL-008", "rtl", Severity::kWarning,
+       "stuck register (can never change after reset)"},
+      {"RTL-009", "rtl", Severity::kInfo,
+       "constant over-shift truncates to zero"},
+      // --- gate-netlist pack (lint/gate_rules.cpp) -----------------------
+      {"GATE-001", "gate", Severity::kError,
+       "combinational loop through cells"},
+      {"GATE-002", "gate", Severity::kWarning,
+       "multiple write ports may drive one memory word (write-write)"},
+      {"GATE-003", "gate", Severity::kError, "floating cell input"},
+      {"GATE-004", "gate", Severity::kWarning,
+       "dead cell (sweep would remove it)"},
+      {"GATE-005", "gate", Severity::kInfo,
+       "fanout histogram / high-fanout net"},
+      // --- kernel race detector (sysc/kernel.cpp) ------------------------
+      {"RACE-001", "kernel", Severity::kError,
+       "same-delta write-write conflict on a signal"},
+      {"RACE-002", "kernel", Severity::kWarning,
+       "signal driven by multiple processes"},
+      {"RACE-003", "kernel", Severity::kInfo,
+       "read of a signal written earlier in the same delta"},
+  };
+  return kRules;
+}
+
+const RuleInfo* find_rule(const std::string& id) {
+  for (const RuleInfo& r : rule_registry())
+    if (id == r.id) return &r;
+  return nullptr;
+}
+
+void Report::add(Diagnostic d) { diags_.push_back(std::move(d)); }
+
+void Report::merge(const Report& other) {
+  diags_.insert(diags_.end(), other.diags_.begin(), other.diags_.end());
+}
+
+std::size_t Report::count(Severity s) const {
+  return static_cast<std::size_t>(
+      std::count_if(diags_.begin(), diags_.end(),
+                    [s](const Diagnostic& d) { return d.severity == s; }));
+}
+
+std::vector<Diagnostic> Report::by_rule(const std::string& rule) const {
+  std::vector<Diagnostic> out;
+  for (const Diagnostic& d : diags_)
+    if (d.rule == rule) out.push_back(d);
+  return out;
+}
+
+bool Report::has(const std::string& rule) const {
+  return std::any_of(diags_.begin(), diags_.end(),
+                     [&](const Diagnostic& d) { return d.rule == rule; });
+}
+
+std::string Report::text() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diags_) os << d.format() << "\n";
+  os << diags_.size() << " diagnostic" << (diags_.size() == 1 ? "" : "s")
+     << " (" << error_count() << " errors, " << warning_count()
+     << " warnings, " << count(Severity::kInfo) << " info)\n";
+  return os.str();
+}
+
+std::string Report::json() const {
+  std::ostringstream os;
+  os << "{\"diagnostics\":[";
+  for (std::size_t i = 0; i < diags_.size(); ++i) {
+    const Diagnostic& d = diags_[i];
+    if (i != 0) os << ",";
+    os << "{\"rule\":\"" << json_escape(d.rule) << "\",\"severity\":\""
+       << severity_name(d.severity) << "\",\"source\":\""
+       << json_escape(d.source) << "\",\"object\":\"" << json_escape(d.object)
+       << "\",\"index\":" << d.index << ",\"message\":\""
+       << json_escape(d.message) << "\"";
+    if (!d.note.empty()) os << ",\"note\":\"" << json_escape(d.note) << "\"";
+    os << "}";
+  }
+  os << "],\"errors\":" << error_count() << ",\"warnings\":" << warning_count()
+     << ",\"info\":" << count(Severity::kInfo) << "}";
+  return os.str();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace osss::lint

@@ -1,0 +1,11 @@
+// lint.hpp — umbrella header for the analyzer/lint subsystem.
+//
+// Pulls in the diagnostic framework and both static rule packs.  The
+// dynamic kernel race detector reports through the same framework but
+// lives with the kernel (sysc/kernel.hpp) to avoid a dependency cycle.
+
+#pragma once
+
+#include "lint/diag.hpp"        // IWYU pragma: export
+#include "lint/gate_rules.hpp"  // IWYU pragma: export
+#include "lint/rtl_rules.hpp"   // IWYU pragma: export

@@ -1,0 +1,652 @@
+#include "lint/rtl_rules.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "rtl/tape.hpp"
+
+namespace osss::lint {
+
+using rtl::kInvalidNode;
+using rtl::Memory;
+using rtl::Module;
+using rtl::Node;
+using rtl::NodeId;
+using rtl::Op;
+using rtl::Register;
+using sysc::Bits;
+
+namespace {
+
+std::string node_label(const Module& m, NodeId id) {
+  const Node& n = m.node(id);
+  std::ostringstream os;
+  os << "%" << id;
+  if (!n.name.empty()) os << " \"" << n.name << "\"";
+  return os.str();
+}
+
+class ModuleLinter {
+ public:
+  ModuleLinter(const Module& m, const Options& opt) : m_(m), opt_(opt) {}
+
+  Report run() {
+    structural();          // RTL-002 / RTL-004 / RTL-009
+    const bool acyclic = cycles();  // RTL-001
+    // The deep rules need a module that validate() accepts; structural
+    // errors above are exactly its violations, so gate on them.  RTL-004
+    // (reset-less register) is only a warning here, but validate() rejects
+    // the empty init too, so deep analysis is impossible for it as well.
+    if (acyclic && report_.clean() && !report_.has("RTL-004")) {
+      try {
+        deep();
+      } catch (const std::logic_error& e) {
+        // Defensive: if validate() rejects something the structural pass
+        // missed, surface it as a diagnostic instead of crashing the lint.
+        emit("RTL-002", "", -1, e.what(), "");
+      }
+    }
+    return std::move(report_);
+  }
+
+ private:
+  const Module& m_;
+  const Options& opt_;
+  Report report_;
+  bool linear_chain_ = true;  ///< next-state tree is a priority chain
+
+  void emit(const std::string& rule, std::string object, std::int64_t index,
+            std::string message, std::string note) {
+    if (opt_.suppressed(rule)) return;
+    const RuleInfo* info = find_rule(rule);
+    Diagnostic d;
+    d.rule = rule;
+    d.severity = info ? info->default_severity : Severity::kWarning;
+    d.source = m_.name();
+    d.object = std::move(object);
+    d.index = index;
+    d.message = std::move(message);
+    d.note = std::move(note);
+    report_.add(std::move(d));
+  }
+
+  bool in_range(NodeId id) const { return id < m_.node_count(); }
+
+  unsigned width_of(NodeId id) const { return m_.node(id).width; }
+
+  // --- RTL-002 (+ RTL-004, RTL-009): per-node structural checks ----------
+  // Mirrors Module::validate() violation for violation, as diagnostics.
+  void structural() {
+    for (NodeId id = 0; id < m_.node_count(); ++id) {
+      const Node& n = m_.node(id);
+      if (n.width == 0) {
+        emit("RTL-002", node_label(m_, id), id, "node has zero width", "");
+        continue;
+      }
+      bool dangling = false;
+      for (const NodeId in : n.ins)
+        if (!in_range(in)) dangling = true;
+      if (dangling) {
+        emit("RTL-002", node_label(m_, id), id,
+             "dangling input reference", "");
+        continue;  // operand-dependent checks would read out of range
+      }
+      structural_node(id, n);
+    }
+    for (std::size_t i = 0; i < m_.memories().size(); ++i)
+      structural_memory(i, m_.memories()[i]);
+    for (const auto& p : m_.outputs()) {
+      if (p.node == kInvalidNode)
+        emit("RTL-002", p.name, -1, "output '" + p.name + "' unbound", "");
+    }
+  }
+
+  void structural_node(NodeId id, const Node& n) {
+    auto bad = [&](const std::string& msg) {
+      emit("RTL-002", node_label(m_, id), id, msg, "");
+    };
+    switch (n.op) {
+      case Op::kConst:
+        if (n.value.width() != n.width) bad("const width mismatch");
+        break;
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kMul:
+      case Op::kAnd:
+      case Op::kOr:
+      case Op::kXor:
+        if (n.ins.size() != 2 || width_of(n.ins[0]) != n.width ||
+            width_of(n.ins[1]) != n.width)
+          bad(std::string(op_name(n.op)) + " width mismatch");
+        break;
+      case Op::kNot:
+        if (n.ins.size() != 1 || width_of(n.ins[0]) != n.width)
+          bad("unary width mismatch");
+        break;
+      case Op::kShlI:
+      case Op::kLshrI:
+      case Op::kAshrI:
+        if (n.ins.size() != 1 || width_of(n.ins[0]) != n.width) {
+          bad("unary width mismatch");
+        } else if (n.param >= n.width && n.op != Op::kAshrI) {
+          emit("RTL-009", node_label(m_, id), id,
+               std::string(op_name(n.op)) + " by " +
+                   std::to_string(n.param) + " >= width " +
+                   std::to_string(n.width) + " always yields zero",
+               "");
+        }
+        break;
+      case Op::kShlV:
+      case Op::kLshrV:
+        if (n.ins.size() != 2 || width_of(n.ins[0]) != n.width)
+          bad("variable shift width mismatch");
+        break;
+      case Op::kEq:
+      case Op::kNe:
+      case Op::kUlt:
+      case Op::kUle:
+      case Op::kSlt:
+      case Op::kSle:
+        if (n.ins.size() != 2 || n.width != 1 ||
+            width_of(n.ins[0]) != width_of(n.ins[1]))
+          bad("comparison shape error");
+        break;
+      case Op::kMux:
+        if (n.ins.size() != 3 || width_of(n.ins[0]) != 1 ||
+            width_of(n.ins[1]) != n.width || width_of(n.ins[2]) != n.width)
+          bad("mux shape error");
+        break;
+      case Op::kSlice:
+        if (n.ins.size() != 1 || n.param + n.width > width_of(n.ins[0]))
+          bad("slice out of range");
+        break;
+      case Op::kConcat: {
+        if (n.ins.empty()) {
+          bad("empty concat");
+          break;
+        }
+        unsigned total = 0;
+        for (const NodeId in : n.ins) total += width_of(in);
+        if (total != n.width) bad("concat width mismatch");
+        break;
+      }
+      case Op::kZExt:
+      case Op::kSExt:
+        if (n.ins.size() != 1 || width_of(n.ins[0]) > n.width)
+          bad("extension narrows");
+        break;
+      case Op::kRedOr:
+      case Op::kRedAnd:
+      case Op::kRedXor:
+        if (n.ins.size() != 1 || n.width != 1) bad("reduction shape error");
+        break;
+      case Op::kReg: {
+        if (n.param >= m_.registers().size()) {
+          bad("reg index out of range");
+          break;
+        }
+        const Register& r = m_.registers()[n.param];
+        if (r.q != id) bad("reg back-reference broken");
+        if (r.d == kInvalidNode || !in_range(r.d))
+          bad("register '" + r.name + "' has unconnected D input");
+        else if (width_of(r.d) != n.width)
+          bad("register D width mismatch");
+        if (r.enable != kInvalidNode &&
+            (!in_range(r.enable) || width_of(r.enable) != 1))
+          bad("register enable must be 1 bit");
+        if (r.init.width() == 0)
+          emit("RTL-004", r.name, n.param,
+               "register '" + r.name + "' has no reset value", "");
+        else if (r.init.width() != n.width)
+          bad("register init width");
+        break;
+      }
+      case Op::kMemRead: {
+        if (n.param >= m_.memories().size()) {
+          bad("mem index out of range");
+          break;
+        }
+        const Memory& mem = m_.memories()[n.param];
+        if (n.ins.size() != 1 || width_of(n.ins[0]) != mem.addr_width)
+          bad("mem read address width");
+        if (n.width != mem.data_width) bad("mem read data width");
+        break;
+      }
+      case Op::kInput:
+        break;
+    }
+  }
+
+  void structural_memory(std::size_t index, const Memory& mem) {
+    auto bad = [&](const std::string& msg) {
+      emit("RTL-002", mem.name, static_cast<std::int64_t>(index), msg, "");
+    };
+    if (mem.depth == 0 || mem.depth > (1u << mem.addr_width))
+      bad("memory depth out of range");
+    for (const auto& w : mem.writes) {
+      if (w.addr == kInvalidNode || w.data == kInvalidNode ||
+          w.enable == kInvalidNode || !in_range(w.addr) ||
+          !in_range(w.data) || !in_range(w.enable)) {
+        bad("memory write port incomplete");
+        continue;
+      }
+      if (width_of(w.addr) != mem.addr_width ||
+          width_of(w.data) != mem.data_width || width_of(w.enable) != 1)
+        bad("memory write port width");
+    }
+  }
+
+  // --- RTL-001: combinational cycle detection ----------------------------
+  // Iterative DFS over the combinational edges (kReg breaks the graph the
+  // same way topo_order does); a back edge yields one concrete cycle path.
+  bool cycles() {
+    // Only meaningful on a graph whose edges are in range.
+    for (NodeId id = 0; id < m_.node_count(); ++id)
+      for (const NodeId in : m_.node(id).ins)
+        if (!in_range(in)) return false;
+    const std::size_t n = m_.node_count();
+    std::vector<std::uint8_t> color(n, 0);  // 0 white, 1 on stack, 2 done
+    std::vector<NodeId> parent(n, kInvalidNode);
+    for (NodeId root = 0; root < n; ++root) {
+      if (color[root] != 0) continue;
+      // Explicit stack of (node, next-input-index).
+      std::vector<std::pair<NodeId, std::size_t>> stack;
+      stack.emplace_back(root, 0);
+      color[root] = 1;
+      while (!stack.empty()) {
+        auto& [id, next] = stack.back();
+        const Node& nd = m_.node(id);
+        const bool sequential = nd.op == Op::kReg;
+        if (sequential || next >= nd.ins.size()) {
+          color[id] = 2;
+          stack.pop_back();
+          continue;
+        }
+        const NodeId in = nd.ins[next++];
+        if (color[in] == 0) {
+          color[in] = 1;
+          parent[in] = id;
+          stack.emplace_back(in, 0);
+        } else if (color[in] == 1) {
+          report_cycle(in, id, parent);
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  void report_cycle(NodeId entry, NodeId from,
+                    const std::vector<NodeId>& parent) {
+    // Walk parents from `from` back to `entry` to materialize the loop.
+    std::vector<NodeId> path;
+    for (NodeId id = from; id != entry && id != kInvalidNode;
+         id = parent[id])
+      path.push_back(id);
+    std::reverse(path.begin(), path.end());
+    std::ostringstream os;
+    os << node_label(m_, entry);
+    for (const NodeId id : path) os << " -> " << node_label(m_, id);
+    os << " -> " << node_label(m_, entry);
+    emit("RTL-001", node_label(m_, entry), entry,
+         "combinational cycle through " + std::to_string(path.size() + 1) +
+             " node(s)",
+         os.str());
+  }
+
+  // --- deep rules (validated module): RTL-003/005/008, FSM 006/007 -------
+  void deep() {
+    const rtl::tape::NodeAnalysis na = rtl::tape::analyze(m_);
+    using Fate = rtl::tape::NodeAnalysis::Fate;
+
+    // RTL-003: dead nodes, exactly the set the tape compiler prunes.
+    for (NodeId id = 0; id < m_.node_count(); ++id) {
+      if (na.fate[id] != Fate::kDead) continue;
+      emit("RTL-003", node_label(m_, id), id,
+           std::string(op_name(m_.node(id).op)) +
+               " node is dead (unreachable from outputs and state)",
+           "the tape compiler prunes it");
+    }
+
+    // RTL-005: outputs that fold to a constant.
+    for (const auto& p : m_.outputs()) {
+      const Bits& v = na.folded[p.node];
+      if (v.empty()) continue;
+      emit("RTL-005", p.name, p.node,
+           "output '" + p.name + "' is the constant " + v.to_hex_string(),
+           "");
+    }
+
+    // RTL-008: registers that can never change after reset.
+    for (std::size_t i = 0; i < m_.registers().size(); ++i) {
+      const Register& r = m_.registers()[i];
+      std::string why;
+      if (r.enable != kInvalidNode && !na.folded[r.enable].empty() &&
+          na.folded[r.enable].is_zero()) {
+        why = "enable is constant 0";
+      } else if (na.rep(r.d) == r.q) {
+        why = "D input feeds back Q";
+      } else if (!na.folded[r.d].empty() && na.folded[r.d] == r.init) {
+        why = "D input is constant and equal to the reset value";
+      }
+      if (!why.empty())
+        emit("RTL-008", r.name, static_cast<std::int64_t>(i),
+             "register '" + r.name + "' is stuck at its reset value", why);
+    }
+
+    fsm_rules(na);
+  }
+
+  // --- FSM reachability (RTL-006 / RTL-007) ------------------------------
+  //
+  // A register is treated as an FSM when its next-state cone is a mux tree
+  // whose leaves are constants or the register itself (exactly the shape
+  // hls::synthesize emits: a priority mux over guarded transitions with a
+  // defensive hold).  For every candidate we explore states reachable from
+  // the reset value: the guards are evaluated with a small set-valued
+  // abstract interpreter (the state register is pinned to one concrete
+  // value, everything else starts unknown), and a mux arm contributes its
+  // leaf whenever its select can be true.  Unreachable arm targets become
+  // RTL-006; arms that can never fire from *any* reachable state become
+  // RTL-007.
+
+  /// Abstract value: either "unknown" (top) or a small set of constants.
+  struct ValSet {
+    bool top = false;
+    std::vector<Bits> vals;
+
+    static ValSet make_top() { return ValSet{true, {}}; }
+    void insert(const Bits& b) {
+      if (std::find(vals.begin(), vals.end(), b) == vals.end())
+        vals.push_back(b);
+    }
+  };
+  static constexpr std::size_t kMaxSet = 16;
+
+  struct FsmArm {
+    NodeId mux = kInvalidNode;   ///< the kMux node
+    NodeId sel = kInvalidNode;   ///< its select cone root
+    NodeId leaf = kInvalidNode;  ///< the target leaf (const or the reg q)
+    std::uint64_t target = 0;    ///< leaf value (state id; q = "hold")
+    bool hold = false;           ///< leaf is the register itself
+  };
+
+  void fsm_rules(const rtl::tape::NodeAnalysis& na) {
+    for (std::size_t ri = 0; ri < m_.registers().size(); ++ri) {
+      const Register& r = m_.registers()[ri];
+      const unsigned w = m_.node(r.q).width;
+      if (w > opt_.fsm_max_state_bits || w > 64) continue;
+      if (r.init.width() != w) continue;
+
+      // Collect the mux-tree arms; bail if the cone is not FSM-shaped.
+      std::vector<FsmArm> arms;
+      linear_chain_ = true;
+      if (!collect_arms(na, r.q, r.d, arms) || arms.empty()) continue;
+      bool has_transition = false;
+      for (const FsmArm& a : arms)
+        if (!a.hold) has_transition = true;
+      if (!has_transition) continue;  // pure hold: RTL-008 territory
+
+      analyze_fsm(na, ri, r, w, arms);
+    }
+  }
+
+  /// Flatten the next-state mux tree rooted at `d`.  Leaves must be
+  /// constants or the register output itself; arms are recorded in priority
+  /// order (a then-branch outranks everything below it).
+  bool collect_arms(const rtl::tape::NodeAnalysis& na, NodeId q, NodeId d,
+                    std::vector<FsmArm>& arms) {
+    if (arms.size() > 256) return false;
+    const NodeId id = na.rep(d);
+    if (id == q) {
+      FsmArm a;
+      a.leaf = id;
+      a.hold = true;
+      arms.push_back(a);
+      return true;
+    }
+    const Node& nd = m_.node(id);
+    if (nd.op == Op::kMux) {
+      // then-branch first: it wins when the select is true.
+      const std::size_t mark = arms.size();
+      if (!collect_arms(na, q, nd.ins[1], arms)) return false;
+      if (arms.size() != mark + 1) linear_chain_ = false;
+      for (std::size_t i = mark; i < arms.size(); ++i)
+        if (arms[i].sel == kInvalidNode) {
+          arms[i].mux = id;
+          arms[i].sel = nd.ins[0];
+        }
+      return collect_arms(na, q, nd.ins[2], arms);
+    }
+    if (!na.folded[id].empty() && na.folded[id].width() <= 64) {
+      FsmArm a;
+      a.leaf = id;
+      a.target = na.folded[id].to_u64();
+      arms.push_back(a);
+      return true;
+    }
+    return false;  // non-constant leaf: not a canonical FSM
+  }
+
+  void analyze_fsm(const rtl::tape::NodeAnalysis& na, std::size_t ri,
+                   const Register& r, unsigned w,
+                   const std::vector<FsmArm>& arms) {
+    const std::uint64_t init_state = r.init.to_u64();
+
+    // Universe: reset state plus every arm target.
+    std::vector<std::uint64_t> universe{init_state};
+    for (const FsmArm& a : arms)
+      if (!a.hold &&
+          std::find(universe.begin(), universe.end(), a.target) ==
+              universe.end())
+        universe.push_back(a.target);
+    std::sort(universe.begin(), universe.end());
+
+    // BFS over states; per state, abstract-evaluate every arm select.
+    std::vector<std::uint64_t> frontier{init_state};
+    std::vector<std::uint64_t> reachable{init_state};
+    std::vector<bool> arm_fires(arms.size(), false);
+    while (!frontier.empty()) {
+      const std::uint64_t s = frontier.back();
+      frontier.pop_back();
+      std::map<NodeId, ValSet> memo;
+      // An arm fires when its select can be 1 and no strictly higher
+      // priority arm *must* fire (its select is definitely 1).
+      bool blocked = false;
+      for (std::size_t i = 0; i < arms.size() && !blocked; ++i) {
+        const FsmArm& a = arms[i];
+        bool can1 = true, must1 = false;
+        if (a.sel != kInvalidNode) {
+          const ValSet v = eval(na, a.sel, r.q, Bits(w, s), memo, 0);
+          if (v.top) {
+            can1 = true;
+            must1 = false;
+          } else {
+            can1 = must1 = false;
+            bool any0 = false;
+            for (const Bits& b : v.vals) (b.is_zero() ? any0 : can1) = true;
+            must1 = can1 && !any0;
+          }
+        } else {
+          must1 = true;  // unconditional default arm
+        }
+        if (!can1) continue;
+        arm_fires[i] = true;
+        if (!a.hold &&
+            std::find(reachable.begin(), reachable.end(), a.target) ==
+                reachable.end()) {
+          reachable.push_back(a.target);
+          frontier.push_back(a.target);
+        }
+        // In a linear priority chain every lower arm sits in this arm's
+        // else branch, so a select that is definitely 1 blocks them all.
+        // In a general tree that inference is unsound — skip it there and
+        // over-approximate reachability instead (lint must not cry wolf).
+        if (must1 && linear_chain_) blocked = true;
+      }
+    }
+
+    // RTL-006: universe states never reached.
+    std::vector<std::uint64_t> unreachable;
+    for (const std::uint64_t s : universe)
+      if (std::find(reachable.begin(), reachable.end(), s) ==
+          reachable.end())
+        unreachable.push_back(s);
+    if (!unreachable.empty()) {
+      std::ostringstream os;
+      os << "states:";
+      for (std::size_t i = 0; i < unreachable.size() && i < 16; ++i)
+        os << " " << unreachable[i];
+      if (unreachable.size() > 16) os << " ...";
+      emit("RTL-006", r.name, static_cast<std::int64_t>(ri),
+           "FSM '" + r.name + "' has " + std::to_string(unreachable.size()) +
+               " unreachable state(s) out of " +
+               std::to_string(universe.size()),
+           os.str());
+    }
+
+    // RTL-007: arms that can never fire from any reachable state.
+    for (std::size_t i = 0; i < arms.size(); ++i) {
+      if (arm_fires[i] || arms[i].hold) continue;
+      emit("RTL-007", r.name, static_cast<std::int64_t>(ri),
+           "FSM '" + r.name + "' transition to state " +
+               std::to_string(arms[i].target) + " can never fire",
+           "guard node " + node_label(m_, arms[i].sel));
+    }
+  }
+
+  /// Set-valued abstract evaluation of `id` with register `q` pinned to
+  /// `state`.  Mirrors the interpreter's per-op semantics on each member of
+  /// the (bounded) operand sets; anything unknown or too large becomes top.
+  ValSet eval(const rtl::tape::NodeAnalysis& na, NodeId id, NodeId q,
+              const Bits& state, std::map<NodeId, ValSet>& memo,
+              unsigned depth) {
+    if (depth > 512) return ValSet::make_top();
+    id = na.rep(id);
+    if (id == q) return ValSet{false, {state}};
+    if (!na.folded[id].empty()) return ValSet{false, {na.folded[id]}};
+    const auto it = memo.find(id);
+    if (it != memo.end()) return it->second;
+    memo.emplace(id, ValSet::make_top());  // cycle/depth guard placeholder
+    const ValSet v = eval_uncached(na, id, q, state, memo, depth);
+    memo[id] = v;
+    return v;
+  }
+
+  ValSet eval_uncached(const rtl::tape::NodeAnalysis& na, NodeId id, NodeId q,
+                       const Bits& state, std::map<NodeId, ValSet>& memo,
+                       unsigned depth) {
+    const Node& n = m_.node(id);
+    switch (n.op) {
+      case Op::kInput:
+      case Op::kReg:      // a different register: unknown
+      case Op::kMemRead:  // memory contents: unknown
+        return ValSet::make_top();
+      case Op::kMux: {
+        const ValSet sel = eval(na, n.ins[0], q, state, memo, depth + 1);
+        bool may1 = sel.top, may0 = sel.top;
+        for (const Bits& b : sel.vals) (b.is_zero() ? may0 : may1) = true;
+        ValSet out;
+        if (may1) {
+          const ValSet t = eval(na, n.ins[1], q, state, memo, depth + 1);
+          if (t.top) return ValSet::make_top();
+          for (const Bits& b : t.vals) out.insert(b);
+        }
+        if (may0) {
+          const ValSet e = eval(na, n.ins[2], q, state, memo, depth + 1);
+          if (e.top) return ValSet::make_top();
+          for (const Bits& b : e.vals) out.insert(b);
+        }
+        if (out.vals.size() > kMaxSet) return ValSet::make_top();
+        return out;
+      }
+      default:
+        break;
+    }
+    // Generic operator: cross product of the operand sets.
+    std::vector<ValSet> ops;
+    std::size_t combos = 1;
+    for (const NodeId in : n.ins) {
+      ValSet v = eval(na, in, q, state, memo, depth + 1);
+      if (v.top) return ValSet::make_top();
+      combos *= v.vals.size();
+      if (combos == 0 || combos > 64) return ValSet::make_top();
+      ops.push_back(std::move(v));
+    }
+    ValSet out;
+    std::vector<std::size_t> pick(ops.size(), 0);
+    for (;;) {
+      std::vector<Bits> operand;
+      operand.reserve(ops.size());
+      for (std::size_t i = 0; i < ops.size(); ++i)
+        operand.push_back(ops[i].vals[pick[i]]);
+      out.insert(apply_op(n, operand));
+      if (out.vals.size() > kMaxSet) return ValSet::make_top();
+      std::size_t i = 0;
+      for (; i < pick.size(); ++i) {
+        if (++pick[i] < ops[i].vals.size()) break;
+        pick[i] = 0;
+      }
+      if (i == pick.size()) break;
+    }
+    return out;
+  }
+
+  /// One concrete evaluation, mirroring rtl::Simulator::compute.
+  static Bits apply_op(const Node& n, const std::vector<Bits>& in) {
+    switch (n.op) {
+      case Op::kAdd: return in[0] + in[1];
+      case Op::kSub: return in[0] - in[1];
+      case Op::kMul: return in[0] * in[1];
+      case Op::kAnd: return in[0] & in[1];
+      case Op::kOr: return in[0] | in[1];
+      case Op::kXor: return in[0] ^ in[1];
+      case Op::kNot: return ~in[0];
+      case Op::kShlI: return in[0].shl(n.param);
+      case Op::kLshrI: return in[0].lshr(n.param);
+      case Op::kAshrI: return in[0].ashr(n.param);
+      case Op::kShlV:
+        return in[0].shl(
+            static_cast<unsigned>(in[1].to_u64() & 0xffffffffu));
+      case Op::kLshrV:
+        return in[0].lshr(
+            static_cast<unsigned>(in[1].to_u64() & 0xffffffffu));
+      case Op::kEq: return Bits(1, in[0] == in[1] ? 1u : 0u);
+      case Op::kNe: return Bits(1, in[0] != in[1] ? 1u : 0u);
+      case Op::kUlt: return Bits(1, Bits::ult(in[0], in[1]) ? 1u : 0u);
+      case Op::kUle: return Bits(1, Bits::ule(in[0], in[1]) ? 1u : 0u);
+      case Op::kSlt: return Bits(1, Bits::slt(in[0], in[1]) ? 1u : 0u);
+      case Op::kSle: return Bits(1, Bits::sle(in[0], in[1]) ? 1u : 0u);
+      case Op::kSlice: return in[0].slice(n.param + n.width - 1, n.param);
+      case Op::kConcat: {
+        Bits acc(n.width);
+        unsigned pos = n.width;
+        for (std::size_t i = 0; i < in.size(); ++i) {
+          pos -= in[i].width();
+          acc.set_range(pos, in[i]);
+        }
+        return acc;
+      }
+      case Op::kZExt: return in[0].zext(n.width);
+      case Op::kSExt: return in[0].sext(n.width);
+      case Op::kRedOr: return Bits(1, in[0].is_zero() ? 0u : 1u);
+      case Op::kRedAnd: return Bits(1, in[0].is_ones() ? 1u : 0u);
+      case Op::kRedXor: return Bits(1, in[0].popcount() & 1u);
+      default:
+        throw std::logic_error("lint: cannot evaluate op");
+    }
+  }
+};
+
+}  // namespace
+
+Report lint_module(const Module& m, const Options& opt) {
+  return ModuleLinter(m, opt).run();
+}
+
+}  // namespace osss::lint

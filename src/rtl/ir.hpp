@@ -147,12 +147,28 @@ public:
 
 private:
   friend class Builder;
+  friend struct ModuleSurgeon;
   std::string name_;
   std::vector<Node> nodes_;
   std::vector<Register> regs_;
   std::vector<Memory> mems_;
   std::vector<PortRef> inputs_;
   std::vector<PortRef> outputs_;
+};
+
+/// Raw access to a module's innards, bypassing the Builder's width checks.
+/// Exists for the lint subsystem's test vectors: rules like RTL-001/RTL-002
+/// diagnose IR the Builder refuses to construct (combinational cycles,
+/// width mismatches), so their tests need to inflict the damage directly.
+/// Anything mutated through here may violate every Module invariant — only
+/// hand the result to analyses that tolerate malformed IR (lint), never to
+/// simulators or the gate backend.
+struct ModuleSurgeon {
+  static std::vector<Node>& nodes(Module& m) { return m.nodes_; }
+  static std::vector<Register>& registers(Module& m) { return m.regs_; }
+  static std::vector<Memory>& memories(Module& m) { return m.mems_; }
+  static std::vector<PortRef>& inputs(Module& m) { return m.inputs_; }
+  static std::vector<PortRef>& outputs(Module& m) { return m.outputs_; }
 };
 
 }  // namespace osss::rtl

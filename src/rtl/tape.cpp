@@ -136,22 +136,17 @@ Bits bits_from_words(const std::uint64_t* s, unsigned width) {
 
 }  // namespace
 
-Program Program::compile(const Module& m, unsigned lanes) {
-  if (lanes == 0 || lanes > 64)
-    throw std::logic_error("rtl::tape: lanes must be in 1..64");
+NodeAnalysis analyze(const Module& m) {
   m.validate();
 
-  Program p;
-  p.lanes = lanes;
+  NodeAnalysis na;
   const std::size_t n = m.node_count();
   const std::vector<NodeId> order = m.topo_order();
-  for (NodeId id = 0; id < n; ++id)
-    if (m.node(id).width > 255 * 64)
-      throw std::logic_error("rtl::tape: node width too large");
 
   // ---- pass 1: constant folding -----------------------------------------
-  // fv[id] non-empty <=> the node's value is a compile-time constant.
-  std::vector<Bits> fv(n);
+  // folded[id] non-empty <=> the node's value is a compile-time constant.
+  std::vector<Bits>& fv = na.folded;
+  fv.assign(n, Bits());
   for (const NodeId id : order) {
     const Node& nd = m.node(id);
     if (nd.op == Op::kConst) {
@@ -168,13 +163,13 @@ Program Program::compile(const Module& m, unsigned lanes) {
       }
     if (all_const) {
       fv[id] = fold_value(nd, fv);
-      ++p.stats.const_folded;
+      ++na.const_folded;
       continue;
     }
     // A constant over-shift is zero no matter what the data operand holds.
     if ((nd.op == Op::kShlI || nd.op == Op::kLshrI) && nd.param >= nd.width) {
       fv[id] = Bits(nd.width);
-      ++p.stats.const_folded;
+      ++na.const_folded;
     }
   }
 
@@ -183,7 +178,8 @@ Program Program::compile(const Module& m, unsigned lanes) {
   // bits above a node's width zero, so a zext that doesn't grow the word
   // count (or a full-width slice / width-preserving sext / unary concat) is
   // already materialized by its operand.
-  std::vector<NodeId> alias(n, kInvalidNode);
+  std::vector<NodeId>& alias = na.alias;
+  alias.assign(n, kInvalidNode);
   for (const NodeId id : order) {
     if (!fv[id].empty()) continue;
     const Node& nd = m.node(id);
@@ -205,7 +201,7 @@ Program Program::compile(const Module& m, unsigned lanes) {
       default:
         break;
     }
-    if (alias[id] != kInvalidNode) ++p.stats.fused;
+    if (alias[id] != kInvalidNode) ++na.fused;
   }
   auto rep = [&](NodeId id) {
     while (alias[id] != kInvalidNode) id = alias[id];
@@ -216,7 +212,8 @@ Program Program::compile(const Module& m, unsigned lanes) {
   // slice(slice(x)) reads x directly with the accumulated low offset, and a
   // slice hops through a zext whenever its window stays inside the original
   // value.  sliced[id] = {ultimate source, accumulated lo}.
-  std::vector<std::pair<NodeId, unsigned>> sliced(n, {kInvalidNode, 0u});
+  std::vector<std::pair<NodeId, unsigned>>& sliced = na.sliced;
+  sliced.assign(n, {kInvalidNode, 0u});
   for (const NodeId id : order) {
     if (!fv[id].empty() || alias[id] != kInvalidNode) continue;
     const Node& nd = m.node(id);
@@ -229,12 +226,12 @@ Program Program::compile(const Module& m, unsigned lanes) {
       if (s.op == Op::kSlice) {
         lo += sliced[src].second;  // inner slice already composed
         src = sliced[src].first;
-        ++p.stats.fused;
+        ++na.fused;
         continue;
       }
       if (s.op == Op::kZExt && lo + nd.width <= m.node(s.ins[0]).width) {
         src = rep(s.ins[0]);
-        ++p.stats.fused;
+        ++na.fused;
         continue;
       }
       break;
@@ -246,7 +243,8 @@ Program Program::compile(const Module& m, unsigned lanes) {
   auto is_source = [&](const Node& nd) {
     return nd.op == Op::kInput || nd.op == Op::kReg || nd.op == Op::kConst;
   };
-  std::vector<std::vector<NodeId>> eff(n);
+  std::vector<std::vector<NodeId>>& eff = na.eff;
+  eff.assign(n, {});
   for (const NodeId id : order) {
     if (!fv[id].empty() || alias[id] != kInvalidNode) continue;
     const Node& nd = m.node(id);
@@ -267,7 +265,8 @@ Program Program::compile(const Module& m, unsigned lanes) {
   }
 
   // ---- pass 4: liveness from the sequential/output roots ----------------
-  std::vector<char> live(n, 0);
+  std::vector<char>& live = na.live;
+  live.assign(n, 0);
   std::vector<NodeId> work;
   auto mark = [&](NodeId raw) {
     const NodeId r = rep(raw);
@@ -293,12 +292,51 @@ Program Program::compile(const Module& m, unsigned lanes) {
     work.pop_back();
     for (const NodeId r : eff[id]) mark(r);
   }
-  for (const NodeId id : order) {
+
+  // ---- fate classification (drives CompileStats and lint RTL-003) -------
+  na.fate.assign(n, NodeAnalysis::Fate::kLive);
+  for (NodeId id = 0; id < n; ++id) {
     const Node& nd = m.node(id);
-    if (is_source(nd) || !fv[id].empty() || alias[id] != kInvalidNode)
-      continue;
-    if (!live[id]) ++p.stats.pruned;
+    if (!fv[id].empty())
+      na.fate[id] = NodeAnalysis::Fate::kFolded;
+    else if (nd.op == Op::kInput || nd.op == Op::kReg)
+      na.fate[id] = NodeAnalysis::Fate::kSource;
+    else if (alias[id] != kInvalidNode)
+      na.fate[id] = NodeAnalysis::Fate::kAliased;
+    else if (!live[id])
+      na.fate[id] = NodeAnalysis::Fate::kDead;
   }
+  for (NodeId id = 0; id < n; ++id)
+    if (na.fate[id] == NodeAnalysis::Fate::kDead) ++na.pruned;
+  return na;
+}
+
+Program Program::compile(const Module& m, unsigned lanes) {
+  if (lanes == 0 || lanes > 64)
+    throw std::logic_error("rtl::tape: lanes must be in 1..64");
+
+  const std::size_t n = m.node_count();
+  for (NodeId id = 0; id < n; ++id)
+    if (m.node(id).width > 255 * 64)
+      throw std::logic_error("rtl::tape: node width too large");
+
+  NodeAnalysis na = analyze(m);  // validates m
+  const std::vector<NodeId> order = m.topo_order();
+  const std::vector<Bits>& fv = na.folded;
+  const std::vector<NodeId>& alias = na.alias;
+  const std::vector<std::pair<NodeId, unsigned>>& sliced = na.sliced;
+  const std::vector<std::vector<NodeId>>& eff = na.eff;
+  const std::vector<char>& live = na.live;
+  auto rep = [&](NodeId id) { return na.rep(id); };
+  auto is_source = [&](const Node& nd) {
+    return nd.op == Op::kInput || nd.op == Op::kReg || nd.op == Op::kConst;
+  };
+
+  Program p;
+  p.lanes = lanes;
+  p.stats.const_folded = na.const_folded;
+  p.stats.fused = na.fused;
+  p.stats.pruned = na.pruned;
 
   // ---- pass 5: levelization of live instructions ------------------------
   auto is_instr = [&](NodeId id) {

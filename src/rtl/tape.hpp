@@ -103,6 +103,42 @@ struct CompileStats {
   std::uint32_t fused = 0;        ///< alias + slice-chain fusions
 };
 
+/// Front-end analysis of a module: constant folding, alias/slice fusion and
+/// liveness — passes 1–4 of the compiler, exposed so the lint subsystem's
+/// dead-node rule (RTL-003) agrees with the pruner *by construction* rather
+/// than by re-implementation.  `fate` classifies every node; the counters
+/// feed CompileStats unchanged.
+struct NodeAnalysis {
+  enum class Fate : std::uint8_t {
+    kSource,   ///< input or register output (always materialized)
+    kFolded,   ///< compile-time constant (kConst or folded)
+    kAliased,  ///< no-op cast sharing its representative's slot
+    kLive,     ///< computed by a tape instruction
+    kDead,     ///< unobservable; the compiler prunes it
+  };
+
+  std::vector<Fate> fate;     ///< per node
+  std::vector<Bits> folded;   ///< per node; non-empty <=> constant value
+  std::vector<NodeId> alias;  ///< per node; kInvalidNode when not aliased
+  /// Per kSlice node: {ultimate source after chain composition, low bit}.
+  std::vector<std::pair<NodeId, unsigned>> sliced;
+  std::vector<std::vector<NodeId>> eff;  ///< post-fusion operands
+  std::vector<char> live;                ///< per node (representatives)
+
+  std::uint32_t const_folded = 0;
+  std::uint32_t fused = 0;
+  std::uint32_t pruned = 0;
+
+  /// Final alias representative of a node.
+  NodeId rep(NodeId id) const {
+    while (alias[id] != kInvalidNode) id = alias[id];
+    return id;
+  }
+};
+
+/// Run the compiler front end alone (validates `m` first).
+NodeAnalysis analyze(const Module& m);
+
 /// The compiled program: instruction tape, arena layout and the
 /// per-producer fanout-level lists that drive activity gating.  Members are
 /// public by design — tests corrupt instructions to prove the differential

@@ -1,6 +1,9 @@
 #include "sysc/kernel.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
 
 namespace osss::sysc {
 
@@ -13,6 +16,81 @@ void SignalBase::notify_change() {
 
 void SignalBase::notify_posedge() {
   for (Process* p : pos_list_) kernel_.make_runnable(*p);
+}
+
+void SignalBase::race_note_write(bool same_value) {
+  Process* w = kernel_.current_process();
+  if (w == nullptr) {
+    // Testbench writes between run calls have no process identity; they
+    // also cannot race (nothing else executes concurrently with them).
+    last_writer_ = nullptr;
+    return;
+  }
+  // RACE-002: distinct driver processes over the signal's lifetime.
+  if (std::find(drivers_.begin(), drivers_.end(), w) == drivers_.end()) {
+    drivers_.push_back(w);
+    if (drivers_.size() == 2 && !race_md_reported_) {
+      race_md_reported_ = true;
+      lint::Diagnostic d;
+      d.rule = "RACE-002";
+      d.severity = lint::Severity::kWarning;
+      d.source = "kernel";
+      d.object = name_;
+      d.message = "signal is driven by multiple processes over its lifetime";
+      d.note = "'" + drivers_[0]->name() + "' and '" + drivers_[1]->name() +
+               "' both write it";
+      kernel_.report_race(std::move(d));
+    }
+  }
+  // RACE-001: a second process writes while another's write is still
+  // pending in this delta.  Last write wins by queue order — scheduling
+  // luck, so differing values are an error.
+  if (update_pending_ && last_writer_ != nullptr && last_writer_ != w) {
+    bool& reported =
+        same_value ? race_ww_warn_reported_ : race_ww_error_reported_;
+    if (!reported) {
+      reported = true;
+      lint::Diagnostic d;
+      d.rule = "RACE-001";
+      d.severity =
+          same_value ? lint::Severity::kWarning : lint::Severity::kError;
+      d.source = "kernel";
+      d.object = name_;
+      d.message = "processes '" + last_writer_->name() + "' and '" +
+                  w->name() + "' write this signal in the same delta cycle";
+      d.note = same_value
+                   ? "both writes carry the same value (benign but fragile)"
+                   : "the values differ; the surviving one is scheduling "
+                     "order luck";
+      kernel_.report_race(std::move(d));
+    }
+  }
+  last_writer_ = w;
+}
+
+void SignalBase::race_note_read() const {
+  if (race_rw_reported_ || !update_pending_) return;
+  Process* r = kernel_.current_process();
+  if (r == nullptr || last_writer_ == nullptr || last_writer_ == r) return;
+  race_rw_reported_ = true;
+  lint::Diagnostic d;
+  d.rule = "RACE-003";
+  d.severity = lint::Severity::kInfo;
+  d.source = "kernel";
+  d.object = name_;
+  d.message = "process '" + r->name() + "' reads this signal while a write "
+              "from '" + last_writer_->name() + "' is pending this delta";
+  d.note = "deterministic under two-phase update (the read sees the old "
+           "value), but evaluation-order sensitive in other kernels";
+  kernel_.report_race(std::move(d));
+}
+
+Kernel::Kernel() {
+  if (const char* e = std::getenv("OSSS_RACE_CHECK");
+      e != nullptr && *e != '\0' && std::strcmp(e, "0") != 0) {
+    race_check_ = true;
+    race_strict_ = true;
+  }
 }
 
 void Kernel::schedule(Time at, std::function<void()> fn) {
@@ -63,7 +141,9 @@ void Kernel::delta_loop() {
     batch.swap(runnable_);
     for (Process* p : batch) {
       p->queued_ = false;
+      current_ = p;
       p->execute();
+      current_ = nullptr;
     }
   }
 }
@@ -99,6 +179,14 @@ void Kernel::run_until(Time end) {
     fire_hooks();
   }
   now_ = end;
+  // Strict (environment-enabled) mode behaves like a sanitizer: surface
+  // error-severity races as a hard failure.  Explicit set_race_check users
+  // inspect race_report() themselves.
+  if (race_check_ && race_strict_ && !race_report_.clean()) {
+    race_strict_ = false;  // throw once; the report stays inspectable
+    throw std::logic_error("OSSS_RACE_CHECK: write-write race detected\n" +
+                           race_report_.text());
+  }
 }
 
 }  // namespace osss::sysc

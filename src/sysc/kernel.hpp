@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "lint/diag.hpp"
+
 namespace osss::sysc {
 
 /// Simulation time in picoseconds.
@@ -53,10 +55,30 @@ protected:
   void notify_change();
   void notify_posedge();
 
+  /// Race-detector write hook (called by Signal<T>::write when the kernel's
+  /// race check is on, *before* the pending value is replaced).
+  /// `same_value` says whether the new value equals the pending one — a
+  /// same-delta write-write conflict with differing values is an error
+  /// (RACE-001), with equal values a warning.
+  void race_note_write(bool same_value);
+
+  /// Race-detector read hook: a read while another process's write is
+  /// pending this delta (RACE-003, info — the two-phase kernel makes the
+  /// outcome deterministic, reads observe the old value).
+  void race_note_read() const;
+
 private:
   friend class Kernel;
   std::string name_;
   bool update_pending_ = false;
+
+  // --- race-detector bookkeeping (only touched when the check is on) ------
+  class Process* last_writer_ = nullptr;    ///< writer of the pending value
+  std::vector<class Process*> drivers_;     ///< distinct writers, lifetime
+  bool race_ww_error_reported_ = false;     ///< RACE-001 error dedup
+  bool race_ww_warn_reported_ = false;      ///< RACE-001 warning dedup
+  bool race_md_reported_ = false;           ///< RACE-002 dedup
+  mutable bool race_rw_reported_ = false;   ///< RACE-003 dedup
 
   /// Move the pending value into the current value; fire notifications.
   virtual void apply_update() = 0;
@@ -85,11 +107,46 @@ private:
 /// The event-driven simulator core.
 class Kernel {
 public:
-  Kernel() = default;
+  /// A kernel starts with the race detector off unless the environment
+  /// variable OSSS_RACE_CHECK is set to a truthy value ("1", "on", ...), in
+  /// which case every kernel in the process checks *strictly*: run_until
+  /// throws std::logic_error on the first error-severity race so CI catches
+  /// racy designs the way a sanitizer would.
+  Kernel();
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
 
   Time now() const noexcept { return now_; }
+
+  // --- dynamic race detector ----------------------------------------------
+  //
+  //   RACE-001 error/warn  two processes write one signal in the same delta
+  //                        (error when the values differ — last write wins
+  //                        by queue order, which is scheduling luck)
+  //   RACE-002 warn        a signal has multiple driver processes over its
+  //                        lifetime (structural multi-driver)
+  //   RACE-003 info        a process reads a signal while another process's
+  //                        write is pending this delta (deterministic here —
+  //                        reads see the old value — but order-sensitive in
+  //                        kernels without two-phase update)
+
+  /// Explicitly switch the race detector; overrides the environment policy
+  /// (explicit control never throws — inspect race_report() instead).
+  void set_race_check(bool on) {
+    race_check_ = on;
+    race_strict_ = false;
+  }
+  bool race_check() const noexcept { return race_check_; }
+
+  /// Findings accumulated so far (RACE-001/002/003, deduplicated per
+  /// signal and rule).
+  const lint::Report& race_report() const noexcept { return race_report_; }
+  void clear_race_report() { race_report_ = lint::Report{}; }
+
+  /// Used by SignalBase's hooks to attribute reads/writes; nullptr outside
+  /// the evaluate phase (testbench code between run calls).
+  Process* current_process() const noexcept { return current_; }
+  void report_race(lint::Diagnostic d) { race_report_.add(std::move(d)); }
 
   /// Number of delta cycles executed so far (diagnostic / performance
   /// counter, compared in the simulation-speed experiment R7).
@@ -124,6 +181,10 @@ private:
   std::uint64_t delta_count_ = 0;
   std::uint64_t sequence_ = 0;
   bool initialized_ = false;
+  bool race_check_ = false;
+  bool race_strict_ = false;  ///< throw on error races (env-enabled mode)
+  Process* current_ = nullptr;
+  lint::Report race_report_;
 
   // Binary min-heap ordered by (time, insertion-sequence).  The sequence
   // keeps same-time events in schedule order, which keeps clock edges

@@ -29,10 +29,14 @@ public:
   Signal(Kernel& kernel, std::string name, T init = T{})
       : SignalBase(kernel, std::move(name)), current_(init), next_(init) {}
 
-  const T& read() const noexcept { return current_; }
-  operator const T&() const noexcept { return current_; }  // NOLINT
+  const T& read() const {
+    if (kernel_.race_check()) race_note_read();
+    return current_;
+  }
+  operator const T&() const { return read(); }  // NOLINT
 
   void write(const T& v) {
+    if (kernel_.race_check()) race_note_write(next_ == v);
     next_ = v;
     kernel_.request_update(*this);
   }

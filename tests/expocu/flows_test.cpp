@@ -19,7 +19,9 @@ TEST(Flows, OsssFlowBuildsAllComponents) {
   for (const auto& c : flow) EXPECT_NO_THROW(c.module.validate());
   // Behavioral components carry an HLS report.
   for (const auto& c : flow) {
-    if (c.behavioral) EXPECT_GT(c.hls_report.states, 0u) << c.name;
+    if (c.behavioral) {
+      EXPECT_GT(c.hls_report.states, 0u) << c.name;
+    }
   }
 }
 

@@ -1,0 +1,89 @@
+// Critical-path tests on hand-built netlists whose worst path is known in
+// closed form from the generic library numbers (xor2 140 ps, and2 100 ps,
+// clk->q 150 ps, dff setup 100 ps, memory setup 250 ps, memory read
+// 900 ps).  The lowered-design timing tests only check monotonic
+// relationships; these pin the arithmetic exactly.
+
+#include "gate/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gate/netlist.hpp"
+
+namespace osss::gate {
+namespace {
+
+TEST(TimingPath, RegToRegXorChainIsExact) {
+  Netlist nl("r2r");
+  const auto a = nl.add_input("a", 3);
+  const NetId q1 = nl.dff("q1");
+  const NetId q2 = nl.dff("q2");
+  const NetId x1 = nl.xor2(q1, a[0]);
+  const NetId x2 = nl.xor2(x1, a[1]);
+  const NetId x3 = nl.xor2(x2, a[2]);
+  nl.connect_dff(q1, a[0]);
+  nl.connect_dff(q2, x3);
+  nl.add_output("o", {q2});
+  nl.validate();
+
+  const TimingReport r = analyze_timing(nl, Library::generic());
+  // clk->q + three xor2 + setup.
+  EXPECT_DOUBLE_EQ(r.critical_path_ps, 150.0 + 3 * 140.0 + 100.0);
+  EXPECT_EQ(r.endpoint, "dff q2");
+  EXPECT_EQ(r.levels, 3u);
+  // Launch-to-capture nets, in order.
+  const std::vector<NetId> want{q1, x1, x2, x3};
+  EXPECT_EQ(r.critical_path, want);
+  EXPECT_NEAR(r.fmax_mhz, 1.0e6 / 670.0, 1e-9);
+}
+
+TEST(TimingPath, PureCombinationalPathEndsAtOutput) {
+  Netlist nl("comb");
+  const auto a = nl.add_input("a", 4);
+  const NetId c1 = nl.and2(a[0], a[1]);
+  const NetId c2 = nl.and2(c1, a[2]);
+  const NetId c3 = nl.and2(c2, a[3]);
+  nl.add_output("o", {c3});
+  nl.validate();
+
+  const TimingReport r = analyze_timing(nl, Library::generic());
+  EXPECT_DOUBLE_EQ(r.critical_path_ps, 3 * 100.0);
+  EXPECT_EQ(r.endpoint, "output o");
+  EXPECT_EQ(r.levels, 3u);
+  EXPECT_EQ(r.dffs, 0u);
+}
+
+TEST(TimingPath, MemoryWriteSetupIsAnEndpoint) {
+  Netlist nl("wr");
+  const auto addr = nl.add_input("addr", 2);
+  const auto d = nl.add_input("d", 2);
+  const auto en = nl.add_input("en", 1);
+  const unsigned mem = nl.add_memory("ram", 4, 1);
+  // Data reaches the write port through one and2: 100 ps + 250 ps setup.
+  nl.mem_write(mem, addr, {nl.and2(d[0], d[1])}, en[0]);
+  nl.add_output("o", {addr[0]});
+
+  const TimingReport r = analyze_timing(nl, Library::generic());
+  EXPECT_DOUBLE_EQ(r.critical_path_ps, 100.0 + 250.0);
+  EXPECT_EQ(r.endpoint, "mem ram");
+}
+
+TEST(TimingPath, AsynchronousMemoryReadDominates) {
+  Netlist nl("rd");
+  const auto addr = nl.add_input("addr", 2);
+  const auto d = nl.add_input("d", 1);
+  const auto en = nl.add_input("en", 1);
+  const unsigned mem = nl.add_memory("ram", 4, 1);
+  nl.mem_write(mem, addr, {d[0]}, en[0]);
+  nl.add_output("q", nl.mem_read(mem, addr));
+
+  const TimingReport r = analyze_timing(nl, Library::generic());
+  // The 900 ps asynchronous read beats the 250 ps write setup.
+  EXPECT_DOUBLE_EQ(r.critical_path_ps, 900.0);
+  EXPECT_EQ(r.endpoint, "output q");
+}
+
+}  // namespace
+}  // namespace osss::gate

@@ -1,0 +1,109 @@
+// Tests for the diagnostic framework: registry integrity, report
+// counting/queries, reporter output, suppression plumbing.
+
+#include "lint/diag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace osss::lint {
+namespace {
+
+TEST(DiagRegistry, EveryRuleHasUniqueIdAndKnownPack) {
+  std::set<std::string> ids;
+  for (const RuleInfo& r : rule_registry()) {
+    EXPECT_TRUE(ids.insert(r.id).second) << "duplicate rule id " << r.id;
+    const std::string pack = r.pack;
+    EXPECT_TRUE(pack == "rtl" || pack == "gate" || pack == "kernel") << r.id;
+    EXPECT_NE(std::string(r.title), "");
+  }
+  // The full rule set this PR ships; additions only append.
+  for (const char* id :
+       {"RTL-001", "RTL-002", "RTL-003", "RTL-004", "RTL-005", "RTL-006",
+        "RTL-007", "RTL-008", "RTL-009", "GATE-001", "GATE-002", "GATE-003",
+        "GATE-004", "GATE-005", "RACE-001", "RACE-002", "RACE-003"})
+    EXPECT_NE(find_rule(id), nullptr) << id;
+  EXPECT_EQ(rule_registry().size(), 17u);
+  EXPECT_EQ(find_rule("RTL-999"), nullptr);
+}
+
+TEST(DiagRegistry, DefaultSeveritiesMatchSpec) {
+  EXPECT_EQ(find_rule("RTL-001")->default_severity, Severity::kError);
+  EXPECT_EQ(find_rule("RTL-002")->default_severity, Severity::kError);
+  EXPECT_EQ(find_rule("RTL-003")->default_severity, Severity::kWarning);
+  EXPECT_EQ(find_rule("GATE-001")->default_severity, Severity::kError);
+  EXPECT_EQ(find_rule("GATE-003")->default_severity, Severity::kError);
+  EXPECT_EQ(find_rule("GATE-005")->default_severity, Severity::kInfo);
+  EXPECT_EQ(find_rule("RACE-001")->default_severity, Severity::kError);
+  EXPECT_EQ(find_rule("RACE-003")->default_severity, Severity::kInfo);
+}
+
+Diagnostic make(const char* rule, Severity sev, const char* obj) {
+  Diagnostic d;
+  d.rule = rule;
+  d.severity = sev;
+  d.source = "unit";
+  d.object = obj;
+  d.message = "something happened";
+  return d;
+}
+
+TEST(DiagReport, CountsAndQueries) {
+  Report r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_TRUE(r.clean());
+  r.add(make("RTL-001", Severity::kError, "%3"));
+  r.add(make("RTL-003", Severity::kWarning, "%5"));
+  r.add(make("RTL-003", Severity::kWarning, "%9"));
+  r.add(make("GATE-005", Severity::kInfo, "netlist"));
+  EXPECT_EQ(r.size(), 4u);
+  EXPECT_EQ(r.error_count(), 1u);
+  EXPECT_EQ(r.warning_count(), 2u);
+  EXPECT_EQ(r.count(Severity::kInfo), 1u);
+  EXPECT_FALSE(r.clean());
+  EXPECT_TRUE(r.has("RTL-001"));
+  EXPECT_FALSE(r.has("RTL-002"));
+  EXPECT_EQ(r.by_rule("RTL-003").size(), 2u);
+
+  Report merged;
+  merged.merge(r);
+  merged.merge(r);
+  EXPECT_EQ(merged.size(), 8u);
+}
+
+TEST(DiagReport, TextReporterMentionsRuleSeverityAndObject) {
+  Report r;
+  Diagnostic d = make("RTL-001", Severity::kError, "%12");
+  d.note = "%12 -> %13 -> %12";
+  r.add(d);
+  const std::string t = r.text();
+  EXPECT_NE(t.find("RTL-001"), std::string::npos);
+  EXPECT_NE(t.find("error"), std::string::npos);
+  EXPECT_NE(t.find("%12"), std::string::npos);
+  EXPECT_NE(t.find("1 error"), std::string::npos);
+}
+
+TEST(DiagReport, JsonReporterIsWellFormedAndEscaped) {
+  Report r;
+  Diagnostic d = make("GATE-003", Severity::kError, "n4 'weird\"name'");
+  d.message = "line1\nline2";
+  r.add(d);
+  const std::string j = r.json();
+  EXPECT_NE(j.find("\"rule\":\"GATE-003\""), std::string::npos);
+  EXPECT_NE(j.find("\\\"name"), std::string::npos);  // quote escaped
+  EXPECT_NE(j.find("\\n"), std::string::npos);   // newline escaped
+  EXPECT_EQ(j.find('\n'), std::string::npos);    // reporter stays one line
+  EXPECT_NE(j.find("\"errors\":1"), std::string::npos);
+}
+
+TEST(DiagOptions, SuppressionLooksUpRuleIds) {
+  Options opt;
+  opt.suppress.insert("RTL-003");
+  EXPECT_TRUE(opt.suppressed("RTL-003"));
+  EXPECT_FALSE(opt.suppressed("RTL-001"));
+}
+
+}  // namespace
+}  // namespace osss::lint

@@ -1,0 +1,45 @@
+// The analyzer gate over the evaluation designs: every ExpoCU component of
+// both flows must lint free of error-severity findings at RTL and at gate
+// level (the acceptance bar CI enforces through tools/osss-lint as well).
+
+#include <gtest/gtest.h>
+
+#include "expocu/flows.hpp"
+#include "gate/lower.hpp"
+#include "lint/lint.hpp"
+
+namespace osss::expocu {
+namespace {
+
+void expect_flow_error_free(const std::vector<FlowComponent>& flow,
+                            const char* flow_name) {
+  ASSERT_EQ(flow.size(), 6u);
+  for (const FlowComponent& c : flow) {
+    const lint::Report rtl_rep = lint::lint_module(c.module);
+    EXPECT_TRUE(rtl_rep.clean())
+        << flow_name << "/" << c.name << " [rtl]:\n" << rtl_rep.text();
+    const gate::Netlist nl = gate::lower_to_gates(c.module);
+    const lint::Report gate_rep = lint::lint_netlist(nl);
+    EXPECT_TRUE(gate_rep.clean())
+        << flow_name << "/" << c.name << " [gate]:\n" << gate_rep.text();
+    // Swept netlists must carry no dead cells either.
+    EXPECT_FALSE(gate_rep.has("GATE-004"))
+        << flow_name << "/" << c.name << ":\n" << gate_rep.text();
+  }
+}
+
+TEST(ExpoCuLint, OsssFlowComponentsAreErrorFree) {
+  expect_flow_error_free(build_osss_flow(), "osss");
+}
+
+TEST(ExpoCuLint, VhdlFlowComponentsAreErrorFree) {
+  expect_flow_error_free(build_vhdl_flow(), "vhdl");
+}
+
+TEST(ExpoCuLint, IpIntegratedParamCalcIsErrorFree) {
+  const lint::Report r = lint::lint_netlist(param_calc_vhdl_with_ip());
+  EXPECT_TRUE(r.clean()) << r.text();
+}
+
+}  // namespace
+}  // namespace osss::expocu

@@ -1,0 +1,156 @@
+// Tests for the gate-netlist lint pack.  Structurally broken netlists
+// (loops, floating inputs) cannot be produced through the optimizing
+// factories, so NetlistSurgeon inflicts them directly.
+
+#include "lint/gate_rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gate/lower.hpp"
+#include "rtl/builder.hpp"
+
+namespace osss::gate {
+namespace {
+
+using lint::Options;
+using lint::Report;
+using lint::Severity;
+
+Netlist clean_netlist() {
+  Netlist nl("clean");
+  const auto a = nl.add_input("a", 2);
+  const auto b = nl.add_input("b", 2);
+  const NetId q = nl.dff("q");
+  nl.connect_dff(q, nl.xor2(a[0], b[0]));
+  nl.add_output("o", {nl.and2(a[1], b[1]), q});
+  return nl;
+}
+
+TEST(GateLint, CleanNetlistHasNoErrorsOrWarnings) {
+  const Report r = lint::lint_netlist(clean_netlist());
+  EXPECT_TRUE(r.clean()) << r.text();
+  EXPECT_EQ(r.warning_count(), 0u) << r.text();
+  // The fanout histogram info line is always present.
+  EXPECT_TRUE(r.has("GATE-005")) << r.text();
+}
+
+TEST(GateLint, CombinationalLoopIsGate001) {
+  Netlist nl("loop");
+  const auto a = nl.add_input("a", 1);
+  auto& cells = NetlistSurgeon::cells(nl);
+  const NetId x = static_cast<NetId>(cells.size());
+  cells.push_back(Cell{CellKind::kAnd2, {a[0], x + 1}, false, 0, 0, ""});
+  cells.push_back(Cell{CellKind::kInv, {x}, false, 0, 0, ""});
+  nl.add_output("o", {x});
+  const Report r = lint::lint_netlist(nl);
+  ASSERT_TRUE(r.has("GATE-001")) << r.text();
+  const auto d = r.by_rule("GATE-001")[0];
+  EXPECT_EQ(d.severity, Severity::kError);
+  EXPECT_NE(d.note.find("n" + std::to_string(x)), std::string::npos);
+  EXPECT_NE(d.note.find("n" + std::to_string(x + 1)), std::string::npos);
+}
+
+TEST(GateLint, MultipleMemoryWritePortsAreGate002) {
+  Netlist nl("mem2w");
+  const auto addr = nl.add_input("addr", 2);
+  const auto d0 = nl.add_input("d0", 4);
+  const auto d1 = nl.add_input("d1", 4);
+  const auto en = nl.add_input("en", 2);
+  const unsigned mem = nl.add_memory("ram", 4, 4);
+  nl.mem_write(mem, addr, d0, en[0]);
+  nl.mem_write(mem, addr, d1, en[1]);
+  nl.add_output("q", nl.mem_read(mem, addr));
+  const Report r = lint::lint_netlist(nl);
+  ASSERT_TRUE(r.has("GATE-002")) << r.text();
+  EXPECT_EQ(r.by_rule("GATE-002")[0].severity, Severity::kWarning);
+  EXPECT_TRUE(r.clean()) << r.text();
+}
+
+TEST(GateLint, UnconnectedDffIsGate003) {
+  Netlist nl("noD");
+  const NetId q = nl.dff("q");  // connect_dff never called
+  nl.add_output("o", {q});
+  const Report r = lint::lint_netlist(nl);
+  ASSERT_TRUE(r.has("GATE-003")) << r.text();
+  const auto d = r.by_rule("GATE-003")[0];
+  EXPECT_EQ(d.severity, Severity::kError);
+  EXPECT_EQ(d.index, static_cast<std::int64_t>(q));
+}
+
+TEST(GateLint, DanglingNetReferenceIsGate003AndNeverThrows) {
+  Netlist nl("dangle");
+  const auto a = nl.add_input("a", 1);
+  const NetId x = nl.inv(a[0]);
+  nl.add_output("o", {x});
+  NetlistSurgeon::cells(nl)[x].ins[0] = 999;
+  Report r;
+  EXPECT_NO_THROW(r = lint::lint_netlist(nl));
+  ASSERT_TRUE(r.has("GATE-003")) << r.text();
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(GateLint, DeadCellIsGate004AndAgreesWithSweep) {
+  Netlist nl("deadcell");
+  const auto a = nl.add_input("a", 2);
+  const NetId live = nl.xor2(a[0], a[1]);
+  const NetId dead = nl.and2(a[0], a[1]);  // feeds nothing
+  nl.add_output("o", {live});
+  const Report r = lint::lint_netlist(nl);
+  ASSERT_TRUE(r.has("GATE-004")) << r.text();
+  const auto diags = r.by_rule("GATE-004");
+  bool flagged = false;
+  for (const auto& d : diags)
+    if (d.index == static_cast<std::int64_t>(dead)) flagged = true;
+  EXPECT_TRUE(flagged) << r.text();
+  // Lint's dead set is exactly what sweep removes.
+  const std::size_t removed = nl.sweep();
+  EXPECT_EQ(diags.size(), removed);
+  const Report after = lint::lint_netlist(nl);
+  EXPECT_FALSE(after.has("GATE-004")) << after.text();
+}
+
+TEST(GateLint, FanoutThresholdWarnsPerNet) {
+  Netlist nl("fanout");
+  const auto a = nl.add_input("a", 1);
+  const auto b = nl.add_input("b", 4);
+  // a[0] drives four gates.
+  nl.add_output("o", {nl.and2(a[0], b[0]), nl.or2(a[0], b[1]),
+                      nl.xor2(a[0], b[2]), nl.and2(a[0], b[3])});
+  Options opt;
+  opt.fanout_warn_threshold = 4;
+  const Report r = lint::lint_netlist(nl, opt);
+  const auto diags = r.by_rule("GATE-005");
+  bool warned = false;
+  for (const auto& d : diags)
+    if (d.severity == Severity::kWarning &&
+        d.index == static_cast<std::int64_t>(a[0]))
+      warned = true;
+  EXPECT_TRUE(warned) << r.text();
+}
+
+TEST(GateLint, SuppressionSilencesARule) {
+  Netlist nl("quiet");
+  const auto a = nl.add_input("a", 2);
+  (void)nl.and2(a[0], a[1]);  // dead
+  nl.add_output("o", {a[0]});
+  Options opt;
+  opt.suppress.insert("GATE-004");
+  opt.suppress.insert("GATE-005");
+  const Report r = lint::lint_netlist(nl, opt);
+  EXPECT_TRUE(r.empty()) << r.text();
+}
+
+TEST(GateLint, LoweredRtlIsLintClean) {
+  rtl::Builder b("acc");
+  rtl::Wire x = b.input("x", 8);
+  rtl::Wire q = b.reg("acc", 8, 0);
+  b.connect(q, b.add(q, x));
+  b.output("sum", q);
+  const Netlist nl = lower_to_gates(b.take());
+  const Report r = lint::lint_netlist(nl);
+  EXPECT_TRUE(r.clean()) << r.text();
+  EXPECT_EQ(r.warning_count(), 0u) << r.text();
+}
+
+}  // namespace
+}  // namespace osss::gate

@@ -1,0 +1,220 @@
+// Tests for the RTL-IR lint pack: every rule is provoked by a module built
+// to trigger exactly it, and the diagnostic carries the expected stable ID.
+// Malformed shapes the Builder refuses to construct (cycles, width breaks)
+// are inflicted through ModuleSurgeon.
+
+#include "lint/rtl_rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rtl/builder.hpp"
+#include "rtl/tape.hpp"
+
+namespace osss::rtl {
+namespace {
+
+using lint::Options;
+using lint::Report;
+using lint::Severity;
+
+TEST(RtlLint, CleanCounterHasNoFindings) {
+  Builder b("counter");
+  Wire q = b.reg("q", 4, 0);
+  b.connect(q, b.add(q, b.constant(4, 1)));
+  b.output("count", q);
+  const Module m = b.take();
+  const Report r = lint::lint_module(m);
+  EXPECT_TRUE(r.clean()) << r.text();
+  EXPECT_EQ(r.warning_count(), 0u) << r.text();
+}
+
+TEST(RtlLint, CombinationalCycleIsRtl001) {
+  Builder b("loopy");
+  Wire a = b.input("a", 4);
+  Wire x = b.and_(a, a);
+  Wire y = b.or_(x, a);
+  b.output("o", y);
+  Module m = b.take();
+  // Rewire the AND to consume the OR downstream of it: x -> y -> x.
+  ModuleSurgeon::nodes(m)[x.id].ins[1] = y.id;
+  const Report r = lint::lint_module(m);
+  ASSERT_TRUE(r.has("RTL-001")) << r.text();
+  const auto diags = r.by_rule("RTL-001");
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+  // The reported path names both cycle members.
+  EXPECT_NE(diags[0].note.find("%" + std::to_string(x.id)),
+            std::string::npos);
+  EXPECT_NE(diags[0].note.find("%" + std::to_string(y.id)),
+            std::string::npos);
+}
+
+TEST(RtlLint, WidthMismatchIsRtl002) {
+  Builder b("widths");
+  Wire a = b.input("a", 4);
+  Wire x = b.and_(a, a);
+  b.output("o", x);
+  Module m = b.take();
+  ModuleSurgeon::nodes(m)[x.id].width = 7;  // and must match operand width
+  const Report r = lint::lint_module(m);
+  ASSERT_TRUE(r.has("RTL-002")) << r.text();
+  EXPECT_EQ(r.by_rule("RTL-002")[0].severity, Severity::kError);
+}
+
+TEST(RtlLint, DeadNodeIsRtl003AndAgreesWithTapePruner) {
+  Builder b("deadwood");
+  Wire a = b.input("a", 8);
+  Wire x = b.input("b", 8);
+  Wire live = b.xor_(a, x);
+  Wire dead = b.mul(b.add(a, x), x);  // feeds nothing
+  b.output("o", live);
+  const Module m = b.take();
+  const Report r = lint::lint_module(m);
+  ASSERT_TRUE(r.has("RTL-003")) << r.text();
+  EXPECT_TRUE(r.clean());
+  const auto diags = r.by_rule("RTL-003");
+  // Exactly the tape compiler's pruned set, by construction.
+  const auto p = tape::Program::compile(m);
+  EXPECT_EQ(diags.size(), p.stats.pruned);
+  bool flagged_mul = false;
+  for (const auto& d : diags) {
+    ASSERT_GE(d.index, 0);
+    EXPECT_EQ(p.node_slot[static_cast<NodeId>(d.index)], tape::kNoSlot);
+    if (d.index == dead.id) flagged_mul = true;
+  }
+  EXPECT_TRUE(flagged_mul);
+  // And no live node is ever flagged (live = it has an arena slot).
+  for (NodeId id = 0; id < m.node_count(); ++id) {
+    if (p.node_slot[id] == tape::kNoSlot) continue;
+    for (const auto& d : diags) EXPECT_NE(d.index, id);
+  }
+}
+
+TEST(RtlLint, RegisterWithoutResetIsRtl004) {
+  Builder b("noreset");
+  Wire q = b.reg("q", 4, 0);
+  b.connect(q, b.add(q, b.constant(4, 1)));
+  b.output("o", q);
+  Module m = b.take();
+  ModuleSurgeon::registers(m)[0].init = Bits();  // strip the reset value
+  const Report r = lint::lint_module(m);
+  ASSERT_TRUE(r.has("RTL-004")) << r.text();
+  EXPECT_EQ(r.by_rule("RTL-004")[0].severity, Severity::kWarning);
+  EXPECT_TRUE(r.clean()) << r.text();  // a missing reset is not an error
+}
+
+TEST(RtlLint, ConstantOutputIsRtl005) {
+  Builder b("constout");
+  Wire a = b.input("a", 8);
+  b.output("pass", a);  // keeps the input live
+  // The folder propagates constants bottom-up: 0x55 & 0x33 folds to 0x11.
+  b.output("o", b.and_(b.constant(8, 0x55), b.constant(8, 0x33)));
+  const Module m = b.take();
+  const Report r = lint::lint_module(m);
+  ASSERT_TRUE(r.has("RTL-005")) << r.text();
+  const auto d = r.by_rule("RTL-005")[0];
+  EXPECT_EQ(d.severity, Severity::kWarning);
+  EXPECT_EQ(d.object, "o");
+}
+
+// A two-bit FSM whose third encodable state is a declared transition target
+// but unreachable: 0 -> 1 -> 1 forever; the arm guarded by state == 3 can
+// never fire, so its target state 2 is unreachable and the transition dead.
+Module fsm_with_dead_arm() {
+  Builder b("fsm");
+  Wire st = b.reg("__state", 2, 0);
+  Wire go1 = b.eq(st, b.constant(2, 0));
+  Wire never = b.eq(st, b.constant(2, 3));
+  Wire next = b.mux(go1, b.constant(2, 1),
+                    b.mux(never, b.constant(2, 2), st));
+  b.connect(st, next);
+  b.output("state", st);
+  return b.take();
+}
+
+TEST(RtlLint, UnreachableFsmStateIsRtl006) {
+  const Report r = lint::lint_module(fsm_with_dead_arm());
+  ASSERT_TRUE(r.has("RTL-006")) << r.text();
+  const auto d = r.by_rule("RTL-006")[0];
+  EXPECT_EQ(d.severity, Severity::kWarning);
+  EXPECT_EQ(d.object, "__state");
+  EXPECT_NE(d.note.find("2"), std::string::npos);  // names state 2
+}
+
+TEST(RtlLint, DeadFsmTransitionIsRtl007) {
+  const Report r = lint::lint_module(fsm_with_dead_arm());
+  ASSERT_TRUE(r.has("RTL-007")) << r.text();
+  EXPECT_EQ(r.by_rule("RTL-007")[0].severity, Severity::kInfo);
+}
+
+TEST(RtlLint, ReachableFsmIsNotFlagged) {
+  // 0 -> 1 -> 0 ping-pong driven by an input: everything reachable.
+  Builder b("fsm_ok");
+  Wire go = b.input("go", 1);
+  Wire st = b.reg("__state", 1, 0);
+  Wire next = b.mux(go, b.not_(st), st);
+  b.connect(st, next);
+  b.output("state", st);
+  const Report r = lint::lint_module(b.take());
+  EXPECT_FALSE(r.has("RTL-006")) << r.text();
+  EXPECT_FALSE(r.has("RTL-007")) << r.text();
+}
+
+TEST(RtlLint, StuckRegisterIsRtl008) {
+  Builder b("stuck");
+  Wire q = b.reg("q", 4, 9);
+  b.connect(q, q);  // D feeds back Q: can never change
+  b.output("o", q);
+  const Report r = lint::lint_module(b.take());
+  ASSERT_TRUE(r.has("RTL-008")) << r.text();
+  EXPECT_EQ(r.by_rule("RTL-008")[0].object, "q");
+}
+
+TEST(RtlLint, StuckByConstantZeroEnableIsRtl008) {
+  Builder b("gated");
+  Wire q = b.reg("q", 4, 0);
+  b.connect(q, b.add(q, b.constant(4, 1)));
+  b.enable(q, b.constant(1, 0));  // enable tied low
+  b.output("o", q);
+  const Report r = lint::lint_module(b.take());
+  ASSERT_TRUE(r.has("RTL-008")) << r.text();
+}
+
+TEST(RtlLint, OverShiftIsRtl009) {
+  Builder b("shifty");
+  Wire a = b.input("a", 8);
+  b.output("o", b.shli(a, 8));  // shifts every bit out
+  const Report r = lint::lint_module(b.take());
+  ASSERT_TRUE(r.has("RTL-009")) << r.text();
+  EXPECT_EQ(r.by_rule("RTL-009")[0].severity, Severity::kInfo);
+}
+
+TEST(RtlLint, SuppressionSilencesARule) {
+  Builder b("deadwood2");
+  Wire a = b.input("a", 8);
+  Wire dead = b.add(a, a);
+  (void)dead;
+  b.output("o", a);
+  Options opt;
+  opt.suppress.insert("RTL-003");
+  const Report r = lint::lint_module(b.take(), opt);
+  EXPECT_FALSE(r.has("RTL-003")) << r.text();
+}
+
+TEST(RtlLint, MalformedIrNeverThrows) {
+  Builder b("mangled");
+  Wire a = b.input("a", 4);
+  Wire x = b.and_(a, a);
+  b.output("o", x);
+  Module m = b.take();
+  auto& nodes = ModuleSurgeon::nodes(m);
+  nodes[x.id].ins.push_back(kInvalidNode);  // dangling operand
+  nodes[x.id].width = 0;                    // zero width on top
+  ModuleSurgeon::outputs(m).push_back({"ghost", 999});
+  Report r;
+  EXPECT_NO_THROW(r = lint::lint_module(m));
+  EXPECT_TRUE(r.has("RTL-002")) << r.text();
+  EXPECT_FALSE(r.clean());
+}
+
+}  // namespace
+}  // namespace osss::rtl

@@ -1,0 +1,173 @@
+// Tests for the kernel's dynamic race detector: same-delta write-write
+// conflicts (RACE-001), multi-driver signals (RACE-002) and reads of
+// signals with a pending update (RACE-003), plus the opt-in semantics
+// (off by default, strict only when enabled through OSSS_RACE_CHECK).
+
+#include "sysc/module.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "lint/diag.hpp"
+
+namespace osss::sysc {
+namespace {
+
+// Two methods, both sensitive to the same trigger, writing *different*
+// values to one signal in the same delta: the classic nondeterministic
+// last-writer-wins race.
+TEST(RaceCheck, SameDeltaConflictingWritesAreRace001Errors) {
+  Context ctx;
+  kernel_of(ctx).set_race_check(true);
+  Signal<bool> go(ctx, "go", false);
+  Signal<int> s(ctx, "s", 0);
+  ctx.create_method("w1", [&] { s.write(1); }, {&go});
+  ctx.create_method("w2", [&] { s.write(2); }, {&go});
+  go.write(true);  // testbench write: kicks both methods, itself race-free
+  ctx.run_for(10);
+
+  const lint::Report& r = kernel_of(ctx).race_report();
+  ASSERT_TRUE(r.has("RACE-001")) << r.text();
+  bool saw_error = false;
+  for (const auto& d : r.by_rule("RACE-001"))
+    if (d.severity == lint::Severity::kError) saw_error = true;
+  EXPECT_TRUE(saw_error) << r.text();
+  EXPECT_FALSE(r.clean()) << r.text();
+}
+
+// Same shape, but both writers agree on the value: outcome-deterministic,
+// so only a warning.
+TEST(RaceCheck, SameDeltaAgreeingWritesAreRace001Warnings) {
+  Context ctx;
+  kernel_of(ctx).set_race_check(true);
+  Signal<bool> go(ctx, "go", false);
+  Signal<int> s(ctx, "s", 0);
+  ctx.create_method("w1", [&] { s.write(7); }, {&go});
+  ctx.create_method("w2", [&] { s.write(7); }, {&go});
+  go.write(true);
+  ctx.run_for(10);
+
+  const lint::Report& r = kernel_of(ctx).race_report();
+  ASSERT_TRUE(r.has("RACE-001")) << r.text();
+  for (const auto& d : r.by_rule("RACE-001"))
+    EXPECT_EQ(d.severity, lint::Severity::kWarning) << r.text();
+  EXPECT_TRUE(r.clean()) << r.text();
+}
+
+// Two processes drive the same signal in *different* deltas: no RACE-001,
+// but the signal has two drivers over its lifetime -> RACE-002 warning.
+TEST(RaceCheck, MultipleDriversAcrossDeltasAreRace002) {
+  Context ctx;
+  kernel_of(ctx).set_race_check(true);
+  Clock clk(ctx, "clk", 1000);
+  Signal<int> s(ctx, "s", 0);
+  int phase = 0;
+  ctx.create_cthread("t1", clk.signal(), [&]() -> Behavior {
+    for (;;) {
+      if (phase == 0) s.write(1);
+      co_await wait();
+    }
+  });
+  ctx.create_cthread("t2", clk.signal(), [&]() -> Behavior {
+    for (;;) {
+      if (phase == 1) s.write(2);
+      co_await wait();
+    }
+  });
+  ctx.run_for(1000);
+  phase = 1;
+  ctx.run_for(2000);
+
+  const lint::Report& r = kernel_of(ctx).race_report();
+  ASSERT_TRUE(r.has("RACE-002")) << r.text();
+  EXPECT_EQ(r.by_rule("RACE-002")[0].severity, lint::Severity::kWarning);
+  EXPECT_FALSE(r.has("RACE-001")) << r.text();
+}
+
+// One process writes, another reads the same signal in the same delta:
+// the reader observes the stale value (two-phase semantics make this
+// well-defined but order-sensitive across kernels) -> RACE-003 info.
+TEST(RaceCheck, ReadOfPendingWriteIsRace003Info) {
+  Context ctx;
+  kernel_of(ctx).set_race_check(true);
+  Signal<bool> go(ctx, "go", false);
+  Signal<int> s(ctx, "s", 0);
+  int seen = -1;
+  ctx.create_method("w", [&] { s.write(5); }, {&go});
+  ctx.create_method("r", [&] { seen = s.read(); }, {&go});
+  go.write(true);
+  ctx.run_for(10);
+
+  const lint::Report& r = kernel_of(ctx).race_report();
+  ASSERT_TRUE(r.has("RACE-003")) << r.text();
+  EXPECT_EQ(r.by_rule("RACE-003")[0].severity, lint::Severity::kInfo);
+  EXPECT_TRUE(r.clean()) << r.text();
+  EXPECT_EQ(s.read(), 5);
+}
+
+// Detection is opt-in: the racy design from the first test produces an
+// empty report when the check is off.
+TEST(RaceCheck, DisabledDetectorReportsNothing) {
+  Context ctx;
+  kernel_of(ctx).set_race_check(false);
+  Signal<bool> go(ctx, "go", false);
+  Signal<int> s(ctx, "s", 0);
+  ctx.create_method("w1", [&] { s.write(1); }, {&go});
+  ctx.create_method("w2", [&] { s.write(2); }, {&go});
+  go.write(true);
+  ctx.run_for(10);
+  EXPECT_TRUE(kernel_of(ctx).race_report().empty());
+}
+
+// Enabling via the environment arms *strict* mode: run_until throws on a
+// write-write race, sanitizer-style, so CI pipelines fail loudly.
+TEST(RaceCheck, EnvironmentEnabledStrictModeThrows) {
+  const char* old = std::getenv("OSSS_RACE_CHECK");
+  const std::string saved = old ? old : "";
+  setenv("OSSS_RACE_CHECK", "1", 1);
+  {
+    Context ctx;  // kernel constructed while the env var is set
+    Signal<bool> go(ctx, "go", false);
+    Signal<int> s(ctx, "s", 0);
+    ctx.create_method("w1", [&] { s.write(1); }, {&go});
+    ctx.create_method("w2", [&] { s.write(2); }, {&go});
+    go.write(true);
+    EXPECT_THROW(ctx.run_for(10), std::logic_error);
+  }
+  {
+    // Clean designs run to completion under the same environment.
+    Context ctx;
+    Clock clk(ctx, "clk", 1000);
+    Signal<int> s(ctx, "s", 0);
+    ctx.create_cthread("t", clk.signal(), [&]() -> Behavior {
+      for (;;) {
+        s.write(s.read() + 1);
+        co_await wait();
+      }
+    });
+    EXPECT_NO_THROW(ctx.run_for(5000));
+  }
+  if (old)
+    setenv("OSSS_RACE_CHECK", saved.c_str(), 1);
+  else
+    unsetenv("OSSS_RACE_CHECK");
+}
+
+// Explicit set_race_check() never throws, even on an error race: tests
+// with deliberate races inspect the report instead.
+TEST(RaceCheck, ExplicitEnableIsNonStrict) {
+  Context ctx;
+  kernel_of(ctx).set_race_check(true);
+  Signal<bool> go(ctx, "go", false);
+  Signal<int> s(ctx, "s", 0);
+  ctx.create_method("w1", [&] { s.write(1); }, {&go});
+  ctx.create_method("w2", [&] { s.write(2); }, {&go});
+  go.write(true);
+  EXPECT_NO_THROW(ctx.run_for(10));
+  EXPECT_FALSE(kernel_of(ctx).race_report().clean());
+}
+
+}  // namespace
+}  // namespace osss::sysc

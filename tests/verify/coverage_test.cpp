@@ -105,8 +105,8 @@ TEST(FsmCoverage, UnknownTransitionTotalReportsZeroTotal) {
 
 TEST(CoverageReport, FindAndTextSurfaceItems) {
   CoverageReport rep;
-  rep.items.push_back({"interp", "fsm-state", 6, 8});
-  rep.items.push_back({"gate", "net-toggle", 40, 50});
+  rep.items.push_back({"interp", "fsm-state", 6, 8, {}});
+  rep.items.push_back({"gate", "net-toggle", 40, 50, {}});
   ASSERT_NE(rep.find("gate", "net-toggle"), nullptr);
   EXPECT_EQ(rep.find("gate", "net-toggle")->covered, 40u);
   EXPECT_EQ(rep.find("gate", "fsm-state"), nullptr);

@@ -1,0 +1,217 @@
+// osss-lint — command-line front end of the analyzer subsystem.
+//
+// Lints the ExpoCU evaluation designs (both flows, RTL and gate level) and
+// fuzz corpora of random modules through the rule packs in src/lint.  CI
+// runs `osss-lint --format=json` and fails the build on error-severity
+// findings — the reproduction's analogue of the analyzer gate at the front
+// of the paper's OSSS design flow (its Fig. 6).
+//
+// Usage:
+//   osss-lint [--flow=osss|vhdl|both] [--level=rtl|gate|both]
+//             [--fuzz=N] [--seed=S] [--format=text|json] [--out=FILE]
+//             [--suppress=RULE[,RULE...]] [--fail-on=error|warning|never]
+//             [--fanout-warn=N] [--list-rules]
+//
+// Exit codes: 0 clean (below fail-on), 1 findings at/above fail-on,
+// 2 usage or I/O error.
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "expocu/flows.hpp"
+#include "gate/lower.hpp"
+#include "lint/lint.hpp"
+#include "verify/random_module.hpp"
+
+namespace {
+
+using osss::lint::Options;
+using osss::lint::Report;
+using osss::lint::Severity;
+
+struct Unit {
+  std::string name;
+  std::string flow;   // "osss", "vhdl", "fuzz"
+  std::string level;  // "rtl", "gate"
+  Report report;
+};
+
+struct Cli {
+  bool lint_osss = true;
+  bool lint_vhdl = true;
+  bool lint_rtl = true;
+  bool lint_gate = true;
+  unsigned fuzz = 0;
+  std::uint64_t seed = 1;
+  std::string format = "text";
+  std::string out;
+  std::string fail_on = "error";
+  bool list_rules = false;
+  Options opt;
+};
+
+bool parse_args(int argc, char** argv, Cli& cli) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&](const std::string& prefix) -> std::optional<std::string> {
+      if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+      return std::nullopt;
+    };
+    if (a == "--list-rules") {
+      cli.list_rules = true;
+    } else if (auto v = value("--flow=")) {
+      cli.lint_osss = *v == "osss" || *v == "both";
+      cli.lint_vhdl = *v == "vhdl" || *v == "both";
+      if (!cli.lint_osss && !cli.lint_vhdl) return false;
+    } else if (auto v = value("--level=")) {
+      cli.lint_rtl = *v == "rtl" || *v == "both";
+      cli.lint_gate = *v == "gate" || *v == "both";
+      if (!cli.lint_rtl && !cli.lint_gate) return false;
+    } else if (auto v = value("--fuzz=")) {
+      cli.fuzz = static_cast<unsigned>(std::stoul(*v));
+    } else if (auto v = value("--seed=")) {
+      cli.seed = std::stoull(*v);
+    } else if (auto v = value("--format=")) {
+      if (*v != "text" && *v != "json") return false;
+      cli.format = *v;
+    } else if (auto v = value("--out=")) {
+      cli.out = *v;
+    } else if (auto v = value("--fail-on=")) {
+      if (*v != "error" && *v != "warning" && *v != "never") return false;
+      cli.fail_on = *v;
+    } else if (auto v = value("--fanout-warn=")) {
+      cli.opt.fanout_warn_threshold = static_cast<unsigned>(std::stoul(*v));
+    } else if (auto v = value("--suppress=")) {
+      std::stringstream ss(*v);
+      std::string rule;
+      while (std::getline(ss, rule, ',')) {
+        if (osss::lint::find_rule(rule) == nullptr) {
+          std::cerr << "osss-lint: unknown rule '" << rule << "'\n";
+          return false;
+        }
+        cli.opt.suppress.insert(rule);
+      }
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+void lint_one(const std::string& name, const std::string& flow,
+              const osss::rtl::Module& m, const Cli& cli,
+              std::vector<Unit>& units) {
+  if (cli.lint_rtl)
+    units.push_back(
+        {name, flow, "rtl", osss::lint::lint_module(m, cli.opt)});
+  if (cli.lint_gate) {
+    const auto nl = osss::gate::lower_to_gates(m);
+    units.push_back(
+        {name, flow, "gate", osss::lint::lint_netlist(nl, cli.opt)});
+  }
+}
+
+std::string render_text(const std::vector<Unit>& units) {
+  std::ostringstream os;
+  std::size_t errors = 0, warnings = 0, infos = 0;
+  for (const Unit& u : units) {
+    os << "== " << u.flow << "/" << u.name << " [" << u.level << "] ==\n"
+       << u.report.text() << "\n";
+    errors += u.report.error_count();
+    warnings += u.report.warning_count();
+    infos += u.report.count(Severity::kInfo);
+  }
+  os << "total: " << errors << " error(s), " << warnings << " warning(s), "
+     << infos << " info across " << units.size() << " unit(s)\n";
+  return os.str();
+}
+
+std::string render_json(const std::vector<Unit>& units) {
+  std::ostringstream os;
+  std::size_t errors = 0, warnings = 0, infos = 0;
+  os << "{\"units\":[";
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    const Unit& u = units[i];
+    if (i) os << ",";
+    os << "{\"name\":\"" << osss::lint::json_escape(u.name) << "\",\"flow\":\""
+       << u.flow << "\",\"level\":\"" << u.level
+       << "\",\"report\":" << u.report.json() << "}";
+    errors += u.report.error_count();
+    warnings += u.report.warning_count();
+    infos += u.report.count(Severity::kInfo);
+  }
+  os << "],\"errors\":" << errors << ",\"warnings\":" << warnings
+     << ",\"info\":" << infos << "}\n";
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  if (!parse_args(argc, argv, cli)) {
+    std::cerr << "usage: osss-lint [--flow=osss|vhdl|both] "
+                 "[--level=rtl|gate|both] [--fuzz=N] [--seed=S]\n"
+                 "                 [--format=text|json] [--out=FILE] "
+                 "[--suppress=RULE,...]\n"
+                 "                 [--fail-on=error|warning|never] "
+                 "[--fanout-warn=N] [--list-rules]\n";
+    return 2;
+  }
+  if (cli.list_rules) {
+    for (const auto& r : osss::lint::rule_registry())
+      std::cout << r.id << "  " << osss::lint::severity_name(r.default_severity)
+                << "  [" << r.pack << "]  " << r.title << "\n";
+    return 0;
+  }
+
+  std::vector<Unit> units;
+  try {
+    if (cli.lint_osss)
+      for (const auto& c : osss::expocu::build_osss_flow())
+        lint_one(c.name, "osss", c.module, cli, units);
+    if (cli.lint_vhdl)
+      for (const auto& c : osss::expocu::build_vhdl_flow())
+        lint_one(c.name, "vhdl", c.module, cli, units);
+    std::mt19937_64 rng(cli.seed);
+    for (unsigned i = 0; i < cli.fuzz; ++i) {
+      osss::verify::RandomModuleOptions ropt;
+      ropt.ops = 20 + i % 40;
+      ropt.with_memory = i % 3 == 0;
+      ropt.with_shared_mux = i % 5 == 0;
+      ropt.with_polymorphic = i % 7 == 0;
+      const auto m = osss::verify::random_module(rng, ropt);
+      lint_one("fuzz_" + std::to_string(i), "fuzz", m, cli, units);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "osss-lint: " << e.what() << "\n";
+    return 2;
+  }
+
+  const std::string body =
+      cli.format == "json" ? render_json(units) : render_text(units);
+  if (cli.out.empty()) {
+    std::cout << body;
+  } else {
+    std::ofstream f(cli.out);
+    if (!f) {
+      std::cerr << "osss-lint: cannot write '" << cli.out << "'\n";
+      return 2;
+    }
+    f << body;
+  }
+
+  std::size_t gating = 0;
+  for (const Unit& u : units) {
+    if (cli.fail_on == "error") gating += u.report.error_count();
+    if (cli.fail_on == "warning")
+      gating += u.report.error_count() + u.report.warning_count();
+  }
+  return gating == 0 ? 0 : 1;
+}
