@@ -7,8 +7,9 @@
 //   * OO model:   the compiled C++ ExpoCU on the simulation kernel
 //                 (the paper's "binary executable for simulation");
 //   * RTL level:  the synthesized modules on the RTL simulator, once per
-//                 engine — the Bits interpreter (the oracle) and the
-//                 compiled word-level tape, scalar and 64-lane;
+//                 engine — the Bits interpreter (the oracle), the
+//                 compiled word-level tape (scalar and 64-lane), and the
+//                 native-code backend (scalar and 256-lane SIMD);
 //   * gate level: the mapped netlists on the gate simulator, once per
 //                 engine — event-driven (the "conventional RTL/netlist
 //                 simulator" stand-in), levelized two-pass, and 64-lane
@@ -90,9 +91,10 @@ void report_rtl_stats(benchmark::State& state,
   state.counters["fused"] = static_cast<double>(hist.fused + thresh.fused);
 }
 
-void rtl_scalar_bench(benchmark::State& state, rtl::SimMode mode) {
-  rtl::Simulator hist(build_histogram_rtl(), mode);
-  rtl::Simulator thresh(hls::synthesize(build_threshold_osss()), mode);
+void rtl_scalar_bench(benchmark::State& state, rtl::SimMode mode,
+                      unsigned lanes = 1) {
+  rtl::Simulator hist(build_histogram_rtl(), mode, lanes);
+  rtl::Simulator thresh(hls::synthesize(build_threshold_osss()), mode, lanes);
   // Resolve every port once; the frame loop drives cached handles.
   const rtl::InputHandle pixel = hist.input_handle("pixel");
   const rtl::InputHandle pixel_valid = hist.input_handle("pixel_valid");
@@ -126,8 +128,15 @@ void rtl_scalar_bench(benchmark::State& state, rtl::SimMode mode) {
   state.SetItemsProcessed(
       static_cast<std::int64_t>(frame) * kCyclesPerFrame);
   state.counters["level"] = 1;  // RTL
-  if (mode == rtl::SimMode::kTape)
+  if (mode != rtl::SimMode::kInterp)
     report_rtl_stats(state, hist.stats(), thresh.stats());
+  if (mode == rtl::SimMode::kNative) {
+    // 1 = the dlopen'd specialized code ran; 0 = threaded-code fallback
+    // (compiler missing, OSSS_NO_JIT, ...).  Lets a reader of the JSON
+    // tell which engine the native rows actually measured.
+    state.counters["native_code"] =
+        (hist.native().native() && thresh.native().native()) ? 1 : 0;
+  }
 }
 
 void BM_RtlCycleSim(benchmark::State& state) {
@@ -138,14 +147,20 @@ void BM_RtlTapeSim(benchmark::State& state) {
   rtl_scalar_bench(state, rtl::SimMode::kTape);
 }
 
-void BM_RtlTapeLanesSim(benchmark::State& state) {
-  // One simulated cycle advances 64 independent frames through the tape:
-  // lane l runs the pixel stream of frame `frame + l` (the RTL analogue of
-  // the gate bit-parallel row).
-  constexpr unsigned kLanes = 64;
-  rtl::Simulator hist(build_histogram_rtl(), rtl::SimMode::kTape, kLanes);
-  rtl::Simulator thresh(hls::synthesize(build_threshold_osss()),
-                        rtl::SimMode::kTape, kLanes);
+void BM_RtlNativeSim(benchmark::State& state) {
+  rtl_scalar_bench(state, rtl::SimMode::kNative);
+}
+
+void rtl_lanes_bench(benchmark::State& state, rtl::SimMode mode,
+                     const unsigned kLanes) {
+  // One simulated cycle advances kLanes independent frames through the
+  // engine: lane l runs the pixel stream of frame `frame + l` (the RTL
+  // analogue of the gate bit-parallel row).  Lane counts above 64 need
+  // the native backend, which packs bit b of a port into lanes/64
+  // consecutive words and evaluates them with SIMD vectors.
+  rtl::Simulator hist(build_histogram_rtl(), mode, kLanes);
+  rtl::Simulator thresh(hls::synthesize(build_threshold_osss()), mode,
+                        kLanes);
   const rtl::InputHandle pixel = hist.input_handle("pixel");
   const rtl::InputHandle pixel_valid = hist.input_handle("pixel_valid");
   const rtl::InputHandle vsync = hist.input_handle("vsync");
@@ -158,25 +173,23 @@ void BM_RtlTapeLanesSim(benchmark::State& state) {
   const rtl::InputHandle t_bin_count = thresh.input_handle("bin_count");
   const rtl::InputHandle t_frame_done = thresh.input_handle("frame_done");
   const rtl::OutputHandle mean = thresh.output_handle("mean");
-  std::vector<std::uint64_t> pixel_lanes(8);
+  // One value per lane — the engines are lane-major, so this drives the
+  // stimulus without the bit transposes of the set_input_lanes layout.
+  std::vector<std::uint64_t> pixel_lanes(kLanes);
   std::uint64_t frame = 0;
   for (auto _ : state) {
     for (unsigned i = 0; i < kCyclesPerFrame; ++i) {
       const bool valid = i < kPixelsPerFrame;
-      std::fill(pixel_lanes.begin(), pixel_lanes.end(), 0);
-      for (unsigned lane = 0; lane < kLanes; ++lane) {
-        const std::uint64_t pix = (i * 7 + (frame + lane) * 13) & 0xff;
-        for (unsigned b = 0; b < 8; ++b)
-          pixel_lanes[b] |= ((pix >> b) & 1u) << lane;
-      }
-      hist.set_input_lanes(pixel, pixel_lanes);
+      for (unsigned lane = 0; lane < kLanes; ++lane)
+        pixel_lanes[lane] = (i * 7 + (frame + lane) * 13) & 0xff;
+      hist.set_input_values(pixel, pixel_lanes);
       hist.set_input(pixel_valid, std::uint64_t{valid ? 1u : 0u});
       hist.set_input(vsync, std::uint64_t{(valid && i == 0) ? 1u : 0u});
       hist.step();
-      thresh.set_input_lanes(t_bin_valid, hist.output_words(bin_valid));
-      thresh.set_input_lanes(t_bin_index, hist.output_words(bin_index));
-      thresh.set_input_lanes(t_bin_count, hist.output_words(bin_count));
-      thresh.set_input_lanes(t_frame_done, hist.output_words(frame_done));
+      thresh.set_input_values(t_bin_valid, hist.output_values(bin_valid));
+      thresh.set_input_values(t_bin_index, hist.output_values(bin_index));
+      thresh.set_input_values(t_bin_count, hist.output_values(bin_count));
+      thresh.set_input_values(t_frame_done, hist.output_values(frame_done));
       thresh.step();
     }
     frame += kLanes;
@@ -185,7 +198,20 @@ void BM_RtlTapeLanesSim(benchmark::State& state) {
   state.SetItemsProcessed(
       static_cast<std::int64_t>(frame) * kCyclesPerFrame);
   state.counters["level"] = 1;  // RTL
+  state.counters["lanes"] = static_cast<double>(kLanes);
   report_rtl_stats(state, hist.stats(), thresh.stats());
+  if (mode == rtl::SimMode::kNative) {
+    state.counters["native_code"] =
+        (hist.native().native() && thresh.native().native()) ? 1 : 0;
+  }
+}
+
+void BM_RtlTapeLanesSim(benchmark::State& state) {
+  rtl_lanes_bench(state, rtl::SimMode::kTape, 64);
+}
+
+void BM_RtlNativeLanesSim(benchmark::State& state) {
+  rtl_lanes_bench(state, rtl::SimMode::kNative, 256);
 }
 
 void report_engine_stats(benchmark::State& state,
@@ -354,7 +380,9 @@ void BM_RtlTapeBatch(benchmark::State& state) {
 BENCHMARK(BM_OoKernelSim)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RtlCycleSim)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RtlTapeSim)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RtlNativeSim)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RtlTapeLanesSim)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RtlNativeLanesSim)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GateEventSim)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GateLevelizedSim)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GateBitParallelSim)->Unit(benchmark::kMillisecond);
@@ -375,4 +403,25 @@ BENCHMARK(BM_RtlTapeBatch)
     ->Arg(4)
     ->Arg(8);
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN: google benchmark's built-in
+// "library_build_type" context key records how *libbenchmark* was built,
+// not this translation unit — a Debug bench linked against a Release
+// libbenchmark (or vice versa) reports the wrong thing and once let a
+// debug-build baseline land in BENCH_r7.json.  Record the honest build
+// type of the benchmark code itself, keyed on the optimizer being on;
+// tools/check_bench_r7.py refuses runs and baselines that don't say
+// "release" here.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("osss_build_type",
+#ifdef __OPTIMIZE__
+                              "release"
+#else
+                              "debug"
+#endif
+  );
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -9,10 +9,12 @@
 //
 // Layout: flat row-major arrays.  For lanes == 1, in[c * in_slots + s] is
 // the scalar value driven on input slot s at cycle c (masked to the port
-// width by the batch runner).  For lanes == 64 (gate bit-parallel / RTL
-// tape lane mode) the same indexing holds but each element is a 64-lane
-// word per port *bit*, ports concatenated LSB-first: in_slots is the sum of
-// port widths and slot s is the s-th bit position in that concatenation.
+// width by the batch runner).  For lane blocks (lanes a multiple of 64:
+// 64 for gate bit-parallel / RTL tape lane mode, wider multiples for the
+// RTL native backend) the same indexing holds but each element is one
+// 64-lane word: bit i of the ports concatenated LSB-first occupies
+// lanes/64 consecutive slots (its lane words, low lanes first), so
+// in_slots is the sum of port widths times lanes/64.
 
 #pragma once
 

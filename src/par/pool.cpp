@@ -138,8 +138,11 @@ void Pool::parallel_for(std::size_t n,
   const std::size_t per = (n + chunks - 1) / chunks;
 
   struct Ctl {
-    std::atomic<std::size_t> remaining{0};
-    std::mutex m;
+    // remaining is decremented by every finishing chunk on every worker;
+    // keep it off the line holding the completion mutex/cv so the final
+    // wakeup handshake doesn't contend with mid-run decrements.
+    alignas(64) std::atomic<std::size_t> remaining{0};
+    alignas(64) std::mutex m;
     std::condition_variable cv;
     std::exception_ptr error;
   };

@@ -100,7 +100,10 @@ class Pool {
 
  private:
   using Task = std::function<void()>;
-  struct Slot {
+  /// Cache-line aligned so one worker hammering its deque mutex never
+  /// invalidates a neighbour's line (the Slots are heap-allocated
+  /// contiguously via make_unique and were landing back to back).
+  struct alignas(64) Slot {
     std::mutex m;
     std::deque<Task> q;
   };
@@ -111,11 +114,16 @@ class Pool {
   std::mutex wake_m_;
   std::condition_variable wake_cv_;
   std::atomic<bool> stop_{false};
-  std::atomic<std::int64_t> pending_{0};
-  std::atomic<std::uint32_t> rr_{0};
-  std::atomic<std::uint64_t> executed_{0};
-  std::atomic<std::uint64_t> steals_{0};
-  std::atomic<std::uint64_t> stolen_{0};
+  // Hot counters each on their own cache line: pending_ is written by every
+  // push/completion, the stats counters by every task/steal on every
+  // worker.  Packed together (the old layout) they false-share — all four
+  // plus rr_ sat in one line, so each push invalidated every worker's
+  // cached copy and flat thread scaling resulted on multi-core hosts.
+  alignas(64) std::atomic<std::int64_t> pending_{0};
+  alignas(64) std::atomic<std::uint32_t> rr_{0};
+  alignas(64) std::atomic<std::uint64_t> executed_{0};
+  alignas(64) std::atomic<std::uint64_t> steals_{0};
+  alignas(64) std::atomic<std::uint64_t> stolen_{0};
 
   void push(Task t);
   bool take(unsigned home, Task& out);

@@ -1,0 +1,958 @@
+// codegen.cpp — NativeEngine: runtime compile + dlopen of the generated
+// tape code, with a threaded-code dispatch fallback.
+//
+// The fallback executor binds one handler function per instruction at
+// construction (Exec::pick), so eval() dispatches through a function-pointer
+// table instead of the interpreter's opcode switch; each handler runs its
+// lane loop internally.  Handler semantics mirror tape.cpp's exec_one word
+// for word — both are differentially tested against the interpreter.
+
+#include "rtl/codegen.hpp"
+
+#include <dlfcn.h>
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "rtl/tape_detail.hpp"
+
+namespace osss::rtl::tape {
+
+using detail::bits_from_words;
+using detail::mask64;
+using detail::span_fill;
+using detail::span_lshr;
+using detail::span_shl;
+using detail::store1;
+using detail::storeN;
+using detail::top_mask;
+using detail::words_of;
+
+// --- threaded-code handlers ------------------------------------------------
+
+struct NativeEngine::Exec {
+  template <TOp OP>
+  static bool run(NativeEngine& e, const Instr& ins) {
+    std::uint64_t* const ar = e.arena_.data();
+    const unsigned lanes = e.prog_.lanes;
+
+    if constexpr (OP == TOp::kAdd1 || OP == TOp::kSub1 || OP == TOp::kMul1 ||
+                  OP == TOp::kAnd1 || OP == TOp::kOr1 || OP == TOp::kXor1) {
+      const std::uint64_t* a = ar + ins.a;
+      const std::uint64_t* b = ar + ins.b;
+      std::uint64_t* d = ar + ins.dst;
+      const std::uint64_t m = ins.mask;
+      std::uint64_t ch = 0;
+      for (unsigned l = 0; l < lanes; ++l) {
+        std::uint64_t nv;
+        if constexpr (OP == TOp::kAdd1) nv = (a[l] + b[l]) & m;
+        else if constexpr (OP == TOp::kSub1) nv = (a[l] - b[l]) & m;
+        else if constexpr (OP == TOp::kMul1) nv = (a[l] * b[l]) & m;
+        else if constexpr (OP == TOp::kAnd1) nv = a[l] & b[l];
+        else if constexpr (OP == TOp::kOr1) nv = a[l] | b[l];
+        else nv = a[l] ^ b[l];
+        ch |= nv ^ d[l];
+        d[l] = nv;
+      }
+      return ch != 0;
+    } else if constexpr (OP == TOp::kNot1) {
+      const std::uint64_t* a = ar + ins.a;
+      std::uint64_t* d = ar + ins.dst;
+      std::uint64_t ch = 0;
+      for (unsigned l = 0; l < lanes; ++l) {
+        const std::uint64_t nv = ~a[l] & ins.mask;
+        ch |= nv ^ d[l];
+        d[l] = nv;
+      }
+      return ch != 0;
+    } else if constexpr (OP == TOp::kShlI1 || OP == TOp::kLshrI1 ||
+                         OP == TOp::kSlice1) {
+      const std::uint64_t* a = ar + ins.a;
+      std::uint64_t* d = ar + ins.dst;
+      std::uint64_t ch = 0;
+      for (unsigned l = 0; l < lanes; ++l) {
+        std::uint64_t nv;
+        if constexpr (OP == TOp::kShlI1) nv = (a[l] << ins.param) & ins.mask;
+        else if constexpr (OP == TOp::kLshrI1) nv = a[l] >> ins.param;
+        else nv = (a[l] >> ins.param) & ins.mask;
+        ch |= nv ^ d[l];
+        d[l] = nv;
+      }
+      return ch != 0;
+    } else if constexpr (OP == TOp::kAshrI1) {
+      const std::uint64_t* a = ar + ins.a;
+      std::uint64_t* d = ar + ins.dst;
+      const unsigned w = ins.width;
+      std::uint64_t ch = 0;
+      for (unsigned l = 0; l < lanes; ++l) {
+        const std::uint64_t x = a[l];
+        const bool sign = ((x >> (w - 1)) & 1u) != 0;
+        std::uint64_t nv;
+        if (ins.param >= w) {
+          nv = sign ? ins.mask : 0;
+        } else {
+          nv = x >> ins.param;
+          if (sign) nv |= ins.mask ^ (ins.mask >> ins.param);
+        }
+        ch |= nv ^ d[l];
+        d[l] = nv;
+      }
+      return ch != 0;
+    } else if constexpr (OP == TOp::kShlV1 || OP == TOp::kLshrV1) {
+      const std::uint64_t* a = ar + ins.a;
+      std::uint64_t* d = ar + ins.dst;
+      std::uint64_t ch = 0;
+      for (unsigned l = 0; l < lanes; ++l) {
+        const std::uint64_t amt =
+            ar[ins.b + std::size_t{l} * ins.aw] & 0xffffffffu;
+        std::uint64_t nv = 0;
+        if (amt < ins.width) {
+          if constexpr (OP == TOp::kShlV1) nv = (a[l] << amt) & ins.mask;
+          else nv = a[l] >> amt;
+        }
+        ch |= nv ^ d[l];
+        d[l] = nv;
+      }
+      return ch != 0;
+    } else if constexpr (OP == TOp::kEq1 || OP == TOp::kNe1 ||
+                         OP == TOp::kUlt1 || OP == TOp::kUle1) {
+      const std::uint64_t* a = ar + ins.a;
+      const std::uint64_t* b = ar + ins.b;
+      std::uint64_t* d = ar + ins.dst;
+      std::uint64_t ch = 0;
+      for (unsigned l = 0; l < lanes; ++l) {
+        bool r;
+        if constexpr (OP == TOp::kEq1) r = a[l] == b[l];
+        else if constexpr (OP == TOp::kNe1) r = a[l] != b[l];
+        else if constexpr (OP == TOp::kUlt1) r = a[l] < b[l];
+        else r = a[l] <= b[l];
+        const std::uint64_t nv = r ? 1u : 0u;
+        ch |= nv ^ d[l];
+        d[l] = nv;
+      }
+      return ch != 0;
+    } else if constexpr (OP == TOp::kSlt1 || OP == TOp::kSle1) {
+      const std::uint64_t* a = ar + ins.a;
+      const std::uint64_t* b = ar + ins.b;
+      std::uint64_t* d = ar + ins.dst;
+      const unsigned sh = 64 - ins.a_width;
+      std::uint64_t ch = 0;
+      for (unsigned l = 0; l < lanes; ++l) {
+        const auto x = static_cast<std::int64_t>(a[l] << sh);
+        const auto y = static_cast<std::int64_t>(b[l] << sh);
+        const bool r = OP == TOp::kSlt1 ? x < y : x <= y;
+        const std::uint64_t nv = r ? 1u : 0u;
+        ch |= nv ^ d[l];
+        d[l] = nv;
+      }
+      return ch != 0;
+    } else if constexpr (OP == TOp::kMux1) {
+      const std::uint64_t* s = ar + ins.a;
+      const std::uint64_t* b = ar + ins.b;
+      const std::uint64_t* c = ar + ins.c;
+      std::uint64_t* d = ar + ins.dst;
+      std::uint64_t ch = 0;
+      for (unsigned l = 0; l < lanes; ++l) {
+        const std::uint64_t nv = (s[l] & 1u) != 0 ? b[l] : c[l];
+        ch |= nv ^ d[l];
+        d[l] = nv;
+      }
+      return ch != 0;
+    } else if constexpr (OP == TOp::kSExt1) {
+      const std::uint64_t* a = ar + ins.a;
+      std::uint64_t* d = ar + ins.dst;
+      const std::uint64_t hi = ins.mask ^ mask64(ins.a_width);
+      std::uint64_t ch = 0;
+      for (unsigned l = 0; l < lanes; ++l) {
+        const std::uint64_t x = a[l];
+        const bool sign = ((x >> (ins.a_width - 1)) & 1u) != 0;
+        const std::uint64_t nv = sign ? (x | hi) : x;
+        ch |= nv ^ d[l];
+        d[l] = nv;
+      }
+      return ch != 0;
+    } else if constexpr (OP == TOp::kRedOr1 || OP == TOp::kRedAnd1 ||
+                         OP == TOp::kRedXor1) {
+      const std::uint64_t* a = ar + ins.a;
+      std::uint64_t* d = ar + ins.dst;
+      const std::uint64_t full = mask64(ins.a_width);
+      std::uint64_t ch = 0;
+      for (unsigned l = 0; l < lanes; ++l) {
+        std::uint64_t nv;
+        if constexpr (OP == TOp::kRedOr1) nv = a[l] != 0 ? 1u : 0u;
+        else if constexpr (OP == TOp::kRedAnd1) nv = a[l] == full ? 1u : 0u;
+        else nv = std::popcount(a[l]) & 1u;
+        ch |= nv ^ d[l];
+        d[l] = nv;
+      }
+      return ch != 0;
+    } else {
+      // Multi-word and width-generic forms: per-lane scratch staging, same
+      // flow as the interpreter.
+      std::uint64_t* s = e.scratch_.data();
+      bool changed = false;
+      for (unsigned l = 0; l < lanes; ++l)
+        changed |= run_wide<OP>(e, ins, l, s);
+      return changed;
+    }
+  }
+
+  template <TOp OP>
+  static bool run_wide(NativeEngine& e, const Instr& ins, unsigned lane,
+                       std::uint64_t* s) {
+    std::uint64_t* const ar = e.arena_.data();
+    std::uint64_t* d = ar + ins.dst + std::size_t{lane} * ins.dw;
+
+    if constexpr (OP == TOp::kCopyN) {
+      const std::uint64_t* a = ar + ins.a + std::size_t{lane} * ins.aw;
+      for (unsigned w = 0; w < ins.aw; ++w) s[w] = a[w];
+      for (unsigned w = ins.aw; w < ins.dw; ++w) s[w] = 0;
+      return storeN(d, s, ins.dw);
+    } else if constexpr (OP == TOp::kAddN) {
+      const std::uint64_t* a = ar + ins.a + std::size_t{lane} * ins.dw;
+      const std::uint64_t* b = ar + ins.b + std::size_t{lane} * ins.dw;
+      std::uint64_t carry = 0;
+      for (unsigned w = 0; w < ins.dw; ++w) {
+        const std::uint64_t t = a[w] + carry;
+        const std::uint64_t c1 = t < carry ? 1u : 0u;
+        s[w] = t + b[w];
+        carry = c1 | (s[w] < b[w] ? 1u : 0u);
+      }
+      s[ins.dw - 1] &= ins.mask;
+      return storeN(d, s, ins.dw);
+    } else if constexpr (OP == TOp::kSubN) {
+      const std::uint64_t* a = ar + ins.a + std::size_t{lane} * ins.dw;
+      const std::uint64_t* b = ar + ins.b + std::size_t{lane} * ins.dw;
+      std::uint64_t borrow = 0;
+      for (unsigned w = 0; w < ins.dw; ++w) {
+        const std::uint64_t t = a[w] - b[w];
+        const std::uint64_t b1 = a[w] < b[w] ? 1u : 0u;
+        s[w] = t - borrow;
+        borrow = b1 | (t < borrow ? 1u : 0u);
+      }
+      s[ins.dw - 1] &= ins.mask;
+      return storeN(d, s, ins.dw);
+    } else if constexpr (OP == TOp::kMulN) {
+      const std::uint64_t* a = ar + ins.a + std::size_t{lane} * ins.dw;
+      const std::uint64_t* b = ar + ins.b + std::size_t{lane} * ins.dw;
+      for (unsigned w = 0; w < ins.dw; ++w) s[w] = 0;
+      for (unsigned i = 0; i < ins.dw; ++i) {
+        if (a[i] == 0) continue;
+        std::uint64_t carry = 0;
+        for (unsigned j = 0; i + j < ins.dw; ++j) {
+          const unsigned __int128 acc =
+              static_cast<unsigned __int128>(a[i]) * b[j] + s[i + j] + carry;
+          s[i + j] = static_cast<std::uint64_t>(acc);
+          carry = static_cast<std::uint64_t>(acc >> 64);
+        }
+      }
+      s[ins.dw - 1] &= ins.mask;
+      return storeN(d, s, ins.dw);
+    } else if constexpr (OP == TOp::kAndN || OP == TOp::kOrN ||
+                         OP == TOp::kXorN) {
+      const std::uint64_t* a = ar + ins.a + std::size_t{lane} * ins.dw;
+      const std::uint64_t* b = ar + ins.b + std::size_t{lane} * ins.dw;
+      for (unsigned w = 0; w < ins.dw; ++w) {
+        if constexpr (OP == TOp::kAndN) s[w] = a[w] & b[w];
+        else if constexpr (OP == TOp::kOrN) s[w] = a[w] | b[w];
+        else s[w] = a[w] ^ b[w];
+      }
+      return storeN(d, s, ins.dw);
+    } else if constexpr (OP == TOp::kNotN) {
+      const std::uint64_t* a = ar + ins.a + std::size_t{lane} * ins.dw;
+      for (unsigned w = 0; w < ins.dw; ++w) s[w] = ~a[w];
+      s[ins.dw - 1] &= ins.mask;
+      return storeN(d, s, ins.dw);
+    } else if constexpr (OP == TOp::kShlIN) {
+      span_shl(s, ar + ins.a + std::size_t{lane} * ins.dw, ins.dw, ins.param);
+      s[ins.dw - 1] &= ins.mask;
+      return storeN(d, s, ins.dw);
+    } else if constexpr (OP == TOp::kLshrIN) {
+      span_lshr(s, ar + ins.a + std::size_t{lane} * ins.dw, ins.dw,
+                ins.param);
+      return storeN(d, s, ins.dw);
+    } else if constexpr (OP == TOp::kAshrIN) {
+      const std::uint64_t* a = ar + ins.a + std::size_t{lane} * ins.dw;
+      const unsigned w = ins.width;
+      const bool sign = ((a[(w - 1) / 64] >> ((w - 1) % 64)) & 1u) != 0;
+      if (ins.param >= w) {
+        for (unsigned i = 0; i < ins.dw; ++i) s[i] = sign ? ~0ull : 0;
+      } else {
+        span_lshr(s, a, ins.dw, ins.param);
+        if (sign && ins.param > 0) span_fill(s, w - ins.param, w);
+      }
+      s[ins.dw - 1] &= ins.mask;
+      return storeN(d, s, ins.dw);
+    } else if constexpr (OP == TOp::kShlVN || OP == TOp::kLshrVN) {
+      const std::uint64_t* a = ar + ins.a + std::size_t{lane} * ins.dw;
+      const std::uint64_t amt =
+          ar[ins.b + std::size_t{lane} * ins.aw] & 0xffffffffu;
+      if (amt >= ins.width) {
+        for (unsigned w = 0; w < ins.dw; ++w) s[w] = 0;
+      } else if (OP == TOp::kShlVN) {
+        span_shl(s, a, ins.dw, static_cast<unsigned>(amt));
+        s[ins.dw - 1] &= ins.mask;
+      } else {
+        span_lshr(s, a, ins.dw, static_cast<unsigned>(amt));
+      }
+      return storeN(d, s, ins.dw);
+    } else if constexpr (OP == TOp::kEqN || OP == TOp::kNeN) {
+      const std::uint64_t* a = ar + ins.a + std::size_t{lane} * ins.aw;
+      const std::uint64_t* b = ar + ins.b + std::size_t{lane} * ins.aw;
+      std::uint64_t diff = 0;
+      for (unsigned w = 0; w < ins.aw; ++w) diff |= a[w] ^ b[w];
+      const bool r = OP == TOp::kEqN ? diff == 0 : diff != 0;
+      return store1(d, r ? 1u : 0u);
+    } else if constexpr (OP == TOp::kUltN || OP == TOp::kUleN) {
+      const std::uint64_t* a = ar + ins.a + std::size_t{lane} * ins.aw;
+      const std::uint64_t* b = ar + ins.b + std::size_t{lane} * ins.aw;
+      for (unsigned w = ins.aw; w-- > 0;)
+        if (a[w] != b[w]) return store1(d, a[w] < b[w] ? 1u : 0u);
+      return store1(d, OP == TOp::kUleN ? 1u : 0u);
+    } else if constexpr (OP == TOp::kSltN || OP == TOp::kSleN) {
+      const std::uint64_t* a = ar + ins.a + std::size_t{lane} * ins.aw;
+      const std::uint64_t* b = ar + ins.b + std::size_t{lane} * ins.aw;
+      const unsigned sw = (ins.a_width - 1) / 64, sb = (ins.a_width - 1) % 64;
+      const bool sa = ((a[sw] >> sb) & 1u) != 0;
+      const bool sbit = ((b[sw] >> sb) & 1u) != 0;
+      if (sa != sbit) return store1(d, sa ? 1u : 0u);
+      for (unsigned w = ins.aw; w-- > 0;)
+        if (a[w] != b[w]) return store1(d, a[w] < b[w] ? 1u : 0u);
+      return store1(d, OP == TOp::kSleN ? 1u : 0u);
+    } else if constexpr (OP == TOp::kMuxN) {
+      const bool sel = (ar[ins.a + lane] & 1u) != 0;
+      const std::uint64_t* src =
+          ar + (sel ? ins.b : ins.c) + std::size_t{lane} * ins.dw;
+      return storeN(d, src, ins.dw);
+    } else if constexpr (OP == TOp::kSliceN) {
+      const std::uint64_t* a = ar + ins.a + std::size_t{lane} * ins.aw;
+      for (unsigned j = 0; j < ins.dw; ++j) {
+        const unsigned bitpos = ins.param + j * 64;
+        const unsigned ws = bitpos / 64, bs = bitpos % 64;
+        std::uint64_t v = ws < ins.aw ? a[ws] >> bs : 0;
+        if (bs != 0 && ws + 1 < ins.aw) v |= a[ws + 1] << (64 - bs);
+        s[j] = v;
+      }
+      s[ins.dw - 1] &= ins.mask;
+      return storeN(d, s, ins.dw);
+    } else if constexpr (OP == TOp::kSExtN) {
+      const std::uint64_t* a = ar + ins.a + std::size_t{lane} * ins.aw;
+      for (unsigned w = 0; w < ins.aw; ++w) s[w] = a[w];
+      for (unsigned w = ins.aw; w < ins.dw; ++w) s[w] = 0;
+      const unsigned sw = (ins.a_width - 1) / 64, sb = (ins.a_width - 1) % 64;
+      if (((a[sw] >> sb) & 1u) != 0) span_fill(s, ins.a_width, ins.width);
+      s[ins.dw - 1] &= ins.mask;
+      return storeN(d, s, ins.dw);
+    } else if constexpr (OP == TOp::kRedOrN) {
+      const std::uint64_t* a = ar + ins.a + std::size_t{lane} * ins.aw;
+      std::uint64_t any = 0;
+      for (unsigned w = 0; w < ins.aw; ++w) any |= a[w];
+      return store1(d, any != 0 ? 1u : 0u);
+    } else if constexpr (OP == TOp::kRedAndN) {
+      const std::uint64_t* a = ar + ins.a + std::size_t{lane} * ins.aw;
+      bool all = true;
+      for (unsigned w = 0; w + 1 < ins.aw; ++w) all &= a[w] == ~0ull;
+      all &= a[ins.aw - 1] == top_mask(ins.a_width);
+      return store1(d, all ? 1u : 0u);
+    } else if constexpr (OP == TOp::kRedXorN) {
+      const std::uint64_t* a = ar + ins.a + std::size_t{lane} * ins.aw;
+      unsigned par = 0;
+      for (unsigned w = 0; w < ins.aw; ++w)
+        par += static_cast<unsigned>(std::popcount(a[w]));
+      return store1(d, par & 1u);
+    } else if constexpr (OP == TOp::kConcat) {
+      for (unsigned w = 0; w < ins.dw; ++w) s[w] = 0;
+      unsigned pos = 0;
+      for (std::uint32_t pi = 0; pi < ins.c; ++pi) {
+        const ConcatPart& part = e.prog_.parts[ins.param + pi];
+        const std::uint64_t* src =
+            ar + part.off + std::size_t{lane} * part.words;
+        const unsigned wo = pos / 64, bo = pos % 64;
+        for (unsigned w = 0; w < part.words; ++w) {
+          s[wo + w] |= src[w] << bo;
+          if (bo != 0 && wo + w + 1 < ins.dw)
+            s[wo + w + 1] |= src[w] >> (64 - bo);
+        }
+        pos += part.width;
+      }
+      return storeN(d, s, ins.dw);
+    } else if constexpr (OP == TOp::kMemRead) {
+      const Program::Mem& pm = e.prog_.mems[ins.param];
+      const std::uint64_t addr = ar[ins.a + std::size_t{lane} * ins.aw];
+      if (ins.dw == 1) {
+        const std::uint64_t v =
+            addr < pm.depth
+                ? e.mem_[ins.param][(addr * e.prog_.lanes + lane) * pm.words]
+                : 0;
+        return store1(d, v);
+      }
+      if (addr >= pm.depth) {
+        for (unsigned w = 0; w < ins.dw; ++w) s[w] = 0;
+      } else {
+        const std::uint64_t* src = e.mem_[ins.param].data() +
+                                   (addr * e.prog_.lanes + lane) * pm.words;
+        for (unsigned w = 0; w < ins.dw; ++w) s[w] = src[w];
+      }
+      return storeN(d, s, ins.dw);
+    } else {
+      return false;  // unreachable: run() handles single-word ops
+    }
+  }
+
+  static NativeEngine::Handler pick(TOp op) {
+    switch (op) {
+      case TOp::kAdd1: return &run<TOp::kAdd1>;
+      case TOp::kSub1: return &run<TOp::kSub1>;
+      case TOp::kMul1: return &run<TOp::kMul1>;
+      case TOp::kAnd1: return &run<TOp::kAnd1>;
+      case TOp::kOr1: return &run<TOp::kOr1>;
+      case TOp::kXor1: return &run<TOp::kXor1>;
+      case TOp::kNot1: return &run<TOp::kNot1>;
+      case TOp::kShlI1: return &run<TOp::kShlI1>;
+      case TOp::kLshrI1: return &run<TOp::kLshrI1>;
+      case TOp::kAshrI1: return &run<TOp::kAshrI1>;
+      case TOp::kShlV1: return &run<TOp::kShlV1>;
+      case TOp::kLshrV1: return &run<TOp::kLshrV1>;
+      case TOp::kEq1: return &run<TOp::kEq1>;
+      case TOp::kNe1: return &run<TOp::kNe1>;
+      case TOp::kUlt1: return &run<TOp::kUlt1>;
+      case TOp::kUle1: return &run<TOp::kUle1>;
+      case TOp::kSlt1: return &run<TOp::kSlt1>;
+      case TOp::kSle1: return &run<TOp::kSle1>;
+      case TOp::kMux1: return &run<TOp::kMux1>;
+      case TOp::kSlice1: return &run<TOp::kSlice1>;
+      case TOp::kSExt1: return &run<TOp::kSExt1>;
+      case TOp::kRedOr1: return &run<TOp::kRedOr1>;
+      case TOp::kRedAnd1: return &run<TOp::kRedAnd1>;
+      case TOp::kRedXor1: return &run<TOp::kRedXor1>;
+      case TOp::kCopyN: return &run<TOp::kCopyN>;
+      case TOp::kAddN: return &run<TOp::kAddN>;
+      case TOp::kSubN: return &run<TOp::kSubN>;
+      case TOp::kMulN: return &run<TOp::kMulN>;
+      case TOp::kAndN: return &run<TOp::kAndN>;
+      case TOp::kOrN: return &run<TOp::kOrN>;
+      case TOp::kXorN: return &run<TOp::kXorN>;
+      case TOp::kNotN: return &run<TOp::kNotN>;
+      case TOp::kShlIN: return &run<TOp::kShlIN>;
+      case TOp::kLshrIN: return &run<TOp::kLshrIN>;
+      case TOp::kAshrIN: return &run<TOp::kAshrIN>;
+      case TOp::kShlVN: return &run<TOp::kShlVN>;
+      case TOp::kLshrVN: return &run<TOp::kLshrVN>;
+      case TOp::kEqN: return &run<TOp::kEqN>;
+      case TOp::kNeN: return &run<TOp::kNeN>;
+      case TOp::kUltN: return &run<TOp::kUltN>;
+      case TOp::kUleN: return &run<TOp::kUleN>;
+      case TOp::kSltN: return &run<TOp::kSltN>;
+      case TOp::kSleN: return &run<TOp::kSleN>;
+      case TOp::kMuxN: return &run<TOp::kMuxN>;
+      case TOp::kSliceN: return &run<TOp::kSliceN>;
+      case TOp::kSExtN: return &run<TOp::kSExtN>;
+      case TOp::kRedOrN: return &run<TOp::kRedOrN>;
+      case TOp::kRedAndN: return &run<TOp::kRedAndN>;
+      case TOp::kRedXorN: return &run<TOp::kRedXorN>;
+      case TOp::kConcat: return &run<TOp::kConcat>;
+      case TOp::kMemRead: return &run<TOp::kMemRead>;
+    }
+    throw std::logic_error("tape codegen: unknown opcode");
+  }
+};
+
+// --- NativeEngine ----------------------------------------------------------
+
+NativeEngine::NativeEngine(const Module& m, unsigned lanes, CodegenOptions opt)
+    : prog_(Program::compile(m, lanes)) {
+  lw_ = (prog_.lanes + 63) / 64;
+  arena_.assign(prog_.arena_size, 0);
+  for (const auto& [off, v] : prog_.const_init)
+    for (unsigned l = 0; l < prog_.lanes; ++l)
+      write_lane_bits(off, static_cast<std::uint16_t>(words_of(v.width())), l,
+                      v);
+  std::uint16_t max_dw = 1;
+  for (const Instr& ins : prog_.instrs)
+    max_dw = std::max<std::uint16_t>(max_dw, ins.dw);
+  scratch_.assign(max_dw, 0);
+  mem_.resize(prog_.mems.size());
+  for (std::size_t i = 0; i < prog_.mems.size(); ++i)
+    mem_[i].assign(std::size_t{prog_.mems[i].depth} * prog_.mems[i].words *
+                       prog_.lanes,
+                   0);
+  mem_ptrs_.resize(prog_.mems.size());
+  for (std::size_t i = 0; i < prog_.mems.size(); ++i)
+    mem_ptrs_[i] = mem_[i].data();
+  std::uint32_t roff = 0;
+  for (const auto& reg : prog_.regs) {
+    reg_next_off_.push_back(roff);
+    roff += reg.words * prog_.lanes;
+  }
+  reg_next_.assign(roff, 0);
+  // One snapshot word per lane; regs with no enable slot are always-on,
+  // so their rows are prefilled with 1 here and never rewritten.
+  reg_en_.assign(std::size_t{prog_.regs.size()} * prog_.lanes, 0);
+  for (std::size_t r = 0; r < prog_.regs.size(); ++r)
+    if (prog_.regs[r].en == kNoSlot)
+      std::fill_n(reg_en_.begin() + r * prog_.lanes, prog_.lanes, 1);
+  for (const auto& reg : prog_.regs)
+    for (unsigned l = 0; l < prog_.lanes; ++l)
+      write_lane_bits(reg.q, reg.words, l, reg.init);
+  std::uint32_t aat = 0, dat = 0;
+  for (std::uint32_t mi = 0; mi < prog_.mems.size(); ++mi)
+    for (const auto& port : prog_.mems[mi].writes) {
+      Wp wp;
+      wp.mem = mi;
+      wp.port = port;
+      wp.addr_at = aat;
+      wp.data_at = dat;
+      wp.words = prog_.mems[mi].words;
+      aat += prog_.lanes;
+      dat += wp.words * prog_.lanes;
+      wps_.push_back(wp);
+    }
+  wp_en_.assign(std::size_t{wps_.size()} * prog_.lanes, 0);
+  wp_addr_.assign(aat, 0);
+  wp_data_.assign(dat, 0);
+  level_dirty_.assign(prog_.stats.levels, 1);
+  pending_ = true;
+
+  handlers_.reserve(prog_.instrs.size());
+  for (const Instr& ins : prog_.instrs) handlers_.push_back(Exec::pick(ins.op));
+
+  if (const char* nj = std::getenv("OSSS_NO_JIT"); nj != nullptr && *nj != '\0' && *nj != '0')
+    opt.force_fallback = true;
+  try_native(opt);
+}
+
+NativeEngine::~NativeEngine() { drop_native(); }
+
+void NativeEngine::drop_native() {
+  eval_fn_ = nullptr;
+  if (dl_ != nullptr) {
+    dlclose(dl_);
+    dl_ = nullptr;
+  }
+  if (!work_dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(work_dir_, ec);
+    work_dir_.clear();
+  }
+}
+
+void NativeEngine::try_native(const CodegenOptions& opt) {
+  const std::string src = emit_cpp(prog_);
+  if (!opt.keep_source.empty()) {
+    std::ofstream f(opt.keep_source);
+    f << src;
+  }
+  if (opt.force_fallback) {
+    compile_log_ = "native backend disabled; using threaded-code dispatch";
+    return;
+  }
+  std::string cc = opt.compiler;
+  if (cc.empty()) {
+    const char* env = std::getenv("OSSS_CC");
+    cc = (env != nullptr && *env != '\0') ? env : "c++";
+  }
+  if (cc.find('\'') != std::string::npos) {
+    compile_log_ = "refusing compiler path containing a quote";
+    return;
+  }
+  const char* tmp = std::getenv("TMPDIR");
+  std::string tmpl = (tmp != nullptr && *tmp != '\0' ? std::string(tmp)
+                                                     : std::string("/tmp")) +
+                     "/osss-tape-XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) {
+    compile_log_ = "mkdtemp failed; using threaded-code dispatch";
+    return;
+  }
+  work_dir_ = buf.data();
+  const std::string cpp = work_dir_ + "/tape.cpp";
+  const std::string so = work_dir_ + "/tape.so";
+  const std::string log = work_dir_ + "/cc.log";
+  {
+    std::ofstream f(cpp);
+    f << src;
+    if (!f) {
+      compile_log_ = "failed to write generated source";
+      drop_native();
+      return;
+    }
+  }
+  std::string flags = "-std=c++17 -O2 -fPIC -shared";
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  if (__builtin_cpu_supports("avx2")) flags += " -mavx2";
+  if (__builtin_cpu_supports("avx512f")) flags += " -mavx512f";
+#endif
+  if (!opt.extra_flags.empty()) flags += " " + opt.extra_flags;
+  const std::string cmd = "'" + cc + "' " + flags + " '" + cpp + "' -o '" +
+                          so + "' >'" + log + "' 2>&1";
+  const int rc = std::system(cmd.c_str());
+  {
+    std::ifstream f(log);
+    std::stringstream ss;
+    ss << f.rdbuf();
+    compile_log_ = ss.str();
+  }
+  if (rc != 0) {
+    compile_log_ += "\n[compile failed; using threaded-code dispatch]";
+    drop_native();
+    return;
+  }
+  dl_ = dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (dl_ == nullptr) {
+    const char* err = dlerror();
+    compile_log_ += std::string("\n[dlopen failed: ") +
+                    (err != nullptr ? err : "?") + "]";
+    drop_native();
+    return;
+  }
+  const auto abi =
+      reinterpret_cast<unsigned (*)()>(dlsym(dl_, "osss_tape_abi"));
+  const auto lns =
+      reinterpret_cast<unsigned (*)()>(dlsym(dl_, "osss_tape_lanes"));
+  const auto asz = reinterpret_cast<unsigned long long (*)()>(
+      dlsym(dl_, "osss_tape_arena"));
+  if (abi == nullptr || abi() != 1u || lns == nullptr ||
+      lns() != prog_.lanes || asz == nullptr || asz() != prog_.arena_size) {
+    compile_log_ += "\n[ABI check failed; using threaded-code dispatch]";
+    drop_native();
+    return;
+  }
+  eval_fn_ = reinterpret_cast<EvalFn>(dlsym(dl_, "osss_tape_eval"));
+  if (eval_fn_ == nullptr) {
+    compile_log_ += "\n[osss_tape_eval missing; using threaded-code dispatch]";
+    drop_native();
+  }
+}
+
+void NativeEngine::write_lane_bits(std::uint32_t off, std::uint16_t words,
+                                   unsigned lane, const Bits& value) {
+  std::uint64_t* d = arena_.data() + off + std::size_t{lane} * words;
+  for (unsigned w = 0; w < words; ++w) d[w] = value.word(w);
+}
+
+Bits NativeEngine::read_lane_bits(std::uint32_t off, std::uint16_t words,
+                                  unsigned width, unsigned lane) const {
+  return bits_from_words(arena_.data() + off + std::size_t{lane} * words,
+                         width);
+}
+
+void NativeEngine::mark_levels(const std::vector<std::uint32_t>& off,
+                               const std::vector<std::uint32_t>& fl,
+                               std::uint32_t site) {
+  for (std::uint32_t i = off[site]; i < off[site + 1]; ++i)
+    level_dirty_[fl[i]] = 1;
+}
+
+void NativeEngine::mark_all_dirty() {
+  std::fill(level_dirty_.begin(), level_dirty_.end(), 1);
+  pending_ = true;
+}
+
+void NativeEngine::set_input(unsigned index, const Bits& value) {
+  const Program::Port& port = prog_.inputs.at(index);
+  bool changed = false;
+  for (unsigned l = 0; l < prog_.lanes; ++l) {
+    std::uint64_t* d = arena_.data() + port.off + std::size_t{l} * port.words;
+    for (unsigned w = 0; w < port.words; ++w) {
+      const std::uint64_t nv = value.word(w);
+      if (d[w] != nv) {
+        d[w] = nv;
+        changed = true;
+      }
+    }
+  }
+  if (changed) {
+    mark_levels(prog_.input_fl_off, prog_.input_fl, index);
+    pending_ = true;
+  }
+}
+
+void NativeEngine::set_input_u64(unsigned index, std::uint64_t value) {
+  const Program::Port& port = prog_.inputs.at(index);
+  if (port.width < 64) value &= (std::uint64_t{1} << port.width) - 1;
+  bool changed = false;
+  for (unsigned l = 0; l < prog_.lanes; ++l) {
+    std::uint64_t* d = arena_.data() + port.off + std::size_t{l} * port.words;
+    if (d[0] != value) {
+      d[0] = value;
+      changed = true;
+    }
+    for (unsigned w = 1; w < port.words; ++w)
+      if (d[w] != 0) {
+        d[w] = 0;
+        changed = true;
+      }
+  }
+  if (changed) {
+    mark_levels(prog_.input_fl_off, prog_.input_fl, index);
+    pending_ = true;
+  }
+}
+
+void NativeEngine::set_input_lanes(unsigned index,
+                                   const std::vector<std::uint64_t>& bit_lanes) {
+  const Program::Port& port = prog_.inputs.at(index);
+  if (bit_lanes.size() != std::size_t{port.width} * lw_)
+    throw std::logic_error("tape codegen: set_input_lanes width mismatch");
+  bool changed = false;
+  for (unsigned l = 0; l < prog_.lanes; ++l) {
+    std::uint64_t* d = arena_.data() + port.off + std::size_t{l} * port.words;
+    for (unsigned w = 0; w < port.words; ++w) {
+      const unsigned base = w * 64;
+      const unsigned count = std::min(64u, port.width - base);
+      std::uint64_t nv = 0;
+      for (unsigned i = 0; i < count; ++i)
+        nv |= ((bit_lanes[std::size_t{base + i} * lw_ + l / 64] >> (l % 64)) &
+               1u)
+              << i;
+      if (d[w] != nv) {
+        d[w] = nv;
+        changed = true;
+      }
+    }
+  }
+  if (changed) {
+    mark_levels(prog_.input_fl_off, prog_.input_fl, index);
+    pending_ = true;
+  }
+}
+
+void NativeEngine::set_input_values(unsigned index,
+                                    const std::vector<std::uint64_t>& values) {
+  const Program::Port& port = prog_.inputs.at(index);
+  if (port.words != 1)
+    throw std::logic_error(
+        "tape codegen: set_input_values needs a <= 64-bit port");
+  if (values.size() != prog_.lanes)
+    throw std::logic_error("tape codegen: set_input_values lane count mismatch");
+  const std::uint64_t mask =
+      port.width < 64 ? (std::uint64_t{1} << port.width) - 1 : ~std::uint64_t{0};
+  std::uint64_t* d = arena_.data() + port.off;
+  std::uint64_t diff = 0;
+  for (unsigned l = 0; l < prog_.lanes; ++l) {
+    const std::uint64_t nv = values[l] & mask;
+    diff |= nv ^ d[l];
+    d[l] = nv;
+  }
+  if (diff != 0) {
+    mark_levels(prog_.input_fl_off, prog_.input_fl, index);
+    pending_ = true;
+  }
+}
+
+Bits NativeEngine::output(unsigned index, unsigned lane) {
+  eval();
+  const Program::Port& port = prog_.outputs.at(index);
+  return read_lane_bits(port.off, port.words, port.width, lane);
+}
+
+std::uint64_t NativeEngine::output_u64(unsigned index) {
+  eval();
+  return arena_[prog_.outputs.at(index).off];
+}
+
+std::vector<std::uint64_t> NativeEngine::output_words(unsigned index) {
+  eval();
+  const Program::Port& port = prog_.outputs.at(index);
+  std::vector<std::uint64_t> out(std::size_t{port.width} * lw_, 0);
+  for (unsigned l = 0; l < prog_.lanes; ++l) {
+    const std::uint64_t* s =
+        arena_.data() + port.off + std::size_t{l} * port.words;
+    for (unsigned i = 0; i < port.width; ++i)
+      out[std::size_t{i} * lw_ + l / 64] |= ((s[i / 64] >> (i % 64)) & 1u)
+                                            << (l % 64);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> NativeEngine::output_values(unsigned index) {
+  eval();
+  const Program::Port& port = prog_.outputs.at(index);
+  if (port.words != 1)
+    throw std::logic_error("tape codegen: output_values needs a <= 64-bit port");
+  const std::uint64_t* s = arena_.data() + port.off;
+  return std::vector<std::uint64_t>(s, s + prog_.lanes);
+}
+
+Bits NativeEngine::node_value(NodeId id, unsigned lane) {
+  eval();
+  if (id >= prog_.node_slot.size() || prog_.node_slot[id] == kNoSlot)
+    throw std::logic_error(
+        "tape codegen: node was pruned or folded away (no arena slot)");
+  const unsigned width = prog_.node_width[id];
+  return read_lane_bits(prog_.node_slot[id],
+                        static_cast<std::uint16_t>(words_of(width)), width,
+                        lane);
+}
+
+bool NativeEngine::node_live(NodeId id) const {
+  return id < prog_.node_slot.size() && prog_.node_slot[id] != kNoSlot;
+}
+
+void NativeEngine::eval() {
+  if (!pending_) return;
+  if (eval_fn_ != nullptr)
+    eval_fn_(arena_.data(), mem_ptrs_.data(), level_dirty_.data());
+  else
+    fallback_eval();
+  pending_ = false;
+}
+
+void NativeEngine::fallback_eval() {
+  const std::size_t levels = prog_.level_offset.size() - 1;
+  for (std::size_t lev = 0; lev < levels; ++lev) {
+    if (level_dirty_[lev] == 0) {
+      ++stats_.levels_skipped;
+      continue;
+    }
+    level_dirty_[lev] = 0;
+    ++stats_.levels_evaluated;
+    const std::uint32_t b = prog_.level_offset[lev];
+    const std::uint32_t e = prog_.level_offset[lev + 1];
+    for (std::uint32_t i = b; i < e; ++i) {
+      ++stats_.nodes_evaluated;
+      if (handlers_[i](*this, prog_.instrs[i]))
+        mark_levels(prog_.instr_fl_off, prog_.instr_fl, i);
+    }
+  }
+}
+
+void NativeEngine::step() {
+  eval();
+  const unsigned lanes = prog_.lanes;
+  // Sample next state before committing anything: all registers and write
+  // ports observe the same pre-edge values (matches the interpreter).
+  // Enables live one word per lane in the lane-major arena, so the
+  // snapshot is a contiguous copy and the commits below stay branchless.
+  for (std::size_t r = 0; r < prog_.regs.size(); ++r) {
+    const Program::Reg& reg = prog_.regs[r];
+    std::uint64_t any = 1;
+    if (reg.en != kNoSlot) {
+      std::uint64_t* en = reg_en_.data() + r * lanes;
+      any = 0;
+      for (unsigned l = 0; l < lanes; ++l) any |= en[l] = arena_[reg.en + l];
+    }
+    if (any != 0)
+      std::copy(arena_.begin() + reg.d,
+                arena_.begin() + reg.d + std::size_t{reg.words} * lanes,
+                reg_next_.begin() + reg_next_off_[r]);
+  }
+  for (std::size_t wi = 0; wi < wps_.size(); ++wi) {
+    const Wp& wp = wps_[wi];
+    std::uint64_t* en = wp_en_.data() + wi * lanes;
+    std::uint64_t any = 0;
+    for (unsigned l = 0; l < lanes; ++l) any |= en[l] = arena_[wp.port.en + l];
+    if (any == 0) continue;
+    for (unsigned l = 0; l < lanes; ++l)
+      wp_addr_[wp.addr_at + l] =
+          arena_[wp.port.addr + std::size_t{l} * wp.port.addr_words];
+    std::copy(arena_.begin() + wp.port.data,
+              arena_.begin() + wp.port.data + std::size_t{wp.words} * lanes,
+              wp_data_.begin() + wp.data_at);
+  }
+  // Commit registers.  The single-word case (the common one) is a
+  // branchless masked merge over contiguous lanes — vectorizable.
+  for (std::size_t r = 0; r < prog_.regs.size(); ++r) {
+    const std::uint64_t* en = reg_en_.data() + r * lanes;
+    const Program::Reg& reg = prog_.regs[r];
+    std::uint64_t diff = 0;
+    if (reg.words == 1) {
+      std::uint64_t* q = arena_.data() + reg.q;
+      const std::uint64_t* nd = reg_next_.data() + reg_next_off_[r];
+      for (unsigned l = 0; l < lanes; ++l) {
+        const std::uint64_t m = ~((en[l] & 1u) - 1);  // en ? ~0 : 0
+        const std::uint64_t nv = (q[l] & ~m) | (nd[l] & m);
+        diff |= nv ^ q[l];
+        q[l] = nv;
+      }
+    } else {
+      for (unsigned l = 0; l < lanes; ++l) {
+        if ((en[l] & 1u) == 0) continue;
+        std::uint64_t* q = arena_.data() + reg.q + std::size_t{l} * reg.words;
+        const std::uint64_t* nd =
+            reg_next_.data() + reg_next_off_[r] + std::size_t{l} * reg.words;
+        for (unsigned w = 0; w < reg.words; ++w) {
+          diff |= q[w] ^ nd[w];
+          q[w] = nd[w];
+        }
+      }
+    }
+    if (diff != 0) {
+      mark_levels(prog_.reg_fl_off, prog_.reg_fl,
+                  static_cast<std::uint32_t>(r));
+      pending_ = true;
+    }
+  }
+  // Commit memory writes (port order = declaration order; later ports win).
+  for (std::size_t wi = 0; wi < wps_.size(); ++wi) {
+    const std::uint64_t* en = wp_en_.data() + wi * lanes;
+    const Wp& wp = wps_[wi];
+    const Program::Mem& pm = prog_.mems[wp.mem];
+    bool changed = false;
+    for (unsigned l = 0; l < lanes; ++l) {
+      if ((en[l] & 1u) == 0) continue;
+      const std::uint64_t addr = wp_addr_[wp.addr_at + l];
+      if (addr >= pm.depth) continue;
+      std::uint64_t* e = mem_[wp.mem].data() + (addr * lanes + l) * pm.words;
+      const std::uint64_t* s =
+          wp_data_.data() + wp.data_at + std::size_t{l} * pm.words;
+      for (unsigned w = 0; w < pm.words; ++w)
+        if (e[w] != s[w]) {
+          e[w] = s[w];
+          changed = true;
+        }
+    }
+    if (changed) {
+      mark_levels(prog_.mem_fl_off, prog_.mem_fl, wp.mem);
+      pending_ = true;
+    }
+  }
+  ++stats_.cycles;
+}
+
+void NativeEngine::reset() {
+  for (const Program::Reg& reg : prog_.regs)
+    for (unsigned l = 0; l < prog_.lanes; ++l)
+      write_lane_bits(reg.q, reg.words, l, reg.init);
+  for (auto& words : mem_) std::fill(words.begin(), words.end(), 0);
+  mark_all_dirty();
+}
+
+Bits NativeEngine::mem_word(unsigned mem_index, unsigned word, unsigned lane) {
+  const Program::Mem& pm = prog_.mems.at(mem_index);
+  if (word >= pm.depth)
+    throw std::out_of_range("tape codegen: mem word out of range");
+  const std::uint64_t* s =
+      mem_[mem_index].data() +
+      (std::size_t{word} * prog_.lanes + lane) * pm.words;
+  return bits_from_words(s, pm.width);
+}
+
+void NativeEngine::poke_mem(unsigned mem_index, unsigned word,
+                            const Bits& value) {
+  const Program::Mem& pm = prog_.mems.at(mem_index);
+  if (word >= pm.depth)
+    throw std::out_of_range("tape codegen: mem word out of range");
+  for (unsigned l = 0; l < prog_.lanes; ++l) {
+    std::uint64_t* e = mem_[mem_index].data() +
+                       (std::size_t{word} * prog_.lanes + l) * pm.words;
+    for (unsigned w = 0; w < pm.words; ++w) e[w] = value.word(w);
+  }
+  mark_levels(prog_.mem_fl_off, prog_.mem_fl, mem_index);
+  pending_ = true;
+}
+
+void NativeEngine::poke_reg(unsigned reg_index, const Bits& value) {
+  const Program::Reg& reg = prog_.regs.at(reg_index);
+  for (unsigned l = 0; l < prog_.lanes; ++l)
+    write_lane_bits(reg.q, reg.words, l, value);
+  mark_levels(prog_.reg_fl_off, prog_.reg_fl, reg_index);
+  pending_ = true;
+}
+
+}  // namespace osss::rtl::tape

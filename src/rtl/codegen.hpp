@@ -1,0 +1,189 @@
+// codegen.hpp — native-code backend for the compiled tape.
+//
+// The interpreted tape engine (rtl/tape.hpp) pays per-instruction dispatch:
+// a switch over the opcode stream plus Instr field loads on every executed
+// instruction.  This backend removes that tax by *generating code* for one
+// specific tape::Program:
+//
+//   * emit_cpp() lowers the Program into specialized C++ — one straight-line
+//     block per instruction with arena offsets, widths, masks and shift
+//     amounts baked in as literals, single-word constants from the pool
+//     inlined as immediates, and the level-granular activity gating lowered
+//     to guarded basic blocks over a shared `dirty` byte array (the same
+//     CSR fanout data the interpreted engine uses, here unrolled into
+//     constant stores);
+//   * NativeEngine writes that source to a private temp directory, compiles
+//     it with the host toolchain (`$OSSS_CC`, else `c++`) into a shared
+//     object, dlopen()s it and drives the exported
+//     `osss_tape_eval(arena, mems, dirty)` entry point;
+//   * when no compiler is available at runtime — or compilation, dlopen or
+//     the ABI check fails, or OSSS_CC points at garbage — the engine falls
+//     back *silently* to threaded-code dispatch: one specialized handler
+//     function per opcode, bound per instruction at construction, so the
+//     hot loop is an indirect call per instruction instead of a switch.
+//     Results are bit-identical to the native path and the interpreter.
+//
+// Lanes: the backend keeps the tape's lane-major arena layout (lane l of a
+// node lives at offset + l*words, lanes contiguous per node) and extends it
+// past the interpreted engine's 64-lane cap, up to tape::kMaxLanes.  The
+// generated code walks lane groups with explicit AVX2 vectors (4 lanes per
+// __m256i op) and AVX-512 where the host compiler and CPU support it
+// (8 lanes per __m512i op); the lane-major layout is exactly what makes
+// those loads contiguous.  Sequential state (register/memory commit) stays
+// in C++ on the host side with word-wide lane enables.
+//
+// rtl::Simulator selects this backend with SimMode::kNative; the
+// interpreter remains the oracle (tests/rtl/native_test.cpp runs native vs
+// tape vs interpreter differentially over the fuzz corpus and both flows'
+// ExpoCU components).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/tape.hpp"
+
+namespace osss::rtl::tape {
+
+/// Knobs for the runtime compile step.  Defaults resolve from the
+/// environment: `OSSS_CC` overrides the compiler (an unusable value simply
+/// forces the threaded-code fallback), `OSSS_NO_JIT=1` skips the compile
+/// attempt entirely.
+struct CodegenOptions {
+  std::string compiler;      ///< "" = $OSSS_CC, else "c++"
+  std::string extra_flags;   ///< appended to the compile command verbatim
+  bool force_fallback = false;  ///< never compile/dlopen (tests, OSSS_NO_JIT)
+  std::string keep_source;   ///< non-empty: also write the generated source here
+};
+
+/// Generate the specialized C++ translation unit for `p` — exposed for
+/// tests and for inspecting what the backend actually compiles.
+std::string emit_cpp(const Program& p);
+
+/// Executes a compiled Program through generated native code (dlopen) or
+/// threaded-code dispatch.  Mirrors tape::Engine's interface; the wide-lane
+/// entry points generalize it: a "lane word" holds 64 lanes, and an engine
+/// with L lanes uses lane_words() == ceil(L/64) words per port bit.
+class NativeEngine {
+ public:
+  NativeEngine(const Module& m, unsigned lanes, CodegenOptions opt = {});
+  ~NativeEngine();
+
+  NativeEngine(const NativeEngine&) = delete;
+  NativeEngine& operator=(const NativeEngine&) = delete;
+
+  Program& program() noexcept { return prog_; }
+  const Program& program() const noexcept { return prog_; }
+  unsigned lanes() const noexcept { return prog_.lanes; }
+  unsigned lane_words() const noexcept { return lw_; }
+
+  /// True when the dlopen'd generated code is driving eval(); false means
+  /// the threaded-code fallback is active (results are identical).
+  bool native() const noexcept { return eval_fn_ != nullptr; }
+  /// Compiler/dlopen diagnostics of the last compile attempt (empty when
+  /// the native path loaded cleanly or was never attempted).
+  const std::string& compile_log() const noexcept { return compile_log_; }
+
+  struct RunStats {
+    std::uint64_t cycles = 0;
+    std::uint64_t nodes_evaluated = 0;   ///< fallback dispatch only
+    std::uint64_t levels_evaluated = 0;  ///< fallback dispatch only
+    std::uint64_t levels_skipped = 0;    ///< fallback dispatch only
+  };
+  const RunStats& stats() const noexcept { return stats_; }
+
+  void set_input(unsigned index, const Bits& value);
+  void set_input_u64(unsigned index, std::uint64_t value);
+  /// Drive all lanes of one input.  bit_lanes holds width * lane_words()
+  /// elements; the lane words of input bit i live at
+  /// bit_lanes[i*lane_words() .. (i+1)*lane_words()).  For lanes <= 64 this
+  /// is exactly the tape::Engine / gate::Simulator layout.
+  void set_input_lanes(unsigned index,
+                       const std::vector<std::uint64_t>& bit_lanes);
+  /// Drive all lanes of one input with one value per lane (values[l] =
+  /// lane l, truncated to the port width).  The arena is lane-major, so
+  /// this is a straight masked copy — no bit transpose — and the fast
+  /// path for per-lane stimulus.  Ports wider than 64 bits throw.
+  void set_input_values(unsigned index,
+                        const std::vector<std::uint64_t>& values);
+
+  Bits output(unsigned index, unsigned lane = 0);
+  std::uint64_t output_u64(unsigned index);
+  /// Lane words of an output: width * lane_words() elements, same layout as
+  /// set_input_lanes.
+  std::vector<std::uint64_t> output_words(unsigned index);
+  /// One value per lane of an output (<= 64-bit ports; throws otherwise).
+  std::vector<std::uint64_t> output_values(unsigned index);
+
+  Bits node_value(NodeId id, unsigned lane = 0);
+  bool node_live(NodeId id) const;
+
+  void eval();
+  void step();
+  void reset();
+
+  Bits mem_word(unsigned mem_index, unsigned word, unsigned lane = 0);
+  void poke_mem(unsigned mem_index, unsigned word, const Bits& value);
+  void poke_reg(unsigned reg_index, const Bits& value);
+
+ private:
+  struct Exec;  // threaded-code handlers (codegen.cpp)
+  using Handler = bool (*)(NativeEngine&, const Instr&);
+  using EvalFn = void (*)(std::uint64_t*, std::uint64_t* const*,
+                          unsigned char*);
+
+  Program prog_;
+  unsigned lw_ = 1;  ///< lane words: ceil(lanes/64)
+  std::vector<std::uint64_t> arena_;
+  std::vector<std::uint64_t> scratch_;
+  std::vector<unsigned char> level_dirty_;
+  bool pending_ = true;
+  RunStats stats_;
+
+  std::vector<std::vector<std::uint64_t>> mem_;
+  std::vector<std::uint64_t*> mem_ptrs_;  ///< stable, passed to native eval
+
+  // Native path state.
+  void* dl_ = nullptr;
+  EvalFn eval_fn_ = nullptr;
+  std::string work_dir_;  ///< temp dir owning src/so/log; removed in dtor
+  std::string compile_log_;
+
+  // Threaded-code fallback: one bound handler per instruction.
+  std::vector<Handler> handlers_;
+
+  // Pre-edge sampling buffers.  Enables are snapshotted one full arena
+  // word per lane (bit 0 significant) — a contiguous copy from the
+  // lane-major arena — so the commit loops are branchless masked merges
+  // the compiler can vectorize, instead of per-lane bit gathers.
+  std::vector<std::uint64_t> reg_next_;
+  std::vector<std::uint32_t> reg_next_off_;
+  std::vector<std::uint64_t> reg_en_;  ///< regs * lanes (always-on regs
+                                       ///  prefilled with 1 at build)
+  struct Wp {
+    std::uint32_t mem = 0;
+    Program::WritePort port;
+    std::uint32_t addr_at = 0;
+    std::uint32_t data_at = 0;
+    std::uint16_t words = 1;
+  };
+  std::vector<Wp> wps_;
+  std::vector<std::uint64_t> wp_en_;    ///< ports * lanes
+  std::vector<std::uint64_t> wp_addr_;  ///< per port * lane
+  std::vector<std::uint64_t> wp_data_;  ///< per port: words * lanes
+
+  void try_native(const CodegenOptions& opt);
+  void drop_native();
+  void fallback_eval();
+  void mark_levels(const std::vector<std::uint32_t>& off,
+                   const std::vector<std::uint32_t>& fl, std::uint32_t site);
+  void mark_all_dirty();
+  void write_lane_bits(std::uint32_t off, std::uint16_t words, unsigned lane,
+                       const Bits& value);
+  Bits read_lane_bits(std::uint32_t off, std::uint16_t words, unsigned width,
+                      unsigned lane) const;
+};
+
+}  // namespace osss::rtl::tape

@@ -11,20 +11,28 @@ const char* sim_mode_name(SimMode mode) {
   switch (mode) {
     case SimMode::kInterp: return "interp";
     case SimMode::kTape: return "tape";
+    case SimMode::kNative: return "native";
   }
   return "?";
 }
 
-Simulator::Simulator(Module module, SimMode mode, unsigned lanes)
+Simulator::Simulator(Module module, SimMode mode, unsigned lanes,
+                     tape::CodegenOptions codegen)
     : m_(std::move(module)), mode_(mode), lanes_(lanes) {
   if (mode_ == SimMode::kInterp && lanes_ != 1)
-    throw std::logic_error("Simulator: multi-lane requires SimMode::kTape");
+    throw std::logic_error(
+        "Simulator: multi-lane requires SimMode::kTape or kNative");
   for (std::uint32_t i = 0; i < m_.inputs().size(); ++i)
     input_index_.emplace(m_.inputs()[i].name, i);
   for (std::uint32_t i = 0; i < m_.outputs().size(); ++i)
     output_index_.emplace(m_.outputs()[i].name, i);
   if (mode_ == SimMode::kTape) {
     engine_ = std::make_unique<tape::Engine>(m_, lanes_);
+    return;
+  }
+  if (mode_ == SimMode::kNative) {
+    native_ =
+        std::make_unique<tape::NativeEngine>(m_, lanes_, std::move(codegen));
     return;
   }
   m_.validate();
@@ -70,8 +78,8 @@ void Simulator::set_input(InputHandle h, const Bits& value) {
   if (value.width() != input_width(h.index))
     throw std::logic_error("Simulator: input width mismatch on " +
                            m_.inputs()[h.index].name);
-  if (mode_ == SimMode::kTape) {
-    engine_->set_input(h.index, value);
+  if (mode_ != SimMode::kInterp) {
+    with_engine([&](auto& e) { e.set_input(h.index, value); });
     return;
   }
   input_values_[h.index] = value;
@@ -81,8 +89,9 @@ void Simulator::set_input(InputHandle h, const Bits& value) {
 void Simulator::set_input(InputHandle h, std::uint64_t value) {
   if (h.index >= m_.inputs().size())
     throw std::logic_error("Simulator: bad input handle");
-  if (mode_ == SimMode::kTape) {
-    engine_->set_input_u64(h.index, value);  // no Bits construction
+  if (mode_ != SimMode::kInterp) {
+    with_engine(
+        [&](auto& e) { e.set_input_u64(h.index, value); });  // no Bits
     return;
   }
   set_input(h, Bits(input_width(h.index), value));
@@ -90,11 +99,22 @@ void Simulator::set_input(InputHandle h, std::uint64_t value) {
 
 void Simulator::set_input_lanes(InputHandle h,
                                 const std::vector<std::uint64_t>& bit_lanes) {
-  if (mode_ != SimMode::kTape)
-    throw std::logic_error("Simulator: set_input_lanes requires kTape");
+  if (mode_ == SimMode::kInterp)
+    throw std::logic_error(
+        "Simulator: set_input_lanes requires kTape or kNative");
   if (h.index >= m_.inputs().size())
     throw std::logic_error("Simulator: bad input handle");
-  engine_->set_input_lanes(h.index, bit_lanes);
+  with_engine([&](auto& e) { e.set_input_lanes(h.index, bit_lanes); });
+}
+
+void Simulator::set_input_values(InputHandle h,
+                                 const std::vector<std::uint64_t>& values) {
+  if (mode_ == SimMode::kInterp)
+    throw std::logic_error(
+        "Simulator: set_input_values requires kTape or kNative");
+  if (h.index >= m_.inputs().size())
+    throw std::logic_error("Simulator: bad input handle");
+  with_engine([&](auto& e) { e.set_input_values(h.index, values); });
 }
 
 Bits Simulator::compute(const Node& n) const {
@@ -168,7 +188,8 @@ void Simulator::eval() {
 }
 
 Bits Simulator::get(NodeId id, unsigned lane) {
-  if (mode_ == SimMode::kTape) return engine_->node_value(id, lane);
+  if (mode_ != SimMode::kInterp)
+    return with_engine([&](auto& e) { return e.node_value(id, lane); });
   eval();
   return values_.at(id);
 }
@@ -182,7 +203,8 @@ Bits Simulator::output(OutputHandle h) { return output_lane(h, 0); }
 Bits Simulator::output_lane(OutputHandle h, unsigned lane) {
   if (h.index >= m_.outputs().size())
     throw std::logic_error("Simulator: bad output handle");
-  if (mode_ == SimMode::kTape) return engine_->output(h.index, lane);
+  if (mode_ != SimMode::kInterp)
+    return with_engine([&](auto& e) { return e.output(h.index, lane); });
   eval();
   return values_.at(m_.outputs()[h.index].node);
 }
@@ -190,22 +212,33 @@ Bits Simulator::output_lane(OutputHandle h, unsigned lane) {
 std::uint64_t Simulator::output_u64(OutputHandle h) {
   if (h.index >= m_.outputs().size())
     throw std::logic_error("Simulator: bad output handle");
-  if (mode_ == SimMode::kTape) return engine_->output_u64(h.index);
+  if (mode_ != SimMode::kInterp)
+    return with_engine([&](auto& e) { return e.output_u64(h.index); });
   eval();
   return values_[m_.outputs()[h.index].node].to_u64();
 }
 
 std::vector<std::uint64_t> Simulator::output_words(OutputHandle h) {
-  if (mode_ != SimMode::kTape)
-    throw std::logic_error("Simulator: output_words requires kTape");
+  if (mode_ == SimMode::kInterp)
+    throw std::logic_error(
+        "Simulator: output_words requires kTape or kNative");
   if (h.index >= m_.outputs().size())
     throw std::logic_error("Simulator: bad output handle");
-  return engine_->output_words(h.index);
+  return with_engine([&](auto& e) { return e.output_words(h.index); });
+}
+
+std::vector<std::uint64_t> Simulator::output_values(OutputHandle h) {
+  if (mode_ == SimMode::kInterp)
+    throw std::logic_error(
+        "Simulator: output_values requires kTape or kNative");
+  if (h.index >= m_.outputs().size())
+    throw std::logic_error("Simulator: bad output handle");
+  return with_engine([&](auto& e) { return e.output_values(h.index); });
 }
 
 void Simulator::step() {
-  if (mode_ == SimMode::kTape) {
-    engine_->step();
+  if (mode_ != SimMode::kInterp) {
+    with_engine([](auto& e) { e.step(); });
     return;
   }
   eval();
@@ -240,8 +273,8 @@ void Simulator::step() {
 }
 
 void Simulator::reset() {
-  if (mode_ == SimMode::kTape) {
-    engine_->reset();
+  if (mode_ != SimMode::kInterp) {
+    with_engine([](auto& e) { e.reset(); });
     return;
   }
   for (std::size_t i = 0; i < m_.registers().size(); ++i)
@@ -253,50 +286,62 @@ void Simulator::reset() {
 }
 
 std::uint64_t Simulator::cycle_count() const noexcept {
-  return mode_ == SimMode::kTape ? engine_->stats().cycles : cycles_;
+  if (mode_ == SimMode::kInterp) return cycles_;
+  return with_engine([](auto& e) { return e.stats().cycles; });
 }
 
 Simulator::Stats Simulator::stats() const {
-  Stats s;
-  if (mode_ == SimMode::kTape) {
-    const tape::Engine::RunStats& rs = engine_->stats();
-    const tape::CompileStats& cs = engine_->program().stats;
-    s.cycles = rs.cycles;
-    s.nodes_evaluated = rs.nodes_evaluated;
-    s.levels_evaluated = rs.levels_evaluated;
-    s.levels_skipped = rs.levels_skipped;
-    s.tape_len = cs.tape_len;
-    s.arena_words = cs.arena_words;
-    s.levels = cs.levels;
-    s.const_folded = cs.const_folded;
-    s.pruned = cs.pruned;
-    s.fused = cs.fused;
-    return s;
+  if (mode_ != SimMode::kInterp) {
+    return with_engine([](auto& e) {
+      Stats s;
+      const auto& rs = e.stats();
+      const tape::CompileStats& cs = e.program().stats;
+      s.cycles = rs.cycles;
+      s.nodes_evaluated = rs.nodes_evaluated;
+      s.levels_evaluated = rs.levels_evaluated;
+      s.levels_skipped = rs.levels_skipped;
+      s.tape_len = cs.tape_len;
+      s.arena_words = cs.arena_words;
+      s.levels = cs.levels;
+      s.const_folded = cs.const_folded;
+      s.pruned = cs.pruned;
+      s.fused = cs.fused;
+      return s;
+    });
   }
+  Stats s;
   s.cycles = cycles_;
   return s;
 }
 
 tape::Program& Simulator::tape() {
-  if (mode_ != SimMode::kTape)
-    throw std::logic_error("Simulator: tape() requires SimMode::kTape");
-  return engine_->program();
+  if (mode_ == SimMode::kInterp)
+    throw std::logic_error("Simulator: tape() requires kTape or kNative");
+  return with_engine([](auto& e) -> tape::Program& { return e.program(); });
+}
+
+tape::NativeEngine& Simulator::native() {
+  if (mode_ != SimMode::kNative)
+    throw std::logic_error("Simulator: native() requires SimMode::kNative");
+  return *native_;
 }
 
 Bits Simulator::mem_word(unsigned mem_index, unsigned word) {
-  if (mode_ == SimMode::kTape) return engine_->mem_word(mem_index, word);
+  if (mode_ != SimMode::kInterp)
+    return with_engine(
+        [&](auto& e) { return e.mem_word(mem_index, word); });
   return mem_state_.at(mem_index).at(word);
 }
 
 void Simulator::poke_mem(unsigned mem_index, unsigned word,
                          const Bits& value) {
-  if (mode_ == SimMode::kTape) {
+  if (mode_ != SimMode::kInterp) {
     if (mem_index >= m_.memories().size() ||
         word >= m_.memories()[mem_index].depth)
       throw std::out_of_range("Simulator: poke_mem out of range");
     if (value.width() != m_.memories()[mem_index].data_width)
       throw std::logic_error("Simulator: poke_mem width mismatch");
-    engine_->poke_mem(mem_index, word, value);
+    with_engine([&](auto& e) { e.poke_mem(mem_index, word, value); });
     return;
   }
   Bits& slot = mem_state_.at(mem_index).at(word);
@@ -311,8 +356,9 @@ void Simulator::poke_reg(const std::string& name, const Bits& value) {
     if (m_.registers()[i].name == name) {
       if (m_.node(m_.registers()[i].q).width != value.width())
         throw std::logic_error("Simulator: poke_reg width mismatch");
-      if (mode_ == SimMode::kTape) {
-        engine_->poke_reg(static_cast<unsigned>(i), value);
+      if (mode_ != SimMode::kInterp) {
+        with_engine(
+            [&](auto& e) { e.poke_reg(static_cast<unsigned>(i), value); });
       } else {
         reg_state_[i] = value;
         dirty_ = true;
@@ -346,11 +392,12 @@ void run_lane_block(Simulator& sim, const std::vector<InputHandle>& in,
                     const std::vector<OutputHandle>& out,
                     par::StimulusBlock& b,
                     std::vector<std::uint64_t>& scratch) {
+  const unsigned lw = sim.lane_words();
   sim.reset();
   for (unsigned c = 0; c < b.cycles; ++c) {
     unsigned slot = 0;
     for (std::size_t p = 0; p < in.size(); ++p) {
-      const unsigned w = in_widths[p];
+      const unsigned w = in_widths[p] * lw;
       scratch.assign(&b.in_at(c, slot), &b.in_at(c, slot) + w);
       sim.set_input_lanes(in[p], scratch);
       slot += w;
@@ -372,11 +419,16 @@ void run_batch(const Module& m, SimMode mode,
                std::span<par::StimulusBlock> blocks, par::Pool* pool_arg) {
   if (blocks.empty()) return;
   const unsigned lanes = blocks.front().lanes;
-  if (lanes != 1 && lanes != 64)
-    throw std::invalid_argument("rtl::run_batch: lanes must be 1 or 64");
-  if (lanes == 64 && mode != SimMode::kTape)
+  if (lanes != 1 && (lanes % 64 != 0 || lanes > tape::kMaxLanes))
     throw std::invalid_argument(
-        "rtl::run_batch: 64-lane blocks require SimMode::kTape");
+        "rtl::run_batch: lanes must be 1 or a multiple of 64 up to "
+        "tape::kMaxLanes");
+  if (lanes > 1 && mode != SimMode::kTape && mode != SimMode::kNative)
+    throw std::invalid_argument(
+        "rtl::run_batch: lane blocks require SimMode::kTape or kNative");
+  if (lanes > 64 && mode != SimMode::kNative)
+    throw std::invalid_argument(
+        "rtl::run_batch: blocks wider than 64 lanes require SimMode::kNative");
 
   std::vector<unsigned> in_widths;
   for (const PortRef& p : m.inputs())
@@ -386,8 +438,10 @@ void run_batch(const Module& m, SimMode mode,
     in_slots = static_cast<unsigned>(m.inputs().size());
     out_slots = static_cast<unsigned>(m.outputs().size());
   } else {
-    for (const unsigned w : in_widths) in_slots += w;
-    for (const PortRef& p : m.outputs()) out_slots += m.node(p.node).width;
+    const unsigned lw = lanes / 64;
+    for (const unsigned w : in_widths) in_slots += w * lw;
+    for (const PortRef& p : m.outputs())
+      out_slots += m.node(p.node).width * lw;
   }
   for (par::StimulusBlock& b : blocks) {
     if (b.lanes != lanes)

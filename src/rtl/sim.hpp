@@ -1,7 +1,7 @@
 // sim.hpp — cycle-accurate RTL simulator.
 //
-// Executes an rtl::Module with one of two engines, selected at construction
-// (mirroring gate::Simulator):
+// Executes an rtl::Module with one of three engines, selected at
+// construction (mirroring gate::Simulator):
 //
 //   * SimMode::kInterp — the reference interpreter: combinational nodes are
 //     evaluated as Bits values in a precomputed topological order.  Slow but
@@ -10,7 +10,12 @@
 //   * SimMode::kTape — the compiled word-level tape (rtl/tape.hpp): the
 //     module is lowered once into a flat instruction stream over a
 //     preallocated uint64_t arena with zero per-cycle allocation,
-//     level-granular activity gating and optional multi-lane stimulus.
+//     level-granular activity gating and optional multi-lane stimulus
+//     (up to 64 lanes).
+//   * SimMode::kNative — the tape lowered further to generated C++
+//     (rtl/codegen.hpp), compiled at runtime and dlopen'd, with a
+//     threaded-code fallback when no compiler is available.  Supports up to
+//     tape::kMaxLanes stimulus lanes with SIMD lane groups.
 //
 // Ports can be addressed by name (convenience) or through cached
 // InputHandle/OutputHandle values that skip the name lookup on the hot path.
@@ -27,6 +32,7 @@
 #include <vector>
 
 #include "par/batch.hpp"
+#include "rtl/codegen.hpp"
 #include "rtl/ir.hpp"
 #include "rtl/tape.hpp"
 
@@ -38,7 +44,8 @@ namespace osss::rtl {
 
 enum class SimMode : std::uint8_t {
   kInterp,  ///< per-node Bits interpreter (the oracle)
-  kTape,    ///< compiled word-level tape engine
+  kTape,    ///< compiled word-level tape engine (interpreted, <= 64 lanes)
+  kNative,  ///< generated native code / threaded-code fallback (wide lanes)
 };
 
 const char* sim_mode_name(SimMode mode);
@@ -56,9 +63,11 @@ class Simulator {
 public:
   /// Takes the module by value: the simulator owns its design, so
   /// temporaries (`Simulator sim(build_foo())`) are safe.  `lanes > 1`
-  /// (parallel stimulus lanes) requires SimMode::kTape.
+  /// (parallel stimulus lanes) requires SimMode::kTape (<= 64) or
+  /// SimMode::kNative (<= tape::kMaxLanes).  `codegen` tunes the native
+  /// backend and is ignored by the other modes.
   explicit Simulator(Module module, SimMode mode = SimMode::kInterp,
-                     unsigned lanes = 1);
+                     unsigned lanes = 1, tape::CodegenOptions codegen = {});
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -78,10 +87,20 @@ public:
   void set_input(InputHandle h, const Bits& value);
   void set_input(InputHandle h, std::uint64_t value);
 
-  /// Drive all lanes of one input (tape mode): bit_lanes[i] holds the lane
-  /// word of input bit i, same layout as gate::Simulator::set_input_lanes.
+  /// Drive all lanes of one input (tape/native mode): input bit i occupies
+  /// lane_words() consecutive elements starting at bit_lanes[i *
+  /// lane_words()].  For <= 64 lanes this is the gate::Simulator layout
+  /// (one lane word per bit).
   void set_input_lanes(InputHandle h,
                        const std::vector<std::uint64_t>& bit_lanes);
+  /// Drive all lanes of one input with one value per lane — values[l] =
+  /// lane l, truncated to the port width (tape/native mode, <= 64-bit
+  /// ports).  The engines' arenas are lane-major, so this skips the bit
+  /// transpose of set_input_lanes; use it for per-lane stimulus loops.
+  void set_input_values(InputHandle h,
+                        const std::vector<std::uint64_t>& values);
+  /// Words per lane mask: ceil(lanes / 64).
+  unsigned lane_words() const noexcept { return (lanes_ + 63) / 64; }
 
   /// Current value of any node (evaluates combinational logic on demand).
   /// In tape mode, throws std::logic_error for nodes the compiler pruned or
@@ -96,6 +115,9 @@ public:
   std::uint64_t output_u64(OutputHandle h);
   /// Lane words of an output: element i = lanes of output bit i.
   std::vector<std::uint64_t> output_words(OutputHandle h);
+  /// One value per lane of an output (tape/native mode, <= 64-bit ports);
+  /// the inverse of set_input_values.
+  std::vector<std::uint64_t> output_values(OutputHandle h);
 
   /// One rising clock edge: evaluate, capture register/memory next state,
   /// commit.
@@ -127,9 +149,14 @@ public:
   };
   Stats stats() const;
 
-  /// The compiled program (tape mode only; throws otherwise).  Mutable so
-  /// tests can corrupt instructions and prove CoSim catches a broken tape.
+  /// The compiled program (tape/native mode only; throws otherwise).
+  /// Mutable so tests can corrupt instructions and prove CoSim catches a
+  /// broken tape.
   tape::Program& tape();
+
+  /// The native backend (kNative only; throws otherwise) — exposes
+  /// native()/compile_log() for tests and diagnostics.
+  tape::NativeEngine& native();
 
   /// Direct memory inspection for tests (word index).
   Bits mem_word(unsigned mem_index, unsigned word);
@@ -144,8 +171,22 @@ private:
   std::unordered_map<std::string, std::uint32_t> input_index_;
   std::unordered_map<std::string, std::uint32_t> output_index_;
 
-  // --- tape engine (mode_ == kTape) --------------------------------------
+  // --- tape engine (mode_ == kTape) / native backend (kNative) -----------
   std::unique_ptr<tape::Engine> engine_;
+  std::unique_ptr<tape::NativeEngine> native_;
+
+  /// Apply `f` to whichever tape-family engine is active (kTape/kNative);
+  /// both expose the same interface, so call sites stay mode-agnostic.
+  template <typename F>
+  decltype(auto) with_engine(F&& f) {
+    if (engine_) return f(*engine_);
+    return f(*native_);
+  }
+  template <typename F>
+  decltype(auto) with_engine(F&& f) const {
+    if (engine_) return f(*engine_);
+    return f(*native_);
+  }
 
   // --- interpreter state (mode_ == kInterp) ------------------------------
   std::vector<NodeId> order_;
@@ -170,8 +211,9 @@ private:
 ///
 /// Scalar blocks (lanes == 1): slot s is input/output port s in module
 /// declaration order, values truncated to the port width.  Lane blocks
-/// (lanes == 64, kTape mode only): slot s is the s-th bit of the ports
-/// concatenated LSB-first, each element a 64-lane word.
+/// (lanes a multiple of 64; kTape accepts exactly 64, kNative up to
+/// tape::kMaxLanes): bit i of the ports concatenated LSB-first occupies
+/// lanes/64 consecutive slots, each element one 64-lane word.
 ///
 /// Bit-identical for every pool size.  Throws std::invalid_argument on
 /// malformed blocks.

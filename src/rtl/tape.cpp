@@ -6,22 +6,21 @@
 #include <unordered_map>
 #include <utility>
 
+#include "rtl/tape_detail.hpp"
+
 namespace osss::rtl::tape {
 
 namespace {
 
-inline unsigned words_of(unsigned width) { return (width + 63) / 64; }
-
-/// Mask covering the top storage word of a `width`-bit value.
-inline std::uint64_t top_mask(unsigned width) {
-  const unsigned rem = width % 64;
-  return rem == 0 ? ~0ull : ((std::uint64_t{1} << rem) - 1);
-}
-
-/// Mask covering all of a `width <= 64` bit value.
-inline std::uint64_t mask64(unsigned width) {
-  return width >= 64 ? ~0ull : ((std::uint64_t{1} << width) - 1);
-}
+using detail::bits_from_words;
+using detail::mask64;
+using detail::span_fill;
+using detail::span_lshr;
+using detail::span_shl;
+using detail::store1;
+using detail::storeN;
+using detail::top_mask;
+using detail::words_of;
 
 /// Bits-semantics evaluator for constant folding; must mirror the
 /// interpreter (rtl::Simulator::compute) exactly — the tape is
@@ -69,69 +68,6 @@ Bits fold_value(const Node& n, const std::vector<Bits>& fv) {
     default: break;
   }
   throw std::logic_error("tape: cannot fold op");
-}
-
-inline bool store1(std::uint64_t* d, std::uint64_t nv) {
-  const bool changed = *d != nv;
-  *d = nv;
-  return changed;
-}
-
-inline bool storeN(std::uint64_t* d, const std::uint64_t* s, unsigned words) {
-  std::uint64_t diff = 0;
-  for (unsigned w = 0; w < words; ++w) {
-    diff |= d[w] ^ s[w];
-    d[w] = s[w];
-  }
-  return diff != 0;
-}
-
-/// s = a << amt over n words (amt < n*64; caller handles >= width).
-inline void span_shl(std::uint64_t* s, const std::uint64_t* a, unsigned n,
-                     unsigned amt) {
-  const unsigned ws = amt / 64, bs = amt % 64;
-  for (unsigned w = n; w-- > 0;) {
-    std::uint64_t v = 0;
-    if (w >= ws) {
-      v = a[w - ws] << bs;
-      if (bs != 0 && w > ws) v |= a[w - ws - 1] >> (64 - bs);
-    }
-    s[w] = v;
-  }
-}
-
-/// s = a >> amt over n words (amt < n*64).
-inline void span_lshr(std::uint64_t* s, const std::uint64_t* a, unsigned n,
-                      unsigned amt) {
-  const unsigned ws = amt / 64, bs = amt % 64;
-  for (unsigned w = 0; w < n; ++w) {
-    std::uint64_t v = 0;
-    if (w + ws < n) {
-      v = a[w + ws] >> bs;
-      if (bs != 0 && w + ws + 1 < n) v |= a[w + ws + 1] << (64 - bs);
-    }
-    s[w] = v;
-  }
-}
-
-/// Set bits [from, to) of a word span (from < to).
-inline void span_fill(std::uint64_t* s, unsigned from, unsigned to) {
-  for (unsigned w = from / 64; w <= (to - 1) / 64; ++w) {
-    const unsigned lo = w * 64;
-    std::uint64_t m = ~0ull;
-    if (from > lo) m &= ~0ull << (from - lo);
-    if (to < lo + 64) m &= ~0ull >> (lo + 64 - to);
-    s[w] |= m;
-  }
-}
-
-Bits bits_from_words(const std::uint64_t* s, unsigned width) {
-  Bits out(width);
-  for (unsigned w = 0; w < words_of(width); ++w) {
-    const unsigned lo = w * 64;
-    out.set_range(lo, Bits(std::min(64u, width - lo), s[w]));
-  }
-  return out;
 }
 
 }  // namespace
@@ -312,8 +248,8 @@ NodeAnalysis analyze(const Module& m) {
 }
 
 Program Program::compile(const Module& m, unsigned lanes) {
-  if (lanes == 0 || lanes > 64)
-    throw std::logic_error("rtl::tape: lanes must be in 1..64");
+  if (lanes == 0 || lanes > kMaxLanes)
+    throw std::logic_error("rtl::tape: lanes must be in 1..512");
 
   const std::size_t n = m.node_count();
   for (NodeId id = 0; id < n; ++id)
@@ -655,8 +591,22 @@ Program Program::compile(const Module& m, unsigned lanes) {
 
 // --- Engine ----------------------------------------------------------------
 
+namespace {
+
+/// The interpreted executor packs lane enables into one uint64_t, so it is
+/// capped at 64 lanes; wider stimulus goes through the native backend
+/// (rtl/codegen.hpp), whose sequential logic is word-mask wide.
+void check_engine_lanes(unsigned lanes) {
+  if (lanes == 0 || lanes > 64)
+    throw std::logic_error(
+        "rtl::tape: the interpreted engine supports 1..64 lanes "
+        "(use the native backend for wider stimulus)");
+}
+
+}  // namespace
+
 Engine::Engine(const Module& m, unsigned lanes)
-    : prog_(Program::compile(m, lanes)) {
+    : prog_((check_engine_lanes(lanes), Program::compile(m, lanes))) {
   arena_.assign(prog_.arena_size, 0);
   for (const auto& [off, v] : prog_.const_init)
     for (unsigned l = 0; l < prog_.lanes; ++l)
@@ -791,6 +741,28 @@ void Engine::set_input_lanes(unsigned index,
   }
 }
 
+void Engine::set_input_values(unsigned index,
+                              const std::vector<std::uint64_t>& values) {
+  const Program::Port& port = prog_.inputs.at(index);
+  if (port.words != 1)
+    throw std::logic_error("tape: set_input_values needs a <= 64-bit port");
+  if (values.size() != prog_.lanes)
+    throw std::logic_error("tape: set_input_values lane count mismatch");
+  const std::uint64_t mask =
+      port.width < 64 ? (std::uint64_t{1} << port.width) - 1 : ~std::uint64_t{0};
+  std::uint64_t* d = arena_.data() + port.off;
+  std::uint64_t diff = 0;
+  for (unsigned l = 0; l < prog_.lanes; ++l) {
+    const std::uint64_t nv = values[l] & mask;
+    diff |= nv ^ d[l];
+    d[l] = nv;
+  }
+  if (diff != 0) {
+    mark_levels(prog_.input_fl_off, prog_.input_fl, index);
+    pending_ = true;
+  }
+}
+
 Bits Engine::output(unsigned index, unsigned lane) {
   eval();
   const Program::Port& port = prog_.outputs.at(index);
@@ -813,6 +785,15 @@ std::vector<std::uint64_t> Engine::output_words(unsigned index) {
       out[i] |= ((s[i / 64] >> (i % 64)) & 1u) << l;
   }
   return out;
+}
+
+std::vector<std::uint64_t> Engine::output_values(unsigned index) {
+  eval();
+  const Program::Port& port = prog_.outputs.at(index);
+  if (port.words != 1)
+    throw std::logic_error("tape: output_values needs a <= 64-bit port");
+  const std::uint64_t* s = arena_.data() + port.off;
+  return std::vector<std::uint64_t>(s, s + prog_.lanes);
 }
 
 Bits Engine::node_value(NodeId id, unsigned lane) {

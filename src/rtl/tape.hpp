@@ -40,6 +40,13 @@ namespace osss::rtl::tape {
 /// "No arena slot": pruned/folded-away nodes and absent register enables.
 constexpr std::uint32_t kNoSlot = 0xffffffffu;
 
+/// Widest lane count Program::compile accepts.  The interpreted Engine is
+/// additionally capped at 64 (one uint64_t of lane enables); lane counts
+/// above that are executed by the native backend (rtl/codegen.hpp), which
+/// keeps the same lane-major arena layout but runs lane groups through
+/// explicit AVX2/AVX-512 vectors.
+constexpr unsigned kMaxLanes = 512;
+
 /// Tape opcodes.  `*1` forms are the single-word fast path; `*N` forms
 /// handle multi-word (width > 64) values.  kConcat and kMemRead are
 /// width-generic.
@@ -204,7 +211,8 @@ struct Program {
 
   CompileStats stats;
 
-  /// Lower `m` (validated first) for `lanes` stimulus lanes (1..64).
+  /// Lower `m` (validated first) for `lanes` stimulus lanes
+  /// (1..kMaxLanes; the interpreted Engine accepts at most 64).
   static Program compile(const Module& m, unsigned lanes = 1);
 };
 
@@ -234,12 +242,20 @@ public:
   /// (same layout as gate::Simulator::set_input_lanes).
   void set_input_lanes(unsigned index,
                        const std::vector<std::uint64_t>& bit_lanes);
+  /// Drive all lanes of one input with one value per lane (values[l] =
+  /// lane l, truncated to the port width).  The arena is lane-major, so
+  /// this is a straight masked copy — no bit transpose — and the fast
+  /// path for per-lane stimulus.  Ports wider than 64 bits throw.
+  void set_input_values(unsigned index,
+                        const std::vector<std::uint64_t>& values);
 
   Bits output(unsigned index, unsigned lane = 0);
   /// Allocation-free fast path: low 64 bits of an output, lane 0.
   std::uint64_t output_u64(unsigned index);
   /// Lane words of an output: element i = lanes of output bit i.
   std::vector<std::uint64_t> output_words(unsigned index);
+  /// One value per lane of an output (<= 64-bit ports; throws otherwise).
+  std::vector<std::uint64_t> output_values(unsigned index);
 
   /// Value of any live node (throws std::logic_error if pruned away).
   Bits node_value(NodeId id, unsigned lane = 0);

@@ -83,6 +83,12 @@ RtlModel::RtlModel(rtl::Module m, rtl::SimMode mode, unsigned lanes,
                          : std::move(name)),
       sim_(std::move(m), mode, lanes) {}
 
+RtlModel::RtlModel(rtl::Module m, rtl::SimMode mode, unsigned lanes,
+                   rtl::tape::CodegenOptions codegen, std::string name)
+    : Model(name.empty() ? std::string("rtl:") + rtl::sim_mode_name(mode)
+                         : std::move(name)),
+      sim_(std::move(m), mode, lanes, std::move(codegen)) {}
+
 rtl::InputHandle RtlModel::in_handle(const std::string& name) {
   const auto it = in_.find(name);
   if (it != in_.end()) return it->second;
@@ -99,7 +105,12 @@ rtl::OutputHandle RtlModel::out_handle(const std::string& name) {
   return h;
 }
 
-unsigned RtlModel::lanes() const { return sim_.lanes(); }
+unsigned RtlModel::lanes() const {
+  // CoSim's lane protocol is one 64-bit lane word per port bit, so a
+  // wider-than-64-lane native sim joins as a scalar model: every lane gets
+  // the broadcast stimulus and lane 0 is scoreboarded.
+  return sim_.lanes() <= 64 ? sim_.lanes() : 1;
+}
 
 void RtlModel::reset() { sim_.reset(); }
 
@@ -127,7 +138,9 @@ Bits RtlModel::output_lane(const std::string& name, unsigned lane) {
 
 std::vector<std::uint64_t> RtlModel::output_words(const std::string& name,
                                                   unsigned width) {
-  if (sim_.lanes() == 1) return Model::output_words(name, width);
+  // lanes() caps the co-sim protocol at one lane word per bit; sims that
+  // joined as scalar (1 lane, or wider than 64) use the broadcast default.
+  if (lanes() == 1) return Model::output_words(name, width);
   return sim_.output_words(out_handle(name));
 }
 

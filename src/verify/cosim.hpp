@@ -125,6 +125,10 @@ public:
   explicit RtlModel(rtl::Module m, std::string name = "rtl");
   RtlModel(rtl::Module m, rtl::SimMode mode, unsigned lanes = 1,
            std::string name = "");
+  /// kNative with explicit backend options (tests: forced fallback, bogus
+  /// compilers).
+  RtlModel(rtl::Module m, rtl::SimMode mode, unsigned lanes,
+           rtl::tape::CodegenOptions codegen, std::string name = "");
 
   rtl::Simulator& sim() noexcept { return sim_; }
 

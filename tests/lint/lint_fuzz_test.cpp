@@ -61,9 +61,11 @@ TEST(LintFuzz, FiveHundredRandomModulesLintErrorFreeAndAgreeWithPruner) {
       // Lint-dead -> the compiler gave it no arena slot.
       EXPECT_EQ(p.node_slot[id], rtl::tape::kNoSlot) << "module " << i;
     }
-    for (rtl::NodeId id = 0; id < m.node_count(); ++id)
-      if (p.node_slot[id] != rtl::tape::kNoSlot)
+    for (rtl::NodeId id = 0; id < m.node_count(); ++id) {
+      if (p.node_slot[id] != rtl::tape::kNoSlot) {
         EXPECT_FALSE(flagged[id]) << "module " << i << " node " << id;
+      }
+    }
   }
   // The corpus is expected to actually exercise the dead-node rule.
   EXPECT_GT(total_dead, 0u);

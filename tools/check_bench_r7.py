@@ -1,21 +1,36 @@
 #!/usr/bin/env python3
 """Gate the R7 simulation-speed benchmark (exp_r7_sim_speed JSON output).
 
-Three independent gates, each printed with its inputs so a CI log alone
+Precondition — honest build type: every run and baseline must carry
+``context.osss_build_type == "release"`` (the bench binary records this
+itself, keyed on the optimizer; google benchmark's ``library_build_type``
+only describes libbenchmark and once let a debug-build baseline land in
+BENCH_r7.json).  Files that say "debug" — or predate the key — are
+refused outright unless ``--allow-non-release`` is passed, because every
+ratio measured from an -O0 build is garbage.
+
+Four independent gates, each printed with its inputs so a CI log alone
 explains a failure:
 
 1. Tape floor: the compiled RTL tape engine must stay at least
    ``--min-ratio`` (default 5x) faster than the RTL interpreter — the
    repo's original tracked perf-trajectory point.
 
-2. Baseline ratios (``--baseline BENCH_r7.json``): engine-vs-engine
+2. Native floor: the native-code backend's 256-lane SIMD row
+   (``BM_RtlNativeLanesSim``) must reach ``--min-native-ratio``
+   (default 3x) the interpreted tape's best row
+   (``BM_RtlTapeLanesSim``), both in stimulus-vector cycles/s.  The
+   ``native_code`` counter says whether the dlopen'd code actually ran
+   (0 = threaded-code fallback), so a fallback-shaped miss is visible.
+
+3. Baseline ratios (``--baseline BENCH_r7.json``): engine-vs-engine
    throughput ratios of the current run must stay within
    ``--max-regression`` (default 0.5, i.e. no worse than half) of the
    same ratios in the committed reference JSON.  Comparing ratios rather
    than absolute cycles/s makes the gate robust against CI machines of
    different speeds.
 
-3. Thread scaling: the 8-context sharded benchmarks
+4. Thread scaling: the 8-context sharded benchmarks
    (``BM_GateBitParallelShards/8/real_time``, ``BM_RtlTapeBatch/8``)
    must reach ``--min-scaling`` (default 3x) the 1-context throughput.
    Only enforced when the run's ``context.num_cpus`` is at least 8 —
@@ -54,11 +69,42 @@ def items_per_second(benchmarks, name, required=True):
     return float(ips)
 
 
+def effective_build_type(data):
+    """The honest build type of a result file.
+
+    ``osss_build_type`` is written by the bench binary itself (keyed on
+    the optimizer); ``library_build_type`` only describes how
+    libbenchmark was built and is used as a last resort for files that
+    predate the custom key.
+    """
+    ctx = data.get("context", {})
+    return ctx.get("osss_build_type", ctx.get("library_build_type", "unknown"))
+
+
+def check_build_type(data, what, allow_non_release):
+    bt = effective_build_type(data)
+    cpus = data.get("context", {}).get("num_cpus", "?")
+    print(f"{what}: build_type={bt}  num_cpus={cpus}")
+    if bt == "release":
+        return True
+    if allow_non_release:
+        print(f"  WARNING: {what} is a {bt!r} build; ratios are not "
+              f"meaningful (accepted via --allow-non-release)")
+        return True
+    print(f"FAIL: {what} was measured from a {bt!r} build — every ratio "
+          f"from an unoptimized binary is garbage.  Re-run the bench from "
+          f"a -DCMAKE_BUILD_TYPE=Release tree (or pass --allow-non-release "
+          f"for a local smoke test).")
+    return False
+
+
 # Engine-vs-engine ratio pairs tracked against the committed baseline:
 # (label, numerator benchmark, denominator benchmark).
 RATIO_PAIRS = [
     ("tape/interp", "BM_RtlTapeSim", "BM_RtlCycleSim"),
     ("tape-lanes/interp", "BM_RtlTapeLanesSim", "BM_RtlCycleSim"),
+    ("native/interp", "BM_RtlNativeSim", "BM_RtlCycleSim"),
+    ("native-lanes/interp", "BM_RtlNativeLanesSim", "BM_RtlCycleSim"),
     ("levelized/event", "BM_GateLevelizedSim", "BM_GateEventSim"),
     ("bit-parallel/event", "BM_GateBitParallelSim", "BM_GateEventSim"),
 ]
@@ -93,6 +139,36 @@ def check_tape_floor(benchmarks, min_ratio):
         return False
     print(f"OK: tape engine is {ratio:.2f}x the interpreter "
           f"(required >= {min_ratio}x)")
+    return True
+
+
+def check_native_floor(benchmarks, min_native_ratio):
+    tape_lanes = items_per_second(benchmarks, "BM_RtlTapeLanesSim")
+    native = items_per_second(benchmarks, "BM_RtlNativeSim", required=False)
+    native_lanes = items_per_second(benchmarks, "BM_RtlNativeLanesSim",
+                                    required=False)
+    print()
+    if native_lanes is None:
+        print("FAIL: BM_RtlNativeLanesSim missing from results "
+              "(native backend not benchmarked)")
+        return False
+    b = find(benchmarks, "BM_RtlNativeLanesSim")
+    jit = b.get("native_code")
+    lanes = b.get("lanes")
+    if native is not None:
+        print(f"RTL native      : {native:12.0f} cycles/s")
+    print(f"RTL native x{int(lanes) if lanes else '?'} : {native_lanes:12.0f} "
+          f"cycles/s  (native_code={int(jit) if jit is not None else '?'})")
+    if jit == 0:
+        print("  note: native_code=0 — the dlopen'd specialization did not "
+              "run; this row measured the threaded-code fallback")
+    ratio = native_lanes / tape_lanes if tape_lanes > 0 else float("inf")
+    if ratio < min_native_ratio:
+        print(f"FAIL: native SIMD lanes are only {ratio:.2f}x the "
+              f"interpreted tape's best row (required >= {min_native_ratio}x)")
+        return False
+    print(f"OK: native SIMD lanes are {ratio:.2f}x the interpreted tape's "
+          f"best row (required >= {min_native_ratio}x)")
     return True
 
 
@@ -147,18 +223,35 @@ def main():
                          "engine ratios against")
     ap.add_argument("--min-ratio", type=float, default=5.0,
                     help="minimum tape/interpreter cycles-per-second ratio")
+    ap.add_argument("--min-native-ratio", type=float, default=3.0,
+                    help="minimum native-SIMD vs interpreted-tape "
+                         "vector-cycles-per-second ratio")
     ap.add_argument("--max-regression", type=float, default=0.5,
                     help="minimum current/baseline ratio-of-ratios")
     ap.add_argument("--min-scaling", type=float, default=3.0,
                     help="minimum 8-thread vs 1-thread real-time speedup")
+    ap.add_argument("--allow-non-release", action="store_true",
+                    help="accept debug-build results (local smoke tests "
+                         "only; ratios are meaningless)")
     args = ap.parse_args()
 
     data = load(args.json_path)
     benchmarks = data.get("benchmarks", [])
 
+    ok = check_build_type(data, "run", args.allow_non_release)
+    baseline_data = load(args.baseline) if args.baseline else None
+    if baseline_data is not None:
+        ok = check_build_type(baseline_data, "baseline",
+                              args.allow_non_release) and ok
+    if not ok:
+        # Don't grade ratios measured from an unoptimized binary.
+        return 1
+    print()
+
     ok = check_tape_floor(benchmarks, args.min_ratio)
-    if args.baseline:
-        ok = check_baseline(benchmarks, load(args.baseline).get("benchmarks", []),
+    ok = check_native_floor(benchmarks, args.min_native_ratio) and ok
+    if baseline_data is not None:
+        ok = check_baseline(benchmarks, baseline_data.get("benchmarks", []),
                             args.max_regression) and ok
     ok = check_scaling(data, args.min_scaling) and ok
     return 0 if ok else 1
