@@ -1,35 +1,92 @@
 // R2 — "The frequency of the achieved in OSSS design is below the
 // frequency in the VHDL flow." (§12) with the 66 MHz system target (§2).
 //
-// Static timing analysis on both flows' netlists: critical path, logic
-// depth and fmax per component; the flow fmax is the worst component.
+// Static timing analysis on both flows' netlists, before and after the
+// optimization pipeline (opt::optimize): critical path, logic depth and
+// fmax per component; the flow fmax is the worst component.  The pipeline
+// may never lengthen a critical path (techmap is depth-bounded by the
+// input netlist), so the post columns dominate the pre columns.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "expocu/flows.hpp"
+#include "gate/lower.hpp"
+#include "gate/timing.hpp"
+#include "opt/opt.hpp"
+
+namespace {
+
+struct Row {
+  std::string name;
+  osss::gate::TimingReport pre;
+  osss::gate::TimingReport post;
+};
+
+std::vector<Row> analyze(const std::vector<osss::expocu::FlowComponent>& flow,
+                         const osss::gate::Library& lib) {
+  osss::opt::PipelineOptions po;
+  po.lib = &lib;
+  std::vector<Row> rows;
+  for (const auto& c : flow) {
+    const osss::gate::Netlist pre = osss::gate::lower_to_gates(c.module);
+    const osss::gate::Netlist post = osss::opt::optimize(pre, po);
+    rows.push_back({c.name, osss::gate::analyze_timing(pre, lib),
+                    osss::gate::analyze_timing(post, lib)});
+  }
+  return rows;
+}
+
+double flow_fmax(const std::vector<Row>& rows, bool post) {
+  double fmax = 1e30;
+  for (const Row& r : rows)
+    fmax = std::min(fmax, post ? r.post.fmax_mhz : r.pre.fmax_mhz);
+  return fmax;
+}
+
+void print_flow(const char* tag, const std::vector<Row>& rows) {
+  std::printf("%s flow:\n", tag);
+  std::printf("%-16s | %9s %7s %6s | %9s %7s %6s\n", "component", "pre[ps]",
+              "fmax", "levels", "post[ps]", "fmax", "levels");
+  for (const Row& r : rows)
+    std::printf("%-16s | %9.0f %7.1f %6zu | %9.0f %7.1f %6zu\n",
+                r.name.c_str(), r.pre.critical_path_ps, r.pre.fmax_mhz,
+                r.pre.levels, r.post.critical_path_ps, r.post.fmax_mhz,
+                r.post.levels);
+}
+
+}  // namespace
 
 int main() {
   using namespace osss::expocu;
   const auto lib = osss::gate::Library::generic();
-  const FlowReport osss = synthesize_flow(build_osss_flow(), lib);
-  const FlowReport vhdl = synthesize_flow(build_vhdl_flow(), lib);
+  const std::vector<Row> osss_rows = analyze(build_osss_flow(), lib);
+  const std::vector<Row> vhdl_rows = analyze(build_vhdl_flow(), lib);
 
-  std::printf("R2: achievable clock frequency (target %.0f MHz)\n", kClockMhz);
-  std::printf("%-16s | %9s %7s %6s | %9s %7s %6s\n", "component",
-              "OSSS[ps]", "fmax", "levels", "VHDL[ps]", "fmax", "levels");
-  for (const auto& o : osss.components) {
-    const auto* v = vhdl.find(o.name);
-    std::printf("%-16s | %9.0f %7.1f %6zu | %9.0f %7.1f %6zu\n",
-                o.name.c_str(), o.timing.critical_path_ps, o.timing.fmax_mhz,
-                o.timing.levels, v->timing.critical_path_ps,
-                v->timing.fmax_mhz, v->timing.levels);
-  }
-  std::printf("\nflow fmax: OSSS %.1f MHz, VHDL %.1f MHz", osss.min_fmax_mhz,
-              vhdl.min_fmax_mhz);
-  std::printf("  (OSSS below VHDL: %s; both meet 66 MHz: %s)\n",
-              osss.min_fmax_mhz < vhdl.min_fmax_mhz ? "yes" : "NO",
-              (osss.min_fmax_mhz >= kClockMhz && vhdl.min_fmax_mhz >= kClockMhz)
-                  ? "yes"
-                  : "NO");
-  return 0;
+  std::printf("R2: achievable clock frequency (target %.0f MHz), pre/post "
+              "optimization\n", kClockMhz);
+  print_flow("OSSS", osss_rows);
+  print_flow("VHDL", vhdl_rows);
+
+  const double osss_pre = flow_fmax(osss_rows, false);
+  const double osss_post = flow_fmax(osss_rows, true);
+  const double vhdl_pre = flow_fmax(vhdl_rows, false);
+  const double vhdl_post = flow_fmax(vhdl_rows, true);
+  bool no_regression = true;
+  for (const auto* rows : {&osss_rows, &vhdl_rows})
+    for (const Row& r : *rows)
+      no_regression =
+          no_regression &&
+          r.post.critical_path_ps <= r.pre.critical_path_ps + 1e-6;
+
+  std::printf("\nflow fmax: OSSS %.1f -> %.1f MHz, VHDL %.1f -> %.1f MHz\n",
+              osss_pre, osss_post, vhdl_pre, vhdl_post);
+  std::printf("(OSSS below VHDL: %s; both meet 66 MHz: %s; no critical-path "
+              "regression from optimization: %s)\n",
+              osss_post < vhdl_post ? "yes" : "NO",
+              (osss_post >= kClockMhz && vhdl_post >= kClockMhz) ? "yes"
+                                                                 : "NO",
+              no_regression ? "yes" : "NO");
+  return no_regression ? 0 : 1;
 }

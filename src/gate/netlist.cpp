@@ -195,6 +195,63 @@ void Netlist::mem_write(unsigned mem, std::vector<NetId> addr,
   m.writes.push_back({std::move(addr), std::move(data), enable});
 }
 
+NetId Netlist::raw_gate(CellKind kind, std::vector<NetId> ins) {
+  std::size_t arity = 0;
+  switch (kind) {
+    case CellKind::kBuf:
+    case CellKind::kInv: arity = 1; break;
+    case CellKind::kAnd2:
+    case CellKind::kOr2:
+    case CellKind::kNand2:
+    case CellKind::kNor2:
+    case CellKind::kXor2:
+    case CellKind::kXnor2: arity = 2; break;
+    case CellKind::kMux2: arity = 3; break;
+    default: bad(name_, "raw_gate: not a logic cell kind");
+  }
+  if (ins.size() != arity) bad(name_, "raw_gate: arity mismatch");
+  for (const NetId in : ins) {
+    if (in == kInvalidNet || in >= cells_.size())
+      bad(name_, "raw_gate: unknown input net");
+  }
+  return strash_lookup(kind, ins);
+}
+
+NetId Netlist::mem_read_bit(unsigned mem, std::vector<NetId> addr,
+                            unsigned bit) {
+  const MemMacro& m = mems_.at(mem);
+  if (bit >= m.width) bad(name_, "mem_read_bit: bit out of range");
+  Cell c;
+  c.kind = CellKind::kMemQ;
+  c.ins = std::move(addr);
+  c.param = mem;
+  c.param2 = bit;
+  cells_.push_back(std::move(c));
+  return static_cast<NetId>(cells_.size() - 1);
+}
+
+void Netlist::replace_net(NetId from, NetId to) {
+  if (from >= cells_.size() || to >= cells_.size())
+    bad(name_, "replace_net: unknown net");
+  if (from == to) return;
+  for (Cell& c : cells_)
+    for (NetId& in : c.ins)
+      if (in == from) in = to;
+  for (MemMacro& m : mems_) {
+    for (auto& w : m.writes) {
+      for (NetId& n : w.addr)
+        if (n == from) n = to;
+      for (NetId& n : w.data)
+        if (n == from) n = to;
+      if (w.enable == from) w.enable = to;
+    }
+  }
+  for (Bus& bus : outputs_)
+    for (NetId& n : bus.nets)
+      if (n == from) n = to;
+  strash_.clear();  // hashed shapes are stale after rewiring
+}
+
 void Netlist::rebind_input(const std::string& name,
                            const std::vector<NetId>& nets) {
   for (std::size_t bi = 0; bi < inputs_.size(); ++bi) {

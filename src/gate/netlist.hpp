@@ -127,6 +127,26 @@ public:
   void mem_write(unsigned mem, std::vector<NetId> addr, std::vector<NetId> data,
                  NetId enable);
 
+  // --- optimizer interface ---------------------------------------------------
+  // The src/opt pass pipeline edits netlists through these three primitives.
+  // They bypass the simplifying factories on purpose: the technology mapper
+  // must be able to place kNand2/kNor2/kXnor2 cells the factories decompose,
+  // and pass rebuilds re-emit kMemQ bits one at a time.
+
+  /// Emit a combinational gate of exactly `kind` (kBuf..kMux2), deduplicated
+  /// via structural hashing but with NO constant folding or simplification.
+  /// Throws std::logic_error on non-logic kinds or arity mismatch.
+  NetId raw_gate(CellKind kind, std::vector<NetId> ins);
+
+  /// One read-data bit of a macro memory (bit index `bit` of a `width`-wide
+  /// read port at `addr`); the pass rebuild uses it to re-emit kMemQ cells.
+  NetId mem_read_bit(unsigned mem, std::vector<NetId> addr, unsigned bit);
+
+  /// Redirect every reader of `from` — cell inputs, DFF D pins, memory
+  /// write ports and outputs — to `to`.  `from` itself is left in place
+  /// (sweep() removes it once dead).  Invalidates structural hashing.
+  void replace_net(NetId from, NetId to);
+
   /// Replace an input bus with internal nets (used when stitching IP at
   /// netlist level: the wrapper's placeholder input is rebound to the IP's
   /// outputs).  Every user of the old input bits is rewired; the bus is

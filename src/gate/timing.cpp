@@ -88,6 +88,7 @@ TimingReport analyze_timing(const Netlist& nl, const Library& lib) {
   }
   std::reverse(report.critical_path.begin(), report.critical_path.end());
   if (worst_net != kInvalidNet) report.levels = depth[worst_net];
+  report.arrival = std::move(arrival);
   return report;
 }
 

@@ -26,6 +26,7 @@ struct TimingReport {
   std::size_t levels = 0;             ///< logic depth of the worst path
   std::vector<NetId> critical_path;   ///< nets on the worst path, launch->capture
   std::string endpoint;               ///< description of the capture point
+  std::vector<double> arrival;        ///< per-net arrival time [ps], by NetId
 
   /// True when the design closes timing at `clock_mhz`.
   bool meets(double clock_mhz) const { return fmax_mhz >= clock_mhz; }

@@ -48,6 +48,11 @@ const std::vector<RuleInfo>& rule_registry() {
        "dead cell (sweep would remove it)"},
       {"GATE-005", "gate", Severity::kInfo,
        "fanout histogram / high-fanout net"},
+      // --- optimization pipeline (src/opt, reported via osss-lint --opt) -
+      {"OPT-001", "opt", Severity::kInfo,
+       "optimization pass statistics (area/depth/cell deltas)"},
+      {"OPT-002", "opt", Severity::kWarning,
+       "optimization pass regressed area or logic depth"},
       // --- kernel race detector (sysc/kernel.cpp) ------------------------
       {"RACE-001", "kernel", Severity::kError,
        "same-delta write-write conflict on a signal"},

@@ -1,0 +1,9 @@
+// opt.hpp — umbrella header for the gate-level optimization pipeline.
+
+#pragma once
+
+#include "opt/pass.hpp"     // IWYU pragma: export
+#include "opt/retime.hpp"   // IWYU pragma: export
+#include "opt/rewrite.hpp"  // IWYU pragma: export
+#include "opt/satsweep.hpp" // IWYU pragma: export
+#include "opt/techmap.hpp"  // IWYU pragma: export

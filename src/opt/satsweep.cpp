@@ -1,0 +1,458 @@
+#include "opt/satsweep.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "opt/rebuild.hpp"
+#include "verify/stimgen.hpp"
+
+namespace osss::opt {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t eval_word(CellKind k, std::uint64_t a, std::uint64_t b,
+                        std::uint64_t c) {
+  switch (k) {
+    case CellKind::kBuf: return a;
+    case CellKind::kInv: return ~a;
+    case CellKind::kAnd2: return a & b;
+    case CellKind::kOr2: return a | b;
+    case CellKind::kNand2: return ~(a & b);
+    case CellKind::kNor2: return ~(a | b);
+    case CellKind::kXor2: return a ^ b;
+    case CellKind::kXnor2: return ~(a ^ b);
+    case CellKind::kMux2: return (a & b) | (~a & c);
+    default: return 0;
+  }
+}
+
+bool is_free_leaf(CellKind k) {
+  return k == CellKind::kInput || k == CellKind::kDff ||
+         k == CellKind::kMemQ;
+}
+
+bool is_source_kind(CellKind k) {
+  return k == CellKind::kConst0 || k == CellKind::kConst1 ||
+         k == CellKind::kInput || k == CellKind::kDff;
+}
+
+/// Canonical 64-lane enumeration tiles: variable v < 6 toggles with period
+/// 2^v lanes, so six variables cover all 64 assignments in one word.
+constexpr std::uint64_t kTile[6] = {
+    0xaaaaaaaaaaaaaaaaull, 0xccccccccccccccccull, 0xf0f0f0f0f0f0f0f0ull,
+    0xff00ff00ff00ff00ull, 0xffff0000ffff0000ull, 0xffffffff00000000ull};
+
+/// Union-find whose root is always the member that the rebuild scaffold may
+/// use as class representative: sources before combinational cells, then
+/// ascending (level, id).
+class UnionFind {
+ public:
+  UnionFind(const Netlist& nl, const std::vector<std::uint32_t>& levels)
+      : nl_(nl), levels_(levels), parent_(nl.cells().size()) {
+    for (NetId i = 0; i < parent_.size(); ++i) parent_[i] = i;
+  }
+
+  NetId find(NetId id) const {
+    while (parent_[id] != id) {
+      parent_[id] = parent_[parent_[id]];
+      id = parent_[id];
+    }
+    return id;
+  }
+
+  /// Merge the classes of a and b; returns false when already one class.
+  bool unite(NetId a, NetId b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (better(b, a)) std::swap(a, b);
+    parent_[b] = a;
+    return true;
+  }
+
+  /// Strict "a is a better representative than b" in rebuild's order.
+  bool better(NetId a, NetId b) const {
+    const bool sa = is_source_kind(nl_.cells()[a].kind);
+    const bool sb = is_source_kind(nl_.cells()[b].kind);
+    if (sa != sb) return sa;
+    const std::uint32_t la = sa ? 0 : levels_[a];
+    const std::uint32_t lb = sb ? 0 : levels_[b];
+    if (la != lb) return la < lb;
+    return a < b;
+  }
+
+ private:
+  const Netlist& nl_;
+  const std::vector<std::uint32_t>& levels_;
+  mutable std::vector<NetId> parent_;
+};
+
+class Sweeper {
+ public:
+  Sweeper(const Netlist& nl, const SatSweepOptions& opt, std::uint64_t seed)
+      : nl_(nl),
+        opt_(opt),
+        seed_(seed),
+        levels_(nl.topo_levels()),
+        order_(level_order(nl)),
+        uf_(nl, levels_) {}
+
+  std::size_t sweep() {
+    std::size_t merges = 0;
+    // Iterate: a register or memory-port merge can equalize further cones.
+    for (unsigned iter = 0; iter < 8; ++iter) {
+      std::size_t round = dedup_memq();
+      round += dedup_dffs();
+      round += const_regs(iter);
+      round += merge_comb(iter);
+      merges += round;
+      if (round == 0) break;
+    }
+    return merges;
+  }
+
+  NetId find(NetId id) const { return uf_.find(id); }
+
+ private:
+  const Netlist& nl_;
+  const SatSweepOptions& opt_;
+  std::uint64_t seed_;
+  std::vector<std::uint32_t> levels_;
+  std::vector<NetId> order_;
+  UnionFind uf_;
+  std::vector<std::uint32_t> seen_;  ///< cone_of visit stamps
+  std::uint32_t stamp_ = 0;
+
+  /// Structural dedup of memory read bits: same memory, same data bit and
+  /// class-equal address nets read the same value.
+  std::size_t dedup_memq() {
+    std::unordered_map<std::string, NetId> seen;
+    std::size_t merges = 0;
+    for (const NetId id : order_) {
+      const Cell& c = nl_.cells()[id];
+      if (c.kind != CellKind::kMemQ) continue;
+      std::string key =
+          std::to_string(c.param) + ":" + std::to_string(c.param2);
+      for (const NetId in : c.ins) key += "," + std::to_string(uf_.find(in));
+      const auto [it, inserted] = seen.emplace(std::move(key), id);
+      if (!inserted && uf_.unite(it->second, id)) ++merges;
+    }
+    return merges;
+  }
+
+  /// Register dedup: class-equal D nets + equal init value => equal Q, by
+  /// induction from reset.
+  std::size_t dedup_dffs() {
+    std::unordered_map<std::uint64_t, NetId> seen;
+    std::size_t merges = 0;
+    for (NetId id = 0; id < nl_.cells().size(); ++id) {
+      const Cell& c = nl_.cells()[id];
+      if (c.kind != CellKind::kDff) continue;
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(uf_.find(c.ins.at(0))) << 1) |
+          (c.init ? 1u : 0u);
+      const auto [it, inserted] = seen.emplace(key, id);
+      if (!inserted && uf_.unite(it->second, id)) ++merges;
+    }
+    return merges;
+  }
+
+  /// Sequential constant propagation: a register equals its initial value
+  /// forever when its next-state function yields that value whenever every
+  /// candidate register holds its initial value — induction from reset.
+  /// Candidates shrink to a simulation fixpoint; each survivor is then
+  /// proven exactly by exhaustive enumeration over its cone's free support
+  /// (survivors whose free support is too wide are dropped, never guessed),
+  /// and merges into the constant-net class.
+  std::size_t const_regs(unsigned iter) {
+    std::vector<char> cand(nl_.cells().size(), 0);
+    std::vector<NetId> regs;
+    for (NetId id = 0; id < nl_.cells().size(); ++id) {
+      const Cell& c = nl_.cells()[id];
+      if (c.kind != CellKind::kDff || uf_.find(id) != id || c.ins.empty())
+        continue;
+      cand[id] = 1;
+      regs.push_back(id);
+    }
+    // Cheap filter: 64-lane rounds with the candidates pinned at init; a
+    // candidate whose D deviates is out.  Every pass either removes a
+    // candidate or reaches the fixpoint, so the loop terminates.
+    std::vector<std::uint64_t> val;
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (unsigned r = 0; r < 4; ++r) {
+        simulate_round(val,
+                       verify::StimGen::derive(
+                           seed_, "constreg/" + std::to_string(iter) + "/" +
+                                      std::to_string(r)),
+                       &cand);
+        for (const NetId q : regs) {
+          if (cand[q] == 0) continue;
+          const std::uint64_t want = nl_.cells()[q].init ? ~0ull : 0ull;
+          if (val[nl_.cells()[q].ins[0]] != want) {
+            cand[q] = 0;
+            changed = true;
+          }
+        }
+      }
+    }
+    // Exact step proofs.  Each proof assumes the other survivors are
+    // constant, so re-prove until no survivor drops.
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (const NetId q : regs) {
+        if (cand[q] == 0) continue;
+        const NetId d = nl_.cells()[q].ins[0];
+        const std::uint64_t want = nl_.cells()[q].init ? ~0ull : 0ull;
+        const Cone cone = cone_of(d);
+        bool ok = cone.ok;
+        std::vector<NetId> free_vars;
+        if (ok) {
+          for (const NetId s : cone.support)
+            if (cand[s] == 0) free_vars.push_back(s);
+          ok = free_vars.size() <= opt_.exhaustive_bits;
+        }
+        if (ok) {
+          const std::size_t k = free_vars.size();
+          const std::size_t blocks = k > 6 ? (std::size_t{1} << (k - 6)) : 1;
+          std::unordered_map<NetId, std::uint64_t> leaf;
+          for (std::size_t blk = 0; blk < blocks && ok; ++blk) {
+            leaf.clear();
+            for (const NetId s : cone.support)
+              if (cand[s] != 0) leaf[s] = nl_.cells()[s].init ? ~0ull : 0ull;
+            for (std::size_t v = 0; v < k; ++v)
+              leaf[free_vars[v]] = v < 6 ? kTile[v]
+                                    : ((blk >> (v - 6)) & 1u ? ~0ull : 0ull);
+            if (eval_cone(cone, d, leaf) != want) ok = false;
+          }
+        }
+        if (!ok) {
+          cand[q] = 0;
+          changed = true;
+        }
+      }
+    }
+    std::size_t merges = 0;
+    for (const NetId q : regs)
+      if (cand[q] != 0 && uf_.unite(q, nl_.cells()[q].init ? 1 : 0)) ++merges;
+    return merges;
+  }
+
+  /// Random value of a free leaf's class this round (one stream per class,
+  /// so merged registers agree).  Registers flagged in `pinned` are held at
+  /// their initial value instead (sequential constant candidates).
+  void assign_free(std::vector<std::uint64_t>& val, std::uint64_t round_seed,
+                   const std::vector<char>* pinned = nullptr) {
+    for (NetId id = 0; id < nl_.cells().size(); ++id) {
+      const Cell& c = nl_.cells()[id];
+      if (!is_free_leaf(c.kind)) continue;
+      const NetId rep = uf_.find(id);
+      if (rep == id) {
+        if (pinned != nullptr && (*pinned)[id] != 0) {
+          val[id] = c.init ? ~0ull : 0ull;
+          continue;
+        }
+        std::uint64_t s = round_seed + 0x6a09e667f3bcc909ull *
+                                           (static_cast<std::uint64_t>(id) + 1);
+        val[id] = splitmix64(s);
+      }
+    }
+    for (NetId id = 0; id < nl_.cells().size(); ++id)
+      if (is_free_leaf(nl_.cells()[id].kind)) val[id] = val[uf_.find(id)];
+  }
+
+  /// Simulate one 64-lane round over the whole netlist.
+  void simulate_round(std::vector<std::uint64_t>& val,
+                      std::uint64_t round_seed,
+                      const std::vector<char>* pinned = nullptr) {
+    val.assign(nl_.cells().size(), 0);
+    val[1] = ~0ull;
+    assign_free(val, round_seed, pinned);
+    for (const NetId id : order_) {
+      const Cell& c = nl_.cells()[id];
+      if (c.kind == CellKind::kMemQ) continue;  // free leaf, assigned above
+      val[id] = eval_word(c.kind, val[c.ins[0]],
+                          c.ins.size() > 1 ? val[c.ins[1]] : 0,
+                          c.ins.size() > 2 ? val[c.ins[2]] : 0);
+    }
+  }
+
+  struct Cone {
+    std::vector<NetId> cells;    ///< comb cells, ascending (level, id)
+    std::vector<NetId> support;  ///< free-leaf class representatives
+    bool ok = true;              ///< false when the cone cap was hit
+  };
+
+  Cone cone_of(NetId root) {
+    constexpr std::size_t kConeCap = 4096;
+    Cone cone;
+    if (seen_.size() != nl_.cells().size())
+      seen_.assign(nl_.cells().size(), 0);
+    ++stamp_;
+    std::vector<NetId> stack;
+    const auto visit = [&](NetId id) {
+      if (seen_[id] == stamp_) return;
+      seen_[id] = stamp_;
+      stack.push_back(id);
+    };
+    visit(uf_.find(root));
+    while (!stack.empty()) {
+      const NetId id = stack.back();
+      stack.pop_back();
+      const Cell& c = nl_.cells()[id];
+      if (c.kind == CellKind::kConst0 || c.kind == CellKind::kConst1) continue;
+      if (is_free_leaf(c.kind)) {
+        cone.support.push_back(id);
+        continue;
+      }
+      cone.cells.push_back(id);
+      if (cone.cells.size() > kConeCap) {
+        cone.ok = false;
+        return cone;
+      }
+      for (const NetId in : c.ins) visit(uf_.find(in));
+    }
+    std::sort(cone.cells.begin(), cone.cells.end(), [&](NetId a, NetId b) {
+      if (levels_[a] != levels_[b]) return levels_[a] < levels_[b];
+      return a < b;
+    });
+    std::sort(cone.support.begin(), cone.support.end());
+    return cone;
+  }
+
+  /// Evaluate one cone under per-support-class lane words.  `leaf` maps a
+  /// support rep to its word; constants are implicit.
+  std::uint64_t eval_cone(
+      const Cone& cone, NetId root,
+      const std::unordered_map<NetId, std::uint64_t>& leaf) const {
+    std::unordered_map<NetId, std::uint64_t> val(leaf);
+    val[0] = 0;
+    val[1] = ~0ull;
+    const auto get = [&](NetId id) { return val.at(uf_.find(id)); };
+    for (const NetId id : cone.cells) {
+      const Cell& c = nl_.cells()[id];
+      val[id] = eval_word(c.kind, get(c.ins[0]),
+                          c.ins.size() > 1 ? get(c.ins[1]) : 0,
+                          c.ins.size() > 2 ? get(c.ins[2]) : 0);
+    }
+    return val.at(uf_.find(root));
+  }
+
+  /// Resolve a signature-collision pair: exhaustive proof when the union
+  /// support is small enough, random resolution otherwise.
+  bool resolve(NetId a, NetId b, unsigned iter) {
+    const Cone ca = cone_of(a);
+    const Cone cb = cone_of(b);
+    if (!ca.ok || !cb.ok) return false;
+    std::vector<NetId> support = ca.support;
+    for (const NetId s : cb.support)
+      if (std::find(support.begin(), support.end(), s) == support.end())
+        support.push_back(s);
+    std::sort(support.begin(), support.end());
+
+    const std::size_t k = support.size();
+    std::unordered_map<NetId, std::uint64_t> leaf;
+    if (k <= opt_.exhaustive_bits) {
+      // Enumerate all 2^k assignments: support vars 0..5 take the canonical
+      // 64-lane tiles, vars >= 6 sweep over block-index bits.
+      const std::size_t blocks = k > 6 ? (std::size_t{1} << (k - 6)) : 1;
+      for (std::size_t blk = 0; blk < blocks; ++blk) {
+        leaf.clear();
+        for (std::size_t v = 0; v < k; ++v)
+          leaf[support[v]] = v < 6 ? kTile[v]
+                                   : ((blk >> (v - 6)) & 1u ? ~0ull : 0ull);
+        if (eval_cone(ca, a, leaf) != eval_cone(cb, b, leaf)) return false;
+      }
+      return true;  // proven
+    }
+    // Random resolution over the union support only.
+    for (unsigned r = 0; r < opt_.resolution_rounds; ++r) {
+      std::uint64_t s = verify::StimGen::derive(
+          seed_, "resolve/" + std::to_string(iter) + "/" + std::to_string(r) +
+                     "/" + std::to_string(a) + "/" + std::to_string(b));
+      leaf.clear();
+      for (const NetId v : support) leaf[v] = splitmix64(s);
+      if (eval_cone(ca, a, leaf) != eval_cone(cb, b, leaf)) return false;
+    }
+    return true;  // accepted (backstopped by the pipeline self-check)
+  }
+
+  /// One signature/merge sweep over combinational nets.
+  std::size_t merge_comb(unsigned iter) {
+    const unsigned rounds = std::max(1u, opt_.rounds);
+    std::vector<std::vector<std::uint64_t>> sig(
+        nl_.cells().size(), std::vector<std::uint64_t>());
+    std::vector<std::uint64_t> val;
+    for (unsigned r = 0; r < rounds; ++r) {
+      simulate_round(val, verify::StimGen::derive(
+                              seed_, "round/" + std::to_string(iter) + "/" +
+                                         std::to_string(r)));
+      for (NetId id = 0; id < nl_.cells().size(); ++id)
+        if (uf_.find(id) == id) sig[id].push_back(val[id]);
+    }
+
+    // Group class representatives by full signature.
+    std::unordered_map<std::uint64_t, std::vector<NetId>> groups;
+    for (NetId id = 0; id < nl_.cells().size(); ++id) {
+      if (uf_.find(id) != id) continue;
+      const CellKind kind = nl_.cells()[id].kind;
+      const bool comb = levels_[id] != gate::kNoLevel;
+      const bool constant =
+          kind == CellKind::kConst0 || kind == CellKind::kConst1;
+      if (!comb && !constant && !is_free_leaf(kind)) continue;
+      std::uint64_t h = 0xcbf29ce484222325ull;
+      if (constant) {
+        for (unsigned r = 0; r < rounds; ++r)
+          h = (h ^ (kind == CellKind::kConst1 ? ~0ull : 0ull)) *
+              0x100000001b3ull;
+      } else {
+        for (const std::uint64_t w : sig[id]) h = (h ^ w) * 0x100000001b3ull;
+      }
+      groups[h].push_back(id);
+    }
+
+    std::size_t merges = 0;
+    for (auto& [h, members] : groups) {
+      if (members.size() < 2) continue;
+      std::sort(members.begin(), members.end(),
+                [&](NetId x, NetId y) { return uf_.better(x, y); });
+      const NetId rep = members.front();
+      for (std::size_t i = 1; i < members.size(); ++i) {
+        const NetId cand = members[i];
+        if (uf_.find(cand) == uf_.find(rep)) continue;
+        // Only merge pairs with at least one combinational side; two free
+        // leaves with colliding signatures are distinct variables (the
+        // exhaustive check below would reject them anyway).
+        if (is_free_leaf(nl_.cells()[rep].kind) &&
+            is_free_leaf(nl_.cells()[cand].kind))
+          continue;
+        if (resolve(rep, cand, iter) && uf_.unite(rep, cand)) ++merges;
+      }
+    }
+    return merges;
+  }
+};
+
+}  // namespace
+
+gate::Netlist SatSweepPass::run(const gate::Netlist& in,
+                                PassStats& stats) const {
+  const std::uint64_t seed =
+      opt_.seed != 0 ? opt_.seed
+                     : verify::StimGen::derive(0x5a77, "satsweep/" + in.name());
+  Sweeper sweeper(in, opt_, seed);
+  stats.changes += sweeper.sweep();
+  RebuildHooks hooks;
+  hooks.replace = [&](NetId id) { return sweeper.find(id); };
+  return rebuild(in, hooks);
+}
+
+}  // namespace osss::opt

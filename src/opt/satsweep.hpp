@@ -1,0 +1,45 @@
+// satsweep.hpp — simulation-guided sweeping of functionally-equivalent nets.
+//
+// Classic SAT sweeping with the repo's 64-lane bit-parallel simulation in
+// the solver seat.  Cut points (primary inputs, DFF outputs, memory read
+// bits) are free variables; combinational nets are simulated under random
+// 64-lane patterns for several rounds, and nets whose signatures collide
+// become merge candidates.  Every candidate pair is then *resolved*:
+//
+//   * when the union structural support of the two cones is at most
+//     `exhaustive_bits` free variables, all 2^k assignments are enumerated
+//     in 64-lane blocks — the merge is proven, not sampled;
+//   * larger cones get `resolution_rounds` additional independent 64-lane
+//     random rounds; survivors are accepted (random resolution — the
+//     pipeline's differential self-check backstops this, like the
+//     equivalence checker backstops Hardcaml-style rewriting).
+//
+// Registers dedup too: DFFs whose resolved D-nets merge and whose init
+// values agree are unified, and the sweep iterates until no new comb or
+// register merge appears (a register merge can equalize more cones).
+
+#pragma once
+
+#include "opt/pass.hpp"
+
+namespace osss::opt {
+
+struct SatSweepOptions {
+  unsigned rounds = 8;             ///< 64-lane signature rounds (512 patterns)
+  unsigned exhaustive_bits = 14;   ///< exhaustive proof up to 2^k assignments
+  unsigned resolution_rounds = 96; ///< random resolution rounds beyond that
+  std::uint64_t seed = 0;          ///< 0 = derive from the netlist name
+};
+
+class SatSweepPass final : public Pass {
+ public:
+  explicit SatSweepPass(SatSweepOptions opt = {}) : opt_(opt) {}
+
+  const char* name() const override { return "satsweep"; }
+  gate::Netlist run(const gate::Netlist& in, PassStats& stats) const override;
+
+ private:
+  SatSweepOptions opt_;
+};
+
+}  // namespace osss::opt

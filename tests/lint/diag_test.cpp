@@ -16,16 +16,19 @@ TEST(DiagRegistry, EveryRuleHasUniqueIdAndKnownPack) {
   for (const RuleInfo& r : rule_registry()) {
     EXPECT_TRUE(ids.insert(r.id).second) << "duplicate rule id " << r.id;
     const std::string pack = r.pack;
-    EXPECT_TRUE(pack == "rtl" || pack == "gate" || pack == "kernel") << r.id;
+    EXPECT_TRUE(pack == "rtl" || pack == "gate" || pack == "kernel" ||
+                pack == "opt")
+        << r.id;
     EXPECT_NE(std::string(r.title), "");
   }
   // The full rule set this PR ships; additions only append.
   for (const char* id :
        {"RTL-001", "RTL-002", "RTL-003", "RTL-004", "RTL-005", "RTL-006",
         "RTL-007", "RTL-008", "RTL-009", "GATE-001", "GATE-002", "GATE-003",
-        "GATE-004", "GATE-005", "RACE-001", "RACE-002", "RACE-003"})
+        "GATE-004", "GATE-005", "RACE-001", "RACE-002", "RACE-003", "OPT-001",
+        "OPT-002"})
     EXPECT_NE(find_rule(id), nullptr) << id;
-  EXPECT_EQ(rule_registry().size(), 17u);
+  EXPECT_EQ(rule_registry().size(), 19u);
   EXPECT_EQ(find_rule("RTL-999"), nullptr);
 }
 

@@ -1,0 +1,159 @@
+// Mutation-catch: fault injection on *optimized* netlists must still be
+// caught by the verification stack — optimization removes redundancy, so a
+// single gate-kind flip on a live cell of the optimized network should be
+// MORE observable, not masked.  Each caught fault is delta-debug shrunk and
+// must reduce to a replay record of at most 10 cycles that round-trips
+// through save_replay/from_text and reproduces the mismatch.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "expocu/flows.hpp"
+#include "gate/lower.hpp"
+#include "opt/opt.hpp"
+#include "verify/cosim.hpp"
+#include "verify/random_module.hpp"
+#include "verify/shrink.hpp"
+#include "verify/stimgen.hpp"
+
+namespace osss::opt {
+namespace {
+
+/// The complementary kind of a 2-input gate (or kBuf for an inverter) —
+/// the classic stuck-wrong-polarity mutation.  Empty for cells we do not
+/// mutate (sources, muxes, state).
+std::optional<gate::CellKind> flip_kind(gate::CellKind k) {
+  using gate::CellKind;
+  switch (k) {
+    case CellKind::kAnd2: return CellKind::kNand2;
+    case CellKind::kNand2: return CellKind::kAnd2;
+    case CellKind::kOr2: return CellKind::kNor2;
+    case CellKind::kNor2: return CellKind::kOr2;
+    case CellKind::kXor2: return CellKind::kXnor2;
+    case CellKind::kXnor2: return CellKind::kXor2;
+    case CellKind::kInv: return CellKind::kBuf;
+    default: return std::nullopt;
+  }
+}
+
+struct CatchTally {
+  unsigned injected = 0;
+  unsigned caught = 0;
+};
+
+/// Inject up to `budget` kind-flips into `optimized` (one at a time, spread
+/// across the netlist), scoreboard each mutant against the unmutated
+/// netlist, and shrink + replay every caught fault.
+CatchTally run_mutations(const gate::Netlist& optimized, std::uint64_t seed,
+                         unsigned budget) {
+  std::vector<gate::NetId> targets;
+  for (gate::NetId id = 0; id < optimized.cells().size(); ++id)
+    if (flip_kind(optimized.cells()[id].kind))
+      targets.push_back(id);
+  const std::size_t stride = std::max<std::size_t>(1, targets.size() / budget);
+
+  CatchTally tally;
+  for (std::size_t i = 0; i < targets.size() && tally.injected < budget;
+       i += stride) {
+    const gate::NetId victim = targets[i];
+    gate::Netlist mutant = optimized;
+    mutant.mutate_cell(victim, *flip_kind(optimized.cells()[victim].kind));
+    ++tally.injected;
+
+    verify::CoSim cs;
+    cs.add(std::make_unique<verify::GateModel>(optimized,
+                                               gate::SimMode::kEvent, "good"));
+    cs.add(std::make_unique<verify::GateModel>(std::move(mutant),
+                                               gate::SimMode::kEvent, "bad"));
+    cs.declare_io(optimized);
+    verify::StimGen gen(verify::StimGen::derive(seed, std::to_string(victim)));
+    cs.declare_stimulus(gen);
+    const verify::RunResult r = cs.run(gen, 192);
+    if (r.ok) continue;  // fault unobservable within budget: not a miss
+    ++tally.caught;
+
+    verify::ShrinkResult shrunk = verify::shrink(cs, r.failing_trace);
+    EXPECT_FALSE(shrunk.final_run.ok);
+    EXPECT_LE(shrunk.trace.length(), 10u)
+        << "shrinker left " << shrunk.trace.length() << " cycles (from "
+        << shrunk.original_cycles << ") for cell " << victim << " of "
+        << optimized.name() << " (seed " << gen.seed() << ")";
+
+    verify::ReplayRecord rec;
+    rec.design = optimized.name();
+    rec.seed = gen.seed();
+    rec.note = shrunk.final_run.mismatch.describe(cs.inputs(), false);
+    rec.trace = shrunk.trace;
+    const std::string path = verify::save_replay(rec, ::testing::TempDir());
+    std::ifstream back(path);
+    EXPECT_TRUE(back.good()) << path;
+    if (!back.good()) continue;
+    std::string text((std::istreambuf_iterator<char>(back)),
+                     std::istreambuf_iterator<char>());
+    const verify::ReplayRecord parsed = verify::ReplayRecord::from_text(text);
+    EXPECT_EQ(parsed.design, rec.design);
+    EXPECT_EQ(parsed.trace.length(), shrunk.trace.length());
+    const verify::RunResult again = verify::replay(cs, parsed);
+    EXPECT_FALSE(again.ok) << "replay did not reproduce the mismatch";
+  }
+  return tally;
+}
+
+gate::Netlist optimize_quiet(const gate::Netlist& nl) {
+  PipelineOptions po;
+  po.self_check = 0;  // equivalence of the pipeline is covered elsewhere
+  return optimize(nl, po);
+}
+
+TEST(OptMutation, RandomModuleFaultsAreCaughtAndShrinkSmall) {
+  for (unsigned index = 0; index < verify::env_iters(3); ++index) {
+    // A random module can optimize down to nothing (every output constant
+    // or a plain register slice) — walk the derived seed sequence until a
+    // netlist with real surviving logic comes up.
+    std::uint64_t seed = 0;
+    std::optional<gate::Netlist> optimized;
+    for (unsigned attempt = 0; attempt < 16; ++attempt) {
+      seed = verify::StimGen::derive(
+          verify::env_seed(9091), "opt_mutation/" + std::to_string(index) +
+                                      "/" + std::to_string(attempt));
+      std::mt19937_64 rng(seed);
+      verify::RandomModuleOptions shape;
+      shape.ops = 40;
+      optimized = optimize_quiet(
+          gate::lower_to_gates(verify::random_module(rng, shape)));
+      if (optimized->gate_count() >= 16) break;
+    }
+    ASSERT_GE(optimized->gate_count(), 16u)
+        << "no non-degenerate random module in 16 attempts (index " << index
+        << ")";
+    const CatchTally tally = run_mutations(*optimized, seed, 8);
+    EXPECT_GT(tally.injected, 0u);
+    EXPECT_GT(tally.caught, 0u)
+        << "no observable mutation on index " << index << " (seed " << seed
+        << ")";
+  }
+}
+
+TEST(OptMutation, ExpoCuComponentFaultsAreCaughtAndShrinkSmall) {
+  const std::uint64_t seed = verify::env_seed(9092);
+  unsigned total_caught = 0;
+  for (const auto& c : expocu::build_osss_flow()) {
+    if (c.name != "reset_ctrl" && c.name != "threshold_calc") continue;
+    const gate::Netlist optimized =
+        optimize_quiet(gate::lower_to_gates(c.module));
+    const CatchTally tally = run_mutations(
+        optimized, verify::StimGen::derive(seed, "opt_mutation/" + c.name), 6);
+    EXPECT_GT(tally.injected, 0u) << c.name;
+    total_caught += tally.caught;
+  }
+  EXPECT_GT(total_caught, 0u);
+}
+
+}  // namespace
+}  // namespace osss::opt

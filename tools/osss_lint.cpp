@@ -7,7 +7,7 @@
 // of the paper's OSSS design flow (its Fig. 6).
 //
 // Usage:
-//   osss-lint [--flow=osss|vhdl|both] [--level=rtl|gate|both]
+//   osss-lint [--flow=osss|vhdl|both] [--level=rtl|gate|both] [--opt]
 //             [--fuzz=N] [--seed=S] [--format=text|json] [--out=FILE]
 //             [--suppress=RULE[,RULE...]] [--fail-on=error|warning|never]
 //             [--fanout-warn=N] [--list-rules]
@@ -27,6 +27,7 @@
 #include "expocu/flows.hpp"
 #include "gate/lower.hpp"
 #include "lint/lint.hpp"
+#include "opt/opt.hpp"
 #include "verify/random_module.hpp"
 
 namespace {
@@ -47,6 +48,8 @@ struct Cli {
   bool lint_vhdl = true;
   bool lint_rtl = true;
   bool lint_gate = true;
+  bool lint_opt = false;  ///< --opt: run the optimization pipeline, report
+                          ///< pass stats as OPT-001/OPT-002 diagnostics
   unsigned fuzz = 0;
   std::uint64_t seed = 1;
   std::string format = "text";
@@ -65,6 +68,8 @@ bool parse_args(int argc, char** argv, Cli& cli) {
     };
     if (a == "--list-rules") {
       cli.list_rules = true;
+    } else if (a == "--opt") {
+      cli.lint_opt = true;
     } else if (auto v = value("--flow=")) {
       cli.lint_osss = *v == "osss" || *v == "both";
       cli.lint_vhdl = *v == "vhdl" || *v == "both";
@@ -104,16 +109,56 @@ bool parse_args(int argc, char** argv, Cli& cli) {
   return true;
 }
 
+/// Run the optimization pipeline and report its per-pass statistics as
+/// diagnostics: OPT-001 (info) per pass, OPT-002 (warning) when a pass
+/// regressed area or logic depth.
+Report lint_opt_pipeline(const osss::gate::Netlist& nl, const Options& opt) {
+  Report report;
+  std::vector<osss::opt::PassStats> stats;
+  osss::opt::optimize(nl, {}, &stats);
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    const auto& s = stats[i];
+    if (!opt.suppressed("OPT-001")) {
+      osss::lint::Diagnostic d;
+      d.rule = "OPT-001";
+      d.severity = Severity::kInfo;
+      d.source = nl.name();
+      d.object = s.pass;
+      d.index = static_cast<std::int64_t>(i);
+      d.message = "optimization pass statistics";
+      d.note = s.format();
+      report.add(std::move(d));
+    }
+    const bool regressed =
+        s.area_after > s.area_before || s.depth_after > s.depth_before;
+    if (regressed && !opt.suppressed("OPT-002")) {
+      osss::lint::Diagnostic d;
+      d.rule = "OPT-002";
+      d.severity = Severity::kWarning;
+      d.source = nl.name();
+      d.object = s.pass;
+      d.index = static_cast<std::int64_t>(i);
+      d.message = "optimization pass regressed area or logic depth";
+      d.note = s.format();
+      report.add(std::move(d));
+    }
+  }
+  return report;
+}
+
 void lint_one(const std::string& name, const std::string& flow,
               const osss::rtl::Module& m, const Cli& cli,
               std::vector<Unit>& units) {
   if (cli.lint_rtl)
     units.push_back(
         {name, flow, "rtl", osss::lint::lint_module(m, cli.opt)});
-  if (cli.lint_gate) {
+  if (cli.lint_gate || cli.lint_opt) {
     const auto nl = osss::gate::lower_to_gates(m);
-    units.push_back(
-        {name, flow, "gate", osss::lint::lint_netlist(nl, cli.opt)});
+    if (cli.lint_gate)
+      units.push_back(
+          {name, flow, "gate", osss::lint::lint_netlist(nl, cli.opt)});
+    if (cli.lint_opt)
+      units.push_back({name, flow, "opt", lint_opt_pipeline(nl, cli.opt)});
   }
 }
 
@@ -157,7 +202,7 @@ int main(int argc, char** argv) {
   Cli cli;
   if (!parse_args(argc, argv, cli)) {
     std::cerr << "usage: osss-lint [--flow=osss|vhdl|both] "
-                 "[--level=rtl|gate|both] [--fuzz=N] [--seed=S]\n"
+                 "[--level=rtl|gate|both] [--opt] [--fuzz=N] [--seed=S]\n"
                  "                 [--format=text|json] [--out=FILE] "
                  "[--suppress=RULE,...]\n"
                  "                 [--fail-on=error|warning|never] "
