@@ -31,6 +31,7 @@
 #include "gate/lower.hpp"
 #include "gate/sim.hpp"
 #include "hls/synth.hpp"
+#include "jit/jit.hpp"
 #include "par/batch.hpp"
 #include "par/pool.hpp"
 #include "rtl/sim.hpp"
@@ -289,6 +290,63 @@ void BM_GateBitParallelSim(benchmark::State& state) {
   report_engine_stats(state, hist.stats(), thresh.stats());
 }
 
+void gate_native_bench(benchmark::State& state, const unsigned kLanes) {
+  // One simulated cycle advances kLanes independent frames through the
+  // generated-code engine (lane l = frame `frame + l`); the DFF and memory
+  // commits run inside the generated step().  The jit counters record what
+  // the setup cost was: 2 compiles on a cold cache, cache hits when an
+  // identical netlist was compiled earlier in the process.
+  const jit::CacheStats jit_before = jit::cache_stats();
+  gate::Simulator hist(gate::lower_to_gates(build_histogram_rtl()),
+                       gate::SimMode::kNative, kLanes);
+  gate::Simulator thresh(
+      gate::lower_to_gates(hls::synthesize(build_threshold_osss())),
+      gate::SimMode::kNative, kLanes);
+  const jit::CacheStats jit_after = jit::cache_stats();
+  // One value per lane for the 8-bit pixel port (no bit transpose); the
+  // hist->thresh chain hands the lane words across unmodified.
+  std::vector<std::uint64_t> pixel_lanes(kLanes);
+  std::uint64_t frame = 0;
+  for (auto _ : state) {
+    for (unsigned i = 0; i < kCyclesPerFrame; ++i) {
+      const bool valid = i < kPixelsPerFrame;
+      for (unsigned lane = 0; lane < kLanes; ++lane)
+        pixel_lanes[lane] = (i * 7 + (frame + lane) * 13) & 0xff;
+      hist.set_input_values("pixel", pixel_lanes);
+      hist.set_input("pixel_valid", valid ? 1 : 0);
+      hist.set_input("vsync", (valid && i == 0) ? 1 : 0);
+      hist.step();
+      thresh.set_input_lanes("bin_valid", hist.output_words("bin_valid"));
+      thresh.set_input_lanes("bin_index", hist.output_words("bin_index"));
+      thresh.set_input_lanes("bin_count", hist.output_words("bin_count"));
+      thresh.set_input_lanes("frame_done", hist.output_words("frame_done"));
+      thresh.step();
+    }
+    frame += kLanes;
+    benchmark::DoNotOptimize(thresh.output("mean"));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(frame) * kCyclesPerFrame);
+  state.counters["level"] = 2;  // gate
+  state.counters["lanes"] = static_cast<double>(kLanes);
+  report_engine_stats(state, hist.stats(), thresh.stats());
+  // 1 = the dlopen'd specialized code ran; 0 = interpreted fallback.
+  state.counters["native_code"] =
+      (hist.native().native() && thresh.native().native()) ? 1 : 0;
+  state.counters["jit_compiles"] =
+      static_cast<double>(jit_after.compiles - jit_before.compiles);
+  state.counters["jit_cache_hits"] =
+      static_cast<double>(jit_after.hits - jit_before.hits);
+}
+
+void BM_GateNativeSim(benchmark::State& state) {
+  gate_native_bench(state, gate::Simulator::kLanes);
+}
+
+void BM_GateNativeLanesSim(benchmark::State& state) {
+  gate_native_bench(state, 256);
+}
+
 // --- Thread scaling (src/par batch API) ------------------------------------
 //
 // The same histogram netlist / module, but the stimulus is pre-generated
@@ -386,6 +444,8 @@ BENCHMARK(BM_RtlNativeLanesSim)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GateEventSim)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GateLevelizedSim)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GateBitParallelSim)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GateNativeSim)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GateNativeLanesSim)->Unit(benchmark::kMillisecond);
 // UseRealTime: vector-cycles per WALL second — the honest scaling metric
 // (the default CPU-time rate only counts the calling thread).
 BENCHMARK(BM_GateBitParallelShards)

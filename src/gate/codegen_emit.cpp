@@ -1,0 +1,488 @@
+// codegen_emit.cpp — lower a levelized gate Netlist into specialized C++.
+//
+// The generated translation unit reuses the shared jit preludes (operand
+// loaders, op kernels) plus a small store-only driver set of its own:
+// unlike the interpreter, the generated eval keeps no per-cell change
+// tracking.  Levels form a topological schedule, so `osss_gate_eval`
+// scans the per-level dirty flags once and then runs one straight-line
+// sweep from the first dirty level to the end — every downstream value
+// is recomputed exactly (change propagation is implicit in program
+// order), and a quiescent settle still costs only the flag scan.
+//
+// Memory read ports are grouped — one block per distinct (mem, address
+// nets) tuple instead of one per read-data bit — and lowered to one-hot
+// row masks over lane words when the addressable row count is small
+// against the lane count, so a gather costs O(rows * width) word ops for
+// all lanes at once instead of O(lanes * width) bit probes.  Deep
+// memories keep a per-lane sparse gather (touching every row would lose
+// when rows >> lanes).  The write-port commit in `osss_gate_step` makes
+// the same choice; step ends with an inline settle call so a clock cycle
+// is one native call.
+//
+// Layout contract (must match gate::NativeEngine exactly): lane word w of
+// net n lives at V[n*LW + w]; lane word w of data bit b of memory entry a
+// lives at M[mi][(a*width + b)*LW + w]; all per-step mutable state lives in
+// the engine-owned scratch S so a cached object stays stateless.
+//
+// Masking invariant: every arena and memory word only ever holds bits of
+// valid lanes (the engine masks on input, the drivers mask on inversion),
+// so one-hot row masks built from complemented address words may carry
+// garbage in dead-lane bits — ANDing with a memory or enable word always
+// confines the result.
+
+#include <cstdint>
+#include <cstdio>
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gate/codegen.hpp"
+
+namespace osss::gate {
+
+namespace {
+
+struct Emitter {
+  const Netlist& nl;
+  const unsigned lanes;
+  const unsigned lw;
+  const std::uint64_t tm;
+  std::ostringstream os;
+
+  std::vector<std::uint32_t> level_of;
+  std::uint32_t num_levels = 0;
+  std::vector<std::vector<NetId>> by_level;
+  /// Distinct fanout levels per net (dirty marks), Simulator semantics.
+  std::vector<std::vector<std::uint32_t>> net_marks;
+  /// Distinct levels of each memory's kMemQ cells (write wake-up marks).
+  std::vector<std::vector<std::uint32_t>> memq_marks;
+
+  Emitter(const Netlist& n, unsigned lanes_arg)
+      : nl(n),
+        lanes(lanes_arg),
+        lw(lanes_arg == 1 ? 1 : lanes_arg / 64),
+        tm(lanes_arg == 1 ? std::uint64_t{1} : ~std::uint64_t{0}) {
+    const std::size_t ncells = nl.cells().size();
+    level_of = nl.topo_levels();
+    for (const std::uint32_t l : level_of)
+      if (l != kNoLevel) num_levels = std::max(num_levels, l + 1);
+    by_level.resize(num_levels);
+    for (NetId id = 0; id < ncells; ++id)
+      if (level_of[id] != kNoLevel) by_level[level_of[id]].push_back(id);
+    net_marks.resize(ncells);
+    memq_marks.resize(nl.memories().size());
+    for (NetId id = 0; id < ncells; ++id) {
+      const Cell& c = nl.cells()[id];
+      if (c.kind == CellKind::kMemQ) memq_marks[c.param].push_back(level_of[id]);
+      if (c.kind == CellKind::kDff) continue;
+      for (const NetId in : c.ins) net_marks[in].push_back(level_of[id]);
+    }
+    for (auto& m : net_marks) {
+      std::sort(m.begin(), m.end());
+      m.erase(std::unique(m.begin(), m.end()), m.end());
+    }
+    for (auto& m : memq_marks) {
+      std::sort(m.begin(), m.end());
+      m.erase(std::unique(m.begin(), m.end()), m.end());
+    }
+  }
+
+  static std::string hex(std::uint64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%llxull",
+                  static_cast<unsigned long long>(v));
+    return buf;
+  }
+  static std::string num(std::uint64_t v) { return std::to_string(v); }
+
+  std::string LW() const { return num(lw); }
+  std::string TM() const { return hex(tm); }
+
+  /// Rows a port can actually address: the memory depth capped by the
+  /// reach of its address bits.
+  static std::uint64_t row_bound(std::uint64_t depth, std::size_t addr_bits) {
+    if (addr_bits < 63)
+      depth = std::min(depth, std::uint64_t{1} << addr_bits);
+    return depth;
+  }
+  /// One-hot row masks win while the row sweep is small against the lane
+  /// count (a scalar engine always gathers: one lane never beats a sweep).
+  bool use_row_masks(std::uint64_t bound) const {
+    return lanes > 1 && bound <= std::uint64_t{4} * lanes;
+  }
+
+  /// Operand for an input net: constants 0/1 inline as immediates, any
+  /// other net reads its arena span.
+  std::string opnd(NetId in) const {
+    if (in == nl.const0()) return "K{0x0ull}";
+    if (in == nl.const1()) return "K{" + TM() + "}";
+    return "P{V + " + num(std::uint64_t{in} * lw) + "}";
+  }
+  std::string dst(NetId id) const {
+    return "V + " + num(std::uint64_t{id} * lw);
+  }
+
+  /// Dirty marks for a net's fanout levels; empty when none.
+  std::string marks(NetId id) const {
+    std::string m;
+    for (const std::uint32_t l : net_marks[id]) m += " D[" + num(l) + "] = 1;";
+    return m;
+  }
+
+  /// The store-only driver call for one logic cell ("" for kMemQ, which
+  /// is emitted as a grouped read-port block).
+  std::string expr(NetId id, const Cell& c) const {
+    const auto bin = [&](const char* op) {
+      return "g_bin<" + std::string(op) + ">(" + dst(id) + ", " +
+             opnd(c.ins[0]) + ", " + opnd(c.ins[1]) + ")";
+    };
+    const auto nbin = [&](const char* op) {
+      return "g_nbin<" + std::string(op) + ">(" + dst(id) + ", " +
+             opnd(c.ins[0]) + ", " + opnd(c.ins[1]) + ", " + TM() + ")";
+    };
+    switch (c.kind) {
+      case CellKind::kBuf:
+        return "g_bin<OpOr>(" + dst(id) + ", " + opnd(c.ins[0]) +
+               ", K{0x0ull})";
+      case CellKind::kInv:
+        return "g_not(" + dst(id) + ", " + opnd(c.ins[0]) + ", " + TM() + ")";
+      case CellKind::kAnd2: return bin("OpAnd");
+      case CellKind::kOr2: return bin("OpOr");
+      case CellKind::kXor2: return bin("OpXor");
+      case CellKind::kNand2: return nbin("OpAnd");
+      case CellKind::kNor2: return nbin("OpOr");
+      case CellKind::kXnor2: return nbin("OpXor");
+      case CellKind::kMux2:
+        return "g_mux(" + dst(id) + ", " + opnd(c.ins[0]) + ", " +
+               opnd(c.ins[1]) + ", " + opnd(c.ins[2]) + ")";
+      default: return "";
+    }
+  }
+
+  /// Emit the one-hot address-match expression for row `a` over hoisted
+  /// address words a0..a{n-1} into variable `var` seeded with `seed`.
+  void emit_row_mask(const char* indent, const std::string& var,
+                     const std::string& seed, std::uint64_t a,
+                     std::size_t addr_bits) {
+    os << indent << "u64 " << var << " = " << seed << ";\n";
+    for (std::size_t i = 0; i < addr_bits; ++i)
+      os << indent << var << " &= "
+         << ((a >> i) & 1 ? "a" + num(i) : "~a" + num(i)) << ";\n";
+  }
+
+  /// One grouped read port: every kMemQ cell sharing (mem, address nets).
+  void emit_memq_group(const std::vector<NetId>& cells) {
+    const Cell& c0 = nl.cells()[cells.front()];
+    const MemMacro& m = nl.memories()[c0.param];
+    const std::size_t n = c0.ins.size();
+    const std::uint64_t bound = row_bound(m.depth, n);
+    os << "    { // mem " << c0.param << " read port: depth " << m.depth
+       << ", " << cells.size() << " tap(s)\n";
+    os << "      const u64* mp = M[" << c0.param << "];\n";
+    if (use_row_masks(bound)) {
+      // Row-mask gather: one sweep of the addressable rows per lane word
+      // serves every tap; dead-lane garbage in the masks is confined by
+      // the memory words (see masking invariant above).
+      os << "      for (int w = 0; w < " << lw << "; ++w) {\n";
+      for (std::size_t i = 0; i < n; ++i)
+        os << "        const u64 a" << i << " = V["
+           << num(std::uint64_t{c0.ins[i]} * lw) << " + w];\n";
+      for (std::size_t t = 0; t < cells.size(); ++t)
+        os << "        u64 q" << t << " = 0;\n";
+      for (std::uint64_t a = 0; a < bound; ++a) {
+        os << "        {\n";
+        emit_row_mask("          ", "m", "~0ull", a, n);
+        os << "          if (m) {\n";
+        os << "            const u64* r = mp + "
+           << num(a * m.width * lw) << "u + w;\n";
+        for (std::size_t t = 0; t < cells.size(); ++t)
+          os << "            q" << t << " |= m & r["
+             << num(std::uint64_t{nl.cells()[cells[t]].param2} * lw)
+             << "];\n";
+        os << "          }\n";
+        os << "        }\n";
+      }
+      for (std::size_t t = 0; t < cells.size(); ++t)
+        os << "        V[" << num(std::uint64_t{cells[t]} * lw)
+           << " + w] = q" << t << ";\n";
+      os << "      }\n";
+    } else {
+      // Sparse per-lane gather: decode each lane's address once, then
+      // probe one row for every tap.
+      os << "      for (int l = 0; l < " << lanes << "; ++l) {\n";
+      os << "        u64 a = 0;\n";
+      for (std::size_t i = n; i-- > 0;)
+        os << "        a = (a << 1) | ((V["
+           << num(std::uint64_t{c0.ins[i]} * lw)
+           << " + (l >> 6)] >> (l & 63)) & 1u);\n";
+      os << "        const int w = l >> 6;\n";
+      os << "        const u64 bm = 1ull << (l & 63);\n";
+      os << "        if (a < " << m.depth << "u) {\n";
+      os << "          const u64* r = mp + a * "
+         << num(std::uint64_t{m.width} * lw) << "u + w;\n";
+      for (std::size_t t = 0; t < cells.size(); ++t) {
+        const std::string off = num(std::uint64_t{cells[t]} * lw);
+        os << "          V[" << off << " + w] = (V[" << off
+           << " + w] & ~bm) | (((r["
+           << num(std::uint64_t{nl.cells()[cells[t]].param2} * lw)
+           << "] >> (l & 63)) & 1u) << (l & 63));\n";
+      }
+      os << "        } else {\n";
+      for (std::size_t t = 0; t < cells.size(); ++t)
+        os << "          V[" << num(std::uint64_t{cells[t]} * lw)
+           << " + w] &= ~bm;\n";
+      os << "        }\n";
+      os << "      }\n";
+    }
+    os << "    }\n";
+  }
+
+  void emit_eval() {
+    os << "extern \"C\" void osss_gate_eval(u64* V, u64* const* M, "
+          "unsigned char* D) {\n";
+    os << "  (void)V; (void)M; (void)D;\n";
+    if (num_levels == 0) {
+      os << "}\n\n";
+      return;
+    }
+    // One in-order sweep from the first dirty level settles everything
+    // downstream of any marked change; a clean schedule costs only the
+    // flag scan.
+    os << "  int first = " << num_levels << ";\n";
+    os << "  for (int i = 0; i < " << num_levels << "; ++i)\n";
+    os << "    if (D[i]) { first = i; break; }\n";
+    os << "  if (first >= " << num_levels << ") return;\n";
+    os << "  for (int i = first; i < " << num_levels << "; ++i) D[i] = 0;\n";
+    for (std::uint32_t lev = 0; lev < num_levels; ++lev) {
+      os << "  if (first <= " << lev << ") {\n";
+      // Group this level's kMemQ cells by read port (shared mem + address
+      // nets) and emit each group once, where its first tap appears.
+      std::map<std::pair<std::uint32_t, std::vector<NetId>>,
+               std::vector<NetId>>
+          ports;
+      for (const NetId id : by_level[lev]) {
+        const Cell& c = nl.cells()[id];
+        if (c.kind == CellKind::kMemQ) ports[{c.param, c.ins}].push_back(id);
+      }
+      for (const NetId id : by_level[lev]) {
+        const Cell& c = nl.cells()[id];
+        if (c.kind == CellKind::kMemQ) {
+          const auto it = ports.find({c.param, c.ins});
+          if (it != ports.end()) {
+            emit_memq_group(it->second);
+            ports.erase(it);
+          }
+          continue;
+        }
+        os << "    " << expr(id, c) << ";\n";
+      }
+      os << "  }\n";
+    }
+    os << "}\n\n";
+  }
+
+  /// Generated `osss_gate_step`: DFF/write-port sample + commit with
+  /// offsets and dirty marks baked in, ending with an inline settle so one
+  /// clock cycle is a single native call.  Commit order mirrors the
+  /// engine's interpreted fallback exactly (that remains the no-JIT path).
+  std::uint64_t compute_scratch(std::vector<std::uint64_t>& dff_at,
+                                std::vector<std::uint64_t>& wp_at) const {
+    std::uint64_t sat = 0;
+    for (std::size_t i = 0; i < nl.cells().size(); ++i)
+      if (nl.cells()[i].kind == CellKind::kDff) {
+        dff_at.push_back(sat);
+        sat += lw;
+      }
+    for (const MemMacro& m : nl.memories())
+      for (const auto& w : m.writes) {
+        wp_at.push_back(sat);
+        sat += std::uint64_t{lw} * (1 + w.addr.size() + w.data.size());
+      }
+    return sat;
+  }
+
+  void emit_step(const std::vector<std::uint64_t>& dff_at,
+                 const std::vector<std::uint64_t>& wp_at) {
+    os << "extern \"C\" unsigned osss_gate_step(u64* V, u64* const* M, "
+          "unsigned char* D, u64* S) {\n";
+    os << "  (void)V; (void)M; (void)D; (void)S;\n";
+    os << "  unsigned chg = 0; (void)chg;\n";
+    // Pre-edge sample: every DFF and write port observes the settled
+    // pre-clock values before any commit rewrites the arena.
+    std::vector<NetId> dffs;
+    for (NetId id = 0; id < nl.cells().size(); ++id)
+      if (nl.cells()[id].kind == CellKind::kDff) dffs.push_back(id);
+    for (std::size_t i = 0; i < dffs.size(); ++i)
+      os << "  j_cpy(S + " << num(dff_at[i]) << ", V + "
+         << num(std::uint64_t{nl.cells()[dffs[i]].ins[0]} * lw) << ", " << lw
+         << ");\n";
+    struct WpPlan {
+      std::uint32_t mem;
+      const MemMacro::WritePort* port;
+      std::uint64_t en_at, addr_at, data_at;
+    };
+    std::vector<WpPlan> wps;
+    {
+      std::size_t wi = 0;
+      for (std::uint32_t mi = 0; mi < nl.memories().size(); ++mi)
+        for (const auto& w : nl.memories()[mi].writes) {
+          const std::uint64_t at = wp_at[wi++];
+          wps.push_back({mi, &w, at, at + lw,
+                         at + lw * (1 + std::uint64_t{w.addr.size()})});
+        }
+    }
+    for (const WpPlan& wp : wps) {
+      os << "  if (j_snap(S + " << num(wp.en_at) << ", V + "
+         << num(std::uint64_t{wp.port->enable} * lw) << ", " << lw
+         << ")) {\n";
+      for (std::size_t i = 0; i < wp.port->addr.size(); ++i)
+        os << "    j_cpy(S + " << num(wp.addr_at + i * lw) << ", V + "
+           << num(std::uint64_t{wp.port->addr[i]} * lw) << ", " << lw
+           << ");\n";
+      for (std::size_t i = 0; i < wp.port->data.size(); ++i)
+        os << "    j_cpy(S + " << num(wp.data_at + i * lw) << ", V + "
+           << num(std::uint64_t{wp.port->data[i]} * lw) << ", " << lw
+           << ");\n";
+      os << "  }\n";
+    }
+    // Commit DFFs.
+    for (std::size_t i = 0; i < dffs.size(); ++i) {
+      const std::string mk = marks(dffs[i]);
+      os << "  { const u64 diff = j_stn(V + "
+         << num(std::uint64_t{dffs[i]} * lw) << ", S + " << num(dff_at[i])
+         << ", " << lw << "); if (diff) {" << mk << " chg = 1u; } }\n";
+    }
+    // Commit memory writes (port order = declaration order; later win).
+    for (const WpPlan& wp : wps) {
+      const MemMacro& m = nl.memories()[wp.mem];
+      const std::size_t n = wp.port->addr.size();
+      const std::uint64_t bound = row_bound(m.depth, n);
+      std::string mk;
+      for (const std::uint32_t l : memq_marks[wp.mem])
+        mk += " D[" + num(l) + "] = 1;";
+      os << "  { // mem " << wp.mem << " write port: depth " << m.depth
+         << ", width " << m.width << "\n";
+      os << "    u64 ch = 0;\n";
+      if (use_row_masks(bound)) {
+        // Row-mask merge: sel = enabled lanes writing row `a`; every data
+        // bit merges with two word ops.  sel is confined by the sampled
+        // enable word, so complemented address garbage never escapes.
+        os << "    for (int w = 0; w < " << lw << "; ++w) {\n";
+        os << "      const u64 en = S[" << num(wp.en_at) << " + w];\n";
+        os << "      if (!en) continue;\n";
+        for (std::size_t i = 0; i < n; ++i)
+          os << "      const u64 a" << i << " = S["
+             << num(wp.addr_at + i * lw) << " + w];\n";
+        for (std::uint64_t a = 0; a < bound; ++a) {
+          os << "      {\n";
+          emit_row_mask("        ", "sel", "en", a, n);
+          os << "        if (sel) {\n";
+          os << "          u64* e = M[" << wp.mem << "] + "
+             << num(a * m.width * lw) << "u + w;\n";
+          os << "          const u64* s = S + " << num(wp.data_at)
+             << " + w;\n";
+          for (std::uint32_t b = 0; b < m.width; ++b) {
+            const std::string off = num(std::uint64_t{b} * lw);
+            os << "          { const u64 nw = (e[" << off
+               << "] & ~sel) | (sel & s[" << off << "]); ch |= nw ^ e["
+               << off << "]; e[" << off << "] = nw; }\n";
+          }
+          os << "        }\n";
+          os << "      }\n";
+        }
+        os << "    }\n";
+      } else {
+        os << "    for (int l = 0; l < " << lanes << "; ++l) {\n";
+        os << "      if (((S[" << num(wp.en_at)
+           << " + (l >> 6)] >> (l & 63)) & 1u) == 0) continue;\n";
+        os << "      u64 a = 0;\n";
+        for (std::size_t i = n; i-- > 0;)
+          os << "      a = (a << 1) | ((S[" << num(wp.addr_at + i * lw)
+             << " + (l >> 6)] >> (l & 63)) & 1u);\n";
+        os << "      if (a >= " << m.depth << "u) continue;\n";
+        os << "      const u64 bm = 1ull << (l & 63);\n";
+        os << "      u64* e = M[" << wp.mem << "] + a * "
+           << num(std::uint64_t{m.width} * lw) << "u + (l >> 6);\n";
+        os << "      const u64* s = S + " << num(wp.data_at)
+           << " + (l >> 6);\n";
+        os << "      for (unsigned b = 0; b < " << m.width << "u; ++b) {\n";
+        os << "        const u64 nb = (s[b * " << lw
+           << "u] >> (l & 63)) & 1u;\n";
+        os << "        const u64 nw = (e[b * " << lw
+           << "u] & ~bm) | (nb << (l & 63));\n";
+        os << "        ch |= nw ^ e[b * " << lw << "u];\n";
+        os << "        e[b * " << lw << "u] = nw;\n";
+        os << "      }\n";
+        os << "    }\n";
+      }
+      if (mk.empty())
+        os << "    if (ch) chg = 1u;\n";
+      else
+        os << "    if (ch) {" << mk << " chg = 1u; }\n";
+      os << "  }\n";
+    }
+    os << "  osss_gate_eval(V, M, D);\n";
+    os << "  return chg;\n";
+    os << "}\n";
+  }
+
+  std::string run() {
+    os << jit::prelude_header();
+    os << "constexpr int L = " << lw << ";\n";
+    os << jit::vector_prelude();
+    os << jit::step_prelude();
+    // Store-only drivers: the suffix sweep recomputes every downstream
+    // cell anyway, so the change-accumulating v_* drivers would pay an
+    // xor/or reduction per word for nothing.
+    os << R"OSSS(
+template <class OP, class A, class B>
+inline void g_bin(u64* d, A a, B b) {
+  for (int l = 0; l < L; ++l) d[l] = OP::sc(a.ld(l), b.ld(l));
+}
+template <class OP, class A, class B>
+inline void g_nbin(u64* d, A a, B b, u64 m) {
+  for (int l = 0; l < L; ++l) d[l] = ~OP::sc(a.ld(l), b.ld(l)) & m;
+}
+template <class A>
+inline void g_not(u64* d, A a, u64 m) {
+  for (int l = 0; l < L; ++l) d[l] = ~a.ld(l) & m;
+}
+template <class S, class B, class C>
+inline void g_mux(u64* d, S s, B t, C e) {
+  for (int l = 0; l < L; ++l) {
+    const u64 sv = s.ld(l);
+    d[l] = (sv & t.ld(l)) | (~sv & e.ld(l));
+  }
+}
+)OSSS";
+    os << "}  // namespace\n\n";
+    std::vector<std::uint64_t> dff_at, wp_at;
+    const std::uint64_t scratch = compute_scratch(dff_at, wp_at);
+    os << "extern \"C\" unsigned osss_gate_abi() { return 1u; }\n";
+    os << "extern \"C\" unsigned osss_gate_lanes() { return " << lanes
+       << "u; }\n";
+    os << "extern \"C\" unsigned long long osss_gate_nets() { return "
+       << nl.cells().size() << "ull; }\n";
+    os << "extern \"C\" unsigned long long osss_gate_scratch() { return "
+       << scratch << "ull; }\n\n";
+    emit_eval();
+    emit_step(dff_at, wp_at);
+    return os.str();
+  }
+};
+
+}  // namespace
+
+std::string emit_netlist_cpp(const Netlist& nl, unsigned lanes) {
+  if (lanes == 0) lanes = 64;
+  if (lanes != 1 && (lanes % 64 != 0 || lanes > NativeEngine::kMaxLanes))
+    throw std::invalid_argument(
+        "gate::emit_netlist_cpp: lanes must be 1 or a multiple of 64 up to " +
+        std::to_string(NativeEngine::kMaxLanes));
+  return Emitter(nl, lanes).run();
+}
+
+}  // namespace osss::gate

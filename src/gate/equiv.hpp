@@ -59,6 +59,12 @@ struct EquivOptions {
   std::uint64_t seed = 0;  ///< 0 = derive from the netlist names
   SimMode mode_a = SimMode::kEvent;  ///< engine simulating netlist `a`
   SimMode mode_b = SimMode::kEvent;  ///< engine simulating netlist `b`
+  /// kNative sides only: stimulus lanes (0 = the 64-lane default; 1 or a
+  /// multiple of 64 up to Simulator::kMaxLanes).  Sides wider than 64 join
+  /// the scoreboard as scalar broadcast models (see verify::GateModel).
+  unsigned lanes = 0;
+  /// kNative sides only: backend knobs (forced fallback, compiler override).
+  CodegenOptions codegen = {};
   /// Pool contexts running the sequence shards: 0 = the process-wide
   /// par::Pool::global(), 1 = inline on the caller, n = a private n-context
   /// pool.  The verdict, counterexample and cycles_checked are identical

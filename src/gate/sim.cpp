@@ -12,15 +12,29 @@ const char* sim_mode_name(SimMode m) {
     case SimMode::kEvent: return "event";
     case SimMode::kLevelized: return "levelized";
     case SimMode::kBitParallel: return "bit-parallel";
+    case SimMode::kNative: return "native";
   }
   return "?";
 }
 
-Simulator::Simulator(Netlist nl, SimMode mode)
+Simulator::Simulator(Netlist nl, SimMode mode, unsigned lanes,
+                     CodegenOptions codegen)
     : nl_(std::move(nl)),
       mode_(mode),
       lane_mask_(mode == SimMode::kBitParallel ? ~std::uint64_t{0}
                                                : std::uint64_t{1}) {
+  if (mode == SimMode::kNative) {
+    // The engine owns all simulation state (it validates the netlist and
+    // resets itself); the interpreter members stay empty.
+    native_ = std::make_unique<NativeEngine>(
+        nl_, lanes == 0 ? kLanes : lanes, std::move(codegen));
+    return;
+  }
+  const unsigned implied = mode == SimMode::kBitParallel ? kLanes : 1;
+  if (lanes != 0 && lanes != implied)
+    throw std::invalid_argument(std::string("gate::Simulator: ") +
+                                sim_mode_name(mode) +
+                                " mode carries a fixed lane count");
   nl_.validate();
   const std::size_t n = nl_.cells().size();
   values_.assign(n, 0);
@@ -248,6 +262,10 @@ void Simulator::full_eval() {
 }
 
 void Simulator::reset() {
+  if (native_) {
+    native_->reset();
+    return;
+  }
   for (const DffBind& d : dffs_) values_[d.q] = d.init ? lane_mask_ : 0;
   for (auto& mem : mem_) std::fill(mem.begin(), mem.end(), 0);
   queue_.clear();
@@ -263,6 +281,10 @@ const Bus& Simulator::find_bus(const std::vector<Bus>& buses,
 }
 
 void Simulator::set_input(const std::string& bus, const Bits& value) {
+  if (native_) {
+    native_->set_input(bus, value);
+    return;
+  }
   const Bus& b = find_bus(nl_.inputs(), bus);
   if (value.width() != b.nets.size())
     throw std::logic_error("gate::Simulator: input width mismatch on " + bus);
@@ -277,6 +299,10 @@ void Simulator::set_input(const std::string& bus, const Bits& value) {
 }
 
 void Simulator::set_input(const std::string& bus, std::uint64_t value) {
+  if (native_) {
+    native_->set_input(bus, value);
+    return;
+  }
   const Bus& b = find_bus(nl_.inputs(), bus);
   const std::size_t n = b.nets.size();
   if (n < 64 && (value >> n) != 0)
@@ -286,10 +312,15 @@ void Simulator::set_input(const std::string& bus, std::uint64_t value) {
 }
 
 void Simulator::set_input_lanes(const std::string& bus,
-                                const std::vector<std::uint64_t>& bit_lanes) {
+                                std::span<const std::uint64_t> bit_lanes) {
+  if (native_) {
+    native_->set_input_lanes(bus, bit_lanes);
+    return;
+  }
   if (mode_ != SimMode::kBitParallel)
     throw std::logic_error(
-        "gate::Simulator: set_input_lanes requires kBitParallel mode");
+        "gate::Simulator: set_input_lanes requires kBitParallel or kNative "
+        "mode");
   const Bus& b = find_bus(nl_.inputs(), bus);
   if (bit_lanes.size() != b.nets.size())
     throw std::logic_error("gate::Simulator: input width mismatch on " + bus);
@@ -302,11 +333,51 @@ void Simulator::set_input_lanes(const std::string& bus,
   propagate();
 }
 
+void Simulator::set_input_values(const std::string& bus,
+                                 std::span<const std::uint64_t> values) {
+  if (!native_)
+    throw std::logic_error(
+        "gate::Simulator: set_input_values requires kNative mode");
+  native_->set_input_values(bus, values);
+}
+
+std::vector<std::uint64_t> Simulator::output_values(
+    const std::string& bus) const {
+  if (!native_)
+    throw std::logic_error(
+        "gate::Simulator: output_values requires kNative mode");
+  return native_->output_values(bus);
+}
+
+const Simulator::Stats& Simulator::stats() const noexcept {
+  if (native_) {
+    const NativeEngine::RunStats& rs = native_->stats();
+    stats_.events = rs.gate_evals;
+    stats_.cycles = rs.cycles;
+    stats_.levels_evaluated = rs.levels_evaluated;
+    stats_.levels_skipped = rs.levels_skipped;
+  }
+  return stats_;
+}
+
+NativeEngine& Simulator::native() {
+  if (!native_)
+    throw std::logic_error("gate::Simulator: native() requires kNative mode");
+  return *native_;
+}
+
+const NativeEngine& Simulator::native() const {
+  if (!native_)
+    throw std::logic_error("gate::Simulator: native() requires kNative mode");
+  return *native_;
+}
+
 Bits Simulator::output(const std::string& bus) const {
   return output_lane(bus, 0);
 }
 
 Bits Simulator::output_lane(const std::string& bus, unsigned lane) const {
+  if (native_) return native_->output_lane(bus, lane);
   if (lane >= kLanes)
     throw std::logic_error("gate::Simulator: lane out of range");
   const Bus& b = find_bus(nl_.outputs(), bus);
@@ -318,6 +389,7 @@ Bits Simulator::output_lane(const std::string& bus, unsigned lane) const {
 
 std::vector<std::uint64_t> Simulator::output_words(
     const std::string& bus) const {
+  if (native_) return native_->output_words(bus);
   const Bus& b = find_bus(nl_.outputs(), bus);
   std::vector<std::uint64_t> out(b.nets.size());
   for (std::size_t i = 0; i < b.nets.size(); ++i)
@@ -376,6 +448,10 @@ void Simulator::commit_writes() {
 }
 
 void Simulator::step() {
+  if (native_) {
+    native_->step();
+    return;
+  }
   // Sample all DFF D pins and memory write ports with pre-edge values,
   // then commit — member scratch buffers, no per-cycle allocation.
   for (std::size_t i = 0; i < dffs_.size(); ++i)
@@ -394,6 +470,7 @@ void Simulator::step() {
 }
 
 Bits Simulator::mem_word(unsigned mem, unsigned word) const {
+  if (native_) return native_->mem_word(mem, word);
   const MemMacro& m = nl_.memories().at(mem);
   if (word >= m.depth)
     throw std::out_of_range("gate::Simulator: memory word out of range");
@@ -405,6 +482,10 @@ Bits Simulator::mem_word(unsigned mem, unsigned word) const {
 }
 
 void Simulator::poke_mem(unsigned mem, unsigned word, const Bits& value) {
+  if (native_) {
+    native_->poke_mem(mem, word, value);
+    return;
+  }
   const MemMacro& m = nl_.memories().at(mem);
   if (word >= m.depth)
     throw std::out_of_range("gate::Simulator: memory word out of range");
@@ -447,15 +528,18 @@ void run_scalar_block(Simulator& sim, const Netlist& nl,
 }
 
 void run_lane_block(Simulator& sim, const Netlist& nl, par::StimulusBlock& b,
-                    std::vector<std::uint64_t>& scratch) {
+                    unsigned lwords) {
   sim.reset();
   for (unsigned c = 0; c < b.cycles; ++c) {
     unsigned slot = 0;
     for (const Bus& bus : nl.inputs()) {
       const unsigned w = static_cast<unsigned>(bus.nets.size());
-      scratch.assign(&b.in_at(c, slot), &b.in_at(c, slot) + w);
-      sim.set_input_lanes(bus.name, scratch);
-      slot += w;
+      // Block memory already has the set_input_lanes layout (bit i at
+      // lwords consecutive slots) — hand it over without copying.
+      sim.set_input_lanes(
+          bus.name, std::span<const std::uint64_t>(
+                        &b.in_at(c, slot), std::size_t{w} * lwords));
+      slot += w * lwords;
     }
     sim.step();
     slot = 0;
@@ -474,11 +558,18 @@ void run_batch(const Netlist& nl, SimMode mode,
                std::span<par::StimulusBlock> blocks, par::Pool* pool_arg) {
   if (blocks.empty()) return;
   const unsigned lanes = blocks.front().lanes;
-  if (lanes != 1 && lanes != Simulator::kLanes)
-    throw std::invalid_argument("gate::run_batch: lanes must be 1 or 64");
-  if (lanes == Simulator::kLanes && mode != SimMode::kBitParallel)
+  if (lanes != 1 && (lanes % 64 != 0 || lanes > Simulator::kMaxLanes))
     throw std::invalid_argument(
-        "gate::run_batch: 64-lane blocks require kBitParallel");
+        "gate::run_batch: lanes must be 1 or a multiple of 64 up to " +
+        std::to_string(Simulator::kMaxLanes));
+  if (lanes == Simulator::kLanes && mode != SimMode::kBitParallel &&
+      mode != SimMode::kNative)
+    throw std::invalid_argument(
+        "gate::run_batch: 64-lane blocks require kBitParallel or kNative");
+  if (lanes > Simulator::kLanes && mode != SimMode::kNative)
+    throw std::invalid_argument(
+        "gate::run_batch: blocks wider than 64 lanes require kNative");
+  const unsigned lwords = lanes == 1 ? 1 : lanes / 64;
 
   unsigned in_slots = 0, out_slots = 0;
   if (lanes == 1) {
@@ -486,9 +577,9 @@ void run_batch(const Netlist& nl, SimMode mode,
     out_slots = static_cast<unsigned>(nl.outputs().size());
   } else {
     for (const Bus& bus : nl.inputs())
-      in_slots += static_cast<unsigned>(bus.nets.size());
+      in_slots += static_cast<unsigned>(bus.nets.size()) * lwords;
     for (const Bus& bus : nl.outputs())
-      out_slots += static_cast<unsigned>(bus.nets.size());
+      out_slots += static_cast<unsigned>(bus.nets.size()) * lwords;
   }
   for (par::StimulusBlock& b : blocks) {
     if (b.lanes != lanes)
@@ -511,13 +602,12 @@ void run_batch(const Netlist& nl, SimMode mode,
     const std::size_t lo = chunk * per;
     const std::size_t hi = std::min(blocks.size(), lo + per);
     if (lo >= hi) return;
-    Simulator sim(nl, mode);
-    std::vector<std::uint64_t> scratch;
+    Simulator sim(nl, mode, mode == SimMode::kNative ? lanes : 0);
     for (std::size_t i = lo; i < hi; ++i) {
       if (lanes == 1)
         run_scalar_block(sim, nl, blocks[i]);
       else
-        run_lane_block(sim, nl, blocks[i], scratch);
+        run_lane_block(sim, nl, blocks[i], lwords);
     }
   });
 }

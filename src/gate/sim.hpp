@@ -15,6 +15,12 @@
 //                   64 independent vectors — this is what lets random-vector
 //                   equivalence checking and the R7 bench amortize the
 //                   netlist walk across a whole stimulus batch.
+//   * kNative:      the netlist compiled to specialized C++ at runtime
+//                   (gate/codegen.hpp) and dlopen'd, with an interpreted
+//                   fallback when no compiler is available.  Extends the
+//                   bit-parallel scheme past 64 lanes (multiples of 64 up
+//                   to kMaxLanes) with SIMD lane words, and folds the DFF/
+//                   memory commit into the generated step().
 //
 // All topology (fanout, DFF bindings, memory write ports, level schedule)
 // is precomputed once in the constructor; the per-cycle hot path performs
@@ -23,10 +29,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "gate/codegen.hpp"
 #include "gate/netlist.hpp"
 #include "par/batch.hpp"
 
@@ -41,6 +49,7 @@ enum class SimMode : std::uint8_t {
   kEvent,        ///< scalar, event-driven
   kLevelized,    ///< scalar, level-sweep with quiescent-level skipping
   kBitParallel,  ///< 64-lane level-sweep (one stimulus vector per lane)
+  kNative,       ///< generated native code / interpreted fallback (wide lanes)
 };
 
 const char* sim_mode_name(SimMode m);
@@ -49,6 +58,8 @@ class Simulator {
 public:
   /// Stimulus lanes carried per net in kBitParallel mode.
   static constexpr unsigned kLanes = 64;
+  /// Upper lane bound in kNative mode (multiples of 64).
+  static constexpr unsigned kMaxLanes = NativeEngine::kMaxLanes;
 
   /// Engine internals, exposed so benches report activity instead of just
   /// wall-clock (R7).
@@ -61,30 +72,61 @@ public:
   };
 
   /// Takes the netlist by value: the simulator owns its design, so
-  /// `Simulator sim(lower_to_gates(m))` is safe.
-  explicit Simulator(Netlist nl, SimMode mode = SimMode::kEvent);
+  /// `Simulator sim(lower_to_gates(m))` is safe.  `lanes` only applies to
+  /// SimMode::kNative (0 = 64; otherwise 1 or a multiple of 64 up to
+  /// kMaxLanes); the other modes fix their lane count and accept 0 or the
+  /// implied value.  `codegen` tunes the native backend and is ignored by
+  /// the interpreted modes.
+  explicit Simulator(Netlist nl, SimMode mode = SimMode::kEvent,
+                     unsigned lanes = 0, CodegenOptions codegen = {});
 
   SimMode mode() const noexcept { return mode_; }
+  /// Stimulus lanes carried per net (1, 64, or the kNative lane count).
+  unsigned lanes() const noexcept {
+    return native_ ? native_->lanes()
+                   : (mode_ == SimMode::kBitParallel ? kLanes : 1);
+  }
+  /// Words per lane group: ceil(lanes / 64).
+  unsigned lane_words() const noexcept {
+    return native_ ? native_->lane_words() : 1;
+  }
 
   /// Drive an input bus.  In kBitParallel mode the value is broadcast to
   /// all 64 lanes.
   void set_input(const std::string& bus, const Bits& value);
   /// Convenience overload; throws if `value` has bits beyond the bus width.
   void set_input(const std::string& bus, std::uint64_t value);
-  /// Drive an input bus with 64 distinct vectors: `bit_lanes[i]` holds the
-  /// 64 lane values of bus bit i.  kBitParallel mode only.
+  /// Drive an input bus with distinct per-lane vectors: bus bit i occupies
+  /// lane_words() consecutive elements starting at bit_lanes[i *
+  /// lane_words()] (for <= 64 lanes, `bit_lanes[i]` is simply the lane word
+  /// of bit i).  kBitParallel and kNative modes only.  Accepts any
+  /// contiguous storage without copying — batch runners pass block memory
+  /// directly.
   void set_input_lanes(const std::string& bus,
-                       const std::vector<std::uint64_t>& bit_lanes);
+                       std::span<const std::uint64_t> bit_lanes);
+  /// Drive an input bus with one value per lane — values[l] = lane l,
+  /// truncated to the bus width (kNative mode, <= 64-bit buses).  Skips the
+  /// bit transpose of set_input_lanes; the fast path for per-lane stimulus.
+  void set_input_values(const std::string& bus,
+                        std::span<const std::uint64_t> values);
 
-  /// Output bus value (lane 0 in kBitParallel mode).
+  /// Output bus value (lane 0 in the multi-lane modes).
   Bits output(const std::string& bus) const;
   /// Output bus value of one stimulus lane.
   Bits output_lane(const std::string& bus, unsigned lane) const;
-  /// All 64 lanes of an output bus: element i holds the lanes of bit i.
+  /// All lanes of an output bus: bit i occupies lane_words() consecutive
+  /// elements (for <= 64 lanes, element i holds the lanes of bit i).
   std::vector<std::uint64_t> output_words(const std::string& bus) const;
+  /// One value per lane of an output (kNative mode, <= 64-bit buses); the
+  /// inverse of set_input_values.
+  std::vector<std::uint64_t> output_values(const std::string& bus) const;
 
-  bool net(NetId id) const { return (values_[id] & 1u) != 0; }
-  std::uint64_t net_lanes(NetId id) const { return values_[id]; }
+  bool net(NetId id) const {
+    return ((native_ ? native_->net_word(id) : values_[id]) & 1u) != 0;
+  }
+  std::uint64_t net_lanes(NetId id) const {
+    return native_ ? native_->net_word(id) : values_[id];
+  }
 
   /// One rising clock edge: DFFs sample, memory writes commit, changes
   /// propagate until quiescent.
@@ -96,15 +138,20 @@ public:
   /// Asynchronous power-on reset: every DFF to its init value.
   void reset();
 
-  const Stats& stats() const noexcept { return stats_; }
+  const Stats& stats() const noexcept;
   /// Total gate evaluations performed (the activity measure).
-  std::uint64_t event_count() const noexcept { return stats_.events; }
-  std::uint64_t cycle_count() const noexcept { return stats_.cycles; }
+  std::uint64_t event_count() const noexcept { return stats().events; }
+  std::uint64_t cycle_count() const noexcept { return stats().cycles; }
 
-  /// Direct memory access for tests (lane 0 in kBitParallel mode; pokes
+  /// Direct memory access for tests (lane 0 in the multi-lane modes; pokes
   /// broadcast to all lanes).
   Bits mem_word(unsigned mem, unsigned word) const;
   void poke_mem(unsigned mem, unsigned word, const Bits& value);
+
+  /// The native backend (kNative only; throws otherwise) — exposes
+  /// native()/compile_log() for tests and diagnostics.
+  NativeEngine& native();
+  const NativeEngine& native() const;
 
 private:
   /// Cached write-port topology: samples live at
@@ -159,7 +206,11 @@ private:
   std::vector<NetId> queue_;
   std::vector<char> queued_;
 
-  Stats stats_;
+  // Native backend (mode_ == kNative); when set, every public entry point
+  // delegates and the interpreter state above stays empty.
+  std::unique_ptr<NativeEngine> native_;
+
+  mutable Stats stats_;  ///< mutable: stats() folds in native run counters
 
   const Bus& find_bus(const std::vector<Bus>& buses,
                       const std::string& name) const;
@@ -183,10 +234,11 @@ private:
 /// into block.out.
 ///
 /// Scalar blocks (lanes == 1): slot s is input/output bus s in netlist
-/// declaration order, values masked to the bus width.  Lane blocks
-/// (lanes == Simulator::kLanes, kBitParallel mode only): slot s is the s-th
-/// bit of the buses concatenated LSB-first — in_slots must equal the summed
-/// input widths and each element is that bit's 64-lane word.
+/// declaration order, values masked to the bus width.  Lane blocks (lanes a
+/// multiple of 64; kBitParallel accepts exactly 64, kNative up to
+/// Simulator::kMaxLanes): bit i of the buses concatenated LSB-first
+/// occupies lanes/64 consecutive slots — in_slots must equal the summed
+/// input widths times lanes/64, each element one 64-lane word.
 ///
 /// Block results depend only on the block's own stimulus, so the batch is
 /// bit-identical for every pool size.  Throws std::invalid_argument on

@@ -1,0 +1,174 @@
+// jit.cpp — runtime compile + dlopen with a content-hash object cache.
+
+#include "jit/jit.hpp"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace osss::jit {
+
+namespace {
+
+struct Cache {
+  std::mutex mu;
+  // weak entries: an object lives exactly as long as some engine holds it,
+  // so temp dirs never outlive their users (the cleanup tests rely on it).
+  std::unordered_map<std::uint64_t, std::weak_ptr<Object>> map;
+  CacheStats stats;
+};
+
+Cache& cache() {
+  static Cache c;
+  return c;
+}
+
+std::string resolve_compiler(const CompileOptions& opt) {
+  if (!opt.compiler.empty()) return opt.compiler;
+  const char* env = std::getenv("OSSS_CC");
+  return (env != nullptr && *env != '\0') ? env : "c++";
+}
+
+std::string default_flags() {
+  std::string flags = "-std=c++17 -O2 -fPIC -shared";
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  if (__builtin_cpu_supports("avx2")) flags += " -mavx2";
+  if (__builtin_cpu_supports("avx512f")) flags += " -mavx512f";
+#endif
+  return flags;
+}
+
+}  // namespace
+
+Object::~Object() {
+  if (dl_ != nullptr) dlclose(dl_);
+  if (!work_dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(work_dir_, ec);
+  }
+}
+
+void* Object::sym(const char* name) const noexcept {
+  return dl_ != nullptr ? dlsym(dl_, name) : nullptr;
+}
+
+std::uint64_t source_hash(const std::string& source,
+                          const CompileOptions& opt) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](const std::string& s) {
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ull;
+    }
+    h ^= 0xff;  // separator outside the byte alphabet
+    h *= 0x100000001b3ull;
+  };
+  mix(source);
+  mix(resolve_compiler(opt));
+  mix(opt.extra_flags);
+  return h;
+}
+
+std::shared_ptr<Object> compile(const std::string& source,
+                                const CompileOptions& opt, const char* tag,
+                                std::string& log) {
+  if (!opt.keep_source.empty()) {
+    std::ofstream f(opt.keep_source);
+    f << source;
+  }
+  if (opt.force_fallback) {
+    log = "native backend disabled; using interpreted dispatch";
+    return nullptr;
+  }
+  const std::string cc = resolve_compiler(opt);
+  if (cc.find('\'') != std::string::npos) {
+    log = "refusing compiler path containing a quote";
+    return nullptr;
+  }
+  const std::uint64_t key = source_hash(source, opt);
+
+  Cache& c = cache();
+  // The lock covers the compile itself: concurrent engines emitting the
+  // same source (sharded equivalence checks) wait for one compile and then
+  // hit, instead of racing the compiler on the same key.
+  std::lock_guard<std::mutex> hold(c.mu);
+  if (const auto it = c.map.find(key); it != c.map.end()) {
+    if (std::shared_ptr<Object> live = it->second.lock()) {
+      ++c.stats.hits;
+      log = live->log();
+      return live;
+    }
+  }
+  ++c.stats.misses;
+
+  const char* tmp = std::getenv("TMPDIR");
+  std::string tmpl = (tmp != nullptr && *tmp != '\0' ? std::string(tmp)
+                                                     : std::string("/tmp")) +
+                     "/" + tag + "-XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) {
+    log = "mkdtemp failed; using interpreted dispatch";
+    return nullptr;
+  }
+  std::shared_ptr<Object> obj(new Object);
+  obj->work_dir_ = buf.data();
+  obj->key_ = key;
+  const std::string cpp = obj->work_dir_ + "/gen.cpp";
+  const std::string so = obj->work_dir_ + "/gen.so";
+  const std::string cc_log = obj->work_dir_ + "/cc.log";
+  {
+    std::ofstream f(cpp);
+    f << source;
+    if (!f) {
+      log = "failed to write generated source";
+      return nullptr;  // obj dtor removes the dir
+    }
+  }
+  std::string flags = default_flags();
+  if (!opt.extra_flags.empty()) flags += " " + opt.extra_flags;
+  const std::string cmd = "'" + cc + "' " + flags + " '" + cpp + "' -o '" +
+                          so + "' >'" + cc_log + "' 2>&1";
+  const int rc = std::system(cmd.c_str());
+  {
+    std::ifstream f(cc_log);
+    std::stringstream ss;
+    ss << f.rdbuf();
+    obj->log_ = ss.str();
+  }
+  if (rc != 0) {
+    log = obj->log_ + "\n[compile failed; using interpreted dispatch]";
+    return nullptr;
+  }
+  obj->dl_ = dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (obj->dl_ == nullptr) {
+    const char* err = dlerror();
+    log = obj->log_ + "\n[dlopen failed: " + (err != nullptr ? err : "?") +
+          "]";
+    return nullptr;
+  }
+  ++c.stats.compiles;
+  c.map[key] = obj;
+  log = obj->log_;
+  return obj;
+}
+
+CacheStats cache_stats() noexcept {
+  Cache& c = cache();
+  std::lock_guard<std::mutex> hold(c.mu);
+  return c.stats;
+}
+
+bool jit_disabled_by_env() noexcept {
+  const char* nj = std::getenv("OSSS_NO_JIT");
+  return nj != nullptr && *nj != '\0' && *nj != '0';
+}
+
+}  // namespace osss::jit

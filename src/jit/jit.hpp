@@ -1,0 +1,110 @@
+// jit.hpp — shared runtime-compile machinery for the native-code backends.
+//
+// Both JIT backends (rtl::tape::codegen and gate::codegen) emit specialized
+// C++ for one compiled design, build it with the host compiler and dlopen
+// the result.  This library owns everything that is identical between them:
+// temp-dir management, compiler resolution ($OSSS_CC), the compile command,
+// log capture, dlopen + symbol lookup, cleanup — and a process-wide cache
+// keyed by a content hash of the emitted source, so engines whose generated
+// code is byte-identical (the same netlist simulated twice, the six ExpoCU
+// components shared across experiments, repeated opt-pass self-checks)
+// share one live shared object instead of invoking the compiler again.
+//
+// Generated code must therefore be stateless: all mutable state (arena,
+// memories, dirty flags, step scratch) is owned by the engine and passed in
+// as parameters, so one loaded object can serve any number of engines.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace osss::jit {
+
+/// Knobs for the runtime compile.  Engines expose this as their
+/// `CodegenOptions`; defaults give the production behavior.
+struct CompileOptions {
+  /// Compiler binary; empty uses $OSSS_CC, falling back to "c++".
+  std::string compiler;
+  /// Extra flags appended after the defaults ("-std=c++17 -O2 -fPIC
+  /// -shared" plus cpu-probed -mavx2 / -mavx512f).
+  std::string extra_flags;
+  /// Skip the compile and force the engine's interpreted fallback
+  /// (also set by the OSSS_NO_JIT environment variable).
+  bool force_fallback = false;
+  /// When non-empty, also write the emitted source to this path.
+  std::string keep_source;
+};
+
+/// A compiled-and-loaded shared object.  Instances are shared between all
+/// engines whose emitted source (and compiler identity) hash the same; the
+/// private temp directory holding source/so/log is removed when the last
+/// reference dies.
+class Object {
+ public:
+  Object(const Object&) = delete;
+  Object& operator=(const Object&) = delete;
+  ~Object();
+
+  /// dlsym on the loaded object; nullptr when the symbol is absent.
+  void* sym(const char* name) const noexcept;
+  /// Captured compiler output (usually empty on success).
+  const std::string& log() const noexcept { return log_; }
+  /// Content hash this object was cached under.
+  std::uint64_t key() const noexcept { return key_; }
+
+ private:
+  friend std::shared_ptr<Object> compile(const std::string&,
+                                         const CompileOptions&, const char*,
+                                         std::string&);
+  Object() = default;
+  void* dl_ = nullptr;
+  std::string work_dir_;
+  std::string log_;
+  std::uint64_t key_ = 0;
+};
+
+/// Process-wide cache counters (monotonic).  `misses` counts cache lookups
+/// that had to invoke the compiler; `compiles` counts the ones that
+/// succeeded.  hits + misses == total compile() calls that got past the
+/// force_fallback gate.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t compiles = 0;
+};
+
+/// FNV-1a 64 over the emitted source and the compiler identity — the cache
+/// key.  Exposed so tests can assert two emissions would share an object.
+std::uint64_t source_hash(const std::string& source,
+                          const CompileOptions& opt);
+
+/// Compile `source` in a private mkdtemp directory ($TMPDIR or /tmp,
+/// prefixed with `tag`), dlopen the result and return a shared handle.
+/// Identical (source, compiler, flags) reuse a live cached Object.  On any
+/// failure — force_fallback, bad compiler path, compile error, dlopen
+/// error — returns nullptr with the reason appended to `log`; callers fall
+/// back to their interpreted engine.  Thread-safe.
+std::shared_ptr<Object> compile(const std::string& source,
+                                const CompileOptions& opt, const char* tag,
+                                std::string& log);
+
+/// Snapshot of the process-wide cache counters.
+CacheStats cache_stats() noexcept;
+
+/// True when OSSS_NO_JIT is set non-empty and non-"0" in the environment.
+bool jit_disabled_by_env() noexcept;
+
+// --- shared emit preludes ---------------------------------------------------
+// Fragments of generated source shared by the backends' emitters.  The
+// emitters write prelude_header(), then `constexpr int L = <lanes>;`, then
+// vector_prelude() (the lane-vector helper library: P/K/Ps operands, the
+// v_*/n_* drivers with AVX-512/AVX2/scalar bodies) and step_prelude() (the
+// sequential-commit helpers used by the generated step() entry points).
+
+const char* prelude_header();
+const char* vector_prelude();
+const char* step_prelude();
+
+}  // namespace osss::jit

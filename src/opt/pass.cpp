@@ -115,8 +115,9 @@ gate::Netlist Pipeline::run(const gate::Netlist& in) {
         eopt.cycles = opt_.check_cycles;
         eopt.seed = verify::StimGen::derive(
             base_seed, stats.pass + "/" + std::to_string(round));
-        eopt.mode_a = gate::SimMode::kBitParallel;
-        eopt.mode_b = gate::SimMode::kBitParallel;
+        eopt.mode_a = opt_.check_mode;
+        eopt.mode_b = opt_.check_mode;
+        eopt.codegen = opt_.check_codegen;
         const gate::EquivResult r =
             gate::check_equivalence(current, next, eopt);
         if (!r) {

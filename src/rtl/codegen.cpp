@@ -9,15 +9,12 @@
 
 #include "rtl/codegen.hpp"
 
-#include <dlfcn.h>
 #include <algorithm>
 #include <bit>
 #include <cstdlib>
-#include <filesystem>
-#include <fstream>
-#include <sstream>
 #include <stdexcept>
 
+#include "jit/jit.hpp"
 #include "rtl/tape_detail.hpp"
 
 namespace osss::rtl::tape {
@@ -520,113 +517,45 @@ NativeEngine::NativeEngine(const Module& m, unsigned lanes, CodegenOptions opt)
   handlers_.reserve(prog_.instrs.size());
   for (const Instr& ins : prog_.instrs) handlers_.push_back(Exec::pick(ins.op));
 
-  if (const char* nj = std::getenv("OSSS_NO_JIT"); nj != nullptr && *nj != '\0' && *nj != '0')
-    opt.force_fallback = true;
+  if (jit::jit_disabled_by_env()) opt.force_fallback = true;
   try_native(opt);
 }
 
-NativeEngine::~NativeEngine() { drop_native(); }
+NativeEngine::~NativeEngine() = default;
 
 void NativeEngine::drop_native() {
   eval_fn_ = nullptr;
-  if (dl_ != nullptr) {
-    dlclose(dl_);
-    dl_ = nullptr;
-  }
-  if (!work_dir_.empty()) {
-    std::error_code ec;
-    std::filesystem::remove_all(work_dir_, ec);
-    work_dir_.clear();
-  }
+  step_fn_ = nullptr;
+  obj_.reset();
 }
 
 void NativeEngine::try_native(const CodegenOptions& opt) {
   const std::string src = emit_cpp(prog_);
-  if (!opt.keep_source.empty()) {
-    std::ofstream f(opt.keep_source);
-    f << src;
-  }
-  if (opt.force_fallback) {
-    compile_log_ = "native backend disabled; using threaded-code dispatch";
-    return;
-  }
-  std::string cc = opt.compiler;
-  if (cc.empty()) {
-    const char* env = std::getenv("OSSS_CC");
-    cc = (env != nullptr && *env != '\0') ? env : "c++";
-  }
-  if (cc.find('\'') != std::string::npos) {
-    compile_log_ = "refusing compiler path containing a quote";
-    return;
-  }
-  const char* tmp = std::getenv("TMPDIR");
-  std::string tmpl = (tmp != nullptr && *tmp != '\0' ? std::string(tmp)
-                                                     : std::string("/tmp")) +
-                     "/osss-tape-XXXXXX";
-  std::vector<char> buf(tmpl.begin(), tmpl.end());
-  buf.push_back('\0');
-  if (::mkdtemp(buf.data()) == nullptr) {
-    compile_log_ = "mkdtemp failed; using threaded-code dispatch";
-    return;
-  }
-  work_dir_ = buf.data();
-  const std::string cpp = work_dir_ + "/tape.cpp";
-  const std::string so = work_dir_ + "/tape.so";
-  const std::string log = work_dir_ + "/cc.log";
-  {
-    std::ofstream f(cpp);
-    f << src;
-    if (!f) {
-      compile_log_ = "failed to write generated source";
-      drop_native();
-      return;
-    }
-  }
-  std::string flags = "-std=c++17 -O2 -fPIC -shared";
-#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
-  if (__builtin_cpu_supports("avx2")) flags += " -mavx2";
-  if (__builtin_cpu_supports("avx512f")) flags += " -mavx512f";
-#endif
-  if (!opt.extra_flags.empty()) flags += " " + opt.extra_flags;
-  const std::string cmd = "'" + cc + "' " + flags + " '" + cpp + "' -o '" +
-                          so + "' >'" + log + "' 2>&1";
-  const int rc = std::system(cmd.c_str());
-  {
-    std::ifstream f(log);
-    std::stringstream ss;
-    ss << f.rdbuf();
-    compile_log_ = ss.str();
-  }
-  if (rc != 0) {
-    compile_log_ += "\n[compile failed; using threaded-code dispatch]";
-    drop_native();
-    return;
-  }
-  dl_ = dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
-  if (dl_ == nullptr) {
-    const char* err = dlerror();
-    compile_log_ += std::string("\n[dlopen failed: ") +
-                    (err != nullptr ? err : "?") + "]";
-    drop_native();
-    return;
-  }
+  obj_ = jit::compile(src, opt, "osss-tape", compile_log_);
+  if (obj_ == nullptr) return;
   const auto abi =
-      reinterpret_cast<unsigned (*)()>(dlsym(dl_, "osss_tape_abi"));
+      reinterpret_cast<unsigned (*)()>(obj_->sym("osss_tape_abi"));
   const auto lns =
-      reinterpret_cast<unsigned (*)()>(dlsym(dl_, "osss_tape_lanes"));
+      reinterpret_cast<unsigned (*)()>(obj_->sym("osss_tape_lanes"));
   const auto asz = reinterpret_cast<unsigned long long (*)()>(
-      dlsym(dl_, "osss_tape_arena"));
-  if (abi == nullptr || abi() != 1u || lns == nullptr ||
-      lns() != prog_.lanes || asz == nullptr || asz() != prog_.arena_size) {
+      obj_->sym("osss_tape_arena"));
+  const auto ssz = reinterpret_cast<unsigned long long (*)()>(
+      obj_->sym("osss_tape_scratch"));
+  if (abi == nullptr || abi() != 2u || lns == nullptr ||
+      lns() != prog_.lanes || asz == nullptr || asz() != prog_.arena_size ||
+      ssz == nullptr) {
     compile_log_ += "\n[ABI check failed; using threaded-code dispatch]";
     drop_native();
     return;
   }
-  eval_fn_ = reinterpret_cast<EvalFn>(dlsym(dl_, "osss_tape_eval"));
-  if (eval_fn_ == nullptr) {
-    compile_log_ += "\n[osss_tape_eval missing; using threaded-code dispatch]";
+  eval_fn_ = reinterpret_cast<EvalFn>(obj_->sym("osss_tape_eval"));
+  step_fn_ = reinterpret_cast<StepFn>(obj_->sym("osss_tape_step"));
+  if (eval_fn_ == nullptr || step_fn_ == nullptr) {
+    compile_log_ += "\n[entry points missing; using threaded-code dispatch]";
     drop_native();
+    return;
   }
+  step_scratch_.assign(ssz(), 0);
 }
 
 void NativeEngine::write_lane_bits(std::uint32_t off, std::uint16_t words,
@@ -824,6 +753,16 @@ void NativeEngine::fallback_eval() {
 
 void NativeEngine::step() {
   eval();
+  if (step_fn_ != nullptr) {
+    // Sample + commit + dirty marking all live in the generated entry
+    // point; the scratch arena keeps the object stateless so cached
+    // objects can be shared across engines.
+    if (step_fn_(arena_.data(), mem_ptrs_.data(), level_dirty_.data(),
+                 step_scratch_.data()) != 0)
+      pending_ = true;
+    ++stats_.cycles;
+    return;
+  }
   const unsigned lanes = prog_.lanes;
   // Sample next state before committing anything: all registers and write
   // ports observe the same pre-edge values (matches the interpreter).

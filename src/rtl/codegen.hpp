@@ -29,8 +29,15 @@
 // generated code walks lane groups with explicit AVX2 vectors (4 lanes per
 // __m256i op) and AVX-512 where the host compiler and CPU support it
 // (8 lanes per __m512i op); the lane-major layout is exactly what makes
-// those loads contiguous.  Sequential state (register/memory commit) stays
-// in C++ on the host side with word-wide lane enables.
+// those loads contiguous.  Sequential state (register/memory commit) is
+// emitted into the generated `osss_tape_step` entry point — offsets, word
+// counts and dirty marks baked in — with the C++ commit loops kept as the
+// fallback path.
+//
+// The compile/dlopen machinery and the content-hash object cache live in
+// src/jit (shared with the gate-level backend): engines whose emitted
+// source is byte-identical share one loaded object, and the temp dir is
+// removed when the last engine using it dies.
 //
 // rtl::Simulator selects this backend with SimMode::kNative; the
 // interpreter remains the oracle (tests/rtl/native_test.cpp runs native vs
@@ -40,23 +47,20 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "jit/jit.hpp"
 #include "rtl/tape.hpp"
 
 namespace osss::rtl::tape {
 
-/// Knobs for the runtime compile step.  Defaults resolve from the
-/// environment: `OSSS_CC` overrides the compiler (an unusable value simply
-/// forces the threaded-code fallback), `OSSS_NO_JIT=1` skips the compile
-/// attempt entirely.
-struct CodegenOptions {
-  std::string compiler;      ///< "" = $OSSS_CC, else "c++"
-  std::string extra_flags;   ///< appended to the compile command verbatim
-  bool force_fallback = false;  ///< never compile/dlopen (tests, OSSS_NO_JIT)
-  std::string keep_source;   ///< non-empty: also write the generated source here
-};
+/// Knobs for the runtime compile step (see jit::CompileOptions).  Defaults
+/// resolve from the environment: `OSSS_CC` overrides the compiler (an
+/// unusable value simply forces the threaded-code fallback), `OSSS_NO_JIT=1`
+/// skips the compile attempt entirely.
+using CodegenOptions = jit::CompileOptions;
 
 /// Generate the specialized C++ translation unit for `p` — exposed for
 /// tests and for inspecting what the backend actually compiles.
@@ -133,6 +137,8 @@ class NativeEngine {
   using Handler = bool (*)(NativeEngine&, const Instr&);
   using EvalFn = void (*)(std::uint64_t*, std::uint64_t* const*,
                           unsigned char*);
+  using StepFn = unsigned (*)(std::uint64_t*, std::uint64_t* const*,
+                              unsigned char*, std::uint64_t*);
 
   Program prog_;
   unsigned lw_ = 1;  ///< lane words: ceil(lanes/64)
@@ -145,10 +151,12 @@ class NativeEngine {
   std::vector<std::vector<std::uint64_t>> mem_;
   std::vector<std::uint64_t*> mem_ptrs_;  ///< stable, passed to native eval
 
-  // Native path state.
-  void* dl_ = nullptr;
+  // Native path state.  obj_ is a shared handle into the jit object cache;
+  // engines built from identical emitted source share one dlopen'd object.
+  std::shared_ptr<jit::Object> obj_;
   EvalFn eval_fn_ = nullptr;
-  std::string work_dir_;  ///< temp dir owning src/so/log; removed in dtor
+  StepFn step_fn_ = nullptr;
+  std::vector<std::uint64_t> step_scratch_;  ///< sized by osss_tape_scratch()
   std::string compile_log_;
 
   // Threaded-code fallback: one bound handler per instruction.

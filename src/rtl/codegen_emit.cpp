@@ -29,881 +29,6 @@ namespace {
 using detail::mask64;
 using detail::top_mask;
 
-// Prelude part 1: types and operand sources.  `L` (lane count) is emitted
-// between the two prelude parts.
-const char kPrelude1[] = R"OSSS(// generated by osss rtl tape codegen -- do not edit
-#include <cstdint>
-#if defined(__AVX2__)
-#include <immintrin.h>
-#endif
-using u64 = std::uint64_t;
-using s64 = std::int64_t;
-namespace {
-)OSSS";
-
-// Prelude part 2: the lane-vector helper library.  Every helper walks the
-// lane-major words of one instruction: an explicit vector body over groups
-// of 4 (__m256i) or 8 (__m512i) lanes plus a scalar tail, returning a
-// nonzero value iff any destination word changed (drives dirty marking).
-const char kPrelude2[] = R"OSSS(
-struct P {  // lane-major pointer operand, stride 1
-  const u64* p;
-  u64 ld(int l) const { return p[l]; }
-#if defined(__AVX2__)
-  __m256i ld4(int l) const {
-    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + l));
-  }
-#endif
-#if defined(__AVX512F__)
-  __m512i ld8(int l) const { return _mm512_loadu_si512(p + l); }
-#endif
-};
-struct K {  // inlined constant-pool operand
-  u64 v;
-  u64 ld(int) const { return v; }
-#if defined(__AVX2__)
-  __m256i ld4(int) const { return _mm256_set1_epi64x(static_cast<long long>(v)); }
-#endif
-#if defined(__AVX512F__)
-  __m512i ld8(int) const { return _mm512_set1_epi64(static_cast<long long>(v)); }
-#endif
-};
-template <int S>
-struct Ps {  // strided pointer operand (multi-word shift amounts)
-  const u64* p;
-  u64 ld(int l) const { return p[l * S]; }
-#if defined(__AVX2__)
-  __m256i ld4(int l) const {
-    return _mm256_set_epi64x(static_cast<long long>(p[(l + 3) * S]),
-                             static_cast<long long>(p[(l + 2) * S]),
-                             static_cast<long long>(p[(l + 1) * S]),
-                             static_cast<long long>(p[l * S]));
-  }
-#endif
-#if defined(__AVX512F__)
-  __m512i ld8(int l) const {
-    return _mm512_set_epi64(static_cast<long long>(p[(l + 7) * S]),
-                            static_cast<long long>(p[(l + 6) * S]),
-                            static_cast<long long>(p[(l + 5) * S]),
-                            static_cast<long long>(p[(l + 4) * S]),
-                            static_cast<long long>(p[(l + 3) * S]),
-                            static_cast<long long>(p[(l + 2) * S]),
-                            static_cast<long long>(p[(l + 1) * S]),
-                            static_cast<long long>(p[l * S]));
-  }
-#endif
-};
-
-struct OpAdd {
-  static u64 sc(u64 x, u64 y) { return x + y; }
-#if defined(__AVX2__)
-  static __m256i v4(__m256i x, __m256i y) { return _mm256_add_epi64(x, y); }
-#endif
-#if defined(__AVX512F__)
-  static __m512i v8(__m512i x, __m512i y) { return _mm512_add_epi64(x, y); }
-#endif
-};
-struct OpSub {
-  static u64 sc(u64 x, u64 y) { return x - y; }
-#if defined(__AVX2__)
-  static __m256i v4(__m256i x, __m256i y) { return _mm256_sub_epi64(x, y); }
-#endif
-#if defined(__AVX512F__)
-  static __m512i v8(__m512i x, __m512i y) { return _mm512_sub_epi64(x, y); }
-#endif
-};
-struct OpAnd {
-  static u64 sc(u64 x, u64 y) { return x & y; }
-#if defined(__AVX2__)
-  static __m256i v4(__m256i x, __m256i y) { return _mm256_and_si256(x, y); }
-#endif
-#if defined(__AVX512F__)
-  static __m512i v8(__m512i x, __m512i y) { return _mm512_and_si512(x, y); }
-#endif
-};
-struct OpOr {
-  static u64 sc(u64 x, u64 y) { return x | y; }
-#if defined(__AVX2__)
-  static __m256i v4(__m256i x, __m256i y) { return _mm256_or_si256(x, y); }
-#endif
-#if defined(__AVX512F__)
-  static __m512i v8(__m512i x, __m512i y) { return _mm512_or_si512(x, y); }
-#endif
-};
-struct OpXor {
-  static u64 sc(u64 x, u64 y) { return x ^ y; }
-#if defined(__AVX2__)
-  static __m256i v4(__m256i x, __m256i y) { return _mm256_xor_si256(x, y); }
-#endif
-#if defined(__AVX512F__)
-  static __m512i v8(__m512i x, __m512i y) { return _mm512_xor_si512(x, y); }
-#endif
-};
-struct OpMul {  // no baseline 64-bit SIMD multiply; scalar driver only
-  static u64 sc(u64 x, u64 y) { return x * y; }
-};
-
-// Masked binary over N lane-words: d[l] = op(a[l], b[l]) & m.
-template <int N, class OP, class A, class B>
-inline u64 v_bin(u64* d, A a, B b, u64 m) {
-  u64 ch = 0;
-  int l = 0;
-#if defined(__AVX512F__)
-  {
-    const __m512i vm = _mm512_set1_epi64(static_cast<long long>(m));
-    __m512i acc = _mm512_setzero_si512();
-    for (; l + 8 <= N; l += 8) {
-      const __m512i nv = _mm512_and_si512(OP::v8(a.ld8(l), b.ld8(l)), vm);
-      acc = _mm512_or_si512(acc,
-                            _mm512_xor_si512(nv, _mm512_loadu_si512(d + l)));
-      _mm512_storeu_si512(d + l, nv);
-    }
-    ch |= static_cast<u64>(_mm512_reduce_or_epi64(acc));
-  }
-#elif defined(__AVX2__)
-  {
-    const __m256i vm = _mm256_set1_epi64x(static_cast<long long>(m));
-    __m256i acc = _mm256_setzero_si256();
-    for (; l + 4 <= N; l += 4) {
-      const __m256i nv = _mm256_and_si256(OP::v4(a.ld4(l), b.ld4(l)), vm);
-      acc = _mm256_or_si256(
-          acc, _mm256_xor_si256(nv, _mm256_loadu_si256(
-                                        reinterpret_cast<const __m256i*>(d + l))));
-      _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + l), nv);
-    }
-    ch |= _mm256_testz_si256(acc, acc) ? 0u : 1u;
-  }
-#endif
-  for (; l < N; ++l) {
-    const u64 nv = OP::sc(a.ld(l), b.ld(l)) & m;
-    ch |= nv ^ d[l];
-    d[l] = nv;
-  }
-  return ch;
-}
-
-template <int N, class OP, class A, class B>
-inline u64 v_bin_sc(u64* d, A a, B b, u64 m) {
-  u64 ch = 0;
-  for (int l = 0; l < N; ++l) {
-    const u64 nv = OP::sc(a.ld(l), b.ld(l)) & m;
-    ch |= nv ^ d[l];
-    d[l] = nv;
-  }
-  return ch;
-}
-
-// d[l] = ~a[l] & m
-template <int N, class A>
-inline u64 v_not(u64* d, A a, u64 m) {
-  u64 ch = 0;
-  int l = 0;
-#if defined(__AVX512F__)
-  {
-    const __m512i vm = _mm512_set1_epi64(static_cast<long long>(m));
-    __m512i acc = _mm512_setzero_si512();
-    for (; l + 8 <= N; l += 8) {
-      const __m512i nv = _mm512_andnot_si512(a.ld8(l), vm);
-      acc = _mm512_or_si512(acc,
-                            _mm512_xor_si512(nv, _mm512_loadu_si512(d + l)));
-      _mm512_storeu_si512(d + l, nv);
-    }
-    ch |= static_cast<u64>(_mm512_reduce_or_epi64(acc));
-  }
-#elif defined(__AVX2__)
-  {
-    const __m256i vm = _mm256_set1_epi64x(static_cast<long long>(m));
-    __m256i acc = _mm256_setzero_si256();
-    for (; l + 4 <= N; l += 4) {
-      const __m256i nv = _mm256_andnot_si256(a.ld4(l), vm);
-      acc = _mm256_or_si256(
-          acc, _mm256_xor_si256(nv, _mm256_loadu_si256(
-                                        reinterpret_cast<const __m256i*>(d + l))));
-      _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + l), nv);
-    }
-    ch |= _mm256_testz_si256(acc, acc) ? 0u : 1u;
-  }
-#endif
-  for (; l < N; ++l) {
-    const u64 nv = ~a.ld(l) & m;
-    ch |= nv ^ d[l];
-    d[l] = nv;
-  }
-  return ch;
-}
-
-// d[l] = (a[l] << k) & m  /  (a[l] >> k) & m  (immediate shift)
-template <int N, bool SHL, class A>
-inline u64 v_shi(u64* d, A a, int k, u64 m) {
-  u64 ch = 0;
-  int l = 0;
-#if defined(__AVX512F__)
-  {
-    const __m512i vm = _mm512_set1_epi64(static_cast<long long>(m));
-    __m512i acc = _mm512_setzero_si512();
-    for (; l + 8 <= N; l += 8) {
-      __m512i sh;
-      if constexpr (SHL) sh = _mm512_slli_epi64(a.ld8(l), static_cast<unsigned>(k));
-      else sh = _mm512_srli_epi64(a.ld8(l), static_cast<unsigned>(k));
-      const __m512i nv = _mm512_and_si512(sh, vm);
-      acc = _mm512_or_si512(acc,
-                            _mm512_xor_si512(nv, _mm512_loadu_si512(d + l)));
-      _mm512_storeu_si512(d + l, nv);
-    }
-    ch |= static_cast<u64>(_mm512_reduce_or_epi64(acc));
-  }
-#elif defined(__AVX2__)
-  {
-    const __m256i vm = _mm256_set1_epi64x(static_cast<long long>(m));
-    __m256i acc = _mm256_setzero_si256();
-    for (; l + 4 <= N; l += 4) {
-      __m256i sh;
-      if constexpr (SHL) sh = _mm256_slli_epi64(a.ld4(l), k);
-      else sh = _mm256_srli_epi64(a.ld4(l), k);
-      const __m256i nv = _mm256_and_si256(sh, vm);
-      acc = _mm256_or_si256(
-          acc, _mm256_xor_si256(nv, _mm256_loadu_si256(
-                                        reinterpret_cast<const __m256i*>(d + l))));
-      _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + l), nv);
-    }
-    ch |= _mm256_testz_si256(acc, acc) ? 0u : 1u;
-  }
-#endif
-  for (; l < N; ++l) {
-    const u64 x = a.ld(l);
-    const u64 nv = (SHL ? x << k : x >> k) & m;
-    ch |= nv ^ d[l];
-    d[l] = nv;
-  }
-  return ch;
-}
-
-struct CEq {
-  static u64 sc(u64 x, u64 y) { return x == y ? 1u : 0u; }
-#if defined(__AVX2__)
-  static __m256i v4(__m256i x, __m256i y) { return _mm256_cmpeq_epi64(x, y); }
-#endif
-};
-struct CNe {
-  static u64 sc(u64 x, u64 y) { return x != y ? 1u : 0u; }
-#if defined(__AVX2__)
-  static __m256i v4(__m256i x, __m256i y) {
-    return _mm256_andnot_si256(_mm256_cmpeq_epi64(x, y),
-                               _mm256_set1_epi64x(-1));
-  }
-#endif
-};
-struct CUlt {
-  static u64 sc(u64 x, u64 y) { return x < y ? 1u : 0u; }
-#if defined(__AVX2__)
-  static __m256i v4(__m256i x, __m256i y) {
-    const __m256i sb = _mm256_set1_epi64x(
-        static_cast<long long>(0x8000000000000000ull));
-    return _mm256_cmpgt_epi64(_mm256_xor_si256(y, sb),
-                              _mm256_xor_si256(x, sb));
-  }
-#endif
-};
-struct CUle {
-  static u64 sc(u64 x, u64 y) { return x <= y ? 1u : 0u; }
-#if defined(__AVX2__)
-  static __m256i v4(__m256i x, __m256i y) {
-    const __m256i sb = _mm256_set1_epi64x(
-        static_cast<long long>(0x8000000000000000ull));
-    return _mm256_andnot_si256(_mm256_cmpgt_epi64(_mm256_xor_si256(x, sb),
-                                                  _mm256_xor_si256(y, sb)),
-                               _mm256_set1_epi64x(-1));
-  }
-#endif
-};
-
-// d[l] = cmp(a[l], b[l]) ? 1 : 0
-template <int N, class OP, class A, class B>
-inline u64 v_cmp(u64* d, A a, B b) {
-  u64 ch = 0;
-  int l = 0;
-#if defined(__AVX2__)
-  {
-    const __m256i one = _mm256_set1_epi64x(1);
-    __m256i acc = _mm256_setzero_si256();
-    for (; l + 4 <= N; l += 4) {
-      const __m256i nv = _mm256_and_si256(OP::v4(a.ld4(l), b.ld4(l)), one);
-      acc = _mm256_or_si256(
-          acc, _mm256_xor_si256(nv, _mm256_loadu_si256(
-                                        reinterpret_cast<const __m256i*>(d + l))));
-      _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + l), nv);
-    }
-    ch |= _mm256_testz_si256(acc, acc) ? 0u : 1u;
-  }
-#endif
-  for (; l < N; ++l) {
-    const u64 nv = OP::sc(a.ld(l), b.ld(l));
-    ch |= nv ^ d[l];
-    d[l] = nv;
-  }
-  return ch;
-}
-
-// Signed compare after left-normalizing a_width-bit values by `sh`.
-template <int N, bool LE, class A, class B>
-inline u64 v_scmp(u64* d, A a, B b, int sh) {
-  u64 ch = 0;
-  int l = 0;
-#if defined(__AVX2__)
-  {
-    const __m256i one = _mm256_set1_epi64x(1);
-    __m256i acc = _mm256_setzero_si256();
-    for (; l + 4 <= N; l += 4) {
-      const __m256i xv = _mm256_slli_epi64(a.ld4(l), sh);
-      const __m256i yv = _mm256_slli_epi64(b.ld4(l), sh);
-      __m256i nv;
-      if constexpr (LE)
-        nv = _mm256_andnot_si256(_mm256_cmpgt_epi64(xv, yv), one);
-      else
-        nv = _mm256_and_si256(_mm256_cmpgt_epi64(yv, xv), one);
-      acc = _mm256_or_si256(
-          acc, _mm256_xor_si256(nv, _mm256_loadu_si256(
-                                        reinterpret_cast<const __m256i*>(d + l))));
-      _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + l), nv);
-    }
-    ch |= _mm256_testz_si256(acc, acc) ? 0u : 1u;
-  }
-#endif
-  for (; l < N; ++l) {
-    const s64 x = static_cast<s64>(a.ld(l) << sh);
-    const s64 y = static_cast<s64>(b.ld(l) << sh);
-    const u64 nv = (LE ? x <= y : x < y) ? 1u : 0u;
-    ch |= nv ^ d[l];
-    d[l] = nv;
-  }
-  return ch;
-}
-
-// d[l] = (s[l] & 1) ? b[l] : c[l]
-template <int N, class S, class B, class C>
-inline u64 v_mux(u64* d, S s, B b, C c) {
-  u64 ch = 0;
-  int l = 0;
-#if defined(__AVX2__)
-  {
-    const __m256i one = _mm256_set1_epi64x(1);
-    __m256i acc = _mm256_setzero_si256();
-    for (; l + 4 <= N; l += 4) {
-      const __m256i m = _mm256_sub_epi64(_mm256_setzero_si256(),
-                                         _mm256_and_si256(s.ld4(l), one));
-      const __m256i nv = _mm256_blendv_epi8(c.ld4(l), b.ld4(l), m);
-      acc = _mm256_or_si256(
-          acc, _mm256_xor_si256(nv, _mm256_loadu_si256(
-                                        reinterpret_cast<const __m256i*>(d + l))));
-      _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + l), nv);
-    }
-    ch |= _mm256_testz_si256(acc, acc) ? 0u : 1u;
-  }
-#endif
-  for (; l < N; ++l) {
-    const u64 nv = (s.ld(l) & 1u) != 0 ? b.ld(l) : c.ld(l);
-    ch |= nv ^ d[l];
-    d[l] = nv;
-  }
-  return ch;
-}
-
-// d[l] = a[l] | (sign(a[l]) ? hi : 0), sign bit at index sb
-template <int N, class A>
-inline u64 v_sext(u64* d, A a, int sb, u64 hi) {
-  u64 ch = 0;
-  int l = 0;
-#if defined(__AVX2__)
-  {
-    const __m256i one = _mm256_set1_epi64x(1);
-    const __m256i vh = _mm256_set1_epi64x(static_cast<long long>(hi));
-    __m256i acc = _mm256_setzero_si256();
-    for (; l + 4 <= N; l += 4) {
-      const __m256i x = a.ld4(l);
-      const __m256i m = _mm256_sub_epi64(
-          _mm256_setzero_si256(),
-          _mm256_and_si256(_mm256_srli_epi64(x, sb), one));
-      const __m256i nv = _mm256_or_si256(x, _mm256_and_si256(m, vh));
-      acc = _mm256_or_si256(
-          acc, _mm256_xor_si256(nv, _mm256_loadu_si256(
-                                        reinterpret_cast<const __m256i*>(d + l))));
-      _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + l), nv);
-    }
-    ch |= _mm256_testz_si256(acc, acc) ? 0u : 1u;
-  }
-#endif
-  for (; l < N; ++l) {
-    const u64 x = a.ld(l);
-    const u64 nv = x | ((0ull - ((x >> sb) & 1u)) & hi);
-    ch |= nv ^ d[l];
-    d[l] = nv;
-  }
-  return ch;
-}
-
-template <int N, class A>
-inline u64 v_redor(u64* d, A a) {
-  u64 ch = 0;
-  int l = 0;
-#if defined(__AVX2__)
-  {
-    const __m256i one = _mm256_set1_epi64x(1);
-    __m256i acc = _mm256_setzero_si256();
-    for (; l + 4 <= N; l += 4) {
-      const __m256i nv = _mm256_andnot_si256(
-          _mm256_cmpeq_epi64(a.ld4(l), _mm256_setzero_si256()), one);
-      acc = _mm256_or_si256(
-          acc, _mm256_xor_si256(nv, _mm256_loadu_si256(
-                                        reinterpret_cast<const __m256i*>(d + l))));
-      _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + l), nv);
-    }
-    ch |= _mm256_testz_si256(acc, acc) ? 0u : 1u;
-  }
-#endif
-  for (; l < N; ++l) {
-    const u64 nv = a.ld(l) != 0 ? 1u : 0u;
-    ch |= nv ^ d[l];
-    d[l] = nv;
-  }
-  return ch;
-}
-
-template <int N, class A>
-inline u64 v_redand(u64* d, A a, u64 full) {
-  u64 ch = 0;
-  int l = 0;
-#if defined(__AVX2__)
-  {
-    const __m256i one = _mm256_set1_epi64x(1);
-    const __m256i vf = _mm256_set1_epi64x(static_cast<long long>(full));
-    __m256i acc = _mm256_setzero_si256();
-    for (; l + 4 <= N; l += 4) {
-      const __m256i nv =
-          _mm256_and_si256(_mm256_cmpeq_epi64(a.ld4(l), vf), one);
-      acc = _mm256_or_si256(
-          acc, _mm256_xor_si256(nv, _mm256_loadu_si256(
-                                        reinterpret_cast<const __m256i*>(d + l))));
-      _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + l), nv);
-    }
-    ch |= _mm256_testz_si256(acc, acc) ? 0u : 1u;
-  }
-#endif
-  for (; l < N; ++l) {
-    const u64 nv = a.ld(l) == full ? 1u : 0u;
-    ch |= nv ^ d[l];
-    d[l] = nv;
-  }
-  return ch;
-}
-
-template <int N, class A>
-inline u64 v_redxor(u64* d, A a) {
-  u64 ch = 0;
-  for (int l = 0; l < N; ++l) {
-    const u64 nv = static_cast<u64>(__builtin_popcountll(a.ld(l))) & 1u;
-    ch |= nv ^ d[l];
-    d[l] = nv;
-  }
-  return ch;
-}
-
-template <int N, class A>
-inline u64 v_ashri(u64* d, A a, int k, int W, u64 m) {
-  u64 ch = 0;
-  for (int l = 0; l < N; ++l) {
-    const u64 x = a.ld(l);
-    const bool sign = ((x >> (W - 1)) & 1u) != 0;
-    u64 nv;
-    if (k >= W) {
-      nv = sign ? m : 0;
-    } else {
-      nv = x >> k;
-      if (sign) nv |= m ^ (m >> k);
-    }
-    ch |= nv ^ d[l];
-    d[l] = nv;
-  }
-  return ch;
-}
-
-// Variable shift: amt = b[l] & 0xffffffff; amt >= W yields 0.
-template <int N, bool SHL, class A, class B>
-inline u64 v_shv(u64* d, A a, B b, int W, u64 m) {
-  u64 ch = 0;
-  int l = 0;
-#if defined(__AVX2__)
-  {
-    const __m256i vm = _mm256_set1_epi64x(static_cast<long long>(m));
-    const __m256i wv = _mm256_set1_epi64x(W);
-    const __m256i lo32 = _mm256_set1_epi64x(0xffffffffll);
-    __m256i acc = _mm256_setzero_si256();
-    for (; l + 4 <= N; l += 4) {
-      const __m256i amt = _mm256_and_si256(b.ld4(l), lo32);
-      const __m256i ok = _mm256_cmpgt_epi64(wv, amt);
-      __m256i sh;
-      if constexpr (SHL) sh = _mm256_sllv_epi64(a.ld4(l), amt);
-      else sh = _mm256_srlv_epi64(a.ld4(l), amt);
-      const __m256i nv = _mm256_and_si256(_mm256_and_si256(sh, vm), ok);
-      acc = _mm256_or_si256(
-          acc, _mm256_xor_si256(nv, _mm256_loadu_si256(
-                                        reinterpret_cast<const __m256i*>(d + l))));
-      _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + l), nv);
-    }
-    ch |= _mm256_testz_si256(acc, acc) ? 0u : 1u;
-  }
-#endif
-  for (; l < N; ++l) {
-    const u64 amt = b.ld(l) & 0xffffffffull;
-    u64 nv = 0;
-    if (amt < static_cast<u64>(W)) {
-      if constexpr (SHL) nv = (a.ld(l) << amt) & m;
-      else nv = a.ld(l) >> amt;
-    }
-    ch |= nv ^ d[l];
-    d[l] = nv;
-  }
-  return ch;
-}
-
-// ---- multi-word (scalar per lane) -----------------------------------------
-
-inline u64 stn(u64* d, const u64* s, int n) {
-  u64 diff = 0;
-  for (int w = 0; w < n; ++w) {
-    diff |= d[w] ^ s[w];
-    d[w] = s[w];
-  }
-  return diff;
-}
-
-inline void spn_shl(u64* s, const u64* a, int n, unsigned amt) {
-  const unsigned ws = amt / 64, bs = amt % 64;
-  for (int w = n; w-- > 0;) {
-    u64 v = 0;
-    if (static_cast<unsigned>(w) >= ws) {
-      v = a[w - ws] << bs;
-      if (bs != 0 && static_cast<unsigned>(w) > ws) v |= a[w - ws - 1] >> (64 - bs);
-    }
-    s[w] = v;
-  }
-}
-
-inline void spn_lshr(u64* s, const u64* a, int n, unsigned amt) {
-  const unsigned ws = amt / 64, bs = amt % 64;
-  for (int w = 0; w < n; ++w) {
-    u64 v = 0;
-    if (w + ws < static_cast<unsigned>(n)) {
-      v = a[w + ws] >> bs;
-      if (bs != 0 && w + ws + 1 < static_cast<unsigned>(n)) v |= a[w + ws + 1] << (64 - bs);
-    }
-    s[w] = v;
-  }
-}
-
-inline void spn_fill(u64* s, unsigned from, unsigned to) {
-  for (unsigned w = from / 64; w <= (to - 1) / 64; ++w) {
-    const unsigned lo = w * 64;
-    u64 m = ~0ull;
-    if (from > lo) m &= ~0ull << (from - lo);
-    if (to < lo + 64) m &= ~0ull >> (lo + 64 - to);
-    s[w] |= m;
-  }
-}
-
-template <int LN, int AW, int DW>
-inline u64 n_copy(u64* d, const u64* a) {
-  u64 ch = 0;
-  for (int l = 0; l < LN; ++l) {
-    u64 s[DW];
-    const u64* ap = a + l * AW;
-    for (int w = 0; w < AW; ++w) s[w] = ap[w];
-    for (int w = AW; w < DW; ++w) s[w] = 0;
-    ch |= stn(d + l * DW, s, DW);
-  }
-  return ch;
-}
-
-template <int LN, int DW>
-inline u64 n_add(u64* d, const u64* a, const u64* b, u64 m) {
-  u64 ch = 0;
-  for (int l = 0; l < LN; ++l) {
-    const u64* ap = a + l * DW;
-    const u64* bp = b + l * DW;
-    u64 s[DW];
-    u64 carry = 0;
-    for (int w = 0; w < DW; ++w) {
-      const u64 t = ap[w] + carry;
-      const u64 c1 = t < carry ? 1u : 0u;
-      s[w] = t + bp[w];
-      carry = c1 | (s[w] < bp[w] ? 1u : 0u);
-    }
-    s[DW - 1] &= m;
-    ch |= stn(d + l * DW, s, DW);
-  }
-  return ch;
-}
-
-template <int LN, int DW>
-inline u64 n_sub(u64* d, const u64* a, const u64* b, u64 m) {
-  u64 ch = 0;
-  for (int l = 0; l < LN; ++l) {
-    const u64* ap = a + l * DW;
-    const u64* bp = b + l * DW;
-    u64 s[DW];
-    u64 borrow = 0;
-    for (int w = 0; w < DW; ++w) {
-      const u64 t = ap[w] - bp[w];
-      const u64 b1 = ap[w] < bp[w] ? 1u : 0u;
-      s[w] = t - borrow;
-      borrow = b1 | (t < borrow ? 1u : 0u);
-    }
-    s[DW - 1] &= m;
-    ch |= stn(d + l * DW, s, DW);
-  }
-  return ch;
-}
-
-template <int LN, int DW>
-inline u64 n_mul(u64* d, const u64* a, const u64* b, u64 m) {
-  u64 ch = 0;
-  for (int l = 0; l < LN; ++l) {
-    const u64* ap = a + l * DW;
-    const u64* bp = b + l * DW;
-    u64 s[DW];
-    for (int w = 0; w < DW; ++w) s[w] = 0;
-    for (int i = 0; i < DW; ++i) {
-      if (ap[i] == 0) continue;
-      u64 carry = 0;
-      for (int j = 0; i + j < DW; ++j) {
-        const unsigned __int128 acc =
-            static_cast<unsigned __int128>(ap[i]) * bp[j] + s[i + j] + carry;
-        s[i + j] = static_cast<u64>(acc);
-        carry = static_cast<u64>(acc >> 64);
-      }
-    }
-    s[DW - 1] &= m;
-    ch |= stn(d + l * DW, s, DW);
-  }
-  return ch;
-}
-
-template <int LN, int DW>
-inline u64 n_not(u64* d, const u64* a, u64 m) {
-  u64 ch = 0;
-  for (int l = 0; l < LN; ++l) {
-    const u64* ap = a + l * DW;
-    u64 s[DW];
-    for (int w = 0; w < DW; ++w) s[w] = ~ap[w];
-    s[DW - 1] &= m;
-    ch |= stn(d + l * DW, s, DW);
-  }
-  return ch;
-}
-
-template <int LN, int DW>
-inline u64 n_shli(u64* d, const u64* a, unsigned k, u64 m) {
-  u64 ch = 0;
-  for (int l = 0; l < LN; ++l) {
-    u64 s[DW];
-    spn_shl(s, a + l * DW, DW, k);
-    s[DW - 1] &= m;
-    ch |= stn(d + l * DW, s, DW);
-  }
-  return ch;
-}
-
-template <int LN, int DW>
-inline u64 n_lshri(u64* d, const u64* a, unsigned k) {
-  u64 ch = 0;
-  for (int l = 0; l < LN; ++l) {
-    u64 s[DW];
-    spn_lshr(s, a + l * DW, DW, k);
-    ch |= stn(d + l * DW, s, DW);
-  }
-  return ch;
-}
-
-template <int LN, int DW>
-inline u64 n_ashri(u64* d, const u64* a, unsigned k, unsigned W, u64 m) {
-  u64 ch = 0;
-  for (int l = 0; l < LN; ++l) {
-    const u64* ap = a + l * DW;
-    u64 s[DW];
-    const bool sign = ((ap[(W - 1) / 64] >> ((W - 1) % 64)) & 1u) != 0;
-    if (k >= W) {
-      for (int w = 0; w < DW; ++w) s[w] = sign ? ~0ull : 0;
-    } else {
-      spn_lshr(s, ap, DW, k);
-      if (sign && k > 0) spn_fill(s, W - k, W);
-    }
-    s[DW - 1] &= m;
-    ch |= stn(d + l * DW, s, DW);
-  }
-  return ch;
-}
-
-template <int LN, int DW, int BS, bool SHL>
-inline u64 n_shv(u64* d, const u64* a, const u64* b, unsigned W, u64 m) {
-  u64 ch = 0;
-  for (int l = 0; l < LN; ++l) {
-    const u64 amt = b[l * BS] & 0xffffffffull;
-    u64 s[DW];
-    if (amt >= W) {
-      for (int w = 0; w < DW; ++w) s[w] = 0;
-    } else if (SHL) {
-      spn_shl(s, a + l * DW, DW, static_cast<unsigned>(amt));
-      s[DW - 1] &= m;
-    } else {
-      spn_lshr(s, a + l * DW, DW, static_cast<unsigned>(amt));
-    }
-    ch |= stn(d + l * DW, s, DW);
-  }
-  return ch;
-}
-
-template <int LN, int AW, bool NE>
-inline u64 n_eq(u64* d, const u64* a, const u64* b) {
-  u64 ch = 0;
-  for (int l = 0; l < LN; ++l) {
-    u64 diff = 0;
-    for (int w = 0; w < AW; ++w) diff |= a[l * AW + w] ^ b[l * AW + w];
-    const u64 nv = (NE ? diff != 0 : diff == 0) ? 1u : 0u;
-    ch |= nv ^ d[l];
-    d[l] = nv;
-  }
-  return ch;
-}
-
-template <int LN, int AW, bool LE>
-inline u64 n_ucmp(u64* d, const u64* a, const u64* b) {
-  u64 ch = 0;
-  for (int l = 0; l < LN; ++l) {
-    const u64* ap = a + l * AW;
-    const u64* bp = b + l * AW;
-    u64 nv = LE ? 1u : 0u;
-    for (int w = AW; w-- > 0;)
-      if (ap[w] != bp[w]) {
-        nv = ap[w] < bp[w] ? 1u : 0u;
-        break;
-      }
-    ch |= nv ^ d[l];
-    d[l] = nv;
-  }
-  return ch;
-}
-
-template <int LN, int AW, bool LE>
-inline u64 n_scmp(u64* d, const u64* a, const u64* b, int sw, int sb) {
-  u64 ch = 0;
-  for (int l = 0; l < LN; ++l) {
-    const u64* ap = a + l * AW;
-    const u64* bp = b + l * AW;
-    const bool sa = ((ap[sw] >> sb) & 1u) != 0;
-    const bool sB = ((bp[sw] >> sb) & 1u) != 0;
-    u64 nv;
-    if (sa != sB) {
-      nv = sa ? 1u : 0u;
-    } else {
-      nv = LE ? 1u : 0u;
-      for (int w = AW; w-- > 0;)
-        if (ap[w] != bp[w]) {
-          nv = ap[w] < bp[w] ? 1u : 0u;
-          break;
-        }
-    }
-    ch |= nv ^ d[l];
-    d[l] = nv;
-  }
-  return ch;
-}
-
-template <int LN, int DW>
-inline u64 n_mux(u64* d, const u64* sel, const u64* b, const u64* c) {
-  u64 ch = 0;
-  for (int l = 0; l < LN; ++l) {
-    const u64* src = ((sel[l] & 1u) != 0 ? b : c) + l * DW;
-    ch |= stn(d + l * DW, src, DW);
-  }
-  return ch;
-}
-
-template <int LN, int AW, int DW>
-inline u64 n_slice(u64* d, const u64* a, unsigned lo, u64 m) {
-  u64 ch = 0;
-  for (int l = 0; l < LN; ++l) {
-    const u64* ap = a + l * AW;
-    u64 s[DW];
-    for (int j = 0; j < DW; ++j) {
-      const unsigned bitpos = lo + static_cast<unsigned>(j) * 64;
-      const unsigned ws = bitpos / 64, bs = bitpos % 64;
-      u64 v = ws < static_cast<unsigned>(AW) ? ap[ws] >> bs : 0;
-      if (bs != 0 && ws + 1 < static_cast<unsigned>(AW)) v |= ap[ws + 1] << (64 - bs);
-      s[j] = v;
-    }
-    s[DW - 1] &= m;
-    ch |= stn(d + l * DW, s, DW);
-  }
-  return ch;
-}
-
-template <int LN, int AW, int DW>
-inline u64 n_sext(u64* d, const u64* a, unsigned aw_bits, unsigned W, u64 m) {
-  u64 ch = 0;
-  const int sw = (aw_bits - 1) / 64, sb = (aw_bits - 1) % 64;
-  for (int l = 0; l < LN; ++l) {
-    const u64* ap = a + l * AW;
-    u64 s[DW];
-    for (int w = 0; w < AW; ++w) s[w] = ap[w];
-    for (int w = AW; w < DW; ++w) s[w] = 0;
-    if (((ap[sw] >> sb) & 1u) != 0) spn_fill(s, aw_bits, W);
-    s[DW - 1] &= m;
-    ch |= stn(d + l * DW, s, DW);
-  }
-  return ch;
-}
-
-template <int LN, int AW>
-inline u64 n_redor(u64* d, const u64* a) {
-  u64 ch = 0;
-  for (int l = 0; l < LN; ++l) {
-    u64 any = 0;
-    for (int w = 0; w < AW; ++w) any |= a[l * AW + w];
-    const u64 nv = any != 0 ? 1u : 0u;
-    ch |= nv ^ d[l];
-    d[l] = nv;
-  }
-  return ch;
-}
-
-template <int LN, int AW>
-inline u64 n_redand(u64* d, const u64* a, u64 tm) {
-  u64 ch = 0;
-  for (int l = 0; l < LN; ++l) {
-    const u64* ap = a + l * AW;
-    bool all = true;
-    for (int w = 0; w + 1 < AW; ++w) all &= ap[w] == ~0ull;
-    all &= ap[AW - 1] == tm;
-    const u64 nv = all ? 1u : 0u;
-    ch |= nv ^ d[l];
-    d[l] = nv;
-  }
-  return ch;
-}
-
-template <int LN, int AW>
-inline u64 n_redxor(u64* d, const u64* a) {
-  u64 ch = 0;
-  for (int l = 0; l < LN; ++l) {
-    unsigned par = 0;
-    for (int w = 0; w < AW; ++w)
-      par += static_cast<unsigned>(__builtin_popcountll(a[l * AW + w]));
-    const u64 nv = par & 1u;
-    ch |= nv ^ d[l];
-    d[l] = nv;
-  }
-  return ch;
-}
-)OSSS";
 
 struct Emitter {
   const Program& p;
@@ -1194,16 +319,149 @@ struct Emitter {
     os << "    }\n";
   }
 
+  /// Generated `osss_tape_step`: register/write-port sample + commit with
+  /// offsets, word counts and dirty marks baked in.  Mirrors the engine's
+  /// C++ fallback loops exactly (those remain the no-JIT path).  Mutable
+  /// step state lives in the engine-owned scratch S (sized by
+  /// osss_tape_scratch()) so a cached object stays stateless.
+  std::uint64_t emit_step() {
+    std::uint64_t sat = 0;  // scratch allocation cursor (words)
+    const auto alloc = [&sat](std::uint64_t n) {
+      const std::uint64_t at = sat;
+      sat += n;
+      return at;
+    };
+    const std::string L = num(p.lanes);
+    std::vector<std::uint64_t> reg_en_at(p.regs.size(), 0);
+    std::vector<std::uint64_t> reg_nd_at(p.regs.size(), 0);
+    for (std::size_t r = 0; r < p.regs.size(); ++r) {
+      if (p.regs[r].en != kNoSlot) reg_en_at[r] = alloc(p.lanes);
+      reg_nd_at[r] = alloc(std::uint64_t{p.regs[r].words} * p.lanes);
+    }
+    struct WpAt {
+      std::uint32_t mem;
+      const Program::WritePort* port;
+      std::uint16_t words;
+      std::uint64_t en_at, addr_at, data_at;
+    };
+    std::vector<WpAt> wps;
+    for (std::uint32_t mi = 0; mi < p.mems.size(); ++mi)
+      for (const Program::WritePort& port : p.mems[mi].writes)
+        wps.push_back({mi, &port, p.mems[mi].words, alloc(p.lanes),
+                       alloc(p.lanes),
+                       alloc(std::uint64_t{p.mems[mi].words} * p.lanes)});
+
+    os << "extern \"C\" unsigned osss_tape_step(u64* A, u64* const* M, "
+          "unsigned char* D, u64* S) {\n";
+    os << "  (void)A; (void)M; (void)D; (void)S;\n";
+    os << "  unsigned chg = 0; (void)chg;\n";
+    // Pre-edge sample: every register and write port observes the same
+    // settled values before any commit overwrites the arena.
+    for (std::size_t r = 0; r < p.regs.size(); ++r) {
+      const Program::Reg& reg = p.regs[r];
+      const std::string wl = num(std::uint64_t{reg.words} * p.lanes);
+      if (reg.en != kNoSlot)
+        os << "  if (j_snap(S + " << num(reg_en_at[r]) << ", A + "
+           << num(reg.en) << ", " << L << ")) j_cpy(S + "
+           << num(reg_nd_at[r]) << ", A + " << num(reg.d) << ", " << wl
+           << ");\n";
+      else
+        os << "  j_cpy(S + " << num(reg_nd_at[r]) << ", A + " << num(reg.d)
+           << ", " << wl << ");\n";
+    }
+    for (const WpAt& wp : wps) {
+      const std::string wl = num(std::uint64_t{wp.words} * p.lanes);
+      os << "  if (j_snap(S + " << num(wp.en_at) << ", A + "
+         << num(wp.port->en) << ", " << L << ")) {\n";
+      if (wp.port->addr_words == 1)
+        os << "    j_cpy(S + " << num(wp.addr_at) << ", A + "
+           << num(wp.port->addr) << ", " << L << ");\n";
+      else
+        os << "    for (int l = 0; l < " << L << "; ++l) S["
+           << num(wp.addr_at) << " + l] = A[" << num(wp.port->addr)
+           << " + l * " << unsigned{wp.port->addr_words} << "];\n";
+      os << "    j_cpy(S + " << num(wp.data_at) << ", A + "
+         << num(wp.port->data) << ", " << wl << ");\n";
+      os << "  }\n";
+    }
+    // Commit registers.
+    for (std::size_t r = 0; r < p.regs.size(); ++r) {
+      const Program::Reg& reg = p.regs[r];
+      std::string m;
+      for (std::uint32_t k = p.reg_fl_off[r]; k < p.reg_fl_off[r + 1]; ++k)
+        m += " D[" + num(p.reg_fl[k]) + "] = 1;";
+      os << "  {\n";
+      if (reg.en == kNoSlot) {
+        os << "    const u64 diff = j_stn(A + " << num(reg.q) << ", S + "
+           << num(reg_nd_at[r]) << ", "
+           << num(std::uint64_t{reg.words} * p.lanes) << ");\n";
+      } else if (reg.words == 1) {
+        os << "    const u64 diff = j_merge1(A + " << num(reg.q) << ", S + "
+           << num(reg_nd_at[r]) << ", S + " << num(reg_en_at[r]) << ", " << L
+           << ");\n";
+      } else {
+        os << "    u64 diff = 0;\n";
+        os << "    for (int l = 0; l < " << L << "; ++l) {\n";
+        os << "      if ((S[" << num(reg_en_at[r])
+           << " + l] & 1u) == 0) continue;\n";
+        os << "      diff |= j_stn(A + " << num(reg.q) << " + l * "
+           << unsigned{reg.words} << ", S + " << num(reg_nd_at[r])
+           << " + l * " << unsigned{reg.words} << ", " << unsigned{reg.words}
+           << ");\n";
+        os << "    }\n";
+      }
+      os << "    if (diff) {" << m << " chg = 1u; }\n";
+      os << "  }\n";
+    }
+    // Commit memory writes (port order = declaration order; later win).
+    for (std::size_t wi = 0; wi < wps.size(); ++wi) {
+      const WpAt& wp = wps[wi];
+      const Program::Mem& pm = p.mems[wp.mem];
+      std::string m;
+      for (std::uint32_t k = p.mem_fl_off[wp.mem];
+           k < p.mem_fl_off[wp.mem + 1]; ++k)
+        m += " D[" + num(p.mem_fl[k]) + "] = 1;";
+      os << "  {\n";
+      os << "    u64 ch = 0;\n";
+      os << "    for (int l = 0; l < " << L << "; ++l) {\n";
+      os << "      if ((S[" << num(wp.en_at) << " + l] & 1u) == 0) continue;\n";
+      os << "      const u64 addr = S[" << num(wp.addr_at) << " + l];\n";
+      os << "      if (addr >= " << pm.depth << "u) continue;\n";
+      os << "      u64* e = M[" << wp.mem << "] + (addr * " << L
+         << "u + l) * " << unsigned{pm.words} << ";\n";
+      os << "      const u64* s = S + " << num(wp.data_at) << " + l * "
+         << unsigned{pm.words} << ";\n";
+      os << "      for (int w = 0; w < " << unsigned{pm.words}
+         << "; ++w) if (e[w] != s[w]) { e[w] = s[w]; ch = 1u; }\n";
+      os << "    }\n";
+      os << "    if (ch) {" << m << " chg = 1u; }\n";
+      os << "  }\n";
+    }
+    os << "  return chg;\n";
+    os << "}\n";
+    return sat;
+  }
+
   std::string run() {
-    os << kPrelude1;
+    os << jit::prelude_header();
     os << "constexpr int L = " << p.lanes << ";\n";
-    os << kPrelude2;
+    os << jit::vector_prelude();
+    os << jit::step_prelude();
     os << "}  // namespace\n\n";
-    os << "extern \"C\" unsigned osss_tape_abi() { return 1u; }\n";
+    std::ostringstream body;
+    body.swap(os);  // emit the step entry first to learn the scratch size
+    const std::uint64_t scratch = emit_step();
+    std::ostringstream step;
+    step.swap(os);
+    os.swap(body);
+    os << "extern \"C\" unsigned osss_tape_abi() { return 2u; }\n";
     os << "extern \"C\" unsigned osss_tape_lanes() { return "
        << p.lanes << "u; }\n";
     os << "extern \"C\" unsigned long long osss_tape_arena() { return "
-       << p.arena_size << "ull; }\n\n";
+       << p.arena_size << "ull; }\n";
+    os << "extern \"C\" unsigned long long osss_tape_scratch() { return "
+       << scratch << "ull; }\n\n";
+    os << step.str() << "\n";
     os << "extern \"C\" void osss_tape_eval(u64* A, u64* const* M, "
           "unsigned char* D) {\n";
     os << "  (void)A; (void)M; (void)D;\n";

@@ -154,13 +154,21 @@ GateModel::GateModel(gate::Netlist nl, gate::SimMode mode, std::string name)
       nl_(std::move(nl)),
       sim_(nl_, mode) {}
 
+GateModel::GateModel(gate::Netlist nl, gate::SimMode mode, unsigned lanes,
+                     gate::CodegenOptions codegen, std::string name)
+    : Model(name.empty() ? std::string("gate:") + gate::sim_mode_name(mode)
+                         : std::move(name)),
+      nl_(std::move(nl)),
+      sim_(nl_, mode, lanes, std::move(codegen)) {}
+
 void GateModel::enable_toggle_coverage() {
   toggle_ = std::make_unique<ToggleCoverage>(nl_);
 }
 
 unsigned GateModel::lanes() const {
-  return sim_.mode() == gate::SimMode::kBitParallel ? gate::Simulator::kLanes
-                                                    : 1;
+  // Same protocol cap as RtlModel: one 64-bit lane word per port bit, so a
+  // wider-than-64-lane native sim joins as a scalar (broadcast) model.
+  return sim_.lanes() <= 64 ? sim_.lanes() : 1;
 }
 
 void GateModel::reset() { sim_.reset(); }
@@ -171,17 +179,23 @@ void GateModel::set_input(const std::string& name, const Bits& value) {
 
 void GateModel::set_input_lanes(const std::string& name,
                                 const std::vector<std::uint64_t>& bit_lanes) {
+  if (lanes() == 1) {
+    Model::set_input_lanes(name, bit_lanes);
+    return;
+  }
   sim_.set_input_lanes(name, bit_lanes);
 }
 
 Bits GateModel::output(const std::string& name) { return sim_.output(name); }
 
 Bits GateModel::output_lane(const std::string& name, unsigned lane) {
+  if (lanes() == 1) return output(name);
   return sim_.output_lane(name, lane);
 }
 
 std::vector<std::uint64_t> GateModel::output_words(const std::string& name,
-                                                   unsigned) {
+                                                   unsigned width) {
+  if (lanes() == 1) return Model::output_words(name, width);
   return sim_.output_words(name);
 }
 

@@ -154,12 +154,17 @@ private:
 };
 
 /// gate::Simulator as a co-sim model; kBitParallel engines contribute 64
-/// stimulus lanes per cycle.
+/// stimulus lanes per cycle, kNative engines up to 64 (wider native sims
+/// join as scalar broadcast models, like wide RtlModel tapes).
 class GateModel final : public Model {
 public:
   explicit GateModel(gate::Netlist nl,
                      gate::SimMode mode = gate::SimMode::kEvent,
                      std::string name = "");
+  /// Explicit lane count + backend options (kNative; tests use forced
+  /// fallbacks and bogus compilers through `codegen`).
+  GateModel(gate::Netlist nl, gate::SimMode mode, unsigned lanes,
+            gate::CodegenOptions codegen, std::string name = "");
 
   gate::Simulator& sim() noexcept { return sim_; }
   const gate::Netlist& netlist() const noexcept { return nl_; }

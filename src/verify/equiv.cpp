@@ -69,8 +69,12 @@ EquivResult check_equivalence(const Netlist& a, const Netlist& b,
     if (static_cast<unsigned>(s) > first_fail.load(std::memory_order_acquire))
       return out;
     verify::CoSim cs;
-    cs.add(std::make_unique<verify::GateModel>(a, opt.mode_a, "a"));
-    cs.add(std::make_unique<verify::GateModel>(b, opt.mode_b, "b"));
+    cs.add(std::make_unique<verify::GateModel>(
+        a, opt.mode_a, opt.mode_a == SimMode::kNative ? opt.lanes : 0,
+        opt.codegen, "a"));
+    cs.add(std::make_unique<verify::GateModel>(
+        b, opt.mode_b, opt.mode_b == SimMode::kNative ? opt.lanes : 0,
+        opt.codegen, "b"));
     cs.declare_io(a);
     verify::StimGen gen(verify::StimGen::derive(
         result.seed, "seq/" + std::to_string(s)));
@@ -106,8 +110,15 @@ EquivResult check_equivalence(const Netlist& a, const Netlist& b,
     return result;
   }
 
-  const bool lanes = opt.mode_a == SimMode::kBitParallel &&
-                     opt.mode_b == SimMode::kBitParallel;
+  // A side contributes lanes when bit-parallel or native at <= 64 lanes
+  // (wider native sims join as scalar broadcast models).
+  const auto side_wide = [&](SimMode m) {
+    if (m == SimMode::kBitParallel) return true;
+    if (m != SimMode::kNative) return false;
+    const unsigned l = opt.lanes == 0 ? Simulator::kLanes : opt.lanes;
+    return l > 1 && l <= 64;
+  };
+  const bool lanes = side_wide(opt.mode_a) && side_wide(opt.mode_b);
   verify::Mismatch mismatch = outs[fail].run.mismatch;
   mismatch.sequence = fail;
   std::vector<verify::IoDecl> decls;

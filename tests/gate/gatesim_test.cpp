@@ -157,7 +157,7 @@ TEST(GateSim, BitParallelLanesAreIndependent) {
                                                           operand);
     }
     sim.set_input_lanes("d", d);
-    sim.set_input_lanes("en", {en});
+    sim.set_input_lanes("en", std::span<const std::uint64_t>(&en, 1));
     sim.step();
     for (unsigned lane : {0u, 1u, 17u, 63u})
       ASSERT_EQ(sim.output_lane("acc", lane).to_u64(), model[lane])
@@ -167,7 +167,9 @@ TEST(GateSim, BitParallelLanesAreIndependent) {
 
 TEST(GateSim, SetInputLanesRequiresBitParallelMode) {
   Simulator sim(lower_to_gates(modes::accumulator()), SimMode::kEvent);
-  EXPECT_THROW(sim.set_input_lanes("en", {1}), std::logic_error);
+  const std::uint64_t one = 1;
+  EXPECT_THROW(sim.set_input_lanes("en", std::span<const std::uint64_t>(&one, 1)),
+               std::logic_error);
 }
 
 TEST(GateSim, SameCycleMemWriteReachesReadPort) {

@@ -1,0 +1,579 @@
+// native_test.cpp — differential tests for the gate native-code backend.
+//
+// Three-way checks (event-driven oracle vs bit-parallel interpreter vs
+// NativeEngine) over lowered random_module designs, optimized netlists and
+// hand-built memory shapes.  The fuzz sweep runs the interpreted fallback
+// (no compile cost per case); dedicated suites exercise the real compile +
+// dlopen path, the silent bogus-compiler fallback, the shared jit object
+// cache, wide-lane batch running, and mutation observability (a gate-kind
+// flip must be caught through the native engine).
+
+#include "gate/codegen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <random>
+
+#include "gate/equiv.hpp"
+#include "gate/lower.hpp"
+#include "gate/sim.hpp"
+#include "jit/jit.hpp"
+#include "opt/opt.hpp"
+#include "rtl/builder.hpp"
+#include "verify/cosim.hpp"
+#include "verify/random_module.hpp"
+#include "verify/stimgen.hpp"
+
+namespace osss::gate {
+namespace {
+
+using rtl::Builder;
+using rtl::Wire;
+
+/// True when the environment disables the JIT (e.g. the TSan CI job, which
+/// cannot instrument dlopen'd code) — real-compile assertions are skipped.
+bool jit_disabled() {
+  const char* nj = std::getenv("OSSS_NO_JIT");
+  return nj != nullptr && *nj != '\0' && *nj != '0';
+}
+
+/// Event engine (reference) vs bit-parallel interpreter vs native backend.
+/// The event model caps the co-sim at scalar stimulus, so this checks lane
+/// 0 of the wide arena against both interpreters under broadcast inputs.
+void expect_three_way_match(const Netlist& nl, std::uint64_t seed,
+                            unsigned cycles, unsigned lanes,
+                            CodegenOptions opt) {
+  verify::CoSim cs;
+  cs.add(std::make_unique<verify::GateModel>(nl, SimMode::kEvent, "event"));
+  cs.add(std::make_unique<verify::GateModel>(nl, SimMode::kBitParallel,
+                                             "bitparallel"));
+  cs.add(std::make_unique<verify::GateModel>(nl, SimMode::kNative, lanes,
+                                             std::move(opt), "native"));
+  cs.declare_io(nl);
+  verify::StimGen gen(seed);
+  cs.declare_stimulus(gen);
+  const verify::RunResult r = cs.run(gen, cycles, 2);
+  EXPECT_TRUE(r.ok) << r.mismatch.describe(cs.inputs(), false) << " seed "
+                    << seed;
+}
+
+/// Bit-parallel reference vs native at 64 lanes: both models are wide, so
+/// every cycle scores 64 independent stimulus vectors through the native
+/// set_input_lanes / output_words path.
+void expect_lane_match(const Netlist& nl, std::uint64_t seed,
+                       unsigned cycles, CodegenOptions opt) {
+  verify::CoSim cs;
+  cs.add(std::make_unique<verify::GateModel>(nl, SimMode::kBitParallel,
+                                             "bitparallel"));
+  cs.add(std::make_unique<verify::GateModel>(
+      nl, SimMode::kNative, Simulator::kLanes, std::move(opt), "native"));
+  cs.declare_io(nl);
+  verify::StimGen gen(seed);
+  cs.declare_stimulus(gen);
+  const verify::RunResult r = cs.run(gen, cycles, 2);
+  EXPECT_TRUE(r.ok) << r.mismatch.describe(cs.inputs(), true) << " seed "
+                    << seed;
+}
+
+Netlist random_netlist(const char* variant,
+                       const verify::RandomModuleOptions& opt,
+                       std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  return lower_to_gates(verify::random_module(rng, opt));
+}
+
+std::uint64_t case_seed(const char* variant, unsigned index) {
+  return verify::StimGen::derive(
+      verify::env_seed(7411),
+      std::string("gate-native/") + variant + "/" + std::to_string(index));
+}
+
+// --- differential fuzz over lowered random designs (fallback dispatch) -----
+
+class GateNativeFuzz : public ::testing::TestWithParam<unsigned> {};
+
+void run_fuzz_case(const char* variant,
+                   const verify::RandomModuleOptions& opt, unsigned index,
+                   unsigned lanes) {
+  const std::uint64_t seed = case_seed(variant, index);
+  const Netlist nl = random_netlist(variant, opt, seed);
+  CodegenOptions copt;
+  copt.force_fallback = true;  // corpus sweep: no per-case compile cost
+  expect_three_way_match(nl, seed, 100, lanes, std::move(copt));
+}
+
+TEST_P(GateNativeFuzz, MatchesEventEngine) {
+  run_fuzz_case("base", {40, false, false, false}, GetParam(), 1);
+}
+
+TEST_P(GateNativeFuzz, WithMemories) {
+  run_fuzz_case("mem", {32, true, false, false}, GetParam(), 64);
+}
+
+TEST_P(GateNativeFuzz, WithSharedMuxShapes) {
+  run_fuzz_case("shared", {32, false, true, false}, GetParam(), 128);
+}
+
+TEST_P(GateNativeFuzz, WithPolymorphicDispatch) {
+  run_fuzz_case("poly", {32, false, false, true}, GetParam(), 256);
+}
+
+/// Post-optimization netlists: the standard pipeline's output (rewritten,
+/// retimed, techmapped) through the native engine against the oracles.
+TEST_P(GateNativeFuzz, OptimizedNetlists) {
+  const std::uint64_t seed = case_seed("opt", GetParam());
+  const Netlist nl =
+      random_netlist("opt", {32, true, false, false}, seed);
+  opt::PipelineOptions popt;
+  popt.self_check = 0;  // equivalence is what THIS test checks
+  const Netlist optimized = opt::optimize(nl, popt);
+  CodegenOptions copt;
+  copt.force_fallback = true;
+  expect_three_way_match(optimized, seed, 100, 192, std::move(copt));
+}
+
+/// 64-lane scoring: every lane of the native arena checked against the
+/// bit-parallel interpreter each cycle.
+TEST_P(GateNativeFuzz, LaneScored) {
+  const std::uint64_t seed = case_seed("lanes", GetParam());
+  const Netlist nl = random_netlist("lanes", {32, true, false, false}, seed);
+  CodegenOptions copt;
+  copt.force_fallback = true;
+  expect_lane_match(nl, seed, 80, std::move(copt));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GateNativeFuzz,
+                         ::testing::Range(0u, verify::env_iters(8)));
+
+// --- real compile + dlopen -------------------------------------------------
+
+/// One random design through the actual JIT: emit, compile, dlopen, and
+/// compare against both interpreters.  Asserts the native path really
+/// loaded (this is what the -mavx2 CI leg runs).
+TEST(GateNativeJit, CompilesAndMatchesEventEngine) {
+  const std::uint64_t seed = case_seed("jit", 0);
+  const Netlist nl = random_netlist("jit", {48, true, true, true}, seed);
+  Simulator probe(nl, SimMode::kNative, 64);
+  if (!jit_disabled()) {
+    ASSERT_TRUE(probe.native().native()) << probe.native().compile_log();
+  }
+  expect_three_way_match(nl, seed, 120, 64, {});
+  expect_lane_match(nl, seed, 80, {});
+}
+
+/// Wide SIMD lanes through the real JIT — 256 lanes = 4 words per net
+/// through the store-only word loops (g_bin/g_nbin/g_mux) and the
+/// generated commit.
+TEST(GateNativeJit, WideLanesCompileAndMatch) {
+  const std::uint64_t seed = case_seed("jit-wide", 0);
+  const Netlist nl = random_netlist("jit-wide", {40, true, false, false}, seed);
+  expect_three_way_match(nl, seed, 100, 256, {});
+}
+
+/// Memory semantics through the generated step(): same-cycle write-to-read
+/// forwarding, reset clearing, poke_mem propagation — all against the
+/// event engine on the same netlist.
+TEST(GateNativeJit, MemoryCommitMatchesEventEngine) {
+  Builder b("m");
+  Wire waddr = b.input("waddr", 2);
+  Wire raddr = b.input("raddr", 2);
+  Wire data = b.input("d", 8);
+  Wire wen = b.input("wen", 1);
+  rtl::MemHandle mem = b.memory("ram", 4, 8);
+  b.mem_write(mem, waddr, data, wen);
+  b.output("q", b.mem_read(mem, raddr));
+  const Netlist nl = lower_to_gates(b.take());
+
+  Simulator ev(nl, SimMode::kEvent);
+  Simulator nat(nl, SimMode::kNative, 128);
+  std::mt19937_64 rng(case_seed("jit-mem", 0));
+  for (unsigned c = 0; c < 200; ++c) {
+    const std::uint64_t r = rng();
+    for (Simulator* s : {&ev, &nat}) {
+      s->set_input("waddr", r & 3);
+      s->set_input("raddr", (r >> 2) & 3);
+      s->set_input("d", (r >> 4) & 0xff);
+      s->set_input("wen", (r >> 12) & 1);
+      s->step();
+    }
+    ASSERT_EQ(ev.output("q").to_u64(), nat.output("q").to_u64())
+        << "cycle " << c;
+    ASSERT_EQ(ev.output("q").to_u64(), nat.output_lane("q", 127).to_u64())
+        << "cycle " << c << " (lane 127)";
+  }
+  ASSERT_EQ(ev.mem_word(0, 2).to_u64(), nat.mem_word(0, 2).to_u64());
+  ev.poke_mem(0, 1, Bits(8, 0xcd));
+  nat.poke_mem(0, 1, Bits(8, 0xcd));
+  ev.set_input("raddr", 1);
+  nat.set_input("raddr", 1);
+  ASSERT_EQ(ev.output("q").to_u64(), nat.output("q").to_u64());
+  ev.reset();
+  nat.reset();
+  ASSERT_EQ(ev.output("q").to_u64(), nat.output("q").to_u64());
+  ASSERT_EQ(nat.mem_word(0, 1).to_u64(), 0u);
+}
+
+/// Deep memory, both gather strategies on one netlist: 320 rows exceed
+/// 4x64 lanes (sparse per-lane gather) but not 4x128 (one-hot row masks),
+/// and the 9-bit address port can point past the depth — such reads return
+/// 0 and such writes are dropped, on every path.
+TEST(GateNativeJit, DeepMemoryMatchesEventEngine) {
+  Builder b("deep");
+  Wire waddr = b.input("waddr", 9);
+  Wire raddr = b.input("raddr", 9);
+  Wire data = b.input("d", 6);
+  Wire wen = b.input("wen", 1);
+  rtl::MemHandle mem = b.memory("ram", 320, 6);
+  b.mem_write(mem, waddr, data, wen);
+  b.output("q", b.mem_read(mem, raddr));
+  const Netlist nl = lower_to_gates(b.take());
+
+  Simulator ev(nl, SimMode::kEvent);
+  Simulator sparse(nl, SimMode::kNative, 64);
+  Simulator masked(nl, SimMode::kNative, 128);
+  std::mt19937_64 rng(case_seed("jit-deep", 0));
+  for (unsigned c = 0; c < 300; ++c) {
+    const std::uint64_t r = rng();
+    for (Simulator* s : {&ev, &sparse, &masked}) {
+      s->set_input("waddr", r & 511);
+      s->set_input("raddr", (r >> 9) & 511);
+      s->set_input("d", (r >> 18) & 63);
+      s->set_input("wen", (r >> 24) & 1);
+      s->step();
+    }
+    ASSERT_EQ(ev.output("q").to_u64(), sparse.output("q").to_u64())
+        << "cycle " << c;
+    ASSERT_EQ(ev.output("q").to_u64(), masked.output_lane("q", 127).to_u64())
+        << "cycle " << c;
+  }
+}
+
+// --- optimizer integration -------------------------------------------------
+
+/// The optimization pipeline's differential self-check runs on the native
+/// engine when asked, and the final result is equivalent to the input under
+/// a mixed event-vs-native check.
+TEST(GateNativeOpt, PipelineSelfChecksOnNativeEngine) {
+  const std::uint64_t seed = case_seed("opt-pipeline", 0);
+  const Netlist nl = random_netlist("opt-pipeline", {36, true, false, false},
+                                    seed);
+  opt::PipelineOptions popt;
+  popt.self_check = 1;
+  popt.check_mode = SimMode::kNative;
+  popt.check_codegen.force_fallback = true;  // one compile per pass is slow
+  std::vector<opt::PassStats> stats;
+  const Netlist optimized = opt::optimize(nl, popt, &stats);
+  ASSERT_FALSE(stats.empty());
+  for (const opt::PassStats& s : stats) EXPECT_TRUE(s.verified) << s.pass;
+
+  EquivOptions eopt;
+  eopt.mode_a = SimMode::kEvent;
+  eopt.mode_b = SimMode::kNative;
+  eopt.lanes = 128;
+  const EquivResult r = check_equivalence(nl, optimized, eopt);
+  EXPECT_TRUE(r) << r.counterexample;
+}
+
+/// Fault injection: a gate-kind flip on a live cell of an optimized
+/// netlist must be observable through the native engine — guards against a
+/// backend that decays to "always matches" (e.g. evaluating nothing).
+TEST(GateNativeOpt, MutationsAreCaughtThroughNativeEngine) {
+  const std::uint64_t seed = case_seed("mutation", 0);
+  const Netlist nl = random_netlist("mutation", {32, false, false, false},
+                                    seed);
+  opt::PipelineOptions popt;
+  popt.self_check = 0;
+  const Netlist optimized = opt::optimize(nl, popt);
+
+  std::vector<NetId> targets;
+  for (NetId id = 0; id < optimized.cells().size(); ++id) {
+    const CellKind k = optimized.cells()[id].kind;
+    if (k == CellKind::kAnd2 || k == CellKind::kOr2 || k == CellKind::kXor2)
+      targets.push_back(id);
+  }
+  ASSERT_FALSE(targets.empty());
+
+  CodegenOptions copt;
+  copt.force_fallback = true;
+  unsigned caught = 0;
+  const std::size_t budget = std::min<std::size_t>(targets.size(), 6);
+  for (std::size_t i = 0; i < budget; ++i) {
+    const NetId victim = targets[i * targets.size() / budget];
+    Netlist mutant = optimized;
+    const CellKind k = mutant.cells()[victim].kind;
+    mutant.mutate_cell(victim, k == CellKind::kAnd2   ? CellKind::kNand2
+                               : k == CellKind::kOr2  ? CellKind::kNor2
+                                                      : CellKind::kXnor2);
+    EquivOptions eopt;
+    eopt.mode_a = SimMode::kEvent;
+    eopt.mode_b = SimMode::kNative;
+    eopt.lanes = 64;
+    eopt.codegen = copt;
+    if (!check_equivalence(optimized, mutant, eopt)) ++caught;
+  }
+  EXPECT_GT(caught, 0u) << "no kind-flip observable out of " << budget;
+}
+
+// --- fallback robustness ---------------------------------------------------
+
+/// A compiler that cannot exist: the backend must fall back silently (no
+/// throw), report why, and stay bit-identical to the interpreters.
+TEST(GateNativeFallback, BogusCompilerFallsBackSilently) {
+  const std::uint64_t seed = case_seed("bogus-cc", 0);
+  const Netlist nl = random_netlist("bogus-cc", {36, true, false, false},
+                                    seed);
+  CodegenOptions opt;
+  opt.compiler = "/nonexistent/osss-cc";
+  Simulator probe(nl, SimMode::kNative, 128, opt);
+  EXPECT_FALSE(probe.native().native());
+  EXPECT_FALSE(probe.native().compile_log().empty());
+  expect_three_way_match(nl, seed, 100, 128, opt);
+}
+
+/// The backend owns a private temp directory for source/so/log and must
+/// remove it when the engine dies — keeps ASan/LSan runs artifact-clean.
+TEST(GateNativeFallback, TempDirIsCleanedUp) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("osss-gate-native-test-" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  char* old_tmp = std::getenv("TMPDIR");
+  const std::string saved = old_tmp != nullptr ? old_tmp : "";
+  ::setenv("TMPDIR", dir.c_str(), 1);
+  {
+    Builder b("t");
+    b.output("o", b.add(b.input("a", 8), b.input("b", 8)));
+    Simulator sim(lower_to_gates(b.take()), SimMode::kNative, 64);
+    sim.set_input("a", std::uint64_t{1});
+    sim.set_input("b", std::uint64_t{2});
+    sim.step();
+    EXPECT_EQ(sim.output("o").to_u64(), 3u);
+  }
+  if (old_tmp != nullptr)
+    ::setenv("TMPDIR", saved.c_str(), 1);
+  else
+    ::unsetenv("TMPDIR");
+  EXPECT_TRUE(fs::is_empty(dir)) << "native backend left artifacts in "
+                                 << dir;
+  fs::remove_all(dir);
+}
+
+// --- shared jit object cache -----------------------------------------------
+
+/// Two live engines over the same netlist at the same lane count share one
+/// compiled object: the second construction is a cache hit, not a compile.
+TEST(GateNativeCache, ConcurrentEnginesShareOneObject) {
+  if (jit_disabled()) GTEST_SKIP() << "OSSS_NO_JIT set";
+  Builder b("cachetgt");
+  Wire a = b.input("a", 16);
+  Wire q = b.reg("q", 16);
+  b.connect(q, b.add(q, a));
+  b.output("o", q);
+  const Netlist nl = lower_to_gates(b.take());
+
+  const jit::CacheStats before = jit::cache_stats();
+  Simulator first(nl, SimMode::kNative, 64);
+  ASSERT_TRUE(first.native().native()) << first.native().compile_log();
+  const jit::CacheStats mid = jit::cache_stats();
+  EXPECT_EQ(mid.compiles, before.compiles + 1);
+
+  Simulator second(nl, SimMode::kNative, 64);  // first is still alive
+  ASSERT_TRUE(second.native().native());
+  const jit::CacheStats after = jit::cache_stats();
+  EXPECT_EQ(after.compiles, mid.compiles) << "second engine recompiled";
+  EXPECT_EQ(after.hits, mid.hits + 1);
+
+  // Shared code, private state: the engines still step independently.
+  first.set_input("a", std::uint64_t{3});
+  second.set_input("a", std::uint64_t{5});
+  first.step(4);
+  second.step(2);
+  EXPECT_EQ(first.output("o").to_u64(), 12u);
+  EXPECT_EQ(second.output("o").to_u64(), 10u);
+}
+
+// --- generated source sanity ----------------------------------------------
+
+TEST(GateNativeEmit, GeneratedSourceExportsTheGateAbi) {
+  Builder b("emit");
+  b.output("o", b.xor_(b.input("a", 8), b.input("b", 8)));
+  const Netlist nl = lower_to_gates(b.take());
+  const std::string src = emit_netlist_cpp(nl, 256);
+  EXPECT_NE(src.find("osss_gate_eval"), std::string::npos);
+  EXPECT_NE(src.find("osss_gate_step"), std::string::npos);
+  EXPECT_NE(src.find("osss_gate_abi"), std::string::npos);
+  EXPECT_NE(src.find("osss_gate_lanes"), std::string::npos);
+  EXPECT_NE(src.find("osss_gate_nets"), std::string::npos);
+  EXPECT_NE(src.find("osss_gate_scratch"), std::string::npos);
+}
+
+TEST(GateNativeEmit, LaneValidation) {
+  Builder b("v");
+  b.output("o", b.not_(b.input("a", 4)));
+  const Netlist nl = lower_to_gates(b.take());
+  EXPECT_THROW(emit_netlist_cpp(nl, 65), std::invalid_argument);
+  EXPECT_THROW(emit_netlist_cpp(nl, Simulator::kMaxLanes + 64),
+               std::invalid_argument);
+  EXPECT_THROW(Simulator(nl, SimMode::kNative, 65), std::invalid_argument);
+  // Interpreted modes carry fixed lane counts; explicit others rejected.
+  EXPECT_THROW(Simulator(nl, SimMode::kEvent, 64), std::invalid_argument);
+  EXPECT_THROW(Simulator(nl, SimMode::kBitParallel, 128),
+               std::invalid_argument);
+  Simulator ok(nl, SimMode::kBitParallel, 64);  // the implied value is fine
+  EXPECT_EQ(ok.lanes(), 64u);
+}
+
+// --- run_batch over wide native lanes --------------------------------------
+
+/// The same stimulus through scalar event-engine blocks and one 128-lane
+/// native block must produce identical per-lane outputs.
+TEST(GateNativeBatch, WideLaneBlocksMatchScalarBlocks) {
+  const std::uint64_t seed = case_seed("batch", 0);
+  const Netlist nl = random_netlist("batch", {28, false, false, false}, seed);
+  constexpr unsigned kWide = 128, kCycles = 40;
+  const unsigned lw = kWide / 64;
+  std::mt19937_64 rng(seed);
+
+  std::vector<unsigned> in_widths, out_widths;
+  for (const Bus& bus : nl.inputs())
+    in_widths.push_back(static_cast<unsigned>(bus.nets.size()));
+  for (const Bus& bus : nl.outputs())
+    out_widths.push_back(static_cast<unsigned>(bus.nets.size()));
+  unsigned in_bits = 0, out_bits = 0;
+  for (unsigned w : in_widths) in_bits += w;
+  for (unsigned w : out_widths) out_bits += w;
+  (void)out_bits;
+
+  // Scalar reference: one block per lane on the event engine.
+  std::vector<par::StimulusBlock> scalar(kWide);
+  for (auto& blk : scalar)
+    blk = par::StimulusBlock::make(kCycles,
+                                   static_cast<unsigned>(in_widths.size()));
+  for (unsigned l = 0; l < kWide; ++l)
+    for (unsigned c = 0; c < kCycles; ++c)
+      for (unsigned s = 0; s < in_widths.size(); ++s)
+        scalar[l].in_at(c, s) = rng();
+  run_batch(nl, SimMode::kEvent, scalar);
+
+  // One wide-lane native block carrying the same stimulus.
+  par::StimulusBlock wide =
+      par::StimulusBlock::make(kCycles, in_bits * lw, kWide);
+  for (unsigned c = 0; c < kCycles; ++c) {
+    unsigned slot = 0;
+    for (unsigned s = 0; s < in_widths.size(); ++s) {
+      const std::uint64_t mask =
+          in_widths[s] >= 64 ? ~0ull
+                             : ((std::uint64_t{1} << in_widths[s]) - 1);
+      for (unsigned bit = 0; bit < in_widths[s]; ++bit)
+        for (unsigned l = 0; l < kWide; ++l)
+          wide.in_at(c, slot + bit * lw + l / 64) |=
+              ((scalar[l].in_at(c, s) & mask) >> bit & 1u) << (l % 64);
+      slot += in_widths[s] * lw;
+    }
+  }
+  std::vector<par::StimulusBlock> wide_batch;
+  wide_batch.push_back(std::move(wide));
+  run_batch(nl, SimMode::kNative, wide_batch);
+
+  const par::StimulusBlock& w = wide_batch.front();
+  for (unsigned c = 0; c < kCycles; ++c) {
+    unsigned slot = 0;
+    for (unsigned s = 0; s < out_widths.size(); ++s) {
+      for (unsigned bit = 0; bit < out_widths[s]; ++bit)
+        for (unsigned l = 0; l < kWide; ++l)
+          ASSERT_EQ((w.out_at(c, slot + bit * lw + l / 64) >> (l % 64)) & 1u,
+                    (scalar[l].out_at(c, s) >> bit) & 1u)
+              << "cycle " << c << " output " << s << " bit " << bit
+              << " lane " << l;
+      slot += out_widths[s] * lw;
+    }
+  }
+}
+
+TEST(GateNativeBatch, LaneValidation) {
+  Builder b("v");
+  b.output("o", b.not_(b.input("a", 4)));
+  const Netlist nl = lower_to_gates(b.take());
+  std::vector<par::StimulusBlock> blocks;
+  blocks.push_back(par::StimulusBlock::make(1, 4 * 2, 128));
+  // Wide blocks need the native backend.
+  EXPECT_THROW(run_batch(nl, SimMode::kBitParallel, blocks),
+               std::invalid_argument);
+  blocks.front().lanes = 65;
+  EXPECT_THROW(run_batch(nl, SimMode::kNative, blocks),
+               std::invalid_argument);
+}
+
+// --- value-per-lane I/O ----------------------------------------------------
+
+/// set_input_values/output_values (one value per lane, no bit transpose)
+/// must agree with the bit-sliced set_input_lanes/output_words path, at 64
+/// and 256 lanes.
+TEST(GateNativeValues, ValueApiMatchesBitSlicedApi) {
+  Builder b("vals");
+  Wire a = b.input("a", 12);
+  Wire q = b.reg("q", 12);
+  b.connect(q, b.add(q, a));
+  b.output("o", b.xor_(q, a));
+  const Netlist nl = lower_to_gates(b.take());
+
+  CodegenOptions fb;
+  fb.force_fallback = true;
+  for (const unsigned lanes : {64u, 256u}) {
+    SCOPED_TRACE(lanes);
+    const unsigned lw = lanes / 64;
+    Simulator byvalue(nl, SimMode::kNative, lanes, fb);
+    Simulator bitsliced(nl, SimMode::kNative, lanes, fb);
+
+    std::mt19937_64 rng(1234 + lanes);
+    std::vector<std::uint64_t> values(lanes);
+    std::vector<std::uint64_t> bit_lanes(12 * lw);
+    for (unsigned c = 0; c < 50; ++c) {
+      for (unsigned l = 0; l < lanes; ++l) values[l] = rng() & 0xfff;
+      std::fill(bit_lanes.begin(), bit_lanes.end(), 0);
+      for (unsigned l = 0; l < lanes; ++l)
+        for (unsigned bit = 0; bit < 12; ++bit)
+          bit_lanes[std::size_t{bit} * lw + l / 64] |=
+              ((values[l] >> bit) & 1u) << (l % 64);
+      bitsliced.set_input_lanes("a", bit_lanes);
+      bitsliced.step();
+      byvalue.set_input_values("a", values);
+      byvalue.step();
+      const std::vector<std::uint64_t> ref_words = bitsliced.output_words("o");
+      ASSERT_EQ(byvalue.output_words("o"), ref_words) << "cycle " << c;
+      const std::vector<std::uint64_t> vals = byvalue.output_values("o");
+      ASSERT_EQ(vals.size(), lanes);
+      for (unsigned l = 0; l < lanes; ++l) {
+        std::uint64_t expected = 0;
+        for (unsigned bit = 0; bit < 12; ++bit)
+          expected |=
+              ((ref_words[std::size_t{bit} * lw + l / 64] >> (l % 64)) & 1u)
+              << bit;
+        ASSERT_EQ(vals[l], expected) << "cycle " << c << " lane " << l;
+      }
+    }
+  }
+}
+
+TEST(GateNativeValues, RequiresNativeModeAndMatchingLaneCount) {
+  Builder b("v");
+  b.output("o", b.not_(b.input("a", 4)));
+  const Netlist nl = lower_to_gates(b.take());
+  Simulator bp(nl, SimMode::kBitParallel);
+  std::vector<std::uint64_t> vals(64, 0);
+  EXPECT_THROW(bp.set_input_values("a", vals), std::logic_error);
+  EXPECT_THROW(bp.output_values("o"), std::logic_error);
+  CodegenOptions fb;
+  fb.force_fallback = true;
+  Simulator nat(nl, SimMode::kNative, 128, fb);
+  EXPECT_THROW(nat.set_input_values("a", vals), std::logic_error);
+}
+
+}  // namespace
+}  // namespace osss::gate

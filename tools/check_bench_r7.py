@@ -23,14 +23,21 @@ explains a failure:
    ``native_code`` counter says whether the dlopen'd code actually ran
    (0 = threaded-code fallback), so a fallback-shaped miss is visible.
 
-3. Baseline ratios (``--baseline BENCH_r7.json``): engine-vs-engine
+3. Gate-native floor: the gate-level generated-code engine
+   (``BM_GateNativeSim``, 64 lanes) must reach
+   ``--min-gate-native-ratio`` (default 3x) the 64-lane bit-parallel
+   interpreter (``BM_GateBitParallelSim``), both in stimulus-vector
+   cycles/s; ``native_code`` again distinguishes the dlopen'd code from
+   the interpreted fallback.
+
+4. Baseline ratios (``--baseline BENCH_r7.json``): engine-vs-engine
    throughput ratios of the current run must stay within
    ``--max-regression`` (default 0.5, i.e. no worse than half) of the
    same ratios in the committed reference JSON.  Comparing ratios rather
    than absolute cycles/s makes the gate robust against CI machines of
    different speeds.
 
-4. Thread scaling: the 8-context sharded benchmarks
+5. Thread scaling: the 8-context sharded benchmarks
    (``BM_GateBitParallelShards/8/real_time``, ``BM_RtlTapeBatch/8``)
    must reach ``--min-scaling`` (default 3x) the 1-context throughput.
    Only enforced when the run's ``context.num_cpus`` is at least 8 —
@@ -107,6 +114,8 @@ RATIO_PAIRS = [
     ("native-lanes/interp", "BM_RtlNativeLanesSim", "BM_RtlCycleSim"),
     ("levelized/event", "BM_GateLevelizedSim", "BM_GateEventSim"),
     ("bit-parallel/event", "BM_GateBitParallelSim", "BM_GateEventSim"),
+    ("gate-native/event", "BM_GateNativeSim", "BM_GateEventSim"),
+    ("gate-native-lanes/event", "BM_GateNativeLanesSim", "BM_GateEventSim"),
 ]
 
 # Sharded benchmarks gated on 8-vs-1 context wall-clock scaling.
@@ -172,6 +181,39 @@ def check_native_floor(benchmarks, min_native_ratio):
     return True
 
 
+def check_gate_native_floor(benchmarks, min_ratio):
+    bitparallel = items_per_second(benchmarks, "BM_GateBitParallelSim")
+    native = items_per_second(benchmarks, "BM_GateNativeSim", required=False)
+    native_lanes = items_per_second(benchmarks, "BM_GateNativeLanesSim",
+                                    required=False)
+    print()
+    if native is None:
+        print("FAIL: BM_GateNativeSim missing from results "
+              "(gate native backend not benchmarked)")
+        return False
+    b = find(benchmarks, "BM_GateNativeSim")
+    jit = b.get("native_code")
+    print(f"gate bit-par x64: {bitparallel:12.0f} cycles/s")
+    print(f"gate native x64 : {native:12.0f} cycles/s  "
+          f"(native_code={int(jit) if jit is not None else '?'})")
+    if native_lanes is not None:
+        wl = find(benchmarks, "BM_GateNativeLanesSim")
+        lanes = wl.get("lanes")
+        print(f"gate native x{int(lanes) if lanes else '?'}: "
+              f"{native_lanes:12.0f} cycles/s")
+    if jit == 0:
+        print("  note: native_code=0 — the dlopen'd specialization did not "
+              "run; this row measured the interpreted fallback")
+    ratio = native / bitparallel if bitparallel > 0 else float("inf")
+    if ratio < min_ratio:
+        print(f"FAIL: gate native engine is only {ratio:.2f}x the 64-lane "
+              f"bit-parallel interpreter (required >= {min_ratio}x)")
+        return False
+    print(f"OK: gate native engine is {ratio:.2f}x the 64-lane bit-parallel "
+          f"interpreter (required >= {min_ratio}x)")
+    return True
+
+
 def check_baseline(benchmarks, baseline_benchmarks, max_regression):
     ok = True
     print("\nengine ratios vs committed baseline "
@@ -226,6 +268,9 @@ def main():
     ap.add_argument("--min-native-ratio", type=float, default=3.0,
                     help="minimum native-SIMD vs interpreted-tape "
                          "vector-cycles-per-second ratio")
+    ap.add_argument("--min-gate-native-ratio", type=float, default=3.0,
+                    help="minimum gate-native vs bit-parallel "
+                         "vector-cycles-per-second ratio")
     ap.add_argument("--max-regression", type=float, default=0.5,
                     help="minimum current/baseline ratio-of-ratios")
     ap.add_argument("--min-scaling", type=float, default=3.0,
@@ -250,6 +295,7 @@ def main():
 
     ok = check_tape_floor(benchmarks, args.min_ratio)
     ok = check_native_floor(benchmarks, args.min_native_ratio) and ok
+    ok = check_gate_native_floor(benchmarks, args.min_gate_native_ratio) and ok
     if baseline_data is not None:
         ok = check_baseline(benchmarks, baseline_data.get("benchmarks", []),
                             args.max_regression) and ok
