@@ -102,6 +102,9 @@ NativeEngine::NativeEngine(const Netlist& nl, unsigned lanes,
   if (jit::jit_disabled_by_env()) opt.force_fallback = true;
   try_native(opt);
   reset();
+  // Power-on snapshot: inputs are still 0 here and reset() settled the
+  // arena, so restore_poweron() can recycle this engine with one copy.
+  poweron_values_ = values_;
 }
 
 NativeEngine::~NativeEngine() = default;
@@ -112,31 +115,44 @@ void NativeEngine::drop_native() {
   obj_.reset();
 }
 
+namespace {
+/// ABI probe shared between the post-compile check and the persistent
+/// disk cache's load-time validation: a stale or truncated published
+/// artifact must fail here and fall back to a fresh compile, never reach
+/// the engine.
+bool probe_gate_abi(const jit::Object& obj, unsigned lanes,
+                    std::size_t nets_expected) {
+  const auto abi = reinterpret_cast<unsigned (*)()>(obj.sym("osss_gate_abi"));
+  const auto lns =
+      reinterpret_cast<unsigned (*)()>(obj.sym("osss_gate_lanes"));
+  const auto nets = reinterpret_cast<unsigned long long (*)()>(
+      obj.sym("osss_gate_nets"));
+  const auto ssz = reinterpret_cast<unsigned long long (*)()>(
+      obj.sym("osss_gate_scratch"));
+  return abi != nullptr && abi() == 1u && lns != nullptr && lns() == lanes &&
+         nets != nullptr && nets() == nets_expected && ssz != nullptr &&
+         obj.sym("osss_gate_eval") != nullptr &&
+         obj.sym("osss_gate_step") != nullptr;
+}
+}  // namespace
+
 void NativeEngine::try_native(const CodegenOptions& opt) {
   const std::string src = emit_netlist_cpp(*nl_, lanes_);
-  obj_ = jit::compile(src, opt, "osss-gate", compile_log_);
+  CodegenOptions vopt = opt;
+  vopt.validate = [this](const jit::Object& o) {
+    return probe_gate_abi(o, lanes_, nl_->cells().size());
+  };
+  obj_ = jit::compile(src, vopt, "osss-gate", compile_log_);
   if (obj_ == nullptr) return;
-  const auto abi =
-      reinterpret_cast<unsigned (*)()>(obj_->sym("osss_gate_abi"));
-  const auto lns =
-      reinterpret_cast<unsigned (*)()>(obj_->sym("osss_gate_lanes"));
-  const auto nets = reinterpret_cast<unsigned long long (*)()>(
-      obj_->sym("osss_gate_nets"));
-  const auto ssz = reinterpret_cast<unsigned long long (*)()>(
-      obj_->sym("osss_gate_scratch"));
-  if (abi == nullptr || abi() != 1u || lns == nullptr || lns() != lanes_ ||
-      nets == nullptr || nets() != nl_->cells().size() || ssz == nullptr) {
+  if (!probe_gate_abi(*obj_, lanes_, nl_->cells().size())) {
     compile_log_ += "\n[ABI check failed; using interpreted dispatch]";
     drop_native();
     return;
   }
+  const auto ssz = reinterpret_cast<unsigned long long (*)()>(
+      obj_->sym("osss_gate_scratch"));
   eval_fn_ = reinterpret_cast<EvalFn>(obj_->sym("osss_gate_eval"));
   step_fn_ = reinterpret_cast<StepFn>(obj_->sym("osss_gate_step"));
-  if (eval_fn_ == nullptr || step_fn_ == nullptr) {
-    compile_log_ += "\n[entry points missing; using interpreted dispatch]";
-    drop_native();
-    return;
-  }
   step_scratch_.assign(ssz(), 0);
 }
 
@@ -315,6 +331,13 @@ void NativeEngine::reset() {
   for (auto& mem : mem_) std::fill(mem.begin(), mem.end(), 0);
   std::fill(level_dirty_.begin(), level_dirty_.end(), 1);
   eval();
+}
+
+void NativeEngine::restore_poweron() {
+  values_ = poweron_values_;
+  for (auto& mem : mem_) std::fill(mem.begin(), mem.end(), 0);
+  // The snapshot was taken settled, so the schedule is clean.
+  std::fill(level_dirty_.begin(), level_dirty_.end(), 0);
 }
 
 const Bus& NativeEngine::find_bus(const std::vector<Bus>& buses,

@@ -28,8 +28,9 @@
 //
 // Lanes: 1 (scalar) or any multiple of 64 up to kMaxLanes (512).  A "lane
 // word" packs 64 stimulus lanes of one single-bit net; 256 lanes = 4 words
-// per net, walked by store-only word loops (g_bin/g_nbin/g_mux over
-// L = lanes/64) that reuse the shared prelude's operand loaders.
+// per net.  Each level's logic cells are emitted as one fused loop of
+// explicit SIMD chunk stores (lane_ops_prelude: AVX-512 / AVX2 / scalar
+// selected by lane-word count and target ISA).
 //
 // gate::Simulator selects this backend with SimMode::kNative; the event
 // engine remains the oracle (tests/gate/native_test.cpp runs native vs
@@ -112,6 +113,11 @@ class NativeEngine {
 
   void step();
   void reset();
+  /// Restore the exact post-construction state (power-on reset, all inputs
+  /// at 0, settled) from a snapshot taken at construction — one arena copy
+  /// instead of a reset + settle sweep.  run_batch uses this to recycle
+  /// one engine across blocks.
+  void restore_poweron();
 
   Bits mem_word(unsigned mem, unsigned word, unsigned lane = 0) const;
   void poke_mem(unsigned mem, unsigned word, const Bits& value);
@@ -135,6 +141,7 @@ class NativeEngine {
   std::uint64_t tail_mask_;   ///< mask of the last lane word (1 for scalar)
 
   std::vector<std::uint64_t> values_;  ///< V[net*lw_ + w]
+  std::vector<std::uint64_t> poweron_values_;  ///< settled power-on arena
   std::vector<unsigned char> level_dirty_;
   RunStats stats_;
 

@@ -1,13 +1,18 @@
 // codegen_emit.cpp — lower a levelized gate Netlist into specialized C++.
 //
-// The generated translation unit reuses the shared jit preludes (operand
-// loaders, op kernels) plus a small store-only driver set of its own:
-// unlike the interpreter, the generated eval keeps no per-cell change
-// tracking.  Levels form a topological schedule, so `osss_gate_eval`
-// scans the per-level dirty flags once and then runs one straight-line
-// sweep from the first dirty level to the end — every downstream value
-// is recomputed exactly (change propagation is implicit in program
-// order), and a quiescent settle still costs only the flag scan.
+// The generated translation unit reuses the shared jit preludes: the
+// store-only lane_ops_prelude chunk layer (vw = one AVX-512/AVX2/scalar
+// chunk of lane words) for combinational logic and step_prelude for the
+// sequential commit.  Unlike the interpreter, the generated eval keeps no
+// per-cell change tracking.  Levels form a topological schedule, so
+// `osss_gate_eval` scans the per-level dirty flags once and then runs one
+// straight-line sweep from the first dirty level to the end — every
+// downstream value is recomputed exactly (change propagation is implicit
+// in program order), and a quiescent settle still costs only the flag
+// scan.  Cells within one level are topologically independent, so each
+// level's logic cells fuse into a single `for (w += VW)` loop nest: one
+// loop bound check per VW lane words serves the whole level instead of
+// one word loop per cell, and every store is an explicit SIMD chunk.
 //
 // Memory read ports are grouped — one block per distinct (mem, address
 // nets) tuple instead of one per read-data bit — and lowered to one-hot
@@ -18,6 +23,15 @@
 // when rows >> lanes).  The write-port commit in `osss_gate_step` makes
 // the same choice; step ends with an inline settle call so a clock cycle
 // is one native call.
+//
+// When a row span (width * LW words) tiles into the flat `fv` tier
+// (flat_ops_prelude: always the widest ISA the target enables, FW words
+// per chunk regardless of LW), row-mask gathers and write commits sweep
+// whole rows in explicit fv chunks against a cyclically replicated row
+// mask — one chunk covers several data bits across lane words.  This
+// pins vectorization the auto-vectorizer finds only erratically (GCC's
+// SLP pass is context-sensitive enough to drop it under benign
+// reorderings) and widens it past the per-tap word.
 //
 // Layout contract (must match gate::NativeEngine exactly): lane word w of
 // net n lives at V[n*LW + w]; lane word w of data bit b of memory entry a
@@ -113,16 +127,52 @@ struct Emitter {
   bool use_row_masks(std::uint64_t bound) const {
     return lanes > 1 && bound <= std::uint64_t{4} * lanes;
   }
-
-  /// Operand for an input net: constants 0/1 inline as immediates, any
-  /// other net reads its arena span.
-  std::string opnd(NetId in) const {
-    if (in == nl.const0()) return "K{0x0ull}";
-    if (in == nl.const1()) return "K{" + TM() + "}";
-    return "P{V + " + num(std::uint64_t{in} * lw) + "}";
+  /// The flat `fv` sweep walks whole memory rows (width * LW contiguous
+  /// words) in widest-ISA chunks against a cyclically replicated row
+  /// mask, so the span must tile: lane words a power of two and the row
+  /// span divisible by 8 (the widest FW any target tier picks), capped
+  /// so the gather's stack accumulator stays small.
+  bool flat_rows_ok(std::uint32_t width) const {
+    const std::uint64_t span = std::uint64_t{width} * lw;
+    return (lw & (lw - 1)) == 0 && span % 8 == 0 && span <= 2048;
   }
-  std::string dst(NetId id) const {
-    return "V + " + num(std::uint64_t{id} * lw);
+  /// Replicate each address net's lane words (and their complement)
+  /// cyclically out to MR words, once per port, so per-row masks build
+  /// with pure fv ops.  `arena` names the source array ("V" or "S"),
+  /// `off(i)` its word offset for address bit i.
+  template <typename OffsetFn>
+  void emit_addr_reps(const char* indent, std::size_t addr_bits,
+                      const char* arena, OffsetFn off) {
+    for (std::size_t i = 0; i < addr_bits; ++i) {
+      os << indent << "alignas(64) u64 ar" << i << "[MR], cr" << i
+         << "[MR];\n";
+      os << indent << "for (int k = 0; k < MR; ++k) { ar" << i << "[k] = "
+         << arena << "[" << num(off(i)) << " + (k & " << (lw - 1)
+         << ")]; cr" << i << "[k] = ~ar" << i << "[k]; }\n";
+    }
+  }
+  /// The fv expression for one MR-chunk (`+ k`) of row `a`'s one-hot
+  /// mask: AND of the matching replicated address (or complement)
+  /// chunks, seeded with `seed` ("" = no seed; all-ones when n == 0).
+  static std::string mask_chain(const std::string& seed, std::uint64_t a,
+                                std::size_t addr_bits) {
+    std::string e = seed;
+    for (std::size_t i = 0; i < addr_bits; ++i) {
+      std::string term = (a >> i) & 1 ? "fld(ar" : "fld(cr";
+      term += num(i);
+      term += " + k)";
+      e = e.empty() ? std::move(term) : "f_and(" + e + ", " + term + ")";
+    }
+    return e.empty() ? "fbc(~0ull)" : e;
+  }
+
+  /// Chunk operand for an input net inside a fused `w` loop: constants
+  /// 0/1 use the hoisted broadcast chunks, any other net loads its arena
+  /// span at the loop cursor.
+  std::string vop(NetId in) const {
+    if (in == nl.const0()) return "vc0";
+    if (in == nl.const1()) return "vc1";
+    return "vld(V + " + num(std::uint64_t{in} * lw) + " + w)";
   }
 
   /// Dirty marks for a net's fanout levels; empty when none.
@@ -132,32 +182,27 @@ struct Emitter {
     return m;
   }
 
-  /// The store-only driver call for one logic cell ("" for kMemQ, which
-  /// is emitted as a grouped read-port block).
-  std::string expr(NetId id, const Cell& c) const {
+  /// The store-only chunk expression for one logic cell ("" for kMemQ,
+  /// which is emitted as a grouped read-port block).  Inverting forms
+  /// fold the tail mask by xor (masking invariant: stored words only
+  /// carry valid-lane bits).
+  std::string vexpr(const Cell& c) const {
     const auto bin = [&](const char* op) {
-      return "g_bin<" + std::string(op) + ">(" + dst(id) + ", " +
-             opnd(c.ins[0]) + ", " + opnd(c.ins[1]) + ")";
-    };
-    const auto nbin = [&](const char* op) {
-      return "g_nbin<" + std::string(op) + ">(" + dst(id) + ", " +
-             opnd(c.ins[0]) + ", " + opnd(c.ins[1]) + ", " + TM() + ")";
+      return std::string(op) + "(" + vop(c.ins[0]) + ", " + vop(c.ins[1]) +
+             ")";
     };
     switch (c.kind) {
-      case CellKind::kBuf:
-        return "g_bin<OpOr>(" + dst(id) + ", " + opnd(c.ins[0]) +
-               ", K{0x0ull})";
-      case CellKind::kInv:
-        return "g_not(" + dst(id) + ", " + opnd(c.ins[0]) + ", " + TM() + ")";
-      case CellKind::kAnd2: return bin("OpAnd");
-      case CellKind::kOr2: return bin("OpOr");
-      case CellKind::kXor2: return bin("OpXor");
-      case CellKind::kNand2: return nbin("OpAnd");
-      case CellKind::kNor2: return nbin("OpOr");
-      case CellKind::kXnor2: return nbin("OpXor");
+      case CellKind::kBuf: return vop(c.ins[0]);
+      case CellKind::kInv: return "v_inv(" + vop(c.ins[0]) + ")";
+      case CellKind::kAnd2: return bin("v_and");
+      case CellKind::kOr2: return bin("v_or");
+      case CellKind::kXor2: return bin("v_xor");
+      case CellKind::kNand2: return bin("v_nand");
+      case CellKind::kNor2: return bin("v_nor");
+      case CellKind::kXnor2: return bin("v_xnor");
       case CellKind::kMux2:
-        return "g_mux(" + dst(id) + ", " + opnd(c.ins[0]) + ", " +
-               opnd(c.ins[1]) + ", " + opnd(c.ins[2]) + ")";
+        return "v_mux(" + vop(c.ins[0]) + ", " + vop(c.ins[1]) + ", " +
+               vop(c.ins[2]) + ")";
       default: return "";
     }
   }
@@ -169,8 +214,8 @@ struct Emitter {
                      std::size_t addr_bits) {
     os << indent << "u64 " << var << " = " << seed << ";\n";
     for (std::size_t i = 0; i < addr_bits; ++i)
-      os << indent << var << " &= "
-         << ((a >> i) & 1 ? "a" + num(i) : "~a" + num(i)) << ";\n";
+      os << indent << var << " &= " << ((a >> i) & 1 ? "a" : "~a") << i
+         << ";\n";
   }
 
   /// One grouped read port: every kMemQ cell sharing (mem, address nets).
@@ -182,7 +227,44 @@ struct Emitter {
     os << "    { // mem " << c0.param << " read port: depth " << m.depth
        << ", " << cells.size() << " tap(s)\n";
     os << "      const u64* mp = M[" << c0.param << "];\n";
-    if (use_row_masks(bound)) {
+    if (use_row_masks(bound) && flat_rows_ok(m.width) &&
+        std::uint64_t{cells.size()} * 4 >= m.width) {
+      // Flat row-mask gather: build each row's replicated one-hot mask
+      // with pure fv ops over per-port replicated address chunks, then
+      // accumulate the whole row into a local buffer — one chunk covers
+      // several data bits across lane words.  This pins vectorization
+      // the auto-vectorizer only sometimes finds and widens it past the
+      // per-tap word.  Worth it only when taps cover a decent fraction
+      // of the row (the sweep always reads the full width).  Dead-lane
+      // garbage in the complemented chunks is confined by the memory
+      // words (masking invariant).
+      const std::uint64_t span = std::uint64_t{m.width} * lw;
+      os << "      constexpr int MR = FW > L ? FW : L;\n";
+      emit_addr_reps("      ", n, "V",
+                     [&](std::size_t i) { return std::uint64_t{c0.ins[i]} * lw; });
+      os << "      alignas(64) u64 mrep[MR];\n";
+      os << "      alignas(64) u64 q[" << span << "] = {};\n";
+      for (std::uint64_t a = 0; a < bound; ++a) {
+        os << "      {\n";
+        os << "        fv anyv = fbc(0x0ull);\n";
+        os << "        for (int k = 0; k < MR; k += FW) {\n";
+        os << "          const fv mk = " << mask_chain("", a, n) << ";\n";
+        os << "          fst(mrep + k, mk); anyv = f_or(anyv, mk);\n";
+        os << "        }\n";
+        os << "        if (f_any(anyv)) {\n";
+        os << "          const u64* r = mp + " << num(a * span) << "u;\n";
+        os << "          for (int c = 0; c < " << span << "; c += FW)\n";
+        os << "            fst(q + c, f_or(fld(q + c), "
+              "f_and(fld(mrep + (c & (MR - 1))), fld(r + c))));\n";
+        os << "        }\n";
+        os << "      }\n";
+      }
+      for (std::size_t t = 0; t < cells.size(); ++t)
+        os << "      j_cpy(V + " << num(std::uint64_t{cells[t]} * lw)
+           << ", q + "
+           << num(std::uint64_t{nl.cells()[cells[t]].param2} * lw) << ", "
+           << lw << ");\n";
+    } else if (use_row_masks(bound)) {
       // Row-mask gather: one sweep of the addressable rows per lane word
       // serves every tap; dead-lane garbage in the masks is confined by
       // the memory words (see masking invariant above).
@@ -256,6 +338,8 @@ struct Emitter {
     os << "    if (D[i]) { first = i; break; }\n";
     os << "  if (first >= " << num_levels << ") return;\n";
     os << "  for (int i = first; i < " << num_levels << "; ++i) D[i] = 0;\n";
+    os << "  const vw vc0 = vbc(0x0ull); (void)vc0;\n";
+    os << "  const vw vc1 = vbc(TM); (void)vc1;\n";
     for (std::uint32_t lev = 0; lev < num_levels; ++lev) {
       os << "  if (first <= " << lev << ") {\n";
       // Group this level's kMemQ cells by read port (shared mem + address
@@ -263,21 +347,31 @@ struct Emitter {
       std::map<std::pair<std::uint32_t, std::vector<NetId>>,
                std::vector<NetId>>
           ports;
+      std::vector<NetId> logic;
       for (const NetId id : by_level[lev]) {
         const Cell& c = nl.cells()[id];
-        if (c.kind == CellKind::kMemQ) ports[{c.param, c.ins}].push_back(id);
+        if (c.kind == CellKind::kMemQ)
+          ports[{c.param, c.ins}].push_back(id);
+        else
+          logic.push_back(id);
       }
       for (const NetId id : by_level[lev]) {
         const Cell& c = nl.cells()[id];
-        if (c.kind == CellKind::kMemQ) {
-          const auto it = ports.find({c.param, c.ins});
-          if (it != ports.end()) {
-            emit_memq_group(it->second);
-            ports.erase(it);
-          }
-          continue;
+        if (c.kind != CellKind::kMemQ) continue;
+        const auto it = ports.find({c.param, c.ins});
+        if (it != ports.end()) {
+          emit_memq_group(it->second);
+          ports.erase(it);
         }
-        os << "    " << expr(id, c) << ";\n";
+      }
+      // Same-level cells never read each other, so the whole level fuses
+      // into one chunked loop: one bound check per VW lane words.
+      if (!logic.empty()) {
+        os << "    for (int w = 0; w < L; w += VW) {\n";
+        for (const NetId id : logic)
+          os << "      vst(V + " << num(std::uint64_t{id} * lw) << " + w, "
+             << vexpr(nl.cells()[id]) << ");\n";
+        os << "    }\n";
       }
       os << "  }\n";
     }
@@ -366,7 +460,58 @@ struct Emitter {
       os << "  { // mem " << wp.mem << " write port: depth " << m.depth
          << ", width " << m.width << "\n";
       os << "    u64 ch = 0;\n";
-      if (use_row_masks(bound)) {
+      if (use_row_masks(bound) && flat_rows_ok(m.width)) {
+        // Flat row-mask merge: build each row's replicated select mask
+        // (enable AND address match) with pure fv ops and merge whole
+        // rows in fv chunks — one select/merge covers several data bits
+        // across lane words.  Change detection rides along as a vector
+        // accumulator reduced once per port.  sel is seeded from the
+        // sampled enable chunks, so complemented address garbage never
+        // escapes.
+        const std::uint64_t span = std::uint64_t{m.width} * lw;
+        std::string eany;
+        for (unsigned w = 0; w < lw; ++w) {
+          eany += w ? " | S[" : "S[";
+          eany += num(wp.en_at + w);
+          eany += "]";
+        }
+        os << "    if (" << eany << ") {\n";
+        os << "      constexpr int MR = FW > L ? FW : L;\n";
+        os << "      alignas(64) u64 enr[MR];\n";
+        os << "      for (int k = 0; k < MR; ++k) enr[k] = S["
+           << num(wp.en_at) << " + (k & " << (lw - 1) << ")];\n";
+        emit_addr_reps("      ", n, "S",
+                       [&](std::size_t i) { return wp.addr_at + i * lw; });
+        os << "      alignas(64) u64 srep[MR];\n";
+        os << "      fv chv = fbc(0x0ull);\n";
+        os << "      u64* const mb = M[" << wp.mem << "];\n";
+        os << "      const u64* const sd = S + " << num(wp.data_at) << ";\n";
+        for (std::uint64_t a = 0; a < bound; ++a) {
+          os << "      {\n";
+          os << "        fv anyv = fbc(0x0ull);\n";
+          os << "        for (int k = 0; k < MR; k += FW) {\n";
+          os << "          const fv sk = " << mask_chain("fld(enr + k)", a, n)
+             << ";\n";
+          os << "          fst(srep + k, sk); anyv = f_or(anyv, sk);\n";
+          os << "        }\n";
+          os << "        if (f_any(anyv)) {\n";
+          os << "          u64* e = mb + " << num(a * span) << "u;\n";
+          os << "          for (int c = 0; c < " << span << "; c += FW) {\n";
+          os << "            const fv sv = fld(srep + (c & (MR - 1)));\n";
+          os << "            const fv ov = fld(e + c);\n";
+          os << "            const fv nv = f_or(f_andn(sv, ov), "
+                "f_and(sv, fld(sd + c)));\n";
+          os << "            chv = f_or(chv, f_xor(nv, ov));\n";
+          os << "            fst(e + c, nv);\n";
+          os << "          }\n";
+          os << "        }\n";
+          os << "      }\n";
+        }
+        os << "      alignas(64) u64 chb[FW];\n";
+        os << "      fst(chb, chv);\n";
+        os << "      for (int k = 0; k < FW; ++k) ch |= chb[k];\n";
+        os << "    }\n";
+      } else if (use_row_masks(bound)) {
         // Row-mask merge: sel = enabled lanes writing row `a`; every data
         // bit merges with two word ops.  sel is confined by the sampled
         // enable word, so complemented address garbage never escapes.
@@ -432,32 +577,15 @@ struct Emitter {
   std::string run() {
     os << jit::prelude_header();
     os << "constexpr int L = " << lw << ";\n";
-    os << jit::vector_prelude();
+    os << "constexpr u64 TM = " << TM() << ";\n";
+    // Store-only chunk drivers: the suffix sweep recomputes every
+    // downstream cell anyway, so the change-accumulating v_* drivers
+    // would pay an xor/or reduction per word for nothing.
+    os << jit::lane_ops_prelude(lw);
+    // Flat widest-ISA drivers for whole-row memory sweeps (gather and
+    // write commit) — independent of the vw lane-chunk tier.
+    os << jit::flat_ops_prelude();
     os << jit::step_prelude();
-    // Store-only drivers: the suffix sweep recomputes every downstream
-    // cell anyway, so the change-accumulating v_* drivers would pay an
-    // xor/or reduction per word for nothing.
-    os << R"OSSS(
-template <class OP, class A, class B>
-inline void g_bin(u64* d, A a, B b) {
-  for (int l = 0; l < L; ++l) d[l] = OP::sc(a.ld(l), b.ld(l));
-}
-template <class OP, class A, class B>
-inline void g_nbin(u64* d, A a, B b, u64 m) {
-  for (int l = 0; l < L; ++l) d[l] = ~OP::sc(a.ld(l), b.ld(l)) & m;
-}
-template <class A>
-inline void g_not(u64* d, A a, u64 m) {
-  for (int l = 0; l < L; ++l) d[l] = ~a.ld(l) & m;
-}
-template <class S, class B, class C>
-inline void g_mux(u64* d, S s, B t, C e) {
-  for (int l = 0; l < L; ++l) {
-    const u64 sv = s.ld(l);
-    d[l] = (sv & t.ld(l)) | (~sv & e.ld(l));
-  }
-}
-)OSSS";
     os << "}  // namespace\n\n";
     std::vector<std::uint64_t> dff_at, wp_at;
     const std::uint64_t scratch = compute_scratch(dff_at, wp_at);

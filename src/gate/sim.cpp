@@ -1,6 +1,8 @@
 #include "gate/sim.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 
 #include "par/pool.hpp"
@@ -273,6 +275,14 @@ void Simulator::reset() {
   full_eval();
 }
 
+void Simulator::restore_poweron() {
+  if (native_) {
+    native_->restore_poweron();
+    return;
+  }
+  reset();
+}
+
 const Bus& Simulator::find_bus(const std::vector<Bus>& buses,
                                const std::string& name) const {
   for (const Bus& b : buses)
@@ -512,7 +522,7 @@ std::uint64_t low64(const Bits& v) {
 
 void run_scalar_block(Simulator& sim, const Netlist& nl,
                       par::StimulusBlock& b) {
-  sim.reset();
+  sim.restore_poweron();
   for (unsigned c = 0; c < b.cycles; ++c) {
     for (unsigned s = 0; s < b.in_slots; ++s) {
       const Bus& bus = nl.inputs()[s];
@@ -529,7 +539,7 @@ void run_scalar_block(Simulator& sim, const Netlist& nl,
 
 void run_lane_block(Simulator& sim, const Netlist& nl, par::StimulusBlock& b,
                     unsigned lwords) {
-  sim.reset();
+  sim.restore_poweron();
   for (unsigned c = 0; c < b.cycles; ++c) {
     unsigned slot = 0;
     for (const Bus& bus : nl.inputs()) {
@@ -593,22 +603,39 @@ void run_batch(const Netlist& nl, SimMode mode,
   }
 
   par::Pool& pool = pool_arg ? *pool_arg : par::Pool::global();
-  // One simulator per chunk (netlist copy + schedule build amortized over
-  // the chunk's blocks), reset between blocks.
+  // Engines are pooled across chunks: a chunk borrows an idle simulator
+  // (or builds one when all are busy — at most one per concurrently active
+  // worker) and returns it, so schedule build and JIT compile are paid
+  // once per worker, not once per chunk, and every native chunk shares one
+  // cached object.  Blocks start from restore_poweron(), a snapshot copy.
   const std::size_t chunks =
       std::min(blocks.size(), static_cast<std::size_t>(pool.size()) * 2);
   const std::size_t per = (blocks.size() + chunks - 1) / chunks;
+  std::mutex pool_mu;
+  std::vector<std::unique_ptr<Simulator>> idle;
   pool.parallel_for(chunks, [&](std::size_t chunk) {
     const std::size_t lo = chunk * per;
     const std::size_t hi = std::min(blocks.size(), lo + per);
     if (lo >= hi) return;
-    Simulator sim(nl, mode, mode == SimMode::kNative ? lanes : 0);
+    std::unique_ptr<Simulator> sim;
+    {
+      std::lock_guard<std::mutex> lk(pool_mu);
+      if (!idle.empty()) {
+        sim = std::move(idle.back());
+        idle.pop_back();
+      }
+    }
+    if (!sim)
+      sim = std::make_unique<Simulator>(
+          nl, mode, mode == SimMode::kNative ? lanes : 0);
     for (std::size_t i = lo; i < hi; ++i) {
       if (lanes == 1)
-        run_scalar_block(sim, nl, blocks[i]);
+        run_scalar_block(*sim, nl, blocks[i]);
       else
-        run_lane_block(sim, nl, blocks[i], lwords);
+        run_lane_block(*sim, nl, blocks[i], lwords);
     }
+    std::lock_guard<std::mutex> lk(pool_mu);
+    idle.push_back(std::move(sim));
   });
 }
 

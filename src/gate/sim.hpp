@@ -137,6 +137,11 @@ public:
 
   /// Asynchronous power-on reset: every DFF to its init value.
   void reset();
+  /// Power-on reset via the native backend's construction-time arena
+  /// snapshot when available (one copy, no settle sweep); interpreted
+  /// modes fall back to reset().  run_batch uses this to recycle one
+  /// engine across stimulus blocks.
+  void restore_poweron();
 
   const Stats& stats() const noexcept;
   /// Total gate evaluations performed (the activity measure).

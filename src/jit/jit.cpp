@@ -1,10 +1,26 @@
-// jit.cpp — runtime compile + dlopen with a content-hash object cache.
+// jit.cpp — runtime compile + dlopen behind a two-level object cache.
+//
+// Level 1 is the in-process map of live objects (weak entries, so temp
+// dirs die with their last engine).  Level 2 is the optional persistent
+// directory ($OSSS_JIT_CACHE_DIR) shared across processes: artifacts are
+// published atomically (temp file + rename into place), same-key compiles
+// across processes serialize on a per-key flock so the loser loads the
+// winner's artifact instead of recompiling, and the directory is LRU
+// capped by mtime.  Within a process, concurrent compiles of *different*
+// sources run in parallel: the cache mutex guards only map/in-flight
+// bookkeeping, and each key has its own in-flight entry that followers
+// wait on.
 
 #include "jit/jit.hpp"
 
 #include <dlfcn.h>
+#include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -13,15 +29,45 @@
 #include <unordered_map>
 #include <vector>
 
+namespace fs = std::filesystem;
+
 namespace osss::jit {
+
+/// Internal factory: the only code allowed to construct Objects and set
+/// their private fields (kept out of the anonymous namespace so it can be
+/// named in Object's friend declaration).
+struct ObjectAccess {
+  static std::shared_ptr<Object> make(std::uint64_t key) {
+    std::shared_ptr<Object> obj(new Object);
+    obj->key_ = key;
+    return obj;
+  }
+  static void*& dl(Object& o) { return o.dl_; }
+  static std::string& work_dir(Object& o) { return o.work_dir_; }
+  static std::string& log(Object& o) { return o.log_; }
+};
 
 namespace {
 
+/// One in-flight compile: the leader fills result/log and flips done; any
+/// follower that found this entry under the cache mutex waits here instead
+/// of racing the compiler on the same key.
+struct Inflight {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  std::shared_ptr<Object> result;
+  std::string log;
+};
+
 struct Cache {
+  // Guards map / inflight / stats only — never held across a compiler
+  // invocation or a disk probe, so unrelated compiles run in parallel.
   std::mutex mu;
   // weak entries: an object lives exactly as long as some engine holds it,
   // so temp dirs never outlive their users (the cleanup tests rely on it).
   std::unordered_map<std::uint64_t, std::weak_ptr<Object>> map;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Inflight>> inflight;
   CacheStats stats;
 };
 
@@ -43,6 +89,236 @@ std::string default_flags() {
   if (__builtin_cpu_supports("avx512f")) flags += " -mavx512f";
 #endif
   return flags;
+}
+
+/// First line of `cc --version`, probed once per compiler per process and
+/// mixed into the cache key: a toolchain upgrade must invalidate artifacts
+/// published by the old compiler, and the probe result is stable within a
+/// process so in-memory hashing stays cheap.  A compiler that cannot run
+/// contributes the empty string (the compile itself will fail and fall
+/// back).
+std::string compiler_version(const std::string& cc) {
+  static std::mutex mu;
+  static std::unordered_map<std::string, std::string> seen;
+  std::lock_guard<std::mutex> hold(mu);
+  if (const auto it = seen.find(cc); it != seen.end()) return it->second;
+  std::string ver;
+  if (cc.find('\'') == std::string::npos) {
+    FILE* p = ::popen(("'" + cc + "' --version 2>/dev/null").c_str(), "r");
+    if (p != nullptr) {
+      char buf[256];
+      if (std::fgets(buf, sizeof buf, p) != nullptr) ver = buf;
+      ::pclose(p);
+    }
+  }
+  seen.emplace(cc, ver);
+  return ver;
+}
+
+// --- persistent disk cache --------------------------------------------------
+
+struct DiskCache {
+  bool enabled = false;
+  fs::path dir;
+};
+
+DiskCache disk_config() {
+  DiskCache dc;
+  const char* d = std::getenv("OSSS_JIT_CACHE_DIR");
+  if (d == nullptr || *d == '\0') return dc;  // unset: layer fully inert
+  dc.dir = d;
+  std::error_code ec;
+  fs::create_directories(dc.dir, ec);  // best effort; probes/publish cope
+  dc.enabled = true;
+  return dc;
+}
+
+std::uintmax_t disk_cap_bytes() {
+  const char* v = std::getenv("OSSS_JIT_CACHE_MAX_BYTES");
+  if (v == nullptr || *v == '\0') return std::uintmax_t{256} << 20;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v, &end, 10);
+  if (end == v) return std::uintmax_t{256} << 20;
+  return n;  // 0 disables eviction
+}
+
+std::string key_hex(std::uint64_t key) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(key));
+  return buf;
+}
+
+/// dlopen a published artifact and run the caller's ABI probe.  Truncated,
+/// corrupt or stale files fail dlopen or the probe; either way the caller
+/// deletes the artifact (under the per-key flock) and compiles fresh.
+std::shared_ptr<Object> try_load_disk(const fs::path& so, std::uint64_t key,
+                                      const CompileOptions& opt) {
+  std::error_code ec;
+  if (!fs::exists(so, ec)) return nullptr;
+  void* dl = dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (dl == nullptr) return nullptr;
+  std::shared_ptr<Object> obj = ObjectAccess::make(key);
+  ObjectAccess::dl(*obj) = dl;  // no work_dir_: the artifact is cache-owned
+  if (opt.validate && !opt.validate(*obj)) return nullptr;  // dtor dlcloses
+  fs::last_write_time(so, fs::file_time_type::clock::now(), ec);  // LRU touch
+  return obj;
+}
+
+/// Copy the fresh gen.so next to its final name and rename into place —
+/// readers either see the complete artifact or none.  Best effort: an
+/// unwritable cache dir silently degrades to the in-memory-only path.
+bool publish_disk(const fs::path& built_so, const fs::path& final_so) {
+  std::error_code ec;
+  fs::path tmp = final_so;
+  tmp += ".tmp" + std::to_string(static_cast<long>(::getpid()));
+  fs::copy_file(built_so, tmp, fs::copy_options::overwrite_existing, ec);
+  if (ec) return false;
+  fs::rename(tmp, final_so, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+/// Drop oldest-mtime artifacts until the directory fits the size cap,
+/// never evicting the artifact just published.  Lock files ride along with
+/// their .so.  Returns the number of artifacts evicted.
+std::uint64_t evict_lru(const fs::path& dir, const fs::path& keep) {
+  const std::uintmax_t cap = disk_cap_bytes();
+  if (cap == 0) return 0;
+  struct Entry {
+    fs::path path;
+    fs::file_time_type mtime;
+    std::uintmax_t size;
+  };
+  std::vector<Entry> entries;
+  std::uintmax_t total = 0;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->path().extension() != ".so") continue;
+    const std::uintmax_t sz = it->file_size(ec);
+    if (ec) continue;
+    entries.push_back({it->path(), it->last_write_time(ec), sz});
+    total += sz;
+  }
+  if (total <= cap) return 0;
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.mtime < b.mtime; });
+  std::uint64_t evicted = 0;
+  for (const Entry& e : entries) {
+    if (total <= cap) break;
+    if (e.path == keep) continue;
+    if (fs::remove(e.path, ec)) {
+      total -= e.size;
+      ++evicted;
+      fs::path lock = e.path;
+      lock.replace_extension(".lock");
+      fs::remove(lock, ec);
+    }
+  }
+  return evicted;
+}
+
+/// Outcome of the slow path (disk probe + compile), folded into the
+/// process-wide counters under the cache mutex by the leader.
+struct SlowResult {
+  std::shared_ptr<Object> obj;
+  bool compiled = false;
+  bool disk_hit = false;
+  bool disk_miss = false;
+  std::uint64_t evictions = 0;
+};
+
+/// Everything past the in-memory map: probe the persistent cache, compile
+/// on a miss, publish the result.  Runs WITHOUT the cache mutex; same-key
+/// callers are serialized by the in-flight entry (in-process) and the
+/// per-key flock (cross-process).
+SlowResult compile_slow(const std::string& source, const CompileOptions& opt,
+                        const std::string& cc, const char* tag,
+                        std::uint64_t key, std::string& log) {
+  SlowResult r;
+  const DiskCache dc = disk_config();
+  fs::path final_so, lock_path;
+  int lock_fd = -1;
+  if (dc.enabled) {
+    const std::string stem = std::string(tag) + "-" + key_hex(key);
+    final_so = dc.dir / (stem + ".so");
+    lock_path = dc.dir / (stem + ".lock");
+    lock_fd = ::open(lock_path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    // Serialize same-key compiles across processes: whoever wins compiles
+    // and publishes; the loser wakes, re-probes and loads the artifact.
+    if (lock_fd >= 0) ::flock(lock_fd, LOCK_EX);
+    if ((r.obj = try_load_disk(final_so, key, opt)) != nullptr) {
+      r.disk_hit = true;
+      if (lock_fd >= 0) ::close(lock_fd);  // releases the flock
+      log.clear();
+      return r;
+    }
+    r.disk_miss = true;
+    std::error_code ec;
+    fs::remove(final_so, ec);  // stale/corrupt artifact: republish below
+  }
+
+  const auto done = [&](SlowResult out) {
+    if (lock_fd >= 0) ::close(lock_fd);
+    return out;
+  };
+
+  const char* tmp = std::getenv("TMPDIR");
+  std::string tmpl = (tmp != nullptr && *tmp != '\0' ? std::string(tmp)
+                                                     : std::string("/tmp")) +
+                     "/" + tag + "-XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) {
+    log = "mkdtemp failed; using interpreted dispatch";
+    return done(std::move(r));
+  }
+  std::shared_ptr<Object> obj = ObjectAccess::make(key);
+  ObjectAccess::work_dir(*obj) = buf.data();
+  const std::string cpp = ObjectAccess::work_dir(*obj) + "/gen.cpp";
+  const std::string so = ObjectAccess::work_dir(*obj) + "/gen.so";
+  const std::string cc_log = ObjectAccess::work_dir(*obj) + "/cc.log";
+  {
+    std::ofstream f(cpp);
+    f << source;
+    if (!f) {
+      log = "failed to write generated source";
+      return done(std::move(r));  // obj dtor removes the dir
+    }
+  }
+  std::string flags = default_flags();
+  if (!opt.extra_flags.empty()) flags += " " + opt.extra_flags;
+  const std::string cmd = "'" + cc + "' " + flags + " '" + cpp + "' -o '" +
+                          so + "' >'" + cc_log + "' 2>&1";
+  const int rc = std::system(cmd.c_str());
+  {
+    std::ifstream f(cc_log);
+    std::stringstream ss;
+    ss << f.rdbuf();
+    ObjectAccess::log(*obj) = ss.str();
+  }
+  if (rc != 0) {
+    log = ObjectAccess::log(*obj) +
+          "\n[compile failed; using interpreted dispatch]";
+    return done(std::move(r));
+  }
+  ObjectAccess::dl(*obj) = dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (ObjectAccess::dl(*obj) == nullptr) {
+    const char* err = dlerror();
+    log = ObjectAccess::log(*obj) + "\n[dlopen failed: " +
+          (err != nullptr ? err : "?") + "]";
+    return done(std::move(r));
+  }
+  if (dc.enabled && publish_disk(so, final_so))
+    r.evictions = evict_lru(dc.dir, final_so);
+  r.compiled = true;
+  r.obj = std::move(obj);
+  log = ObjectAccess::log(*r.obj);
+  return done(std::move(r));
 }
 
 }  // namespace
@@ -70,8 +346,11 @@ std::uint64_t source_hash(const std::string& source,
     h ^= 0xff;  // separator outside the byte alphabet
     h *= 0x100000001b3ull;
   };
+  const std::string cc = resolve_compiler(opt);
   mix(source);
-  mix(resolve_compiler(opt));
+  mix(cc);
+  mix(compiler_version(cc));
+  mix(default_flags());
   mix(opt.extra_flags);
   return h;
 }
@@ -95,69 +374,64 @@ std::shared_ptr<Object> compile(const std::string& source,
   const std::uint64_t key = source_hash(source, opt);
 
   Cache& c = cache();
-  // The lock covers the compile itself: concurrent engines emitting the
-  // same source (sharded equivalence checks) wait for one compile and then
-  // hit, instead of racing the compiler on the same key.
-  std::lock_guard<std::mutex> hold(c.mu);
-  if (const auto it = c.map.find(key); it != c.map.end()) {
-    if (std::shared_ptr<Object> live = it->second.lock()) {
-      ++c.stats.hits;
-      log = live->log();
-      return live;
+  std::shared_ptr<Inflight> fl;
+  {
+    std::unique_lock<std::mutex> hold(c.mu);
+    for (;;) {
+      if (const auto it = c.map.find(key); it != c.map.end()) {
+        if (std::shared_ptr<Object> live = it->second.lock()) {
+          ++c.stats.hits;
+          log = live->log();
+          return live;
+        }
+      }
+      if (const auto it = c.inflight.find(key); it != c.inflight.end()) {
+        // Same key already compiling: wait for the leader, then re-check
+        // (the leader may have failed; its result may already be dead).
+        fl = it->second;
+        hold.unlock();
+        {
+          std::unique_lock<std::mutex> w(fl->mu);
+          fl->cv.wait(w, [&] { return fl->done; });
+        }
+        hold.lock();
+        if (fl->result != nullptr) {
+          ++c.stats.hits;
+          log = fl->result->log();
+          return fl->result;
+        }
+        ++c.stats.misses;
+        log = fl->log;
+        return nullptr;
+      }
+      // No live object, no in-flight compile: become the leader for this
+      // key and leave the map lock before doing any slow work.
+      fl = std::make_shared<Inflight>();
+      c.inflight.emplace(key, fl);
+      ++c.stats.misses;
+      break;
     }
   }
-  ++c.stats.misses;
 
-  const char* tmp = std::getenv("TMPDIR");
-  std::string tmpl = (tmp != nullptr && *tmp != '\0' ? std::string(tmp)
-                                                     : std::string("/tmp")) +
-                     "/" + tag + "-XXXXXX";
-  std::vector<char> buf(tmpl.begin(), tmpl.end());
-  buf.push_back('\0');
-  if (::mkdtemp(buf.data()) == nullptr) {
-    log = "mkdtemp failed; using interpreted dispatch";
-    return nullptr;
-  }
-  std::shared_ptr<Object> obj(new Object);
-  obj->work_dir_ = buf.data();
-  obj->key_ = key;
-  const std::string cpp = obj->work_dir_ + "/gen.cpp";
-  const std::string so = obj->work_dir_ + "/gen.so";
-  const std::string cc_log = obj->work_dir_ + "/cc.log";
+  SlowResult r = compile_slow(source, opt, cc, tag, key, log);
+
   {
-    std::ofstream f(cpp);
-    f << source;
-    if (!f) {
-      log = "failed to write generated source";
-      return nullptr;  // obj dtor removes the dir
-    }
+    std::lock_guard<std::mutex> hold(c.mu);
+    if (r.obj != nullptr) c.map[key] = r.obj;
+    if (r.compiled) ++c.stats.compiles;
+    if (r.disk_hit) ++c.stats.disk_hits;
+    if (r.disk_miss) ++c.stats.disk_misses;
+    c.stats.disk_evictions += r.evictions;
+    c.inflight.erase(key);
   }
-  std::string flags = default_flags();
-  if (!opt.extra_flags.empty()) flags += " " + opt.extra_flags;
-  const std::string cmd = "'" + cc + "' " + flags + " '" + cpp + "' -o '" +
-                          so + "' >'" + cc_log + "' 2>&1";
-  const int rc = std::system(cmd.c_str());
   {
-    std::ifstream f(cc_log);
-    std::stringstream ss;
-    ss << f.rdbuf();
-    obj->log_ = ss.str();
+    std::lock_guard<std::mutex> w(fl->mu);
+    fl->result = r.obj;
+    fl->log = log;
+    fl->done = true;
   }
-  if (rc != 0) {
-    log = obj->log_ + "\n[compile failed; using interpreted dispatch]";
-    return nullptr;
-  }
-  obj->dl_ = dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
-  if (obj->dl_ == nullptr) {
-    const char* err = dlerror();
-    log = obj->log_ + "\n[dlopen failed: " + (err != nullptr ? err : "?") +
-          "]";
-    return nullptr;
-  }
-  ++c.stats.compiles;
-  c.map[key] = obj;
-  log = obj->log_;
-  return obj;
+  fl->cv.notify_all();
+  return r.obj;
 }
 
 CacheStats cache_stats() noexcept {

@@ -4,11 +4,26 @@
 // C++ for one compiled design, build it with the host compiler and dlopen
 // the result.  This library owns everything that is identical between them:
 // temp-dir management, compiler resolution ($OSSS_CC), the compile command,
-// log capture, dlopen + symbol lookup, cleanup — and a process-wide cache
-// keyed by a content hash of the emitted source, so engines whose generated
-// code is byte-identical (the same netlist simulated twice, the six ExpoCU
-// components shared across experiments, repeated opt-pass self-checks)
-// share one live shared object instead of invoking the compiler again.
+// log capture, dlopen + symbol lookup, cleanup — and a two-level object
+// cache keyed by a content hash of the emitted source:
+//
+//   * in-memory: engines whose generated code is byte-identical (the same
+//     netlist simulated twice, the six ExpoCU components shared across
+//     experiments, repeated opt-pass self-checks) share one live shared
+//     object instead of invoking the compiler again;
+//   * on disk (opt-in via $OSSS_JIT_CACHE_DIR): compiled .so files are
+//     published under the cache directory keyed by the same content hash
+//     (compiler identity and version included), so a *second process* —
+//     a rerun of the test suite, a CI warm job, the future osss-serve
+//     daemon — dlopens the published artifact instead of compiling.
+//     Publication is atomic (temp file + rename), concurrent processes
+//     compiling the same key serialize on a per-key flock and the loser
+//     loads the winner's artifact, stale or truncated artifacts are
+//     re-probed on load (CompileOptions::validate) and silently fall back
+//     to a fresh compile, and the directory is LRU-capped by mtime
+//     ($OSSS_JIT_CACHE_MAX_BYTES, default 256 MiB, 0 disables eviction).
+//     When the variable is unset or empty the disk layer is inert and
+//     behavior is exactly the in-memory-only path.
 //
 // Generated code must therefore be stateless: all mutable state (arena,
 // memories, dirty flags, step scratch) is owned by the engine and passed in
@@ -17,10 +32,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
 namespace osss::jit {
+
+class Object;
 
 /// Knobs for the runtime compile.  Engines expose this as their
 /// `CodegenOptions`; defaults give the production behavior.
@@ -35,12 +53,19 @@ struct CompileOptions {
   bool force_fallback = false;
   /// When non-empty, also write the emitted source to this path.
   std::string keep_source;
+  /// Probe an object loaded from the persistent disk cache before it is
+  /// accepted (engines re-check their ABI version / lane count / entry
+  /// points here); return false to discard the artifact and compile
+  /// fresh.  Never called for freshly compiled objects — engines still
+  /// run their own post-compile probe — and not part of the cache key.
+  std::function<bool(const Object&)> validate;
 };
 
 /// A compiled-and-loaded shared object.  Instances are shared between all
 /// engines whose emitted source (and compiler identity) hash the same; the
 /// private temp directory holding source/so/log is removed when the last
-/// reference dies.
+/// reference dies.  Objects loaded from the persistent disk cache have no
+/// temp directory (the published artifact is owned by the cache).
 class Object {
  public:
   Object(const Object&) = delete;
@@ -49,15 +74,14 @@ class Object {
 
   /// dlsym on the loaded object; nullptr when the symbol is absent.
   void* sym(const char* name) const noexcept;
-  /// Captured compiler output (usually empty on success).
+  /// Captured compiler output (usually empty on success; empty for disk
+  /// cache hits, which never ran the compiler).
   const std::string& log() const noexcept { return log_; }
   /// Content hash this object was cached under.
   std::uint64_t key() const noexcept { return key_; }
 
  private:
-  friend std::shared_ptr<Object> compile(const std::string&,
-                                         const CompileOptions&, const char*,
-                                         std::string&);
+  friend struct ObjectAccess;
   Object() = default;
   void* dl_ = nullptr;
   std::string work_dir_;
@@ -65,27 +89,44 @@ class Object {
   std::uint64_t key_ = 0;
 };
 
-/// Process-wide cache counters (monotonic).  `misses` counts cache lookups
-/// that had to invoke the compiler; `compiles` counts the ones that
-/// succeeded.  hits + misses == total compile() calls that got past the
-/// force_fallback gate.
+/// Process-wide cache counters (monotonic).  `hits` counts lookups served
+/// by a live in-memory object; `misses` counts the ones that had to go
+/// further (disk probe and/or compiler); `compiles` counts successful
+/// compiler invocations.  hits + misses == total compile() calls that got
+/// past the force_fallback gate.  The disk_* counters cover the persistent
+/// layer: a miss that loads a published artifact is a `disk_hit` (and does
+/// NOT increment `compiles` — zero compiler invocations is the warm-start
+/// contract CI asserts), `disk_misses` counts enabled-probe failures, and
+/// `disk_evictions` counts artifacts removed by the LRU size cap.
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t compiles = 0;
+  std::uint64_t disk_hits = 0;
+  std::uint64_t disk_misses = 0;
+  std::uint64_t disk_evictions = 0;
 };
 
 /// FNV-1a 64 over the emitted source and the compiler identity — the cache
-/// key.  Exposed so tests can assert two emissions would share an object.
+/// key, shared by the in-memory map and the persistent disk cache.  The
+/// identity mixes the resolved compiler path, its `--version` banner
+/// (probed once per process, so a toolchain upgrade invalidates published
+/// artifacts), the cpu-probed default flags and the extra flags.  Exposed
+/// so tests can assert two emissions would share an object.
 std::uint64_t source_hash(const std::string& source,
                           const CompileOptions& opt);
 
 /// Compile `source` in a private mkdtemp directory ($TMPDIR or /tmp,
 /// prefixed with `tag`), dlopen the result and return a shared handle.
-/// Identical (source, compiler, flags) reuse a live cached Object.  On any
-/// failure — force_fallback, bad compiler path, compile error, dlopen
-/// error — returns nullptr with the reason appended to `log`; callers fall
-/// back to their interpreted engine.  Thread-safe.
+/// Identical (source, compiler, flags) reuse a live cached Object; when
+/// $OSSS_JIT_CACHE_DIR is set, a published artifact from any process is
+/// dlopen'd instead of compiling and fresh compiles are published back.
+/// Concurrent calls with *different* keys compile in parallel; only
+/// identical sources wait on each other (per-key in-flight entries — the
+/// cache mutex is held for lookup/insert only, never across a compiler
+/// invocation).  On any failure — force_fallback, bad compiler path,
+/// compile error, dlopen error — returns nullptr with the reason appended
+/// to `log`; callers fall back to their interpreted engine.  Thread-safe.
 std::shared_ptr<Object> compile(const std::string& source,
                                 const CompileOptions& opt, const char* tag,
                                 std::string& log);
@@ -106,5 +147,24 @@ bool jit_disabled_by_env() noexcept;
 const char* prelude_header();
 const char* vector_prelude();
 const char* step_prelude();
+
+/// Width-selected *store-only* lane-word vector layer for the gate
+/// emitter's fused level loops: defines `vw` (one SIMD-or-scalar chunk of
+/// lane words), `VW` (lane words per chunk), vld/vst and the
+/// v_and/v_or/v_xor/v_inv/v_nand/v_nor/v_xnor/v_mux/vbc drivers, with an
+/// AVX-512 body when lane_words % 8 == 0, AVX2 when % 4 == 0, and scalar
+/// otherwise (ISA selected by the generated code's preprocessor).  Unlike
+/// vector_prelude()'s v_* templates these accumulate no change masks — the
+/// gate suffix sweep recomputes every downstream cell anyway.  The emitter
+/// must have written `constexpr int L` and `constexpr u64 TM` (the
+/// tail-lane mask) before this fragment.
+std::string lane_ops_prelude(unsigned lane_words);
+
+/// Flat vector layer `fv`/`FW` for contiguous memory-row sweeps: always
+/// the widest ISA the target compiler enables (FW = 8 / 4 / 1), so one
+/// chunk may span several data bits of a row at once.  Users must keep
+/// swept spans divisible by 8 words and replicate per-lane-word masks
+/// out to max(FW, L) words.  Independent of lane_ops_prelude()'s tier.
+const char* flat_ops_prelude();
 
 }  // namespace osss::jit

@@ -519,6 +519,8 @@ NativeEngine::NativeEngine(const Module& m, unsigned lanes, CodegenOptions opt)
 
   if (jit::jit_disabled_by_env()) opt.force_fallback = true;
   try_native(opt);
+  // Power-on snapshot: consts + reg inits written, inputs and mems all 0.
+  poweron_arena_ = arena_;
 }
 
 NativeEngine::~NativeEngine() = default;
@@ -529,32 +531,43 @@ void NativeEngine::drop_native() {
   obj_.reset();
 }
 
+namespace {
+/// ABI probe shared between the post-compile check and the persistent
+/// disk cache's load-time validation: a stale or truncated published
+/// artifact must fail here and fall back to a fresh compile.
+bool probe_tape_abi(const jit::Object& obj, unsigned lanes,
+                    std::uint64_t arena_size) {
+  const auto abi = reinterpret_cast<unsigned (*)()>(obj.sym("osss_tape_abi"));
+  const auto lns =
+      reinterpret_cast<unsigned (*)()>(obj.sym("osss_tape_lanes"));
+  const auto asz = reinterpret_cast<unsigned long long (*)()>(
+      obj.sym("osss_tape_arena"));
+  const auto ssz = reinterpret_cast<unsigned long long (*)()>(
+      obj.sym("osss_tape_scratch"));
+  return abi != nullptr && abi() == 2u && lns != nullptr && lns() == lanes &&
+         asz != nullptr && asz() == arena_size && ssz != nullptr &&
+         obj.sym("osss_tape_eval") != nullptr &&
+         obj.sym("osss_tape_step") != nullptr;
+}
+}  // namespace
+
 void NativeEngine::try_native(const CodegenOptions& opt) {
   const std::string src = emit_cpp(prog_);
-  obj_ = jit::compile(src, opt, "osss-tape", compile_log_);
+  CodegenOptions vopt = opt;
+  vopt.validate = [this](const jit::Object& o) {
+    return probe_tape_abi(o, prog_.lanes, prog_.arena_size);
+  };
+  obj_ = jit::compile(src, vopt, "osss-tape", compile_log_);
   if (obj_ == nullptr) return;
-  const auto abi =
-      reinterpret_cast<unsigned (*)()>(obj_->sym("osss_tape_abi"));
-  const auto lns =
-      reinterpret_cast<unsigned (*)()>(obj_->sym("osss_tape_lanes"));
-  const auto asz = reinterpret_cast<unsigned long long (*)()>(
-      obj_->sym("osss_tape_arena"));
-  const auto ssz = reinterpret_cast<unsigned long long (*)()>(
-      obj_->sym("osss_tape_scratch"));
-  if (abi == nullptr || abi() != 2u || lns == nullptr ||
-      lns() != prog_.lanes || asz == nullptr || asz() != prog_.arena_size ||
-      ssz == nullptr) {
+  if (!probe_tape_abi(*obj_, prog_.lanes, prog_.arena_size)) {
     compile_log_ += "\n[ABI check failed; using threaded-code dispatch]";
     drop_native();
     return;
   }
+  const auto ssz = reinterpret_cast<unsigned long long (*)()>(
+      obj_->sym("osss_tape_scratch"));
   eval_fn_ = reinterpret_cast<EvalFn>(obj_->sym("osss_tape_eval"));
   step_fn_ = reinterpret_cast<StepFn>(obj_->sym("osss_tape_step"));
-  if (eval_fn_ == nullptr || step_fn_ == nullptr) {
-    compile_log_ += "\n[entry points missing; using threaded-code dispatch]";
-    drop_native();
-    return;
-  }
   step_scratch_.assign(ssz(), 0);
 }
 
@@ -858,6 +871,12 @@ void NativeEngine::reset() {
   for (const Program::Reg& reg : prog_.regs)
     for (unsigned l = 0; l < prog_.lanes; ++l)
       write_lane_bits(reg.q, reg.words, l, reg.init);
+  for (auto& words : mem_) std::fill(words.begin(), words.end(), 0);
+  mark_all_dirty();
+}
+
+void NativeEngine::restore_poweron() {
+  arena_ = poweron_arena_;
   for (auto& words : mem_) std::fill(words.begin(), words.end(), 0);
   mark_all_dirty();
 }

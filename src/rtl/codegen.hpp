@@ -127,6 +127,10 @@ class NativeEngine {
   void eval();
   void step();
   void reset();
+  /// Restore the exact post-construction state (power-on values, inputs at
+  /// 0) from a snapshot taken at construction; run_batch uses this to
+  /// recycle one engine across stimulus blocks.
+  void restore_poweron();
 
   Bits mem_word(unsigned mem_index, unsigned word, unsigned lane = 0);
   void poke_mem(unsigned mem_index, unsigned word, const Bits& value);
@@ -143,6 +147,7 @@ class NativeEngine {
   Program prog_;
   unsigned lw_ = 1;  ///< lane words: ceil(lanes/64)
   std::vector<std::uint64_t> arena_;
+  std::vector<std::uint64_t> poweron_arena_;  ///< ctor-time snapshot
   std::vector<std::uint64_t> scratch_;
   std::vector<unsigned char> level_dirty_;
   bool pending_ = true;

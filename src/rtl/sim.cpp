@@ -1,6 +1,8 @@
 #include "rtl/sim.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 
 #include "par/pool.hpp"
@@ -285,6 +287,14 @@ void Simulator::reset() {
   dirty_ = true;
 }
 
+void Simulator::restore_poweron() {
+  if (mode_ != SimMode::kInterp) {
+    with_engine([](auto& e) { e.restore_poweron(); });
+    return;
+  }
+  reset();
+}
+
 std::uint64_t Simulator::cycle_count() const noexcept {
   if (mode_ == SimMode::kInterp) return cycles_;
   return with_engine([](auto& e) { return e.stats().cycles; });
@@ -376,7 +386,7 @@ namespace {
 void run_scalar_block(Simulator& sim, const std::vector<InputHandle>& in,
                       const std::vector<OutputHandle>& out,
                       par::StimulusBlock& b) {
-  sim.reset();
+  sim.restore_poweron();
   for (unsigned c = 0; c < b.cycles; ++c) {
     for (unsigned s = 0; s < b.in_slots; ++s)
       sim.set_input(in[s], b.in_at(c, s));  // truncates to port width
@@ -393,7 +403,7 @@ void run_lane_block(Simulator& sim, const std::vector<InputHandle>& in,
                     par::StimulusBlock& b,
                     std::vector<std::uint64_t>& scratch) {
   const unsigned lw = sim.lane_words();
-  sim.reset();
+  sim.restore_poweron();
   for (unsigned c = 0; c < b.cycles; ++c) {
     unsigned slot = 0;
     for (std::size_t p = 0; p < in.size(); ++p) {
@@ -458,23 +468,48 @@ void run_batch(const Module& m, SimMode mode,
   const std::size_t chunks =
       std::min(blocks.size(), static_cast<std::size_t>(pool.size()) * 2);
   const std::size_t per = (blocks.size() + chunks - 1) / chunks;
+  // Engines (plus their resolved port handles) are pooled across chunks: a
+  // chunk borrows an idle entry or builds one when all are busy — at most
+  // one per concurrently active worker — so module compile and JIT cost
+  // are paid once per worker, not once per chunk.  Blocks start from
+  // restore_poweron(), a snapshot copy.
+  struct BatchSim {
+    Simulator sim;
+    std::vector<InputHandle> in;
+    std::vector<OutputHandle> out;
+    std::vector<std::uint64_t> scratch;
+    BatchSim(const Module& m, SimMode mode, unsigned lanes)
+        : sim(m, mode, lanes) {
+      for (const PortRef& p : m.inputs())
+        in.push_back(sim.input_handle(p.name));
+      for (const PortRef& p : m.outputs())
+        out.push_back(sim.output_handle(p.name));
+    }
+  };
+  std::mutex pool_mu;
+  std::vector<std::unique_ptr<BatchSim>> idle;
   pool.parallel_for(chunks, [&](std::size_t chunk) {
     const std::size_t lo = chunk * per;
     const std::size_t hi = std::min(blocks.size(), lo + per);
     if (lo >= hi) return;
-    Simulator sim(m, mode, lanes);
-    std::vector<InputHandle> in;
-    std::vector<OutputHandle> out;
-    for (const PortRef& p : m.inputs()) in.push_back(sim.input_handle(p.name));
-    for (const PortRef& p : m.outputs())
-      out.push_back(sim.output_handle(p.name));
-    std::vector<std::uint64_t> scratch;
+    std::unique_ptr<BatchSim> bs;
+    {
+      std::lock_guard<std::mutex> lk(pool_mu);
+      if (!idle.empty()) {
+        bs = std::move(idle.back());
+        idle.pop_back();
+      }
+    }
+    if (!bs) bs = std::make_unique<BatchSim>(m, mode, lanes);
     for (std::size_t i = lo; i < hi; ++i) {
       if (lanes == 1)
-        run_scalar_block(sim, in, out, blocks[i]);
+        run_scalar_block(bs->sim, bs->in, bs->out, blocks[i]);
       else
-        run_lane_block(sim, in, in_widths, out, blocks[i], scratch);
+        run_lane_block(bs->sim, bs->in, in_widths, bs->out, blocks[i],
+                       bs->scratch);
     }
+    std::lock_guard<std::mutex> lk(pool_mu);
+    idle.push_back(std::move(bs));
   });
 }
 

@@ -130,6 +130,11 @@ public:
   /// Load every register with its init value and clear memories to zero
   /// (power-on reset).
   void reset();
+  /// Power-on reset via the engine's construction-time arena snapshot
+  /// (tape/native modes: one copy, inputs return to 0); the interpreter
+  /// falls back to reset().  run_batch uses this to recycle one engine
+  /// across stimulus blocks.
+  void restore_poweron();
 
   std::uint64_t cycle_count() const noexcept;
 

@@ -649,6 +649,8 @@ Engine::Engine(const Module& m, unsigned lanes)
   wp_data_.assign(dat, 0);
   level_dirty_.assign(prog_.stats.levels, 1);
   pending_ = true;
+  // Power-on snapshot: consts + reg inits written, inputs and mems all 0.
+  poweron_arena_ = arena_;
 }
 
 void Engine::write_lane_bits(std::uint32_t off, std::uint16_t words,
@@ -1240,6 +1242,12 @@ void Engine::reset() {
   for (const Program::Reg& reg : prog_.regs)
     for (unsigned l = 0; l < prog_.lanes; ++l)
       write_lane_bits(reg.q, reg.words, l, reg.init, nullptr);
+  for (auto& words : mem_) std::fill(words.begin(), words.end(), 0);
+  mark_all_dirty();
+}
+
+void Engine::restore_poweron() {
+  arena_ = poweron_arena_;
   for (auto& words : mem_) std::fill(words.begin(), words.end(), 0);
   mark_all_dirty();
 }

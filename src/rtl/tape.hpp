@@ -264,6 +264,10 @@ public:
   void eval();
   void step();
   void reset();
+  /// Restore the exact post-construction state (power-on values, inputs at
+  /// 0) from a snapshot taken at construction; run_batch uses this to
+  /// recycle one engine across stimulus blocks.
+  void restore_poweron();
 
   Bits mem_word(unsigned mem_index, unsigned word, unsigned lane = 0);
   void poke_mem(unsigned mem_index, unsigned word, const Bits& value);
@@ -272,6 +276,7 @@ public:
 private:
   Program prog_;
   std::vector<std::uint64_t> arena_;
+  std::vector<std::uint64_t> poweron_arena_;  ///< ctor-time snapshot
   std::vector<std::uint64_t> scratch_;  ///< multi-word result staging
   std::vector<char> level_dirty_;
   bool pending_ = true;

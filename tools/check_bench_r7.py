@@ -42,7 +42,17 @@ explains a failure:
    must reach ``--min-scaling`` (default 3x) the 1-context throughput.
    Only enforced when the run's ``context.num_cpus`` is at least 8 —
    wall-clock scaling is meaningless on fewer cores, so the gate prints
-   a skip note instead.
+   a LOUD skip banner instead (a skipped gate is not a passed gate).
+
+6. JIT steady state: every native row carrying a
+   ``jit_compiles_steady`` counter must report 0 — the engines are
+   compiled (or loaded from ``$OSSS_JIT_CACHE_DIR``) during setup and
+   must never invoke the compiler inside the timed loop.  A non-zero
+   value means the measurement included compiler wall time.
+
+The run's ``context.load_avg`` is always printed, and a 1-minute load
+above ``num_cpus`` earns a warning: a loaded machine skews every
+wall-clock row, so baselines should be captured quiet.
 
 Usage: check_bench_r7.py out.json [--baseline BENCH_r7.json]
 """
@@ -90,8 +100,17 @@ def effective_build_type(data):
 
 def check_build_type(data, what, allow_non_release):
     bt = effective_build_type(data)
-    cpus = data.get("context", {}).get("num_cpus", "?")
-    print(f"{what}: build_type={bt}  num_cpus={cpus}")
+    ctx = data.get("context", {})
+    cpus = ctx.get("num_cpus", "?")
+    load = ctx.get("load_avg")
+    load_str = ("[" + ", ".join(f"{x:.2f}" for x in load) + "]"
+                if isinstance(load, list) and load else "unknown")
+    print(f"{what}: build_type={bt}  num_cpus={cpus}  load_avg={load_str}")
+    if (isinstance(load, list) and load and isinstance(cpus, int)
+            and load[0] > cpus):
+        print(f"  WARNING: 1-minute load average {load[0]:.2f} exceeds "
+              f"num_cpus={cpus} — the machine was busy while this file was "
+              f"captured, so its wall-clock rates are suspect")
     if bt == "release":
         return True
     if allow_non_release:
@@ -234,13 +253,54 @@ def check_baseline(benchmarks, baseline_benchmarks, max_regression):
     return ok
 
 
+# Native rows expected to carry the jit_compiles_steady counter.
+JIT_STEADY_BENCHES = [
+    "BM_RtlNativeSim",
+    "BM_RtlNativeLanesSim",
+    "BM_GateNativeSim",
+    "BM_GateNativeLanesSim",
+]
+
+
+def check_jit_steady(benchmarks):
+    """No compiler invocations inside any timed native loop."""
+    ok = True
+    print("\njit steady state (compiles during the timed loop must be 0):")
+    for name in JIT_STEADY_BENCHES:
+        b = find(benchmarks, name)
+        if b is None:
+            print(f"  {name:24s} missing from results, skipped")
+            continue
+        steady = b.get("jit_compiles_steady")
+        if steady is None:
+            print(f"  {name:24s} no jit_compiles_steady counter "
+                  f"(pre-counter binary), skipped")
+            continue
+        setup = b.get("jit_compiles", 0)
+        disk = b.get("jit_disk_hits", 0)
+        verdict = "ok" if steady == 0 else "FAIL"
+        print(f"  {name:24s} setup compiles={int(setup)} "
+              f"disk_hits={int(disk)} steady compiles={int(steady)} {verdict}")
+        if steady != 0:
+            print(f"    FAIL: {name} invoked the JIT compiler {int(steady)} "
+                  f"time(s) inside the timed loop — the row measured "
+                  f"compiler wall time, not engine throughput")
+            ok = False
+    return ok
+
+
 def check_scaling(data, min_scaling):
     benchmarks = data.get("benchmarks", [])
     num_cpus = data.get("context", {}).get("num_cpus", 0)
     print(f"\nthread scaling (run on {num_cpus} cpus):")
     if num_cpus < 8:
-        print(f"  SKIP: scaling gate needs >= 8 cpus; wall-clock speedup on "
-              f"{num_cpus} is not meaningful")
+        print("  " + "!" * 66)
+        print(f"  !! SKIPPED — NOT PASSED: the scaling gate needs >= 8 cpus "
+              f"and this")
+        print(f"  !! run had num_cpus={num_cpus}.  The 1->8 context speedup "
+              f"was NOT verified;")
+        print(f"  !! re-run on an >= 8-core machine to exercise this gate.")
+        print("  " + "!" * 66)
         return True
     ok = True
     for label, pattern in SCALING_BENCHES:
@@ -299,6 +359,7 @@ def main():
     if baseline_data is not None:
         ok = check_baseline(benchmarks, baseline_data.get("benchmarks", []),
                             args.max_regression) and ok
+    ok = check_jit_steady(benchmarks) and ok
     ok = check_scaling(data, args.min_scaling) and ok
     return 0 if ok else 1
 
