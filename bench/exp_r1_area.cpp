@@ -13,13 +13,16 @@
 // machine.
 
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "expocu/flows.hpp"
 #include "gate/equiv.hpp"
 #include "gate/lower.hpp"
 #include "gate/timing.hpp"
+#include "lint/dataflow.hpp"
 #include "opt/opt.hpp"
 #include "par/pool.hpp"
 
@@ -47,15 +50,24 @@ int main() {
   // dependent); the equivalence checks fan out across the pool below.
   osss::opt::PipelineOptions po;
   po.lib = &lib;
+  // Per-component SDC facts from the RTL-level abstract interpreter: the
+  // satsweep pass re-proves each register-bit constant by netlist induction
+  // before seeding its merge classes with it.
+  const auto facts_of = [](const osss::rtl::Module& m) {
+    return std::make_shared<const std::unordered_map<std::string, bool>>(
+        osss::lint::analyze_dataflow(m).const_reg_bits());
+  };
   std::vector<Item> items;
   std::uint64_t seed = 1;
   for (const auto& c : build_osss_flow()) {
     osss::gate::Netlist pre = osss::gate::lower_to_gates(c.module);
+    po.facts = facts_of(c.module);
     osss::gate::Netlist post = osss::opt::optimize(pre, po);
     items.push_back({"OSSS", c.name, std::move(pre), std::move(post), seed++});
   }
   for (const auto& c : build_vhdl_flow()) {
     osss::gate::Netlist pre = osss::gate::lower_to_gates(c.module);
+    po.facts = facts_of(c.module);
     osss::gate::Netlist post = osss::opt::optimize(pre, po);
     items.push_back({"VHDL", c.name, std::move(pre), std::move(post), seed++});
   }

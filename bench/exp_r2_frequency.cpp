@@ -8,12 +8,15 @@
 // input netlist), so the post columns dominate the pre columns.
 
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "expocu/flows.hpp"
 #include "gate/lower.hpp"
 #include "gate/timing.hpp"
+#include "lint/dataflow.hpp"
 #include "opt/opt.hpp"
 
 namespace {
@@ -31,6 +34,10 @@ std::vector<Row> analyze(const std::vector<osss::expocu::FlowComponent>& flow,
   std::vector<Row> rows;
   for (const auto& c : flow) {
     const osss::gate::Netlist pre = osss::gate::lower_to_gates(c.module);
+    // Same fact conduit as R1: RTL-proven register-bit constants seed the
+    // satsweep pass, which re-proves them by netlist induction.
+    po.facts = std::make_shared<const std::unordered_map<std::string, bool>>(
+        osss::lint::analyze_dataflow(c.module).const_reg_bits());
     const osss::gate::Netlist post = osss::opt::optimize(pre, po);
     rows.push_back({c.name, osss::gate::analyze_timing(pre, lib),
                     osss::gate::analyze_timing(post, lib)});

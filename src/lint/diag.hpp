@@ -48,6 +48,9 @@ struct RuleInfo {
   const char* pack;  ///< "rtl", "gate", "kernel"
   Severity default_severity = Severity::kWarning;
   const char* title;
+  /// A few sentences for `osss-lint --explain <id>` and docs/lint-rules.md:
+  /// what the rule detects, why it matters, how the analysis proves it.
+  const char* description = "";
 };
 
 /// Every rule the repo implements, in stable ID order.
@@ -107,7 +110,20 @@ class Report {
 };
 
 /// Escape a string for embedding in a JSON literal (used by reporters and
-/// the osss-lint CLI).
+/// the osss-lint CLI).  Control characters become \u00XX escapes and bytes
+/// that are not well-formed UTF-8 become U+FFFD, so the output is always a
+/// valid JSON string no matter what bytes leak into a diagnostic.
 std::string json_escape(const std::string& s);
+
+/// Render a report as a minimal SARIF 2.1.0 log (one run, `tool.driver` =
+/// osss-lint): rules referenced by the results with registry metadata,
+/// results with level/message/logical locations, diagnostic index and note
+/// carried in `properties`.  CI uploads this for code-scanning ingestion.
+std::string to_sarif(const Report& report);
+
+/// Markdown reference for every registered rule — the generator behind
+/// `osss-lint --rules-doc` and the committed docs/lint-rules.md (a test
+/// keeps file and registry in sync).
+std::string rules_markdown();
 
 }  // namespace osss::lint

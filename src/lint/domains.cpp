@@ -1,0 +1,51 @@
+#include "lint/domains.hpp"
+
+namespace osss::lint {
+
+std::optional<Bits> Fact::constant() const {
+  if (kb.is_constant()) return kb.constant_value();
+  if (width() <= 64 && iv.is_constant()) return Bits(width(), iv.lo);
+  return std::nullopt;
+}
+
+void Fact::normalize() {
+  const unsigned w = width();
+  if (w > 64) return;  // interval untracked beyond 64 bits
+  if (!iv.tracked) iv = Interval::top(w);
+
+  // Known bits -> interval: minimum value sets unknown bits to 0 (= ones
+  // mask as a value), maximum sets them to 1 (= ~zeros as a value).
+  const std::uint64_t kb_lo = kb.ones.to_u64();
+  const std::uint64_t kb_hi = (~kb.zeros).to_u64();
+  std::uint64_t lo = iv.lo > kb_lo ? iv.lo : kb_lo;
+  std::uint64_t hi = iv.hi < kb_hi ? iv.hi : kb_hi;
+  if (lo > hi) {  // contradiction: only reachable on dead paths — stay sound
+    iv = Interval::top(w);
+    return;
+  }
+
+  // Interval -> known bits: every bit above the highest bit where lo and
+  // hi disagree is common to the whole range, hence known.
+  std::uint64_t agree_mask = 0;
+  const std::uint64_t x = lo ^ hi;
+  if (x == 0) {
+    agree_mask = Interval::mask_of(w);
+  } else {
+    unsigned msb = 63;
+    while (((x >> msb) & 1u) == 0) --msb;
+    if (msb + 1 < 64) agree_mask = ~((1ull << (msb + 1)) - 1);
+    agree_mask &= Interval::mask_of(w);
+  }
+  const Bits agreed(w, lo & agree_mask);
+  const Bits mask(w, agree_mask);
+  const Bits new_ones = kb.ones | (agreed & mask);
+  const Bits new_zeros = kb.zeros | (~agreed & mask);
+  if (!(new_ones & new_zeros).is_zero()) {  // contradiction again
+    iv = Interval(lo, hi);
+    return;
+  }
+  kb = KnownBits(new_zeros, new_ones);
+  iv = Interval(lo, hi);
+}
+
+}  // namespace osss::lint

@@ -1,0 +1,169 @@
+// domains.hpp — abstract lattice domains for the dataflow engine.
+//
+// Two classic value abstractions over a `width`-bit bus, shared by the
+// lint rule pack (RTL-010..014) and the don't-care-aware satsweep:
+//
+//   * KnownBits — per-bit three-valued knowledge: each bit is known-0,
+//     known-1 or unknown.  Represented as two disjoint masks.  The join
+//     (control-flow merge / successive cycles of the sequential loop)
+//     intersects knowledge; the lattice is finite, so every fixpoint
+//     terminates without widening.
+//   * Interval — unsigned range [lo, hi], tracked only for buses up to
+//     64 bits (wider buses degrade to "untracked", i.e. top).  Intervals
+//     have infinite ascending chains, so the sequential fixpoint widens
+//     them after a few iterations.
+//
+// A `Fact` bundles both and keeps them mutually consistent: the interval
+// sharpens the known bits (common leading bits of lo and hi are known) and
+// the known bits clamp the interval.  Every operation here is *sound*: the
+// concretization of the result always contains every value the inputs
+// could produce.  `contains()` is the contract the soundness fuzz harness
+// checks against the reference interpreter.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sysc/bits.hpp"
+
+namespace osss::lint {
+
+using sysc::Bits;
+
+/// Per-bit knowledge about a bus value: `zeros` marks bits known to be 0,
+/// `ones` bits known to be 1.  The two masks are disjoint; a bit in
+/// neither mask is unknown (top).
+struct KnownBits {
+  Bits zeros;
+  Bits ones;
+
+  KnownBits() = default;
+  KnownBits(Bits z, Bits o) : zeros(std::move(z)), ones(std::move(o)) {}
+
+  /// Nothing known about any bit.
+  static KnownBits top(unsigned width) {
+    return KnownBits(Bits(width), Bits(width));
+  }
+  /// Every bit known: the exact value `v`.
+  static KnownBits constant(const Bits& v) { return KnownBits(~v, v); }
+
+  unsigned width() const noexcept { return zeros.width(); }
+  /// Mask of bits with a known value.
+  Bits known() const { return zeros | ones; }
+  bool is_constant() const { return known().is_ones(); }
+  /// The value, when every bit is known (`ones` is exactly the value).
+  const Bits& constant_value() const { return ones; }
+
+  /// Knowledge about one bit: 0, 1 or nullopt (unknown).
+  std::optional<bool> bit(unsigned i) const {
+    if (ones.bit(i)) return true;
+    if (zeros.bit(i)) return false;
+    return std::nullopt;
+  }
+
+  /// True when `v` is compatible with this knowledge (the soundness
+  /// contract: the concrete simulator value must always be contained).
+  bool contains(const Bits& v) const {
+    return (v & zeros).is_zero() && (~v & ones).is_zero();
+  }
+
+  /// Lattice join (used at control merges and across cycles): keep only
+  /// the knowledge both sides agree on.
+  static KnownBits join(const KnownBits& a, const KnownBits& b) {
+    return KnownBits(a.zeros & b.zeros, a.ones & b.ones);
+  }
+
+  bool operator==(const KnownBits& other) const {
+    return zeros == other.zeros && ones == other.ones;
+  }
+  bool operator!=(const KnownBits& other) const { return !(*this == other); }
+};
+
+/// Unsigned value range [lo, hi], tracked only for widths <= 64.  An
+/// untracked interval is top: it constrains nothing and joins to itself.
+struct Interval {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  bool tracked = false;
+
+  Interval() = default;
+  Interval(std::uint64_t l, std::uint64_t h) : lo(l), hi(h), tracked(true) {}
+
+  /// Full range of a `width`-bit bus (still "tracked" when width <= 64 so
+  /// arithmetic can reason about wrap; top otherwise).
+  static Interval top(unsigned width) {
+    if (width > 64) return Interval();
+    return Interval(0, mask_of(width));
+  }
+  static Interval constant(std::uint64_t v) { return Interval(v, v); }
+
+  static std::uint64_t mask_of(unsigned width) {
+    return width >= 64 ? ~0ull : (1ull << width) - 1;
+  }
+
+  bool is_constant() const { return tracked && lo == hi; }
+  bool contains(std::uint64_t v) const {
+    return !tracked || (lo <= v && v <= hi);
+  }
+
+  static Interval join(const Interval& a, const Interval& b) {
+    if (!a.tracked || !b.tracked) return Interval();
+    return Interval(a.lo < b.lo ? a.lo : b.lo, a.hi > b.hi ? a.hi : b.hi);
+  }
+
+  bool operator==(const Interval& other) const {
+    if (tracked != other.tracked) return false;
+    return !tracked || (lo == other.lo && hi == other.hi);
+  }
+  bool operator!=(const Interval& other) const { return !(*this == other); }
+};
+
+/// The per-node abstract value: both domains, kept mutually consistent by
+/// normalize().
+struct Fact {
+  KnownBits kb;
+  Interval iv;
+
+  static Fact top(unsigned width) {
+    return Fact{KnownBits::top(width), Interval::top(width)};
+  }
+  static Fact constant(const Bits& v) {
+    Fact f{KnownBits::constant(v), Interval()};
+    if (v.width() <= 64) f.iv = Interval::constant(v.to_u64());
+    return f;
+  }
+
+  unsigned width() const noexcept { return kb.width(); }
+
+  /// Soundness contract: a concrete value the node actually took must be
+  /// contained in both domains.
+  bool contains(const Bits& v) const {
+    if (!kb.contains(v)) return false;
+    if (v.width() <= 64 && !iv.contains(v.to_u64())) return false;
+    return true;
+  }
+
+  /// The exact value when one of the domains pins it.
+  std::optional<Bits> constant() const;
+
+  static Fact join(const Fact& a, const Fact& b) {
+    Fact f{KnownBits::join(a.kb, b.kb), Interval::join(a.iv, b.iv)};
+    f.normalize();
+    return f;
+  }
+
+  /// Cross-tighten the two domains: interval bounds from the known bits
+  /// ([value of known-ones with unknowns 0, value with unknowns 1]) and
+  /// known bits from the interval (common leading bits of lo and hi).
+  /// Detected contradictions (possible only on unreachable paths, where
+  /// any answer is sound) degrade to top instead of going to bottom.
+  void normalize();
+
+  bool operator==(const Fact& other) const {
+    return kb == other.kb && iv == other.iv;
+  }
+  bool operator!=(const Fact& other) const { return !(*this == other); }
+};
+
+}  // namespace osss::lint

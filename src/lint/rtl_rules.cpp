@@ -4,10 +4,12 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
 
+#include "lint/dataflow.hpp"
 #include "rtl/tape.hpp"
 
 namespace osss::lint {
@@ -340,6 +342,136 @@ class ModuleLinter {
     }
 
     fsm_rules(na);
+    dataflow_rules(na);
+  }
+
+  // --- dataflow rules (RTL-010..014) -------------------------------------
+  //
+  // Everything below consumes the abstract-interpretation facts
+  // (lint/dataflow.hpp): sound per-node known-bits/interval invariants
+  // over every cycle reachable from reset.  Each rule only fires where
+  // plain constant folding (tape::analyze) could NOT already decide the
+  // node — the value these rules add is exactly the sequential reasoning.
+
+  /// "[lo, hi]" when the interval is tracked, else "".
+  static std::string iv_str(const Fact& f) {
+    if (!f.iv.tracked) return {};
+    std::ostringstream os;
+    os << "[" << f.iv.lo << ", " << f.iv.hi << "]";
+    return os.str();
+  }
+
+  void dataflow_rules(const rtl::tape::NodeAnalysis& na) {
+    using Fate = rtl::tape::NodeAnalysis::Fate;
+    const FactDB db = analyze_dataflow(m_);
+
+    for (NodeId id = 0; id < m_.node_count(); ++id) {
+      if (na.fate[id] == Fate::kDead) continue;
+      const Node& n = m_.node(id);
+      switch (n.op) {
+        case Op::kMux: {
+          // RTL-010: select proven constant only by sequential facts.
+          if (!na.folded[id].empty() || !na.folded[n.ins[0]].empty()) break;
+          const std::optional<Bits> sel = db.constant(n.ins[0]);
+          if (!sel) break;
+          const bool taken = !sel->is_zero();
+          emit("RTL-010", node_label(m_, id), id,
+               std::string("mux select is always ") + (taken ? "1" : "0") +
+                   ": the " + (taken ? "else" : "then") +
+                   " arm is unreachable",
+               "select " + node_label(m_, n.ins[0]) +
+                   " is invariant across all reachable cycles");
+          break;
+        }
+        case Op::kEq:
+        case Op::kNe:
+        case Op::kUlt:
+        case Op::kUle:
+        case Op::kSlt:
+        case Op::kSle: {
+          // RTL-011: result decided by operand invariants, not folding.
+          if (!na.folded[id].empty()) break;
+          const std::optional<Bits> v = db.constant(id);
+          if (!v) break;
+          std::string note;
+          const std::string l = iv_str(db.fact(n.ins[0]));
+          const std::string r = iv_str(db.fact(n.ins[1]));
+          if (!l.empty() && !r.empty())
+            note = "lhs in " + l + ", rhs in " + r;
+          emit("RTL-011", node_label(m_, id), id,
+               std::string(op_name(n.op)) + " is always " +
+                   (v->is_zero() ? "false" : "true") +
+                   " in every reachable cycle",
+               note);
+          break;
+        }
+        case Op::kSlice: {
+          // RTL-012: pure truncation whose dropped high bits are proven
+          // always-set — information lost in every cycle.
+          if (n.param != 0 || n.width >= width_of(n.ins[0])) break;
+          if (!na.folded[id].empty() || !na.folded[n.ins[0]].empty()) break;
+          const Fact& f = db.fact(n.ins[0]);
+          std::ostringstream bits;
+          unsigned dropped_set = 0;
+          for (unsigned b = n.width; b < width_of(n.ins[0]); ++b) {
+            if (f.kb.bit(b) != std::optional<bool>(true)) continue;
+            if (dropped_set++) bits << " ";
+            bits << b;
+          }
+          if (dropped_set == 0) break;
+          emit("RTL-012", node_label(m_, id), id,
+               "truncation to " + std::to_string(n.width) + " bits drops " +
+                   std::to_string(dropped_set) +
+                   " bit(s) proven always 1",
+               "dropped set bits: " + bits.str());
+          break;
+        }
+        default:
+          break;
+      }
+    }
+
+    // RTL-013: write ports whose address interval never intersects the
+    // memory rows (the simulator silently drops such writes).
+    for (const auto& [mi, wi] : db.dead_writes()) {
+      const Memory& mem = m_.memories()[mi];
+      const Fact& addr = db.fact(mem.writes[wi].addr);
+      std::string note = "address in " + iv_str(addr) + ", depth " +
+                         std::to_string(mem.depth);
+      emit("RTL-013", mem.name, static_cast<std::int64_t>(mi),
+           "write port " + std::to_string(wi) + " of memory '" + mem.name +
+               "' can never land: address is always out of range",
+           std::move(note));
+    }
+
+    // RTL-014: per-bit stuck registers.  Skip registers RTL-008 already
+    // reported — this rule is the sharper dataflow-based superset.
+    std::set<std::int64_t> structural_stuck;
+    for (const Diagnostic& d : report_.by_rule("RTL-008"))
+      structural_stuck.insert(d.index);
+    for (std::size_t i = 0; i < m_.registers().size(); ++i) {
+      if (structural_stuck.count(static_cast<std::int64_t>(i))) continue;
+      const Register& r = m_.registers()[i];
+      const unsigned w = m_.node(r.q).width;
+      const Fact& f = db.register_fact(i);
+      std::ostringstream bits;
+      unsigned stuck = 0;
+      for (unsigned b = 0; b < w; ++b) {
+        const std::optional<bool> kb = f.kb.bit(b);
+        if (!kb) continue;
+        if (stuck++) bits << " ";
+        bits << b << "=" << (*kb ? "1" : "0");
+      }
+      if (stuck == 0) continue;
+      const std::string what =
+          stuck == w ? "register '" + r.name +
+                           "' never leaves its reset value"
+                     : "register '" + r.name + "': " + std::to_string(stuck) +
+                           " of " + std::to_string(w) +
+                           " bits never toggle";
+      emit("RTL-014", r.name, static_cast<std::int64_t>(i), what,
+           "stuck bits: " + bits.str());
+    }
   }
 
   // --- FSM reachability (RTL-006 / RTL-007) ------------------------------

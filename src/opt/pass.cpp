@@ -57,8 +57,10 @@ std::string PassStats::format() const {
      << dffs_after << ", depth " << depth_before << "->" << depth_after
      << ", area " << static_cast<long>(area_before + 0.5) << "->"
      << static_cast<long>(area_after + 0.5) << " GE, " << changes
-     << " change(s), " << wall_ms << " ms"
-     << (verified ? ", verified" : "");
+     << " change(s)";
+  if (fact_merges != 0 || odc_merges != 0)
+    os << " (" << fact_merges << " fact, " << odc_merges << " odc)";
+  os << ", " << wall_ms << " ms" << (verified ? ", verified" : "");
   return os.str();
 }
 
@@ -81,8 +83,10 @@ bool Pipeline::self_check_enabled() const {
 
 Pipeline Pipeline::standard(PipelineOptions opt) {
   Pipeline p(opt);
+  SatSweepOptions sweep;
+  sweep.facts = opt.facts;
   p.add(std::make_unique<RewritePass>());
-  p.add(std::make_unique<SatSweepPass>());
+  p.add(std::make_unique<SatSweepPass>(sweep));
   p.add(std::make_unique<RetimePass>(opt.lib, RetimeOptions{}));
   p.add(std::make_unique<TechMapPass>(opt.lib, TechMapOptions{}));
   return p;

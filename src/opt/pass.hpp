@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "gate/library.hpp"
@@ -48,6 +49,12 @@ struct PassStats {
   std::size_t depth_before = 0, depth_after = 0;   ///< logic levels
   double area_before = 0.0, area_after = 0.0;      ///< gate equivalents
   std::size_t changes = 0;  ///< pass-specific: rewrites / merges / moves
+  /// satsweep only: merges seeded by externally proven register-bit facts
+  /// (lint::FactDB::const_reg_bits via SatSweepOptions::facts).
+  std::size_t fact_merges = 0;
+  /// satsweep only: observability-don't-care merges (sequential-trajectory
+  /// sampled, verified in-pass).
+  std::size_t odc_merges = 0;
   double wall_ms = 0.0;
   bool verified = false;  ///< differential self-check ran and passed
 
@@ -87,6 +94,11 @@ struct PipelineOptions {
   /// could not see) or this many rounds have run.  The ExpoCU corpus
   /// reaches the fixpoint in at most three rounds.
   unsigned max_rounds = 4;
+  /// Register-bit constants proven by the RTL-level abstract interpreter
+  /// (lint::analyze_dataflow(...).const_reg_bits()), keyed by the gate
+  /// lowering's DFF names ("reg[bit]").  Handed to the satsweep pass,
+  /// which re-verifies every claim before using it.  nullptr = none.
+  std::shared_ptr<const std::unordered_map<std::string, bool>> facts;
 };
 
 class Pipeline {

@@ -1,13 +1,18 @@
 #include "opt/satsweep.hpp"
 
 #include <algorithm>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "gate/equiv.hpp"
 #include "opt/rebuild.hpp"
 #include "verify/stimgen.hpp"
 
 namespace osss::opt {
+
+using gate::kInvalidNet;
+using gate::MemMacro;
 
 namespace {
 
@@ -121,6 +126,173 @@ class Sweeper {
 
   NetId find(NetId id) const { return uf_.find(id); }
 
+  /// SDC phase: re-prove the externally supplied per-bit register constants
+  /// by netlist induction, then unite the survivors into the constant-net
+  /// classes.  Mirrors const_regs' structure; the value added by the facts
+  /// is the random-resolution fallback for cones whose free support exceeds
+  /// the exhaustive prover — the RTL-level abstract interpreter already
+  /// proved the invariant, so a sampled netlist-level confirmation (plus
+  /// the pass-level differential check) carries the name-mapping trust
+  /// boundary.  Returns the number of registers merged.
+  std::size_t sweep_facts() {
+    if (!opt_.facts || opt_.facts->empty()) return 0;
+    std::vector<char> cand(nl_.cells().size(), 0);
+    std::vector<NetId> regs;
+    for (NetId id = 0; id < nl_.cells().size(); ++id) {
+      const Cell& c = nl_.cells()[id];
+      if (c.kind != CellKind::kDff || uf_.find(id) != id || c.ins.empty())
+        continue;
+      const auto it = opt_.facts->find(c.name);
+      // A valid invariant always covers the reset state, so a claim that
+      // disagrees with the init value is a stale or mismapped fact: drop.
+      if (it == opt_.facts->end() || it->second != (c.init != 0)) continue;
+      cand[id] = 1;
+      regs.push_back(id);
+    }
+    if (regs.empty()) return 0;
+
+    // Simulation filter with every claimed register pinned at init.
+    std::vector<std::uint64_t> val;
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (unsigned r = 0; r < 4; ++r) {
+        simulate_round(val,
+                       verify::StimGen::derive(
+                           seed_, "factreg/" + std::to_string(r)),
+                       &cand);
+        for (const NetId q : regs) {
+          if (cand[q] == 0) continue;
+          const std::uint64_t want = nl_.cells()[q].init ? ~0ull : 0ull;
+          if (val[nl_.cells()[q].ins[0]] != want) {
+            cand[q] = 0;
+            changed = true;
+          }
+        }
+      }
+    }
+    // Induction step per survivor: exhaustive when the free support fits,
+    // random resolution otherwise.
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (const NetId q : regs) {
+        if (cand[q] == 0) continue;
+        const NetId d = nl_.cells()[q].ins[0];
+        const std::uint64_t want = nl_.cells()[q].init ? ~0ull : 0ull;
+        const Cone cone = cone_of(d);
+        bool ok = cone.ok;
+        std::vector<NetId> free_vars;
+        if (ok) {
+          for (const NetId s : cone.support)
+            if (cand[s] == 0) free_vars.push_back(s);
+        }
+        std::unordered_map<NetId, std::uint64_t> leaf;
+        if (ok && free_vars.size() <= opt_.exhaustive_bits) {
+          const std::size_t k = free_vars.size();
+          const std::size_t blocks = k > 6 ? (std::size_t{1} << (k - 6)) : 1;
+          for (std::size_t blk = 0; blk < blocks && ok; ++blk) {
+            leaf.clear();
+            for (const NetId s : cone.support)
+              if (cand[s] != 0) leaf[s] = nl_.cells()[s].init ? ~0ull : 0ull;
+            for (std::size_t v = 0; v < k; ++v)
+              leaf[free_vars[v]] = v < 6 ? kTile[v]
+                                    : ((blk >> (v - 6)) & 1u ? ~0ull : 0ull);
+            if (eval_cone(cone, d, leaf) != want) ok = false;
+          }
+        } else if (ok) {
+          for (unsigned r = 0; r < opt_.resolution_rounds && ok; ++r) {
+            std::uint64_t s = verify::StimGen::derive(
+                seed_, "factres/" + std::to_string(q) + "/" +
+                           std::to_string(r));
+            leaf.clear();
+            for (const NetId sup : cone.support)
+              leaf[sup] = cand[sup] != 0
+                              ? (nl_.cells()[sup].init ? ~0ull : 0ull)
+                              : splitmix64(s);
+            if (eval_cone(cone, d, leaf) != want) ok = false;
+          }
+        }
+        if (!ok) {
+          cand[q] = 0;
+          changed = true;
+        }
+      }
+    }
+    std::size_t merges = 0;
+    for (const NetId q : regs)
+      if (cand[q] != 0 && uf_.unite(q, nl_.cells()[q].init ? 1 : 0)) ++merges;
+    return merges;
+  }
+
+  /// Sequential phase: a 64-lane trajectory from reset samples the
+  /// reachable state space (so reachable-state structure — saturating
+  /// counters, one-hot guards, mirrored registers — is in scope, not just
+  /// combinational identities).  The trajectory only *nominates*; every
+  /// merge is proven:
+  ///
+  ///   * register equivalences (van Eijk): register pairs with equal init
+  ///     that agreed on every sampled cycle are assumed equal as a set —
+  ///     the leader substitutes for the follower in every next-state cone —
+  ///     and each pair's D cones are then proven equal exhaustively over
+  ///     the remaining free support; failures drop out of the assumption
+  ///     set and the rest re-prove, to a fixpoint.  Survivors are sound by
+  ///     induction from reset.
+  ///   * observability merges: nets that differ only where the chain-rule
+  ///     mask says nobody is watching are accepted only on an exact proof —
+  ///     exhaustive enumeration of the union free support of every affected
+  ///     observation cone, comparing each cone with and without the
+  ///     replacement.
+  ///
+  /// The netlist is fully resimulated after each comb merge.  Returns the
+  /// number of merges applied.
+  std::size_t sweep_odc() {
+    if (opt_.odc_max_merges == 0 || opt_.odc_cycles == 0) return 0;
+    const std::size_t n = nl_.cells().size();
+    if (n > opt_.odc_max_cells) return 0;
+    simulate_trajectory();
+    std::size_t merges = sweep_seq_regs();
+    while (merges < opt_.odc_max_merges) {
+      simulate_trajectory();
+      NetId ma = kInvalidNet;
+      NetId mb = kInvalidNet;
+      for (NetId a = 0; a < n && ma == kInvalidNet; ++a) {
+        if (uf_.find(a) != a) continue;
+        const CellKind ka = nl_.cells()[a].kind;
+        if (is_free_leaf(ka) || is_source_kind(ka)) continue;
+        if (levels_[a] == gate::kNoLevel) continue;
+        // Every affected observation cone's support is a superset of a's
+        // own (the cone runs through a), so a wide-support a can never be
+        // proven — skip before the quadratic candidate scan.
+        {
+          const Cone ca = cone_of(a);
+          if (!ca.ok || ca.support.size() > opt_.odc_exhaustive_bits)
+            continue;
+        }
+        std::vector<NetId> cands;
+        for (NetId b = 0; b < n; ++b) {
+          if (uf_.find(b) != b || b == a || !uf_.better(b, a)) continue;
+          if (nl_.cells()[b].kind == CellKind::kMemQ) continue;
+          bool masked = true;
+          for (unsigned t = 0; t < opt_.odc_cycles && masked; ++t)
+            masked = ((odc_val_[t][a] ^ odc_val_[t][b]) & odc_obs_[t][a]) == 0;
+          if (masked) cands.push_back(b);
+        }
+        if (cands.empty()) continue;
+        OdcCtx ctx;
+        if (!odc_ctx(a, ctx)) continue;
+        for (const NetId b : cands)
+          if (prove_odc(ctx, a, b)) {
+            ma = a;
+            mb = b;
+            break;
+          }
+      }
+      if (ma == kInvalidNet) break;
+      uf_.unite(ma, mb);
+      ++merges;
+    }
+    return merges;
+  }
+
  private:
   const Netlist& nl_;
   const SatSweepOptions& opt_;
@@ -130,6 +302,369 @@ class Sweeper {
   UnionFind uf_;
   std::vector<std::uint32_t> seen_;  ///< cone_of visit stamps
   std::uint32_t stamp_ = 0;
+  /// Trial substitution overlay for sweep_seq_regs: maps a class rep onto
+  /// the register it is assumed equal to.  Empty = inactive.  Applied by
+  /// res() after find(), so cone extraction and evaluation see the merged
+  /// netlist *plus* the assumption set under test.
+  std::vector<NetId> trial_;
+
+  NetId res(NetId id) const {
+    id = uf_.find(id);
+    return trial_.empty() ? id : trial_[id];
+  }
+
+  // --- ODC phase state: one entry per trajectory cycle --------------------
+  std::vector<std::vector<std::uint64_t>> odc_val_;  ///< net values
+  std::vector<std::vector<std::uint64_t>> odc_obs_;  ///< chain-rule obs masks
+  /// Memory contents entering each cycle: [mem][word * width + bit], one
+  /// 64-lane word each (the gate::Simulator kBitParallel layout).
+  std::vector<std::vector<std::vector<std::uint64_t>>> odc_mem_;
+
+  /// Read one memory bit against explicit contents, with the same per-lane
+  /// semantics as gate::Simulator::eval_memq: lanes whose address is out of
+  /// range read 0.  Bit-sliced: lane-select masks per word.
+  std::uint64_t memq_eval(const std::vector<std::uint64_t>& mem,
+                          const Cell& c,
+                          const std::vector<std::uint64_t>& val) const {
+    const MemMacro& m = nl_.memories()[c.param];
+    std::uint64_t out = 0;
+    for (unsigned w = 0; w < m.depth; ++w) {
+      std::uint64_t eq = ~0ull;
+      for (std::size_t i = 0; i < c.ins.size() && eq; ++i) {
+        const std::uint64_t bit = val[uf_.find(c.ins[i])];
+        eq &= ((w >> i) & 1u) ? bit : ~bit;
+      }
+      if (eq) out |= eq & mem[static_cast<std::size_t>(w) * m.width + c.param2];
+    }
+    return out;
+  }
+
+  /// One combinational evaluation over the *merged* view of the netlist:
+  /// every cell input resolves through find(), which is exactly the wiring
+  /// rebuild will emit.  Free leaves (inputs, DFF state) must already be
+  /// set in `val`; kMemQ cells read `mem`.
+  void eval_resolved(std::vector<std::uint64_t>& val,
+                     const std::vector<std::vector<std::uint64_t>>& mem) const {
+    for (const NetId id : order_) {
+      if (uf_.find(id) != id) continue;
+      const Cell& c = nl_.cells()[id];
+      if (c.kind == CellKind::kMemQ) {
+        val[id] = memq_eval(mem[c.param], c, val);
+        continue;
+      }
+      val[id] = eval_word(c.kind, val[uf_.find(c.ins[0])],
+                          c.ins.size() > 1 ? val[uf_.find(c.ins[1])] : 0,
+                          c.ins.size() > 2 ? val[uf_.find(c.ins[2])] : 0);
+    }
+  }
+
+  /// The nets whose values define external/sequential behavior: outputs,
+  /// DFF D pins, memory write ports.  Resolved through find(); duplicates
+  /// are harmless.
+  template <typename F>
+  void for_each_obs_point(F&& f) const {
+    for (const auto& bus : nl_.outputs())
+      for (const NetId net : bus.nets) f(uf_.find(net));
+    for (NetId id = 0; id < nl_.cells().size(); ++id) {
+      const Cell& c = nl_.cells()[id];
+      if (c.kind == CellKind::kDff && uf_.find(id) == id && !c.ins.empty())
+        f(uf_.find(c.ins[0]));
+    }
+    for (const MemMacro& m : nl_.memories())
+      for (const auto& wp : m.writes) {
+        for (const NetId a : wp.addr) f(uf_.find(a));
+        for (const NetId d : wp.data) f(uf_.find(d));
+        f(uf_.find(wp.enable));
+      }
+  }
+
+  /// Chain-rule observability masks for cycle `t`: observation points are
+  /// fully observable, and a cell input inherits (flip-sensitivity AND the
+  /// cell's own mask) in reverse topological order.  Reconvergent fanout
+  /// makes this approximate in both directions, which is fine: it is only
+  /// the candidate filter, never the proof.
+  void compute_obs(unsigned t) {
+    std::vector<std::uint64_t>& obs = odc_obs_[t];
+    const std::vector<std::uint64_t>& val = odc_val_[t];
+    obs.assign(nl_.cells().size(), 0);
+    for_each_obs_point([&](NetId id) { obs[id] = ~0ull; });
+    // Memory read addresses select words: a flip redirects the read, which
+    // this pass does not model — treat them as fully observable.
+    for (NetId id = 0; id < nl_.cells().size(); ++id) {
+      const Cell& c = nl_.cells()[id];
+      if (c.kind != CellKind::kMemQ || uf_.find(id) != id) continue;
+      for (const NetId in : c.ins) obs[uf_.find(in)] = ~0ull;
+    }
+    for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+      const NetId id = *it;
+      if (uf_.find(id) != id || obs[id] == 0) continue;
+      const Cell& c = nl_.cells()[id];
+      if (c.kind == CellKind::kMemQ) continue;  // handled above
+      const std::uint64_t a = val[uf_.find(c.ins[0])];
+      const std::uint64_t b = c.ins.size() > 1 ? val[uf_.find(c.ins[1])] : 0;
+      const std::uint64_t d = c.ins.size() > 2 ? val[uf_.find(c.ins[2])] : 0;
+      for (std::size_t j = 0; j < c.ins.size(); ++j) {
+        const std::uint64_t sens =
+            eval_word(c.kind, j == 0 ? ~a : a, j == 1 ? ~b : b,
+                      j == 2 ? ~d : d) ^
+            val[id];
+        obs[uf_.find(c.ins[j])] |= sens & obs[id];
+      }
+    }
+  }
+
+  /// Simulate `odc_cycles` cycles of the merged netlist from power-on reset
+  /// under deterministic random inputs, recording per-cycle values,
+  /// observability masks and memory contents.
+  void simulate_trajectory() {
+    const std::size_t n = nl_.cells().size();
+    const unsigned cycles = opt_.odc_cycles;
+    odc_val_.assign(cycles, {});
+    odc_obs_.assign(cycles, {});
+    odc_mem_.assign(cycles, {});
+    const std::uint64_t base = verify::StimGen::derive(seed_, "odc/traj");
+
+    std::vector<std::vector<std::uint64_t>> mem(nl_.memories().size());
+    for (std::size_t mi = 0; mi < mem.size(); ++mi) {
+      const MemMacro& m = nl_.memories()[mi];
+      mem[mi].assign(static_cast<std::size_t>(m.depth) * m.width, 0);
+    }
+    std::vector<std::uint64_t> state(n, 0);
+    for (NetId id = 0; id < n; ++id) {
+      const Cell& c = nl_.cells()[id];
+      if (c.kind == CellKind::kDff && uf_.find(id) == id)
+        state[id] = c.init ? ~0ull : 0ull;
+    }
+
+    for (unsigned t = 0; t < cycles; ++t) {
+      std::vector<std::uint64_t>& val = odc_val_[t];
+      val.assign(n, 0);
+      val[1] = ~0ull;
+      for (NetId id = 0; id < n; ++id) {
+        const Cell& c = nl_.cells()[id];
+        if (uf_.find(id) != id) continue;
+        if (c.kind == CellKind::kInput) {
+          std::uint64_t s = base + 0x6a09e667f3bcc909ull *
+                                       (static_cast<std::uint64_t>(id) + 1) +
+                            0x3c6ef372fe94f82bull * (t + 1);
+          val[id] = splitmix64(s);
+        } else if (c.kind == CellKind::kDff) {
+          val[id] = state[id];
+        }
+      }
+      odc_mem_[t] = mem;
+      eval_resolved(val, odc_mem_[t]);
+      compute_obs(t);
+
+      // Commit: write ports in declaration order (later ports win a
+      // same-word collision, matching gate::Simulator), then DFF state.
+      // Both sample pre-edge values, so ordering between them is moot.
+      for (std::size_t mi = 0; mi < mem.size(); ++mi) {
+        const MemMacro& m = nl_.memories()[mi];
+        for (const auto& wp : m.writes) {
+          const std::uint64_t en = val[uf_.find(wp.enable)];
+          if (!en) continue;
+          for (unsigned w = 0; w < m.depth; ++w) {
+            std::uint64_t eq = en;
+            for (std::size_t i = 0; i < wp.addr.size() && eq; ++i) {
+              const std::uint64_t bit = val[uf_.find(wp.addr[i])];
+              eq &= ((w >> i) & 1u) ? bit : ~bit;
+            }
+            if (!eq) continue;
+            for (unsigned b = 0; b < m.width; ++b) {
+              std::uint64_t& word =
+                  mem[mi][static_cast<std::size_t>(w) * m.width + b];
+              word = (word & ~eq) | (val[uf_.find(wp.data[b])] & eq);
+            }
+          }
+        }
+      }
+      for (NetId id = 0; id < n; ++id) {
+        const Cell& c = nl_.cells()[id];
+        if (c.kind == CellKind::kDff && uf_.find(id) == id && !c.ins.empty())
+          state[id] = val[uf_.find(c.ins[0])];
+      }
+    }
+  }
+
+  /// Van Eijk sequential register equivalence.  Candidate pairs: rep
+  /// registers with equal init whose Q values agreed on every sampled
+  /// trajectory cycle.  All candidates are assumed equal at once (the
+  /// trial substitution maps each follower onto its leader inside every
+  /// cone), then each pair's next-state cones must be proven equal
+  /// exhaustively over the remaining free support — a pair that cannot be
+  /// proven (support too wide, or a real mismatch) is dropped and the
+  /// survivors re-prove under the smaller assumption set, to a fixpoint.
+  /// Base case (equal init) plus inductive step (equal D under the
+  /// assumption, for *all* states and inputs) make the surviving merges
+  /// sound from reset, with no reliance on sampling.
+  std::size_t sweep_seq_regs() {
+    const std::size_t n = nl_.cells().size();
+    std::unordered_map<std::uint64_t, std::vector<NetId>> groups;
+    for (NetId q = 0; q < n; ++q) {
+      const Cell& c = nl_.cells()[q];
+      if (c.kind != CellKind::kDff || uf_.find(q) != q || c.ins.empty())
+        continue;
+      std::uint64_t h = c.init ? 0x9e3779b97f4a7c15ull : 0xcbf29ce484222325ull;
+      for (unsigned t = 0; t < opt_.odc_cycles; ++t)
+        h = (h ^ odc_val_[t][q]) * 0x100000001b3ull;
+      groups[h].push_back(q);
+    }
+    std::vector<std::pair<NetId, NetId>> pairs;  // (leader, follower)
+    for (auto& [h, members] : groups) {
+      if (members.size() < 2) continue;
+      std::sort(members.begin(), members.end(),
+                [&](NetId x, NetId y) { return uf_.better(x, y); });
+      for (std::size_t i = 1; i < members.size(); ++i)
+        if (nl_.cells()[members[i]].init == nl_.cells()[members[0]].init)
+          pairs.emplace_back(members[0], members[i]);
+    }
+    if (pairs.empty()) return 0;
+
+    std::vector<char> alive(pairs.size(), 1);
+    std::unordered_map<NetId, std::uint64_t> leaf;
+    for (bool changed = true; changed;) {
+      changed = false;
+      trial_.resize(n);
+      for (NetId id = 0; id < n; ++id) trial_[id] = id;
+      for (std::size_t i = 0; i < pairs.size(); ++i)
+        if (alive[i] != 0) trial_[pairs[i].second] = pairs[i].first;
+      for (std::size_t i = 0; i < pairs.size(); ++i) {
+        if (alive[i] == 0) continue;
+        const NetId d1 = nl_.cells()[pairs[i].first].ins[0];
+        const NetId d2 = nl_.cells()[pairs[i].second].ins[0];
+        const Cone c1 = cone_of(d1);
+        const Cone c2 = cone_of(d2);
+        bool ok = c1.ok && c2.ok;
+        std::vector<NetId> support;
+        if (ok) {
+          support = c1.support;
+          for (const NetId s : c2.support)
+            if (std::find(support.begin(), support.end(), s) == support.end())
+              support.push_back(s);
+          ok = support.size() <= opt_.exhaustive_bits;
+        }
+        if (ok) {
+          std::sort(support.begin(), support.end());
+          const std::size_t k = support.size();
+          const std::size_t blocks = k > 6 ? (std::size_t{1} << (k - 6)) : 1;
+          for (std::size_t blk = 0; blk < blocks && ok; ++blk) {
+            leaf.clear();
+            for (std::size_t v = 0; v < k; ++v)
+              leaf[support[v]] = v < 6 ? kTile[v]
+                                       : ((blk >> (v - 6)) & 1u ? ~0ull : 0ull);
+            if (eval_cone(c1, d1, leaf) != eval_cone(c2, d2, leaf)) ok = false;
+          }
+        }
+        if (!ok) {
+          alive[i] = 0;
+          changed = true;
+        }
+      }
+    }
+    trial_.clear();
+    std::size_t merges = 0;
+    for (std::size_t i = 0; i < pairs.size(); ++i)
+      if (alive[i] != 0 && uf_.unite(pairs[i].first, pairs[i].second))
+        ++merges;
+    return merges;
+  }
+
+  struct Cone {
+    std::vector<NetId> cells;    ///< comb cells, ascending (level, id)
+    std::vector<NetId> support;  ///< free-leaf class representatives
+    bool ok = true;              ///< false when the cone cap was hit
+  };
+
+  /// Per-candidate proof context for observability merges: the observation
+  /// points in a's transitive fanout, their cones and the union free
+  /// support — all independent of the replacement net b, so built once per
+  /// a and reused across the candidate scan.
+  struct OdcCtx {
+    std::vector<NetId> points;
+    std::vector<Cone> cones;
+    std::vector<NetId> support;
+  };
+
+  bool odc_ctx(NetId a, OdcCtx& ctx) {
+    const std::size_t n = nl_.cells().size();
+    std::vector<char> aff(n, 0);
+    aff[a] = 1;
+    for (const NetId id : order_) {
+      if (uf_.find(id) != id || id == a) continue;
+      const Cell& c = nl_.cells()[id];
+      if (c.kind == CellKind::kMemQ) continue;  // cut: reads are free leaves
+      for (const NetId in : c.ins)
+        if (aff[uf_.find(in)] != 0) {
+          aff[id] = 1;
+          break;
+        }
+    }
+    std::vector<char> seen(n, 0);
+    const auto add_point = [&](NetId p) {
+      if (aff[p] != 0 && seen[p] == 0) {
+        seen[p] = 1;
+        ctx.points.push_back(p);
+      }
+    };
+    for_each_obs_point(add_point);
+    // Memory read addresses redirect reads, which the combinational cut
+    // does not model — they must be preserved too.
+    for (NetId id = 0; id < n; ++id) {
+      const Cell& c = nl_.cells()[id];
+      if (c.kind != CellKind::kMemQ || uf_.find(id) != id) continue;
+      for (const NetId in : c.ins) add_point(uf_.find(in));
+    }
+    if (ctx.points.size() > 64) return false;
+    ctx.cones.reserve(ctx.points.size());
+    for (const NetId p : ctx.points) {
+      Cone cp = cone_of(p);
+      if (!cp.ok) return false;
+      for (const NetId s : cp.support)
+        if (std::find(ctx.support.begin(), ctx.support.end(), s) ==
+            ctx.support.end())
+          ctx.support.push_back(s);
+      ctx.cones.push_back(std::move(cp));
+    }
+    return ctx.support.size() <= opt_.odc_exhaustive_bits;
+  }
+
+  /// Observability merge proof: a and b genuinely differ, so the
+  /// replacement is legal only if the difference can *never* reach an
+  /// observation point — and the chain-rule mask that nominated the pair
+  /// is approximate, so this is proven, not sampled.  Enumerate the union
+  /// free support of b's cone and every affected observation cone
+  /// exhaustively, and require each cone to be bit-identical with and
+  /// without a forced to b's value.  DFF D pins and memory ports cut the
+  /// fanout traversal, so the proof is combinational and therefore
+  /// sequentially sound.
+  bool prove_odc(const OdcCtx& ctx, NetId a, NetId b) {
+    if (ctx.points.empty()) return true;  // provably unobservable
+    const Cone cb = cone_of(b);
+    if (!cb.ok) return false;
+    std::vector<NetId> support = ctx.support;
+    for (const NetId s : cb.support)
+      if (std::find(support.begin(), support.end(), s) == support.end())
+        support.push_back(s);
+    if (support.size() > opt_.odc_exhaustive_bits) return false;
+    std::sort(support.begin(), support.end());
+
+    const std::size_t k = support.size();
+    const std::size_t blocks = k > 6 ? (std::size_t{1} << (k - 6)) : 1;
+    std::unordered_map<NetId, std::uint64_t> leaf;
+    for (std::size_t blk = 0; blk < blocks; ++blk) {
+      leaf.clear();
+      for (std::size_t v = 0; v < k; ++v)
+        leaf[support[v]] = v < 6 ? kTile[v]
+                                 : ((blk >> (v - 6)) & 1u ? ~0ull : 0ull);
+      const std::uint64_t bv = eval_cone(cb, b, leaf);
+      for (std::size_t i = 0; i < ctx.points.size(); ++i)
+        if (eval_cone(ctx.cones[i], ctx.points[i], leaf) !=
+            eval_cone(ctx.cones[i], ctx.points[i], leaf, a, bv))
+          return false;
+    }
+    return true;
+  }
 
   /// Structural dedup of memory read bits: same memory, same data bit and
   /// class-equal address nets read the same value.
@@ -285,12 +820,6 @@ class Sweeper {
     }
   }
 
-  struct Cone {
-    std::vector<NetId> cells;    ///< comb cells, ascending (level, id)
-    std::vector<NetId> support;  ///< free-leaf class representatives
-    bool ok = true;              ///< false when the cone cap was hit
-  };
-
   Cone cone_of(NetId root) {
     constexpr std::size_t kConeCap = 4096;
     Cone cone;
@@ -303,7 +832,7 @@ class Sweeper {
       seen_[id] = stamp_;
       stack.push_back(id);
     };
-    visit(uf_.find(root));
+    visit(res(root));
     while (!stack.empty()) {
       const NetId id = stack.back();
       stack.pop_back();
@@ -318,7 +847,7 @@ class Sweeper {
         cone.ok = false;
         return cone;
       }
-      for (const NetId in : c.ins) visit(uf_.find(in));
+      for (const NetId in : c.ins) visit(res(in));
     }
     std::sort(cone.cells.begin(), cone.cells.end(), [&](NetId a, NetId b) {
       if (levels_[a] != levels_[b]) return levels_[a] < levels_[b];
@@ -329,21 +858,28 @@ class Sweeper {
   }
 
   /// Evaluate one cone under per-support-class lane words.  `leaf` maps a
-  /// support rep to its word; constants are implicit.
-  std::uint64_t eval_cone(
-      const Cone& cone, NetId root,
-      const std::unordered_map<NetId, std::uint64_t>& leaf) const {
+  /// support rep to its word; constants are implicit.  `forced` (when
+  /// != kInvalidNet) is held at `forced_val` instead of being recomputed —
+  /// the replacement under test in prove_odc.
+  std::uint64_t eval_cone(const Cone& cone, NetId root,
+                          const std::unordered_map<NetId, std::uint64_t>& leaf,
+                          NetId forced = kInvalidNet,
+                          std::uint64_t forced_val = 0) const {
     std::unordered_map<NetId, std::uint64_t> val(leaf);
     val[0] = 0;
     val[1] = ~0ull;
-    const auto get = [&](NetId id) { return val.at(uf_.find(id)); };
+    const auto get = [&](NetId id) { return val.at(res(id)); };
     for (const NetId id : cone.cells) {
+      if (id == forced) {
+        val[id] = forced_val;
+        continue;
+      }
       const Cell& c = nl_.cells()[id];
       val[id] = eval_word(c.kind, get(c.ins[0]),
                           c.ins.size() > 1 ? get(c.ins[1]) : 0,
                           c.ins.size() > 2 ? get(c.ins[2]) : 0);
     }
-    return val.at(uf_.find(root));
+    return val.at(res(root));
   }
 
   /// Resolve a signature-collision pair: exhaustive proof when the union
@@ -449,10 +985,38 @@ gate::Netlist SatSweepPass::run(const gate::Netlist& in,
       opt_.seed != 0 ? opt_.seed
                      : verify::StimGen::derive(0x5a77, "satsweep/" + in.name());
   Sweeper sweeper(in, opt_, seed);
-  stats.changes += sweeper.sweep();
+  const std::size_t fact_merges = sweeper.sweep_facts();
+  std::size_t classic_merges = sweeper.sweep();
+  const std::size_t odc_merges = sweeper.sweep_odc();
+  // A register equivalence proven by the sequential phase can equalize
+  // further combinational cones — give the classic sweep one more look.
+  if (odc_merges != 0) classic_merges += sweeper.sweep();
   RebuildHooks hooks;
   hooks.replace = [&](NetId id) { return sweeper.find(id); };
-  return rebuild(in, hooks);
+  gate::Netlist out = rebuild(in, hooks);
+
+  if (fact_merges + odc_merges != 0) {
+    // Facts and ODC merges are sampled (trajectory/resolution rounds), so
+    // every run that applied one is differentially verified here — even
+    // when the pipeline-level self-check is off — and falls back to the
+    // deterministic classic sweep if the check disagrees.  The pass never
+    // throws on a speculative merge gone wrong; it just forgoes it.
+    gate::EquivOptions eopt;
+    eopt.sequences = 4;
+    eopt.cycles = 128;
+    eopt.seed = verify::StimGen::derive(seed, "verify");
+    if (!gate::check_equivalence(in, out, eopt)) {
+      Sweeper classic(in, opt_, seed);
+      stats.changes += classic.sweep();
+      RebuildHooks fallback;
+      fallback.replace = [&](NetId id) { return classic.find(id); };
+      return rebuild(in, fallback);
+    }
+  }
+  stats.changes += fact_merges + classic_merges + odc_merges;
+  stats.fact_merges += fact_merges;
+  stats.odc_merges += odc_merges;
+  return out;
 }
 
 }  // namespace osss::opt

@@ -17,8 +17,38 @@
 // Registers dedup too: DFFs whose resolved D-nets merge and whose init
 // values agree are unified, and the sweep iterates until no new comb or
 // register merge appears (a register merge can equalize more cones).
+//
+// Two fact-driven phases extend the classic sweep:
+//
+//   * SDC seeding (`facts`): register-bit constants proven by the RTL-level
+//     abstract interpreter (lint::FactDB::const_reg_bits) arrive keyed by
+//     the lowering's stable DFF names.  Each claim is re-proven here by
+//     netlist induction — with a random-resolution fallback for cones too
+//     wide for the exhaustive prover, which is exactly what the facts add
+//     over const_regs — and then united into the constant-net class.
+//   * Sequential/ODC merging: a 64-lane *sequential* trajectory from reset
+//     samples the reachable state space; per cycle, chain-rule
+//     observability masks are back-propagated from the observation points
+//     (outputs, DFF D pins, memory write ports, memory read addresses).
+//     The trajectory only *nominates* pairs; every merge is then proven.
+//     Register pairs that agreed on every sampled cycle go through van
+//     Eijk induction — assume the candidate set equal, prove each pair's
+//     next-state cones equal exhaustively, drop failures and re-prove to a
+//     fixpoint.  Combinational pairs that differ only where the mask says
+//     nobody is watching are accepted on an exact exhaustive proof over
+//     every affected observation cone, with and without the replacement.
+//
+// The fact phase is still sampled for wide cones, so any run that applied
+// a fact or sequential merge is differentially verified in-pass
+// (gate::check_equivalence against the input) and falls back to the
+// classic-only sweep when the check disagrees — the pass never ships an
+// unverified speculative merge.
 
 #pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
 
 #include "opt/pass.hpp"
 
@@ -29,6 +59,24 @@ struct SatSweepOptions {
   unsigned exhaustive_bits = 14;   ///< exhaustive proof up to 2^k assignments
   unsigned resolution_rounds = 96; ///< random resolution rounds beyond that
   std::uint64_t seed = 0;          ///< 0 = derive from the netlist name
+  /// Externally proven per-bit register constants, keyed by the gate
+  /// lowering's DFF cell name ("reg[bit]") — the conduit from
+  /// lint::analyze_dataflow.  Claims are re-verified before use; nullptr
+  /// or empty disables the phase.
+  std::shared_ptr<const std::unordered_map<std::string, bool>> facts;
+  /// Sequential trajectory length (cycles, 64 lanes each) sampled for ODC
+  /// merging.
+  unsigned odc_cycles = 48;
+  /// ODC merges per sweep; 0 disables the ODC phase entirely.
+  unsigned odc_max_merges = 32;
+  /// Netlists with more cells than this skip the ODC phase (the pair scan
+  /// is quadratic in the live-cell count).
+  unsigned odc_max_cells = 4096;
+  /// Exhaustive-proof budget for combinational ODC merges: the union free
+  /// support of every affected observation cone must fit in this many
+  /// variables for the merge to be *proven* (masked agreement on the
+  /// trajectory is only the candidate filter, never the proof).
+  unsigned odc_exhaustive_bits = 10;
 };
 
 class SatSweepPass final : public Pass {

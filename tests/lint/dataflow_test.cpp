@@ -1,0 +1,192 @@
+// dataflow_test.cpp — unit tests for the abstract-interpretation engine:
+// lattice algebra, transfer precision on hand-built modules, and the
+// invariants the new rule pack and the ODC-aware satsweep rely on.
+
+#include "lint/dataflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expocu/flows.hpp"
+#include "rtl/builder.hpp"
+
+namespace osss::lint {
+namespace {
+
+using rtl::Builder;
+using rtl::Wire;
+
+TEST(DataflowDomains, KnownBitsAlgebra) {
+  const KnownBits c = KnownBits::constant(Bits(8, 0xa5));
+  EXPECT_TRUE(c.is_constant());
+  EXPECT_EQ(c.constant_value().to_u64(), 0xa5u);
+  EXPECT_TRUE(c.contains(Bits(8, 0xa5)));
+  EXPECT_FALSE(c.contains(Bits(8, 0xa4)));
+
+  const KnownBits j = KnownBits::join(c, KnownBits::constant(Bits(8, 0xa4)));
+  EXPECT_FALSE(j.is_constant());
+  EXPECT_TRUE(j.contains(Bits(8, 0xa5)));
+  EXPECT_TRUE(j.contains(Bits(8, 0xa4)));
+  EXPECT_EQ(j.bit(7), std::optional<bool>(true));
+  EXPECT_EQ(j.bit(0), std::nullopt);
+}
+
+TEST(DataflowDomains, IntervalJoinAndNormalize) {
+  const Interval a(3, 5);
+  const Interval b(9, 12);
+  const Interval j = Interval::join(a, b);
+  EXPECT_EQ(j.lo, 3u);
+  EXPECT_EQ(j.hi, 12u);
+
+  // normalize(): interval [0, 8] pins bits above bit 3 of a 8-bit bus.
+  Fact f = Fact::top(8);
+  f.iv = Interval(0, 8);
+  f.normalize();
+  EXPECT_EQ(f.kb.bit(7), std::optional<bool>(false));
+  EXPECT_EQ(f.kb.bit(4), std::optional<bool>(false));
+  EXPECT_EQ(f.kb.bit(3), std::nullopt);
+
+  // ... and known bits clamp the interval.
+  Fact g = Fact::top(8);
+  g.kb.zeros = Bits(8, 0xf0);  // top nibble known zero
+  g.normalize();
+  EXPECT_TRUE(g.iv.tracked);
+  EXPECT_EQ(g.iv.hi, 0x0fu);
+}
+
+TEST(DataflowEngine, ConstantPropagationThroughLogic) {
+  Builder b("const_prop");
+  const Wire x = b.input("x", 8);
+  const Wire k = b.constant(8, 0x0f);
+  const Wire anded = b.and_(x, k);       // top nibble 0
+  const Wire ored = b.or_(anded, b.constant(8, 0x01));  // bit 0 is 1
+  b.output("y", ored);
+  const rtl::Module m = b.take();
+
+  const FactDB db = analyze_dataflow(m);
+  const rtl::NodeId y = m.outputs().front().node;
+  EXPECT_EQ(db.bit(y, 7), std::optional<bool>(false));
+  EXPECT_EQ(db.bit(y, 4), std::optional<bool>(false));
+  EXPECT_EQ(db.bit(y, 0), std::optional<bool>(true));
+  EXPECT_EQ(db.bit(y, 1), std::nullopt);
+  EXPECT_TRUE(db.interval(y).tracked);
+  EXPECT_LE(db.interval(y).hi, 0x0fu);
+}
+
+TEST(DataflowEngine, SaturatingCounterKeepsBound) {
+  // count' = (count < 8) ? count + 1 : count — the reset_ctrl idiom; the
+  // guard refinement plus threshold widening must hold count <= 8.
+  Builder b("sat_counter");
+  const Wire count = b.reg("count", 4);
+  const Wire lt = b.ult(count, b.constant(4, 8));
+  b.connect(count, b.mux(lt, b.add(count, b.constant(4, 1)), count));
+  b.output("q", count);
+  const rtl::Module m = b.take();
+
+  const FactDB db = analyze_dataflow(m);
+  const Fact& f = db.register_fact(0);
+  EXPECT_TRUE(f.iv.tracked);
+  EXPECT_EQ(f.iv.lo, 0u);
+  EXPECT_EQ(f.iv.hi, 8u);
+  EXPECT_TRUE(db.converged());
+}
+
+TEST(DataflowEngine, WrappingCounterIsTop) {
+  Builder b("wrap_counter");
+  const Wire count = b.reg("count", 4);
+  b.connect(count, b.add(count, b.constant(4, 1)));
+  b.output("q", count);
+  const rtl::Module m = b.take();
+
+  const FactDB db = analyze_dataflow(m);
+  const Fact& f = db.register_fact(0);
+  EXPECT_TRUE(f.contains(Bits(4, 15)));
+  EXPECT_TRUE(f.contains(Bits(4, 0)));
+  EXPECT_TRUE(db.converged());
+}
+
+TEST(DataflowEngine, StuckRegisterBitsAreConstant) {
+  // A 4-bit register fed by {2'b00, x[1:0]}: the top two bits never
+  // toggle — the fact the satsweep consumes via const_reg_bits().
+  Builder b("stuck_bits");
+  const Wire x = b.input("x", 2);
+  const Wire r = b.reg("r", 4);
+  b.connect(r, b.concat({b.constant(2, 0), x}));
+  b.output("q", r);
+  const rtl::Module m = b.take();
+
+  const FactDB db = analyze_dataflow(m);
+  const Fact& f = db.register_fact(0);
+  EXPECT_EQ(f.kb.bit(3), std::optional<bool>(false));
+  EXPECT_EQ(f.kb.bit(2), std::optional<bool>(false));
+  EXPECT_EQ(f.kb.bit(1), std::nullopt);
+
+  const auto bits = db.const_reg_bits();
+  EXPECT_EQ(bits.count("r[3]"), 1u);
+  EXPECT_EQ(bits.at("r[3]"), false);
+  EXPECT_EQ(bits.count("r[1]"), 0u);
+}
+
+TEST(DataflowEngine, EnableGatedRegisterHoldsJoin) {
+  Builder b("en_reg");
+  const Wire en = b.input("en", 1);
+  const Wire r = b.reg("r", 8, 0x80);
+  b.connect(r, b.constant(8, 0x81));
+  b.enable(r, en);
+  b.output("q", r);
+  const rtl::Module m = b.take();
+
+  const FactDB db = analyze_dataflow(m);
+  const Fact& f = db.register_fact(0);
+  // Holds 0x80 until en, then 0x81 forever: bit 7 always set.
+  EXPECT_EQ(f.kb.bit(7), std::optional<bool>(true));
+  EXPECT_EQ(f.kb.bit(1), std::optional<bool>(false));
+  EXPECT_EQ(f.kb.bit(0), std::nullopt);
+}
+
+TEST(DataflowEngine, MemoryFactsJoinWrites) {
+  Builder b("mem_facts");
+  const Wire addr = b.input("addr", 3);
+  const rtl::MemHandle mem = b.memory("m", /*depth=*/8, /*data_width=*/8);
+  // Only ever writes values with the top bit clear.
+  b.mem_write(mem, addr, b.and_(b.input("d", 8), b.constant(8, 0x7f)),
+              b.input("we", 1));
+  const Wire q = b.mem_read(mem, addr);
+  b.output("q", q);
+  const rtl::Module m = b.take();
+
+  const FactDB db = analyze_dataflow(m);
+  const rtl::NodeId qn = m.outputs().front().node;
+  EXPECT_EQ(db.bit(qn, 7), std::optional<bool>(false));
+  EXPECT_EQ(db.bit(qn, 0), std::nullopt);
+}
+
+TEST(DataflowEngine, DeadMemoryWriteDetected) {
+  Builder b("dead_write");
+  const rtl::MemHandle mem = b.memory("m", /*depth=*/10, /*data_width=*/8);
+  // Address 12 >= depth 10: the write can never land.
+  b.mem_write(mem, b.constant(4, 12), b.input("d", 8), b.input("we", 1));
+  const Wire q = b.mem_read(mem, b.input("addr", 4));
+  b.output("q", q);
+  const rtl::Module m = b.take();
+
+  const FactDB db = analyze_dataflow(m);
+  ASSERT_EQ(db.dead_writes().size(), 1u);
+  EXPECT_EQ(db.dead_writes()[0].first, 0u);
+  // ... and the read can only ever see the zero-initialised rows.
+  const rtl::NodeId qn = m.outputs().front().node;
+  EXPECT_EQ(db.constant(qn).value_or(Bits(8, 1)), Bits(8, 0));
+}
+
+TEST(DataflowEngine, ExpoCuComponentsAnalyzeAndConverge) {
+  for (const auto& flow :
+       {expocu::build_osss_flow(), expocu::build_vhdl_flow()}) {
+    for (const auto& comp : flow) {
+      const FactDB db = analyze_dataflow(comp.module);
+      EXPECT_TRUE(db.converged()) << comp.module.name();
+      EXPECT_EQ(db.node_count(), comp.module.node_count());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace osss::lint

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 
 namespace osss::lint {
@@ -20,15 +22,18 @@ TEST(DiagRegistry, EveryRuleHasUniqueIdAndKnownPack) {
                 pack == "opt")
         << r.id;
     EXPECT_NE(std::string(r.title), "");
+    // --explain and docs/lint-rules.md render from the registry: every
+    // rule needs a real description.
+    EXPECT_GE(std::string(r.description).size(), 40u) << r.id;
   }
   // The full rule set this PR ships; additions only append.
   for (const char* id :
        {"RTL-001", "RTL-002", "RTL-003", "RTL-004", "RTL-005", "RTL-006",
-        "RTL-007", "RTL-008", "RTL-009", "GATE-001", "GATE-002", "GATE-003",
-        "GATE-004", "GATE-005", "RACE-001", "RACE-002", "RACE-003", "OPT-001",
-        "OPT-002"})
+        "RTL-007", "RTL-008", "RTL-009", "RTL-010", "RTL-011", "RTL-012",
+        "RTL-013", "RTL-014", "GATE-001", "GATE-002", "GATE-003", "GATE-004",
+        "GATE-005", "RACE-001", "RACE-002", "RACE-003", "OPT-001", "OPT-002"})
     EXPECT_NE(find_rule(id), nullptr) << id;
-  EXPECT_EQ(rule_registry().size(), 19u);
+  EXPECT_EQ(rule_registry().size(), 24u);
   EXPECT_EQ(find_rule("RTL-999"), nullptr);
 }
 
@@ -99,6 +104,91 @@ TEST(DiagReport, JsonReporterIsWellFormedAndEscaped) {
   EXPECT_NE(j.find("\\n"), std::string::npos);   // newline escaped
   EXPECT_EQ(j.find('\n'), std::string::npos);    // reporter stays one line
   EXPECT_NE(j.find("\"errors\":1"), std::string::npos);
+}
+
+TEST(DiagReport, JsonEscapeReplacesInvalidUtf8AndKeepsValidSequences) {
+  // Adversarial object names round-tripped through Report::json(): the
+  // emitted document must stay valid UTF-8 JSON whatever bytes leak in.
+  const std::string valid_utf8 = "sigma \xcf\x83, snowman \xe2\x98\x83";
+  const std::string bad = std::string("truncated \xe2\x98") + " lone \x80" +
+                          " overlong \xc0\xaf" + " surrogate \xed\xa0\x80" +
+                          " beyond \xf4\x90\x80\x80" + " ctl \x01";
+  Report r;
+  Diagnostic d = make("RTL-001", Severity::kError, valid_utf8.c_str());
+  d.message = bad;
+  r.add(d);
+  const std::string j = r.json();
+
+  // Well-formed multi-byte sequences pass through byte-identically...
+  EXPECT_NE(j.find(valid_utf8), std::string::npos);
+  // ...every invalid byte became U+FFFD (one replacement per byte: the
+  // truncated two-byte prefix yields two), controls became \u escapes...
+  EXPECT_NE(j.find("truncated \xef\xbf\xbd\xef\xbf\xbd lone \xef\xbf\xbd"),
+            std::string::npos);
+  EXPECT_NE(j.find("ctl \\u0001"), std::string::npos);
+  for (const char* raw : {"\xe2\x98 ", "\xc0", "\xed\xa0", "\xf4\x90"})
+    EXPECT_EQ(j.find(raw), std::string::npos) << "raw bytes leaked: " << raw;
+  // ...and the whole document decodes as UTF-8 (any decoder would do; this
+  // reuses the escaper's own validator on the final byte stream, which
+  // rejects exactly what RFC 3629 rejects).
+  for (std::size_t i = 0; i < j.size();) {
+    unsigned char c = static_cast<unsigned char>(j[i]);
+    if (c < 0x80) { ++i; continue; }
+    std::size_t len = (c & 0xe0) == 0xc0 ? 2 : (c & 0xf0) == 0xe0 ? 3 : 4;
+    ASSERT_LE(i + len, j.size()) << "truncated sequence at " << i;
+    for (std::size_t k = 1; k < len; ++k)
+      ASSERT_EQ(static_cast<unsigned char>(j[i + k]) & 0xc0, 0x80)
+          << "bad continuation at " << i + k;
+    i += len;
+  }
+}
+
+TEST(DiagReport, SarifReporterListsRulesResultsAndLocations) {
+  Report r;
+  Diagnostic d = make("RTL-001", Severity::kError, "%12");
+  d.note = "%12 -> %13 -> %12";
+  r.add(d);
+  r.add(make("GATE-005", Severity::kInfo, "netlist"));
+  const std::string s = to_sarif(r);
+
+  EXPECT_NE(s.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(s.find("\"name\":\"osss-lint\""), std::string::npos);
+  // Referenced rules carry registry metadata, in registry order.
+  EXPECT_NE(s.find("\"id\":\"RTL-001\""), std::string::npos);
+  EXPECT_NE(s.find("\"id\":\"GATE-005\""), std::string::npos);
+  EXPECT_LT(s.find("\"id\":\"RTL-001\""), s.find("\"id\":\"GATE-005\""));
+  EXPECT_NE(s.find(find_rule("RTL-001")->title), std::string::npos);
+  // Results: level mapping (kInfo -> "note"), logical location, note.
+  EXPECT_NE(s.find("\"ruleId\":\"RTL-001\""), std::string::npos);
+  EXPECT_NE(s.find("\"level\":\"error\""), std::string::npos);
+  EXPECT_NE(s.find("\"level\":\"note\""), std::string::npos);
+  EXPECT_EQ(s.find("\"level\":\"info\""), std::string::npos);
+  EXPECT_NE(s.find("\"fullyQualifiedName\":\"unit.%12\""), std::string::npos);
+  EXPECT_NE(s.find("%12 -> %13 -> %12"), std::string::npos);
+  // A rule never reported stays out of the rules array.
+  EXPECT_EQ(s.find("\"id\":\"RTL-002\""), std::string::npos);
+}
+
+TEST(DiagRegistry, MarkdownReferenceCoversEveryRule) {
+  const std::string md = rules_markdown();
+  for (const RuleInfo& r : rule_registry()) {
+    EXPECT_NE(md.find(std::string("### ") + r.id), std::string::npos) << r.id;
+    EXPECT_NE(md.find(r.title), std::string::npos) << r.id;
+    EXPECT_NE(md.find(r.description), std::string::npos) << r.id;
+  }
+}
+
+TEST(DiagRegistry, CommittedRuleDocsMatchTheRegistry) {
+  // docs/lint-rules.md is generated (`osss-lint --rules-doc`); regenerate
+  // it whenever a rule is added or reworded, or this drifts.
+  std::ifstream f(std::string(OSSS_SOURCE_DIR) + "/docs/lint-rules.md",
+                  std::ios::binary);
+  ASSERT_TRUE(f.is_open()) << "docs/lint-rules.md missing";
+  std::stringstream ss;
+  ss << f.rdbuf();
+  EXPECT_EQ(ss.str(), rules_markdown())
+      << "docs/lint-rules.md is stale; regenerate with "
+         "`osss-lint --rules-doc > docs/lint-rules.md`";
 }
 
 TEST(DiagOptions, SuppressionLooksUpRuleIds) {

@@ -200,6 +200,107 @@ TEST(RtlLint, SuppressionSilencesARule) {
   EXPECT_FALSE(r.has("RTL-003")) << r.text();
 }
 
+// --- dataflow rules (RTL-010..014) ----------------------------------------
+
+TEST(RtlLint, UnreachableMuxArmIsRtl010) {
+  // count saturates at 8, so `count < 12` is always true and the second
+  // mux's else arm can never be selected.  Plain folding cannot see this.
+  Builder b("sat_mux");
+  Wire count = b.reg("count", 4, 0);
+  Wire lt8 = b.ult(count, b.constant(4, 8));
+  b.connect(count, b.mux(lt8, b.add(count, b.constant(4, 1)), count));
+  Wire sel = b.ult(count, b.constant(4, 12));
+  Wire y = b.mux(sel, count, b.input("alt", 4));
+  b.output("o", y);
+  const Report r = lint::lint_module(b.take());
+  ASSERT_TRUE(r.has("RTL-010")) << r.text();
+  const auto d = r.by_rule("RTL-010")[0];
+  EXPECT_EQ(d.severity, Severity::kWarning);
+  EXPECT_EQ(d.index, static_cast<std::int64_t>(y.id));
+  EXPECT_NE(d.message.find("always 1"), std::string::npos);
+  EXPECT_NE(d.message.find("else arm"), std::string::npos);
+}
+
+TEST(RtlLint, ConstantComparisonIsRtl011) {
+  Builder b("sat_cmp");
+  Wire count = b.reg("count", 4, 0);
+  Wire lt8 = b.ult(count, b.constant(4, 8));
+  b.connect(count, b.mux(lt8, b.add(count, b.constant(4, 1)), count));
+  Wire never = b.ult(b.constant(4, 9), count);  // 9 < count is impossible
+  b.output("flag", never);
+  const Report r = lint::lint_module(b.take());
+  ASSERT_TRUE(r.has("RTL-011")) << r.text();
+  const auto d = r.by_rule("RTL-011")[0];
+  EXPECT_EQ(d.severity, Severity::kWarning);
+  EXPECT_EQ(d.index, static_cast<std::int64_t>(never.id));
+  EXPECT_NE(d.message.find("always false"), std::string::npos);
+  // The note carries the interval evidence ([0, 8] for the counter).
+  EXPECT_NE(d.note.find("[0, 8]"), std::string::npos) << d.note;
+  // ... and the saturation guard itself is NOT constant: no other finding.
+  EXPECT_EQ(r.by_rule("RTL-011").size(), 1u) << r.text();
+}
+
+TEST(RtlLint, TruncationDroppingSetBitsIsRtl012) {
+  // (zext(x) + 8) always has bit 3 set; slicing back to 3 bits provably
+  // destroys it every cycle.
+  Builder b("trunc");
+  Wire x = b.input("x", 3);
+  Wire wide = b.add(b.zext(x, 4), b.constant(4, 8));
+  Wire low = b.slice(wide, 2, 0);
+  b.output("o", low);
+  const Report r = lint::lint_module(b.take());
+  ASSERT_TRUE(r.has("RTL-012")) << r.text();
+  const auto d = r.by_rule("RTL-012")[0];
+  EXPECT_EQ(d.severity, Severity::kWarning);
+  EXPECT_EQ(d.index, static_cast<std::int64_t>(low.id));
+  EXPECT_NE(d.note.find("3"), std::string::npos);
+}
+
+TEST(RtlLint, OutOfRangeMemoryWriteIsRtl013) {
+  // Address {2'b11, x} is always >= 12 but the memory has 10 rows.
+  Builder b("oob_write");
+  Wire x = b.input("x", 2);
+  MemHandle mem = b.memory("buf", /*depth=*/10, /*data_width=*/8);
+  Wire addr = b.concat({b.constant(2, 3), x});
+  b.mem_write(mem, addr, b.input("d", 8), b.input("we", 1));
+  b.output("q", b.mem_read(mem, b.input("raddr", 4)));
+  const Report r = lint::lint_module(b.take());
+  ASSERT_TRUE(r.has("RTL-013")) << r.text();
+  const auto d = r.by_rule("RTL-013")[0];
+  EXPECT_EQ(d.severity, Severity::kWarning);
+  EXPECT_EQ(d.object, "buf");
+  EXPECT_NE(d.note.find("depth 10"), std::string::npos) << d.note;
+}
+
+TEST(RtlLint, StuckRegisterBitsAreRtl014) {
+  // The top two bits of r are fed constant zero: per-bit stuck, even
+  // though the register as a whole changes (RTL-008 cannot fire).
+  Builder b("stuck_bits");
+  Wire x = b.input("x", 2);
+  Wire r = b.reg("r", 4, 0);
+  b.connect(r, b.concat({b.constant(2, 0), x}));
+  b.output("q", r);
+  const Report rep = lint::lint_module(b.take());
+  EXPECT_FALSE(rep.has("RTL-008")) << rep.text();
+  ASSERT_TRUE(rep.has("RTL-014")) << rep.text();
+  const auto d = rep.by_rule("RTL-014")[0];
+  EXPECT_EQ(d.severity, Severity::kInfo);
+  EXPECT_EQ(d.object, "r");
+  EXPECT_NE(d.message.find("2 of 4 bits"), std::string::npos) << d.message;
+  EXPECT_NE(d.note.find("2=0 3=0"), std::string::npos) << d.note;
+}
+
+TEST(RtlLint, Rtl014DefersToStructuralRtl008) {
+  // A register RTL-008 already explains must not be double-reported.
+  Builder b("stuck");
+  Wire q = b.reg("q", 4, 9);
+  b.connect(q, q);
+  b.output("o", q);
+  const Report r = lint::lint_module(b.take());
+  ASSERT_TRUE(r.has("RTL-008")) << r.text();
+  EXPECT_FALSE(r.has("RTL-014")) << r.text();
+}
+
 TEST(RtlLint, MalformedIrNeverThrows) {
   Builder b("mangled");
   Wire a = b.input("a", 4);

@@ -44,25 +44,25 @@ const ComponentGolden kGolden[] = {
       {"techmap", 89.5, 1}},
      89.5, 1},
     {"histogram",
-     {{"rewrite", 473, 18}, {"satsweep", 464.5, 16}, {"retime", 464.5, 16},
-      {"techmap", 464.5, 16}},
-     464.5, 16},
+     {{"rewrite", 472.5, 18}, {"satsweep", 462, 16}, {"retime", 462, 16},
+      {"techmap", 462, 16}},
+     462, 16},
     {"threshold_calc",
      {{"rewrite", 2131.5, 39}, {"satsweep", 2131.5, 39},
       {"retime", 2131.5, 39}, {"techmap", 1954.5, 26}},
      1954.5, 26},
     {"param_calc",
-     {{"rewrite", 2493.5, 57}, {"satsweep", 2249, 57}, {"retime", 2249, 57},
-      {"techmap", 1918, 36}},
-     1899, 36},
+     {{"rewrite", 2494, 57}, {"satsweep", 2244, 57}, {"retime", 2244, 57},
+      {"techmap", 1913, 36}},
+     1893, 36},
     {"i2c_master",
-     {{"rewrite", 1109, 66}, {"satsweep", 752, 65}, {"retime", 752, 65},
+     {{"rewrite", 1108.5, 66}, {"satsweep", 751.5, 65}, {"retime", 751.5, 65},
       {"techmap", 685, 64}},
      683, 64},
     {"reset_ctrl",
-     {{"rewrite", 67, 5}, {"satsweep", 67, 5}, {"retime", 67, 5},
-      {"techmap", 65.5, 5}},
-     65.5, 5},
+     {{"rewrite", 66.5, 5}, {"satsweep", 64, 4}, {"retime", 64, 4},
+      {"techmap", 63, 4}},
+     63, 4},
 };
 
 void expect_area_near(double got, double want, const std::string& what) {

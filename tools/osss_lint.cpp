@@ -8,9 +8,10 @@
 //
 // Usage:
 //   osss-lint [--flow=osss|vhdl|both] [--level=rtl|gate|both] [--opt]
-//             [--fuzz=N] [--seed=S] [--format=text|json] [--out=FILE]
+//             [--fuzz=N] [--seed=S] [--format=text|json|sarif] [--out=FILE]
 //             [--suppress=RULE[,RULE...]] [--fail-on=error|warning|never]
-//             [--fanout-warn=N] [--list-rules]
+//             [--fanout-warn=N] [--list-rules] [--explain=RULE-ID]
+//             [--rules-doc]
 //
 // Exit codes: 0 clean (below fail-on), 1 findings at/above fail-on,
 // 2 usage or I/O error.
@@ -18,14 +19,17 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <random>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "expocu/flows.hpp"
 #include "gate/lower.hpp"
+#include "lint/dataflow.hpp"
 #include "lint/lint.hpp"
 #include "opt/opt.hpp"
 #include "verify/random_module.hpp"
@@ -56,6 +60,8 @@ struct Cli {
   std::string out;
   std::string fail_on = "error";
   bool list_rules = false;
+  bool rules_doc = false;
+  std::string explain;  ///< --explain=RULE-ID: print registry description
   Options opt;
 };
 
@@ -68,6 +74,10 @@ bool parse_args(int argc, char** argv, Cli& cli) {
     };
     if (a == "--list-rules") {
       cli.list_rules = true;
+    } else if (a == "--rules-doc") {
+      cli.rules_doc = true;
+    } else if (auto v = value("--explain=")) {
+      cli.explain = *v;
     } else if (a == "--opt") {
       cli.lint_opt = true;
     } else if (auto v = value("--flow=")) {
@@ -83,7 +93,7 @@ bool parse_args(int argc, char** argv, Cli& cli) {
     } else if (auto v = value("--seed=")) {
       cli.seed = std::stoull(*v);
     } else if (auto v = value("--format=")) {
-      if (*v != "text" && *v != "json") return false;
+      if (*v != "text" && *v != "json" && *v != "sarif") return false;
       cli.format = *v;
     } else if (auto v = value("--out=")) {
       cli.out = *v;
@@ -112,10 +122,17 @@ bool parse_args(int argc, char** argv, Cli& cli) {
 /// Run the optimization pipeline and report its per-pass statistics as
 /// diagnostics: OPT-001 (info) per pass, OPT-002 (warning) when a pass
 /// regressed area or logic depth.
-Report lint_opt_pipeline(const osss::gate::Netlist& nl, const Options& opt) {
+Report lint_opt_pipeline(const osss::gate::Netlist& nl, const Options& opt,
+                         const osss::rtl::Module& m) {
   Report report;
   std::vector<osss::opt::PassStats> stats;
-  osss::opt::optimize(nl, {}, &stats);
+  osss::opt::PipelineOptions po;
+  // Feed the pipeline the register-bit constants the abstract interpreter
+  // proved on the RTL source — the lint tool already has the module in
+  // hand, so the optimizer report reflects the fact-seeded sweep.
+  po.facts = std::make_shared<const std::unordered_map<std::string, bool>>(
+      osss::lint::analyze_dataflow(m).const_reg_bits());
+  osss::opt::optimize(nl, po, &stats);
   for (std::size_t i = 0; i < stats.size(); ++i) {
     const auto& s = stats[i];
     if (!opt.suppressed("OPT-001")) {
@@ -158,7 +175,7 @@ void lint_one(const std::string& name, const std::string& flow,
       units.push_back(
           {name, flow, "gate", osss::lint::lint_netlist(nl, cli.opt)});
     if (cli.lint_opt)
-      units.push_back({name, flow, "opt", lint_opt_pipeline(nl, cli.opt)});
+      units.push_back({name, flow, "opt", lint_opt_pipeline(nl, cli.opt, m)});
   }
 }
 
@@ -175,6 +192,20 @@ std::string render_text(const std::vector<Unit>& units) {
   os << "total: " << errors << " error(s), " << warnings << " warning(s), "
      << infos << " info across " << units.size() << " unit(s)\n";
   return os.str();
+}
+
+std::string render_sarif(const std::vector<Unit>& units) {
+  // One SARIF run across every unit; the flow and analysis level move into
+  // the logical location ("osss/camera_sync[gate].netlist") because the
+  // per-module source alone is ambiguous between flows.
+  Report merged;
+  for (const Unit& u : units) {
+    for (osss::lint::Diagnostic d : u.report.diags()) {
+      d.source = u.flow + "/" + d.source + "[" + u.level + "]";
+      merged.add(std::move(d));
+    }
+  }
+  return osss::lint::to_sarif(merged) + "\n";
 }
 
 std::string render_json(const std::vector<Unit>& units) {
@@ -203,16 +234,34 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, cli)) {
     std::cerr << "usage: osss-lint [--flow=osss|vhdl|both] "
                  "[--level=rtl|gate|both] [--opt] [--fuzz=N] [--seed=S]\n"
-                 "                 [--format=text|json] [--out=FILE] "
+                 "                 [--format=text|json|sarif] [--out=FILE] "
                  "[--suppress=RULE,...]\n"
                  "                 [--fail-on=error|warning|never] "
-                 "[--fanout-warn=N] [--list-rules]\n";
+                 "[--fanout-warn=N] [--list-rules]\n"
+                 "                 [--explain=RULE-ID] [--rules-doc]\n";
     return 2;
   }
   if (cli.list_rules) {
     for (const auto& r : osss::lint::rule_registry())
       std::cout << r.id << "  " << osss::lint::severity_name(r.default_severity)
                 << "  [" << r.pack << "]  " << r.title << "\n";
+    return 0;
+  }
+  if (cli.rules_doc) {
+    std::cout << osss::lint::rules_markdown();
+    return 0;
+  }
+  if (!cli.explain.empty()) {
+    const osss::lint::RuleInfo* r = osss::lint::find_rule(cli.explain);
+    if (r == nullptr) {
+      std::cerr << "osss-lint: unknown rule '" << cli.explain
+                << "' (see --list-rules)\n";
+      return 2;
+    }
+    std::cout << r->id << " — " << r->title << "\n"
+              << "pack: " << r->pack << ", default severity: "
+              << osss::lint::severity_name(r->default_severity) << "\n\n"
+              << r->description << "\n";
     return 0;
   }
 
@@ -239,8 +288,9 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const std::string body =
-      cli.format == "json" ? render_json(units) : render_text(units);
+  const std::string body = cli.format == "json"    ? render_json(units)
+                           : cli.format == "sarif" ? render_sarif(units)
+                                                   : render_text(units);
   if (cli.out.empty()) {
     std::cout << body;
   } else {

@@ -18,15 +18,18 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <random>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "expocu/flows.hpp"
 #include "gate/lower.hpp"
 #include "gate/timing.hpp"
+#include "lint/dataflow.hpp"
 #include "opt/opt.hpp"
 #include "verify/random_module.hpp"
 
@@ -35,6 +38,18 @@ namespace {
 using osss::gate::Library;
 using osss::gate::Netlist;
 using osss::opt::PassStats;
+
+using FactsPtr = std::shared_ptr<const std::unordered_map<std::string, bool>>;
+
+/// Register-bit constants proven by the RTL-level abstract interpreter,
+/// keyed by the lowering's DFF names — the SDC fuel for the satsweep pass
+/// (which re-verifies every claim by netlist induction before using it).
+FactsPtr facts_of(const osss::rtl::Module& m) {
+  auto bits = osss::lint::analyze_dataflow(m).const_reg_bits();
+  if (bits.empty()) return nullptr;
+  return std::make_shared<const std::unordered_map<std::string, bool>>(
+      std::move(bits));
+}
 
 struct Unit {
   std::string name;
@@ -102,10 +117,12 @@ bool parse_args(int argc, char** argv, Cli& cli) {
   return true;
 }
 
-osss::opt::Pipeline build_pipeline(const Cli& cli, const Library& lib) {
+osss::opt::Pipeline build_pipeline(const Cli& cli, const Library& lib,
+                                   const FactsPtr& facts) {
   osss::opt::PipelineOptions popt;
   popt.lib = &lib;
   popt.self_check = cli.check;
+  popt.facts = facts;
   if (cli.passes.empty()) return osss::opt::Pipeline::standard(popt);
   osss::opt::Pipeline p(popt);
   for (const std::string& name : cli.passes)
@@ -114,14 +131,15 @@ osss::opt::Pipeline build_pipeline(const Cli& cli, const Library& lib) {
 }
 
 Unit optimize_one(const std::string& name, const std::string& flow,
-                  const Netlist& nl, const Cli& cli, const Library& lib) {
+                  const Netlist& nl, const Cli& cli, const Library& lib,
+                  const FactsPtr& facts) {
   Unit u;
   u.name = name;
   u.flow = flow;
   const osss::gate::TimingReport before = osss::gate::analyze_timing(nl, lib);
   u.area_before = before.area_ge;
   u.fmax_before = before.fmax_mhz;
-  osss::opt::Pipeline pipeline = build_pipeline(cli, lib);
+  osss::opt::Pipeline pipeline = build_pipeline(cli, lib, facts);
   const Netlist out = pipeline.run(nl);
   u.stats = pipeline.stats();
   const osss::gate::TimingReport after = osss::gate::analyze_timing(out, lib);
@@ -182,6 +200,8 @@ std::string render_json(const std::vector<Unit>& units) {
          << ",\"depth_after\":" << s.depth_after
          << ",\"area_before\":" << s.area_before
          << ",\"area_after\":" << s.area_after << ",\"changes\":" << s.changes
+         << ",\"fact_merges\":" << s.fact_merges
+         << ",\"odc_merges\":" << s.odc_merges
          << ",\"wall_ms\":" << s.wall_ms
          << ",\"verified\":" << (s.verified ? "true" : "false") << "}";
     }
@@ -218,12 +238,12 @@ int main(int argc, char** argv) {
       for (const auto& c : osss::expocu::build_osss_flow())
         units.push_back(optimize_one(c.name, "osss",
                                      osss::gate::lower_to_gates(c.module),
-                                     cli, lib));
+                                     cli, lib, facts_of(c.module)));
     if (cli.run_vhdl)
       for (const auto& c : osss::expocu::build_vhdl_flow())
         units.push_back(optimize_one(c.name, "vhdl",
                                      osss::gate::lower_to_gates(c.module),
-                                     cli, lib));
+                                     cli, lib, facts_of(c.module)));
     std::mt19937_64 rng(cli.seed);
     for (unsigned i = 0; i < cli.fuzz; ++i) {
       osss::verify::RandomModuleOptions ropt;
@@ -233,7 +253,8 @@ int main(int argc, char** argv) {
       ropt.with_polymorphic = i % 7 == 0;
       const auto m = osss::verify::random_module(rng, ropt);
       units.push_back(optimize_one("fuzz_" + std::to_string(i), "fuzz",
-                                   osss::gate::lower_to_gates(m), cli, lib));
+                                   osss::gate::lower_to_gates(m), cli, lib,
+                                   facts_of(m)));
     }
   } catch (const std::logic_error& e) {
     std::cerr << "osss-opt: " << e.what() << "\n";
